@@ -1,0 +1,167 @@
+//! Ablation benches for the design choices DESIGN.md calls out.
+//!
+//! * **Conditional MC vs naive MC** — why Rao-Blackwellisation is load-
+//!   bearing: at equal trial counts the conditional estimator resolves
+//!   probabilities naive sampling cannot even see.
+//! * **Run DP vs inclusion–exclusion** — the DP's linear scaling vs the
+//!   exponential subset expansion.
+//! * **Count-model back-ends** — exact convolution vs CLT.
+//! * **CNT length model** — fixed vs exponential lengths in the growth
+//!   simulator (the paper's deferred "length variations" extension).
+
+use cnfet_bench::paper_model;
+use cnfet_sim::rundp::row_failure_probability;
+use cnt_growth::{DirectionalGrowth, Growth, GrowthParams, LengthModel, Rect};
+use cnt_stats::renewal::{CountModel, RenewalCount};
+use cnt_stats::TruncatedGaussian;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+/// Inclusion–exclusion reference for the row-failure union (exponential in
+/// the number of intervals; the ablation's strawman).
+fn union_by_inclusion_exclusion(intervals: &[(usize, usize)], pf: f64) -> f64 {
+    let k = intervals.len();
+    assert!(k <= 16, "inclusion-exclusion explodes beyond ~16 intervals");
+    let mut total = 0.0;
+    for mask in 1u32..(1 << k) {
+        // The union of the selected intervals' track sets.
+        let mut tracks: Vec<(usize, usize)> = Vec::new();
+        for (i, iv) in intervals.iter().enumerate() {
+            if mask >> i & 1 == 1 {
+                tracks.push(*iv);
+            }
+        }
+        tracks.sort_unstable();
+        let mut covered = 0usize;
+        let mut cur: Option<(usize, usize)> = None;
+        for (lo, hi) in tracks {
+            match cur {
+                Some((clo, chi)) if lo <= chi + 1 => cur = Some((clo, chi.max(hi))),
+                Some((clo, chi)) => {
+                    covered += chi - clo + 1;
+                    cur = Some((lo, hi));
+                }
+                None => cur = Some((lo, hi)),
+            }
+        }
+        if let Some((clo, chi)) = cur {
+            covered += chi - clo + 1;
+        }
+        let term = pf.powi(covered as i32);
+        if (mask.count_ones() % 2) == 1 {
+            total += term;
+        } else {
+            total -= term;
+        }
+    }
+    total
+}
+
+fn bench_dp_vs_inclusion_exclusion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/union_evaluators");
+    for k in [4usize, 8, 12] {
+        let intervals: Vec<(usize, usize)> =
+            (0..k).map(|i| (i * 3, i * 3 + 5)).collect();
+        let n_tracks = 3 * k + 8;
+        group.bench_with_input(BenchmarkId::new("run_dp", k), &k, |b, _| {
+            b.iter(|| {
+                row_failure_probability(black_box(n_tracks), black_box(&intervals), 0.531)
+                    .expect("valid DP input")
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("inclusion_exclusion", k), &k, |b, _| {
+            b.iter(|| union_by_inclusion_exclusion(black_box(&intervals), 0.531))
+        });
+    }
+    group.finish();
+}
+
+fn bench_conditional_vs_naive_mc(c: &mut Criterion) {
+    // Estimate pF(60 nm) ≈ 1e-3-scale with 1000 trials each way.
+    let pitch = TruncatedGaussian::positive_with_moments(4.0, 3.2).expect("valid");
+    let renewal = RenewalCount::new(pitch, CountModel::GaussianSum);
+    let pf: f64 = 0.531;
+    let width = 60.0;
+    c.bench_function("ablation/conditional_mc_1k", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..1000 {
+                let mut pos = renewal.sample_first_gap(&mut rng);
+                let mut n = 0i32;
+                while pos <= width {
+                    n += 1;
+                    pos += {
+                        use cnt_stats::ContinuousDist;
+                        pitch.sample(&mut rng)
+                    };
+                }
+                acc += pf.powi(n);
+            }
+            black_box(acc / 1000.0)
+        })
+    });
+    c.bench_function("ablation/naive_mc_1k", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| {
+            let mut failures = 0u32;
+            for _ in 0..1000 {
+                let mut pos = renewal.sample_first_gap(&mut rng);
+                let mut all_failed = true;
+                while pos <= width {
+                    if rng.gen::<f64>() >= pf {
+                        all_failed = false;
+                    }
+                    pos += {
+                        use cnt_stats::ContinuousDist;
+                        pitch.sample(&mut rng)
+                    };
+                }
+                failures += all_failed as u32;
+            }
+            black_box(failures as f64 / 1000.0)
+        })
+    });
+}
+
+fn bench_backends(c: &mut Criterion) {
+    let exact = paper_model();
+    let clt = paper_model().with_backend(CountModel::GaussianSum);
+    let mut group = c.benchmark_group("ablation/count_backends");
+    group.bench_function("convolution_155nm", |b| {
+        b.iter(|| exact.p_failure(black_box(155.0)).expect("computable"))
+    });
+    group.bench_function("gaussian_sum_155nm", |b| {
+        b.iter(|| clt.p_failure(black_box(155.0)).expect("computable"))
+    });
+    group.finish();
+}
+
+fn bench_length_models(c: &mut Criterion) {
+    let region = Rect::new(0.0, 0.0, 5000.0, 500.0).expect("valid region");
+    let mut group = c.benchmark_group("ablation/length_models");
+    for (name, model) in [
+        ("fixed", LengthModel::Fixed(1000.0)),
+        ("exponential", LengthModel::Exponential { mean: 1000.0 }),
+    ] {
+        let growth = DirectionalGrowth::new(
+            GrowthParams::new(4.0, 0.8, 0.33, model).expect("valid"),
+        );
+        group.bench_function(name, |b| {
+            let mut rng = StdRng::seed_from_u64(5);
+            b.iter(|| growth.grow(black_box(region), &mut rng))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_dp_vs_inclusion_exclusion,
+    bench_conditional_vs_naive_mc,
+    bench_backends,
+    bench_length_models
+);
+criterion_main!(benches);

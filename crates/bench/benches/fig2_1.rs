@@ -1,0 +1,38 @@
+//! Bench FIG-2.1 — the device failure probability `pF(W)` evaluation that
+//! generates the paper's Fig 2.1 curves, across numerical back-ends.
+
+use cnfet_bench::paper_model;
+use cnt_stats::renewal::CountModel;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_p_failure(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_1/p_failure");
+    for width in [60.0, 103.0, 155.0] {
+        let exact = paper_model();
+        group.bench_with_input(
+            BenchmarkId::new("convolution", width as u64),
+            &width,
+            |b, &w| b.iter(|| exact.p_failure(black_box(w)).expect("computable")),
+        );
+        let clt = paper_model().with_backend(CountModel::GaussianSum);
+        group.bench_with_input(
+            BenchmarkId::new("gaussian_sum", width as u64),
+            &width,
+            |b, &w| b.iter(|| clt.p_failure(black_box(w)).expect("computable")),
+        );
+    }
+    group.finish();
+}
+
+fn bench_full_curve(c: &mut Criterion) {
+    // One full Fig 2.1 curve: 33 widths at the fast back-end.
+    let widths: Vec<f64> = (0..33).map(|i| 20.0 + 5.0 * i as f64).collect();
+    let model = paper_model().with_backend(CountModel::GaussianSum);
+    c.bench_function("fig2_1/full_curve_33pts", |b| {
+        b.iter(|| model.sweep(black_box(&widths)).expect("computable"))
+    });
+}
+
+criterion_group!(benches, bench_p_failure, bench_full_curve);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Bench FIG-2.2 — (a) width-histogram extraction from the mapped design,
+//! (b) one node of the upsizing-penalty scaling study.
+
+use cnfet_bench::{case_study_widths, library45, paper_model, paper_row};
+use cnfet_core::scaling::ScalingStudy;
+use cnfet_netlist::mapping::MappedDesign;
+use cnfet_netlist::synth::{openrisc_class, DesignSpec};
+use cnt_stats::renewal::CountModel;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_histogram(c: &mut Criterion) {
+    let lib = library45();
+    let netlist = openrisc_class(&DesignSpec::small(), 42);
+    let mapped = MappedDesign::map(&netlist, &lib).expect("mappable");
+    c.bench_function("fig2_2a/width_histogram_3k_cells", |b| {
+        b.iter(|| mapped.width_histogram(black_box(80.0), 480.0).expect("valid bins"))
+    });
+}
+
+fn bench_design_generation(c: &mut Criterion) {
+    c.bench_function("fig2_2a/netlist_generation_3k", |b| {
+        b.iter(|| openrisc_class(black_box(&DesignSpec::small()), 42))
+    });
+}
+
+fn bench_scaling_node(c: &mut Criterion) {
+    let study = ScalingStudy::new(
+        paper_model().with_backend(CountModel::GaussianSum),
+        45.0,
+        case_study_widths(),
+        0.90,
+        1e8,
+        paper_row(),
+    )
+    .expect("valid study");
+    c.bench_function("fig2_2b/solve_one_node", |b| {
+        b.iter(|| study.solve_node(black_box(32.0), 1.0).expect("solvable"))
+    });
+}
+
+criterion_group!(benches, bench_histogram, bench_design_generation, bench_scaling_node);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Bench FIG-3.1 — CNT population growth and pair-correlation measurement.
+
+use cnt_growth::correlation::pair_correlation;
+use cnt_growth::{DirectionalGrowth, Growth, GrowthParams, LengthModel, Rect, UncorrelatedGrowth, Vmr};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_growth(c: &mut Criterion) {
+    let region = Rect::new(0.0, 0.0, 2000.0, 1000.0).expect("valid region");
+    let directional = DirectionalGrowth::new(
+        GrowthParams::new(4.0, 0.8, 0.33, LengthModel::Fixed(2000.0)).expect("valid"),
+    );
+    c.bench_function("fig3_1/directional_grow_2x1um", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| directional.grow(black_box(region), &mut rng))
+    });
+
+    let uncorr = UncorrelatedGrowth::density_matched(
+        GrowthParams::new(8.0, 0.8, 0.33, LengthModel::Fixed(800.0)).expect("valid"),
+    )
+    .expect("valid");
+    c.bench_function("fig3_1/uncorrelated_grow_2x1um", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| uncorr.grow(black_box(region), &mut rng))
+    });
+}
+
+fn bench_pair_correlation(c: &mut Criterion) {
+    let directional = DirectionalGrowth::new(
+        GrowthParams::new(8.0, 0.8, 0.33, LengthModel::Fixed(100_000.0)).expect("valid"),
+    );
+    let vmr = Vmr::paper_aggressive();
+    let a = Rect::new(0.0, 0.0, 32.0, 64.0).expect("valid");
+    let bb = Rect::new(1000.0, 0.0, 32.0, 64.0).expect("valid");
+    c.bench_function("fig3_1/pair_correlation_100trials", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        b.iter(|| {
+            pair_correlation(&directional, &vmr, a, bb, 100, &mut rng).expect("measurable")
+        })
+    });
+}
+
+criterion_group!(benches, bench_growth, bench_pair_correlation);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Bench FIG-3.2 / TAB-2 — the aligned-active transform, per cell and
+//! library-wide.
+
+use cnfet_bench::library45;
+use cnfet_celllib::cell::TechParams;
+use cnfet_celllib::commercial65::commercial65_like;
+use cnfet_layout::{align_cell, align_library, AlignmentOptions, GridPolicy};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_align_cell(c: &mut Criterion) {
+    let lib = library45();
+    let tech = TechParams::nangate45();
+    let aoi = lib.require("AOI222_X1").expect("present").clone();
+    let opts = AlignmentOptions::default();
+    c.bench_function("fig3_2/align_aoi222_x1", |b| {
+        b.iter(|| align_cell(black_box(&aoi), &tech, &opts).expect("alignable"))
+    });
+}
+
+fn bench_align_libraries(c: &mut Criterion) {
+    let single = AlignmentOptions::default();
+    let dual = AlignmentOptions {
+        policy: GridPolicy::Dual,
+        ..AlignmentOptions::default()
+    };
+    let n45 = library45();
+    c.bench_function("table2/align_nangate45_134cells", |b| {
+        b.iter(|| align_library(black_box(&n45), &single).expect("alignable"))
+    });
+    let c65 = commercial65_like();
+    c.bench_function("table2/align_commercial65_775cells", |b| {
+        b.iter(|| align_library(black_box(&c65), &single).expect("alignable"))
+    });
+    c.bench_function("table2/align_commercial65_dual_grid", |b| {
+        b.iter(|| align_library(black_box(&c65), &dual).expect("alignable"))
+    });
+}
+
+fn bench_library_generation(c: &mut Criterion) {
+    c.bench_function("table2/generate_nangate45", |b| {
+        b.iter(cnfet_celllib::nangate45::nangate45_like)
+    });
+    c.bench_function("table2/generate_commercial65", |b| {
+        b.iter(commercial65_like)
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_align_cell,
+    bench_align_libraries,
+    bench_library_generation
+);
+criterion_main!(benches);

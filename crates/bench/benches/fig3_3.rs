@@ -1,0 +1,38 @@
+//! Bench FIG-3.3 — the end-to-end correlation-aware optimizer.
+
+use cnfet_bench::{case_study_widths, paper_model, paper_row};
+use cnfet_core::optimizer::YieldOptimizer;
+use cnfet_core::wmin::WminSolver;
+use cnt_stats::renewal::CountModel;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_wmin_solve(c: &mut Criterion) {
+    let solver = WminSolver::new(paper_model().with_backend(CountModel::GaussianSum));
+    c.bench_function("fig3_3/wmin_solve", |b| {
+        b.iter(|| solver.solve(black_box(0.90), 33e6).expect("solvable"))
+    });
+    c.bench_function("fig3_3/wmin_solve_relaxed_360x", |b| {
+        b.iter(|| {
+            solver
+                .solve_relaxed(black_box(0.90), 33e6, 360.0)
+                .expect("solvable")
+        })
+    });
+}
+
+fn bench_optimizer(c: &mut Criterion) {
+    let optimizer = YieldOptimizer::new(
+        paper_model().with_backend(CountModel::GaussianSum),
+        case_study_widths(),
+        1e8,
+        paper_row(),
+    )
+    .expect("valid optimizer");
+    c.bench_function("fig3_3/optimize_end_to_end", |b| {
+        b.iter(|| optimizer.optimize(black_box(0.90)).expect("solvable"))
+    });
+}
+
+criterion_group!(benches, bench_wmin_solve, bench_optimizer);
+criterion_main!(benches);

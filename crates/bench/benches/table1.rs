@@ -1,0 +1,59 @@
+//! Bench TAB-1 — the run DP and the conditional-MC row estimator at the
+//! paper's row scale (360 devices, ~350 tracks).
+
+use cnfet_bench::paper_model;
+use cnfet_core::rowmodel::UnalignedRowStudy;
+use cnfet_sim::rundp::row_failure_probability;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn paper_scale_intervals(devices: usize) -> (usize, Vec<(usize, usize)>) {
+    // 560-nm band at 4-nm pitch ≈ 140 tracks; ~34-track-wide devices at
+    // staggered offsets, like the Table-1 row.
+    let n_tracks = 140;
+    let intervals: Vec<(usize, usize)> = (0..devices)
+        .map(|i| {
+            let lo = (i * 11) % (n_tracks - 35);
+            (lo, lo + 34)
+        })
+        .collect();
+    (n_tracks, intervals)
+}
+
+fn bench_run_dp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/run_dp");
+    for devices in [36usize, 360, 3600] {
+        let (n_tracks, intervals) = paper_scale_intervals(devices);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(devices),
+            &devices,
+            |b, _| {
+                b.iter(|| {
+                    row_failure_probability(
+                        black_box(n_tracks),
+                        black_box(&intervals),
+                        0.531,
+                    )
+                    .expect("valid DP input")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_conditional_mc(c: &mut Criterion) {
+    let model = paper_model();
+    let study = UnalignedRowStudy {
+        band_height: 560.0,
+        width: 137.0,
+        offset_step: 45.0,
+        devices: 360,
+    };
+    c.bench_function("table1/conditional_mc_100trials_360fets", |b| {
+        b.iter(|| study.estimate(&model, 100, black_box(7)).expect("estimable"))
+    });
+}
+
+criterion_group!(benches, bench_run_dp, bench_conditional_mc);
+criterion_main!(benches);

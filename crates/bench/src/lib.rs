@@ -1,0 +1,35 @@
+//! Shared fixtures for the benchmark suite.
+//!
+//! Each bench target regenerates (a slice of) one paper table or figure;
+//! these helpers keep the setup identical across targets.
+
+use cnfet_celllib::nangate45::nangate45_like;
+use cnfet_celllib::CellLibrary;
+use cnfet_core::corner::ProcessCorner;
+use cnfet_core::failure::FailureModel;
+use cnfet_core::rowmodel::RowModel;
+
+/// The paper's main-corner failure model (exact convolution back-end).
+pub fn paper_model() -> FailureModel {
+    FailureModel::paper_default(ProcessCorner::aggressive().expect("valid corner"))
+        .expect("valid model")
+}
+
+/// The Nangate-45-class library.
+pub fn library45() -> CellLibrary {
+    nangate45_like()
+}
+
+/// The paper's Eq. (3.2) row model (M_Rmin = 360).
+pub fn paper_row() -> RowModel {
+    RowModel::from_design(
+        cnfet_core::paper::L_CNT_UM,
+        cnfet_core::paper::RHO_MIN_FET_PER_UM,
+    )
+    .expect("valid row model")
+}
+
+/// A compact stand-in for the Fig 2.2a width distribution.
+pub fn case_study_widths() -> Vec<(f64, u64)> {
+    vec![(110.0, 33_000_000), (185.0, 47_000_000), (370.0, 20_000_000)]
+}

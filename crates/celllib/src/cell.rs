@@ -1,0 +1,680 @@
+//! Standard-cell geometry: transistors, active strips, drive strengths.
+//!
+//! The model keeps exactly the geometry the paper's analysis consumes:
+//!
+//! * per-transistor **widths** (for the Fig 2.2a histogram, for `W_min`
+//!   upsizing and for gate-capacitance penalties);
+//! * per-cell **active strips** — contiguous diffusion regions at specific
+//!   intra-cell positions. Strips that sit at *different y* and *overlap in
+//!   x* are the ones that force cell widening when the aligned-active
+//!   restriction pushes them onto one global y-grid (paper Sec 3.2/3.3).
+//!
+//! Cells are *synthesized* from a family + drive strength + technology
+//! parameters, mirroring how \[Bobba 09\] re-generated the Nangate library
+//! for CNFETs.
+
+use crate::family::CellFamily;
+use crate::{CellLibError, Result};
+use cnt_growth::Rect;
+
+/// Drive strength multiplier (the `_X1`, `_X2`, … suffix).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DriveStrength(u16);
+
+impl DriveStrength {
+    /// X1 unit drive.
+    pub const X1: DriveStrength = DriveStrength(1);
+    /// X2 drive.
+    pub const X2: DriveStrength = DriveStrength(2);
+    /// X4 drive.
+    pub const X4: DriveStrength = DriveStrength(4);
+    /// X8 drive.
+    pub const X8: DriveStrength = DriveStrength(8);
+    /// X16 drive.
+    pub const X16: DriveStrength = DriveStrength(16);
+    /// X32 drive.
+    pub const X32: DriveStrength = DriveStrength(32);
+
+    /// Create an arbitrary drive multiplier (≥ 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CellLibError::InvalidParameter`] for a zero multiplier.
+    pub fn new(multiplier: u16) -> Result<Self> {
+        if multiplier == 0 {
+            return Err(CellLibError::InvalidParameter {
+                name: "multiplier",
+                value: 0.0,
+                constraint: "must be >= 1",
+            });
+        }
+        Ok(Self(multiplier))
+    }
+
+    /// The numeric multiplier.
+    pub fn multiplier(&self) -> u16 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for DriveStrength {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "X{}", self.0)
+    }
+}
+
+/// Technology parameters used to synthesize cell geometry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TechParams {
+    /// Technology node (nm): 45, 32, 22, 16, 65, …
+    pub node_nm: f64,
+    /// Standard-cell height (nm).
+    pub cell_height: f64,
+    /// Poly/gate placement pitch (nm).
+    pub gate_pitch: f64,
+    /// Margin from the cell boundary to the first diffusion column (nm).
+    pub edge_margin: f64,
+    /// Vertical gap between stacked strips of the same polarity (nm).
+    pub strip_gap: f64,
+    /// y-range available to n-type strips (nm, bottom of cell).
+    pub n_band: (f64, f64),
+    /// y-range available to p-type strips (nm, top of cell).
+    pub p_band: (f64, f64),
+    /// Main-network transistor width at X1 drive (nm).
+    pub base_main_width: f64,
+    /// Width of small internal transistors (keepers, clock inverters) —
+    /// independent of drive strength; these dominate `M_min` (nm).
+    pub base_internal_width: f64,
+    /// Maximum finger width in single-strip cells (nm).
+    pub finger_cap_single: f64,
+    /// Maximum finger width in multi-strip cells (nm).
+    pub finger_cap_multi: f64,
+}
+
+impl TechParams {
+    /// Nangate-45-class CNFET parameters (\[Bobba 09\]-style shrink).
+    pub fn nangate45() -> Self {
+        Self {
+            node_nm: 45.0,
+            cell_height: 1400.0,
+            gate_pitch: 190.0,
+            edge_margin: 140.0,
+            strip_gap: 40.0,
+            n_band: (110.0, 670.0),
+            p_band: (730.0, 1290.0),
+            base_main_width: 185.0,
+            base_internal_width: 110.0,
+            finger_cap_single: 480.0,
+            finger_cap_multi: 250.0,
+        }
+    }
+
+    /// Commercial-65-class parameters: the 45 nm geometry scaled by 65/45.
+    pub fn commercial65() -> Self {
+        let s = 65.0 / 45.0;
+        let n45 = Self::nangate45();
+        Self {
+            node_nm: 65.0,
+            cell_height: n45.cell_height * s,
+            gate_pitch: n45.gate_pitch * s,
+            edge_margin: n45.edge_margin * s,
+            strip_gap: n45.strip_gap * s,
+            n_band: (n45.n_band.0 * s, n45.n_band.1 * s),
+            p_band: (n45.p_band.0 * s, n45.p_band.1 * s),
+            base_main_width: n45.base_main_width * s,
+            base_internal_width: n45.base_internal_width * s,
+            finger_cap_single: n45.finger_cap_single * s,
+            finger_cap_multi: n45.finger_cap_multi * s,
+        }
+    }
+
+    /// Linear shrink of the transistor-width-related parameters to another
+    /// node, keeping CNT pitch physics unchanged (the paper's scaling
+    /// analysis: "the CNFET width distribution scales linearly with
+    /// technology node, while the inter-CNT pitch remains constant").
+    pub fn scaled_to(&self, node_nm: f64) -> Self {
+        let s = node_nm / self.node_nm;
+        Self {
+            node_nm,
+            cell_height: self.cell_height * s,
+            gate_pitch: self.gate_pitch * s,
+            edge_margin: self.edge_margin * s,
+            strip_gap: self.strip_gap * s,
+            n_band: (self.n_band.0 * s, self.n_band.1 * s),
+            p_band: (self.p_band.0 * s, self.p_band.1 * s),
+            base_main_width: self.base_main_width * s,
+            base_internal_width: self.base_internal_width * s,
+            finger_cap_single: self.finger_cap_single * s,
+            finger_cap_multi: self.finger_cap_multi * s,
+        }
+    }
+}
+
+/// Layout style of a library: how aggressively diffusion is packed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LayoutStyle {
+    /// Open-library style: only the highest-fan-in cells overlap strips in
+    /// x (Nangate: AOI222/OAI222 only).
+    Relaxed,
+    /// Commercial style: area-optimized; high-fan-in *and* sequential cells
+    /// pack strips with x-overlap (≈20 % of a 775-cell library).
+    Compact,
+}
+
+/// One transistor inside a cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellTransistor {
+    /// Polarity.
+    pub fet_type: cnfet_device::FetType,
+    /// Gate width (nm) — one finger.
+    pub width: f64,
+    /// Index into the cell's strip list this finger sits in.
+    pub strip: usize,
+    /// Whether this is a small internal device (keeper/clock inverter).
+    pub is_internal: bool,
+}
+
+/// A contiguous diffusion (active) region inside a cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ActiveStrip {
+    /// Polarity of the devices in this strip.
+    pub fet_type: cnfet_device::FetType,
+    /// Strip rectangle in cell-local coordinates (nm).
+    pub rect: Rect,
+    /// Vertical band index within the polarity region (0 = closest to the
+    /// rail). Strips in different bands are *not* y-aligned pre-transform.
+    pub band: u8,
+}
+
+/// A synthesized standard cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cell {
+    name: String,
+    family: CellFamily,
+    drive: DriveStrength,
+    width: f64,
+    height: f64,
+    transistors: Vec<CellTransistor>,
+    strips: Vec<ActiveStrip>,
+}
+
+impl Cell {
+    /// Synthesize the geometry of `family` at `drive` under `tech`, using
+    /// the default `PREFIX_DRIVE` name.
+    ///
+    /// # Errors
+    ///
+    /// Propagates geometry errors (they indicate inconsistent
+    /// [`TechParams`]).
+    pub fn synthesize(
+        family: CellFamily,
+        drive: DriveStrength,
+        tech: &TechParams,
+        style: LayoutStyle,
+    ) -> Result<Self> {
+        let name = format!("{}_{}", family.prefix(), drive);
+        Self::synthesize_named(name, family, drive, tech, style)
+    }
+
+    /// Synthesize with an explicit cell name — used by library generators
+    /// that add variant tags (e.g. VT flavors `NAND2_LVT_X2`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates geometry errors (they indicate inconsistent
+    /// [`TechParams`]).
+    pub fn synthesize_named(
+        name: impl Into<String>,
+        family: CellFamily,
+        drive: DriveStrength,
+        tech: &TechParams,
+        style: LayoutStyle,
+    ) -> Result<Self> {
+        use cnfet_device::FetType;
+
+        let name = name.into();
+        if !family.has_transistors() {
+            // Fill/antenna cells: fixed small width, no strips.
+            let width = tech.edge_margin * 2.0 + tech.gate_pitch * drive.multiplier() as f64;
+            return Ok(Self {
+                name,
+                family,
+                drive,
+                width,
+                height: tech.cell_height,
+                transistors: Vec::new(),
+                strips: Vec::new(),
+            });
+        }
+
+        // --- finger plan -------------------------------------------------
+        let complexity = family.strip_complexity();
+        let two_strips = complexity >= 1;
+        let overlapped = match style {
+            LayoutStyle::Relaxed => complexity >= 2,
+            LayoutStyle::Compact => two_strips,
+        };
+        let cap = if two_strips {
+            tech.finger_cap_multi
+        } else {
+            tech.finger_cap_single
+        };
+
+        let main_total_w = tech.base_main_width * drive.multiplier() as f64;
+        let fingers_per_main = (main_total_w / cap).ceil().max(1.0) as usize;
+        let main_finger_w = main_total_w / fingers_per_main as f64;
+        let n_main = family.main_transistors_per_polarity() as usize * fingers_per_main;
+        let n_internal = family.internal_transistors_per_polarity() as usize;
+        let total_fingers = n_main + n_internal;
+
+        // --- strip split --------------------------------------------------
+        // Two-strip cells split their fingers roughly in half between the
+        // two diffusion stacks (mains fill strip A first, internals land in
+        // strip B) — the layout style real cells use for tall networks.
+        let (fingers_a, fingers_b) = if two_strips {
+            let a = total_fingers.div_ceil(2);
+            (a, total_fingers - a)
+        } else {
+            (total_fingers, 0)
+        };
+
+        // Wiring/column overhead: complex and sequential cells need extra
+        // routing columns between stacks.
+        let overhead: usize = if family.is_sequential() {
+            4
+        } else if complexity >= 2 {
+            6
+        } else if complexity == 1 {
+            2
+        } else {
+            1
+        };
+
+        // Overlap columns (only meaningful for overlapped two-strip cells):
+        // vertically stacked strips share poly columns. Open-library
+        // layouts share a single column; compact commercial layouts stack
+        // aggressively — sequential cells most of all.
+        let overlap: usize = if !overlapped || fingers_b == 0 {
+            0
+        } else {
+            let want = match style {
+                LayoutStyle::Relaxed => drive.multiplier() as usize,
+                LayoutStyle::Compact => {
+                    if family.is_sequential() {
+                        (3 * fingers_b).div_ceil(4)
+                    } else {
+                        2 + drive.multiplier() as usize / 2
+                    }
+                }
+            };
+            want.clamp(1, fingers_a.min(fingers_b))
+        };
+
+        let cols = if two_strips {
+            fingers_a + fingers_b - overlap + overhead
+        } else {
+            fingers_a + overhead
+        };
+        let width = tech.edge_margin * 2.0 + cols as f64 * tech.gate_pitch;
+
+        // --- strips -------------------------------------------------------
+        let mut strips = Vec::new();
+        let mut transistors = Vec::new();
+        let internal_w = tech.base_internal_width;
+
+        // Deterministic per-cell y jitter: in a real (un-restricted) library
+        // each cell places its diffusion at whatever y suits its routing, so
+        // active regions do NOT line up across cells — this is exactly what
+        // the aligned-active transform removes, and what makes the
+        // "directional growth, no aligned-active" scenario of Table 1 lose
+        // most of the correlation benefit. Quantized to 45 nm legal
+        // placement steps.
+        let name_hash: u64 = name
+            .bytes()
+            .fold(0xcbf29ce484222325u64, |h, b| {
+                (h ^ b as u64).wrapping_mul(0x100000001b3)
+            });
+
+        for fet_type in [FetType::NType, FetType::PType] {
+            let (band_lo_raw, band_hi) = match fet_type {
+                FetType::NType => tech.n_band,
+                FetType::PType => tech.p_band,
+            };
+            let strip_base = strips.len();
+            // Finger widths in placement order: mains first, then internals.
+            // Internal devices split ~60/40 between true minimum-width
+            // keepers and unit-width clock/feedback inverters — real flops
+            // are not built entirely from minimum devices.
+            let n_small = (n_internal * 3).div_ceil(5);
+            let finger_width = |i: usize| -> f64 {
+                if i < n_main {
+                    main_finger_w
+                } else if i < n_main + n_small {
+                    internal_w
+                } else {
+                    tech.base_main_width
+                }
+            };
+            if two_strips {
+                let height_a = (0..fingers_a).map(finger_width).fold(0.0_f64, f64::max);
+                let height_b = (fingers_a..total_fingers)
+                    .map(finger_width)
+                    .fold(0.0_f64, f64::max)
+                    .max(internal_w.min(main_finger_w));
+                let needed = height_a + tech.strip_gap + height_b;
+                let slack = (band_hi - band_lo_raw - needed).max(0.0);
+                let step = tech.gate_pitch * 45.0 / 190.0; // 45 nm at the 45 nm node
+                let band_lo = band_lo_raw + (step * ((name_hash >> 3) % 8) as f64).min(slack);
+                let a_x0 = tech.edge_margin;
+                let a_x1 = a_x0 + (fingers_a as f64) * tech.gate_pitch;
+                let b_x0 = if overlapped {
+                    a_x1 - overlap as f64 * tech.gate_pitch
+                } else {
+                    a_x1 + tech.gate_pitch
+                };
+                let b_x1 = b_x0 + (fingers_b.max(1) as f64) * tech.gate_pitch;
+                strips.push(ActiveStrip {
+                    fet_type,
+                    rect: Rect::new(a_x0, band_lo, a_x1 - a_x0, height_a)?,
+                    band: 0,
+                });
+                strips.push(ActiveStrip {
+                    fet_type,
+                    rect: Rect::new(
+                        b_x0,
+                        band_lo + height_a + tech.strip_gap,
+                        b_x1 - b_x0,
+                        height_b,
+                    )?,
+                    band: 1,
+                });
+            } else {
+                let height = main_finger_w.max(if n_internal > 0 { internal_w } else { 0.0 });
+                let slack = (band_hi - band_lo_raw - height).max(0.0);
+                let step = tech.gate_pitch * 45.0 / 190.0;
+                let band_lo = band_lo_raw + (step * ((name_hash >> 3) % 8) as f64).min(slack);
+                let x0 = tech.edge_margin;
+                let x1 = x0 + (fingers_a.max(1) as f64) * tech.gate_pitch;
+                strips.push(ActiveStrip {
+                    fet_type,
+                    rect: Rect::new(x0, band_lo, x1 - x0, height)?,
+                    band: 0,
+                });
+            }
+
+            // Transistor records (same placement order as the fingers).
+            for i in 0..total_fingers {
+                let strip = if two_strips && i >= fingers_a {
+                    strip_base + 1
+                } else {
+                    strip_base
+                };
+                transistors.push(CellTransistor {
+                    fet_type,
+                    width: finger_width(i),
+                    strip,
+                    is_internal: i >= n_main,
+                });
+            }
+        }
+
+        Ok(Self {
+            name,
+            family,
+            drive,
+            width,
+            height: tech.cell_height,
+            transistors,
+            strips,
+        })
+    }
+
+    /// Cell name, e.g. `"AOI222_X1"`.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Functional family.
+    pub fn family(&self) -> CellFamily {
+        self.family
+    }
+
+    /// Drive strength.
+    pub fn drive(&self) -> DriveStrength {
+        self.drive
+    }
+
+    /// Cell width (nm).
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+
+    /// Cell height (nm).
+    pub fn height(&self) -> f64 {
+        self.height
+    }
+
+    /// All transistors.
+    pub fn transistors(&self) -> &[CellTransistor] {
+        &self.transistors
+    }
+
+    /// All active strips (both polarities).
+    pub fn strips(&self) -> &[ActiveStrip] {
+        &self.strips
+    }
+
+    /// n-type strips only.
+    pub fn n_strips(&self) -> Vec<&ActiveStrip> {
+        self.strips
+            .iter()
+            .filter(|s| s.fet_type == cnfet_device::FetType::NType)
+            .collect()
+    }
+
+    /// p-type strips only.
+    pub fn p_strips(&self) -> Vec<&ActiveStrip> {
+        self.strips
+            .iter()
+            .filter(|s| s.fet_type == cnfet_device::FetType::PType)
+            .collect()
+    }
+
+    /// Every transistor width (nm), in declaration order.
+    pub fn transistor_widths(&self) -> Vec<f64> {
+        self.transistors.iter().map(|t| t.width).collect()
+    }
+
+    /// Smallest transistor width in the cell, if it has transistors.
+    pub fn min_transistor_width(&self) -> Option<f64> {
+        self.transistors
+            .iter()
+            .map(|t| t.width)
+            .min_by(|a, b| a.partial_cmp(b).expect("widths are finite"))
+    }
+
+    /// Total gate capacitance under the given model (aF).
+    pub fn gate_cap(&self, model: &cnfet_device::GateCapModel) -> f64 {
+        model.total_cap(self.transistors.iter().map(|t| t.width))
+    }
+
+    /// Whether the cell stores state.
+    pub fn is_sequential(&self) -> bool {
+        self.family.is_sequential()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnfet_device::FetType;
+
+    fn t45() -> TechParams {
+        TechParams::nangate45()
+    }
+
+    #[test]
+    fn drive_strength_display_and_validation() {
+        assert_eq!(DriveStrength::X4.to_string(), "X4");
+        assert_eq!(DriveStrength::new(3).unwrap().multiplier(), 3);
+        assert!(DriveStrength::new(0).is_err());
+    }
+
+    #[test]
+    fn inverter_geometry() {
+        let c = Cell::synthesize(CellFamily::Inv, DriveStrength::X1, &t45(), LayoutStyle::Relaxed)
+            .unwrap();
+        assert_eq!(c.name(), "INV_X1");
+        assert_eq!(c.transistors().len(), 2); // 1 n + 1 p
+        assert_eq!(c.n_strips().len(), 1);
+        assert_eq!(c.p_strips().len(), 1);
+        assert_eq!(c.min_transistor_width(), Some(185.0));
+        assert!(c.width() > 0.0);
+        assert_eq!(c.height(), 1400.0);
+    }
+
+    #[test]
+    fn drive_scales_width_until_finger_cap() {
+        let t = t45();
+        let x1 = Cell::synthesize(CellFamily::Inv, DriveStrength::X1, &t, LayoutStyle::Relaxed)
+            .unwrap();
+        let x2 = Cell::synthesize(CellFamily::Inv, DriveStrength::X2, &t, LayoutStyle::Relaxed)
+            .unwrap();
+        let x8 = Cell::synthesize(CellFamily::Inv, DriveStrength::X8, &t, LayoutStyle::Relaxed)
+            .unwrap();
+        assert_eq!(x1.transistors()[0].width, 185.0);
+        assert_eq!(x2.transistors()[0].width, 370.0);
+        // X8: 1480 nm total → 4 fingers ≤ 480 nm.
+        assert_eq!(x8.transistors().len(), 8);
+        assert!(x8.transistors()[0].width <= 480.0);
+        let total: f64 = x8
+            .transistors()
+            .iter()
+            .filter(|t| t.fet_type == FetType::NType)
+            .map(|t| t.width)
+            .sum();
+        assert!((total - 1480.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn aoi222_has_overlapping_strips_under_relaxed_style() {
+        let c = Cell::synthesize(
+            CellFamily::Aoi(&[2, 2, 2]),
+            DriveStrength::X1,
+            &t45(),
+            LayoutStyle::Relaxed,
+        )
+        .unwrap();
+        let ns = c.n_strips();
+        assert_eq!(ns.len(), 2);
+        let (a, b) = (ns[0].rect, ns[1].rect);
+        assert!(a.x1() > b.x0(), "strips must overlap in x: {a:?} vs {b:?}");
+        assert_ne!(ns[0].band, ns[1].band);
+    }
+
+    #[test]
+    fn nand2_is_single_strip_and_flop_strips_are_disjoint_when_relaxed() {
+        let nand =
+            Cell::synthesize(CellFamily::Nand(2), DriveStrength::X1, &t45(), LayoutStyle::Relaxed)
+                .unwrap();
+        assert_eq!(nand.n_strips().len(), 1);
+
+        let dff = Cell::synthesize(
+            CellFamily::Dff {
+                reset: false,
+                set: false,
+                scan: false,
+            },
+            DriveStrength::X1,
+            &t45(),
+            LayoutStyle::Relaxed,
+        )
+        .unwrap();
+        let ns = dff.n_strips();
+        assert_eq!(ns.len(), 2);
+        assert!(
+            ns[0].rect.x1() < ns[1].rect.x0(),
+            "relaxed flop strips must not overlap in x"
+        );
+        // The flop carries small internal transistors.
+        assert!(dff
+            .transistors()
+            .iter()
+            .any(|t| t.is_internal && t.width == 110.0));
+    }
+
+    #[test]
+    fn compact_style_overlaps_flop_strips() {
+        let dff = Cell::synthesize(
+            CellFamily::Dff {
+                reset: true,
+                set: false,
+                scan: true,
+            },
+            DriveStrength::X1,
+            &TechParams::commercial65(),
+            LayoutStyle::Compact,
+        )
+        .unwrap();
+        let ns = dff.n_strips();
+        assert_eq!(ns.len(), 2);
+        assert!(
+            ns[0].rect.x1() > ns[1].rect.x0(),
+            "compact flop strips should overlap in x"
+        );
+    }
+
+    #[test]
+    fn fill_cells_have_no_transistors() {
+        let f = Cell::synthesize(CellFamily::Fill, DriveStrength::X4, &t45(), LayoutStyle::Relaxed)
+            .unwrap();
+        assert!(f.transistors().is_empty());
+        assert!(f.strips().is_empty());
+        assert_eq!(f.min_transistor_width(), None);
+        assert_eq!(f.gate_cap(&cnfet_device::GateCapModel::proportional()), 0.0);
+    }
+
+    #[test]
+    fn strips_stay_inside_polarity_bands() {
+        let t = t45();
+        for fam in [
+            CellFamily::Inv,
+            CellFamily::Aoi(&[2, 2, 2]),
+            CellFamily::Dff {
+                reset: true,
+                set: true,
+                scan: true,
+            },
+        ] {
+            for drive in [DriveStrength::X1, DriveStrength::X2] {
+                let c = Cell::synthesize(fam, drive, &t, LayoutStyle::Relaxed).unwrap();
+                for s in c.strips() {
+                    let (lo, hi) = match s.fet_type {
+                        FetType::NType => t.n_band,
+                        FetType::PType => t.p_band,
+                    };
+                    assert!(
+                        s.rect.y0() >= lo - 1e-9 && s.rect.y1() <= hi + 1e-9,
+                        "{}: strip {:?} escapes band ({lo}, {hi})",
+                        c.name(),
+                        s.rect
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scaled_tech_shrinks_widths_linearly() {
+        let t45 = TechParams::nangate45();
+        let t22 = t45.scaled_to(22.0);
+        let c45 =
+            Cell::synthesize(CellFamily::Inv, DriveStrength::X1, &t45, LayoutStyle::Relaxed)
+                .unwrap();
+        let c22 =
+            Cell::synthesize(CellFamily::Inv, DriveStrength::X1, &t22, LayoutStyle::Relaxed)
+                .unwrap();
+        let ratio = c22.transistors()[0].width / c45.transistors()[0].width;
+        assert!((ratio - 22.0 / 45.0).abs() < 1e-9);
+    }
+}

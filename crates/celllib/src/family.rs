@@ -1,0 +1,296 @@
+//! Logic-cell families and their structural properties.
+
+/// Functional family of a standard cell.
+///
+/// The variants cover the Nangate 45 nm Open Cell Library plus the richer
+/// mix found in commercial libraries (adders, wide muxes, scan flops, …).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CellFamily {
+    /// Inverter.
+    Inv,
+    /// Non-inverting buffer.
+    Buf,
+    /// Clock buffer (balanced rise/fall).
+    ClkBuf,
+    /// Integrated clock-gating cell.
+    ClkGate,
+    /// k-input NAND (k = fan-in).
+    Nand(u8),
+    /// k-input NOR.
+    Nor(u8),
+    /// k-input AND.
+    And(u8),
+    /// k-input OR.
+    Or(u8),
+    /// AND-OR-invert; the digits are the per-branch fan-ins, e.g.
+    /// `Aoi(&[2,2,2])` is AOI222.
+    Aoi(&'static [u8]),
+    /// OR-AND-invert, same digit convention.
+    Oai(&'static [u8]),
+    /// 2-input XOR.
+    Xor2,
+    /// 2-input XNOR.
+    Xnor2,
+    /// k-to-1 multiplexer.
+    Mux(u8),
+    /// Half adder.
+    HalfAdder,
+    /// Full adder.
+    FullAdder,
+    /// D flip-flop; flags: reset, set, scan.
+    Dff {
+        /// Has asynchronous reset.
+        reset: bool,
+        /// Has asynchronous set.
+        set: bool,
+        /// Has a scan mux (SDFF).
+        scan: bool,
+    },
+    /// Level-sensitive latch; `active_high` selects DLH vs DLL.
+    Latch {
+        /// Transparent when the clock is high.
+        active_high: bool,
+    },
+    /// Tri-state buffer.
+    TriBuf,
+    /// Tri-state inverter.
+    TriInv,
+    /// Constant-0 tie cell.
+    Logic0,
+    /// Constant-1 tie cell.
+    Logic1,
+    /// Filler cell (no transistors that matter for yield).
+    Fill,
+    /// Antenna diode cell.
+    Antenna,
+}
+
+impl CellFamily {
+    /// Library name prefix, e.g. `"AOI222"`.
+    pub fn prefix(&self) -> String {
+        match self {
+            CellFamily::Inv => "INV".into(),
+            CellFamily::Buf => "BUF".into(),
+            CellFamily::ClkBuf => "CLKBUF".into(),
+            CellFamily::ClkGate => "CLKGATE".into(),
+            CellFamily::Nand(k) => format!("NAND{k}"),
+            CellFamily::Nor(k) => format!("NOR{k}"),
+            CellFamily::And(k) => format!("AND{k}"),
+            CellFamily::Or(k) => format!("OR{k}"),
+            CellFamily::Aoi(branches) => {
+                let digits: String = branches.iter().map(|b| b.to_string()).collect();
+                format!("AOI{digits}")
+            }
+            CellFamily::Oai(branches) => {
+                let digits: String = branches.iter().map(|b| b.to_string()).collect();
+                format!("OAI{digits}")
+            }
+            CellFamily::Xor2 => "XOR2".into(),
+            CellFamily::Xnor2 => "XNOR2".into(),
+            CellFamily::Mux(k) => format!("MUX{k}"),
+            CellFamily::HalfAdder => "HA".into(),
+            CellFamily::FullAdder => "FA".into(),
+            CellFamily::Dff { reset, set, scan } => {
+                let mut s = String::from(if *scan { "SDFF" } else { "DFF" });
+                if *reset {
+                    s.push('R');
+                }
+                if *set {
+                    s.push('S');
+                }
+                s
+            }
+            CellFamily::Latch { active_high } => {
+                if *active_high {
+                    "DLH".into()
+                } else {
+                    "DLL".into()
+                }
+            }
+            CellFamily::TriBuf => "TBUF".into(),
+            CellFamily::TriInv => "TINV".into(),
+            CellFamily::Logic0 => "LOGIC0".into(),
+            CellFamily::Logic1 => "LOGIC1".into(),
+            CellFamily::Fill => "FILLCELL".into(),
+            CellFamily::Antenna => "ANTENNA".into(),
+        }
+    }
+
+    /// Number of logic inputs (0 for tie/fill cells).
+    pub fn fanin(&self) -> u8 {
+        match self {
+            CellFamily::Inv
+            | CellFamily::Buf
+            | CellFamily::ClkBuf
+            | CellFamily::TriInv
+            | CellFamily::Latch { .. } => 1,
+            CellFamily::ClkGate | CellFamily::TriBuf => 2,
+            CellFamily::Nand(k) | CellFamily::Nor(k) | CellFamily::And(k) | CellFamily::Or(k) => {
+                *k
+            }
+            CellFamily::Aoi(b) | CellFamily::Oai(b) => b.iter().sum(),
+            CellFamily::Xor2 | CellFamily::Xnor2 => 2,
+            CellFamily::Mux(k) => k + k.ilog2() as u8,
+            CellFamily::HalfAdder => 2,
+            CellFamily::FullAdder => 3,
+            CellFamily::Dff { scan, .. } => 2 + 2 * (*scan as u8),
+            CellFamily::Logic0 | CellFamily::Logic1 | CellFamily::Fill | CellFamily::Antenna => 0,
+        }
+    }
+
+    /// Whether the cell stores state (flop/latch/clock-gate).
+    pub fn is_sequential(&self) -> bool {
+        matches!(
+            self,
+            CellFamily::Dff { .. } | CellFamily::Latch { .. } | CellFamily::ClkGate
+        )
+    }
+
+    /// Whether the cell contains any transistors at all.
+    pub fn has_transistors(&self) -> bool {
+        !matches!(self, CellFamily::Fill | CellFamily::Antenna)
+    }
+
+    /// Number of transistors **per polarity** in the main (output-driving)
+    /// network, at unit drive. Internal/feedback devices are counted by
+    /// [`CellFamily::internal_transistors_per_polarity`].
+    pub fn main_transistors_per_polarity(&self) -> u8 {
+        match self {
+            CellFamily::Inv | CellFamily::TriInv => 1,
+            CellFamily::Buf | CellFamily::ClkBuf => 2,
+            CellFamily::TriBuf => 3,
+            CellFamily::Nand(k) | CellFamily::Nor(k) => *k,
+            CellFamily::And(k) | CellFamily::Or(k) => *k + 1,
+            CellFamily::Aoi(b) | CellFamily::Oai(b) => b.iter().sum(),
+            CellFamily::Xor2 | CellFamily::Xnor2 => 5,
+            CellFamily::Mux(k) => 2 * *k + 1,
+            CellFamily::HalfAdder => 7,
+            CellFamily::FullAdder => 12,
+            CellFamily::Dff { .. } | CellFamily::Latch { .. } | CellFamily::ClkGate => 2,
+            CellFamily::Logic0 | CellFamily::Logic1 => 1,
+            CellFamily::Fill | CellFamily::Antenna => 0,
+        }
+    }
+
+    /// Number of small internal transistors per polarity (clock inverters,
+    /// feedback keepers, scan muxes). These stay at near-minimum width
+    /// regardless of drive strength — they are the yield-critical
+    /// population of Sec. 2.2.
+    pub fn internal_transistors_per_polarity(&self) -> u8 {
+        match self {
+            CellFamily::Dff { reset, set, scan } => {
+                // Master+slave transmission gates and keepers ≈ 10, clock
+                // inverters 2, plus reset/set gating and scan mux.
+                12 + 2 * (*reset as u8) + 2 * (*set as u8) + 4 * (*scan as u8)
+            }
+            CellFamily::Latch { .. } => 6,
+            CellFamily::ClkGate => 8,
+            CellFamily::And(_) | CellFamily::Or(_) => 0,
+            CellFamily::HalfAdder => 2,
+            CellFamily::FullAdder => 4,
+            _ => 0,
+        }
+    }
+
+    /// Complexity class used by the strip planner: 0 = single strip,
+    /// 1 = two strips that fit without overlap, 2 = two/three strips that
+    /// overlap in x (alignment will widen the cell unless multiple grids
+    /// are allowed).
+    pub fn strip_complexity(&self) -> u8 {
+        match self {
+            CellFamily::Aoi(b) | CellFamily::Oai(b) => {
+                let fanin: u8 = b.iter().sum();
+                if b.len() >= 3 && fanin >= 6 {
+                    2 // AOI222/OAI222: three stacked branches
+                } else if fanin >= 4 {
+                    1
+                } else {
+                    0
+                }
+            }
+            CellFamily::FullAdder | CellFamily::HalfAdder => 1,
+            CellFamily::Dff { .. } | CellFamily::Latch { .. } | CellFamily::ClkGate => 1,
+            CellFamily::Mux(k) if *k >= 4 => 1,
+            CellFamily::Nand(k) | CellFamily::Nor(k) | CellFamily::And(k) | CellFamily::Or(k)
+                if *k >= 4 =>
+            {
+                1
+            }
+            _ => 0,
+        }
+    }
+}
+
+impl std::fmt::Display for CellFamily {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.prefix())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefixes() {
+        assert_eq!(CellFamily::Aoi(&[2, 2, 2]).prefix(), "AOI222");
+        assert_eq!(CellFamily::Oai(&[2, 1]).prefix(), "OAI21");
+        assert_eq!(
+            CellFamily::Dff {
+                reset: true,
+                set: false,
+                scan: true
+            }
+            .prefix(),
+            "SDFFR"
+        );
+        assert_eq!(CellFamily::Nand(3).prefix(), "NAND3");
+        assert_eq!(CellFamily::Latch { active_high: true }.prefix(), "DLH");
+    }
+
+    #[test]
+    fn fanin_and_sequential() {
+        assert_eq!(CellFamily::Aoi(&[2, 2, 2]).fanin(), 6);
+        assert_eq!(CellFamily::Mux(2).fanin(), 3);
+        assert_eq!(CellFamily::FullAdder.fanin(), 3);
+        assert!(CellFamily::Dff {
+            reset: false,
+            set: false,
+            scan: false
+        }
+        .is_sequential());
+        assert!(!CellFamily::Nand(2).is_sequential());
+        assert!(CellFamily::ClkGate.is_sequential());
+    }
+
+    #[test]
+    fn transistor_counts() {
+        assert_eq!(CellFamily::Inv.main_transistors_per_polarity(), 1);
+        assert_eq!(CellFamily::Nand(4).main_transistors_per_polarity(), 4);
+        let dff = CellFamily::Dff {
+            reset: true,
+            set: true,
+            scan: true,
+        };
+        assert_eq!(dff.internal_transistors_per_polarity(), 12 + 2 + 2 + 4);
+        assert!(!CellFamily::Fill.has_transistors());
+        assert_eq!(CellFamily::Fill.main_transistors_per_polarity(), 0);
+    }
+
+    #[test]
+    fn strip_complexity_classes() {
+        assert_eq!(CellFamily::Inv.strip_complexity(), 0);
+        assert_eq!(CellFamily::Aoi(&[2, 2]).strip_complexity(), 1);
+        assert_eq!(CellFamily::Aoi(&[2, 2, 2]).strip_complexity(), 2);
+        assert_eq!(CellFamily::Oai(&[2, 2, 2]).strip_complexity(), 2);
+        assert_eq!(
+            CellFamily::Dff {
+                reset: false,
+                set: false,
+                scan: false
+            }
+            .strip_complexity(),
+            1
+        );
+    }
+}

@@ -1,0 +1,106 @@
+//! # cnfet-celllib
+//!
+//! Standard-cell library models for CNFET logic.
+//!
+//! The paper evaluates its aligned-active layout restriction on two
+//! libraries:
+//!
+//! * the **Nangate 45 nm Open Cell Library** (134 cells), slightly modified
+//!   for CNFET technology per \[Bobba 09\] — modeled by
+//!   [`nangate45::nangate45_like`];
+//! * a **commercial 65 nm library** (775 cells) — proprietary, so modeled by
+//!   the synthetic [`commercial65::commercial65_like`] generator whose
+//!   complexity mix (high-fan-in cells, flip-flops, latches) matches the
+//!   fractions the paper reports.
+//!
+//! Each [`cell::Cell`] carries the geometry the alignment analysis needs:
+//! cell width, transistor widths, and the **active strips** (diffusion
+//! regions) for both polarities with their intra-cell positions. Cells whose
+//! strips sit at different y positions *and* overlap in x are exactly the
+//! cells that must widen when all strips are forced onto one global y-grid
+//! (paper Fig 3.2: AOI222_X1 grows ~9 %).
+//!
+//! ## Example
+//!
+//! ```
+//! use cnfet_celllib::nangate45::nangate45_like;
+//!
+//! let lib = nangate45_like();
+//! assert_eq!(lib.cells().len(), 134);
+//! let aoi = lib.cell("AOI222_X1").expect("present");
+//! assert!(aoi.n_strips().len() > 1, "AOI222 uses multiple n-strips");
+//! ```
+
+pub mod cell;
+pub mod commercial65;
+pub mod family;
+pub mod library;
+pub mod nangate45;
+
+use std::error::Error;
+use std::fmt;
+
+/// Error type for library-model operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CellLibError {
+    /// A parameter was outside its valid domain.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+        /// Human-readable constraint.
+        constraint: &'static str,
+    },
+    /// A named cell does not exist in the library.
+    UnknownCell(String),
+    /// Underlying geometry error.
+    Growth(cnt_growth::GrowthError),
+}
+
+impl fmt::Display for CellLibError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CellLibError::InvalidParameter {
+                name,
+                value,
+                constraint,
+            } => write!(f, "invalid parameter `{name}` = {value}: {constraint}"),
+            CellLibError::UnknownCell(name) => write!(f, "unknown cell `{name}`"),
+            CellLibError::Growth(e) => write!(f, "geometry error: {e}"),
+        }
+    }
+}
+
+impl Error for CellLibError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CellLibError::Growth(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<cnt_growth::GrowthError> for CellLibError {
+    fn from(e: cnt_growth::GrowthError) -> Self {
+        CellLibError::Growth(e)
+    }
+}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, CellLibError>;
+
+pub use cell::{ActiveStrip, Cell, CellTransistor, DriveStrength};
+pub use family::CellFamily;
+pub use library::CellLibrary;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        let e = CellLibError::UnknownCell("NAND9_X9".into());
+        assert!(e.to_string().contains("NAND9_X9"));
+    }
+}

@@ -1,0 +1,194 @@
+//! A collection of standard cells with lookup and aggregate statistics.
+
+use crate::cell::{Cell, LayoutStyle, TechParams};
+use crate::{CellLibError, Result};
+use std::collections::HashMap;
+
+/// A standard-cell library.
+#[derive(Debug, Clone)]
+pub struct CellLibrary {
+    name: String,
+    tech: TechParams,
+    style: LayoutStyle,
+    cells: Vec<Cell>,
+    index: HashMap<String, usize>,
+}
+
+impl CellLibrary {
+    /// Assemble a library from synthesized cells.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CellLibError::InvalidParameter`] if two cells share a name.
+    pub fn new(
+        name: impl Into<String>,
+        tech: TechParams,
+        style: LayoutStyle,
+        cells: Vec<Cell>,
+    ) -> Result<Self> {
+        let mut index = HashMap::with_capacity(cells.len());
+        for (i, c) in cells.iter().enumerate() {
+            if index.insert(c.name().to_string(), i).is_some() {
+                return Err(CellLibError::InvalidParameter {
+                    name: "cells",
+                    value: i as f64,
+                    constraint: "duplicate cell name",
+                });
+            }
+        }
+        Ok(Self {
+            name: name.into(),
+            tech,
+            style,
+            cells,
+            index,
+        })
+    }
+
+    /// Library name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Technology parameters the cells were synthesized with.
+    pub fn tech(&self) -> &TechParams {
+        &self.tech
+    }
+
+    /// Layout packing style.
+    pub fn style(&self) -> LayoutStyle {
+        self.style
+    }
+
+    /// All cells.
+    pub fn cells(&self) -> &[Cell] {
+        &self.cells
+    }
+
+    /// Look up a cell by exact name.
+    pub fn cell(&self, name: &str) -> Option<&Cell> {
+        self.index.get(name).map(|&i| &self.cells[i])
+    }
+
+    /// Look up a cell, erroring with the name if absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CellLibError::UnknownCell`].
+    pub fn require(&self, name: &str) -> Result<&Cell> {
+        self.cell(name)
+            .ok_or_else(|| CellLibError::UnknownCell(name.to_string()))
+    }
+
+    /// Number of sequential cells.
+    pub fn sequential_count(&self) -> usize {
+        self.cells.iter().filter(|c| c.is_sequential()).count()
+    }
+
+    /// Cells with more than one active strip per polarity (candidates for
+    /// alignment trouble).
+    pub fn multi_strip_cells(&self) -> Vec<&Cell> {
+        self.cells
+            .iter()
+            .filter(|c| c.n_strips().len() > 1 || c.p_strips().len() > 1)
+            .collect()
+    }
+
+    /// Cells whose strips overlap in x within a polarity — the population
+    /// that the single-grid aligned-active restriction will widen.
+    pub fn overlapped_cells(&self) -> Vec<&Cell> {
+        self.cells
+            .iter()
+            .filter(|c| {
+                for strips in [c.n_strips(), c.p_strips()] {
+                    for i in 0..strips.len() {
+                        for j in i + 1..strips.len() {
+                            let (a, b) = (strips[i].rect, strips[j].rect);
+                            if a.x0() < b.x1() && b.x0() < a.x1() && strips[i].band != strips[j].band
+                            {
+                                return true;
+                            }
+                        }
+                    }
+                }
+                false
+            })
+            .collect()
+    }
+
+    /// Smallest transistor width across the library (nm), ignoring
+    /// transistor-free cells.
+    pub fn min_transistor_width(&self) -> Option<f64> {
+        self.cells
+            .iter()
+            .filter_map(Cell::min_transistor_width)
+            .min_by(|a, b| a.partial_cmp(b).expect("widths are finite"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::DriveStrength;
+    use crate::family::CellFamily;
+
+    fn tiny() -> CellLibrary {
+        let tech = TechParams::nangate45();
+        let cells = vec![
+            Cell::synthesize(CellFamily::Inv, DriveStrength::X1, &tech, LayoutStyle::Relaxed)
+                .unwrap(),
+            Cell::synthesize(
+                CellFamily::Aoi(&[2, 2, 2]),
+                DriveStrength::X1,
+                &tech,
+                LayoutStyle::Relaxed,
+            )
+            .unwrap(),
+            Cell::synthesize(
+                CellFamily::Dff {
+                    reset: false,
+                    set: false,
+                    scan: false,
+                },
+                DriveStrength::X1,
+                &tech,
+                LayoutStyle::Relaxed,
+            )
+            .unwrap(),
+        ];
+        CellLibrary::new("tiny", tech, LayoutStyle::Relaxed, cells).unwrap()
+    }
+
+    #[test]
+    fn lookup_and_require() {
+        let lib = tiny();
+        assert!(lib.cell("INV_X1").is_some());
+        assert!(lib.cell("INV_X9").is_none());
+        assert!(lib.require("AOI222_X1").is_ok());
+        assert!(matches!(
+            lib.require("missing"),
+            Err(CellLibError::UnknownCell(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let tech = TechParams::nangate45();
+        let c =
+            Cell::synthesize(CellFamily::Inv, DriveStrength::X1, &tech, LayoutStyle::Relaxed)
+                .unwrap();
+        let dup = c.clone();
+        assert!(CellLibrary::new("dup", tech, LayoutStyle::Relaxed, vec![c, dup]).is_err());
+    }
+
+    #[test]
+    fn aggregate_queries() {
+        let lib = tiny();
+        assert_eq!(lib.sequential_count(), 1);
+        assert_eq!(lib.multi_strip_cells().len(), 2); // AOI222 + DFF
+        // Only AOI222 overlaps in x under the relaxed style.
+        let overlapped: Vec<&str> = lib.overlapped_cells().iter().map(|c| c.name()).collect();
+        assert_eq!(overlapped, vec!["AOI222_X1"]);
+        assert_eq!(lib.min_transistor_width(), Some(110.0)); // DFF internals
+    }
+}

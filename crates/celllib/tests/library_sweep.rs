@@ -1,0 +1,174 @@
+//! Exhaustive structural invariants over every cell of both libraries.
+
+use cnfet_celllib::cell::{Cell, DriveStrength, LayoutStyle, TechParams};
+use cnfet_celllib::commercial65::commercial65_like;
+use cnfet_celllib::nangate45::nangate45_like;
+use cnfet_celllib::CellFamily;
+use cnfet_device::{FetType, GateCapModel};
+
+fn libraries() -> Vec<cnfet_celllib::CellLibrary> {
+    vec![nangate45_like(), commercial65_like()]
+}
+
+#[test]
+fn every_strip_lies_inside_its_polarity_band() {
+    for lib in libraries() {
+        let tech = lib.tech();
+        for cell in lib.cells() {
+            for s in cell.strips() {
+                let (lo, hi) = match s.fet_type {
+                    FetType::NType => tech.n_band,
+                    FetType::PType => tech.p_band,
+                };
+                assert!(
+                    s.rect.y0() >= lo - 1e-9 && s.rect.y1() <= hi + 1e-9,
+                    "{} / {}: strip y [{}, {}] outside band [{lo}, {hi}]",
+                    lib.name(),
+                    cell.name(),
+                    s.rect.y0(),
+                    s.rect.y1()
+                );
+                assert!(
+                    s.rect.x0() >= 0.0 && s.rect.x1() <= cell.width() + 1e-9,
+                    "{} / {}: strip x outside cell",
+                    lib.name(),
+                    cell.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn every_transistor_references_a_strip_of_its_polarity() {
+    for lib in libraries() {
+        for cell in lib.cells() {
+            for t in cell.transistors() {
+                let strip = &cell.strips()[t.strip];
+                assert_eq!(
+                    strip.fet_type,
+                    t.fet_type,
+                    "{} / {}: transistor in wrong-polarity strip",
+                    lib.name(),
+                    cell.name()
+                );
+                assert!(t.width > 0.0 && t.width.is_finite());
+                // Fingers must fit inside their strip's height.
+                assert!(
+                    t.width <= strip.rect.height() + 1e-9,
+                    "{} / {}: finger {} exceeds strip height {}",
+                    lib.name(),
+                    cell.name(),
+                    t.width,
+                    strip.rect.height()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn polarity_populations_are_symmetric() {
+    // The CNFET libraries are built symmetric (equal n/p drive): equal
+    // transistor counts and total width per polarity in every cell.
+    for lib in libraries() {
+        for cell in lib.cells() {
+            let count = |ft: FetType| {
+                cell.transistors()
+                    .iter()
+                    .filter(|t| t.fet_type == ft)
+                    .count()
+            };
+            let width = |ft: FetType| -> f64 {
+                cell.transistors()
+                    .iter()
+                    .filter(|t| t.fet_type == ft)
+                    .map(|t| t.width)
+                    .sum()
+            };
+            assert_eq!(
+                count(FetType::NType),
+                count(FetType::PType),
+                "{}: asymmetric transistor counts",
+                cell.name()
+            );
+            assert!(
+                (width(FetType::NType) - width(FetType::PType)).abs() < 1e-9,
+                "{}: asymmetric total width",
+                cell.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn gate_cap_equals_total_width_under_proportional_model() {
+    let model = GateCapModel::proportional();
+    for lib in libraries() {
+        for cell in lib.cells() {
+            let total: f64 = cell.transistor_widths().iter().sum();
+            assert!(
+                (cell.gate_cap(&model) - total).abs() < 1e-9,
+                "{}: cap mismatch",
+                cell.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn drive_strength_orders_cell_width_within_family() {
+    let lib = nangate45_like();
+    for (lo, hi) in [("INV_X1", "INV_X8"), ("NAND2_X1", "NAND2_X4"), ("BUF_X2", "BUF_X32")] {
+        let a = lib.cell(lo).expect("present");
+        let b = lib.cell(hi).expect("present");
+        assert!(
+            a.width() <= b.width(),
+            "{lo} ({}) wider than {hi} ({})",
+            a.width(),
+            b.width()
+        );
+        let wa: f64 = a.transistor_widths().iter().sum();
+        let wb: f64 = b.transistor_widths().iter().sum();
+        assert!(wa < wb, "{lo} drive not below {hi}");
+    }
+}
+
+#[test]
+fn synthesis_is_deterministic() {
+    let tech = TechParams::nangate45();
+    let a = Cell::synthesize(
+        CellFamily::Aoi(&[2, 2, 2]),
+        DriveStrength::X2,
+        &tech,
+        LayoutStyle::Relaxed,
+    )
+    .expect("valid");
+    let b = Cell::synthesize(
+        CellFamily::Aoi(&[2, 2, 2]),
+        DriveStrength::X2,
+        &tech,
+        LayoutStyle::Relaxed,
+    )
+    .expect("valid");
+    assert_eq!(a, b);
+}
+
+#[test]
+fn jitter_spreads_strip_positions_across_cells() {
+    // The library-native (pre-alignment) y positions must NOT all agree —
+    // that scatter is what the aligned-active restriction removes, and
+    // what Table 1's middle scenario measures.
+    let lib = nangate45_like();
+    let mut y_positions: Vec<f64> = lib
+        .cells()
+        .iter()
+        .filter_map(|c| c.n_strips().first().map(|s| s.rect.y0()))
+        .collect();
+    y_positions.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    y_positions.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+    assert!(
+        y_positions.len() >= 4,
+        "expected scattered strip positions, got {y_positions:?}"
+    );
+}

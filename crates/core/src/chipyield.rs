@@ -1,0 +1,133 @@
+//! Circuit-level yield — Eq. (2.3) and the Eq. (2.5) approximations.
+
+use crate::failure::FailureModel;
+use crate::{CoreError, Result};
+
+/// Chip yield over an explicit width population, Eq. (2.3):
+/// `Yield = Π_i (1 − pF(W_i))^{count_i}` (exact product form; the paper
+/// also uses the `1 − Σ pF` first-order form, recovered by
+/// [`yield_first_order`]).
+///
+/// `widths` are `(width, count)` pairs (counts let hundred-million-device
+/// populations collapse to their distinct widths).
+///
+/// # Errors
+///
+/// Propagates failure-model errors; rejects zero-width entries.
+pub fn chip_yield(model: &FailureModel, widths: &[(f64, u64)]) -> Result<f64> {
+    let mut log_yield = 0.0_f64;
+    for &(w, count) in widths {
+        if !(w.is_finite() && w > 0.0) {
+            return Err(CoreError::InvalidParameter {
+                name: "width",
+                value: w,
+                constraint: "must be finite and > 0",
+            });
+        }
+        let p = model.p_failure(w)?;
+        log_yield += count as f64 * (1.0 - p).ln();
+    }
+    Ok(log_yield.exp())
+}
+
+/// First-order yield `1 − Σ_i count_i·pF(W_i)` (the paper's approximation
+/// in Eq. (2.3)), clamped at 0.
+///
+/// # Errors
+///
+/// Propagates failure-model errors.
+pub fn yield_first_order(model: &FailureModel, widths: &[(f64, u64)]) -> Result<f64> {
+    let mut loss = 0.0_f64;
+    for &(w, count) in widths {
+        loss += count as f64 * model.p_failure(w)?;
+    }
+    Ok((1.0 - loss).max(0.0))
+}
+
+/// Yield when `m_min` minimum-sized devices dominate (Eq. 2.5 left side):
+/// `(1 − pF)^m_min`.
+pub fn yield_min_dominated(p_failure: f64, m_min: f64) -> f64 {
+    (1.0 - p_failure).powf(m_min)
+}
+
+/// The failure-probability requirement implied by a yield target and a
+/// minimum-sized-device count (Eq. 2.5, exact form):
+/// `pF_req = 1 − Yield^{1/m_min}` ≈ `(1 − Yield)/m_min`.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidParameter`] for a target outside `(0, 1)` or
+/// non-positive `m_min`.
+pub fn required_p_failure(yield_target: f64, m_min: f64) -> Result<f64> {
+    if !(yield_target > 0.0 && yield_target < 1.0) {
+        return Err(CoreError::InvalidParameter {
+            name: "yield_target",
+            value: yield_target,
+            constraint: "must be in (0, 1)",
+        });
+    }
+    if !(m_min.is_finite() && m_min >= 1.0) {
+        return Err(CoreError::InvalidParameter {
+            name: "m_min",
+            value: m_min,
+            constraint: "must be finite and >= 1",
+        });
+    }
+    Ok(1.0 - yield_target.powf(1.0 / m_min))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corner::ProcessCorner;
+
+    fn model() -> FailureModel {
+        FailureModel::paper_default(ProcessCorner::aggressive().unwrap()).unwrap()
+    }
+
+    #[test]
+    fn paper_requirement_3e9() {
+        // Paper Sec 2.2: (1 − 0.9)/33e6 ≈ 3e-9.
+        let req = required_p_failure(0.90, 0.33 * 1e8).unwrap();
+        // Exact form 1 - 0.9^(1/m) = -ln(0.9)/m = 3.19e-9; the paper's
+        // first-order (1 - Y)/m = 3.03e-9. Both are "about 3e-9".
+        assert!(
+            (req - 0.1 / 33e6).abs() / (0.1 / 33e6) < 0.07,
+            "req = {req:.3e}"
+        );
+    }
+
+    #[test]
+    fn product_vs_first_order_agree_when_loss_small() {
+        let m = model();
+        let widths = [(150.0, 1000u64), (200.0, 5000u64)];
+        let exact = chip_yield(&m, &widths).unwrap();
+        let approx = yield_first_order(&m, &widths).unwrap();
+        assert!((exact - approx).abs() < 1e-6, "{exact} vs {approx}");
+        assert!(exact < 1.0);
+    }
+
+    #[test]
+    fn wide_devices_do_not_hurt_yield() {
+        let m = model();
+        let y_narrow = chip_yield(&m, &[(100.0, 1000)]).unwrap();
+        let y_mixed = chip_yield(&m, &[(100.0, 1000), (400.0, 1_000_000)]).unwrap();
+        // A million 400-nm devices cost almost nothing.
+        assert!((y_narrow - y_mixed).abs() / y_narrow < 1e-3);
+    }
+
+    #[test]
+    fn min_dominated_matches_requirement_roundtrip() {
+        let req = required_p_failure(0.90, 33e6).unwrap();
+        let y = yield_min_dominated(req, 33e6);
+        assert!((y - 0.90).abs() < 1e-6, "roundtrip yield {y}");
+    }
+
+    #[test]
+    fn validation() {
+        assert!(required_p_failure(1.0, 10.0).is_err());
+        assert!(required_p_failure(0.5, 0.0).is_err());
+        let m = model();
+        assert!(chip_yield(&m, &[(0.0, 1)]).is_err());
+    }
+}

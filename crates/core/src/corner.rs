@@ -1,0 +1,147 @@
+//! Processing corners: the `(pm, pRs, pRm)` triples of Eq. (2.1).
+
+use crate::{CoreError, Result};
+
+/// A CNT processing corner.
+///
+/// Wraps the metallic fraction `pm` and the VMR removal probabilities; the
+/// derived per-CNT failure probability (Eq. 2.1) is
+/// `pf = pm + (1 − pm)·pRs`, independent of `pRm` (an un-removed m-CNT is
+/// equally useless as a channel — it threatens noise margins instead,
+/// \[Zhang 09b\]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProcessCorner {
+    pm: f64,
+    p_rs: f64,
+    p_rm: f64,
+}
+
+impl ProcessCorner {
+    /// Create a corner; all three probabilities in `[0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] on out-of-range inputs.
+    pub fn new(pm: f64, p_rs: f64, p_rm: f64) -> Result<Self> {
+        for (name, v) in [("pm", pm), ("p_rs", p_rs), ("p_rm", p_rm)] {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(CoreError::InvalidParameter {
+                    name,
+                    value: v,
+                    constraint: "must be in [0, 1]",
+                });
+            }
+        }
+        Ok(Self { pm, p_rs, p_rm })
+    }
+
+    /// Fig 2.1 top curve and the paper's main corner:
+    /// `pm = 33 %`, `pRs = 30 %`, `pRm = 1`.
+    ///
+    /// # Errors
+    ///
+    /// Never fails; mirrors [`ProcessCorner::new`].
+    pub fn aggressive() -> Result<Self> {
+        Self::new(0.33, 0.30, 1.0)
+    }
+
+    /// Fig 2.1 middle curve: perfect removal selectivity
+    /// (`pm = 33 %`, `pRs = 0`).
+    ///
+    /// # Errors
+    ///
+    /// Never fails; mirrors [`ProcessCorner::new`].
+    pub fn ideal_removal() -> Result<Self> {
+        Self::new(0.33, 0.0, 1.0)
+    }
+
+    /// Fig 2.1 bottom curve: perfectly semiconducting growth
+    /// (`pm = 0`, `pRs = 0`).
+    ///
+    /// # Errors
+    ///
+    /// Never fails; mirrors [`ProcessCorner::new`].
+    pub fn all_semiconducting() -> Result<Self> {
+        Self::new(0.0, 0.0, 1.0)
+    }
+
+    /// Metallic CNT fraction `pm`.
+    pub fn pm(&self) -> f64 {
+        self.pm
+    }
+
+    /// Collateral semiconducting removal probability `pRs`.
+    pub fn p_rs(&self) -> f64 {
+        self.p_rs
+    }
+
+    /// Metallic removal probability `pRm`.
+    pub fn p_rm(&self) -> f64 {
+        self.p_rm
+    }
+
+    /// Per-CNT count-failure probability, Eq. (2.1).
+    pub fn pf(&self) -> f64 {
+        self.pm + (1.0 - self.pm) * self.p_rs
+    }
+
+    /// Surviving-metallic rate `pm·(1 − pRm)` (noise-margin residue).
+    pub fn surviving_metallic_rate(&self) -> f64 {
+        self.pm * (1.0 - self.p_rm)
+    }
+
+    /// The equivalent VMR process of `cnt-growth`.
+    pub fn vmr(&self) -> cnt_growth::Vmr {
+        cnt_growth::Vmr::new(self.p_rm, self.p_rs).expect("validated probabilities")
+    }
+
+    /// Short label for reports, e.g. `"pm=33%, pRs=30%"`.
+    pub fn label(&self) -> String {
+        format!(
+            "pm={:.0}%, pRs={:.0}%",
+            self.pm * 100.0,
+            self.p_rs * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation() {
+        assert!(ProcessCorner::new(1.2, 0.0, 1.0).is_err());
+        assert!(ProcessCorner::new(0.3, -0.1, 1.0).is_err());
+        assert!(ProcessCorner::new(0.3, 0.1, 2.0).is_err());
+    }
+
+    #[test]
+    fn paper_corners() {
+        let a = ProcessCorner::aggressive().unwrap();
+        assert!((a.pf() - 0.531).abs() < 1e-12);
+        let i = ProcessCorner::ideal_removal().unwrap();
+        assert!((i.pf() - 0.33).abs() < 1e-12);
+        let s = ProcessCorner::all_semiconducting().unwrap();
+        assert_eq!(s.pf(), 0.0);
+        assert_eq!(a.label(), "pm=33%, pRs=30%");
+    }
+
+    #[test]
+    fn pf_independent_of_prm() {
+        let leaky = ProcessCorner::new(0.33, 0.30, 0.5).unwrap();
+        let clean = ProcessCorner::aggressive().unwrap();
+        assert_eq!(leaky.pf(), clean.pf());
+        assert!(leaky.surviving_metallic_rate() > 0.0);
+        assert_eq!(clean.surviving_metallic_rate(), 0.0);
+    }
+
+    #[test]
+    fn vmr_roundtrip() {
+        let c = ProcessCorner::aggressive().unwrap();
+        let v = c.vmr();
+        assert_eq!(v.p_rs(), 0.30);
+        assert_eq!(v.p_rm(), 1.0);
+        assert!((v.per_cnt_failure_probability(c.pm()) - c.pf()).abs() < 1e-12);
+    }
+}

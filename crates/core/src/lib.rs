@@ -1,0 +1,154 @@
+//! # cnfet-core
+//!
+//! CNT-count-limited yield analysis and correlation-aware optimization for
+//! CNFET circuits — the primary contribution of *"Carbon Nanotube
+//! Correlation: Promising Opportunity for CNFET Circuit Yield Enhancement"*
+//! (Zhang et al., DAC 2010).
+//!
+//! The crate layers the paper's models on the workspace substrates:
+//!
+//! | paper | module | content |
+//! |-------|--------|---------|
+//! | Eq. (2.1) | [`corner`] | per-CNT failure probability `pf = pm + ps·pRs` |
+//! | Eq. (2.2), Fig 2.1 | [`failure`] | device failure `pF(W) = E[pf^N(W)]` |
+//! | Eq. (2.3) | [`chipyield`] | chip yield over a width population |
+//! | Eq. (2.4)/(2.5) | [`wmin`] | the `W_min` upsizing-threshold solver |
+//! | Fig 2.2b | [`penalty`], [`scaling`] | gate-capacitance upsizing penalty vs node |
+//! | Eq. (3.1)/(3.2), Table 1 | [`rowmodel`] | row-correlation model: uncorrelated / directional non-aligned / aligned-active |
+//! | Sec 3.2/3.3 | [`optimizer`] | end-to-end processing/design co-optimization |
+//! | \[Zhang 09b\] hook | [`noise`] | surviving-m-CNT statistics and the pRm requirement |
+//! | (calibration) | [`calibration`] | pins the σ_S/S free parameter to the paper's own anchors |
+//! | (constants) | [`paper`] | every number the paper reports, for comparison tables |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use cnfet_core::corner::ProcessCorner;
+//! use cnfet_core::failure::FailureModel;
+//! use cnfet_core::wmin::WminSolver;
+//!
+//! # fn main() -> Result<(), cnfet_core::CoreError> {
+//! // The paper's main processing corner: pm = 33 %, pRs = 30 %.
+//! let model = FailureModel::paper_default(ProcessCorner::aggressive()?)?;
+//! // W_min for a 100-M-transistor chip, 90 % yield, 33 % minimum-sized.
+//! let solution = WminSolver::new(model).solve(0.90, 0.33 * 1e8)?;
+//! assert!((solution.w_min - 150.0).abs() < 10.0, "≈155 nm in the paper");
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod calibration;
+pub mod chipyield;
+pub mod corner;
+pub mod failure;
+pub mod noise;
+pub mod optimizer;
+pub mod paper;
+pub mod penalty;
+pub mod rowmodel;
+pub mod scaling;
+pub mod tradeoffs;
+pub mod wmin;
+
+use std::error::Error;
+use std::fmt;
+
+/// Error type for yield-analysis operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A parameter was outside its valid domain.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+        /// Human-readable constraint.
+        constraint: &'static str,
+    },
+    /// A root-finder failed to bracket or converge.
+    NoConvergence(&'static str),
+    /// Underlying statistics error.
+    Stats(cnt_stats::StatsError),
+    /// Underlying growth error.
+    Growth(cnt_growth::GrowthError),
+    /// Underlying simulation error.
+    Sim(cnfet_sim::SimError),
+    /// Underlying layout error.
+    Layout(cnfet_layout::LayoutError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidParameter {
+                name,
+                value,
+                constraint,
+            } => write!(f, "invalid parameter `{name}` = {value}: {constraint}"),
+            CoreError::NoConvergence(what) => write!(f, "no convergence in {what}"),
+            CoreError::Stats(e) => write!(f, "statistics error: {e}"),
+            CoreError::Growth(e) => write!(f, "growth error: {e}"),
+            CoreError::Sim(e) => write!(f, "simulation error: {e}"),
+            CoreError::Layout(e) => write!(f, "layout error: {e}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Stats(e) => Some(e),
+            CoreError::Growth(e) => Some(e),
+            CoreError::Sim(e) => Some(e),
+            CoreError::Layout(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<cnt_stats::StatsError> for CoreError {
+    fn from(e: cnt_stats::StatsError) -> Self {
+        CoreError::Stats(e)
+    }
+}
+
+impl From<cnt_growth::GrowthError> for CoreError {
+    fn from(e: cnt_growth::GrowthError) -> Self {
+        CoreError::Growth(e)
+    }
+}
+
+impl From<cnfet_sim::SimError> for CoreError {
+    fn from(e: cnfet_sim::SimError) -> Self {
+        CoreError::Sim(e)
+    }
+}
+
+impl From<cnfet_layout::LayoutError> for CoreError {
+    fn from(e: cnfet_layout::LayoutError) -> Self {
+        CoreError::Layout(e)
+    }
+}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+pub use corner::ProcessCorner;
+pub use failure::FailureModel;
+pub use optimizer::{OptimizationReport, YieldOptimizer};
+pub use rowmodel::RowModel;
+pub use wmin::{WminSolution, WminSolver};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_chain() {
+        let e: CoreError = cnt_stats::StatsError::EmptyData("x").into();
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(CoreError::NoConvergence("wmin")
+            .to_string()
+            .contains("wmin"));
+    }
+}

@@ -1,0 +1,164 @@
+//! Surviving-metallic-CNT statistics — the noise-margin hook.
+//!
+//! Count failure is not the only CNFET failure mode: m-CNTs that *survive*
+//! VMR short the channel and degrade noise margins (\[Zhang 09b\]; the
+//! paper sets this aside for logic yield because later CMOS stages restore
+//! signals, but states that VLSI needs `pRm > 99.99 %`). This module
+//! quantifies that requirement with the same renewal machinery:
+//!
+//! * a CNT under a gate is a *surviving metallic* with probability
+//!   `q = pm·(1 − pRm)` (independent of everything else);
+//! * the number of survivors in a width-`W` gate is the `q`-thinned CNT
+//!   count, with PGF `G_N(1 − q·(1 − z))`;
+//! * a gate is *noise-suspect* if it has at least one survivor:
+//!   `p_NM(W) = 1 − G_N(1 − q)`.
+
+use crate::failure::FailureModel;
+use crate::{CoreError, Result};
+
+/// Probability that a width-`w` gate contains at least one surviving
+/// metallic CNT.
+///
+/// # Errors
+///
+/// Propagates count-model errors (invalid width).
+pub fn p_any_surviving_metallic(model: &FailureModel, w: f64) -> Result<f64> {
+    let q = model.corner().surviving_metallic_rate();
+    let dist = model.count_distribution(w)?;
+    Ok(1.0 - dist.pgf(1.0 - q))
+}
+
+/// Expected number of surviving metallic CNTs in a width-`w` gate.
+///
+/// # Errors
+///
+/// Propagates count-model errors (invalid width).
+pub fn mean_surviving_metallic(model: &FailureModel, w: f64) -> Result<f64> {
+    let q = model.corner().surviving_metallic_rate();
+    Ok(q * model.count_distribution(w)?.mean())
+}
+
+/// The `pRm` a chip needs so that the expected number of noise-suspect
+/// gates stays below `budget` for `m` gates of width `w`
+/// (the \[Zhang 09b\] "pRm > 99.99 %" style requirement).
+///
+/// Solved by bisection on the monotone map `pRm → p_NM`.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidParameter`] for a non-positive budget or
+/// gate count, and [`CoreError::NoConvergence`] when even perfect removal
+/// cannot meet the budget (impossible: `pRm = 1` gives 0 — so this
+/// indicates `budget ≤ 0` slipped through).
+pub fn required_p_rm(
+    model: &FailureModel,
+    w: f64,
+    m_gates: f64,
+    budget: f64,
+) -> Result<f64> {
+    if !(budget > 0.0 && budget.is_finite()) {
+        return Err(CoreError::InvalidParameter {
+            name: "budget",
+            value: budget,
+            constraint: "must be finite and > 0",
+        });
+    }
+    if !(m_gates >= 1.0 && m_gates.is_finite()) {
+        return Err(CoreError::InvalidParameter {
+            name: "m_gates",
+            value: m_gates,
+            constraint: "must be finite and >= 1",
+        });
+    }
+    let per_gate_target = budget / m_gates;
+    let pm = model.corner().pm();
+    if pm == 0.0 {
+        return Ok(0.0); // no metallic CNTs — any pRm works
+    }
+    let dist = model.count_distribution(w)?;
+    let p_nm = |p_rm: f64| -> f64 {
+        let q = pm * (1.0 - p_rm);
+        1.0 - dist.pgf(1.0 - q)
+    };
+    if p_nm(0.0) <= per_gate_target {
+        return Ok(0.0);
+    }
+    let (mut lo, mut hi) = (0.0_f64, 1.0_f64);
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if p_nm(mid) > per_gate_target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+        if hi - lo < 1e-12 {
+            break;
+        }
+    }
+    Ok(hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corner::ProcessCorner;
+
+    fn leaky_model() -> FailureModel {
+        // pRm = 99.99 %: the paper's stated requirement.
+        FailureModel::paper_default(ProcessCorner::new(0.33, 0.30, 0.9999).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn perfect_removal_means_no_survivors() {
+        let m = FailureModel::paper_default(ProcessCorner::aggressive().unwrap()).unwrap();
+        assert_eq!(p_any_surviving_metallic(&m, 100.0).unwrap(), 0.0);
+        assert_eq!(mean_surviving_metallic(&m, 100.0).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn survivor_rate_scales_with_width_and_leakiness() {
+        let m = leaky_model();
+        let p_narrow = p_any_surviving_metallic(&m, 50.0).unwrap();
+        let p_wide = p_any_surviving_metallic(&m, 200.0).unwrap();
+        assert!(p_wide > p_narrow, "{p_wide} > {p_narrow}");
+        // Mean survivors ≈ q · W/S: 0.33·1e-4 · 25 ≈ 8.2e-4 at 100 nm.
+        let mean = mean_surviving_metallic(&m, 100.0).unwrap();
+        assert!((mean - 0.33 * 1e-4 * 25.0).abs() / mean < 0.15, "mean {mean}");
+    }
+
+    #[test]
+    fn paper_9999_requirement_emerges() {
+        // For a 1e8-gate chip at ~150 nm gates, keeping the expected count
+        // of noise-suspect gates around 1e4 (a repairable/deratable level)
+        // demands pRm ≳ 99.99 % — the number the paper quotes.
+        let m = leaky_model();
+        let p_rm = required_p_rm(&m, 150.0, 1e8, 1e4).unwrap();
+        assert!(
+            p_rm > 0.9998 && p_rm < 0.999_999_9,
+            "required pRm = {p_rm}"
+        );
+    }
+
+    #[test]
+    fn thinning_pgf_sanity() {
+        // p(any survivor) must never exceed q·E[N] (union bound).
+        let m = leaky_model();
+        for w in [40.0, 103.0, 155.0] {
+            let p = p_any_surviving_metallic(&m, w).unwrap();
+            let bound = mean_surviving_metallic(&m, w).unwrap();
+            assert!(p <= bound + 1e-15, "W={w}: {p} > {bound}");
+            assert!(p >= 0.0);
+        }
+    }
+
+    #[test]
+    fn validation() {
+        let m = leaky_model();
+        assert!(required_p_rm(&m, 100.0, 0.0, 1.0).is_err());
+        assert!(required_p_rm(&m, 100.0, 1e8, 0.0).is_err());
+        // pm = 0: trivially satisfied.
+        let clean =
+            FailureModel::paper_default(ProcessCorner::all_semiconducting().unwrap()).unwrap();
+        assert_eq!(required_p_rm(&clean, 100.0, 1e8, 1.0).unwrap(), 0.0);
+    }
+}

@@ -1,0 +1,194 @@
+//! End-to-end processing/design co-optimization (Sec 3.2's heuristic,
+//! steps 1–2): estimate `W_min` with and without the correlation benefit
+//! for a concrete design, and price both options.
+
+use crate::chipyield::required_p_failure;
+use crate::failure::FailureModel;
+use crate::penalty::{fraction_below, upsizing_penalty};
+use crate::rowmodel::RowModel;
+use crate::wmin::WminSolver;
+use crate::{CoreError, Result};
+use cnfet_device::GateCapModel;
+
+/// The result of optimizing one design.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimizationReport {
+    /// Yield target the thresholds meet.
+    pub yield_target: f64,
+    /// Chip transistor count the distribution was scaled to.
+    pub m_transistors: f64,
+    /// Self-consistent minimum-sized-device count (uncorrelated case).
+    pub m_min: f64,
+    /// `W_min` without correlation (nm).
+    pub w_min_plain: f64,
+    /// Upsizing penalty without correlation.
+    pub penalty_plain: f64,
+    /// Relaxation factor `M_Rmin` (optionally grid-divided).
+    pub relaxation: f64,
+    /// `W_min` with correlation (nm).
+    pub w_min_corr: f64,
+    /// Upsizing penalty with correlation.
+    pub penalty_corr: f64,
+}
+
+impl OptimizationReport {
+    /// Penalty eliminated by the correlation-aware flow, in absolute
+    /// percentage points of gate capacitance.
+    pub fn penalty_saved(&self) -> f64 {
+        self.penalty_plain - self.penalty_corr
+    }
+}
+
+/// Optimizer inputs: a width distribution plus the row-correlation model.
+#[derive(Debug, Clone)]
+pub struct YieldOptimizer {
+    model: FailureModel,
+    widths: Vec<(f64, u64)>,
+    m_transistors: f64,
+    row: RowModel,
+    cap: GateCapModel,
+}
+
+impl YieldOptimizer {
+    /// Create an optimizer.
+    ///
+    /// `widths` is the design's `(width, count)` distribution; it is
+    /// treated as a *shape* and rescaled to `m_transistors` devices (the
+    /// paper measures a ~200 k-transistor core and reasons about a 1e8
+    /// chip with the same distribution).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] for empty widths or
+    /// non-positive `m_transistors`.
+    pub fn new(
+        model: FailureModel,
+        widths: Vec<(f64, u64)>,
+        m_transistors: f64,
+        row: RowModel,
+    ) -> Result<Self> {
+        if widths.is_empty() {
+            return Err(CoreError::InvalidParameter {
+                name: "widths",
+                value: 0.0,
+                constraint: "must not be empty",
+            });
+        }
+        if !(m_transistors.is_finite() && m_transistors >= 1.0) {
+            return Err(CoreError::InvalidParameter {
+                name: "m_transistors",
+                value: m_transistors,
+                constraint: "must be finite and >= 1",
+            });
+        }
+        Ok(Self {
+            model,
+            widths,
+            m_transistors,
+            row,
+            cap: GateCapModel::proportional(),
+        })
+    }
+
+    /// Replace the capacitance model (builder style).
+    pub fn with_cap_model(mut self, cap: GateCapModel) -> Self {
+        self.cap = cap;
+        self
+    }
+
+    /// Solve the self-consistent `(W_min, M_min)` fixed point for a given
+    /// requirement relaxation.
+    fn solve(&self, yield_target: f64, relaxation: f64) -> Result<(f64, f64)> {
+        let solver = WminSolver::new(self.model.clone());
+        let mut m_min = self.m_transistors;
+        let mut w_min = 0.0;
+        for _ in 0..32 {
+            let req =
+                (required_p_failure(yield_target, m_min)? * relaxation).min(0.999_999);
+            w_min = solver.solve_for_requirement(req)?.w_min;
+            let frac = fraction_below(&self.widths, w_min);
+            if frac <= 0.0 {
+                // W_min fell below the narrowest device: nothing needs
+                // upsizing, the design already meets the target.
+                break;
+            }
+            let new_m_min = (frac * self.m_transistors).max(1.0);
+            if (new_m_min - m_min).abs() / m_min < 1e-3 {
+                m_min = new_m_min;
+                break;
+            }
+            m_min = new_m_min;
+        }
+        Ok((w_min, m_min))
+    }
+
+    /// Produce the optimization report for a yield target.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors.
+    pub fn optimize(&self, yield_target: f64) -> Result<OptimizationReport> {
+        let (w_min_plain, m_min) = self.solve(yield_target, 1.0)?;
+        let relaxation = self.row.relaxation();
+        let (w_min_corr, _) = self.solve(yield_target, relaxation)?;
+        Ok(OptimizationReport {
+            yield_target,
+            m_transistors: self.m_transistors,
+            m_min,
+            w_min_plain,
+            penalty_plain: upsizing_penalty(&self.cap, &self.widths, w_min_plain)?,
+            relaxation,
+            w_min_corr,
+            penalty_corr: upsizing_penalty(&self.cap, &self.widths, w_min_corr)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corner::ProcessCorner;
+    use crate::paper;
+
+    fn optimizer() -> YieldOptimizer {
+        let widths = vec![(110.0, 33u64), (185.0, 47), (370.0, 20)];
+        YieldOptimizer::new(
+            FailureModel::paper_default(ProcessCorner::aggressive().unwrap()).unwrap(),
+            widths,
+            paper::M_TRANSISTORS,
+            RowModel::from_design(paper::L_CNT_UM, paper::RHO_MIN_FET_PER_UM).unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn case_study_end_to_end() {
+        let report = optimizer().optimize(paper::YIELD_TARGET).unwrap();
+        // W_min near the paper's 155 nm; correlated near 103 nm.
+        assert!(
+            (report.w_min_plain - paper::WMIN_UNCORRELATED_NM).abs() < 10.0,
+            "plain {}",
+            report.w_min_plain
+        );
+        assert!(
+            (report.w_min_corr - paper::WMIN_CORRELATED_NM).abs() < 8.0,
+            "corr {}",
+            report.w_min_corr
+        );
+        // M_min self-consistently lands on the 33 % bin.
+        let frac = report.m_min / report.m_transistors;
+        assert!((frac - 0.33).abs() < 0.02, "m_min fraction {frac}");
+        // Fig 3.3 at 45 nm: penalty nearly eliminated.
+        assert!(report.penalty_corr < 0.02, "corr penalty {}", report.penalty_corr);
+        assert!(report.penalty_saved() > 0.0);
+    }
+
+    #[test]
+    fn validation() {
+        let model = FailureModel::paper_default(ProcessCorner::aggressive().unwrap()).unwrap();
+        let row = RowModel::from_design(200.0, 1.8).unwrap();
+        assert!(YieldOptimizer::new(model.clone(), vec![], 1e8, row).is_err());
+        let ok = YieldOptimizer::new(model, vec![(100.0, 1)], 0.0, row);
+        assert!(ok.is_err());
+    }
+}

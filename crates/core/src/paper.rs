@@ -1,0 +1,109 @@
+//! Every number the paper reports, as named constants.
+//!
+//! The reproduction harness prints these next to measured values; tests
+//! assert agreement where the models are expected to match.
+
+/// Chip size of the Sec 2.2 case study: 100 million transistors.
+pub const M_TRANSISTORS: f64 = 1e8;
+
+/// Desired chip yield of the case study (90 %).
+pub const YIELD_TARGET: f64 = 0.90;
+
+/// Fraction of transistors in the two leftmost bins of Fig 2.2a (the
+/// minimum-sized population `M_min`): 33 %.
+pub const MMIN_FRACTION: f64 = 0.33;
+
+/// `W_min` without correlation at 45 nm (Fig 2.1 / Sec 2.2): 155 nm.
+pub const WMIN_UNCORRELATED_NM: f64 = 155.0;
+
+/// `W_min` with directional growth + aligned-active at 45 nm: 103 nm.
+pub const WMIN_CORRELATED_NM: f64 = 103.0;
+
+/// Device-level requirement at `W_min = 155 nm`: `pF ≈ 3e-9`.
+pub const PF_REQUIREMENT_UNCORRELATED: f64 = 3e-9;
+
+/// Relaxed requirement after 350×: `pF ≈ 1.1e-6`.
+pub const PF_REQUIREMENT_CORRELATED: f64 = 1.1e-6;
+
+/// Total relaxation factor of the paper's headline: 350×.
+pub const RELAXATION_FACTOR: f64 = 350.0;
+
+/// Factor attributed to directional (aligned-CNT) growth alone: 26.5×.
+pub const GROWTH_FACTOR: f64 = 26.5;
+
+/// Factor attributed to the aligned-active layout restriction: 13×.
+pub const ALIGNMENT_FACTOR: f64 = 13.0;
+
+/// Table 1, `p_RF` with uncorrelated CNT growth.
+pub const TABLE1_UNCORRELATED: f64 = 5.3e-6;
+
+/// Table 1, `p_RF` with directional growth but no aligned-active layout.
+pub const TABLE1_DIRECTIONAL_UNALIGNED: f64 = 2.0e-7;
+
+/// Table 1, `p_RF` with directional growth and aligned-active layout.
+pub const TABLE1_DIRECTIONAL_ALIGNED: f64 = 1.5e-8;
+
+/// Linear density of minimum-width CNFETs per row: 1.8 FET/µm (Sec 3.3).
+pub const RHO_MIN_FET_PER_UM: f64 = 1.8;
+
+/// CNT length under directional growth: 200 µm (\[Kang 07, Patil 09b\]).
+pub const L_CNT_UM: f64 = 200.0;
+
+/// `M_Rmin = L_CNT · ρ` (Eq. 3.2) with the constants above: 360.
+pub const M_R_MIN: f64 = L_CNT_UM * RHO_MIN_FET_PER_UM;
+
+/// Nangate 45 nm library size.
+pub const NANGATE_CELLS: usize = 134;
+
+/// Cells of the Nangate library with an area penalty (Sec 3.3 / Table 2).
+pub const NANGATE_PENALIZED_CELLS: usize = 4;
+
+/// AOI222_X1 width increase from the aligned-active re-layout (Fig 3.2).
+pub const AOI222_X1_PENALTY: f64 = 0.09;
+
+/// Table 2: Nangate min/max cell-area penalties.
+pub const NANGATE_PENALTY_RANGE: (f64, f64) = (0.04, 0.14);
+
+/// Commercial 65 nm library size.
+pub const COMMERCIAL65_CELLS: usize = 775;
+
+/// Table 2: fraction of 65 nm cells with an area penalty (one grid row).
+pub const COMMERCIAL65_PENALIZED_FRACTION: f64 = 0.20;
+
+/// Table 2: 65 nm min/max cell-area penalties (one grid row).
+pub const COMMERCIAL65_PENALTY_RANGE: (f64, f64) = (0.10, 0.70);
+
+/// Table 2: `W_min` values (nm) — 65 nm one grid, 65 nm two grids,
+/// Nangate 45 nm one grid.
+pub const TABLE2_WMIN_NM: (f64, f64, f64) = (107.0, 112.0, 103.0);
+
+/// Technology nodes of the scaling study (Figs 2.2b, 3.3).
+pub const SCALING_NODES_NM: [f64; 4] = [45.0, 32.0, 22.0, 16.0];
+
+/// Fig 2.1 sweep range (nm).
+pub const FIG21_W_RANGE_NM: (f64, f64) = (20.0, 180.0);
+
+/// Fig 2.2a histogram bin width (nm).
+pub const FIG22A_BIN_NM: f64 = 80.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn internal_consistency() {
+        // 360 ≈ 350: the paper rounds M_Rmin to its headline factor.
+        assert!((M_R_MIN - 360.0).abs() < 1e-9);
+        assert!((M_R_MIN / RELAXATION_FACTOR - 1.0).abs() < 0.05);
+        // Table 1 ratios recover the stated factors.
+        let growth = TABLE1_UNCORRELATED / TABLE1_DIRECTIONAL_UNALIGNED;
+        let align = TABLE1_DIRECTIONAL_UNALIGNED / TABLE1_DIRECTIONAL_ALIGNED;
+        assert!((growth - GROWTH_FACTOR).abs() < 0.5, "growth {growth}");
+        assert!((align - ALIGNMENT_FACTOR).abs() < 0.5, "align {align}");
+        let total = TABLE1_UNCORRELATED / TABLE1_DIRECTIONAL_ALIGNED;
+        assert!((total / RELAXATION_FACTOR - 1.0).abs() < 0.05, "total {total}");
+        // The pF requirements differ by the relaxation factor.
+        let ratio = PF_REQUIREMENT_CORRELATED / PF_REQUIREMENT_UNCORRELATED;
+        assert!((ratio / RELAXATION_FACTOR - 1.0).abs() < 0.1, "ratio {ratio}");
+    }
+}

@@ -1,0 +1,117 @@
+//! Upsizing cost — the gate-capacitance penalty of Figs 2.2b / 3.3.
+
+use crate::{CoreError, Result};
+use cnfet_device::GateCapModel;
+
+/// Relative total-gate-capacitance increase when every width below `w_min`
+/// is upsized to it, over a `(width, count)` population.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidParameter`] for an empty population,
+/// non-positive widths, or a non-positive `w_min`.
+pub fn upsizing_penalty(
+    cap: &GateCapModel,
+    widths: &[(f64, u64)],
+    w_min: f64,
+) -> Result<f64> {
+    if widths.is_empty() {
+        return Err(CoreError::InvalidParameter {
+            name: "widths",
+            value: 0.0,
+            constraint: "must not be empty",
+        });
+    }
+    if !(w_min.is_finite() && w_min > 0.0) {
+        return Err(CoreError::InvalidParameter {
+            name: "w_min",
+            value: w_min,
+            constraint: "must be finite and > 0",
+        });
+    }
+    let mut before = 0.0_f64;
+    let mut after = 0.0_f64;
+    for &(w, n) in widths {
+        if !(w.is_finite() && w > 0.0) {
+            return Err(CoreError::InvalidParameter {
+                name: "width",
+                value: w,
+                constraint: "must be finite and > 0",
+            });
+        }
+        before += n as f64 * cap.cap(w);
+        after += n as f64 * cap.cap(w.max(w_min));
+    }
+    if before <= 0.0 {
+        return Ok(0.0);
+    }
+    Ok(after / before - 1.0)
+}
+
+/// Fraction of devices strictly below `w_min` (the `M_min` share used in
+/// Eq. 2.5's iteration).
+pub fn fraction_below(widths: &[(f64, u64)], w_min: f64) -> f64 {
+    let total: u64 = widths.iter().map(|&(_, n)| n).sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let below: u64 = widths
+        .iter()
+        .filter(|&&(w, _)| w < w_min)
+        .map(|&(_, n)| n)
+        .sum();
+    below as f64 / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn penalty_matches_hand_computation() {
+        let cap = GateCapModel::proportional();
+        // 100 devices at 100 nm, 100 at 300 nm; W_min = 200:
+        // before 100·100 + 100·300 = 40 000; after 100·200 + 100·300 = 50 000.
+        let p = upsizing_penalty(&cap, &[(100.0, 100), (300.0, 100)], 200.0).unwrap();
+        assert!((p - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_penalty_when_all_wide() {
+        let cap = GateCapModel::proportional();
+        let p = upsizing_penalty(&cap, &[(300.0, 10)], 200.0).unwrap();
+        assert_eq!(p, 0.0);
+    }
+
+    #[test]
+    fn penalty_grows_as_widths_shrink() {
+        // The Fig 2.2b mechanism: scaling widths down at constant W_min
+        // inflates the penalty.
+        let cap = GateCapModel::proportional();
+        let base: Vec<(f64, u64)> = vec![(110.0, 33), (185.0, 47), (370.0, 20)];
+        let scaled: Vec<(f64, u64)> = base
+            .iter()
+            .map(|&(w, n)| (w * 16.0 / 45.0, n))
+            .collect();
+        let p45 = upsizing_penalty(&cap, &base, 155.0).unwrap();
+        let p16 = upsizing_penalty(&cap, &scaled, 155.0).unwrap();
+        assert!(p16 > 2.0 * p45, "p45 {p45} p16 {p16}");
+    }
+
+    #[test]
+    fn fraction_below_counts() {
+        let widths = [(110.0, 33u64), (185.0, 47), (370.0, 20)];
+        assert!((fraction_below(&widths, 155.0) - 0.33).abs() < 1e-12);
+        assert_eq!(fraction_below(&widths, 50.0), 0.0);
+        assert_eq!(fraction_below(&widths, 1000.0), 1.0);
+        assert_eq!(fraction_below(&[], 100.0), 0.0);
+    }
+
+    #[test]
+    fn validation() {
+        let cap = GateCapModel::proportional();
+        assert!(upsizing_penalty(&cap, &[], 100.0).is_err());
+        assert!(upsizing_penalty(&cap, &[(100.0, 1)], 0.0).is_err());
+        assert!(upsizing_penalty(&cap, &[(-1.0, 1)], 100.0).is_err());
+    }
+}

@@ -1,0 +1,323 @@
+//! Row-correlation yield model — Eqs. (3.1)/(3.2) and Table 1.
+//!
+//! With directional growth, the `M_min` critical CNFETs partition into
+//! `K_R` rows of `M_Rmin = L_CNT · ρ_min-CNFET` devices that share CNTs;
+//! rows are independent (different CNTs), so
+//! `Yield = (1 − p_RF)^K_R ≈ 1 − K_R·p_RF` (Eq. 3.1). The three growth/
+//! layout scenarios of Table 1 differ only in `p_RF`:
+//!
+//! * **uncorrelated growth** — every device independent:
+//!   `p_RF = 1 − (1 − pF)^M_Rmin ≈ M_Rmin · pF`;
+//! * **directional, non-aligned** — devices share tracks *partially*
+//!   (random active-region offsets): computed by conditional Monte Carlo
+//!   over track layouts with the exact run DP;
+//! * **directional, aligned-active** — all devices share all tracks:
+//!   `p_RF = pF`.
+
+use crate::failure::FailureModel;
+use crate::{CoreError, Result};
+use cnfet_sim::condmc::{estimate_row_failure, FailureEstimate, RowScenario};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The row-partition model of Eq. (3.2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RowModel {
+    m_r_min: f64,
+}
+
+impl RowModel {
+    /// Build from the CNT length (µm) and the critical-CNFET linear density
+    /// (per µm): `M_Rmin = L_CNT · ρ`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] for non-positive inputs or a
+    /// resulting `M_Rmin < 1`.
+    pub fn from_design(l_cnt_um: f64, rho_per_um: f64) -> Result<Self> {
+        for (name, v) in [("l_cnt_um", l_cnt_um), ("rho_per_um", rho_per_um)] {
+            if !(v.is_finite() && v > 0.0) {
+                return Err(CoreError::InvalidParameter {
+                    name,
+                    value: v,
+                    constraint: "must be finite and > 0",
+                });
+            }
+        }
+        let m_r_min = l_cnt_um * rho_per_um;
+        if m_r_min < 1.0 {
+            return Err(CoreError::InvalidParameter {
+                name: "m_r_min",
+                value: m_r_min,
+                constraint: "L_CNT·rho must be >= 1",
+            });
+        }
+        Ok(Self { m_r_min })
+    }
+
+    /// Divide the benefit for multi-grid alignment (Sec 3.3: two grid rows
+    /// halve `M_Rmin`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] if the division exceeds
+    /// `M_Rmin` or is < 1.
+    pub fn with_grid_division(self, division: f64) -> Result<Self> {
+        if !(division >= 1.0 && division <= self.m_r_min) {
+            return Err(CoreError::InvalidParameter {
+                name: "division",
+                value: division,
+                constraint: "must be in [1, M_Rmin]",
+            });
+        }
+        Ok(Self {
+            m_r_min: self.m_r_min / division,
+        })
+    }
+
+    /// Average number of critical CNFETs per row, `M_Rmin`.
+    pub fn m_r_min(&self) -> f64 {
+        self.m_r_min
+    }
+
+    /// The relaxation factor the aligned-active restriction buys: the
+    /// device-level requirement loosens by exactly `M_Rmin` (Sec 3.1).
+    pub fn relaxation(&self) -> f64 {
+        self.m_r_min
+    }
+
+    /// Number of rows for a chip with `m_min` critical devices.
+    pub fn k_rows(&self, m_min: f64) -> f64 {
+        m_min / self.m_r_min
+    }
+
+    /// Row failure probability with *uncorrelated* growth.
+    pub fn p_rf_uncorrelated(&self, p_f: f64) -> f64 {
+        1.0 - (1.0 - p_f).powf(self.m_r_min)
+    }
+
+    /// Row failure probability with directional growth and aligned-active
+    /// layout: the whole row fails like one device.
+    pub fn p_rf_aligned(&self, p_f: f64) -> f64 {
+        p_f
+    }
+
+    /// Chip yield from row statistics, Eq. (3.1).
+    pub fn yield_rows(&self, m_min: f64, p_rf: f64) -> f64 {
+        (1.0 - p_rf).powf(self.k_rows(m_min))
+    }
+}
+
+/// The "directional growth, unmodified (non-aligned) library" scenario:
+/// critical active regions sit at quantized per-cell y offsets inside the
+/// polarity band, so row neighbours share tracks only partially.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UnalignedRowStudy {
+    /// Height of the polarity band the active regions live in (nm).
+    pub band_height: f64,
+    /// Critical-device gate width (nm).
+    pub width: f64,
+    /// Offset quantization step (nm) — the legal-placement grid of the
+    /// library (45 nm in the Nangate-45-class geometry).
+    pub offset_step: f64,
+    /// Number of devices in the row (`M_Rmin`, rounded).
+    pub devices: usize,
+}
+
+impl UnalignedRowStudy {
+    /// Estimate `p_RF` by conditional MC: offsets are drawn uniformly from
+    /// the quantized feasible grid per device, then track geometry is
+    /// sampled and the exact run DP evaluates each layout.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scenario validation and simulation errors.
+    pub fn estimate(
+        &self,
+        model: &FailureModel,
+        trials: u32,
+        seed: u64,
+    ) -> Result<FailureEstimate> {
+        if self.devices == 0 {
+            return Err(CoreError::InvalidParameter {
+                name: "devices",
+                value: 0.0,
+                constraint: "must be >= 1",
+            });
+        }
+        let slack = self.band_height - self.width;
+        if slack < 0.0 {
+            return Err(CoreError::InvalidParameter {
+                name: "width",
+                value: self.width,
+                constraint: "must fit inside band_height",
+            });
+        }
+        let n_slots = (slack / self.offset_step).floor() as u64 + 1;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let spans: Vec<(f64, f64)> = (0..self.devices)
+            .map(|_| {
+                let slot = rng.gen_range(0..n_slots) as f64;
+                let y0 = slot * self.offset_step;
+                (y0, y0 + self.width)
+            })
+            .collect();
+        let scenario = RowScenario {
+            row_height: self.band_height,
+            fet_spans: spans,
+            pitch: *model.pitch(),
+            pf: model.pf(),
+        };
+        Ok(estimate_row_failure(&scenario, trials, &mut rng)?)
+    }
+}
+
+/// Results of a full Table 1 evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1 {
+    /// Device failure probability at the evaluation width.
+    pub p_f: f64,
+    /// `p_RF` with uncorrelated growth.
+    pub uncorrelated: f64,
+    /// `p_RF` with directional growth, unmodified library.
+    pub directional_unaligned: f64,
+    /// `p_RF` with directional growth + aligned-active cells.
+    pub directional_aligned: f64,
+}
+
+impl Table1 {
+    /// Factor gained by directional growth alone (paper: 26.5×).
+    pub fn growth_factor(&self) -> f64 {
+        self.uncorrelated / self.directional_unaligned
+    }
+
+    /// Factor gained by the aligned-active restriction (paper: 13×).
+    pub fn alignment_factor(&self) -> f64 {
+        self.directional_unaligned / self.directional_aligned
+    }
+
+    /// Total reduction (paper: ≈350×).
+    pub fn total_factor(&self) -> f64 {
+        self.uncorrelated / self.directional_aligned
+    }
+}
+
+/// Evaluate Table 1 at a given critical-device width.
+///
+/// # Errors
+///
+/// Propagates model and simulation errors.
+pub fn evaluate_table1(
+    model: &FailureModel,
+    row: &RowModel,
+    study: &UnalignedRowStudy,
+    trials: u32,
+    seed: u64,
+) -> Result<Table1> {
+    let p_f = model.p_failure(study.width)?;
+    let unaligned = study.estimate(model, trials, seed)?;
+    Ok(Table1 {
+        p_f,
+        uncorrelated: row.p_rf_uncorrelated(p_f),
+        directional_unaligned: unaligned.probability,
+        directional_aligned: row.p_rf_aligned(p_f),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corner::ProcessCorner;
+    use crate::paper;
+
+    fn model() -> FailureModel {
+        FailureModel::paper_default(ProcessCorner::aggressive().unwrap()).unwrap()
+    }
+
+    #[test]
+    fn eq_3_2_m_r_min() {
+        let r = RowModel::from_design(paper::L_CNT_UM, paper::RHO_MIN_FET_PER_UM).unwrap();
+        assert!((r.m_r_min() - 360.0).abs() < 1e-9);
+        assert!((r.relaxation() - 360.0).abs() < 1e-9);
+        assert!((r.k_rows(33e6) - 33e6 / 360.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn grid_division_halves_benefit() {
+        let r = RowModel::from_design(200.0, 1.8)
+            .unwrap()
+            .with_grid_division(2.0)
+            .unwrap();
+        assert!((r.relaxation() - 180.0).abs() < 1e-9);
+        assert!(RowModel::from_design(200.0, 1.8)
+            .unwrap()
+            .with_grid_division(0.5)
+            .is_err());
+    }
+
+    #[test]
+    fn uncorrelated_approximates_m_p() {
+        let r = RowModel::from_design(200.0, 1.8).unwrap();
+        let p_f = 1.5e-8;
+        let p_rf = r.p_rf_uncorrelated(p_f);
+        assert!(
+            ((p_rf / (360.0 * p_f)) - 1.0).abs() < 1e-3,
+            "p_RF {p_rf:.3e} vs 360·pF {:.3e}",
+            360.0 * p_f
+        );
+        assert_eq!(r.p_rf_aligned(p_f), p_f);
+    }
+
+    #[test]
+    fn yield_rows_matches_first_order() {
+        let r = RowModel::from_design(200.0, 1.8).unwrap();
+        let y = r.yield_rows(33e6, 1.1e-6);
+        let approx = 1.0 - r.k_rows(33e6) * 1.1e-6;
+        assert!((y - approx).abs() < 6e-3, "{y} vs {approx}");
+    }
+
+    #[test]
+    fn unaligned_sits_between_extremes() {
+        // Small instance to keep test time low: 40 devices in a 560-nm
+        // band. The unaligned p_RF must land strictly between aligned and
+        // uncorrelated.
+        let m = model();
+        let row = RowModel::from_design(200.0, 0.2).unwrap(); // M_Rmin = 40
+        let study = UnalignedRowStudy {
+            band_height: 560.0,
+            width: 103.0,
+            offset_step: 45.0,
+            devices: 40,
+        };
+        let t1 = evaluate_table1(&m, &row, &study, 400, 7).unwrap();
+        assert!(
+            t1.directional_aligned < t1.directional_unaligned,
+            "aligned {:.3e} < unaligned {:.3e}",
+            t1.directional_aligned,
+            t1.directional_unaligned
+        );
+        assert!(
+            t1.directional_unaligned < t1.uncorrelated,
+            "unaligned {:.3e} < uncorrelated {:.3e}",
+            t1.directional_unaligned,
+            t1.uncorrelated
+        );
+        assert!(t1.growth_factor() > 1.0);
+        assert!(t1.alignment_factor() > 1.0);
+        let total = t1.growth_factor() * t1.alignment_factor();
+        assert!((total / t1.total_factor() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(RowModel::from_design(0.0, 1.8).is_err());
+        assert!(RowModel::from_design(200.0, -1.0).is_err());
+        let study = UnalignedRowStudy {
+            band_height: 100.0,
+            width: 200.0,
+            offset_step: 45.0,
+            devices: 10,
+        };
+        assert!(study.estimate(&model(), 10, 1).is_err());
+    }
+}

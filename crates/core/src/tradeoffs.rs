@@ -1,0 +1,169 @@
+//! Grid-policy trade-off analysis — Sec 3.3's closing discussion, made
+//! quantitative.
+//!
+//! One aligned active region per polarity maximizes the correlation
+//! benefit but widens colliding cells; two regions eliminate the area
+//! penalty at a 2× benefit loss ("corresponding to < 5 % increase in
+//! W_min"). This module evaluates both sides of that trade for a concrete
+//! library + design, producing the numbers a design team would weigh.
+
+use crate::failure::FailureModel;
+use crate::penalty::upsizing_penalty;
+use crate::rowmodel::RowModel;
+use crate::wmin::WminSolver;
+use crate::{CoreError, Result};
+use cnfet_celllib::CellLibrary;
+use cnfet_device::GateCapModel;
+use cnfet_layout::{align_library, AlignmentOptions, GridPolicy};
+
+/// One evaluated grid policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TradeoffPoint {
+    /// The policy evaluated.
+    pub policy: GridPolicy,
+    /// Fraction of library cells that widen.
+    pub cells_penalized: f64,
+    /// Mean cell-area increase across the whole library (area-weighted).
+    pub library_area_increase: f64,
+    /// Relaxation factor after the policy's benefit division.
+    pub relaxation: f64,
+    /// Resulting `W_min` (nm).
+    pub w_min: f64,
+    /// Upsizing (gate-capacitance) penalty at that `W_min`.
+    pub upsizing_penalty: f64,
+}
+
+/// Inputs for the trade-off study.
+#[derive(Debug, Clone)]
+pub struct GridTradeoff<'a> {
+    /// The library to transform.
+    pub library: &'a CellLibrary,
+    /// Device failure model.
+    pub model: FailureModel,
+    /// Base row-correlation model (before grid division).
+    pub row: RowModel,
+    /// The design's `(width, count)` distribution.
+    pub widths: Vec<(f64, u64)>,
+    /// Yield target.
+    pub yield_target: f64,
+    /// Minimum-sized device count.
+    pub m_min: f64,
+}
+
+impl GridTradeoff<'_> {
+    /// Evaluate one policy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates alignment and solver errors.
+    pub fn evaluate(&self, policy: GridPolicy) -> Result<TradeoffPoint> {
+        if self.widths.is_empty() {
+            return Err(CoreError::InvalidParameter {
+                name: "widths",
+                value: 0.0,
+                constraint: "must not be empty",
+            });
+        }
+        let aligned = align_library(
+            self.library,
+            &AlignmentOptions {
+                policy,
+                ..AlignmentOptions::default()
+            },
+        )?;
+        // Area-weighted library growth: Σ new widths / Σ old widths − 1
+        // (heights are fixed, so width ratios are area ratios).
+        let old: f64 = aligned.cells.iter().map(|c| c.old_width).sum();
+        let new: f64 = aligned.cells.iter().map(|c| c.new_width).sum();
+
+        let row = self.row.with_grid_division(policy.benefit_division())?;
+        let solver = WminSolver::new(self.model.clone());
+        let sol = solver.solve_relaxed(self.yield_target, self.m_min, row.relaxation())?;
+        let pen = upsizing_penalty(&GateCapModel::proportional(), &self.widths, sol.w_min)?;
+        Ok(TradeoffPoint {
+            policy,
+            cells_penalized: aligned.penalized_fraction(),
+            library_area_increase: new / old - 1.0,
+            relaxation: row.relaxation(),
+            w_min: sol.w_min,
+            upsizing_penalty: pen,
+        })
+    }
+
+    /// Evaluate both policies and return them in `[Single, Dual]` order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GridTradeoff::evaluate`] errors.
+    pub fn run(&self) -> Result<[TradeoffPoint; 2]> {
+        Ok([
+            self.evaluate(GridPolicy::Single)?,
+            self.evaluate(GridPolicy::Dual)?,
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corner::ProcessCorner;
+    use crate::paper;
+    use cnfet_celllib::nangate45::nangate45_like;
+    use cnt_stats::renewal::CountModel;
+
+    fn study(lib: &CellLibrary) -> GridTradeoff<'_> {
+        GridTradeoff {
+            library: lib,
+            model: FailureModel::paper_default(ProcessCorner::aggressive().unwrap())
+                .unwrap()
+                .with_backend(CountModel::GaussianSum),
+            row: RowModel::from_design(paper::L_CNT_UM, paper::RHO_MIN_FET_PER_UM).unwrap(),
+            widths: vec![(110.0, 33), (185.0, 47), (370.0, 20)],
+            yield_target: paper::YIELD_TARGET,
+            m_min: paper::MMIN_FRACTION * paper::M_TRANSISTORS,
+        }
+    }
+
+    #[test]
+    fn single_vs_dual_tradeoff_shape() {
+        let lib = nangate45_like();
+        let [single, dual] = study(&lib).run().unwrap();
+
+        // Single grid: some cells pay area; dual grid: none.
+        assert!(single.cells_penalized > 0.0);
+        assert_eq!(dual.cells_penalized, 0.0);
+        assert!(single.library_area_increase > dual.library_area_increase);
+
+        // Dual grid halves the relaxation → slightly larger W_min.
+        assert!((single.relaxation / dual.relaxation - 2.0).abs() < 1e-9);
+        assert!(dual.w_min > single.w_min);
+        // Paper: "< 5 % increase in W_min".
+        let increase = dual.w_min / single.w_min - 1.0;
+        assert!(
+            increase > 0.0 && increase < 0.06,
+            "dual-grid W_min increase {increase}"
+        );
+        // Upsizing penalty ordering follows W_min.
+        assert!(dual.upsizing_penalty >= single.upsizing_penalty);
+    }
+
+    #[test]
+    fn library_area_increase_is_small_for_nangate() {
+        // 4 cells of 134 at ~10 % each: well under 1 % library-wide.
+        let lib = nangate45_like();
+        let single = study(&lib).evaluate(GridPolicy::Single).unwrap();
+        assert!(
+            single.library_area_increase < 0.01,
+            "library growth {}",
+            single.library_area_increase
+        );
+    }
+
+    #[test]
+    fn empty_widths_rejected() {
+        let lib = nangate45_like();
+        let mut s = study(&lib);
+        s.widths.clear();
+        assert!(s.evaluate(GridPolicy::Single).is_err());
+    }
+}

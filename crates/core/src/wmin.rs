@@ -1,0 +1,168 @@
+//! The `W_min` solver — Eq. (2.4)/(2.5).
+//!
+//! `W_min` is the smallest upsizing threshold such that, after every
+//! device narrower than `W_min` is widened to it, the chip meets its yield
+//! target. The paper's simplification (2.5) reduces this to one device
+//! query: find `W` with `pF(W) ≤ (1 − Yield)/M_min`, read off Fig 2.1.
+
+use crate::chipyield::required_p_failure;
+use crate::failure::FailureModel;
+use crate::Result;
+
+/// Solution of the `W_min` problem.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WminSolution {
+    /// The minimum upsizing threshold (nm).
+    pub w_min: f64,
+    /// The device-level requirement `pF_req` that was imposed.
+    pub p_req: f64,
+    /// The achieved `pF(W_min)` (≤ `p_req`).
+    pub p_at_w_min: f64,
+}
+
+/// Bisection solver for `W_min` over a monotone `pF(W)`.
+#[derive(Debug, Clone)]
+pub struct WminSolver {
+    model: FailureModel,
+    w_lo: f64,
+    w_hi: f64,
+}
+
+impl WminSolver {
+    /// Create a solver with the default search bracket `[5, 2000] nm`.
+    pub fn new(model: FailureModel) -> Self {
+        Self {
+            model,
+            w_lo: 5.0,
+            w_hi: 2000.0,
+        }
+    }
+
+    /// Narrow or widen the search bracket (builder style).
+    pub fn with_bracket(mut self, w_lo: f64, w_hi: f64) -> Self {
+        self.w_lo = w_lo;
+        self.w_hi = w_hi;
+        self
+    }
+
+    /// The failure model in use.
+    pub fn model(&self) -> &FailureModel {
+        &self.model
+    }
+
+    /// Solve for an explicit device-level requirement `p_req`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bracketing failures from the model inversion.
+    pub fn solve_for_requirement(&self, p_req: f64) -> Result<WminSolution> {
+        let w_min = self.model.width_for_failure(p_req, self.w_lo, self.w_hi)?;
+        Ok(WminSolution {
+            w_min,
+            p_req,
+            p_at_w_min: self.model.p_failure(w_min)?,
+        })
+    }
+
+    /// Solve Eq. (2.5): requirement from a yield target and the count of
+    /// minimum-sized devices.
+    ///
+    /// # Errors
+    ///
+    /// Propagates requirement/bracketing errors.
+    pub fn solve(&self, yield_target: f64, m_min: f64) -> Result<WminSolution> {
+        self.solve_for_requirement(required_p_failure(yield_target, m_min)?)
+    }
+
+    /// Solve with a correlation relaxation factor (Sec 3.1): the
+    /// requirement is multiplied by `relaxation` (e.g. `M_Rmin ≈ 350`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates requirement/bracketing errors; rejects a relaxation < 1.
+    pub fn solve_relaxed(
+        &self,
+        yield_target: f64,
+        m_min: f64,
+        relaxation: f64,
+    ) -> Result<WminSolution> {
+        if !(relaxation.is_finite() && relaxation >= 1.0) {
+            return Err(crate::CoreError::InvalidParameter {
+                name: "relaxation",
+                value: relaxation,
+                constraint: "must be finite and >= 1",
+            });
+        }
+        let base = required_p_failure(yield_target, m_min)?;
+        self.solve_for_requirement((base * relaxation).min(0.999_999))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corner::ProcessCorner;
+    use crate::paper;
+
+    fn solver() -> WminSolver {
+        WminSolver::new(
+            FailureModel::paper_default(ProcessCorner::aggressive().unwrap()).unwrap(),
+        )
+    }
+
+    #[test]
+    fn paper_wmin_155nm_case_study() {
+        // M = 1e8, yield 90 %, M_min = 33 % → W_min ≈ 155 nm (paper).
+        let s = solver()
+            .solve(paper::YIELD_TARGET, paper::MMIN_FRACTION * paper::M_TRANSISTORS)
+            .unwrap();
+        assert!(
+            (s.w_min - paper::WMIN_UNCORRELATED_NM).abs() < 8.0,
+            "W_min = {:.1} nm, paper {}",
+            s.w_min,
+            paper::WMIN_UNCORRELATED_NM
+        );
+        assert!(s.p_at_w_min <= s.p_req);
+    }
+
+    #[test]
+    fn paper_wmin_103nm_after_350x() {
+        let s = solver()
+            .solve_relaxed(
+                paper::YIELD_TARGET,
+                paper::MMIN_FRACTION * paper::M_TRANSISTORS,
+                paper::RELAXATION_FACTOR,
+            )
+            .unwrap();
+        assert!(
+            (s.w_min - paper::WMIN_CORRELATED_NM).abs() < 6.0,
+            "relaxed W_min = {:.1} nm, paper {}",
+            s.w_min,
+            paper::WMIN_CORRELATED_NM
+        );
+    }
+
+    #[test]
+    fn relaxation_shrinks_wmin_monotonically() {
+        let s = solver();
+        let w1 = s.solve_relaxed(0.9, 33e6, 1.0).unwrap().w_min;
+        let w10 = s.solve_relaxed(0.9, 33e6, 10.0).unwrap().w_min;
+        let w350 = s.solve_relaxed(0.9, 33e6, 350.0).unwrap().w_min;
+        assert!(w1 > w10 && w10 > w350, "{w1} > {w10} > {w350}");
+    }
+
+    #[test]
+    fn tighter_yield_needs_wider_devices() {
+        let s = solver();
+        let w90 = s.solve(0.90, 33e6).unwrap().w_min;
+        let w99 = s.solve(0.99, 33e6).unwrap().w_min;
+        assert!(w99 > w90);
+    }
+
+    #[test]
+    fn validation() {
+        let s = solver();
+        assert!(s.solve_relaxed(0.9, 33e6, 0.5).is_err());
+        assert!(s.solve(1.5, 33e6).is_err());
+    }
+}

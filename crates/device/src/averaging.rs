@@ -1,0 +1,126 @@
+//! Statistical averaging: `σ(Ion)/µ(Ion) ∝ 1/√N`.
+//!
+//! The motivating observation of the paper's Sec. 1 (\[Raychowdhury 09,
+//! Zhang 09a, Zhang 09b\]): every CNT-specific imperfection averages out as
+//! the CNT count `N` grows, so *wide* CNFETs are well-behaved and *narrow*
+//! ones are the yield hazard. This module verifies the law end-to-end
+//! against grown populations and exposes the sweep used by examples.
+
+use crate::current::IonModel;
+use crate::fet::{Cnfet, FetType};
+use crate::Result;
+use cnt_growth::{Growth, Rect, Vmr};
+use cnt_stats::Summary;
+use rand::Rng;
+
+/// One point of an averaging sweep: the measured `Ion` statistics of a
+/// CNFET of a given width.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AveragingPoint {
+    /// Gate width (nm).
+    pub width: f64,
+    /// Mean useful CNT count.
+    pub mean_count: f64,
+    /// Mean device on-current (µA).
+    pub mean_ion: f64,
+    /// Measured `σ(Ion)/µ(Ion)`.
+    pub ion_cov: f64,
+    /// Fraction of trials with zero useful CNTs (count failures).
+    pub failure_fraction: f64,
+}
+
+/// Monte-Carlo sweep of `σ/µ(Ion)` versus gate width.
+///
+/// For each width, grows `trials` independent populations, applies `vmr`,
+/// and measures the on-current of a device placed mid-region.
+///
+/// # Errors
+///
+/// Propagates device/geometry errors; widths must be positive.
+pub fn averaging_sweep(
+    growth: &dyn Growth,
+    vmr: &Vmr,
+    ion: &IonModel,
+    widths: &[f64],
+    trials: u32,
+    mut rng: &mut (impl Rng + ?Sized),
+) -> Result<Vec<AveragingPoint>> {
+    let mut out = Vec::with_capacity(widths.len());
+    for &w in widths {
+        let fet = Cnfet::new("sweep", FetType::NType, w, 32.0)?.at(0.0, 0.0);
+        let region = Rect::new(-64.0, -32.0, 160.0, w + 64.0).map_err(crate::DeviceError::from)?;
+        let mut ion_stats = Summary::new();
+        let mut count_stats = Summary::new();
+        let mut failures = 0u32;
+        for _ in 0..trials {
+            let mut pop = growth.grow(region, &mut rng);
+            vmr.apply(&mut pop, &mut rng);
+            let cnts = pop.cnts_in(&fet.active_region());
+            let useful = cnts.iter().filter(|c| c.is_useful()).count();
+            count_stats.add(useful as f64);
+            if useful == 0 {
+                failures += 1;
+            }
+            ion_stats.add(ion.ion(&cnts));
+        }
+        let mean_ion = ion_stats.mean();
+        out.push(AveragingPoint {
+            width: w,
+            mean_count: count_stats.mean(),
+            mean_ion,
+            ion_cov: if mean_ion > 0.0 {
+                ion_stats.std_dev() / mean_ion
+            } else {
+                f64::NAN
+            },
+            failure_fraction: failures as f64 / trials as f64,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnt_growth::{DirectionalGrowth, GrowthParams, LengthModel};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn cov_falls_roughly_as_inverse_sqrt_width() {
+        let params = GrowthParams::new(4.0, 0.82, 0.33, LengthModel::Fixed(1000.0)).unwrap();
+        let growth = DirectionalGrowth::new(params);
+        let vmr = Vmr::paper_aggressive();
+        let ion = IonModel::typical();
+        let mut rng = StdRng::seed_from_u64(11);
+        let pts =
+            averaging_sweep(&growth, &vmr, &ion, &[32.0, 128.0], 600, &mut rng).unwrap();
+        assert_eq!(pts.len(), 2);
+        let (narrow, wide) = (&pts[0], &pts[1]);
+        // 4× width → ≈ 2× lower CoV; allow generous slack for MC noise.
+        let ratio = narrow.ion_cov / wide.ion_cov;
+        assert!(
+            (1.5..3.0).contains(&ratio),
+            "CoV ratio {ratio}: narrow {} wide {}",
+            narrow.ion_cov,
+            wide.ion_cov
+        );
+        // Counts scale with width.
+        assert!(narrow.mean_count < wide.mean_count);
+        // Narrow devices fail more often.
+        assert!(narrow.failure_fraction >= wide.failure_fraction);
+    }
+
+    #[test]
+    fn mean_ion_scales_with_width() {
+        let params = GrowthParams::new(4.0, 0.82, 0.0, LengthModel::Fixed(1000.0)).unwrap();
+        let growth = DirectionalGrowth::new(params);
+        let vmr = Vmr::ideal(); // nothing removed, pm = 0 → all CNTs useful
+        let ion = IonModel::typical();
+        let mut rng = StdRng::seed_from_u64(12);
+        let pts = averaging_sweep(&growth, &vmr, &ion, &[40.0, 80.0], 400, &mut rng).unwrap();
+        let r = pts[1].mean_ion / pts[0].mean_ion;
+        assert!((1.6..2.4).contains(&r), "Ion ratio {r}");
+        assert_eq!(pts[0].failure_fraction, 0.0);
+    }
+}

@@ -1,0 +1,132 @@
+//! Gate-capacitance model — the cost function of upsizing.
+//!
+//! The paper prices upsizing by "the percentage increase of total gate
+//! capacitance" (Sec 2.2), i.e. power penalty is proportional to total
+//! transistor-width increase. We model gate capacitance as affine in width,
+//! with the paper's proportional behaviour as the `c_fixed = 0` special
+//! case.
+
+use crate::{DeviceError, Result};
+
+/// Affine gate capacitance: `C(W) = c_fixed + c_per_nm · W` (aF).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GateCapModel {
+    c_per_nm: f64,
+    c_fixed: f64,
+}
+
+impl GateCapModel {
+    /// Create a capacitance model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::InvalidParameter`] if `c_per_nm` is not
+    /// strictly positive or `c_fixed` is negative.
+    pub fn new(c_per_nm: f64, c_fixed: f64) -> Result<Self> {
+        if !(c_per_nm.is_finite() && c_per_nm > 0.0) {
+            return Err(DeviceError::InvalidParameter {
+                name: "c_per_nm",
+                value: c_per_nm,
+                constraint: "must be finite and > 0",
+            });
+        }
+        if !(c_fixed.is_finite() && c_fixed >= 0.0) {
+            return Err(DeviceError::InvalidParameter {
+                name: "c_fixed",
+                value: c_fixed,
+                constraint: "must be finite and >= 0",
+            });
+        }
+        Ok(Self { c_per_nm, c_fixed })
+    }
+
+    /// Width-proportional capacitance (the paper's penalty metric):
+    /// ~1 aF/nm of gate width, no fixed component.
+    pub fn proportional() -> Self {
+        Self {
+            c_per_nm: 1.0,
+            c_fixed: 0.0,
+        }
+    }
+
+    /// Capacitance per nm of width (aF/nm).
+    pub fn c_per_nm(&self) -> f64 {
+        self.c_per_nm
+    }
+
+    /// Width-independent capacitance (aF).
+    pub fn c_fixed(&self) -> f64 {
+        self.c_fixed
+    }
+
+    /// Gate capacitance of one device (aF).
+    pub fn cap(&self, width: f64) -> f64 {
+        self.c_fixed + self.c_per_nm * width
+    }
+
+    /// Total capacitance of a width population (aF).
+    pub fn total_cap<I: IntoIterator<Item = f64>>(&self, widths: I) -> f64 {
+        widths.into_iter().map(|w| self.cap(w)).sum()
+    }
+
+    /// Relative capacitance increase when each width `w` is upsized to
+    /// `max(w, w_min)` — the paper's *penalty* metric (Fig 2.2b / 3.3).
+    ///
+    /// Returns 0 for an empty population.
+    pub fn upsizing_penalty(&self, widths: &[f64], w_min: f64) -> f64 {
+        let before = self.total_cap(widths.iter().copied());
+        if before <= 0.0 {
+            return 0.0;
+        }
+        let after = self.total_cap(widths.iter().map(|&w| w.max(w_min)));
+        after / before - 1.0
+    }
+}
+
+impl Default for GateCapModel {
+    fn default() -> Self {
+        Self::proportional()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation() {
+        assert!(GateCapModel::new(0.0, 0.0).is_err());
+        assert!(GateCapModel::new(1.0, -1.0).is_err());
+        assert!(GateCapModel::new(0.8, 5.0).is_ok());
+    }
+
+    #[test]
+    fn cap_is_affine() {
+        let m = GateCapModel::new(2.0, 10.0).unwrap();
+        assert_eq!(m.cap(0.0), 10.0);
+        assert_eq!(m.cap(50.0), 110.0);
+        // cap(10) = 10 + 2·10 = 30; cap(20) = 10 + 2·20 = 50.
+        assert_eq!(m.total_cap([10.0, 20.0]), 80.0);
+    }
+
+    #[test]
+    fn penalty_proportional_model() {
+        let m = GateCapModel::proportional();
+        // Widths 100 and 300; upsizing to 200 turns (100, 300) → (200, 300):
+        // total 400 → 500, penalty 25 %.
+        let p = m.upsizing_penalty(&[100.0, 300.0], 200.0);
+        assert!((p - 0.25).abs() < 1e-12, "penalty {p}");
+        // No device below threshold → zero penalty.
+        assert_eq!(m.upsizing_penalty(&[300.0, 400.0], 200.0), 0.0);
+        // Empty population.
+        assert_eq!(m.upsizing_penalty(&[], 200.0), 0.0);
+    }
+
+    #[test]
+    fn fixed_component_dilutes_penalty() {
+        let prop = GateCapModel::proportional();
+        let fixed = GateCapModel::new(1.0, 100.0).unwrap();
+        let widths = [100.0, 300.0];
+        assert!(fixed.upsizing_penalty(&widths, 200.0) < prop.upsizing_penalty(&widths, 200.0));
+    }
+}

@@ -1,0 +1,183 @@
+//! CNFET drive-current model.
+//!
+//! Per \[Deng 07, Wei 09\], the on-current of a CNFET is, to first order,
+//! the sum of the per-CNT currents of its useful CNTs; each CNT's current
+//! depends on its diameter (band gap shrinks with diameter, raising drive).
+//! We use the standard linearized model
+//!
+//! ```text
+//! I_cnt(d) = I₀ · (1 + k·(d − d̄)/d̄)
+//! ```
+//!
+//! with `I₀ ≈ 20 µA` at nominal diameter `d̄ = 1.5 nm` and sensitivity
+//! `k ≈ 1.2`. The exact constants matter only for absolute numbers; the
+//! yield analysis uses relative quantities (`σ/µ`, capacitance ratios).
+
+use crate::{DeviceError, Result};
+use cnt_growth::Cnt;
+
+/// Per-CNT current model and aggregation to device `Ion`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IonModel {
+    i0_ua: f64,
+    nominal_diameter: f64,
+    diameter_sensitivity: f64,
+}
+
+impl IonModel {
+    /// Create a current model.
+    ///
+    /// * `i0_ua` — per-CNT on-current at nominal diameter (µA),
+    /// * `nominal_diameter` — nominal CNT diameter (nm),
+    /// * `diameter_sensitivity` — relative current change per relative
+    ///   diameter change.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::InvalidParameter`] for non-positive current or
+    /// diameter, or a negative sensitivity.
+    pub fn new(i0_ua: f64, nominal_diameter: f64, diameter_sensitivity: f64) -> Result<Self> {
+        for (name, v) in [("i0_ua", i0_ua), ("nominal_diameter", nominal_diameter)] {
+            if !(v.is_finite() && v > 0.0) {
+                return Err(DeviceError::InvalidParameter {
+                    name,
+                    value: v,
+                    constraint: "must be finite and > 0",
+                });
+            }
+        }
+        if !(diameter_sensitivity.is_finite() && diameter_sensitivity >= 0.0) {
+            return Err(DeviceError::InvalidParameter {
+                name: "diameter_sensitivity",
+                value: diameter_sensitivity,
+                constraint: "must be finite and >= 0",
+            });
+        }
+        Ok(Self {
+            i0_ua,
+            nominal_diameter,
+            diameter_sensitivity,
+        })
+    }
+
+    /// Literature-typical defaults (\[Deng 07\]): 20 µA per CNT at
+    /// `d̄ = 1.5 nm`, sensitivity 1.2.
+    pub fn typical() -> Self {
+        Self {
+            i0_ua: 20.0,
+            nominal_diameter: 1.5,
+            diameter_sensitivity: 1.2,
+        }
+    }
+
+    /// Per-CNT current (µA) for a CNT of the given diameter (nm).
+    ///
+    /// Clamped at zero: a pathologically thin CNT contributes nothing
+    /// rather than a negative current.
+    pub fn per_cnt_current(&self, diameter: f64) -> f64 {
+        let rel = (diameter - self.nominal_diameter) / self.nominal_diameter;
+        (self.i0_ua * (1.0 + self.diameter_sensitivity * rel)).max(0.0)
+    }
+
+    /// Device on-current (µA): sum over *useful* CNTs.
+    pub fn ion(&self, cnts: &[Cnt]) -> f64 {
+        cnts.iter()
+            .filter(|c| c.is_useful())
+            .map(|c| self.per_cnt_current(c.diameter))
+            .sum()
+    }
+
+    /// Analytic `σ(Ion)/µ(Ion)` given the CNT count statistics and diameter
+    /// CoV — the statistical-averaging law.
+    ///
+    /// With per-CNT current CoV `c_I` and a random useful count `N` with
+    /// mean `µ_N`, variance `σ_N²`:
+    ///
+    /// ```text
+    /// σ²(Ion)/µ²(Ion) = c_I²/µ_N + σ_N²/µ_N²
+    /// ```
+    ///
+    /// For Poisson-like counts (`σ_N² ≈ µ_N`) both terms fall as `1/µ_N`,
+    /// giving the `1/√N` dependence of \[Raychowdhury 09, Zhang 09a/b\].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::InvalidParameter`] if `mean_count` is not
+    /// strictly positive.
+    pub fn ion_cov(&self, mean_count: f64, var_count: f64, diameter_cov: f64) -> Result<f64> {
+        if !(mean_count.is_finite() && mean_count > 0.0) {
+            return Err(DeviceError::InvalidParameter {
+                name: "mean_count",
+                value: mean_count,
+                constraint: "must be finite and > 0",
+            });
+        }
+        let c_i = self.diameter_sensitivity * diameter_cov;
+        Ok((c_i * c_i / mean_count + var_count / (mean_count * mean_count)).sqrt())
+    }
+}
+
+impl Default for IonModel {
+    fn default() -> Self {
+        Self::typical()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnt_growth::{CntType, Point};
+
+    fn cnt(y: f64, ty: CntType, d: f64, removed: bool) -> Cnt {
+        let mut c = Cnt::new(Point::new(0.0, y), Point::new(100.0, y), ty);
+        c.diameter = d;
+        c.removed = removed;
+        c
+    }
+
+    #[test]
+    fn validation() {
+        assert!(IonModel::new(0.0, 1.5, 1.0).is_err());
+        assert!(IonModel::new(20.0, -1.0, 1.0).is_err());
+        assert!(IonModel::new(20.0, 1.5, -0.1).is_err());
+        assert!(IonModel::new(20.0, 1.5, 0.0).is_ok());
+    }
+
+    #[test]
+    fn per_cnt_current_scales_with_diameter() {
+        let m = IonModel::typical();
+        assert!((m.per_cnt_current(1.5) - 20.0).abs() < 1e-12);
+        assert!(m.per_cnt_current(2.0) > 20.0);
+        assert!(m.per_cnt_current(1.0) < 20.0);
+        // Clamped at zero for extreme thin tubes.
+        assert_eq!(m.per_cnt_current(0.01), 0.0);
+    }
+
+    #[test]
+    fn ion_sums_useful_cnts_only() {
+        let m = IonModel::typical();
+        let cnts = vec![
+            cnt(0.0, CntType::Semiconducting, 1.5, false), // 20
+            cnt(4.0, CntType::Metallic, 1.5, false),       // excluded: metallic
+            cnt(8.0, CntType::Semiconducting, 1.5, true),  // excluded: removed
+            cnt(12.0, CntType::Semiconducting, 1.5, false), // 20
+        ];
+        assert!((m.ion(&cnts) - 40.0).abs() < 1e-12);
+        assert_eq!(m.ion(&[]), 0.0);
+    }
+
+    #[test]
+    fn cov_follows_inverse_sqrt_n() {
+        let m = IonModel::typical();
+        // Poisson-like counts: var = mean.
+        let c10 = m.ion_cov(10.0, 10.0, 0.1).unwrap();
+        let c40 = m.ion_cov(40.0, 40.0, 0.1).unwrap();
+        // Quadrupling N must halve the CoV.
+        assert!(
+            ((c10 / c40) - 2.0).abs() < 1e-9,
+            "ratio {} should be 2",
+            c10 / c40
+        );
+        assert!(m.ion_cov(0.0, 1.0, 0.1).is_err());
+    }
+}

@@ -1,0 +1,178 @@
+//! First-order gate-delay model: the performance side of upsizing.
+//!
+//! The paper prices upsizing in gate capacitance (power). Designers also
+//! ask what it does to speed. To first order a CNFET logic stage obeys the
+//! usual RC picture with per-CNT current replacing per-µm drive:
+//!
+//! ```text
+//! t_d ≈ C_load · V_dd / I_on(W)
+//! ```
+//!
+//! Upsizing a *driver* speeds it up; upsizing the *loads* slows their
+//! drivers down. This module exposes both directions so the optimizer's
+//! capacitance penalty can be translated into a fanout-4-style delay
+//! figure.
+
+use crate::capacitance::GateCapModel;
+use crate::current::IonModel;
+use crate::{DeviceError, Result};
+
+/// First-order stage-delay model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DelayModel {
+    ion: IonModel,
+    cap: GateCapModel,
+    vdd: f64,
+    mean_pitch_nm: f64,
+}
+
+impl DelayModel {
+    /// Create a delay model.
+    ///
+    /// * `vdd` — supply voltage (V),
+    /// * `mean_pitch_nm` — inter-CNT pitch, converting gate width to an
+    ///   expected CNT count (`N ≈ W/S̄`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::InvalidParameter`] for non-positive `vdd` or
+    /// pitch.
+    pub fn new(ion: IonModel, cap: GateCapModel, vdd: f64, mean_pitch_nm: f64) -> Result<Self> {
+        for (name, v) in [("vdd", vdd), ("mean_pitch_nm", mean_pitch_nm)] {
+            if !(v.is_finite() && v > 0.0) {
+                return Err(DeviceError::InvalidParameter {
+                    name,
+                    value: v,
+                    constraint: "must be finite and > 0",
+                });
+            }
+        }
+        Ok(Self {
+            ion,
+            cap,
+            vdd,
+            mean_pitch_nm,
+        })
+    }
+
+    /// Literature-typical CNFET operating point: 0.9 V, 4 nm pitch,
+    /// default current/capacitance models.
+    pub fn typical() -> Self {
+        Self {
+            ion: IonModel::typical(),
+            cap: GateCapModel::proportional(),
+            vdd: 0.9,
+            mean_pitch_nm: 4.0,
+        }
+    }
+
+    /// Expected on-current of a width-`w` driver (µA): per-CNT current ×
+    /// expected CNT count.
+    pub fn drive_current_ua(&self, w: f64) -> f64 {
+        let n = w / self.mean_pitch_nm;
+        n * self.ion.per_cnt_current(1.5)
+    }
+
+    /// Stage delay (ps) of a width-`w_driver` gate driving a total load of
+    /// `fanout` gates of width `w_load` each.
+    ///
+    /// `t = C·V/I` with C in aF, I in µA → t in ps (aF·V/µA = ps).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::InvalidParameter`] for non-positive widths or
+    /// zero fanout.
+    pub fn stage_delay_ps(&self, w_driver: f64, w_load: f64, fanout: u32) -> Result<f64> {
+        for (name, v) in [("w_driver", w_driver), ("w_load", w_load)] {
+            if !(v.is_finite() && v > 0.0) {
+                return Err(DeviceError::InvalidParameter {
+                    name,
+                    value: v,
+                    constraint: "must be finite and > 0",
+                });
+            }
+        }
+        if fanout == 0 {
+            return Err(DeviceError::InvalidParameter {
+                name: "fanout",
+                value: 0.0,
+                constraint: "must be >= 1",
+            });
+        }
+        let c_load = fanout as f64 * self.cap.cap(w_load);
+        Ok(c_load * self.vdd / self.drive_current_ua(w_driver))
+    }
+
+    /// Relative change in a fanout-`f` ring's stage delay when *every*
+    /// width below `w_min` is upsized to it. For a self-loaded stage
+    /// (driver and loads scale together) the delay is width-independent,
+    /// so the net effect comes only from stages whose driver and loads
+    /// straddle the threshold. This evaluates the worst case: a driver
+    /// already above threshold whose loads all get upsized.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DelayModel::stage_delay_ps`] validation.
+    pub fn worst_case_slowdown(
+        &self,
+        w_driver: f64,
+        w_load_before: f64,
+        w_min: f64,
+        fanout: u32,
+    ) -> Result<f64> {
+        let before = self.stage_delay_ps(w_driver, w_load_before, fanout)?;
+        let after = self.stage_delay_ps(w_driver, w_load_before.max(w_min), fanout)?;
+        Ok(after / before - 1.0)
+    }
+}
+
+impl Default for DelayModel {
+    fn default() -> Self {
+        Self::typical()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation() {
+        assert!(DelayModel::new(IonModel::typical(), GateCapModel::proportional(), 0.0, 4.0)
+            .is_err());
+        assert!(DelayModel::new(IonModel::typical(), GateCapModel::proportional(), 0.9, -1.0)
+            .is_err());
+        let m = DelayModel::typical();
+        assert!(m.stage_delay_ps(0.0, 100.0, 4).is_err());
+        assert!(m.stage_delay_ps(100.0, 100.0, 0).is_err());
+    }
+
+    #[test]
+    fn self_loaded_stage_delay_is_width_invariant() {
+        // Driver and load scale together → C/I ratio fixed.
+        let m = DelayModel::typical();
+        let d1 = m.stage_delay_ps(100.0, 100.0, 4).unwrap();
+        let d2 = m.stage_delay_ps(200.0, 200.0, 4).unwrap();
+        assert!((d1 - d2).abs() / d1 < 1e-12);
+    }
+
+    #[test]
+    fn upsized_loads_slow_their_driver() {
+        let m = DelayModel::typical();
+        // Loads at 110 nm upsized to 155 nm: +41 % load, +41 % delay.
+        let slowdown = m.worst_case_slowdown(300.0, 110.0, 155.0, 4).unwrap();
+        assert!((slowdown - (155.0 / 110.0 - 1.0)).abs() < 1e-9, "{slowdown}");
+        // Nothing below threshold → no slowdown.
+        assert_eq!(m.worst_case_slowdown(300.0, 200.0, 155.0, 4).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn delay_magnitude_is_plausible() {
+        // FO4 of a 100-nm gate: C = 4·100 aF, I = 25 CNTs · 20 µA = 500 µA,
+        // t = 400·0.9/500 = 0.72 ps (ballistic first-order — optimistic but
+        // the right order for CNFET projections).
+        let m = DelayModel::typical();
+        let d = m.stage_delay_ps(100.0, 100.0, 4).unwrap();
+        assert!((0.1..10.0).contains(&d), "FO4 {d} ps");
+    }
+}

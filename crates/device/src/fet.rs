@@ -1,0 +1,215 @@
+//! The CNFET device: geometry, CNT capture and the count-failure predicate.
+
+use crate::{DeviceError, Result};
+use cnt_growth::{CntPopulation, Point, Rect};
+use cnt_stats::renewal::RenewalCount;
+
+/// Polarity of a CNFET.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FetType {
+    /// n-type (NMOS-like) CNFET.
+    NType,
+    /// p-type (PMOS-like) CNFET.
+    PType,
+}
+
+impl FetType {
+    /// Short display tag, `"n"` or `"p"`.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            FetType::NType => "n",
+            FetType::PType => "p",
+        }
+    }
+}
+
+/// A CNFET instance.
+///
+/// Geometry convention (matching `cnt-growth`): CNTs run along **x**; the
+/// transistor *width* `W` extends along **y**, so a gate of width `W`
+/// captures the CNT tracks inside its y-span. The channel length `L` extends
+/// along x.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cnfet {
+    name: String,
+    fet_type: FetType,
+    width: f64,
+    l_channel: f64,
+    origin: Point,
+}
+
+impl Cnfet {
+    /// Create a CNFET with the given gate width `W` and channel length `L`
+    /// (both nm), placed at the origin.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::InvalidParameter`] if `width` or `l_channel`
+    /// is not finite and strictly positive.
+    pub fn new(
+        name: impl Into<String>,
+        fet_type: FetType,
+        width: f64,
+        l_channel: f64,
+    ) -> Result<Self> {
+        for (pname, v) in [("width", width), ("l_channel", l_channel)] {
+            if !(v.is_finite() && v > 0.0) {
+                return Err(DeviceError::InvalidParameter {
+                    name: pname,
+                    value: v,
+                    constraint: "must be finite and > 0",
+                });
+            }
+        }
+        Ok(Self {
+            name: name.into(),
+            fet_type,
+            width,
+            l_channel,
+            origin: Point::new(0.0, 0.0),
+        })
+    }
+
+    /// Move the device so its active region's lower-left corner sits at
+    /// `(x, y)` (builder style).
+    pub fn at(mut self, x: f64, y: f64) -> Self {
+        self.origin = Point::new(x, y);
+        self
+    }
+
+    /// Instance name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Polarity.
+    pub fn fet_type(&self) -> FetType {
+        self.fet_type
+    }
+
+    /// Gate width `W` (nm) — the y-extent that captures CNT tracks.
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+
+    /// Channel length `L` (nm).
+    pub fn l_channel(&self) -> f64 {
+        self.l_channel
+    }
+
+    /// Lower-left corner of the active region.
+    pub fn origin(&self) -> Point {
+        self.origin
+    }
+
+    /// Return a copy resized to a new width, keeping everything else.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::InvalidParameter`] for a non-positive width.
+    pub fn resized(&self, new_width: f64) -> Result<Self> {
+        let mut c = Self::new(self.name.clone(), self.fet_type, new_width, self.l_channel)?;
+        c.origin = self.origin;
+        Ok(c)
+    }
+
+    /// The active region rectangle.
+    pub fn active_region(&self) -> Rect {
+        Rect::new(self.origin.x, self.origin.y, self.l_channel, self.width)
+            .expect("validated dimensions")
+    }
+
+    /// Number of CNTs crossing the active region (before/after removal —
+    /// counts all).
+    pub fn cnt_count(&self, pop: &CntPopulation) -> usize {
+        pop.count_in(&self.active_region())
+    }
+
+    /// Number of *useful* CNTs (semiconducting, not removed).
+    pub fn useful_cnt_count(&self, pop: &CntPopulation) -> usize {
+        pop.useful_count_in(&self.active_region())
+    }
+
+    /// CNT count failure: no useful CNT connects source and drain.
+    pub fn fails(&self, pop: &CntPopulation) -> bool {
+        self.useful_cnt_count(pop) == 0
+    }
+
+    /// Analytic failure probability via Eq. (2.2): `pF = E[pf^N(W)]`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates renewal-model errors (invalid `pf`, etc.).
+    pub fn failure_probability(&self, renewal: &RenewalCount, pf: f64) -> Result<f64> {
+        Ok(renewal.failure_probability(self.width, pf)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnt_growth::{Cnt, CntType};
+    use cnt_stats::renewal::CountModel;
+    use cnt_stats::TruncatedGaussian;
+
+    #[test]
+    fn construction_and_validation() {
+        assert!(Cnfet::new("M0", FetType::NType, 0.0, 32.0).is_err());
+        assert!(Cnfet::new("M0", FetType::NType, 64.0, f64::NAN).is_err());
+        let f = Cnfet::new("M0", FetType::PType, 64.0, 32.0).unwrap().at(10.0, 20.0);
+        assert_eq!(f.name(), "M0");
+        assert_eq!(f.fet_type(), FetType::PType);
+        assert_eq!(f.fet_type().tag(), "p");
+        let ar = f.active_region();
+        assert_eq!(ar.x0(), 10.0);
+        assert_eq!(ar.y0(), 20.0);
+        assert_eq!(ar.width(), 32.0); // channel length along x
+        assert_eq!(ar.height(), 64.0); // gate width along y
+    }
+
+    #[test]
+    fn resizing_preserves_placement() {
+        let f = Cnfet::new("M1", FetType::NType, 64.0, 32.0).unwrap().at(5.0, 7.0);
+        let g = f.resized(128.0).unwrap();
+        assert_eq!(g.width(), 128.0);
+        assert_eq!(g.origin(), Point::new(5.0, 7.0));
+        assert!(f.resized(-1.0).is_err());
+    }
+
+    #[test]
+    fn counting_against_synthetic_population() {
+        // Tracks at y = 2, 6, 10; FET spans y ∈ [0, 8] → captures 2 tracks.
+        let region = Rect::new(0.0, 0.0, 100.0, 20.0).unwrap();
+        let mk = |y: f64, ty: CntType| {
+            Cnt::new(Point::new(-10.0, y), Point::new(110.0, y), ty)
+        };
+        let pop = CntPopulation::new(
+            region,
+            vec![
+                mk(2.0, CntType::Semiconducting),
+                mk(6.0, CntType::Metallic),
+                mk(10.0, CntType::Semiconducting),
+            ],
+            vec![2.0, 6.0, 10.0],
+        );
+        let fet = Cnfet::new("M2", FetType::NType, 8.0, 32.0).unwrap().at(20.0, 0.0);
+        assert_eq!(fet.cnt_count(&pop), 2);
+        assert_eq!(fet.useful_cnt_count(&pop), 1);
+        assert!(!fet.fails(&pop));
+        // A FET sitting on the metallic track only → fails.
+        let unlucky = Cnfet::new("M3", FetType::NType, 2.0, 32.0).unwrap().at(20.0, 5.0);
+        assert_eq!(unlucky.useful_cnt_count(&pop), 0);
+        assert!(unlucky.fails(&pop));
+    }
+
+    #[test]
+    fn analytic_failure_probability_matches_renewal() {
+        let pitch = TruncatedGaussian::positive_with_moments(4.0, 3.28).unwrap();
+        let renewal = RenewalCount::new(pitch, CountModel::GaussianSum);
+        let fet = Cnfet::new("M4", FetType::NType, 100.0, 32.0).unwrap();
+        let p = fet.failure_probability(&renewal, 0.531).unwrap();
+        let direct = renewal.failure_probability(100.0, 0.531).unwrap();
+        assert_eq!(p, direct);
+        assert!(p > 0.0 && p < 1e-4);
+    }
+}

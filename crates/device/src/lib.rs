@@ -1,0 +1,127 @@
+//! # cnfet-device
+//!
+//! CNFET device models: geometry, CNT capture, count failure, drive current
+//! and gate capacitance.
+//!
+//! A CNFET (Fig 1.1 of the paper) is a gate over an **active region** that
+//! encloses a number of parallel CNTs; CNTs outside active regions are
+//! etched away. The device-level quantities the yield analysis needs are:
+//!
+//! * the CNT count `N(W)` captured by a gate of width `W` — delegated to
+//!   the renewal machinery of `cnt-stats` and validated here against the
+//!   geometric populations of `cnt-growth`;
+//! * the **count-failure** predicate: a CNFET fails when it has zero useful
+//!   (semiconducting, surviving) CNTs ([`fet::Cnfet::fails`]);
+//! * the drive current `Ion` ([`current::IonModel`]) exhibiting the
+//!   `σ/µ ∝ 1/√N` statistical-averaging law that motivates upsizing;
+//! * the gate capacitance ([`capacitance::GateCapModel`]) that prices the
+//!   upsizing penalty of Figs 2.2b / 3.3.
+//!
+//! ## Example
+//!
+//! ```
+//! use cnfet_device::fet::{Cnfet, FetType};
+//! use cnt_growth::{DirectionalGrowth, Growth, GrowthParams, Rect, Vmr};
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let fet = Cnfet::new("M1", FetType::NType, 64.0, 32.0)?; // W = 64 nm
+//! let growth = DirectionalGrowth::new(GrowthParams::paper_defaults()?);
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let mut pop = growth.grow(Rect::new(-100.0, -100.0, 400.0, 400.0)?, &mut rng);
+//! Vmr::paper_aggressive().apply(&mut pop, &mut rng);
+//! let n = fet.useful_cnt_count(&pop);
+//! assert_eq!(fet.fails(&pop), n == 0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod averaging;
+pub mod capacitance;
+pub mod current;
+pub mod delay;
+pub mod fet;
+
+use std::error::Error;
+use std::fmt;
+
+/// Error type for device-model operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeviceError {
+    /// A parameter was outside its valid domain.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+        /// Human-readable constraint.
+        constraint: &'static str,
+    },
+    /// An underlying statistics operation failed.
+    Stats(cnt_stats::StatsError),
+    /// An underlying growth/geometry operation failed.
+    Growth(cnt_growth::GrowthError),
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceError::InvalidParameter {
+                name,
+                value,
+                constraint,
+            } => write!(f, "invalid parameter `{name}` = {value}: {constraint}"),
+            DeviceError::Stats(e) => write!(f, "statistics error: {e}"),
+            DeviceError::Growth(e) => write!(f, "growth error: {e}"),
+        }
+    }
+}
+
+impl Error for DeviceError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DeviceError::Stats(e) => Some(e),
+            DeviceError::Growth(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<cnt_stats::StatsError> for DeviceError {
+    fn from(e: cnt_stats::StatsError) -> Self {
+        DeviceError::Stats(e)
+    }
+}
+
+impl From<cnt_growth::GrowthError> for DeviceError {
+    fn from(e: cnt_growth::GrowthError) -> Self {
+        DeviceError::Growth(e)
+    }
+}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, DeviceError>;
+
+pub use capacitance::GateCapModel;
+pub use current::IonModel;
+pub use delay::DelayModel;
+pub use fet::{Cnfet, FetType};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_sources_chain() {
+        let e: DeviceError = cnt_stats::StatsError::EmptyData("x").into();
+        assert!(std::error::Error::source(&e).is_some());
+        let e: DeviceError = cnt_growth::GrowthError::InvalidParameter {
+            name: "pm",
+            value: 2.0,
+            constraint: "must be in [0,1]",
+        }
+        .into();
+        assert!(e.to_string().contains("growth error"));
+    }
+}

@@ -1,0 +1,126 @@
+//! Individual carbon nanotubes: geometry, electronic type, removal state.
+
+use crate::geom::{clip_segment, Point, Rect};
+
+/// Electronic type of a CNT, set by its chirality at growth time.
+///
+/// Chirality cannot be controlled during synthesis; roughly one third of
+/// grown CNTs are metallic \[Patil 09a\].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CntType {
+    /// Semiconducting CNT — a useful transistor channel.
+    Semiconducting,
+    /// Metallic CNT — a source–drain short; must be removed by VMR.
+    Metallic,
+}
+
+impl CntType {
+    /// Whether this type provides a gateable channel.
+    pub fn is_useful(&self) -> bool {
+        matches!(self, CntType::Semiconducting)
+    }
+}
+
+/// One carbon nanotube on the substrate, modeled as a straight segment.
+///
+/// Directional growth gives horizontal segments (`p0.y == p1.y`); the
+/// uncorrelated growth model produces arbitrary orientations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Cnt {
+    /// Starting endpoint (nm).
+    pub p0: Point,
+    /// Ending endpoint (nm).
+    pub p1: Point,
+    /// Electronic type.
+    pub ty: CntType,
+    /// Whether the VMR process removed this CNT.
+    pub removed: bool,
+    /// Diameter in nm; drives per-CNT current in `cnfet-device`.
+    pub diameter: f64,
+}
+
+impl Cnt {
+    /// Create a CNT segment of the given type with the default 1.5 nm
+    /// diameter (typical SWCNT, \[Deng 07\]).
+    pub fn new(p0: Point, p1: Point, ty: CntType) -> Self {
+        Self {
+            p0,
+            p1,
+            ty,
+            removed: false,
+            diameter: 1.5,
+        }
+    }
+
+    /// Length of the segment (nm).
+    pub fn length(&self) -> f64 {
+        self.p0.distance(&self.p1)
+    }
+
+    /// Whether the CNT survives VMR *and* is semiconducting — i.e. counts
+    /// toward the CNT count of a CNFET channel.
+    pub fn is_useful(&self) -> bool {
+        !self.removed && self.ty.is_useful()
+    }
+
+    /// Whether the CNT is a *surviving metallic* CNT — the residue that
+    /// degrades noise margins (\[Zhang 09b\]; out of scope for count-limited
+    /// yield but exported for completeness).
+    pub fn is_surviving_metallic(&self) -> bool {
+        !self.removed && self.ty == CntType::Metallic
+    }
+
+    /// Whether the CNT crosses the given rectangle.
+    pub fn crosses(&self, rect: &Rect) -> bool {
+        clip_segment(self.p0, self.p1, rect).is_some()
+    }
+
+    /// The portion of the CNT inside `rect`, if any.
+    pub fn clipped_to(&self, rect: &Rect) -> Option<Cnt> {
+        clip_segment(self.p0, self.p1, rect).map(|(a, b)| Cnt {
+            p0: a,
+            p1: b,
+            ..*self
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn usefulness_rules() {
+        let mut c = Cnt::new(Point::new(0.0, 0.0), Point::new(10.0, 0.0), CntType::Semiconducting);
+        assert!(c.is_useful());
+        assert!(!c.is_surviving_metallic());
+        c.removed = true;
+        assert!(!c.is_useful());
+        let m = Cnt::new(Point::new(0.0, 0.0), Point::new(10.0, 0.0), CntType::Metallic);
+        assert!(!m.is_useful());
+        assert!(m.is_surviving_metallic());
+        assert!(CntType::Semiconducting.is_useful());
+        assert!(!CntType::Metallic.is_useful());
+    }
+
+    #[test]
+    fn crossing_and_clipping() {
+        let c = Cnt::new(Point::new(-10.0, 5.0), Point::new(100.0, 5.0), CntType::Semiconducting);
+        let r = Rect::new(0.0, 0.0, 10.0, 10.0).unwrap();
+        assert!(c.crosses(&r));
+        let clipped = c.clipped_to(&r).unwrap();
+        assert_eq!(clipped.p0.x, 0.0);
+        assert_eq!(clipped.p1.x, 10.0);
+        assert_eq!(clipped.ty, c.ty);
+        let above = Rect::new(0.0, 6.0, 10.0, 10.0).unwrap();
+        assert!(!c.crosses(&above));
+        assert!(c.clipped_to(&above).is_none());
+    }
+
+    #[test]
+    fn length() {
+        let c = Cnt::new(Point::new(0.0, 0.0), Point::new(3.0, 4.0), CntType::Metallic);
+        assert_eq!(c.length(), 5.0);
+        assert_eq!(c.diameter, 1.5);
+    }
+}

@@ -1,0 +1,185 @@
+//! Measuring the CNT count/type correlation between CNFET active regions.
+//!
+//! These estimators quantify what the paper's Fig 3.1 shows qualitatively:
+//! aligned active regions on directional growth see (near-)perfectly
+//! correlated CNT counts and types; misaligned or uncorrelated growth does
+//! not.
+
+use crate::geom::Rect;
+use crate::growth::Growth;
+use crate::vmr::Vmr;
+use crate::Result;
+use cnt_stats::correlation::pearson;
+use rand::Rng;
+
+/// Joint count statistics of two active regions over repeated growths.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PairCorrelation {
+    /// Pearson correlation of the *useful* CNT counts.
+    pub count_correlation: f64,
+    /// Fraction of trials in which both regions fail together, given at
+    /// least one fails. 1.0 means failures are perfectly synchronized.
+    pub joint_failure_fraction: f64,
+    /// Mean useful count of region A.
+    pub mean_count_a: f64,
+    /// Mean useful count of region B.
+    pub mean_count_b: f64,
+    /// Number of growth trials performed.
+    pub trials: u32,
+}
+
+/// Estimate the count correlation between two active regions under a growth
+/// model and a VMR process.
+///
+/// Each trial grows a fresh population over the bounding region, applies
+/// VMR, and records the useful CNT counts of both regions.
+///
+/// # Errors
+///
+/// Propagates geometry/statistics errors; in particular the correlation is
+/// undefined (and an error is returned) if either count is constant across
+/// trials — raise `trials` or widen the regions.
+pub fn pair_correlation(
+    growth: &dyn Growth,
+    vmr: &Vmr,
+    region_a: Rect,
+    region_b: Rect,
+    trials: u32,
+    mut rng: &mut (impl Rng + ?Sized),
+) -> Result<PairCorrelation> {
+    let bounding = Rect::from_corners(
+        region_a.x0().min(region_b.x0()) - 1.0,
+        region_a.y0().min(region_b.y0()) - 1.0,
+        region_a.x1().max(region_b.x1()) + 1.0,
+        region_a.y1().max(region_b.y1()) + 1.0,
+    )?;
+    let mut counts_a = Vec::with_capacity(trials as usize);
+    let mut counts_b = Vec::with_capacity(trials as usize);
+    let mut joint_failures = 0u32;
+    let mut any_failures = 0u32;
+    for _ in 0..trials {
+        let mut pop = growth.grow(bounding, &mut rng);
+        vmr.apply(&mut pop, &mut rng);
+        let a = pop.useful_count_in(&region_a);
+        let b = pop.useful_count_in(&region_b);
+        if a == 0 || b == 0 {
+            any_failures += 1;
+            if a == 0 && b == 0 {
+                joint_failures += 1;
+            }
+        }
+        counts_a.push(a as f64);
+        counts_b.push(b as f64);
+    }
+    let count_correlation = pearson(&counts_a, &counts_b)?;
+    let n = trials as f64;
+    Ok(PairCorrelation {
+        count_correlation,
+        joint_failure_fraction: if any_failures > 0 {
+            joint_failures as f64 / any_failures as f64
+        } else {
+            f64::NAN
+        },
+        mean_count_a: counts_a.iter().sum::<f64>() / n,
+        mean_count_b: counts_b.iter().sum::<f64>() / n,
+        trials,
+    })
+}
+
+/// Fraction of CNT tracks shared between two regions in a single grown
+/// population (directional growth only): |tracks ∩ both| / |tracks ∩ either|.
+///
+/// 1.0 for perfectly aligned equal-height regions, 0.0 for disjoint spans.
+pub fn track_sharing_fraction(pop: &crate::CntPopulation, a: &Rect, b: &Rect) -> f64 {
+    let in_a = |y: f64| y >= a.y0() && y <= a.y1();
+    let in_b = |y: f64| y >= b.y0() && y <= b.y1();
+    let mut both = 0usize;
+    let mut either = 0usize;
+    for &y in pop.tracks() {
+        let (ia, ib) = (in_a(y), in_b(y));
+        if ia || ib {
+            either += 1;
+        }
+        if ia && ib {
+            both += 1;
+        }
+    }
+    if either == 0 {
+        0.0
+    } else {
+        both as f64 / either as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::growth::{DirectionalGrowth, GrowthParams, LengthModel, UncorrelatedGrowth};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn params() -> GrowthParams {
+        GrowthParams::new(4.0, 0.82, 0.33, LengthModel::Fixed(100_000.0)).unwrap()
+    }
+
+    #[test]
+    fn aligned_regions_on_directional_growth_are_strongly_correlated() {
+        let growth = DirectionalGrowth::new(params());
+        let vmr = Vmr::paper_aggressive();
+        // Two 32-nm-wide FETs aligned on the same tracks, 2 µm apart in x.
+        let a = Rect::new(0.0, 0.0, 32.0, 32.0).unwrap();
+        let b = Rect::new(2000.0, 0.0, 32.0, 32.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let pc = pair_correlation(&growth, &vmr, a, b, 400, &mut rng).unwrap();
+        assert!(
+            pc.count_correlation > 0.95,
+            "aligned correlation {}",
+            pc.count_correlation
+        );
+    }
+
+    #[test]
+    fn misaligned_regions_lose_correlation() {
+        let growth = DirectionalGrowth::new(params());
+        let vmr = Vmr::paper_aggressive();
+        let a = Rect::new(0.0, 0.0, 32.0, 32.0).unwrap();
+        // Shifted fully off a's tracks.
+        let b = Rect::new(2000.0, 200.0, 32.0, 32.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let pc = pair_correlation(&growth, &vmr, a, b, 400, &mut rng).unwrap();
+        assert!(
+            pc.count_correlation.abs() < 0.2,
+            "misaligned correlation {}",
+            pc.count_correlation
+        );
+    }
+
+    #[test]
+    fn uncorrelated_growth_has_no_pair_correlation() {
+        let p = GrowthParams::new(8.0, 0.82, 0.33, LengthModel::Fixed(500.0)).unwrap();
+        let growth = UncorrelatedGrowth::density_matched(p).unwrap();
+        let vmr = Vmr::paper_aggressive();
+        let a = Rect::new(0.0, 0.0, 64.0, 64.0).unwrap();
+        let b = Rect::new(1200.0, 0.0, 64.0, 64.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let pc = pair_correlation(&growth, &vmr, a, b, 300, &mut rng).unwrap();
+        assert!(
+            pc.count_correlation.abs() < 0.2,
+            "uncorrelated correlation {}",
+            pc.count_correlation
+        );
+    }
+
+    #[test]
+    fn track_sharing_extremes() {
+        let growth = DirectionalGrowth::new(params());
+        let region = Rect::new(0.0, 0.0, 1000.0, 200.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let pop = growth.grow(region, &mut rng);
+        let a = Rect::new(0.0, 50.0, 100.0, 64.0).unwrap();
+        let aligned = Rect::new(500.0, 50.0, 100.0, 64.0).unwrap();
+        let disjoint = Rect::new(500.0, 130.0, 100.0, 64.0).unwrap();
+        assert!((track_sharing_fraction(&pop, &a, &aligned) - 1.0).abs() < 1e-12);
+        assert_eq!(track_sharing_fraction(&pop, &a, &disjoint), 0.0);
+    }
+}

@@ -1,0 +1,298 @@
+//! Plane geometry primitives shared by the growth, device and layout layers.
+//!
+//! Units are nanometres throughout the workspace.
+
+use crate::{GrowthError, Result};
+
+/// A point in the substrate plane (nm).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    /// Horizontal coordinate — the CNT **growth direction** in directional
+    /// growth.
+    pub x: f64,
+    /// Vertical coordinate — perpendicular to growth; CNT tracks stack
+    /// along `y`.
+    pub y: f64,
+}
+
+impl Point {
+    /// Create a point.
+    pub fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// Euclidean distance to another point.
+    pub fn distance(&self, other: &Point) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+}
+
+/// An axis-aligned rectangle `[x0, x1] × [y0, y1]` (nm).
+///
+/// Models active regions, cell bounding boxes and substrate patches.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rect {
+    x0: f64,
+    y0: f64,
+    x1: f64,
+    y1: f64,
+}
+
+impl Rect {
+    /// Create a rectangle from its lower-left corner and extents.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GrowthError::InvalidParameter`] for non-finite inputs or
+    /// non-positive width/height.
+    pub fn new(x0: f64, y0: f64, width: f64, height: f64) -> Result<Self> {
+        for (name, v) in [("x0", x0), ("y0", y0), ("width", width), ("height", height)] {
+            if !v.is_finite() {
+                return Err(GrowthError::InvalidParameter {
+                    name,
+                    value: v,
+                    constraint: "must be finite",
+                });
+            }
+        }
+        if width <= 0.0 || height <= 0.0 {
+            return Err(GrowthError::InvalidParameter {
+                name: "width/height",
+                value: width.min(height),
+                constraint: "must be > 0",
+            });
+        }
+        Ok(Self {
+            x0,
+            y0,
+            x1: x0 + width,
+            y1: y0 + height,
+        })
+    }
+
+    /// Create from corner coordinates, normalizing the order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GrowthError::InvalidParameter`] for non-finite inputs or a
+    /// degenerate (zero-area) rectangle.
+    pub fn from_corners(xa: f64, ya: f64, xb: f64, yb: f64) -> Result<Self> {
+        Self::new(xa.min(xb), ya.min(yb), (xb - xa).abs(), (yb - ya).abs())
+    }
+
+    /// Left edge.
+    pub fn x0(&self) -> f64 {
+        self.x0
+    }
+
+    /// Bottom edge.
+    pub fn y0(&self) -> f64 {
+        self.y0
+    }
+
+    /// Right edge.
+    pub fn x1(&self) -> f64 {
+        self.x1
+    }
+
+    /// Top edge.
+    pub fn y1(&self) -> f64 {
+        self.y1
+    }
+
+    /// Horizontal extent.
+    pub fn width(&self) -> f64 {
+        self.x1 - self.x0
+    }
+
+    /// Vertical extent.
+    pub fn height(&self) -> f64 {
+        self.y1 - self.y0
+    }
+
+    /// Area in nm².
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// Center point.
+    pub fn center(&self) -> Point {
+        Point::new((self.x0 + self.x1) / 2.0, (self.y0 + self.y1) / 2.0)
+    }
+
+    /// Whether the point lies inside (closed on all edges).
+    pub fn contains(&self, p: &Point) -> bool {
+        p.x >= self.x0 && p.x <= self.x1 && p.y >= self.y0 && p.y <= self.y1
+    }
+
+    /// Whether two rectangles overlap (closed-edge semantics).
+    pub fn intersects(&self, other: &Rect) -> bool {
+        self.x0 <= other.x1 && other.x0 <= self.x1 && self.y0 <= other.y1 && other.y0 <= self.y1
+    }
+
+    /// Intersection rectangle, if the overlap has positive area.
+    pub fn intersection(&self, other: &Rect) -> Option<Rect> {
+        let x0 = self.x0.max(other.x0);
+        let y0 = self.y0.max(other.y0);
+        let x1 = self.x1.min(other.x1);
+        let y1 = self.y1.min(other.y1);
+        if x0 < x1 && y0 < y1 {
+            Some(Rect { x0, y0, x1, y1 })
+        } else {
+            None
+        }
+    }
+
+    /// Translate by `(dx, dy)`.
+    pub fn translated(&self, dx: f64, dy: f64) -> Rect {
+        Rect {
+            x0: self.x0 + dx,
+            y0: self.y0 + dy,
+            x1: self.x1 + dx,
+            y1: self.y1 + dy,
+        }
+    }
+
+    /// The vertical span `[y0, y1]` as a tuple — the quantity that decides
+    /// which CNT tracks a CNFET captures.
+    pub fn y_span(&self) -> (f64, f64) {
+        (self.y0, self.y1)
+    }
+}
+
+/// Clip the segment `(p0, p1)` to `rect` using the Liang–Barsky algorithm.
+///
+/// Returns the clipped endpoints, or `None` if the segment misses the
+/// rectangle entirely. Used both to intersect CNTs with active regions and
+/// to crop populations for rendering.
+pub fn clip_segment(p0: Point, p1: Point, rect: &Rect) -> Option<(Point, Point)> {
+    let dx = p1.x - p0.x;
+    let dy = p1.y - p0.y;
+    let mut t0 = 0.0_f64;
+    let mut t1 = 1.0_f64;
+
+    // Each (p, q) pair encodes one clip boundary: the segment is inside
+    // where p·t ≤ q.
+    let checks = [
+        (-dx, p0.x - rect.x0()),
+        (dx, rect.x1() - p0.x),
+        (-dy, p0.y - rect.y0()),
+        (dy, rect.y1() - p0.y),
+    ];
+    for (p, q) in checks {
+        if p == 0.0 {
+            if q < 0.0 {
+                return None; // parallel and outside
+            }
+        } else {
+            let r = q / p;
+            if p < 0.0 {
+                if r > t1 {
+                    return None;
+                }
+                t0 = t0.max(r);
+            } else {
+                if r < t0 {
+                    return None;
+                }
+                t1 = t1.min(r);
+            }
+        }
+    }
+    if t0 > t1 {
+        return None;
+    }
+    Some((
+        Point::new(p0.x + t0 * dx, p0.y + t0 * dy),
+        Point::new(p0.x + t1 * dx, p0.y + t1 * dy),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit() -> Rect {
+        Rect::new(0.0, 0.0, 10.0, 10.0).unwrap()
+    }
+
+    #[test]
+    fn rect_validation() {
+        assert!(Rect::new(0.0, 0.0, 0.0, 1.0).is_err());
+        assert!(Rect::new(0.0, 0.0, 1.0, -1.0).is_err());
+        assert!(Rect::new(f64::NAN, 0.0, 1.0, 1.0).is_err());
+        let r = Rect::from_corners(5.0, 8.0, 1.0, 2.0).unwrap();
+        assert_eq!(r.x0(), 1.0);
+        assert_eq!(r.y1(), 8.0);
+    }
+
+    #[test]
+    fn rect_accessors() {
+        let r = Rect::new(1.0, 2.0, 3.0, 4.0).unwrap();
+        assert_eq!(r.width(), 3.0);
+        assert_eq!(r.height(), 4.0);
+        assert_eq!(r.area(), 12.0);
+        assert_eq!(r.center(), Point::new(2.5, 4.0));
+        assert_eq!(r.y_span(), (2.0, 6.0));
+        assert!(r.contains(&Point::new(1.0, 2.0)));
+        assert!(!r.contains(&Point::new(0.9, 2.0)));
+    }
+
+    #[test]
+    fn rect_intersection() {
+        let a = unit();
+        let b = Rect::new(5.0, 5.0, 10.0, 10.0).unwrap();
+        let i = a.intersection(&b).unwrap();
+        assert_eq!(i.x0(), 5.0);
+        assert_eq!(i.x1(), 10.0);
+        assert!(a.intersects(&b));
+        let far = Rect::new(20.0, 20.0, 1.0, 1.0).unwrap();
+        assert!(a.intersection(&far).is_none());
+        assert!(!a.intersects(&far));
+        // Touching edges intersect but have no area.
+        let touch = Rect::new(10.0, 0.0, 5.0, 5.0).unwrap();
+        assert!(a.intersects(&touch));
+        assert!(a.intersection(&touch).is_none());
+    }
+
+    #[test]
+    fn clip_horizontal_segment() {
+        let r = unit();
+        let (a, b) =
+            clip_segment(Point::new(-5.0, 5.0), Point::new(15.0, 5.0), &r).expect("clips");
+        assert_eq!(a, Point::new(0.0, 5.0));
+        assert_eq!(b, Point::new(10.0, 5.0));
+    }
+
+    #[test]
+    fn clip_miss_and_inside() {
+        let r = unit();
+        assert!(clip_segment(Point::new(-5.0, 20.0), Point::new(15.0, 20.0), &r).is_none());
+        let (a, b) =
+            clip_segment(Point::new(2.0, 2.0), Point::new(3.0, 3.0), &r).expect("inside");
+        assert_eq!(a, Point::new(2.0, 2.0));
+        assert_eq!(b, Point::new(3.0, 3.0));
+    }
+
+    #[test]
+    fn clip_diagonal_crossing_corner() {
+        let r = unit();
+        let (a, b) =
+            clip_segment(Point::new(-10.0, -10.0), Point::new(20.0, 20.0), &r).expect("diag");
+        assert!((a.x - 0.0).abs() < 1e-12 && (a.y - 0.0).abs() < 1e-12);
+        assert!((b.x - 10.0).abs() < 1e-12 && (b.y - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn translation() {
+        let r = unit().translated(2.0, -1.0);
+        assert_eq!(r.x0(), 2.0);
+        assert_eq!(r.y0(), -1.0);
+        assert_eq!(r.width(), 10.0);
+    }
+
+    #[test]
+    fn point_distance() {
+        assert_eq!(Point::new(0.0, 0.0).distance(&Point::new(3.0, 4.0)), 5.0);
+    }
+}

@@ -1,0 +1,479 @@
+//! CNT growth models: directional (correlated) and uncorrelated.
+
+use crate::cnt::{Cnt, CntType};
+use crate::geom::{Point, Rect};
+use crate::population::CntPopulation;
+use crate::{GrowthError, Result};
+use cnt_stats::dist::Poisson;
+use cnt_stats::renewal::{CountModel, RenewalCount};
+use cnt_stats::{ContinuousDist, TruncatedGaussian};
+use rand::Rng;
+
+/// Coefficient of variation of the inter-CNT pitch, `σ_S / S̄`.
+///
+/// The paper keeps "the σ_S / S ratio as reported in \[Zhang 09a\]" without
+/// restating the number. This value is *calibrated* (see
+/// `cnfet_core::calibration`) so that the model reproduces the paper's own
+/// Fig 2.1 anchors: `pF(103 nm) ≈ 1.1e-6` and `W_min` pairs (155 nm, 103 nm)
+/// at `pm = 33 %`, `pRs = 30 %`.
+pub const ZHANG09A_PITCH_COV: f64 = 0.80;
+
+/// Paper-level constants for directional growth.
+pub mod paper {
+    /// Mean inter-CNT pitch `S`, nm (optimized value assumed in the paper,
+    /// from \[Deng 07\]).
+    pub const MEAN_PITCH_NM: f64 = 4.0;
+    /// Fraction of CNTs that grow metallic, `pm` (typical 1/3; the paper's
+    /// case study uses 33 %).
+    pub const PM: f64 = 0.33;
+    /// CNT length under aligned growth, nm (200 µm, \[Kang 07, Patil 09b\]).
+    pub const L_CNT_NM: f64 = 200_000.0;
+}
+
+/// CNT length model along the growth direction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LengthModel {
+    /// Every CNT has exactly this length (nm) — the paper's assumption.
+    Fixed(f64),
+    /// Exponentially distributed lengths with this mean (nm) — the
+    /// "CNT length variations" extension the paper defers to future work.
+    Exponential {
+        /// Mean CNT length (nm).
+        mean: f64,
+    },
+}
+
+impl LengthModel {
+    /// Mean CNT length (nm).
+    pub fn mean(&self) -> f64 {
+        match *self {
+            LengthModel::Fixed(l) => l,
+            LengthModel::Exponential { mean } => mean,
+        }
+    }
+
+    fn validate(&self) -> Result<()> {
+        let l = self.mean();
+        if !(l.is_finite() && l > 0.0) {
+            return Err(GrowthError::InvalidParameter {
+                name: "length",
+                value: l,
+                constraint: "must be finite and > 0",
+            });
+        }
+        Ok(())
+    }
+
+    fn sample(&self, rng: &mut (impl Rng + ?Sized)) -> f64 {
+        match *self {
+            LengthModel::Fixed(l) => l,
+            LengthModel::Exponential { mean } => {
+                let u: f64 = rng.gen::<f64>().clamp(1e-16, 1.0 - 1e-16);
+                -mean * (1.0 - u).ln()
+            }
+        }
+    }
+}
+
+/// Parameters shared by the growth models.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GrowthParams {
+    pitch: TruncatedGaussian,
+    pm: f64,
+    length: LengthModel,
+    diameter: TruncatedGaussian,
+}
+
+impl GrowthParams {
+    /// Build growth parameters.
+    ///
+    /// * `mean_pitch` — achieved mean inter-CNT pitch `S̄` (nm),
+    /// * `pitch_cov` — pitch coefficient of variation `σ_S / S̄`,
+    /// * `pm` — probability a CNT is metallic,
+    /// * `length` — CNT length model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GrowthError::InvalidParameter`] for out-of-domain values.
+    pub fn new(mean_pitch: f64, pitch_cov: f64, pm: f64, length: LengthModel) -> Result<Self> {
+        if !(0.0..=1.0).contains(&pm) {
+            return Err(GrowthError::InvalidParameter {
+                name: "pm",
+                value: pm,
+                constraint: "must be in [0, 1]",
+            });
+        }
+        if !(pitch_cov.is_finite() && pitch_cov > 0.0) {
+            return Err(GrowthError::InvalidParameter {
+                name: "pitch_cov",
+                value: pitch_cov,
+                constraint: "must be finite and > 0",
+            });
+        }
+        length.validate()?;
+        let pitch =
+            TruncatedGaussian::positive_with_moments(mean_pitch, pitch_cov * mean_pitch)?;
+        // Typical SWCNT diameter distribution: 1.5 ± 0.2 nm, bounded to the
+        // physically meaningful [0.5, 3] nm window [Deng 07].
+        let diameter = TruncatedGaussian::new(1.5, 0.2, 0.5, 3.0)?;
+        Ok(Self {
+            pitch,
+            pm,
+            length,
+            diameter,
+        })
+    }
+
+    /// The paper's processing conditions: `S = 4 nm`,
+    /// `σ_S/S` = [`ZHANG09A_PITCH_COV`], `pm = 33 %`, fixed 200 µm CNTs.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in practice; the `Result` mirrors [`GrowthParams::new`].
+    pub fn paper_defaults() -> Result<Self> {
+        Self::new(
+            paper::MEAN_PITCH_NM,
+            ZHANG09A_PITCH_COV,
+            paper::PM,
+            LengthModel::Fixed(paper::L_CNT_NM),
+        )
+    }
+
+    /// Achieved pitch distribution.
+    pub fn pitch(&self) -> &TruncatedGaussian {
+        &self.pitch
+    }
+
+    /// Metallic probability `pm`.
+    pub fn pm(&self) -> f64 {
+        self.pm
+    }
+
+    /// CNT length model.
+    pub fn length(&self) -> LengthModel {
+        self.length
+    }
+
+    /// The renewal counting process induced by this pitch model — the link
+    /// to the analytic `N(W)` machinery of `cnt-stats`.
+    pub fn renewal(&self, model: CountModel) -> RenewalCount {
+        RenewalCount::new(self.pitch, model)
+    }
+
+    fn sample_type(&self, rng: &mut (impl Rng + ?Sized)) -> CntType {
+        if rng.gen::<f64>() < self.pm {
+            CntType::Metallic
+        } else {
+            CntType::Semiconducting
+        }
+    }
+}
+
+/// Common interface of growth models; object-safe so simulation drivers can
+/// switch scenarios at run time (Fig 3.1 a/b/c).
+pub trait Growth: std::fmt::Debug {
+    /// Grow a CNT population covering `region`.
+    fn grow(&self, region: Rect, rng: &mut dyn rand::RngCore) -> CntPopulation;
+}
+
+/// Directional growth: long parallel CNTs on y-tracks (paper Fig 3.1b/c).
+///
+/// Track positions follow the stationary renewal pitch process; each track
+/// is tiled along x with CNT segments drawn from the length model, each
+/// segment carrying an independent type. CNFETs that overlap the *same
+/// segment* therefore share count and type — the correlation the paper
+/// exploits.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DirectionalGrowth {
+    params: GrowthParams,
+}
+
+impl DirectionalGrowth {
+    /// Create a directional growth model.
+    pub fn new(params: GrowthParams) -> Self {
+        Self { params }
+    }
+
+    /// Access the parameters.
+    pub fn params(&self) -> &GrowthParams {
+        &self.params
+    }
+}
+
+impl Growth for DirectionalGrowth {
+    fn grow(&self, region: Rect, rng: &mut dyn rand::RngCore) -> CntPopulation {
+        let renewal = RenewalCount::new(*self.params.pitch(), CountModel::GaussianSum);
+        let mut cnts = Vec::new();
+        let mut tracks = Vec::new();
+        let mut y = region.y0() + renewal.sample_first_gap(rng);
+        while y <= region.y1() {
+            tracks.push(y);
+            // Tile the track with CNT segments; the tiling phase is uniform
+            // in the first segment length so every x position is
+            // statistically equivalent.
+            let first_len = self.params.length.sample(rng);
+            let mut x = region.x0() - rng.gen::<f64>() * first_len;
+            let mut len = first_len;
+            while x < region.x1() {
+                let ty = self.params.sample_type(rng);
+                let diameter = self.params.diameter.sample(rng);
+                cnts.push(Cnt {
+                    p0: Point::new(x, y),
+                    p1: Point::new(x + len, y),
+                    ty,
+                    removed: false,
+                    diameter,
+                });
+                x += len;
+                len = self.params.length.sample(rng);
+            }
+            y += self.params.pitch().sample(rng);
+        }
+        CntPopulation::new(region, cnts, tracks)
+    }
+}
+
+/// Non-directional ("uncorrelated") growth: short CNTs scattered with
+/// random positions and orientations (paper Fig 3.1a).
+///
+/// Centers follow a 2-D Poisson point process; no two CNFETs share a CNT
+/// unless they physically overlap, so failures are independent — the
+/// baseline assumption of the paper's Sec. 2.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UncorrelatedGrowth {
+    params: GrowthParams,
+    density_per_um2: f64,
+}
+
+impl UncorrelatedGrowth {
+    /// Create an uncorrelated growth model with the given areal density of
+    /// CNT centers (CNTs per µm²).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GrowthError::InvalidParameter`] for a non-positive density.
+    pub fn new(params: GrowthParams, density_per_um2: f64) -> Result<Self> {
+        if !(density_per_um2.is_finite() && density_per_um2 > 0.0) {
+            return Err(GrowthError::InvalidParameter {
+                name: "density_per_um2",
+                value: density_per_um2,
+                constraint: "must be finite and > 0",
+            });
+        }
+        Ok(Self {
+            params,
+            density_per_um2,
+        })
+    }
+
+    /// Density matched to directional growth: the expected number of CNTs
+    /// crossing a vertical line equals `1/S̄` per nm, mirroring the track
+    /// density of [`DirectionalGrowth`]. With mean length `ℓ` and isotropic
+    /// orientation, a density `ρ = π / (2 ℓ S̄)` achieves this (Cauchy's
+    /// formula for line intersections with segment processes).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`UncorrelatedGrowth::new`].
+    pub fn density_matched(params: GrowthParams) -> Result<Self> {
+        let l_nm = params.length().mean();
+        let s_nm = params.pitch().mean();
+        // ρ in nm⁻², converted to µm⁻² (×10⁶).
+        let rho_nm2 = std::f64::consts::PI / (2.0 * l_nm * s_nm);
+        Self::new(params, rho_nm2 * 1e6)
+    }
+
+    /// Access the parameters.
+    pub fn params(&self) -> &GrowthParams {
+        &self.params
+    }
+
+    /// Areal density of CNT centers (per µm²).
+    pub fn density_per_um2(&self) -> f64 {
+        self.density_per_um2
+    }
+}
+
+impl Growth for UncorrelatedGrowth {
+    fn grow(&self, region: Rect, rng: &mut dyn rand::RngCore) -> CntPopulation {
+        // Expand the sampled window so CNTs centered outside the region but
+        // crossing into it are represented (edge correction).
+        let margin = self.params.length.mean() * 1.5;
+        let x0 = region.x0() - margin;
+        let y0 = region.y0() - margin;
+        let w = region.width() + 2.0 * margin;
+        let h = region.height() + 2.0 * margin;
+        let area_um2 = w * h * 1e-6;
+        let lambda = (self.density_per_um2 * area_um2).max(1e-9);
+        let n = Poisson::new(lambda)
+            .expect("lambda validated > 0")
+            .sample(rng);
+        let mut cnts = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            let cx = x0 + rng.gen::<f64>() * w;
+            let cy = y0 + rng.gen::<f64>() * h;
+            let len = self.params.length.sample(rng);
+            let theta = rng.gen::<f64>() * std::f64::consts::PI;
+            let (dx, dy) = (theta.cos() * len / 2.0, theta.sin() * len / 2.0);
+            let ty = self.params.sample_type(rng);
+            let diameter = self.params.diameter.sample(rng);
+            let cnt = Cnt {
+                p0: Point::new(cx - dx, cy - dy),
+                p1: Point::new(cx + dx, cy + dy),
+                ty,
+                removed: false,
+                diameter,
+            };
+            if cnt.crosses(&region) {
+                cnts.push(cnt);
+            }
+        }
+        CntPopulation::new(region, cnts, Vec::new())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(777)
+    }
+
+    fn small_params() -> GrowthParams {
+        // Short CNTs so both models stay cheap in tests.
+        GrowthParams::new(4.0, 0.82, 0.33, LengthModel::Fixed(1000.0)).unwrap()
+    }
+
+    #[test]
+    fn params_validation() {
+        assert!(GrowthParams::new(4.0, 0.82, 1.5, LengthModel::Fixed(10.0)).is_err());
+        assert!(GrowthParams::new(4.0, -0.1, 0.3, LengthModel::Fixed(10.0)).is_err());
+        assert!(GrowthParams::new(4.0, 0.82, 0.3, LengthModel::Fixed(0.0)).is_err());
+        assert!(GrowthParams::paper_defaults().is_ok());
+    }
+
+    #[test]
+    fn paper_defaults_pitch_mean_is_exact() {
+        let p = GrowthParams::paper_defaults().unwrap();
+        assert!((p.pitch().mean() - 4.0).abs() < 1e-3);
+        assert!((p.pitch().std_dev() / p.pitch().mean() - ZHANG09A_PITCH_COV).abs() < 1e-3);
+        assert_eq!(p.length().mean(), 200_000.0);
+    }
+
+    #[test]
+    fn directional_track_density_matches_pitch() {
+        let g = DirectionalGrowth::new(small_params());
+        let region = Rect::new(0.0, 0.0, 100.0, 4000.0).unwrap();
+        let mut r = rng();
+        let mut total_tracks = 0usize;
+        let reps = 30;
+        for _ in 0..reps {
+            total_tracks += g.grow(region, &mut r).track_count();
+        }
+        let mean_tracks = total_tracks as f64 / reps as f64;
+        let want = 4000.0 / 4.0;
+        assert!(
+            (mean_tracks - want).abs() < want * 0.05,
+            "tracks {mean_tracks} want {want}"
+        );
+    }
+
+    #[test]
+    fn directional_metallic_fraction() {
+        let g = DirectionalGrowth::new(small_params());
+        let region = Rect::new(0.0, 0.0, 5000.0, 2000.0).unwrap();
+        let mut r = rng();
+        let pop = g.grow(region, &mut r);
+        let total = pop.cnts().len();
+        let metallic = pop
+            .cnts()
+            .iter()
+            .filter(|c| c.ty == CntType::Metallic)
+            .count();
+        let frac = metallic as f64 / total as f64;
+        assert!(total > 500, "population too small: {total}");
+        assert!((frac - 0.33).abs() < 0.05, "metallic fraction {frac}");
+    }
+
+    #[test]
+    fn directional_cnts_are_horizontal_and_cover_region() {
+        let g = DirectionalGrowth::new(small_params());
+        let region = Rect::new(0.0, 0.0, 3000.0, 100.0).unwrap();
+        let mut r = rng();
+        let pop = g.grow(region, &mut r);
+        for c in pop.cnts() {
+            assert_eq!(c.p0.y, c.p1.y, "directional CNTs must be horizontal");
+        }
+        // Every track must be fully tiled: for each track the min x0 must be
+        // <= region start and max x1 >= region end.
+        for &y in pop.tracks() {
+            let xs: Vec<&Cnt> = pop.cnts().iter().filter(|c| c.p0.y == y).collect();
+            let lo = xs.iter().map(|c| c.p0.x).fold(f64::INFINITY, f64::min);
+            let hi = xs.iter().map(|c| c.p1.x).fold(f64::NEG_INFINITY, f64::max);
+            assert!(lo <= region.x0() && hi >= region.x1(), "track {y} not tiled");
+        }
+    }
+
+    #[test]
+    fn exponential_lengths_vary() {
+        let p = GrowthParams::new(4.0, 0.82, 0.33, LengthModel::Exponential { mean: 500.0 })
+            .unwrap();
+        let g = DirectionalGrowth::new(p);
+        let region = Rect::new(0.0, 0.0, 5000.0, 200.0).unwrap();
+        let mut r = rng();
+        let pop = g.grow(region, &mut r);
+        let lengths: Vec<f64> = pop.cnts().iter().map(Cnt::length).collect();
+        let mean = lengths.iter().sum::<f64>() / lengths.len() as f64;
+        let distinct = lengths
+            .iter()
+            .filter(|&&l| (l - lengths[0]).abs() > 1e-9)
+            .count();
+        assert!(distinct > 0, "exponential lengths must vary");
+        assert!(mean > 100.0 && mean < 2000.0, "mean length {mean}");
+    }
+
+    #[test]
+    fn uncorrelated_growth_line_density_matches() {
+        let params = GrowthParams::new(8.0, 0.82, 0.33, LengthModel::Fixed(800.0)).unwrap();
+        let g = UncorrelatedGrowth::density_matched(params).unwrap();
+        let region = Rect::new(0.0, 0.0, 2000.0, 2000.0).unwrap();
+        let mut r = rng();
+        // Count crossings of a vertical probe line x = 1000 over many grows.
+        let probe = Rect::new(999.9, 0.0, 0.2, 2000.0).unwrap();
+        let mut crossings = 0usize;
+        let reps = 20;
+        for _ in 0..reps {
+            let pop = g.grow(region, &mut r);
+            crossings += pop.cnts().iter().filter(|c| c.crosses(&probe)).count();
+        }
+        let per_nm = crossings as f64 / reps as f64 / 2000.0;
+        let want = 1.0 / 8.0;
+        assert!(
+            (per_nm - want).abs() < want * 0.25,
+            "line density {per_nm} want {want}"
+        );
+    }
+
+    #[test]
+    fn uncorrelated_growth_validation() {
+        let params = small_params();
+        assert!(UncorrelatedGrowth::new(params.clone(), 0.0).is_err());
+        assert!(UncorrelatedGrowth::new(params, 5.0).is_ok());
+    }
+
+    #[test]
+    fn growth_is_reproducible_from_seed() {
+        let g = DirectionalGrowth::new(small_params());
+        let region = Rect::new(0.0, 0.0, 1000.0, 200.0).unwrap();
+        let pop1 = g.grow(region, &mut StdRng::seed_from_u64(5));
+        let pop2 = g.grow(region, &mut StdRng::seed_from_u64(5));
+        assert_eq!(pop1.cnts().len(), pop2.cnts().len());
+        for (a, b) in pop1.cnts().iter().zip(pop2.cnts()) {
+            assert_eq!(a.p0, b.p0);
+            assert_eq!(a.ty, b.ty);
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! # cnt-growth
+//!
+//! Stochastic simulator of carbon-nanotube (CNT) growth on a substrate.
+//!
+//! The paper's yield analysis rests on three statistical properties of grown
+//! CNTs, all of which this crate models explicitly:
+//!
+//! 1. **Density variation** — inter-CNT pitch is random (truncated Gaussian,
+//!    mean `S = 4 nm`), so the CNT count under a gate varies (\[Zhang 09a\]).
+//! 2. **Typing** — each CNT is metallic with probability `pm ≈ 1/3`;
+//!    metallic-CNT removal (VMR, \[Patil 09c\]) removes m-CNTs with
+//!    probability `pRm` and collaterally removes s-CNTs with probability
+//!    `pRs` ([`vmr`]).
+//! 3. **Spatial correlation** — *directional* growth produces CNTs that are
+//!    hundreds of micrometres long (`L_CNT ≈ 200 µm`, \[Kang 07,
+//!    Patil 09b\]), so CNFETs aligned along the growth direction share the
+//!    same physical CNTs and therefore the same counts *and* types
+//!    ([`growth::DirectionalGrowth`]). Non-directional growth
+//!    ([`growth::UncorrelatedGrowth`]) has no such sharing.
+//!
+//! The geometric population produced here ([`population::CntPopulation`]) is
+//! used for visualization (paper Fig 3.1), for *measuring* correlation
+//! ([`correlation`]), and for validating the analytic models in
+//! `cnfet-core` against brute-force geometry.
+//!
+//! All lengths in this crate are in **nanometres** unless stated otherwise.
+//!
+//! ## Example
+//!
+//! ```
+//! use cnt_growth::geom::Rect;
+//! use cnt_growth::growth::{DirectionalGrowth, Growth, GrowthParams};
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), cnt_growth::GrowthError> {
+//! let params = GrowthParams::paper_defaults()?;
+//! let growth = DirectionalGrowth::new(params);
+//! let region = Rect::new(0.0, 0.0, 2000.0, 500.0)?; // 2 µm × 0.5 µm, in nm
+//! let mut rng = StdRng::seed_from_u64(42);
+//! let pop = growth.grow(region, &mut rng);
+//! // Expect about 500 nm / 4 nm = 125 tracks.
+//! assert!((pop.track_count() as f64 - 125.0).abs() < 40.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod cnt;
+pub mod correlation;
+pub mod geom;
+pub mod growth;
+pub mod population;
+pub mod vmr;
+
+use std::error::Error;
+use std::fmt;
+
+/// Error type for growth-simulation operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GrowthError {
+    /// A parameter was outside its valid domain.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+        /// Human-readable constraint.
+        constraint: &'static str,
+    },
+    /// An underlying statistics operation failed.
+    Stats(cnt_stats::StatsError),
+}
+
+impl fmt::Display for GrowthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GrowthError::InvalidParameter {
+                name,
+                value,
+                constraint,
+            } => write!(f, "invalid parameter `{name}` = {value}: {constraint}"),
+            GrowthError::Stats(e) => write!(f, "statistics error: {e}"),
+        }
+    }
+}
+
+impl Error for GrowthError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            GrowthError::Stats(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<cnt_stats::StatsError> for GrowthError {
+    fn from(e: cnt_stats::StatsError) -> Self {
+        GrowthError::Stats(e)
+    }
+}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, GrowthError>;
+
+pub use cnt::{Cnt, CntType};
+pub use geom::{Point, Rect};
+pub use growth::{DirectionalGrowth, Growth, GrowthParams, LengthModel, UncorrelatedGrowth};
+pub use population::CntPopulation;
+pub use vmr::Vmr;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_conversion_and_display() {
+        let e: GrowthError = cnt_stats::StatsError::EmptyData("x").into();
+        assert!(e.to_string().contains("statistics error"));
+        let e = GrowthError::InvalidParameter {
+            name: "pm",
+            value: 2.0,
+            constraint: "must be in [0,1]",
+        };
+        assert!(e.to_string().contains("pm"));
+    }
+}

@@ -1,0 +1,167 @@
+//! A grown CNT population and region queries against it.
+
+use crate::cnt::Cnt;
+use crate::geom::Rect;
+
+/// The result of growing CNTs over a substrate region.
+///
+/// Supports the two queries the yield models need:
+/// *how many useful CNTs* cross a given active region, and *which CNTs* do
+/// (for correlation measurements between regions).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CntPopulation {
+    region: Rect,
+    cnts: Vec<Cnt>,
+    /// y positions of growth tracks (empty for non-directional growth).
+    tracks: Vec<f64>,
+}
+
+impl CntPopulation {
+    /// Assemble a population (used by the growth models).
+    pub fn new(region: Rect, cnts: Vec<Cnt>, tracks: Vec<f64>) -> Self {
+        Self {
+            region,
+            cnts,
+            tracks,
+        }
+    }
+
+    /// The grown region.
+    pub fn region(&self) -> Rect {
+        self.region
+    }
+
+    /// All CNTs (including removed ones; check [`Cnt::removed`]).
+    pub fn cnts(&self) -> &[Cnt] {
+        &self.cnts
+    }
+
+    /// Mutable access for process steps (VMR marks removals here).
+    pub fn cnts_mut(&mut self) -> &mut [Cnt] {
+        &mut self.cnts
+    }
+
+    /// Track y positions (directional growth only).
+    pub fn tracks(&self) -> &[f64] {
+        &self.tracks
+    }
+
+    /// Number of growth tracks.
+    pub fn track_count(&self) -> usize {
+        self.tracks.len()
+    }
+
+    /// Indices of CNTs crossing `rect`.
+    pub fn indices_in(&self, rect: &Rect) -> Vec<usize> {
+        self.cnts
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.crosses(rect))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// All CNTs crossing `rect` (unclipped copies).
+    pub fn cnts_in(&self, rect: &Rect) -> Vec<Cnt> {
+        self.cnts.iter().filter(|c| c.crosses(rect)).copied().collect()
+    }
+
+    /// Number of CNTs crossing `rect`, regardless of type/removal.
+    ///
+    /// This is the `N(W)` of \[Zhang 09a\] when `rect` is an active region:
+    /// the pre-removal CNT count.
+    pub fn count_in(&self, rect: &Rect) -> usize {
+        self.cnts.iter().filter(|c| c.crosses(rect)).count()
+    }
+
+    /// Number of *useful* CNTs (semiconducting and not removed) in `rect`.
+    ///
+    /// A CNFET whose active region has zero useful CNTs suffers CNT count
+    /// failure (paper Sec. 1).
+    pub fn useful_count_in(&self, rect: &Rect) -> usize {
+        self.cnts
+            .iter()
+            .filter(|c| c.is_useful() && c.crosses(rect))
+            .count()
+    }
+
+    /// Number of surviving metallic CNTs in `rect` (noise-margin residue,
+    /// \[Zhang 09b\]).
+    pub fn surviving_metallic_in(&self, rect: &Rect) -> usize {
+        self.cnts
+            .iter()
+            .filter(|c| c.is_surviving_metallic() && c.crosses(rect))
+            .count()
+    }
+
+    /// Whether a CNFET with this active region fails by CNT count.
+    pub fn count_failure(&self, active_region: &Rect) -> bool {
+        self.useful_count_in(active_region) == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cnt::CntType;
+    use crate::geom::Point;
+
+    fn pop() -> CntPopulation {
+        let region = Rect::new(0.0, 0.0, 100.0, 20.0).unwrap();
+        let mk = |y: f64, ty: CntType, removed: bool| {
+            let mut c = Cnt::new(Point::new(-10.0, y), Point::new(110.0, y), ty);
+            c.removed = removed;
+            c
+        };
+        let cnts = vec![
+            mk(2.0, CntType::Semiconducting, false),
+            mk(6.0, CntType::Metallic, false),
+            mk(10.0, CntType::Semiconducting, true),
+            mk(14.0, CntType::Metallic, true),
+            mk(18.0, CntType::Semiconducting, false),
+        ];
+        CntPopulation::new(region, cnts, vec![2.0, 6.0, 10.0, 14.0, 18.0])
+    }
+
+    #[test]
+    fn counting_queries() {
+        let p = pop();
+        let all = Rect::new(0.0, 0.0, 100.0, 20.0).unwrap();
+        assert_eq!(p.count_in(&all), 5);
+        assert_eq!(p.useful_count_in(&all), 2);
+        assert_eq!(p.surviving_metallic_in(&all), 1);
+        assert!(!p.count_failure(&all));
+    }
+
+    #[test]
+    fn window_selects_tracks() {
+        let p = pop();
+        // Window covering only y in [4, 12]: tracks at 6 (metallic) and 10
+        // (removed s-CNT) → zero useful CNTs → count failure.
+        let win = Rect::new(10.0, 4.0, 50.0, 8.0).unwrap();
+        assert_eq!(p.count_in(&win), 2);
+        assert_eq!(p.useful_count_in(&win), 0);
+        assert!(p.count_failure(&win));
+    }
+
+    #[test]
+    fn indices_and_copies_agree() {
+        let p = pop();
+        let win = Rect::new(0.0, 0.0, 100.0, 7.0).unwrap();
+        let idx = p.indices_in(&win);
+        let copies = p.cnts_in(&win);
+        assert_eq!(idx.len(), copies.len());
+        assert_eq!(idx, vec![0, 1]);
+    }
+
+    #[test]
+    fn mutation_through_cnts_mut() {
+        let mut p = pop();
+        let all = Rect::new(0.0, 0.0, 100.0, 20.0).unwrap();
+        for c in p.cnts_mut() {
+            c.removed = true;
+        }
+        assert_eq!(p.useful_count_in(&all), 0);
+        assert!(p.count_failure(&all));
+    }
+}

@@ -1,0 +1,172 @@
+//! VMR — VLSI-compatible Metallic-CNT Removal (\[Patil 09c\]).
+//!
+//! An electrical/chemical processing step that removes metallic CNTs with
+//! (conditional) probability `pRm` and, as collateral damage, removes
+//! semiconducting CNTs with probability `pRs`. The paper requires
+//! `pRm > 99.99 %` for VLSI and assumes `pRm ≈ 1` throughout.
+
+use crate::cnt::CntType;
+use crate::population::CntPopulation;
+use crate::{GrowthError, Result};
+use rand::Rng;
+
+/// The VMR removal channel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Vmr {
+    p_rm: f64,
+    p_rs: f64,
+}
+
+impl Vmr {
+    /// Create a VMR process with metallic-removal probability `p_rm` and
+    /// collateral semiconducting-removal probability `p_rs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GrowthError::InvalidParameter`] if either probability lies
+    /// outside `[0, 1]`.
+    pub fn new(p_rm: f64, p_rs: f64) -> Result<Self> {
+        for (name, v) in [("p_rm", p_rm), ("p_rs", p_rs)] {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(GrowthError::InvalidParameter {
+                    name,
+                    value: v,
+                    constraint: "must be in [0, 1]",
+                });
+            }
+        }
+        Ok(Self { p_rm, p_rs })
+    }
+
+    /// The paper's main processing corner: perfect metallic removal
+    /// (`pRm = 1`) with 30 % collateral s-CNT loss.
+    pub fn paper_aggressive() -> Self {
+        Self {
+            p_rm: 1.0,
+            p_rs: 0.30,
+        }
+    }
+
+    /// An idealized VMR with perfect selectivity (`pRm = 1`, `pRs = 0`) —
+    /// the middle curve of paper Fig 2.1.
+    pub fn ideal() -> Self {
+        Self {
+            p_rm: 1.0,
+            p_rs: 0.0,
+        }
+    }
+
+    /// Metallic removal probability `pRm`.
+    pub fn p_rm(&self) -> f64 {
+        self.p_rm
+    }
+
+    /// Collateral semiconducting removal probability `pRs`.
+    pub fn p_rs(&self) -> f64 {
+        self.p_rs
+    }
+
+    /// Per-CNT *count-failure* probability, Eq. (2.1): the probability that
+    /// a CNT does **not** end up as a working semiconducting channel,
+    ///
+    /// ```text
+    /// pf = pm + (1 − pm)·pRs
+    /// ```
+    ///
+    /// Note this is independent of `pRm`: a metallic CNT is useless for the
+    /// channel count whether removed or not (an un-removed m-CNT degrades
+    /// noise margins instead — a different failure mode the paper defers to
+    /// \[Zhang 09b\]).
+    pub fn per_cnt_failure_probability(&self, pm: f64) -> f64 {
+        pm + (1.0 - pm) * self.p_rs
+    }
+
+    /// Rate of *surviving metallic* CNTs, `pm·(1 − pRm)` — the input to
+    /// noise-margin analyses.
+    pub fn surviving_metallic_rate(&self, pm: f64) -> f64 {
+        pm * (1.0 - self.p_rm)
+    }
+
+    /// Apply the removal channel to a population in place, drawing one
+    /// Bernoulli trial per CNT.
+    pub fn apply(&self, pop: &mut CntPopulation, rng: &mut (impl Rng + ?Sized)) {
+        for cnt in pop.cnts_mut() {
+            let p = match cnt.ty {
+                CntType::Metallic => self.p_rm,
+                CntType::Semiconducting => self.p_rs,
+            };
+            if rng.gen::<f64>() < p {
+                cnt.removed = true;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geom::Rect;
+    use crate::growth::{DirectionalGrowth, Growth, GrowthParams, LengthModel};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn validation() {
+        assert!(Vmr::new(1.1, 0.0).is_err());
+        assert!(Vmr::new(1.0, -0.2).is_err());
+        assert!(Vmr::new(0.9999, 0.3).is_ok());
+    }
+
+    #[test]
+    fn eq_2_1_failure_probability() {
+        let vmr = Vmr::paper_aggressive();
+        // pf = 0.33 + 0.67 · 0.30 = 0.531
+        assert!((vmr.per_cnt_failure_probability(0.33) - 0.531).abs() < 1e-12);
+        let ideal = Vmr::ideal();
+        assert_eq!(ideal.per_cnt_failure_probability(0.33), 0.33);
+        assert_eq!(ideal.per_cnt_failure_probability(0.0), 0.0);
+        // pf does not depend on pRm.
+        let leaky = Vmr::new(0.5, 0.30).unwrap();
+        assert!(
+            (leaky.per_cnt_failure_probability(0.33)
+                - vmr.per_cnt_failure_probability(0.33))
+            .abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn surviving_metallic_rate() {
+        let v = Vmr::new(0.9999, 0.3).unwrap();
+        assert!((v.surviving_metallic_rate(0.33) - 0.33 * 1e-4).abs() < 1e-9);
+        assert_eq!(Vmr::ideal().surviving_metallic_rate(0.33), 0.0);
+    }
+
+    #[test]
+    fn apply_removes_expected_fractions() {
+        let params = GrowthParams::new(4.0, 0.82, 0.33, LengthModel::Fixed(500.0)).unwrap();
+        let growth = DirectionalGrowth::new(params);
+        let region = Rect::new(0.0, 0.0, 4000.0, 2000.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut pop = growth.grow(region, &mut rng);
+        let vmr = Vmr::new(1.0, 0.30).unwrap();
+        vmr.apply(&mut pop, &mut rng);
+
+        let (mut m_total, mut m_removed, mut s_total, mut s_removed) = (0u32, 0u32, 0u32, 0u32);
+        for c in pop.cnts() {
+            match c.ty {
+                CntType::Metallic => {
+                    m_total += 1;
+                    m_removed += c.removed as u32;
+                }
+                CntType::Semiconducting => {
+                    s_total += 1;
+                    s_removed += c.removed as u32;
+                }
+            }
+        }
+        assert_eq!(m_total, m_removed, "pRm = 1 must remove every m-CNT");
+        let s_frac = s_removed as f64 / s_total as f64;
+        assert!((s_frac - 0.30).abs() < 0.03, "s-CNT removal fraction {s_frac}");
+    }
+}

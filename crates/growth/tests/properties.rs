@@ -1,0 +1,113 @@
+//! Property-based tests for geometry and growth.
+
+use cnt_growth::geom::{clip_segment, Point, Rect};
+use cnt_growth::{DirectionalGrowth, Growth, GrowthParams, LengthModel, Vmr};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #[test]
+    fn clipped_segments_stay_inside_the_rect(
+        x0 in -50.0f64..50.0,
+        y0 in -50.0f64..50.0,
+        x1 in -50.0f64..50.0,
+        y1 in -50.0f64..50.0,
+    ) {
+        let rect = Rect::new(-10.0, -10.0, 20.0, 20.0).unwrap();
+        if let Some((a, b)) = clip_segment(Point::new(x0, y0), Point::new(x1, y1), &rect) {
+            for p in [a, b] {
+                prop_assert!(p.x >= rect.x0() - 1e-9 && p.x <= rect.x1() + 1e-9);
+                prop_assert!(p.y >= rect.y0() - 1e-9 && p.y <= rect.y1() + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn clipping_is_idempotent(
+        x0 in -50.0f64..50.0,
+        y0 in -50.0f64..50.0,
+        x1 in -50.0f64..50.0,
+        y1 in -50.0f64..50.0,
+    ) {
+        let rect = Rect::new(-10.0, -10.0, 20.0, 20.0).unwrap();
+        if let Some((a, b)) = clip_segment(Point::new(x0, y0), Point::new(x1, y1), &rect) {
+            let again = clip_segment(a, b, &rect);
+            prop_assert!(again.is_some(), "clipped segment must re-clip");
+            let (a2, b2) = again.unwrap();
+            prop_assert!(a.distance(&a2) < 1e-6 && b.distance(&b2) < 1e-6);
+        }
+    }
+
+    #[test]
+    fn segments_fully_inside_are_unchanged(
+        x0 in -9.0f64..9.0,
+        y0 in -9.0f64..9.0,
+        x1 in -9.0f64..9.0,
+        y1 in -9.0f64..9.0,
+    ) {
+        let rect = Rect::new(-10.0, -10.0, 20.0, 20.0).unwrap();
+        let (a, b) = clip_segment(Point::new(x0, y0), Point::new(x1, y1), &rect)
+            .expect("inside segment must clip to itself");
+        prop_assert!(a.distance(&Point::new(x0, y0)) < 1e-12);
+        prop_assert!(b.distance(&Point::new(x1, y1)) < 1e-12);
+    }
+
+    #[test]
+    fn rect_intersection_is_commutative_and_contained(
+        ax in -20.0f64..20.0, ay in -20.0f64..20.0, aw in 0.1f64..30.0, ah in 0.1f64..30.0,
+        bx in -20.0f64..20.0, by in -20.0f64..20.0, bw in 0.1f64..30.0, bh in 0.1f64..30.0,
+    ) {
+        let a = Rect::new(ax, ay, aw, ah).unwrap();
+        let b = Rect::new(bx, by, bw, bh).unwrap();
+        let ab = a.intersection(&b);
+        let ba = b.intersection(&a);
+        prop_assert_eq!(ab.is_some(), ba.is_some());
+        if let (Some(i), Some(j)) = (ab, ba) {
+            prop_assert!((i.x0() - j.x0()).abs() < 1e-12);
+            prop_assert!((i.area() - j.area()).abs() < 1e-9);
+            prop_assert!(i.area() <= a.area() + 1e-9 && i.area() <= b.area() + 1e-9);
+        }
+    }
+
+    #[test]
+    fn track_count_scales_with_region_height(
+        height in 400.0f64..1200.0,
+        seed in 0u64..50,
+    ) {
+        let params = GrowthParams::new(4.0, 0.8, 0.33, LengthModel::Fixed(500.0)).unwrap();
+        let growth = DirectionalGrowth::new(params);
+        let region = Rect::new(0.0, 0.0, 200.0, height).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pop = growth.grow(region, &mut rng);
+        let expected = height / 4.0;
+        // Counting noise: ±40 % covers seeds comfortably at these sizes.
+        prop_assert!(
+            (pop.track_count() as f64) > expected * 0.6 &&
+            (pop.track_count() as f64) < expected * 1.4,
+            "height {height}: {} tracks vs expected {expected}",
+            pop.track_count()
+        );
+    }
+
+    #[test]
+    fn vmr_only_ever_removes(
+        seed in 0u64..50,
+        p_rs in 0.0f64..1.0,
+    ) {
+        let params = GrowthParams::new(4.0, 0.8, 0.33, LengthModel::Fixed(500.0)).unwrap();
+        let growth = DirectionalGrowth::new(params);
+        let region = Rect::new(0.0, 0.0, 500.0, 300.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut pop = growth.grow(region, &mut rng);
+        let useful_before = pop.cnts().iter().filter(|c| c.is_useful()).count();
+        Vmr::new(1.0, p_rs).unwrap().apply(&mut pop, &mut rng);
+        let useful_after = pop.cnts().iter().filter(|c| c.is_useful()).count();
+        prop_assert!(useful_after <= useful_before);
+        // With pRm = 1 no metallic survivor may remain.
+        prop_assert_eq!(
+            pop.cnts().iter().filter(|c| c.is_surviving_metallic()).count(),
+            0
+        );
+    }
+}

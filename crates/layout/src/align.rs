@@ -1,0 +1,459 @@
+//! The aligned-active transform: move critical strips onto global grid
+//! rows, re-pack x collisions, and price the resulting cell widening.
+
+use crate::{LayoutError, Result};
+use cnfet_celllib::cell::{ActiveStrip, Cell, TechParams};
+use cnfet_celllib::CellLibrary;
+use cnfet_device::FetType;
+use cnt_growth::Rect;
+
+/// How many global grid rows each polarity gets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GridPolicy {
+    /// One aligned active region per polarity: maximal correlation benefit,
+    /// maximal alignment cost (paper Table 2, "one aligned active region").
+    #[default]
+    Single,
+    /// Two aligned active regions per polarity: halves the correlation
+    /// benefit (`M_Rmin / 2`) but eliminates the area penalty (paper
+    /// Sec. 3.3, "two aligned active regions").
+    Dual,
+}
+
+impl GridPolicy {
+    /// Number of grid rows per polarity.
+    pub fn rows(&self) -> usize {
+        match self {
+            GridPolicy::Single => 1,
+            GridPolicy::Dual => 2,
+        }
+    }
+
+    /// The factor by which the row-correlation benefit shrinks relative to
+    /// the single-grid case (paper: 2× for two grids).
+    pub fn benefit_division(&self) -> f64 {
+        self.rows() as f64
+    }
+}
+
+/// Options controlling the alignment transform.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AlignmentOptions {
+    /// Grid policy (one or two rows per polarity).
+    pub policy: GridPolicy,
+    /// Only strips containing a transistor with width `< critical_width`
+    /// are forced onto the grid; `None` aligns every strip (the paper notes
+    /// aligning non-critical regions is "still beneficial").
+    pub critical_width: Option<f64>,
+    /// Minimum x gap between re-packed strips (diffusion break), nm.
+    pub strip_x_gap: f64,
+}
+
+impl Default for AlignmentOptions {
+    fn default() -> Self {
+        Self {
+            policy: GridPolicy::Single,
+            critical_width: None,
+            strip_x_gap: 40.0,
+        }
+    }
+}
+
+/// Result of aligning one cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellAlignment {
+    /// Cell name.
+    pub cell_name: String,
+    /// Pre-transform cell width (nm).
+    pub old_width: f64,
+    /// Post-transform cell width (nm).
+    pub new_width: f64,
+    /// Strips after the transform (cell-local coordinates).
+    pub new_strips: Vec<ActiveStrip>,
+    /// Number of strips that changed position.
+    pub moved_strips: usize,
+}
+
+impl CellAlignment {
+    /// Relative width/area penalty (cell height is fixed, so width increase
+    /// is area increase): `new/old − 1`, ≥ 0.
+    pub fn penalty(&self) -> f64 {
+        (self.new_width / self.old_width - 1.0).max(0.0)
+    }
+
+    /// Whether the cell had to grow.
+    pub fn widened(&self) -> bool {
+        self.new_width > self.old_width + 1e-9
+    }
+}
+
+/// Whether a strip is critical under the options (contains a device below
+/// the critical width, or everything is critical when no threshold is set).
+fn strip_is_critical(cell: &Cell, strip_idx: usize, options: &AlignmentOptions) -> bool {
+    match options.critical_width {
+        None => true,
+        Some(w_min) => cell
+            .transistors()
+            .iter()
+            .any(|t| t.strip == strip_idx && t.width < w_min),
+    }
+}
+
+/// Align one cell's critical strips onto the grid rows of its polarity.
+///
+/// Strips assigned to the same grid row must not overlap in x; colliding
+/// strips are re-packed left-to-right with [`AlignmentOptions::strip_x_gap`]
+/// between them, and the cell widens if the packing exceeds its old width.
+/// Strip-to-row assignment is chosen (exhaustively — cells have ≤ 4 strips
+/// per polarity) to minimize the resulting width.
+///
+/// # Errors
+///
+/// Returns [`LayoutError::InvalidParameter`] for a non-positive
+/// `strip_x_gap`; geometry errors indicate inconsistent inputs.
+pub fn align_cell(cell: &Cell, tech: &TechParams, options: &AlignmentOptions) -> Result<CellAlignment> {
+    if !(options.strip_x_gap.is_finite() && options.strip_x_gap >= 0.0) {
+        return Err(LayoutError::InvalidParameter {
+            name: "strip_x_gap",
+            value: options.strip_x_gap,
+            constraint: "must be finite and >= 0",
+        });
+    }
+
+    let mut new_strips: Vec<ActiveStrip> = Vec::with_capacity(cell.strips().len());
+    let mut required_width = cell.width();
+    let mut moved = 0usize;
+
+    for fet_type in [FetType::NType, FetType::PType] {
+        let band_lo = match fet_type {
+            FetType::NType => tech.n_band.0,
+            FetType::PType => tech.p_band.0,
+        };
+        // Indices of this polarity's strips in the cell's strip list.
+        let indices: Vec<usize> = cell
+            .strips()
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.fet_type == fet_type)
+            .map(|(i, _)| i)
+            .collect();
+        if indices.is_empty() {
+            continue;
+        }
+        let critical: Vec<usize> = indices
+            .iter()
+            .copied()
+            .filter(|&i| strip_is_critical(cell, i, options))
+            .collect();
+        // Non-critical strips keep their position.
+        for &i in indices.iter().filter(|i| !critical.contains(i)) {
+            new_strips.push(cell.strips()[i]);
+        }
+        if critical.is_empty() {
+            continue;
+        }
+
+        let rows = options.policy.rows();
+        // Enumerate assignments of critical strips to grid rows (k^n, with
+        // n ≤ 4 in practice) and keep the one needing the least width.
+        let n = critical.len();
+        let mut best: Option<(f64, Vec<usize>)> = None;
+        let assignments = rows.pow(n as u32);
+        for code in 0..assignments {
+            let mut rowof = vec![0usize; n];
+            let mut c = code;
+            for r in rowof.iter_mut() {
+                *r = c % rows;
+                c /= rows;
+            }
+            // Width needed by each row under this assignment.
+            let mut width_needed: f64 = 0.0;
+            for row in 0..rows {
+                let members: Vec<usize> = (0..n).filter(|&k| rowof[k] == row).collect();
+                if members.is_empty() {
+                    continue;
+                }
+                // If the members already avoid x-overlap, they can keep
+                // their x positions: the row just needs the rightmost edge.
+                let mut overlap = false;
+                for a in 0..members.len() {
+                    for b in a + 1..members.len() {
+                        let ra = cell.strips()[critical[members[a]]].rect;
+                        let rb = cell.strips()[critical[members[b]]].rect;
+                        if ra.x0() < rb.x1() && rb.x0() < ra.x1() {
+                            overlap = true;
+                        }
+                    }
+                }
+                let row_width = if overlap {
+                    // Re-pack the colliding strips side by side. Columns the
+                    // strips used to *share* vertically must be duplicated,
+                    // so the cell grows by (packed span − union span); all
+                    // non-diffusion width (routing columns, margins) is
+                    // preserved.
+                    let total_extent: f64 = members
+                        .iter()
+                        .map(|&k| cell.strips()[critical[k]].rect.width())
+                        .sum();
+                    let packed =
+                        total_extent + (members.len() - 1) as f64 * options.strip_x_gap;
+                    let union_lo = members
+                        .iter()
+                        .map(|&k| cell.strips()[critical[k]].rect.x0())
+                        .fold(f64::INFINITY, f64::min);
+                    let union_hi = members
+                        .iter()
+                        .map(|&k| cell.strips()[critical[k]].rect.x1())
+                        .fold(f64::NEG_INFINITY, f64::max);
+                    cell.width() + (packed - (union_hi - union_lo)).max(0.0)
+                } else {
+                    let rightmost = members
+                        .iter()
+                        .map(|&k| cell.strips()[critical[k]].rect.x1())
+                        .fold(0.0_f64, f64::max);
+                    rightmost + tech.edge_margin
+                };
+                width_needed = width_needed.max(row_width);
+            }
+            if best.as_ref().is_none_or(|(w, _)| width_needed < *w) {
+                best = Some((width_needed, rowof));
+            }
+        }
+        let (polarity_width, rowof) = best.expect("at least one assignment exists");
+        required_width = required_width.max(polarity_width);
+
+        // Materialize the new strip rectangles: pack each row left-to-right
+        // at the grid y positions (row 0 at band_lo; row 1 stacked above).
+        for row in 0..rows {
+            let members: Vec<usize> = (0..n).filter(|&k| rowof[k] == row).collect();
+            let mut cursor = tech.edge_margin;
+            for &k in &members {
+                let old = cell.strips()[critical[k]];
+                let height = old.rect.height();
+                let y = band_lo
+                    + row as f64 * (tech.finger_cap_multi + tech.strip_gap);
+                let rect = Rect::new(cursor, y, old.rect.width(), height)?;
+                if (rect.x0() - old.rect.x0()).abs() > 1e-9
+                    || (rect.y0() - old.rect.y0()).abs() > 1e-9
+                {
+                    moved += 1;
+                }
+                new_strips.push(ActiveStrip {
+                    fet_type,
+                    rect,
+                    band: row as u8,
+                });
+                cursor = rect.x1() + options.strip_x_gap;
+            }
+        }
+    }
+
+    Ok(CellAlignment {
+        cell_name: cell.name().to_string(),
+        old_width: cell.width(),
+        new_width: required_width,
+        new_strips,
+        moved_strips: moved,
+    })
+}
+
+/// Aggregate alignment results for a whole library (one Table 2 column).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LibraryAlignment {
+    /// Library name.
+    pub library: String,
+    /// Grid policy used.
+    pub policy: GridPolicy,
+    /// Per-cell outcomes.
+    pub cells: Vec<CellAlignment>,
+}
+
+impl LibraryAlignment {
+    /// Number of cells in the library.
+    pub fn total_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Cells that had to widen.
+    pub fn penalized(&self) -> Vec<&CellAlignment> {
+        self.cells.iter().filter(|c| c.widened()).collect()
+    }
+
+    /// Fraction of cells with an area penalty.
+    pub fn penalized_fraction(&self) -> f64 {
+        self.penalized().len() as f64 / self.total_cells() as f64
+    }
+
+    /// Smallest non-zero penalty, if any cell was penalized.
+    pub fn min_penalty(&self) -> Option<f64> {
+        self.penalized()
+            .iter()
+            .map(|c| c.penalty())
+            .min_by(|a, b| a.partial_cmp(b).expect("penalties are finite"))
+    }
+
+    /// Largest penalty, if any cell was penalized.
+    pub fn max_penalty(&self) -> Option<f64> {
+        self.penalized()
+            .iter()
+            .map(|c| c.penalty())
+            .max_by(|a, b| a.partial_cmp(b).expect("penalties are finite"))
+    }
+
+    /// Penalty of a specific cell.
+    pub fn penalty_of(&self, cell_name: &str) -> Option<f64> {
+        self.cells
+            .iter()
+            .find(|c| c.cell_name == cell_name)
+            .map(CellAlignment::penalty)
+    }
+}
+
+/// Align every cell of a library (paper Sec. 3.2 applied library-wide).
+///
+/// # Errors
+///
+/// Propagates [`align_cell`] errors.
+pub fn align_library(lib: &CellLibrary, options: &AlignmentOptions) -> Result<LibraryAlignment> {
+    let mut cells = Vec::with_capacity(lib.cells().len());
+    for cell in lib.cells() {
+        cells.push(align_cell(cell, lib.tech(), options)?);
+    }
+    Ok(LibraryAlignment {
+        library: lib.name().to_string(),
+        policy: options.policy,
+        cells,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnfet_celllib::cell::{DriveStrength, LayoutStyle};
+    use cnfet_celllib::nangate45::nangate45_like;
+    use cnfet_celllib::CellFamily;
+
+    fn opts_single() -> AlignmentOptions {
+        AlignmentOptions::default()
+    }
+
+    fn opts_dual() -> AlignmentOptions {
+        AlignmentOptions {
+            policy: GridPolicy::Dual,
+            ..AlignmentOptions::default()
+        }
+    }
+
+    #[test]
+    fn single_strip_cells_are_free() {
+        let tech = TechParams::nangate45();
+        let inv =
+            Cell::synthesize(CellFamily::Inv, DriveStrength::X1, &tech, LayoutStyle::Relaxed)
+                .unwrap();
+        let a = align_cell(&inv, &tech, &opts_single()).unwrap();
+        assert!(!a.widened());
+        assert_eq!(a.penalty(), 0.0);
+    }
+
+    #[test]
+    fn aoi222_pays_under_single_grid_but_not_dual() {
+        let tech = TechParams::nangate45();
+        let aoi = Cell::synthesize(
+            CellFamily::Aoi(&[2, 2, 2]),
+            DriveStrength::X1,
+            &tech,
+            LayoutStyle::Relaxed,
+        )
+        .unwrap();
+        let single = align_cell(&aoi, &tech, &opts_single()).unwrap();
+        assert!(single.widened(), "AOI222_X1 must widen under one grid");
+        // Paper Fig 3.2: ~9 % width increase.
+        let p = single.penalty();
+        assert!((0.04..0.16).contains(&p), "AOI222_X1 penalty {p}");
+
+        let dual = align_cell(&aoi, &tech, &opts_dual()).unwrap();
+        assert_eq!(dual.penalty(), 0.0, "two grids absorb the overlap");
+    }
+
+    #[test]
+    fn relaxed_flop_is_free_under_single_grid() {
+        let tech = TechParams::nangate45();
+        let dff = Cell::synthesize(
+            CellFamily::Dff {
+                reset: false,
+                set: false,
+                scan: false,
+            },
+            DriveStrength::X1,
+            &tech,
+            LayoutStyle::Relaxed,
+        )
+        .unwrap();
+        let a = align_cell(&dff, &tech, &opts_single()).unwrap();
+        // Strips are x-disjoint: they land on one row side by side.
+        assert_eq!(a.penalty(), 0.0, "penalty {}", a.penalty());
+    }
+
+    #[test]
+    fn nangate_library_matches_paper_counts() {
+        let lib = nangate45_like();
+        let aligned = align_library(&lib, &opts_single()).unwrap();
+        let penalized: Vec<&str> = aligned
+            .penalized()
+            .iter()
+            .map(|c| c.cell_name.as_str())
+            .collect();
+        assert_eq!(
+            penalized,
+            vec!["AOI222_X1", "AOI222_X2", "OAI222_X1", "OAI222_X2"],
+            "paper: 4 cells with area penalty"
+        );
+        let min = aligned.min_penalty().unwrap();
+        let max = aligned.max_penalty().unwrap();
+        // Paper Table 2 (Nangate column): min 4 %, max 14 %.
+        assert!((0.04..0.14).contains(&min), "min penalty {min}");
+        assert!((0.06..0.16).contains(&max), "max penalty {max}");
+    }
+
+    #[test]
+    fn dual_grid_zeroes_nangate_penalties() {
+        let lib = nangate45_like();
+        let aligned = align_library(&lib, &opts_dual()).unwrap();
+        assert_eq!(aligned.penalized().len(), 0);
+        assert!(aligned.min_penalty().is_none());
+    }
+
+    #[test]
+    fn critical_width_filter_skips_large_strips() {
+        let tech = TechParams::nangate45();
+        let aoi = Cell::synthesize(
+            CellFamily::Aoi(&[2, 2, 2]),
+            DriveStrength::X1,
+            &tech,
+            LayoutStyle::Relaxed,
+        )
+        .unwrap();
+        // Threshold below every transistor width → nothing is critical →
+        // nothing moves.
+        let opts = AlignmentOptions {
+            critical_width: Some(10.0),
+            ..AlignmentOptions::default()
+        };
+        let a = align_cell(&aoi, &tech, &opts).unwrap();
+        assert_eq!(a.moved_strips, 0);
+        assert_eq!(a.penalty(), 0.0);
+    }
+
+    #[test]
+    fn invalid_gap_rejected() {
+        let tech = TechParams::nangate45();
+        let inv =
+            Cell::synthesize(CellFamily::Inv, DriveStrength::X1, &tech, LayoutStyle::Relaxed)
+                .unwrap();
+        let opts = AlignmentOptions {
+            strip_x_gap: f64::NAN,
+            ..AlignmentOptions::default()
+        };
+        assert!(align_cell(&inv, &tech, &opts).is_err());
+    }
+}

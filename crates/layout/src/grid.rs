@@ -1,0 +1,127 @@
+//! Global alignment grids: the shared y-coordinates that active regions
+//! snap to across the whole die.
+
+use crate::align::GridPolicy;
+use crate::{LayoutError, Result};
+use cnfet_celllib::cell::TechParams;
+
+/// The global y-grid for aligned active regions.
+///
+/// Cells placed in a standard-cell row inherit these y positions, so every
+/// aligned CNFET in the row shares its y-span — and therefore its CNTs —
+/// with its row neighbours (paper Fig 3.1c).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlignmentGrid {
+    n_rows: Vec<f64>,
+    p_rows: Vec<f64>,
+    row_height: f64,
+}
+
+impl AlignmentGrid {
+    /// Derive the grid from technology parameters and a policy.
+    ///
+    /// Row 0 of each polarity sits at the bottom of the polarity band; the
+    /// optional second row is stacked one maximal-strip-height (plus gap)
+    /// above.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LayoutError::InvalidParameter`] if the second row would
+    /// escape the polarity band (inconsistent [`TechParams`]).
+    pub fn from_tech(tech: &TechParams, policy: GridPolicy) -> Result<Self> {
+        let pitch = tech.finger_cap_multi + tech.strip_gap;
+        let mut n_rows = vec![tech.n_band.0];
+        let mut p_rows = vec![tech.p_band.0];
+        if policy == GridPolicy::Dual {
+            let n1 = tech.n_band.0 + pitch;
+            let p1 = tech.p_band.0 + pitch;
+            if n1 + tech.finger_cap_multi > tech.n_band.1
+                || p1 + tech.finger_cap_multi > tech.p_band.1
+            {
+                return Err(LayoutError::InvalidParameter {
+                    name: "n_band/p_band",
+                    value: n1,
+                    constraint: "polarity band too short for a second grid row",
+                });
+            }
+            n_rows.push(n1);
+            p_rows.push(p1);
+        }
+        Ok(Self {
+            n_rows,
+            p_rows,
+            row_height: tech.finger_cap_multi,
+        })
+    }
+
+    /// y positions of the n-type grid rows (cell-local coordinates).
+    pub fn n_rows(&self) -> &[f64] {
+        &self.n_rows
+    }
+
+    /// y positions of the p-type grid rows.
+    pub fn p_rows(&self) -> &[f64] {
+        &self.p_rows
+    }
+
+    /// Maximum strip height a grid row accommodates (nm).
+    pub fn row_height(&self) -> f64 {
+        self.row_height
+    }
+
+    /// Snap a strip's y to the nearest grid row of its polarity; returns
+    /// the row index and the snapped y.
+    pub fn snap(&self, fet_type: cnfet_device::FetType, y: f64) -> (usize, f64) {
+        let rows = match fet_type {
+            cnfet_device::FetType::NType => &self.n_rows,
+            cnfet_device::FetType::PType => &self.p_rows,
+        };
+        let mut best = (0usize, rows[0]);
+        let mut best_d = (y - rows[0]).abs();
+        for (i, &r) in rows.iter().enumerate().skip(1) {
+            let d = (y - r).abs();
+            if d < best_d {
+                best = (i, r);
+                best_d = d;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnfet_device::FetType;
+
+    #[test]
+    fn single_grid_has_one_row_per_polarity() {
+        let tech = TechParams::nangate45();
+        let g = AlignmentGrid::from_tech(&tech, GridPolicy::Single).unwrap();
+        assert_eq!(g.n_rows().len(), 1);
+        assert_eq!(g.p_rows().len(), 1);
+        assert_eq!(g.n_rows()[0], tech.n_band.0);
+    }
+
+    #[test]
+    fn dual_grid_rows_fit_in_band() {
+        let tech = TechParams::nangate45();
+        let g = AlignmentGrid::from_tech(&tech, GridPolicy::Dual).unwrap();
+        assert_eq!(g.n_rows().len(), 2);
+        assert!(g.n_rows()[1] + g.row_height() <= tech.n_band.1 + 1e-9);
+    }
+
+    #[test]
+    fn snapping_picks_nearest_row() {
+        let tech = TechParams::nangate45();
+        let g = AlignmentGrid::from_tech(&tech, GridPolicy::Dual).unwrap();
+        let (i0, y0) = g.snap(FetType::NType, tech.n_band.0 + 1.0);
+        assert_eq!(i0, 0);
+        assert_eq!(y0, tech.n_band.0);
+        let (i1, _) = g.snap(FetType::NType, tech.n_band.1);
+        assert_eq!(i1, 1);
+        let (ip, yp) = g.snap(FetType::PType, tech.p_band.0 - 5.0);
+        assert_eq!(ip, 0);
+        assert_eq!(yp, tech.p_band.0);
+    }
+}

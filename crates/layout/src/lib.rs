@@ -1,0 +1,108 @@
+//! # cnfet-layout
+//!
+//! The **aligned-active layout restriction** (paper Sec. 3.2) and the
+//! placement machinery that quantifies its benefits and costs.
+//!
+//! Directional CNT growth correlates the CNTs seen by CNFETs that share the
+//! same y-span. To harvest that correlation chip-wide, every *critical*
+//! active region (those holding yield-limiting small-width CNFETs) must sit
+//! on a globally shared y-grid — within each cell **and across cells**. The
+//! transform implemented here follows the paper's heuristic:
+//!
+//! 1. estimate `W_min` (done in `cnfet-core`),
+//! 2. find critical active regions,
+//! 3. move the n-type (resp. p-type) critical regions of every cell onto a
+//!    global grid row ([`align`]),
+//! 4. re-pack regions that collide in x, widening the cell if necessary.
+//!
+//! Step 4 is where the area cost of Table 2 comes from: cells whose strips
+//! overlap in x (compact high-fan-in cells, flip-flops) must grow. The
+//! [`align::GridPolicy::Dual`] variant allows two grid rows per polarity,
+//! which removes the overlap cost at a 2× reduction of the correlation
+//! benefit (paper Sec. 3.3).
+//!
+//! [`placement`] places cells into standard-cell rows and measures
+//! `P_min-CNFET`, the linear density of critical CNFETs per row — the
+//! quantity that, together with the CNT length `L_CNT`, sets the row
+//! correlation factor `M_Rmin = L_CNT · ρ` of Eq. (3.2).
+
+pub mod align;
+pub mod grid;
+pub mod placement;
+
+use std::error::Error;
+use std::fmt;
+
+/// Error type for layout operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LayoutError {
+    /// A parameter was outside its valid domain.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+        /// Human-readable constraint.
+        constraint: &'static str,
+    },
+    /// Underlying geometry error.
+    Growth(cnt_growth::GrowthError),
+    /// Underlying library error.
+    CellLib(cnfet_celllib::CellLibError),
+}
+
+impl fmt::Display for LayoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LayoutError::InvalidParameter {
+                name,
+                value,
+                constraint,
+            } => write!(f, "invalid parameter `{name}` = {value}: {constraint}"),
+            LayoutError::Growth(e) => write!(f, "geometry error: {e}"),
+            LayoutError::CellLib(e) => write!(f, "cell library error: {e}"),
+        }
+    }
+}
+
+impl Error for LayoutError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            LayoutError::Growth(e) => Some(e),
+            LayoutError::CellLib(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<cnt_growth::GrowthError> for LayoutError {
+    fn from(e: cnt_growth::GrowthError) -> Self {
+        LayoutError::Growth(e)
+    }
+}
+
+impl From<cnfet_celllib::CellLibError> for LayoutError {
+    fn from(e: cnfet_celllib::CellLibError) -> Self {
+        LayoutError::CellLib(e)
+    }
+}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, LayoutError>;
+
+pub use align::{align_cell, align_library, AlignmentOptions, CellAlignment, GridPolicy,
+    LibraryAlignment};
+pub use grid::AlignmentGrid;
+pub use placement::{place_cells, PlacedDesign, PlacedRow, PlacementOptions};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_chain() {
+        let e: LayoutError = cnfet_celllib::CellLibError::UnknownCell("X".into()).into();
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(e.to_string().contains("cell library error"));
+    }
+}

@@ -1,0 +1,280 @@
+//! Row-based placement and the `P_min-CNFET` density extraction.
+//!
+//! The correlation benefit of Eq. (3.2), `M_Rmin = L_CNT · ρ`, depends on
+//! the linear density `ρ` of critical (small-width) CNFETs along a
+//! standard-cell row. This module places a bag of cells into rows (greedy
+//! fill at a target utilization — the detail that matters for `ρ` is the
+//! cells-per-length mix, not the optimization quality) and measures `ρ`.
+
+use crate::{LayoutError, Result};
+use cnfet_celllib::Cell;
+
+/// Options for row placement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlacementOptions {
+    /// Row width (nm). Default 100 µm.
+    pub row_width: f64,
+    /// Placement utilization (fraction of row width occupied by cells).
+    pub utilization: f64,
+}
+
+impl Default for PlacementOptions {
+    fn default() -> Self {
+        Self {
+            row_width: 100_000.0,
+            utilization: 0.75,
+        }
+    }
+}
+
+/// One placed cell: library index + x position.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlacedCell {
+    /// Index into the placed design's cell list.
+    pub cell: usize,
+    /// x of the cell's left edge within its row (nm).
+    pub x: f64,
+}
+
+/// A filled standard-cell row.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PlacedRow {
+    /// Cells in left-to-right order.
+    pub cells: Vec<PlacedCell>,
+    /// Occupied width (nm).
+    pub occupied: f64,
+}
+
+/// A design placed into rows.
+#[derive(Debug, Clone)]
+pub struct PlacedDesign<'a> {
+    cells: Vec<&'a Cell>,
+    rows: Vec<PlacedRow>,
+    options: PlacementOptions,
+}
+
+impl<'a> PlacedDesign<'a> {
+    /// The distinct placed cell instances (index space of
+    /// [`PlacedCell::cell`]).
+    pub fn cells(&self) -> &[&'a Cell] {
+        &self.cells
+    }
+
+    /// The rows.
+    pub fn rows(&self) -> &[PlacedRow] {
+        &self.rows
+    }
+
+    /// Number of rows used.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Placement options used.
+    pub fn options(&self) -> PlacementOptions {
+        self.options
+    }
+
+    /// Total transistor count across all placed cells.
+    pub fn transistor_count(&self) -> usize {
+        self.rows
+            .iter()
+            .flat_map(|r| &r.cells)
+            .map(|pc| self.cells[pc.cell].transistors().len())
+            .sum()
+    }
+
+    /// Linear density (per µm of row) of transistors with width strictly
+    /// below `w_threshold` — the `P_min-CNFET` of Eq. (3.2), averaged over
+    /// rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LayoutError::InvalidParameter`] if the design is empty or
+    /// the threshold is not positive.
+    pub fn min_fet_density_per_um(&self, w_threshold: f64) -> Result<f64> {
+        if !(w_threshold.is_finite() && w_threshold > 0.0) {
+            return Err(LayoutError::InvalidParameter {
+                name: "w_threshold",
+                value: w_threshold,
+                constraint: "must be finite and > 0",
+            });
+        }
+        if self.rows.is_empty() {
+            return Err(LayoutError::InvalidParameter {
+                name: "rows",
+                value: 0.0,
+                constraint: "design has no placed rows",
+            });
+        }
+        let mut critical = 0usize;
+        for row in &self.rows {
+            for pc in &row.cells {
+                critical += self.cells[pc.cell]
+                    .transistors()
+                    .iter()
+                    .filter(|t| t.width < w_threshold)
+                    .count();
+            }
+        }
+        let total_length_um = self.rows.len() as f64 * self.options.row_width / 1000.0;
+        Ok(critical as f64 / total_length_um)
+    }
+
+    /// Count of transistors with width strictly below the threshold
+    /// (`M_min` of Sec. 2.2 for this placed design).
+    pub fn min_fet_count(&self, w_threshold: f64) -> usize {
+        self.rows
+            .iter()
+            .flat_map(|r| &r.cells)
+            .map(|pc| {
+                self.cells[pc.cell]
+                    .transistors()
+                    .iter()
+                    .filter(|t| t.width < w_threshold)
+                    .count()
+            })
+            .sum()
+    }
+}
+
+/// Greedily place `instances` (multiset of cells, given as repeated refs)
+/// into rows at the target utilization.
+///
+/// # Errors
+///
+/// Returns [`LayoutError::InvalidParameter`] for empty input, a
+/// non-positive row width, or a utilization outside `(0, 1]`.
+pub fn place_cells<'a>(
+    instances: &[&'a Cell],
+    options: PlacementOptions,
+) -> Result<PlacedDesign<'a>> {
+    if instances.is_empty() {
+        return Err(LayoutError::InvalidParameter {
+            name: "instances",
+            value: 0.0,
+            constraint: "must not be empty",
+        });
+    }
+    if !(options.row_width.is_finite() && options.row_width > 0.0) {
+        return Err(LayoutError::InvalidParameter {
+            name: "row_width",
+            value: options.row_width,
+            constraint: "must be finite and > 0",
+        });
+    }
+    if !(options.utilization > 0.0 && options.utilization <= 1.0) {
+        return Err(LayoutError::InvalidParameter {
+            name: "utilization",
+            value: options.utilization,
+            constraint: "must be in (0, 1]",
+        });
+    }
+
+    let budget = options.row_width * options.utilization;
+    // Whitespace is distributed between cells so the physical spread
+    // matches the utilization (as a placer's spreading step would).
+    let mut rows: Vec<PlacedRow> = vec![PlacedRow::default()];
+    let mut fill = 0.0_f64; // occupied cell width in the current row
+
+    let cells: Vec<&Cell> = instances.to_vec();
+    for (i, cell) in cells.iter().enumerate() {
+        let w = cell.width();
+        if fill + w > budget && fill > 0.0 {
+            rows.push(PlacedRow::default());
+            fill = 0.0;
+        }
+        let row = rows.last_mut().expect("at least one row");
+        // Spread position: scale the packed offset by 1/utilization.
+        let x = fill / options.utilization;
+        row.cells.push(PlacedCell { cell: i, x });
+        fill += w;
+        row.occupied = fill;
+    }
+
+    Ok(PlacedDesign {
+        cells,
+        rows,
+        options,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnfet_celllib::cell::{DriveStrength, LayoutStyle, TechParams};
+    use cnfet_celllib::CellFamily;
+
+    fn cells() -> (Cell, Cell) {
+        let tech = TechParams::nangate45();
+        let inv =
+            Cell::synthesize(CellFamily::Inv, DriveStrength::X1, &tech, LayoutStyle::Relaxed)
+                .unwrap();
+        let dff = Cell::synthesize(
+            CellFamily::Dff {
+                reset: false,
+                set: false,
+                scan: false,
+            },
+            DriveStrength::X1,
+            &tech,
+            LayoutStyle::Relaxed,
+        )
+        .unwrap();
+        (inv, dff)
+    }
+
+    #[test]
+    fn validation() {
+        let (inv, _) = cells();
+        assert!(place_cells(&[], PlacementOptions::default()).is_err());
+        let bad = PlacementOptions {
+            utilization: 0.0,
+            ..Default::default()
+        };
+        assert!(place_cells(&[&inv], bad).is_err());
+    }
+
+    #[test]
+    fn rows_fill_to_utilization() {
+        let (inv, _) = cells();
+        let opts = PlacementOptions {
+            row_width: 10_000.0,
+            utilization: 0.5,
+        };
+        // 50 inverters of ~660 nm: budget 5 000 nm/row → ~7 per row.
+        let instances: Vec<&Cell> = std::iter::repeat_n(&inv, 50).collect();
+        let placed = place_cells(&instances, opts).unwrap();
+        assert!(placed.row_count() >= 6, "rows {}", placed.row_count());
+        for row in placed.rows() {
+            assert!(row.occupied <= 5_000.0 + inv.width());
+        }
+        // Spread positions reach toward the full row width.
+        let last_row_x = placed.rows()[0].cells.last().unwrap().x;
+        assert!(last_row_x > 5_000.0, "spread x {last_row_x}");
+        assert_eq!(placed.transistor_count(), 50 * 2);
+    }
+
+    #[test]
+    fn min_fet_density_counts_only_critical() {
+        let (inv, dff) = cells();
+        let opts = PlacementOptions {
+            row_width: 20_000.0,
+            utilization: 0.8,
+        };
+        let instances: Vec<&Cell> = vec![&inv, &dff, &inv, &dff, &dff];
+        let placed = place_cells(&instances, opts).unwrap();
+        // Threshold below everything → zero density.
+        assert_eq!(placed.min_fet_count(10.0), 0);
+        // Threshold above internals (110 nm) only → counts DFF internals.
+        let internals_per_dff = dff
+            .transistors()
+            .iter()
+            .filter(|t| t.width < 150.0)
+            .count();
+        assert_eq!(placed.min_fet_count(150.0), 3 * internals_per_dff);
+        let rho = placed.min_fet_density_per_um(150.0).unwrap();
+        assert!(rho > 0.0);
+        assert!(placed.min_fet_density_per_um(-1.0).is_err());
+    }
+}

@@ -1,0 +1,101 @@
+//! Property tests for the alignment packer and row placement.
+
+use cnfet_celllib::cell::{Cell, DriveStrength, LayoutStyle, TechParams};
+use cnfet_celllib::CellFamily;
+use cnfet_layout::{align_cell, place_cells, AlignmentOptions, GridPolicy, PlacementOptions};
+use proptest::prelude::*;
+
+fn families() -> Vec<CellFamily> {
+    vec![
+        CellFamily::Inv,
+        CellFamily::Nand(2),
+        CellFamily::Nand(4),
+        CellFamily::Aoi(&[2, 2]),
+        CellFamily::Aoi(&[2, 2, 2]),
+        CellFamily::Oai(&[2, 2, 2]),
+        CellFamily::Mux(4),
+        CellFamily::FullAdder,
+        CellFamily::Dff {
+            reset: true,
+            set: false,
+            scan: true,
+        },
+        CellFamily::Latch { active_high: false },
+        CellFamily::ClkGate,
+    ]
+}
+
+proptest! {
+    #[test]
+    fn alignment_cost_is_bounded_and_consistent(
+        fam_idx in 0usize..11,
+        drive_pow in 0u32..3,
+        style_compact in proptest::bool::ANY,
+        gap in 0.0f64..200.0,
+    ) {
+        let tech = TechParams::nangate45();
+        let family = families()[fam_idx];
+        let style = if style_compact { LayoutStyle::Compact } else { LayoutStyle::Relaxed };
+        let drive = DriveStrength::new(1 << drive_pow).unwrap();
+        let cell = Cell::synthesize(family, drive, &tech, style).unwrap();
+
+        let single = align_cell(&cell, &tech, &AlignmentOptions {
+            strip_x_gap: gap,
+            ..AlignmentOptions::default()
+        }).unwrap();
+        let dual = align_cell(&cell, &tech, &AlignmentOptions {
+            policy: GridPolicy::Dual,
+            strip_x_gap: gap,
+            ..AlignmentOptions::default()
+        }).unwrap();
+
+        // Never shrinks; dual dominates single; strips are preserved.
+        prop_assert!(single.new_width >= cell.width() - 1e-9);
+        prop_assert!(dual.new_width <= single.new_width + 1e-9);
+        prop_assert_eq!(single.new_strips.len(), cell.strips().len());
+        // Penalty stays bounded (packing at most duplicates diffusion).
+        prop_assert!(single.penalty() < 1.5, "penalty {}", single.penalty());
+        // Wider inter-strip gaps can only increase the packed width.
+        let tighter = align_cell(&cell, &tech, &AlignmentOptions {
+            strip_x_gap: gap / 2.0,
+            ..AlignmentOptions::default()
+        }).unwrap();
+        prop_assert!(tighter.new_width <= single.new_width + 1e-9);
+    }
+
+    #[test]
+    fn placement_conserves_cells_and_respects_budget(
+        n_inv in 1usize..80,
+        n_dff in 0usize..30,
+        util in 0.3f64..1.0,
+    ) {
+        let tech = TechParams::nangate45();
+        let inv = Cell::synthesize(CellFamily::Inv, DriveStrength::X1, &tech, LayoutStyle::Relaxed)
+            .unwrap();
+        let dff = Cell::synthesize(
+            CellFamily::Dff { reset: false, set: false, scan: false },
+            DriveStrength::X1,
+            &tech,
+            LayoutStyle::Relaxed,
+        )
+        .unwrap();
+        let mut instances: Vec<&Cell> = Vec::new();
+        instances.extend(std::iter::repeat_n(&inv, n_inv));
+        instances.extend(std::iter::repeat_n(&dff, n_dff));
+
+        let opts = PlacementOptions { row_width: 30_000.0, utilization: util };
+        let placed = place_cells(&instances, opts).unwrap();
+
+        // Every instance placed exactly once.
+        let placed_count: usize = placed.rows().iter().map(|r| r.cells.len()).sum();
+        prop_assert_eq!(placed_count, instances.len());
+        // Rows never exceed the utilization budget by more than one cell.
+        let max_cell = inv.width().max(dff.width());
+        for row in placed.rows() {
+            prop_assert!(row.occupied <= 30_000.0 * util + max_cell + 1e-9);
+        }
+        // Transistor accounting matches.
+        let expect_t = n_inv * inv.transistors().len() + n_dff * dff.transistors().len();
+        prop_assert_eq!(placed.transistor_count(), expect_t);
+    }
+}

@@ -1,0 +1,135 @@
+//! Gate-level netlist intermediate representation.
+
+/// A net (wire) in the design.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Net {
+    /// Net name.
+    pub name: String,
+    /// Index of the driving instance (`None` for primary inputs).
+    pub driver: Option<usize>,
+    /// Indices of instances whose inputs this net feeds.
+    pub sinks: Vec<usize>,
+}
+
+impl Net {
+    /// Fanout of the net.
+    pub fn fanout(&self) -> usize {
+        self.sinks.len()
+    }
+}
+
+/// One placed-and-routed-agnostic cell instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Instance {
+    /// Instance name (hierarchical, e.g. `"alu/add/U42"`).
+    pub name: String,
+    /// Referenced library cell name (e.g. `"NAND2_X1"`).
+    pub cell: String,
+    /// Module tag for reporting (e.g. `"alu"`).
+    pub module: String,
+}
+
+/// A flat gate-level netlist.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Netlist {
+    /// Design name.
+    pub name: String,
+    /// All instances.
+    pub instances: Vec<Instance>,
+    /// All nets.
+    pub nets: Vec<Net>,
+}
+
+impl Netlist {
+    /// Create an empty netlist.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            instances: Vec::new(),
+            nets: Vec::new(),
+        }
+    }
+
+    /// Number of instances.
+    pub fn instance_count(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// Count instances per referenced cell name.
+    pub fn cell_usage(&self) -> std::collections::HashMap<&str, usize> {
+        let mut map = std::collections::HashMap::new();
+        for inst in &self.instances {
+            *map.entry(inst.cell.as_str()).or_insert(0) += 1;
+        }
+        map
+    }
+
+    /// Count instances per module tag.
+    pub fn module_usage(&self) -> std::collections::HashMap<&str, usize> {
+        let mut map = std::collections::HashMap::new();
+        for inst in &self.instances {
+            *map.entry(inst.module.as_str()).or_insert(0) += 1;
+        }
+        map
+    }
+
+    /// Mean net fanout (0 for a netlist without nets).
+    pub fn mean_fanout(&self) -> f64 {
+        if self.nets.is_empty() {
+            return 0.0;
+        }
+        self.nets.iter().map(Net::fanout).sum::<usize>() as f64 / self.nets.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Netlist {
+        let mut n = Netlist::new("t");
+        n.instances.push(Instance {
+            name: "U1".into(),
+            cell: "INV_X1".into(),
+            module: "alu".into(),
+        });
+        n.instances.push(Instance {
+            name: "U2".into(),
+            cell: "INV_X1".into(),
+            module: "ctrl".into(),
+        });
+        n.instances.push(Instance {
+            name: "U3".into(),
+            cell: "NAND2_X1".into(),
+            module: "alu".into(),
+        });
+        n.nets.push(Net {
+            name: "n1".into(),
+            driver: Some(0),
+            sinks: vec![1, 2],
+        });
+        n.nets.push(Net {
+            name: "n2".into(),
+            driver: None,
+            sinks: vec![0],
+        });
+        n
+    }
+
+    #[test]
+    fn usage_maps() {
+        let n = sample();
+        assert_eq!(n.instance_count(), 3);
+        assert_eq!(n.cell_usage()["INV_X1"], 2);
+        assert_eq!(n.cell_usage()["NAND2_X1"], 1);
+        assert_eq!(n.module_usage()["alu"], 2);
+    }
+
+    #[test]
+    fn fanout() {
+        let n = sample();
+        assert_eq!(n.nets[0].fanout(), 2);
+        assert!((n.mean_fanout() - 1.5).abs() < 1e-12);
+        assert_eq!(Netlist::new("e").mean_fanout(), 0.0);
+    }
+}

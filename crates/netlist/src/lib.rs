@@ -1,0 +1,115 @@
+//! # cnfet-netlist
+//!
+//! Gate-level netlist IR, a synthetic OpenRISC-class design generator, and
+//! technology mapping onto a CNFET standard-cell library.
+//!
+//! The paper's case study is "an OpenRISC processor design (cache not
+//! included) synthesized with the Nangate 45 nm Open Cell Library using
+//! Synopsys Design Compiler". Neither the RTL flow nor the tool is
+//! reproducible here, but the yield analysis consumes only two artifacts of
+//! that flow:
+//!
+//! 1. the **transistor width distribution** (paper Fig 2.2a, with 33 % of
+//!    transistors in the two leftmost bins), and
+//! 2. the **linear density of small-width CNFETs per placement row**
+//!    (`P_min-CNFET ≈ 1.8 FET/µm`).
+//!
+//! [`synth::openrisc_class`] generates a netlist whose module mix (ALU,
+//! register file, decoder, control, load-store unit, …) is calibrated to
+//! reproduce those two statistics when mapped onto the Nangate-45-class
+//! library ([`mapping::MappedDesign`]).
+//!
+//! ## Example
+//!
+//! ```
+//! use cnfet_netlist::synth::{openrisc_class, DesignSpec};
+//! use cnfet_netlist::mapping::MappedDesign;
+//! use cnfet_celllib::nangate45::nangate45_like;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let lib = nangate45_like();
+//! let netlist = openrisc_class(&DesignSpec::small(), 42);
+//! let mapped = MappedDesign::map(&netlist, &lib)?;
+//! assert!(mapped.transistor_count() > 10_000);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod ir;
+pub mod mapping;
+pub mod synth;
+pub mod verilog;
+
+use std::error::Error;
+use std::fmt;
+
+/// Error type for netlist operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetlistError {
+    /// A parameter was outside its valid domain.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+        /// Human-readable constraint.
+        constraint: &'static str,
+    },
+    /// An instance references a cell the library does not provide.
+    UnmappedCell {
+        /// Instance name.
+        instance: String,
+        /// Cell name that was not found.
+        cell: String,
+    },
+    /// Structural-Verilog text could not be parsed.
+    Parse {
+        /// 1-based line number (0 when post-resolution).
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// Underlying statistics error.
+    Stats(cnt_stats::StatsError),
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::InvalidParameter {
+                name,
+                value,
+                constraint,
+            } => write!(f, "invalid parameter `{name}` = {value}: {constraint}"),
+            NetlistError::UnmappedCell { instance, cell } => {
+                write!(f, "instance `{instance}` references unknown cell `{cell}`")
+            }
+            NetlistError::Parse { line, message } => {
+                write!(f, "verilog parse error at line {line}: {message}")
+            }
+            NetlistError::Stats(e) => write!(f, "statistics error: {e}"),
+        }
+    }
+}
+
+impl Error for NetlistError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            NetlistError::Stats(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<cnt_stats::StatsError> for NetlistError {
+    fn from(e: cnt_stats::StatsError) -> Self {
+        NetlistError::Stats(e)
+    }
+}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, NetlistError>;
+
+pub use ir::{Instance, Net, Netlist};
+pub use mapping::MappedDesign;
+pub use synth::{openrisc_class, DesignSpec};

@@ -1,0 +1,184 @@
+//! Technology mapping: resolving netlist instances against a cell library
+//! and extracting the transistor-width statistics the yield models consume.
+
+use crate::ir::Netlist;
+use crate::{NetlistError, Result};
+use cnfet_celllib::{Cell, CellLibrary};
+use cnt_stats::Histogram;
+
+/// A netlist bound to a concrete library.
+#[derive(Debug, Clone)]
+pub struct MappedDesign<'a> {
+    netlist: &'a Netlist,
+    cells: Vec<&'a Cell>,
+}
+
+impl<'a> MappedDesign<'a> {
+    /// Resolve every instance's cell in `lib`.
+    ///
+    /// Names are matched exactly first; if absent, the default VT flavor
+    /// tag `SVT` is inserted (`NAND2_X1` → `NAND2_SVT_X1`) so that designs
+    /// synthesized against the open-library naming can be re-targeted to
+    /// the commercial-library naming — mirroring how a real flow swaps
+    /// libraries without re-synthesis.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::UnmappedCell`] naming the first instance
+    /// whose cell is missing under both conventions.
+    pub fn map(netlist: &'a Netlist, lib: &'a CellLibrary) -> Result<Self> {
+        let mut cells = Vec::with_capacity(netlist.instances.len());
+        for inst in &netlist.instances {
+            let cell = lib.cell(&inst.cell).or_else(|| {
+                inst.cell
+                    .rsplit_once("_X")
+                    .and_then(|(base, drive)| lib.cell(&format!("{base}_SVT_X{drive}")))
+            });
+            match cell {
+                Some(c) => cells.push(c),
+                None => {
+                    return Err(NetlistError::UnmappedCell {
+                        instance: inst.name.clone(),
+                        cell: inst.cell.clone(),
+                    })
+                }
+            }
+        }
+        Ok(Self { netlist, cells })
+    }
+
+    /// The underlying netlist.
+    pub fn netlist(&self) -> &Netlist {
+        self.netlist
+    }
+
+    /// Per-instance resolved cells (parallel to `netlist().instances`).
+    pub fn cells(&self) -> &[&'a Cell] {
+        &self.cells
+    }
+
+    /// Total transistor count of the design.
+    pub fn transistor_count(&self) -> usize {
+        self.cells.iter().map(|c| c.transistors().len()).sum()
+    }
+
+    /// Every transistor width in the design (nm).
+    pub fn transistor_widths(&self) -> Vec<f64> {
+        let mut v = Vec::with_capacity(self.transistor_count());
+        for c in &self.cells {
+            v.extend(c.transistors().iter().map(|t| t.width));
+        }
+        v
+    }
+
+    /// The paper-Fig-2.2a histogram: transistor widths in `bin_width`-nm
+    /// bins from 0 to `max_width`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates histogram construction errors (invalid bounds).
+    pub fn width_histogram(&self, bin_width: f64, max_width: f64) -> Result<Histogram> {
+        let nbins = (max_width / bin_width).ceil() as usize;
+        let mut h = Histogram::new(0.0, nbins as f64 * bin_width, nbins)?;
+        h.extend(self.transistor_widths());
+        Ok(h)
+    }
+
+    /// Fraction of transistors with width strictly below `w` — the `M_min`
+    /// share of Sec. 2.2 (the paper's case study: 33 % below `W_min`).
+    pub fn fraction_below(&self, w: f64) -> f64 {
+        let total = self.transistor_count();
+        if total == 0 {
+            return 0.0;
+        }
+        let below = self
+            .cells
+            .iter()
+            .flat_map(|c| c.transistors())
+            .filter(|t| t.width < w)
+            .count();
+        below as f64 / total as f64
+    }
+
+    /// Total gate capacitance (aF) under a capacitance model.
+    pub fn total_gate_cap(&self, model: &cnfet_device::GateCapModel) -> f64 {
+        self.cells.iter().map(|c| c.gate_cap(model)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{openrisc_class, DesignSpec};
+    use cnfet_celllib::commercial65::commercial65_like;
+    use cnfet_celllib::nangate45::nangate45_like;
+
+    #[test]
+    fn maps_onto_nangate() {
+        let lib = nangate45_like();
+        let n = openrisc_class(&DesignSpec::small(), 1);
+        let mapped = MappedDesign::map(&n, &lib).unwrap();
+        assert_eq!(mapped.cells().len(), n.instance_count());
+        assert!(mapped.transistor_count() > 5_000);
+    }
+
+    #[test]
+    fn maps_onto_commercial65_via_svt_fallback() {
+        let lib = commercial65_like();
+        let n = openrisc_class(&DesignSpec::small(), 1);
+        let mapped = MappedDesign::map(&n, &lib).unwrap();
+        assert!(mapped.transistor_count() > 5_000);
+        // Widths must be 65/45 larger than the Nangate mapping.
+        let lib45 = nangate45_like();
+        let m45 = MappedDesign::map(&n, &lib45).unwrap();
+        let w65: f64 = mapped.transistor_widths().iter().sum::<f64>()
+            / mapped.transistor_count() as f64;
+        let w45: f64 =
+            m45.transistor_widths().iter().sum::<f64>() / m45.transistor_count() as f64;
+        assert!(
+            ((w65 / w45) - 65.0 / 45.0).abs() < 0.01,
+            "scaling {w65}/{w45}"
+        );
+    }
+
+    #[test]
+    fn unmapped_cell_is_reported() {
+        let lib = nangate45_like();
+        let mut n = openrisc_class(&DesignSpec::small(), 1);
+        n.instances[0].cell = "NAND9_X9".into();
+        match MappedDesign::map(&n, &lib) {
+            Err(NetlistError::UnmappedCell { cell, .. }) => assert_eq!(cell, "NAND9_X9"),
+            other => panic!("expected UnmappedCell, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fig22a_calibration_one_third_small() {
+        // The headline calibration: ≈33 % of transistors below ≈160 nm
+        // (the two leftmost 80-nm bins of paper Fig 2.2a).
+        let lib = nangate45_like();
+        let n = openrisc_class(&DesignSpec::openrisc(), 42);
+        let mapped = MappedDesign::map(&n, &lib).unwrap();
+        let frac = mapped.fraction_below(160.0);
+        assert!(
+            (0.28..0.38).contains(&frac),
+            "fraction below 160 nm: {frac:.3} (want ≈ 0.33)"
+        );
+        // And the histogram's two leftmost bins match that fraction.
+        let h = mapped.width_histogram(80.0, 480.0).unwrap();
+        let two_bins = h.bin_fraction(0) + h.bin_fraction(1);
+        assert!((two_bins - frac).abs() < 0.02, "bins {two_bins} vs {frac}");
+    }
+
+    #[test]
+    fn gate_cap_is_positive_and_scales() {
+        let lib = nangate45_like();
+        let n = openrisc_class(&DesignSpec::small(), 9);
+        let mapped = MappedDesign::map(&n, &lib).unwrap();
+        let model = cnfet_device::GateCapModel::proportional();
+        let cap = mapped.total_gate_cap(&model);
+        let mean_w = mapped.transistor_widths().iter().sum::<f64>()
+            / mapped.transistor_count() as f64;
+        assert!((cap - mean_w * mapped.transistor_count() as f64).abs() < 1.0);
+    }
+}

@@ -1,0 +1,327 @@
+//! Synthetic OpenRISC-class design generator.
+//!
+//! Emulates the *output* of "OpenRISC (no caches) synthesized with Design
+//! Compiler onto the Nangate 45 nm library": a flat gate-level netlist with
+//! a realistic module breakdown, gate mix, drive-strength mix and
+//! sequential fraction. The generator is deterministic given its seed.
+//!
+//! Calibration targets (checked by tests):
+//!
+//! * mapped onto the Nangate-45-class library, about **33 %** of
+//!   transistors fall below ≈160 nm (the two leftmost bins of paper
+//!   Fig 2.2a);
+//! * placed at default utilization, the density of those small CNFETs is
+//!   **≈1.8 per µm** of row (paper Sec. 3.3).
+
+use crate::ir::{Instance, Net, Netlist};
+use cnfet_celllib::CellFamily;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One entry of the synthesis gate mix.
+#[derive(Debug, Clone, Copy)]
+struct MixEntry {
+    family: CellFamily,
+    /// Relative weight among its class (combinational or sequential).
+    weight: f64,
+    /// Drive multipliers available for this family in the target library.
+    drives: &'static [u16],
+}
+
+/// Combinational gate mix of a control/datapath processor core, loosely
+/// following published standard-cell usage statistics for RISC cores.
+const COMB_MIX: &[MixEntry] = &[
+    MixEntry { family: CellFamily::Inv, weight: 0.14, drives: &[1, 2, 4, 8] },
+    MixEntry { family: CellFamily::Buf, weight: 0.05, drives: &[1, 2, 4, 8] },
+    MixEntry { family: CellFamily::Nand(2), weight: 0.17, drives: &[1, 2, 4] },
+    MixEntry { family: CellFamily::Nor(2), weight: 0.11, drives: &[1, 2, 4] },
+    MixEntry { family: CellFamily::Nand(3), weight: 0.05, drives: &[1, 2, 4] },
+    MixEntry { family: CellFamily::Nor(3), weight: 0.03, drives: &[1, 2, 4] },
+    MixEntry { family: CellFamily::Nand(4), weight: 0.02, drives: &[1, 2, 4] },
+    MixEntry { family: CellFamily::Nor(4), weight: 0.01, drives: &[1, 2, 4] },
+    MixEntry { family: CellFamily::And(2), weight: 0.04, drives: &[1, 2, 4] },
+    MixEntry { family: CellFamily::Or(2), weight: 0.03, drives: &[1, 2, 4] },
+    MixEntry { family: CellFamily::Aoi(&[2, 1]), weight: 0.09, drives: &[1, 2, 4] },
+    MixEntry { family: CellFamily::Oai(&[2, 1]), weight: 0.09, drives: &[1, 2, 4] },
+    MixEntry { family: CellFamily::Aoi(&[2, 2]), weight: 0.04, drives: &[1, 2, 4] },
+    MixEntry { family: CellFamily::Oai(&[2, 2]), weight: 0.04, drives: &[1, 2, 4] },
+    MixEntry { family: CellFamily::Aoi(&[2, 2, 1]), weight: 0.012, drives: &[1, 2] },
+    MixEntry { family: CellFamily::Oai(&[2, 2, 1]), weight: 0.012, drives: &[1, 2] },
+    MixEntry { family: CellFamily::Aoi(&[2, 2, 2]), weight: 0.006, drives: &[1, 2] },
+    MixEntry { family: CellFamily::Oai(&[2, 2, 2]), weight: 0.006, drives: &[1, 2] },
+    MixEntry { family: CellFamily::Xor2, weight: 0.03, drives: &[1, 2] },
+    MixEntry { family: CellFamily::Xnor2, weight: 0.02, drives: &[1, 2] },
+    MixEntry { family: CellFamily::Mux(2), weight: 0.05, drives: &[1, 2] },
+    MixEntry { family: CellFamily::HalfAdder, weight: 0.01, drives: &[1] },
+    MixEntry { family: CellFamily::FullAdder, weight: 0.014, drives: &[1] },
+];
+
+/// Sequential mix: mostly plain/reset flops, some scan, few latches.
+const SEQ_MIX: &[MixEntry] = &[
+    MixEntry {
+        family: CellFamily::Dff { reset: false, set: false, scan: false },
+        weight: 0.35,
+        drives: &[1, 2],
+    },
+    MixEntry {
+        family: CellFamily::Dff { reset: true, set: false, scan: false },
+        weight: 0.30,
+        drives: &[1, 2],
+    },
+    MixEntry {
+        family: CellFamily::Dff { reset: false, set: false, scan: true },
+        weight: 0.15,
+        drives: &[1, 2],
+    },
+    MixEntry {
+        family: CellFamily::Dff { reset: true, set: false, scan: true },
+        weight: 0.12,
+        drives: &[1, 2],
+    },
+    MixEntry {
+        family: CellFamily::Latch { active_high: true },
+        weight: 0.04,
+        drives: &[1, 2],
+    },
+    MixEntry { family: CellFamily::ClkGate, weight: 0.04, drives: &[1, 2, 4] },
+];
+
+/// Drive-strength distribution of a timing-driven synthesis run (heavily
+/// skewed to X1; capped per family by its available drives).
+const DRIVE_WEIGHTS: &[(u16, f64)] = &[(1, 0.62), (2, 0.24), (4, 0.10), (8, 0.04)];
+
+/// A module of the design with its share of instances and flop fraction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModuleSpec {
+    /// Module tag (e.g. `"alu"`).
+    pub name: &'static str,
+    /// Relative share of design instances.
+    pub weight: f64,
+    /// Fraction of the module's instances that are sequential.
+    pub seq_fraction: f64,
+}
+
+/// Design-level generation parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignSpec {
+    /// Design name.
+    pub name: &'static str,
+    /// Total instance count to generate.
+    pub instances: usize,
+    /// Module breakdown.
+    pub modules: Vec<ModuleSpec>,
+}
+
+impl DesignSpec {
+    /// The OpenRISC-class case-study design (≈25 k instances ≈ 190 k
+    /// transistors; statistics are scale-invariant beyond ~10 k instances).
+    pub fn openrisc() -> Self {
+        Self {
+            name: "openrisc-class",
+            instances: 25_000,
+            modules: Self::or1200_modules(),
+        }
+    }
+
+    /// A small variant for tests and doctests (≈3 k instances).
+    pub fn small() -> Self {
+        Self {
+            name: "openrisc-class-small",
+            instances: 3_000,
+            modules: Self::or1200_modules(),
+        }
+    }
+
+    fn or1200_modules() -> Vec<ModuleSpec> {
+        vec![
+            ModuleSpec { name: "alu", weight: 0.13, seq_fraction: 0.02 },
+            ModuleSpec { name: "mult_mac", weight: 0.11, seq_fraction: 0.08 },
+            ModuleSpec { name: "regfile", weight: 0.18, seq_fraction: 0.55 },
+            ModuleSpec { name: "decode_ctrl", weight: 0.16, seq_fraction: 0.10 },
+            ModuleSpec { name: "lsu", weight: 0.09, seq_fraction: 0.12 },
+            ModuleSpec { name: "except_sprs", weight: 0.12, seq_fraction: 0.22 },
+            ModuleSpec { name: "if_id_pipeline", weight: 0.13, seq_fraction: 0.35 },
+            ModuleSpec { name: "wb_freeze", weight: 0.08, seq_fraction: 0.15 },
+        ]
+    }
+
+    /// Overall sequential fraction implied by the module mix.
+    pub fn seq_fraction(&self) -> f64 {
+        let total: f64 = self.modules.iter().map(|m| m.weight).sum();
+        self.modules
+            .iter()
+            .map(|m| m.weight * m.seq_fraction)
+            .sum::<f64>()
+            / total
+    }
+}
+
+fn pick_weighted<'a>(entries: &'a [MixEntry], rng: &mut StdRng) -> &'a MixEntry {
+    let total: f64 = entries.iter().map(|e| e.weight).sum();
+    let mut u = rng.gen::<f64>() * total;
+    for e in entries {
+        u -= e.weight;
+        if u <= 0.0 {
+            return e;
+        }
+    }
+    entries.last().expect("mix tables are non-empty")
+}
+
+fn pick_drive(allowed: &[u16], rng: &mut StdRng) -> u16 {
+    // Sample the global drive distribution, then clamp down to the largest
+    // allowed multiplier not exceeding the sample (synthesis picks the
+    // closest available size).
+    let total: f64 = DRIVE_WEIGHTS.iter().map(|(_, w)| w).sum();
+    let mut u = rng.gen::<f64>() * total;
+    let mut sampled = 1u16;
+    for &(d, w) in DRIVE_WEIGHTS {
+        u -= w;
+        if u <= 0.0 {
+            sampled = d;
+            break;
+        }
+    }
+    *allowed
+        .iter()
+        .filter(|&&d| d <= sampled)
+        .max()
+        .unwrap_or(allowed.first().expect("drive lists are non-empty"))
+}
+
+/// Generate an OpenRISC-class gate-level netlist.
+///
+/// Deterministic for a given `(spec, seed)`; cell names follow the
+/// Nangate-45-class roster of `cnfet-celllib`.
+pub fn openrisc_class(spec: &DesignSpec, seed: u64) -> Netlist {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut netlist = Netlist::new(spec.name);
+    let total_weight: f64 = spec.modules.iter().map(|m| m.weight).sum();
+
+    for module in &spec.modules {
+        let count =
+            ((module.weight / total_weight) * spec.instances as f64).round() as usize;
+        for k in 0..count {
+            let is_seq = rng.gen::<f64>() < module.seq_fraction;
+            let entry = if is_seq {
+                pick_weighted(SEQ_MIX, &mut rng)
+            } else {
+                pick_weighted(COMB_MIX, &mut rng)
+            };
+            let drive = pick_drive(entry.drives, &mut rng);
+            let cell = format!("{}_X{}", entry.family.prefix(), drive);
+            netlist.instances.push(Instance {
+                name: format!("{}/U{}", module.name, k),
+                cell,
+                module: module.name.to_string(),
+            });
+        }
+    }
+
+    // Simple DAG wiring: each instance drives one net whose sinks are
+    // later instances (fanout ~ truncated geometric, mean ≈ 2.5).
+    let n = netlist.instances.len();
+    for i in 0..n {
+        let mut sinks = Vec::new();
+        if i + 1 < n {
+            let mut fanout = 1usize;
+            while fanout < 8 && rng.gen::<f64>() < 0.6 {
+                fanout += 1;
+            }
+            for _ in 0..fanout {
+                sinks.push(i + 1 + rng.gen_range(0..(n - i - 1).max(1)).min(n - i - 2));
+            }
+            sinks.sort_unstable();
+            sinks.dedup();
+        }
+        netlist.nets.push(Net {
+            name: format!("n{i}"),
+            driver: Some(i),
+            sinks,
+        });
+    }
+    netlist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = openrisc_class(&DesignSpec::small(), 7);
+        let b = openrisc_class(&DesignSpec::small(), 7);
+        assert_eq!(a, b);
+        let c = openrisc_class(&DesignSpec::small(), 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn instance_count_close_to_spec() {
+        let spec = DesignSpec::small();
+        let n = openrisc_class(&spec, 1);
+        let count = n.instance_count() as f64;
+        assert!(
+            ((count - spec.instances as f64).abs() / spec.instances as f64) < 0.01,
+            "count {count}"
+        );
+    }
+
+    #[test]
+    fn sequential_fraction_matches_modules() {
+        let spec = DesignSpec::openrisc();
+        let n = openrisc_class(&spec, 2);
+        let seq = n
+            .instances
+            .iter()
+            .filter(|i| {
+                i.cell.starts_with("DFF")
+                    || i.cell.starts_with("SDFF")
+                    || i.cell.starts_with("DLH")
+                    || i.cell.starts_with("DLL")
+                    || i.cell.starts_with("CLKGATE")
+            })
+            .count() as f64
+            / n.instance_count() as f64;
+        let want = spec.seq_fraction();
+        assert!(
+            (seq - want).abs() < 0.02,
+            "seq fraction {seq} vs spec {want}"
+        );
+    }
+
+    #[test]
+    fn x1_dominates_drive_mix() {
+        let n = openrisc_class(&DesignSpec::openrisc(), 3);
+        let x1 = n
+            .instances
+            .iter()
+            .filter(|i| i.cell.ends_with("_X1"))
+            .count() as f64
+            / n.instance_count() as f64;
+        assert!((0.5_f64..0.8).contains(&x1), "X1 fraction {x1}");
+    }
+
+    #[test]
+    fn wiring_is_a_dag_with_plausible_fanout() {
+        let n = openrisc_class(&DesignSpec::small(), 4);
+        for net in &n.nets {
+            let d = net.driver.expect("all nets driven");
+            for &s in &net.sinks {
+                assert!(s > d, "net {} sink {s} before driver {d}", net.name);
+            }
+        }
+        let mf = n.mean_fanout();
+        assert!((1.0..4.0).contains(&mf), "mean fanout {mf}");
+    }
+
+    #[test]
+    fn module_tags_cover_all_modules() {
+        let spec = DesignSpec::openrisc();
+        let n = openrisc_class(&spec, 5);
+        let usage = n.module_usage();
+        for m in &spec.modules {
+            assert!(usage.contains_key(m.name), "module {} missing", m.name);
+        }
+    }
+}

@@ -1,0 +1,285 @@
+//! ASCII line and bar charts.
+
+use crate::{PlotError, Result};
+
+/// Glyphs cycled across series.
+const GLYPHS: [char; 6] = ['*', '+', 'o', 'x', '#', '@'];
+
+/// A multi-series ASCII line plot.
+#[derive(Debug, Clone)]
+pub struct LinePlot {
+    title: String,
+    width: usize,
+    height: usize,
+    log_y: bool,
+    series: Vec<(String, Vec<(f64, f64)>)>,
+    markers: Vec<(f64, f64, String)>,
+}
+
+impl LinePlot {
+    /// Create a plot with the given canvas size (characters).
+    pub fn new(title: impl Into<String>, width: usize, height: usize) -> Self {
+        Self {
+            title: title.into(),
+            width: width.max(10),
+            height: height.max(4),
+            log_y: false,
+            series: Vec::new(),
+            markers: Vec::new(),
+        }
+    }
+
+    /// Switch the y axis to log₁₀ scale (builder style).
+    pub fn log_y(mut self, on: bool) -> Self {
+        self.log_y = on;
+        self
+    }
+
+    /// Add a named series of `(x, y)` points.
+    pub fn add_series(&mut self, name: impl Into<String>, points: Vec<(f64, f64)>) {
+        self.series.push((name.into(), points));
+    }
+
+    /// Add a labeled marker (e.g. a `W_min` anchor).
+    pub fn add_marker(&mut self, x: f64, y: f64, label: impl Into<String>) {
+        self.markers.push((x, y, label.into()));
+    }
+
+    /// Render to a multi-line string.
+    ///
+    /// # Errors
+    ///
+    /// [`PlotError::Empty`] without any points;
+    /// [`PlotError::InvalidValue`] for non-positive y on a log axis.
+    pub fn render(&self) -> Result<String> {
+        let mut xs: Vec<f64> = Vec::new();
+        let mut ys: Vec<f64> = Vec::new();
+        for (_, pts) in &self.series {
+            for &(x, y) in pts {
+                xs.push(x);
+                ys.push(y);
+            }
+        }
+        for &(x, y, _) in &self.markers {
+            xs.push(x);
+            ys.push(y);
+        }
+        if xs.is_empty() {
+            return Err(PlotError::Empty("LinePlot without points"));
+        }
+        let ty = |y: f64| -> Result<f64> {
+            if self.log_y {
+                if y <= 0.0 {
+                    return Err(PlotError::InvalidValue {
+                        what: "log-scale y",
+                        value: y,
+                    });
+                }
+                Ok(y.log10())
+            } else {
+                Ok(y)
+            }
+        };
+        let (mut x0, mut x1) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut y0, mut y1) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &x in &xs {
+            x0 = x0.min(x);
+            x1 = x1.max(x);
+        }
+        for &y in &ys {
+            let t = ty(y)?;
+            y0 = y0.min(t);
+            y1 = y1.max(t);
+        }
+        if x1 - x0 < 1e-300 {
+            x1 = x0 + 1.0;
+        }
+        if y1 - y0 < 1e-300 {
+            y1 = y0 + 1.0;
+        }
+
+        let mut grid = vec![vec![' '; self.width]; self.height];
+        let to_col = |x: f64| -> usize {
+            (((x - x0) / (x1 - x0)) * (self.width - 1) as f64).round() as usize
+        };
+        let to_row = |t: f64| -> usize {
+            let r = ((t - y0) / (y1 - y0)) * (self.height - 1) as f64;
+            self.height - 1 - r.round() as usize
+        };
+
+        for (si, (_, pts)) in self.series.iter().enumerate() {
+            let glyph = GLYPHS[si % GLYPHS.len()];
+            for &(x, y) in pts {
+                let t = ty(y)?;
+                grid[to_row(t)][to_col(x)] = glyph;
+            }
+        }
+        for &(x, y, _) in &self.markers {
+            let t = ty(y)?;
+            grid[to_row(t)][to_col(x)] = '>';
+        }
+
+        let mut out = String::new();
+        out.push_str(&format!("  {}\n", self.title));
+        let y_label = |t: f64| -> String {
+            if self.log_y {
+                format!("1e{t:>6.1}")
+            } else {
+                format!("{t:>8.2}")
+            }
+        };
+        for (r, row) in grid.iter().enumerate() {
+            let frac = 1.0 - r as f64 / (self.height - 1) as f64;
+            let t = y0 + frac * (y1 - y0);
+            let label = if r == 0 || r == self.height - 1 || r == self.height / 2 {
+                y_label(t)
+            } else {
+                " ".repeat(8)
+            };
+            out.push_str(&format!("{label} |{}\n", row.iter().collect::<String>()));
+        }
+        out.push_str(&format!(
+            "{} +{}\n",
+            " ".repeat(8),
+            "-".repeat(self.width)
+        ));
+        out.push_str(&format!(
+            "{} {:<12.4}{}{:>12.4}\n",
+            " ".repeat(8),
+            x0,
+            " ".repeat(self.width.saturating_sub(24)),
+            x1
+        ));
+        for (si, (name, _)) in self.series.iter().enumerate() {
+            out.push_str(&format!("    {} {}\n", GLYPHS[si % GLYPHS.len()], name));
+        }
+        for (x, y, label) in &self.markers {
+            out.push_str(&format!("    > {label} at ({x:.4}, {y:.3e})\n"));
+        }
+        Ok(out)
+    }
+}
+
+/// A horizontal ASCII bar chart (for histograms like Fig 2.2a).
+#[derive(Debug, Clone)]
+pub struct BarChart {
+    title: String,
+    width: usize,
+    bars: Vec<(String, f64)>,
+}
+
+impl BarChart {
+    /// Create a chart whose longest bar spans `width` characters.
+    pub fn new(title: impl Into<String>, width: usize) -> Self {
+        Self {
+            title: title.into(),
+            width: width.max(10),
+            bars: Vec::new(),
+        }
+    }
+
+    /// Add a labeled bar.
+    pub fn add_bar(&mut self, label: impl Into<String>, value: f64) {
+        self.bars.push((label.into(), value));
+    }
+
+    /// Render to a multi-line string.
+    ///
+    /// # Errors
+    ///
+    /// [`PlotError::Empty`] without bars; [`PlotError::InvalidValue`] for
+    /// negative values.
+    pub fn render(&self) -> Result<String> {
+        if self.bars.is_empty() {
+            return Err(PlotError::Empty("BarChart without bars"));
+        }
+        let mut max = 0.0_f64;
+        for &(_, v) in &self.bars {
+            if v < 0.0 || !v.is_finite() {
+                return Err(PlotError::InvalidValue {
+                    what: "bar value",
+                    value: v,
+                });
+            }
+            max = max.max(v);
+        }
+        let label_w = self.bars.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+        let mut out = format!("  {}\n", self.title);
+        for (label, v) in &self.bars {
+            let n = if max > 0.0 {
+                ((v / max) * self.width as f64).round() as usize
+            } else {
+                0
+            };
+            out.push_str(&format!(
+                "  {label:>label_w$} |{} {v:.4}\n",
+                "█".repeat(n)
+            ));
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_plot_renders_axes_and_legend() {
+        let mut p = LinePlot::new("demo", 30, 8);
+        p.add_series("a", vec![(0.0, 1.0), (1.0, 2.0), (2.0, 3.0)]);
+        p.add_series("b", vec![(0.0, 3.0), (2.0, 1.0)]);
+        p.add_marker(1.0, 2.0, "anchor");
+        let s = p.render().unwrap();
+        assert!(s.contains("demo"));
+        assert!(s.contains("* a"));
+        assert!(s.contains("+ b"));
+        assert!(s.contains("anchor"));
+        assert!(s.lines().count() > 10);
+    }
+
+    #[test]
+    fn log_scale_rejects_non_positive() {
+        let mut p = LinePlot::new("log", 30, 8).log_y(true);
+        p.add_series("bad", vec![(0.0, 0.0)]);
+        assert!(matches!(
+            p.render(),
+            Err(PlotError::InvalidValue { .. })
+        ));
+    }
+
+    #[test]
+    fn log_scale_spans_decades() {
+        let mut p = LinePlot::new("log", 40, 10).log_y(true);
+        p.add_series("pF", vec![(20.0, 1e-1), (100.0, 1e-5), (180.0, 1e-9)]);
+        let s = p.render().unwrap();
+        assert!(s.contains("1e"), "{s}");
+    }
+
+    #[test]
+    fn empty_plot_errors() {
+        let p = LinePlot::new("empty", 30, 8);
+        assert!(matches!(p.render(), Err(PlotError::Empty(_))));
+    }
+
+    #[test]
+    fn bar_chart_scales_to_max() {
+        let mut b = BarChart::new("hist", 20);
+        b.add_bar("bin1", 1.0);
+        b.add_bar("bin2", 0.5);
+        let s = b.render().unwrap();
+        let lines: Vec<&str> = s.lines().collect();
+        let count = |l: &str| l.matches('█').count();
+        assert_eq!(count(lines[1]), 20);
+        assert_eq!(count(lines[2]), 10);
+    }
+
+    #[test]
+    fn bar_chart_validation() {
+        let b = BarChart::new("e", 10);
+        assert!(matches!(b.render(), Err(PlotError::Empty(_))));
+        let mut b = BarChart::new("n", 10);
+        b.add_bar("x", -1.0);
+        assert!(matches!(b.render(), Err(PlotError::InvalidValue { .. })));
+    }
+}

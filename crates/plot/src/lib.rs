@@ -1,0 +1,69 @@
+//! # cnfet-plot
+//!
+//! Terminal-friendly rendering for the experiment harness: ASCII line
+//! charts (linear or log-y) for the paper's figures, bar charts for
+//! histograms, and markdown/CSV table emitters for its tables.
+//!
+//! No external plotting dependency: reproduction outputs must be readable
+//! in CI logs and diffable in version control.
+//!
+//! ## Example
+//!
+//! ```
+//! use cnfet_plot::chart::LinePlot;
+//!
+//! let mut plot = LinePlot::new("pF vs W", 40, 10).log_y(true);
+//! plot.add_series("pm=33%", (1..=10).map(|i| (i as f64 * 10.0, (10f64).powi(-i))).collect());
+//! let text = plot.render().unwrap();
+//! assert!(text.contains("pF vs W"));
+//! ```
+
+pub mod chart;
+pub mod table;
+
+use std::error::Error;
+use std::fmt;
+
+/// Error type for rendering operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlotError {
+    /// Nothing to render.
+    Empty(&'static str),
+    /// A value was invalid for the selected scale (e.g. non-positive on a
+    /// log axis).
+    InvalidValue {
+        /// What was being rendered.
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// Inconsistent table row width.
+    RowWidth {
+        /// Expected number of columns.
+        expected: usize,
+        /// Found number of columns.
+        found: usize,
+    },
+}
+
+impl fmt::Display for PlotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlotError::Empty(what) => write!(f, "nothing to render: {what}"),
+            PlotError::InvalidValue { what, value } => {
+                write!(f, "invalid value {value} for {what}")
+            }
+            PlotError::RowWidth { expected, found } => {
+                write!(f, "row has {found} columns, expected {expected}")
+            }
+        }
+    }
+}
+
+impl Error for PlotError {}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, PlotError>;
+
+pub use chart::{BarChart, LinePlot};
+pub use table::Table;

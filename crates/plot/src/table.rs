@@ -1,0 +1,171 @@
+//! Markdown and CSV table emission.
+
+use crate::{PlotError, Result};
+
+/// A simple column-aligned table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create a table with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    ///
+    /// # Errors
+    ///
+    /// [`PlotError::RowWidth`] if the cell count differs from the headers.
+    pub fn add_row(&mut self, cells: &[String]) -> Result<()> {
+        if cells.len() != self.headers.len() {
+            return Err(PlotError::RowWidth {
+                expected: self.headers.len(),
+                found: cells.len(),
+            });
+        }
+        self.rows.push(cells.to_vec());
+        Ok(())
+    }
+
+    /// Append a row of displayable items (convenience).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Table::add_row`].
+    pub fn add_display_row<T: std::fmt::Display>(&mut self, cells: &[T]) -> Result<()> {
+        let owned: Vec<String> = cells.iter().map(|c| c.to_string()).collect();
+        self.add_row(&owned)
+    }
+
+    /// Number of data rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Render as column-aligned markdown.
+    pub fn to_markdown(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            let mut line = String::from("|");
+            for i in 0..ncols {
+                line.push_str(&format!(" {:<w$} |", cells[i], w = widths[i]));
+            }
+            line.push('\n');
+            line
+        };
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            out.push_str(&format!("### {}\n\n", self.title));
+        }
+        out.push_str(&fmt_row(&self.headers));
+        let mut sep = String::from("|");
+        for w in &widths {
+            sep.push_str(&format!("{}-|", "-".repeat(w + 1)));
+        }
+        sep.push('\n');
+        out.push_str(&sep);
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+        }
+        out
+    }
+
+    /// Render as CSV (RFC-4180-style quoting for cells containing commas
+    /// or quotes).
+    pub fn to_csv(&self) -> String {
+        let quote = |c: &str| -> String {
+            if c.contains(',') || c.contains('"') || c.contains('\n') {
+                format!("\"{}\"", c.replace('"', "\"\""))
+            } else {
+                c.to_string()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| quote(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> Table {
+        let mut t = Table::new("Benefits", &["scenario", "pRF", "factor"]);
+        t.add_row(&["uncorrelated".into(), "5.3e-6".into(), "1".into()])
+            .unwrap();
+        t.add_row(&["aligned".into(), "1.5e-8".into(), "353".into()])
+            .unwrap();
+        t
+    }
+
+    #[test]
+    fn markdown_is_aligned() {
+        let md = table().to_markdown();
+        assert!(md.contains("### Benefits"));
+        assert!(md.contains("| scenario     |"));
+        assert!(md.contains("| aligned      |"));
+        let header_line = md.lines().nth(2).unwrap();
+        let sep_line = md.lines().nth(3).unwrap();
+        assert_eq!(header_line.len(), sep_line.len());
+    }
+
+    #[test]
+    fn csv_quotes_when_needed() {
+        let mut t = Table::new("", &["a", "b"]);
+        t.add_row(&["x,y".into(), "plain".into()]).unwrap();
+        t.add_row(&["say \"hi\"".into(), "2".into()]).unwrap();
+        let csv = t.to_csv();
+        assert!(csv.contains("\"x,y\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+        assert!(csv.contains("plain"));
+    }
+
+    #[test]
+    fn row_width_enforced() {
+        let mut t = Table::new("t", &["a", "b"]);
+        assert!(matches!(
+            t.add_row(&["only one".into()]),
+            Err(PlotError::RowWidth {
+                expected: 2,
+                found: 1
+            })
+        ));
+        assert_eq!(t.row_count(), 0);
+    }
+
+    #[test]
+    fn display_row_convenience() {
+        let mut t = Table::new("t", &["a", "b"]);
+        t.add_display_row(&[1.5, 2.5]).unwrap();
+        assert_eq!(t.row_count(), 1);
+        assert!(t.to_csv().contains("1.5,2.5"));
+    }
+}

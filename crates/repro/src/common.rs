@@ -1,0 +1,157 @@
+//! Shared plumbing for the reproduction harness.
+
+use cnfet_plot::Table;
+use std::fmt;
+use std::io::Write;
+use std::path::PathBuf;
+
+/// Error type of the harness.
+#[derive(Debug)]
+pub enum ReproError {
+    /// Unknown experiment name on the command line.
+    UnknownExperiment(String),
+    /// Any error bubbling up from the analysis crates.
+    Analysis(String),
+    /// Filesystem error while writing results.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for ReproError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReproError::UnknownExperiment(name) => write!(f, "unknown experiment `{name}`"),
+            ReproError::Analysis(msg) => write!(f, "analysis failed: {msg}"),
+            ReproError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReproError {}
+
+impl From<std::io::Error> for ReproError {
+    fn from(e: std::io::Error) -> Self {
+        ReproError::Io(e)
+    }
+}
+
+/// Convert any analysis-crate error into a harness error.
+pub fn analysis<E: std::error::Error>(e: E) -> ReproError {
+    ReproError::Analysis(e.to_string())
+}
+
+/// Result alias for the harness.
+pub type Result<T> = std::result::Result<T, ReproError>;
+
+/// Print a section banner.
+pub fn banner(id: &str, title: &str) {
+    println!("\n{}", "=".repeat(72));
+    println!("  {id}  —  {title}");
+    println!("{}", "=".repeat(72));
+}
+
+/// Write a table's CSV under `results/<name>.csv` (directory created on
+/// demand) and announce the path.
+pub fn write_csv(name: &str, table: &Table) -> Result<()> {
+    let dir = PathBuf::from("results");
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{name}.csv"));
+    let mut f = std::fs::File::create(&path)?;
+    f.write_all(table.to_csv().as_bytes())?;
+    println!("  [csv] {}", path.display());
+    Ok(())
+}
+
+/// A paper-vs-measured comparison row.
+pub struct Comparison {
+    table: Table,
+}
+
+impl Comparison {
+    /// Start a comparison table.
+    pub fn new(title: &str) -> Self {
+        Self {
+            table: Table::new(title, &["quantity", "paper", "measured", "match"]),
+        }
+    }
+
+    /// Add one quantity; `close` is the reproduction criterion used.
+    pub fn add(&mut self, quantity: &str, paper: String, measured: String, close: bool) {
+        self.table
+            .add_row(&[
+                quantity.to_string(),
+                paper,
+                measured,
+                if close { "yes".into() } else { "off".into() },
+            ])
+            .expect("4 columns");
+    }
+
+    /// Print the table and return it for CSV emission.
+    pub fn finish(self) -> Table {
+        println!("{}", self.table.to_markdown());
+        self.table
+    }
+}
+
+/// Relative closeness check for comparisons: within a multiplicative
+/// factor.
+pub fn within_factor(measured: f64, paper: f64, factor: f64) -> bool {
+    if paper == 0.0 {
+        return measured.abs() < 1e-12;
+    }
+    let r = measured / paper;
+    r >= 1.0 / factor && r <= factor
+}
+
+/// The case-study design mapped onto a library: its `(width, count)`
+/// distribution plus the measured critical-FET row density (per µm).
+pub struct DesignStats {
+    /// Distinct transistor widths with instance counts.
+    pub width_pairs: Vec<(f64, u64)>,
+    /// Measured `P_min-CNFET` density (critical FETs per µm of row).
+    pub rho_per_um: f64,
+    /// Total transistor count of the generated design.
+    pub transistors: usize,
+}
+
+/// Generate the OpenRISC-class design, map it onto a library, place it and
+/// extract the statistics the yield analysis needs.
+pub fn design_stats(lib: &cnfet_celllib::CellLibrary, fast: bool) -> Result<DesignStats> {
+    use cnfet_layout::{place_cells, PlacementOptions};
+    use cnfet_netlist::mapping::MappedDesign;
+    use cnfet_netlist::synth::{openrisc_class, DesignSpec};
+
+    let spec = if fast {
+        DesignSpec::small()
+    } else {
+        DesignSpec::openrisc()
+    };
+    let netlist = openrisc_class(&spec, 42);
+    let mapped = MappedDesign::map(&netlist, lib).map_err(analysis)?;
+
+    // Collapse widths to (width, count) pairs (0.1-nm quantization).
+    let mut counts: std::collections::BTreeMap<i64, u64> = std::collections::BTreeMap::new();
+    for w in mapped.transistor_widths() {
+        *counts.entry((w * 10.0).round() as i64).or_insert(0) += 1;
+    }
+    let width_pairs: Vec<(f64, u64)> = counts
+        .into_iter()
+        .map(|(k, n)| (k as f64 / 10.0, n))
+        .collect();
+
+    // Place and measure the critical-FET density. The criticality
+    // threshold is the uncorrelated W_min regime (anything below ~155 nm at
+    // 45 nm), scaled with the library's node so the same device classes
+    // count as critical in the 65 nm library.
+    let placed = place_cells(mapped.cells(), PlacementOptions::default()).map_err(analysis)?;
+    let w_critical = cnfet_core::paper::WMIN_UNCORRELATED_NM * lib.tech().node_nm / 45.0;
+    let rho_per_um = placed
+        .min_fet_density_per_um(w_critical)
+        .map_err(analysis)?;
+
+    Ok(DesignStats {
+        width_pairs,
+        rho_per_um,
+        transistors: mapped.transistor_count(),
+    })
+}

@@ -1,0 +1,98 @@
+//! Extensions beyond the paper's tables: the grid-policy trade-off
+//! (Sec 3.3's closing discussion, quantified) and the noise-margin
+//! `pRm` requirement (\[Zhang 09b\] hook).
+
+use crate::common::{analysis, banner, write_csv, Result};
+use cnfet_celllib::nangate45::nangate45_like;
+use cnfet_core::corner::ProcessCorner;
+use cnfet_core::failure::FailureModel;
+use cnfet_core::noise::{mean_surviving_metallic, p_any_surviving_metallic, required_p_rm};
+use cnfet_core::paper;
+use cnfet_core::rowmodel::RowModel;
+use cnfet_core::tradeoffs::GridTradeoff;
+use cnfet_plot::Table;
+use cnt_stats::renewal::CountModel;
+
+/// Run the extension analyses.
+pub fn run(_fast: bool) -> Result<()> {
+    banner(
+        "EXTRAS",
+        "Grid-policy trade-off and the [Zhang 09b] pRm requirement",
+    );
+
+    // --- grid trade-off --------------------------------------------------
+    let lib = nangate45_like();
+    let study = GridTradeoff {
+        library: &lib,
+        model: FailureModel::paper_default(ProcessCorner::aggressive().map_err(analysis)?)
+            .map_err(analysis)?
+            .with_backend(CountModel::GaussianSum),
+        row: RowModel::from_design(paper::L_CNT_UM, paper::RHO_MIN_FET_PER_UM)
+            .map_err(analysis)?,
+        widths: vec![(110.0, 33), (185.0, 47), (370.0, 20)],
+        yield_target: paper::YIELD_TARGET,
+        m_min: paper::MMIN_FRACTION * paper::M_TRANSISTORS,
+    };
+    let [single, dual] = study.run().map_err(analysis)?;
+    let mut t = Table::new(
+        "grid-policy trade-off (Nangate-45-class)",
+        &[
+            "policy",
+            "cells penalized",
+            "library area",
+            "relaxation",
+            "W_min (nm)",
+            "upsizing penalty",
+        ],
+    );
+    for p in [&single, &dual] {
+        t.add_row(&[
+            format!("{:?}", p.policy),
+            format!("{:.1} %", p.cells_penalized * 100.0),
+            format!("+{:.2} %", p.library_area_increase * 100.0),
+            format!("{:.0}x", p.relaxation),
+            format!("{:.1}", p.w_min),
+            format!("{:.1} %", p.upsizing_penalty * 100.0),
+        ])
+        .expect("6 cols");
+    }
+    println!("{}", t.to_markdown());
+    println!(
+        "  dual-grid W_min cost: +{:.1} % (paper: \"< 5 % increase in W_min\")\n",
+        (dual.w_min / single.w_min - 1.0) * 100.0
+    );
+    write_csv("extras-grid-tradeoff", &t)?;
+
+    // --- pRm requirement --------------------------------------------------
+    let mut t = Table::new(
+        "surviving-m-CNT exposure vs pRm (W = 150 nm)",
+        &["pRm", "mean survivors/gate", "P(any survivor)", "suspect gates / 1e8"],
+    );
+    for p_rm in [0.99, 0.999, 0.9999, 0.99999] {
+        let model = FailureModel::paper_default(
+            ProcessCorner::new(0.33, 0.30, p_rm).map_err(analysis)?,
+        )
+        .map_err(analysis)?;
+        let mean = mean_surviving_metallic(&model, 150.0).map_err(analysis)?;
+        let p_any = p_any_surviving_metallic(&model, 150.0).map_err(analysis)?;
+        t.add_row(&[
+            format!("{p_rm}"),
+            format!("{mean:.2e}"),
+            format!("{p_any:.2e}"),
+            format!("{:.1e}", p_any * 1e8),
+        ])
+        .expect("4 cols");
+    }
+    println!("{}", t.to_markdown());
+
+    let model = FailureModel::paper_default(
+        ProcessCorner::new(0.33, 0.30, 0.5).map_err(analysis)?,
+    )
+    .map_err(analysis)?;
+    let need = required_p_rm(&model, 150.0, 1e8, 1e4).map_err(analysis)?;
+    println!(
+        "  pRm needed to keep <= 1e4 suspect gates on a 1e8-gate chip: {need:.5}\n  (paper/[Zhang 09b]: pRm > 99.99 %)"
+    );
+    write_csv("extras-prm", &t)?;
+    Ok(())
+}

@@ -1,0 +1,72 @@
+//! Fig 2.2a — transistor width distribution of the OpenRISC-class core
+//! synthesized onto the Nangate-45-class library.
+
+use crate::common::{analysis, banner, write_csv, Comparison, Result};
+use cnfet_celllib::nangate45::nangate45_like;
+use cnfet_core::paper;
+use cnfet_netlist::mapping::MappedDesign;
+use cnfet_netlist::synth::{openrisc_class, DesignSpec};
+use cnfet_plot::{BarChart, Table};
+
+/// Run the experiment. `fast` shrinks the generated design.
+pub fn run(fast: bool) -> Result<()> {
+    banner(
+        "FIG 2.2a",
+        "Transistor width distribution of an OpenRISC-class core (Nangate-45-class)",
+    );
+
+    let lib = nangate45_like();
+    let spec = if fast {
+        DesignSpec::small()
+    } else {
+        DesignSpec::openrisc()
+    };
+    let netlist = openrisc_class(&spec, 42);
+    let mapped = MappedDesign::map(&netlist, &lib).map_err(analysis)?;
+
+    println!(
+        "  design: {} instances, {} transistors",
+        netlist.instance_count(),
+        mapped.transistor_count()
+    );
+
+    let hist = mapped
+        .width_histogram(paper::FIG22A_BIN_NM, 480.0)
+        .map_err(analysis)?;
+    let mut chart = BarChart::new("fraction of transistors per 80-nm width bin", 40);
+    let mut csv = Table::new("fig2-2a data", &["bin_lo_nm", "bin_hi_nm", "fraction"]);
+    for i in 0..hist.nbins() {
+        chart.add_bar(
+            format!("{:>3.0}-{:<3.0}", hist.bin_lo(i), hist.bin_hi(i)),
+            hist.bin_fraction(i),
+        );
+        csv.add_row(&[
+            format!("{}", hist.bin_lo(i)),
+            format!("{}", hist.bin_hi(i)),
+            format!("{:.4}", hist.bin_fraction(i)),
+        ])
+        .expect("3 cols");
+    }
+    println!("{}", chart.render().map_err(analysis)?);
+
+    let two_bins = hist.bin_fraction(0) + hist.bin_fraction(1);
+    let mut cmp = Comparison::new("Fig 2.2a calibration");
+    cmp.add(
+        "two leftmost bins (M_min share)",
+        format!("{:.0} %", paper::MMIN_FRACTION * 100.0),
+        format!("{:.1} %", two_bins * 100.0),
+        (two_bins - paper::MMIN_FRACTION).abs() < 0.05,
+    );
+    let frac155 = mapped.fraction_below(paper::WMIN_UNCORRELATED_NM);
+    cmp.add(
+        "fraction below W_min = 155 nm",
+        format!("{:.0} %", paper::MMIN_FRACTION * 100.0),
+        format!("{:.1} %", frac155 * 100.0),
+        (frac155 - paper::MMIN_FRACTION).abs() < 0.05,
+    );
+    let cmp_table = cmp.finish();
+
+    write_csv("fig2-2a", &csv)?;
+    write_csv("fig2-2a-comparison", &cmp_table)?;
+    Ok(())
+}

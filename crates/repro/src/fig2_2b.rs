@@ -1,0 +1,87 @@
+//! Fig 2.2b — gate-capacitance penalty of upsizing vs technology node,
+//! without CNT correlation.
+
+use crate::common::{analysis, banner, design_stats, write_csv, Comparison, Result};
+use cnfet_celllib::nangate45::nangate45_like;
+use cnfet_core::corner::ProcessCorner;
+use cnfet_core::failure::FailureModel;
+use cnfet_core::paper;
+use cnfet_core::rowmodel::RowModel;
+use cnfet_core::scaling::ScalingStudy;
+use cnfet_plot::{BarChart, Table};
+
+/// Run the experiment.
+pub fn run(fast: bool) -> Result<()> {
+    banner(
+        "FIG 2.2b",
+        "Upsizing penalty (% gate capacitance) vs technology node — no correlation",
+    );
+
+    let lib = nangate45_like();
+    let stats = design_stats(&lib, fast)?;
+    println!(
+        "  width distribution from {} transistors; measured rho = {:.2} FET/um",
+        stats.transistors, stats.rho_per_um
+    );
+
+    let model = FailureModel::paper_default(ProcessCorner::aggressive().map_err(analysis)?)
+        .map_err(analysis)?;
+    let study = ScalingStudy::new(
+        model,
+        45.0,
+        stats.width_pairs.clone(),
+        paper::YIELD_TARGET,
+        paper::M_TRANSISTORS,
+        RowModel::from_design(paper::L_CNT_UM, paper::RHO_MIN_FET_PER_UM).map_err(analysis)?,
+    )
+    .map_err(analysis)?;
+    let results = study.run(&paper::SCALING_NODES_NM).map_err(analysis)?;
+
+    let mut chart = BarChart::new("penalty (%) per node — no correlation", 40);
+    let mut csv = Table::new(
+        "fig2-2b data",
+        &["node_nm", "w_min_nm", "penalty_percent"],
+    );
+    for r in &results {
+        chart.add_bar(format!("{:>2.0} nm", r.node), r.penalty_plain * 100.0);
+        csv.add_row(&[
+            format!("{}", r.node),
+            format!("{:.1}", r.w_min_plain),
+            format!("{:.1}", r.penalty_plain * 100.0),
+        ])
+        .expect("3 cols");
+    }
+    println!("{}", chart.render().map_err(analysis)?);
+
+    // The paper's figure shows the penalty rising monotonically to >100 %
+    // at 16 nm; compare the shape.
+    let mut cmp = Comparison::new("Fig 2.2b shape");
+    let p45 = results[0].penalty_plain;
+    let p16 = results[3].penalty_plain;
+    cmp.add(
+        "penalty @ 45 nm",
+        "~10 %".into(),
+        format!("{:.1} %", p45 * 100.0),
+        p45 < 0.25,
+    );
+    cmp.add(
+        "penalty @ 16 nm",
+        ">100 %".into(),
+        format!("{:.1} %", p16 * 100.0),
+        p16 > 0.8,
+    );
+    cmp.add(
+        "monotone increase",
+        "yes".into(),
+        format!(
+            "{}",
+            results.windows(2).all(|p| p[1].penalty_plain > p[0].penalty_plain)
+        ),
+        results.windows(2).all(|p| p[1].penalty_plain > p[0].penalty_plain),
+    );
+    let cmp_table = cmp.finish();
+
+    write_csv("fig2-2b", &csv)?;
+    write_csv("fig2-2b-comparison", &cmp_table)?;
+    Ok(())
+}

@@ -1,0 +1,92 @@
+//! Fig 3.3 — upsizing penalty vs node, with and without CNT correlation.
+
+use crate::common::{analysis, banner, design_stats, write_csv, Comparison, Result};
+use cnfet_celllib::nangate45::nangate45_like;
+use cnfet_core::corner::ProcessCorner;
+use cnfet_core::failure::FailureModel;
+use cnfet_core::paper;
+use cnfet_core::rowmodel::RowModel;
+use cnfet_core::scaling::ScalingStudy;
+use cnfet_plot::Table;
+
+/// Run the experiment.
+pub fn run(fast: bool) -> Result<()> {
+    banner(
+        "FIG 3.3",
+        "Upsizing penalty vs node — with vs without correlation + aligned-active",
+    );
+
+    let lib = nangate45_like();
+    let stats = design_stats(&lib, fast)?;
+    let model = FailureModel::paper_default(ProcessCorner::aggressive().map_err(analysis)?)
+        .map_err(analysis)?;
+    let study = ScalingStudy::new(
+        model,
+        45.0,
+        stats.width_pairs.clone(),
+        paper::YIELD_TARGET,
+        paper::M_TRANSISTORS,
+        RowModel::from_design(paper::L_CNT_UM, paper::RHO_MIN_FET_PER_UM).map_err(analysis)?,
+    )
+    .map_err(analysis)?;
+    let results = study.run(&paper::SCALING_NODES_NM).map_err(analysis)?;
+
+    let mut csv = Table::new(
+        "fig3-3 data",
+        &[
+            "node_nm",
+            "penalty_no_corr_percent",
+            "penalty_with_corr_percent",
+            "w_min_no_corr_nm",
+            "w_min_with_corr_nm",
+            "relaxation",
+        ],
+    );
+    println!("  node | penalty (no corr) | penalty (with corr)");
+    println!("  -----+-------------------+--------------------");
+    for r in &results {
+        println!(
+            "   {:>2.0}  |      {:>6.1} %     |      {:>6.1} %",
+            r.node,
+            r.penalty_plain * 100.0,
+            r.penalty_corr * 100.0
+        );
+        csv.add_row(&[
+            format!("{}", r.node),
+            format!("{:.1}", r.penalty_plain * 100.0),
+            format!("{:.1}", r.penalty_corr * 100.0),
+            format!("{:.1}", r.w_min_plain),
+            format!("{:.1}", r.w_min_corr),
+            format!("{:.0}", r.relaxation),
+        ])
+        .expect("6 cols");
+    }
+    println!();
+
+    let mut cmp = Comparison::new("Fig 3.3 shape");
+    let r45 = &results[0];
+    cmp.add(
+        "45 nm penalty nearly eliminated",
+        "~0 %".into(),
+        format!("{:.1} %", r45.penalty_corr * 100.0),
+        r45.penalty_corr < 0.03,
+    );
+    cmp.add(
+        "W_min with correlation @45 nm",
+        format!("{} nm", paper::WMIN_CORRELATED_NM),
+        format!("{:.1} nm", r45.w_min_corr),
+        (r45.w_min_corr - paper::WMIN_CORRELATED_NM).abs() < 8.0,
+    );
+    let all_reduced = results.iter().all(|r| r.penalty_corr < r.penalty_plain);
+    cmp.add(
+        "correlation reduces penalty at every node",
+        "yes".into(),
+        format!("{all_reduced}"),
+        all_reduced,
+    );
+    let cmp_table = cmp.finish();
+
+    write_csv("fig3-3", &csv)?;
+    write_csv("fig3-3-comparison", &cmp_table)?;
+    Ok(())
+}

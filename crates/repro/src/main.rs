@@ -1,0 +1,88 @@
+//! `cnfet-repro` — regenerate every table and figure of the DAC 2010 paper.
+//!
+//! ```text
+//! cnfet-repro <experiment> [--fast]
+//!
+//! experiments:
+//!   fig2-1    pF vs W for three processing corners (+ W_min anchors)
+//!   fig2-2a   transistor-width histogram of the OpenRISC-class design
+//!   fig2-2b   upsizing penalty vs technology node (no correlation)
+//!   fig3-1    growth/layout correlation scenarios
+//!   table1    p_RF for the three growth/layout scenarios
+//!   fig3-2    AOI222_X1 before/after aligned-active
+//!   fig3-3    penalty vs node, with vs without correlation
+//!   table2    library-wide area penalties and W_min values
+//!   extras    beyond-paper analyses: grid trade-off, pRm requirement
+//!   all       everything above, in paper order
+//! ```
+//!
+//! Every experiment prints an ASCII rendition plus a paper-vs-measured
+//! comparison, and writes CSV data under `results/`.
+
+mod common;
+mod extras;
+mod fig2_1;
+mod fig2_2a;
+mod fig2_2b;
+mod fig3_1;
+mod fig3_2;
+mod fig3_3;
+mod table1;
+mod table2;
+
+use std::process::ExitCode;
+
+fn usage() {
+    eprintln!(
+        "usage: cnfet-repro <fig2-1|fig2-2a|fig2-2b|fig3-1|table1|fig3-2|fig3-3|table2|extras|all> [--fast]"
+    );
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let which = match args.iter().find(|a| !a.starts_with("--")) {
+        Some(w) => w.clone(),
+        None => {
+            usage();
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let run = |name: &str| -> common::Result<()> {
+        match name {
+            "fig2-1" => fig2_1::run(fast),
+            "fig2-2a" => fig2_2a::run(fast),
+            "fig2-2b" => fig2_2b::run(fast),
+            "fig3-1" => fig3_1::run(fast),
+            "table1" => table1::run(fast),
+            "fig3-2" => fig3_2::run(fast),
+            "fig3-3" => fig3_3::run(fast),
+            "table2" => table2::run(fast),
+            "extras" => extras::run(fast),
+            other => Err(common::ReproError::UnknownExperiment(other.to_string())),
+        }
+    };
+
+    let result = if which == "all" {
+        [
+            "fig2-1", "fig2-2a", "fig2-2b", "fig3-1", "table1", "fig3-2", "fig3-3", "table2",
+            "extras",
+        ]
+        .iter()
+        .try_for_each(|n| run(n))
+    } else {
+        run(&which)
+    };
+
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            if matches!(e, common::ReproError::UnknownExperiment(_)) {
+                usage();
+            }
+            ExitCode::FAILURE
+        }
+    }
+}

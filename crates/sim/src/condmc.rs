@@ -1,0 +1,319 @@
+//! Conditional (Rao-Blackwellised) Monte-Carlo estimators.
+//!
+//! Geometry (CNT track positions) is sampled; the per-CNT failure coin
+//! flips are integrated out exactly — per device as `pf^n`, per row via the
+//! run DP. Estimates at the 1e-9 scale converge in thousands of trials.
+
+use crate::rundp::row_failure_probability;
+use crate::{Result, SimError};
+use cnt_stats::ci::{conditional_mc_ci, ConfidenceInterval};
+use cnt_stats::renewal::{CountModel, RenewalCount};
+use cnt_stats::{Summary, TruncatedGaussian};
+use rand::Rng;
+
+/// A row of CNFETs sharing directional CNTs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RowScenario {
+    /// Height of the row (nm): CNT tracks are sampled over this span.
+    pub row_height: f64,
+    /// Per-CNFET active-region y-spans `(y0, y1)` within the row (nm).
+    pub fet_spans: Vec<(f64, f64)>,
+    /// Inter-CNT pitch distribution.
+    pub pitch: TruncatedGaussian,
+    /// Per-CNT failure probability `pf` (Eq. 2.1).
+    pub pf: f64,
+}
+
+impl RowScenario {
+    /// Validate the scenario.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidParameter`] for an empty FET list, spans
+    /// outside the row, or `pf` outside `[0, 1]`.
+    pub fn validate(&self) -> Result<()> {
+        if !(self.row_height.is_finite() && self.row_height > 0.0) {
+            return Err(SimError::InvalidParameter {
+                name: "row_height",
+                value: self.row_height,
+                constraint: "must be finite and > 0",
+            });
+        }
+        if self.fet_spans.is_empty() {
+            return Err(SimError::InvalidParameter {
+                name: "fet_spans",
+                value: 0.0,
+                constraint: "must not be empty",
+            });
+        }
+        for &(y0, y1) in &self.fet_spans {
+            if !(y0 >= 0.0 && y1 > y0 && y1 <= self.row_height) {
+                return Err(SimError::InvalidParameter {
+                    name: "fet_span",
+                    value: y0,
+                    constraint: "must satisfy 0 <= y0 < y1 <= row_height",
+                });
+            }
+        }
+        if !(0.0..=1.0).contains(&self.pf) {
+            return Err(SimError::InvalidParameter {
+                name: "pf",
+                value: self.pf,
+                constraint: "must be in [0, 1]",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Result of a conditional-MC estimation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FailureEstimate {
+    /// Point estimate of the failure probability.
+    pub probability: f64,
+    /// 95 % confidence interval.
+    pub ci95: ConfidenceInterval,
+    /// Number of geometry trials.
+    pub trials: u32,
+}
+
+/// Estimate a single CNFET's count-failure probability by sampling its CNT
+/// count and averaging `pf^n` — the Monte-Carlo twin of Eq. (2.2), used to
+/// cross-validate the analytic back-ends.
+///
+/// # Errors
+///
+/// Returns [`SimError::InvalidParameter`] for invalid `width`/`pf`/zero
+/// trials.
+pub fn estimate_fet_failure(
+    width: f64,
+    pitch: TruncatedGaussian,
+    pf: f64,
+    trials: u32,
+    mut rng: &mut (impl Rng + ?Sized),
+) -> Result<FailureEstimate> {
+    if !(width.is_finite() && width > 0.0) {
+        return Err(SimError::InvalidParameter {
+            name: "width",
+            value: width,
+            constraint: "must be finite and > 0",
+        });
+    }
+    if !(0.0..=1.0).contains(&pf) {
+        return Err(SimError::InvalidParameter {
+            name: "pf",
+            value: pf,
+            constraint: "must be in [0, 1]",
+        });
+    }
+    if trials == 0 {
+        return Err(SimError::InvalidParameter {
+            name: "trials",
+            value: 0.0,
+            constraint: "must be >= 1",
+        });
+    }
+    let renewal = RenewalCount::new(pitch, CountModel::GaussianSum);
+    let mut acc = Summary::new();
+    for _ in 0..trials {
+        let mut pos = renewal.sample_first_gap(&mut rng);
+        let mut n = 0u32;
+        while pos <= width {
+            n += 1;
+            pos += {
+                use cnt_stats::ContinuousDist;
+                pitch.sample(&mut rng)
+            };
+        }
+        acc.add(pf.powi(n as i32));
+    }
+    let ci95 = conditional_mc_ci(&acc, 0.95)?;
+    Ok(FailureEstimate {
+        probability: acc.mean(),
+        ci95,
+        trials,
+    })
+}
+
+/// Estimate the row failure probability `p_RF` of a [`RowScenario`]:
+/// sample track positions (stationary renewal over the row height), build
+/// per-FET track intervals, evaluate the exact conditional probability via
+/// the run DP, and average.
+///
+/// A FET whose span contains no track fails with certainty (zero CNTs), so
+/// such trials contribute probability 1.
+///
+/// # Errors
+///
+/// Propagates validation and DP errors.
+pub fn estimate_row_failure(
+    scenario: &RowScenario,
+    trials: u32,
+    mut rng: &mut (impl Rng + ?Sized),
+) -> Result<FailureEstimate> {
+    scenario.validate()?;
+    if trials == 0 {
+        return Err(SimError::InvalidParameter {
+            name: "trials",
+            value: 0.0,
+            constraint: "must be >= 1",
+        });
+    }
+    let renewal = RenewalCount::new(scenario.pitch, CountModel::GaussianSum);
+    let mut acc = Summary::new();
+    let mut tracks: Vec<f64> = Vec::new();
+    let mut intervals: Vec<(usize, usize)> = Vec::new();
+
+    for _ in 0..trials {
+        // Sample track y positions over the row.
+        tracks.clear();
+        let mut y = renewal.sample_first_gap(&mut rng);
+        while y <= scenario.row_height {
+            tracks.push(y);
+            y += {
+                use cnt_stats::ContinuousDist;
+                scenario.pitch.sample(&mut rng)
+            };
+        }
+
+        // Convert FET spans to track-index intervals.
+        intervals.clear();
+        let mut certain_failure = false;
+        for &(y0, y1) in &scenario.fet_spans {
+            let lo = tracks.partition_point(|&t| t < y0);
+            let hi = tracks.partition_point(|&t| t <= y1);
+            if hi == lo {
+                certain_failure = true; // no CNT in the active region
+                break;
+            }
+            intervals.push((lo, hi - 1));
+        }
+        if certain_failure {
+            acc.add(1.0);
+            continue;
+        }
+        acc.add(row_failure_probability(
+            tracks.len(),
+            &intervals,
+            scenario.pf,
+        )?);
+    }
+    let ci95 = conditional_mc_ci(&acc, 0.95)?;
+    Ok(FailureEstimate {
+        probability: acc.mean(),
+        ci95,
+        trials,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnt_stats::renewal::CountModel;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn pitch() -> TruncatedGaussian {
+        TruncatedGaussian::positive_with_moments(4.0, 3.28).unwrap()
+    }
+
+    #[test]
+    fn fet_failure_matches_analytic_renewal() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = 60.0;
+        let pf = 0.531;
+        let est = estimate_fet_failure(w, pitch(), pf, 20_000, &mut rng).unwrap();
+        let analytic = RenewalCount::new(pitch(), CountModel::Convolution { step: 0.02 })
+            .failure_probability(w, pf)
+            .unwrap();
+        let ratio = est.probability / analytic;
+        assert!(
+            (0.8..1.25).contains(&ratio),
+            "MC {} vs analytic {analytic} (ratio {ratio})",
+            est.probability
+        );
+        assert!(est.ci95.lo <= est.probability && est.probability <= est.ci95.hi);
+    }
+
+    #[test]
+    fn aligned_row_equals_single_fet() {
+        // All FETs perfectly aligned: p_RF = pF regardless of FET count.
+        let span = (100.0, 203.0);
+        let single = RowScenario {
+            row_height: 1400.0,
+            fet_spans: vec![span],
+            pitch: pitch(),
+            pf: 0.531,
+        };
+        let many = RowScenario {
+            row_height: 1400.0,
+            fet_spans: vec![span; 50],
+            pitch: pitch(),
+            pf: 0.531,
+        };
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = estimate_row_failure(&single, 4_000, &mut rng).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let b = estimate_row_failure(&many, 4_000, &mut rng).unwrap();
+        assert!(
+            (a.probability - b.probability).abs() / a.probability < 1e-9,
+            "aligned row must cost exactly one FET: {} vs {}",
+            a.probability,
+            b.probability
+        );
+    }
+
+    #[test]
+    fn disjoint_rows_multiply_like_independent_fets() {
+        // FETs on disjoint spans: p_RF ≈ 1 − (1 − pF)^k ≈ k·pF.
+        let spans: Vec<(f64, f64)> = (0..8)
+            .map(|i| {
+                let y0 = 100.0 + i as f64 * 160.0;
+                (y0, y0 + 103.0)
+            })
+            .collect();
+        let scenario = RowScenario {
+            row_height: 1500.0,
+            fet_spans: spans,
+            pitch: pitch(),
+            pf: 0.531,
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        let row = estimate_row_failure(&scenario, 6_000, &mut rng).unwrap();
+        let single = RowScenario {
+            row_height: 1500.0,
+            fet_spans: vec![(100.0, 203.0)],
+            pitch: pitch(),
+            pf: 0.531,
+        };
+        let mut rng = StdRng::seed_from_u64(4);
+        let one = estimate_row_failure(&single, 6_000, &mut rng).unwrap();
+        let ratio = row.probability / one.probability;
+        assert!(
+            (6.0..10.0).contains(&ratio),
+            "independent FETs should multiply: ratio {ratio}"
+        );
+    }
+
+    #[test]
+    fn validation_errors() {
+        let bad = RowScenario {
+            row_height: 100.0,
+            fet_spans: vec![(50.0, 150.0)], // escapes the row
+            pitch: pitch(),
+            pf: 0.5,
+        };
+        let mut rng = StdRng::seed_from_u64(5);
+        assert!(estimate_row_failure(&bad, 10, &mut rng).is_err());
+        let empty = RowScenario {
+            row_height: 100.0,
+            fet_spans: vec![],
+            pitch: pitch(),
+            pf: 0.5,
+        };
+        assert!(estimate_row_failure(&empty, 10, &mut rng).is_err());
+        assert!(estimate_fet_failure(0.0, pitch(), 0.5, 10, &mut rng).is_err());
+        assert!(estimate_fet_failure(10.0, pitch(), 2.0, 10, &mut rng).is_err());
+        assert!(estimate_fet_failure(10.0, pitch(), 0.5, 0, &mut rng).is_err());
+    }
+}

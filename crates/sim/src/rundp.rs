@@ -1,0 +1,456 @@
+//! Exact row-failure probability over shared CNT tracks: the run DP.
+//!
+//! ## Problem
+//!
+//! A placement row has `n_tracks` CNT tracks (indexed bottom to top). Every
+//! CNFET in the row covers a *contiguous* interval of tracks (its active
+//! region's y-span). Each track fails independently with probability `pf`
+//! (its CNT is metallic or was removed — shared by every CNFET crossing
+//! it, which is exactly the correlation directional growth creates). The
+//! **row fails** if some CNFET has *all* of its tracks failing.
+//!
+//! ## Algorithm
+//!
+//! `P(no CNFET fails)` is computed by scanning tracks left to right with a
+//! DP whose state is the length `r` of the current trailing run of failed
+//! tracks. After processing track `i`, any interval `[a, b]` with `b = i`
+//! and length `≤ r` would be fully failed, so those states are pruned.
+//! With interval lengths bounded by `L`, the complexity is
+//! `O(n_tracks · L)` and the result is exact — no sampling of the
+//! exponentially many track outcomes.
+
+use crate::{Result, SimError};
+
+/// Exact probability that at least one interval is fully failed.
+///
+/// `intervals` are inclusive `(lo, hi)` track-index pairs; they may overlap
+/// arbitrarily and need not be sorted. `pf` is the per-track failure
+/// probability.
+///
+/// An **empty** interval list means no CNFET can fail → probability 0. A
+/// CNFET whose active region contains *no tracks* must be encoded by the
+/// caller as a certain failure (this function cannot see it).
+///
+/// # Errors
+///
+/// Returns [`SimError::BadInterval`] if an interval exceeds the track
+/// range or has `lo > hi`, and [`SimError::InvalidParameter`] for `pf`
+/// outside `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use cnfet_sim::rundp::row_failure_probability;
+///
+/// // One FET over one track: fails exactly when the track fails.
+/// let p = row_failure_probability(1, &[(0, 0)], 0.3).unwrap();
+/// assert!((p - 0.3).abs() < 1e-12);
+/// ```
+pub fn row_failure_probability(
+    n_tracks: usize,
+    intervals: &[(usize, usize)],
+    pf: f64,
+) -> Result<f64> {
+    if !(0.0..=1.0).contains(&pf) {
+        return Err(SimError::InvalidParameter {
+            name: "pf",
+            value: pf,
+            constraint: "must be in [0, 1]",
+        });
+    }
+    for &(lo, hi) in intervals {
+        if lo > hi || hi >= n_tracks {
+            return Err(SimError::BadInterval {
+                lo,
+                hi,
+                n_tracks,
+            });
+        }
+    }
+    if intervals.is_empty() {
+        return Ok(0.0);
+    }
+    if pf == 0.0 {
+        return Ok(0.0);
+    }
+    if pf == 1.0 {
+        return Ok(1.0);
+    }
+
+    // For each track i: the tightest constraint among intervals ending at
+    // i — the maximal allowed run length after processing i is
+    // min(i - lo) over intervals with hi == i.
+    let mut max_run_after = vec![usize::MAX; n_tracks];
+    let mut longest = 1usize;
+    for &(lo, hi) in intervals {
+        let allowed = hi - lo; // run of length > allowed covers [lo, hi]
+        if allowed < max_run_after[hi] {
+            max_run_after[hi] = allowed;
+        }
+        longest = longest.max(hi - lo + 1);
+    }
+
+    // state[r] = P(current trailing failure run has length exactly r, and
+    // no interval has fully failed so far). Runs longer than `longest`
+    // can be capped: they can never become "short" again without an OK
+    // track, and any constraint they'd violate has length ≤ longest.
+    let cap = longest; // states 0..=cap, cap is "saturated"
+    let mut state = vec![0.0_f64; cap + 1];
+    state[0] = 1.0;
+    let ps = 1.0 - pf;
+    let mut next = vec![0.0_f64; cap + 1];
+
+    for max_allowed in max_run_after.iter().take(n_tracks) {
+        next.iter_mut().for_each(|x| *x = 0.0);
+        let mut total = 0.0;
+        for (r, &p) in state.iter().enumerate() {
+            if p == 0.0 {
+                continue;
+            }
+            total += p;
+            // Track fails: run extends (saturating at cap).
+            let nr = (r + 1).min(cap);
+            next[nr] += p * pf;
+        }
+        // Track OK: run resets to zero, from any state.
+        next[0] += total * ps;
+        // Prune states that fully cover an interval ending here.
+        if *max_allowed != usize::MAX {
+            for (r, x) in next.iter_mut().enumerate() {
+                if r > *max_allowed {
+                    *x = 0.0;
+                }
+            }
+        }
+        std::mem::swap(&mut state, &mut next);
+    }
+
+    let survive: f64 = state.iter().sum();
+    Ok((1.0 - survive).clamp(0.0, 1.0))
+}
+
+/// Heterogeneous variant of [`row_failure_probability`]: per-track failure
+/// probabilities.
+///
+/// Real removal processes are not uniform — thin CNTs are removed more
+/// easily, and measured wafers show position-dependent metallic fractions.
+/// The DP generalizes directly: the "track fails" transition at step `i`
+/// uses `pf[i]` instead of a shared constant.
+///
+/// # Errors
+///
+/// Same as [`row_failure_probability`], plus a length check between `pf`
+/// and `n_tracks`, and per-element range validation.
+pub fn row_failure_probability_weighted(
+    pf: &[f64],
+    intervals: &[(usize, usize)],
+) -> Result<f64> {
+    let n_tracks = pf.len();
+    for &p in pf {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(SimError::InvalidParameter {
+                name: "pf[i]",
+                value: p,
+                constraint: "must be in [0, 1]",
+            });
+        }
+    }
+    for &(lo, hi) in intervals {
+        if lo > hi || hi >= n_tracks {
+            return Err(SimError::BadInterval { lo, hi, n_tracks });
+        }
+    }
+    if intervals.is_empty() || n_tracks == 0 {
+        return Ok(0.0);
+    }
+
+    let mut max_run_after = vec![usize::MAX; n_tracks];
+    let mut longest = 1usize;
+    for &(lo, hi) in intervals {
+        let allowed = hi - lo;
+        if allowed < max_run_after[hi] {
+            max_run_after[hi] = allowed;
+        }
+        longest = longest.max(hi - lo + 1);
+    }
+
+    let cap = longest;
+    let mut state = vec![0.0_f64; cap + 1];
+    state[0] = 1.0;
+    let mut next = vec![0.0_f64; cap + 1];
+
+    for (i, max_allowed) in max_run_after.iter().enumerate() {
+        let p_fail = pf[i];
+        let p_ok = 1.0 - p_fail;
+        next.iter_mut().for_each(|x| *x = 0.0);
+        let mut total = 0.0;
+        for (r, &p) in state.iter().enumerate() {
+            if p == 0.0 {
+                continue;
+            }
+            total += p;
+            let nr = (r + 1).min(cap);
+            next[nr] += p * p_fail;
+        }
+        next[0] += total * p_ok;
+        if *max_allowed != usize::MAX {
+            for (r, x) in next.iter_mut().enumerate() {
+                if r > *max_allowed {
+                    *x = 0.0;
+                }
+            }
+        }
+        std::mem::swap(&mut state, &mut next);
+    }
+
+    let survive: f64 = state.iter().sum();
+    Ok((1.0 - survive).clamp(0.0, 1.0))
+}
+
+/// Brute-force reference: enumerate all `2^n_tracks` outcomes.
+///
+/// Only for testing (`n_tracks ≤ 20`).
+///
+/// # Errors
+///
+/// Same validation as [`row_failure_probability`]; additionally rejects
+/// `n_tracks > 20`.
+pub fn row_failure_probability_bruteforce(
+    n_tracks: usize,
+    intervals: &[(usize, usize)],
+    pf: f64,
+) -> Result<f64> {
+    if n_tracks > 20 {
+        return Err(SimError::InvalidParameter {
+            name: "n_tracks",
+            value: n_tracks as f64,
+            constraint: "brute force limited to <= 20 tracks",
+        });
+    }
+    for &(lo, hi) in intervals {
+        if lo > hi || hi >= n_tracks {
+            return Err(SimError::BadInterval { lo, hi, n_tracks });
+        }
+    }
+    let mut p_fail = 0.0;
+    for mask in 0u32..(1 << n_tracks) {
+        let mut prob = 1.0;
+        for t in 0..n_tracks {
+            if mask >> t & 1 == 1 {
+                prob *= pf;
+            } else {
+                prob *= 1.0 - pf;
+            }
+        }
+        let fails = intervals.iter().any(|&(lo, hi)| {
+            (lo..=hi).all(|t| mask >> t & 1 == 1)
+        });
+        if fails {
+            p_fail += prob;
+        }
+    }
+    Ok(p_fail)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn validation() {
+        assert!(row_failure_probability(3, &[(0, 3)], 0.5).is_err());
+        assert!(row_failure_probability(3, &[(2, 1)], 0.5).is_err());
+        assert!(row_failure_probability(3, &[(0, 1)], 1.5).is_err());
+        assert_eq!(row_failure_probability(3, &[], 0.5).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn single_interval_is_pf_power() {
+        for len in 1..6usize {
+            let p = row_failure_probability(10, &[(2, 2 + len - 1)], 0.531).unwrap();
+            let want = 0.531f64.powi(len as i32);
+            assert!((p - want).abs() < 1e-12, "len {len}: {p} vs {want}");
+        }
+    }
+
+    #[test]
+    fn aligned_fets_cost_one_fet() {
+        // 100 identical intervals — the aligned-active case: row failure
+        // equals single-FET failure.
+        let intervals: Vec<(usize, usize)> = (0..100).map(|_| (5, 30)).collect();
+        let p = row_failure_probability(40, &intervals, 0.5).unwrap();
+        let single = row_failure_probability(40, &[(5, 30)], 0.5).unwrap();
+        assert!((p - single).abs() < 1e-15);
+    }
+
+    #[test]
+    fn disjoint_intervals_are_independent() {
+        let p = row_failure_probability(10, &[(0, 1), (4, 5), (8, 9)], 0.3).unwrap();
+        let q = 0.3f64 * 0.3;
+        let want = 1.0 - (1.0 - q).powi(3);
+        assert!((p - want).abs() < 1e-12, "{p} vs {want}");
+    }
+
+    #[test]
+    fn extremes() {
+        assert_eq!(row_failure_probability(5, &[(0, 2)], 0.0).unwrap(), 0.0);
+        assert_eq!(row_failure_probability(5, &[(0, 2)], 1.0).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn matches_bruteforce_on_fixed_cases() {
+        let cases: Vec<(usize, Vec<(usize, usize)>)> = vec![
+            (6, vec![(0, 2), (1, 3), (4, 5)]),
+            (8, vec![(0, 0), (0, 7), (3, 4)]),
+            (10, vec![(2, 6), (5, 9), (0, 1), (7, 7)]),
+            (12, vec![(0, 3), (2, 5), (4, 7), (6, 9), (8, 11)]),
+        ];
+        for (n, intervals) in cases {
+            for pf in [0.1, 0.531, 0.9] {
+                let fast = row_failure_probability(n, &intervals, pf).unwrap();
+                let slow = row_failure_probability_bruteforce(n, &intervals, pf).unwrap();
+                assert!(
+                    (fast - slow).abs() < 1e-12,
+                    "n={n} pf={pf} intervals={intervals:?}: {fast} vs {slow}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn nested_intervals_inner_dominates() {
+        // [2,3] nested in [1,4]: the union event is just "inner fails".
+        let p = row_failure_probability(6, &[(1, 4), (2, 3)], 0.4).unwrap();
+        let inner = row_failure_probability(6, &[(2, 3)], 0.4).unwrap();
+        assert!((p - inner).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_reduces_to_uniform() {
+        let intervals = [(0usize, 2usize), (3, 5), (2, 4)];
+        let uniform = row_failure_probability(8, &intervals, 0.531).unwrap();
+        let weighted =
+            row_failure_probability_weighted(&[0.531; 8], &intervals).unwrap();
+        assert!((uniform - weighted).abs() < 1e-14);
+    }
+
+    #[test]
+    fn weighted_certain_and_impossible_tracks() {
+        // Track 1 never fails → any interval containing it never fails.
+        let pf = [0.9, 0.0, 0.9, 0.9];
+        let p = row_failure_probability_weighted(&pf, &[(0, 2)]).unwrap();
+        assert_eq!(p, 0.0);
+        // All tracks of an interval certain to fail → probability 1.
+        let pf = [1.0, 1.0, 0.2, 0.2];
+        let p = row_failure_probability_weighted(&pf, &[(0, 1)]).unwrap();
+        assert!((p - 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn weighted_validation() {
+        assert!(row_failure_probability_weighted(&[0.5, 1.5], &[(0, 1)]).is_err());
+        assert!(row_failure_probability_weighted(&[0.5], &[(0, 1)]).is_err());
+        assert_eq!(
+            row_failure_probability_weighted(&[], &[]).unwrap(),
+            0.0
+        );
+    }
+
+    #[test]
+    fn weighted_matches_bruteforce_mixture() {
+        // Compare against brute force by expanding the heterogeneous case
+        // into an equivalent-by-hand enumeration over 6 tracks.
+        let pf = [0.1, 0.6, 0.3, 0.9, 0.5, 0.2];
+        let intervals = [(0usize, 1usize), (2, 4), (4, 5)];
+        let fast = row_failure_probability_weighted(&pf, &intervals).unwrap();
+        let mut slow = 0.0;
+        for mask in 0u32..64 {
+            let mut prob = 1.0;
+            for (t, &p) in pf.iter().enumerate() {
+                prob *= if mask >> t & 1 == 1 { p } else { 1.0 - p };
+            }
+            let fails = intervals
+                .iter()
+                .any(|&(lo, hi)| (lo..=hi).all(|t| mask >> t & 1 == 1));
+            if fails {
+                slow += prob;
+            }
+        }
+        assert!((fast - slow).abs() < 1e-12, "{fast} vs {slow}");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_matches_bruteforce(
+            n in 1usize..12,
+            seed in 0u64..1000,
+            pf in 0.05f64..0.95,
+            k in 1usize..6,
+        ) {
+            // Deterministic pseudo-random intervals from the seed.
+            let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+            let mut nextu = |m: usize| {
+                s ^= s << 13; s ^= s >> 7; s ^= s << 17;
+                (s as usize) % m
+            };
+            let intervals: Vec<(usize, usize)> = (0..k)
+                .map(|_| {
+                    let a = nextu(n);
+                    let b = a + nextu(n - a);
+                    (a, b)
+                })
+                .collect();
+            let fast = row_failure_probability(n, &intervals, pf).unwrap();
+            let slow = row_failure_probability_bruteforce(n, &intervals, pf).unwrap();
+            prop_assert!((fast - slow).abs() < 1e-10,
+                "n={} pf={} intervals={:?}: fast {} slow {}", n, pf, intervals, fast, slow);
+        }
+
+        #[test]
+        fn prop_monotone_in_pf(
+            n in 2usize..15,
+            k in 1usize..5,
+            seed in 0u64..500,
+        ) {
+            let mut s = seed.wrapping_mul(0x2545F4914F6CDD1D).wrapping_add(7);
+            let mut nextu = |m: usize| {
+                s ^= s << 13; s ^= s >> 7; s ^= s << 17;
+                (s as usize) % m
+            };
+            let intervals: Vec<(usize, usize)> = (0..k)
+                .map(|_| {
+                    let a = nextu(n);
+                    let b = a + nextu(n - a);
+                    (a, b)
+                })
+                .collect();
+            let lo = row_failure_probability(n, &intervals, 0.2).unwrap();
+            let hi = row_failure_probability(n, &intervals, 0.7).unwrap();
+            prop_assert!(lo <= hi + 1e-12);
+        }
+
+        #[test]
+        fn prop_more_intervals_means_more_failure(
+            n in 3usize..15,
+            seed in 0u64..500,
+            pf in 0.1f64..0.9,
+        ) {
+            let mut s = seed.wrapping_mul(0xDA942042E4DD58B5).wrapping_add(3);
+            let mut nextu = |m: usize| {
+                s ^= s << 13; s ^= s >> 7; s ^= s << 17;
+                (s as usize) % m
+            };
+            let mk = |nextu: &mut dyn FnMut(usize) -> usize| {
+                let a = nextu(n);
+                let b = a + nextu(n - a);
+                (a, b)
+            };
+            let i1 = mk(&mut nextu);
+            let i2 = mk(&mut nextu);
+            let p1 = row_failure_probability(n, &[i1], pf).unwrap();
+            let p12 = row_failure_probability(n, &[i1, i2], pf).unwrap();
+            prop_assert!(p12 >= p1 - 1e-12);
+        }
+    }
+}

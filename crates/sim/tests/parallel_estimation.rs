@@ -1,0 +1,76 @@
+//! Integration: the parallel engine driving the conditional row estimator
+//! at Table-1 scale.
+
+use cnfet_sim::condmc::{estimate_row_failure, RowScenario};
+use cnfet_sim::engine::run_parallel;
+use cnt_stats::ci::conditional_mc_ci;
+use cnt_stats::TruncatedGaussian;
+use rand::Rng;
+
+fn scenario() -> RowScenario {
+    // 120 devices at staggered offsets in a 560-nm band — a scaled-down
+    // Table-1 row that still exercises interval overlap heavily.
+    let width = 103.0;
+    let spans: Vec<(f64, f64)> = (0..120)
+        .map(|i| {
+            let y0 = ((i * 7) % 10) as f64 * 45.0;
+            (y0, y0 + width)
+        })
+        .collect();
+    RowScenario {
+        row_height: 560.0,
+        fet_spans: spans,
+        pitch: TruncatedGaussian::positive_with_moments(4.0, 3.2).expect("valid pitch"),
+        pf: 0.531,
+    }
+}
+
+#[test]
+fn parallel_workers_agree_with_single_threaded_estimate() {
+    let sc = scenario();
+
+    // Single-threaded reference.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1234);
+    use rand::SeedableRng;
+    let reference = estimate_row_failure(&sc, 3000, &mut rng).expect("estimable");
+
+    // Parallel: each job runs a 25-trial conditional estimate and returns
+    // its mean; the merged mean is an unbiased estimate of the same p_RF.
+    let sc2 = sc.clone();
+    let merged = run_parallel(120, 4, 99, move |rng| {
+        estimate_row_failure(&sc2, 25, rng)
+            .expect("estimable")
+            .probability
+    });
+    assert_eq!(merged.count(), 120);
+
+    let ci = conditional_mc_ci(&merged, 0.999).expect("ci");
+    assert!(
+        ci.contains(reference.probability)
+            || (merged.mean() / reference.probability - 1.0).abs() < 0.5,
+        "parallel {:.3e} vs reference {:.3e} (ci {ci})",
+        merged.mean(),
+        reference.probability
+    );
+}
+
+#[test]
+fn parallel_run_is_reproducible() {
+    let sc = scenario();
+    let f = {
+        let sc = sc.clone();
+        move |rng: &mut rand::rngs::StdRng| {
+            estimate_row_failure(&sc, 10, rng).expect("estimable").probability
+        }
+    };
+    let a = run_parallel(40, 4, 7, &f);
+    let b = run_parallel(40, 4, 7, &f);
+    assert_eq!(a.mean(), b.mean());
+    assert_eq!(a.min(), b.min());
+}
+
+#[test]
+fn engine_handles_more_workers_than_trials() {
+    let s = run_parallel(3, 8, 5, |rng| rng.gen::<f64>());
+    assert_eq!(s.count(), 3);
+}

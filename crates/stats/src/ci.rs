@@ -1,0 +1,191 @@
+//! Confidence intervals for means and (rare-event) proportions.
+
+use crate::special::normal_quantile;
+use crate::{Result, StatsError, Summary};
+
+/// A two-sided confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceInterval {
+    /// Point estimate.
+    pub estimate: f64,
+    /// Lower bound.
+    pub lo: f64,
+    /// Upper bound.
+    pub hi: f64,
+    /// Confidence level, e.g. `0.95`.
+    pub level: f64,
+}
+
+impl ConfidenceInterval {
+    /// Half-width of the interval.
+    pub fn half_width(&self) -> f64 {
+        (self.hi - self.lo) / 2.0
+    }
+
+    /// Relative half-width (`half_width / |estimate|`), `∞` at zero.
+    pub fn relative_half_width(&self) -> f64 {
+        if self.estimate == 0.0 {
+            f64::INFINITY
+        } else {
+            self.half_width() / self.estimate.abs()
+        }
+    }
+
+    /// Whether the interval contains `x`.
+    pub fn contains(&self, x: f64) -> bool {
+        self.lo <= x && x <= self.hi
+    }
+}
+
+impl std::fmt::Display for ConfidenceInterval {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:.4e} [{:.4e}, {:.4e}] @ {:.0}%",
+            self.estimate,
+            self.lo,
+            self.hi,
+            self.level * 100.0
+        )
+    }
+}
+
+fn check_level(level: f64) -> Result<f64> {
+    if !(level > 0.0 && level < 1.0) {
+        return Err(StatsError::InvalidParameter {
+            name: "level",
+            value: level,
+            constraint: "must be in (0, 1)",
+        });
+    }
+    Ok(normal_quantile(1.0 - (1.0 - level) / 2.0))
+}
+
+/// Normal-theory confidence interval for a mean from a [`Summary`].
+///
+/// # Errors
+///
+/// Returns an error for invalid `level` or fewer than two observations.
+pub fn mean_ci(summary: &Summary, level: f64) -> Result<ConfidenceInterval> {
+    let z = check_level(level)?;
+    let se = summary.std_error()?;
+    Ok(ConfidenceInterval {
+        estimate: summary.mean(),
+        lo: summary.mean() - z * se,
+        hi: summary.mean() + z * se,
+        level,
+    })
+}
+
+/// Wilson score interval for a binomial proportion.
+///
+/// Chosen over the Wald interval because yield-loss probabilities are tiny:
+/// Wilson stays inside `[0, 1]` and keeps sensible coverage when
+/// `successes` is 0 — exactly the regime of CNT count failures.
+///
+/// # Errors
+///
+/// Returns an error for `trials == 0`, `successes > trials`, or invalid
+/// `level`.
+pub fn proportion_ci(successes: u64, trials: u64, level: f64) -> Result<ConfidenceInterval> {
+    if trials == 0 {
+        return Err(StatsError::EmptyData("proportion_ci with zero trials"));
+    }
+    if successes > trials {
+        return Err(StatsError::InvalidParameter {
+            name: "successes",
+            value: successes as f64,
+            constraint: "must be <= trials",
+        });
+    }
+    let z = check_level(level)?;
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let center = (p + z2 / (2.0 * n)) / denom;
+    let half = z * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt() / denom;
+    Ok(ConfidenceInterval {
+        estimate: p,
+        lo: (center - half).max(0.0),
+        hi: (center + half).min(1.0),
+        level,
+    })
+}
+
+/// Confidence interval for a weighted-average probability where each trial
+/// contributes an *exact* conditional probability in `[0, 1]` (the output of
+/// a conditional/Rao-Blackwellised Monte-Carlo run).
+///
+/// # Errors
+///
+/// Returns an error for invalid `level` or fewer than two observations.
+pub fn conditional_mc_ci(summary: &Summary, level: f64) -> Result<ConfidenceInterval> {
+    let ci = mean_ci(summary, level)?;
+    Ok(ConfidenceInterval {
+        estimate: ci.estimate,
+        lo: ci.lo.max(0.0),
+        hi: ci.hi.min(1.0),
+        level: ci.level,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_ci_shrinks_with_n() {
+        let narrow: Summary = (0..10_000).map(|i| (i % 7) as f64).collect();
+        let wide: Summary = (0..100).map(|i| (i % 7) as f64).collect();
+        let ci_n = mean_ci(&narrow, 0.95).unwrap();
+        let ci_w = mean_ci(&wide, 0.95).unwrap();
+        assert!(ci_n.half_width() < ci_w.half_width());
+        assert!(ci_n.contains(3.0));
+    }
+
+    #[test]
+    fn wilson_handles_zero_successes() {
+        let ci = proportion_ci(0, 1000, 0.95).unwrap();
+        assert_eq!(ci.estimate, 0.0);
+        assert_eq!(ci.lo, 0.0);
+        assert!(ci.hi > 0.0 && ci.hi < 0.01, "hi = {}", ci.hi);
+    }
+
+    #[test]
+    fn wilson_is_symmetric_in_p_and_q() {
+        let a = proportion_ci(300, 1000, 0.95).unwrap();
+        let b = proportion_ci(700, 1000, 0.95).unwrap();
+        assert!((a.lo - (1.0 - b.hi)).abs() < 1e-12);
+        assert!((a.hi - (1.0 - b.lo)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(proportion_ci(0, 0, 0.95).is_err());
+        assert!(proportion_ci(5, 4, 0.95).is_err());
+        assert!(proportion_ci(1, 4, 1.0).is_err());
+        let s = Summary::of(&[1.0]);
+        assert!(mean_ci(&s, 0.95).is_err());
+    }
+
+    #[test]
+    fn display_formats() {
+        let ci = proportion_ci(10, 1000, 0.95).unwrap();
+        let s = ci.to_string();
+        assert!(s.contains("95%"), "{s}");
+    }
+
+    #[test]
+    fn conditional_ci_clamped_to_unit_interval() {
+        let mut s = Summary::new();
+        for _ in 0..50 {
+            s.add(1e-9);
+        }
+        s.add(5e-9);
+        let ci = conditional_mc_ci(&s, 0.99).unwrap();
+        assert!(ci.lo >= 0.0);
+        assert!(ci.hi <= 1.0);
+        assert!(ci.estimate > 0.0);
+    }
+}

@@ -1,0 +1,150 @@
+//! Correlation estimators.
+//!
+//! Used to *measure* the CNT count/type correlation that the paper's Sec. 3
+//! exploits: Fig 3.1's growth scenarios are quantified by the Pearson
+//! correlation of CNT counts between aligned CNFET pairs and by the matching
+//! probability of CNT types.
+
+use crate::{Result, StatsError};
+
+/// Pearson product-moment correlation coefficient of two paired samples.
+///
+/// # Errors
+///
+/// Returns [`StatsError::LengthMismatch`] if the slices differ in length,
+/// [`StatsError::EmptyData`] for fewer than two pairs, and
+/// [`StatsError::InvalidParameter`] when either marginal is constant
+/// (correlation undefined).
+pub fn pearson(xs: &[f64], ys: &[f64]) -> Result<f64> {
+    if xs.len() != ys.len() {
+        return Err(StatsError::LengthMismatch {
+            left: xs.len(),
+            right: ys.len(),
+        });
+    }
+    if xs.len() < 2 {
+        return Err(StatsError::EmptyData("pearson needs >= 2 pairs"));
+    }
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    let mut sxy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        let dx = x - mx;
+        let dy = y - my;
+        sxx += dx * dx;
+        syy += dy * dy;
+        sxy += dx * dy;
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return Err(StatsError::InvalidParameter {
+            name: "variance",
+            value: 0.0,
+            constraint: "correlation undefined for constant input",
+        });
+    }
+    Ok((sxy / (sxx * syy).sqrt()).clamp(-1.0, 1.0))
+}
+
+/// Phi coefficient (Pearson correlation of two binary samples), used for
+/// CNT *type* correlation (metallic vs semiconducting).
+///
+/// # Errors
+///
+/// Same conditions as [`pearson`].
+pub fn phi_coefficient(xs: &[bool], ys: &[bool]) -> Result<f64> {
+    let xf: Vec<f64> = xs.iter().map(|&b| b as u8 as f64).collect();
+    let yf: Vec<f64> = ys.iter().map(|&b| b as u8 as f64).collect();
+    pearson(&xf, &yf)
+}
+
+/// Sample autocorrelation of a series at the given lag.
+///
+/// Quantifies how quickly CNT-count correlation decays with distance along
+/// the growth direction (finite `L_CNT` makes it drop to zero beyond the CNT
+/// length).
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptyData`] if the series is shorter than
+/// `lag + 2`, and [`StatsError::InvalidParameter`] for constant input.
+pub fn autocorrelation(series: &[f64], lag: usize) -> Result<f64> {
+    if series.len() < lag + 2 {
+        return Err(StatsError::EmptyData("series too short for lag"));
+    }
+    let n = series.len();
+    let mean = series.iter().sum::<f64>() / n as f64;
+    let denom: f64 = series.iter().map(|x| (x - mean) * (x - mean)).sum();
+    if denom == 0.0 {
+        return Err(StatsError::InvalidParameter {
+            name: "variance",
+            value: 0.0,
+            constraint: "autocorrelation undefined for constant input",
+        });
+    }
+    let num: f64 = (0..n - lag)
+        .map(|i| (series[i] - mean) * (series[i + lag] - mean))
+        .sum();
+    Ok(num / denom)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_correlation() {
+        let xs: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x + 1.0).collect();
+        assert!((pearson(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+        let neg: Vec<f64> = xs.iter().map(|x| -x).collect();
+        assert!((pearson(&xs, &neg).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn independent_samples_near_zero() {
+        // Deterministic pseudo-random pairs via LCG.
+        let mut state = 12345u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let xs: Vec<f64> = (0..20_000).map(|_| next()).collect();
+        let ys: Vec<f64> = (0..20_000).map(|_| next()).collect();
+        let r = pearson(&xs, &ys).unwrap();
+        assert!(r.abs() < 0.03, "r = {r}");
+    }
+
+    #[test]
+    fn validation() {
+        assert!(pearson(&[1.0], &[1.0]).is_err());
+        assert!(pearson(&[1.0, 2.0], &[1.0]).is_err());
+        assert!(pearson(&[1.0, 1.0], &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn phi_of_identical_vectors_is_one() {
+        let xs = [true, false, true, true, false, false, true];
+        assert!((phi_coefficient(&xs, &xs).unwrap() - 1.0).abs() < 1e-12);
+        let inv: Vec<bool> = xs.iter().map(|b| !b).collect();
+        assert!((phi_coefficient(&xs, &inv).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn autocorrelation_of_alternating_series() {
+        let series: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let r1 = autocorrelation(&series, 1).unwrap();
+        let r2 = autocorrelation(&series, 2).unwrap();
+        assert!(r1 < -0.9, "lag-1 {r1}");
+        assert!(r2 > 0.9, "lag-2 {r2}");
+        assert!((autocorrelation(&series, 0).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn autocorrelation_validation() {
+        assert!(autocorrelation(&[1.0, 2.0], 1).is_err());
+        assert!(autocorrelation(&[3.0, 3.0, 3.0, 3.0], 1).is_err());
+    }
+}

@@ -1,0 +1,218 @@
+//! Streaming descriptive statistics (Welford) and batch summaries.
+
+use crate::{Result, StatsError};
+
+/// Numerically stable streaming accumulator for mean/variance/extrema.
+///
+/// Implements Welford's online algorithm; merging two accumulators uses the
+/// parallel (Chan et al.) update so Monte-Carlo worker threads can each keep
+/// a private `Summary` and combine at the end.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Summary {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Create an empty accumulator.
+    pub fn new() -> Self {
+        Self {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Build a summary of a slice in one pass.
+    pub fn of(values: &[f64]) -> Self {
+        let mut s = Self::new();
+        for &v in values {
+            s.add(v);
+        }
+        s
+    }
+
+    /// Add one observation.
+    pub fn add(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merge another accumulator into this one (order-independent result).
+    pub fn merge(&mut self, other: &Summary) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let n = n1 + n2;
+        self.mean += delta * n2 / n;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / n;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Arithmetic mean (0 for an empty accumulator).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance (divides by `n`).
+    pub fn variance(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            (self.m2 / self.n as f64).max(0.0)
+        }
+    }
+
+    /// Sample variance (divides by `n − 1`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::EmptyData`] for fewer than two observations.
+    pub fn sample_variance(&self) -> Result<f64> {
+        if self.n < 2 {
+            return Err(StatsError::EmptyData("sample variance needs n >= 2"));
+        }
+        Ok((self.m2 / (self.n - 1) as f64).max(0.0))
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Standard error of the mean.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::EmptyData`] for fewer than two observations.
+    pub fn std_error(&self) -> Result<f64> {
+        Ok((self.sample_variance()? / self.n as f64).sqrt())
+    }
+
+    /// Coefficient of variation `σ/µ`; the statistical-averaging law of
+    /// \[Raychowdhury 09, Zhang 09a\] predicts this scales as `1/√N` with
+    /// the CNT count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] if the mean is zero.
+    pub fn cov(&self) -> Result<f64> {
+        if self.mean == 0.0 {
+            return Err(StatsError::InvalidParameter {
+                name: "mean",
+                value: 0.0,
+                constraint: "coefficient of variation undefined for zero mean",
+            });
+        }
+        Ok(self.std_dev() / self.mean.abs())
+    }
+
+    /// Smallest observation (`+∞` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`−∞` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+impl Extend<f64> for Summary {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for v in iter {
+            self.add(v);
+        }
+    }
+}
+
+impl FromIterator<f64> for Summary {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut s = Summary::new();
+        s.extend(iter);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary() {
+        let s = Summary::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert!(s.sample_variance().is_err());
+        assert!(s.std_error().is_err());
+    }
+
+    #[test]
+    fn known_moments() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 4.0).abs() < 1e-12);
+        assert!((s.std_dev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+        assert!((s.sample_variance().unwrap() - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let all: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let seq = Summary::of(&all);
+        let mut a = Summary::of(&all[..37]);
+        let b = Summary::of(&all[37..]);
+        a.merge(&b);
+        assert_eq!(a.count(), seq.count());
+        assert!((a.mean() - seq.mean()).abs() < 1e-12);
+        assert!((a.variance() - seq.variance()).abs() < 1e-10);
+        assert_eq!(a.min(), seq.min());
+        assert_eq!(a.max(), seq.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = Summary::of(&[1.0, 2.0, 3.0]);
+        let before = a;
+        a.merge(&Summary::new());
+        assert_eq!(a, before);
+        let mut e = Summary::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn cov_and_from_iterator() {
+        let s: Summary = vec![10.0, 10.0, 10.0].into_iter().collect();
+        assert_eq!(s.cov().unwrap(), 0.0);
+        let z = Summary::of(&[-1.0, 1.0]);
+        assert!(z.cov().is_err());
+    }
+}

@@ -1,0 +1,791 @@
+//! Continuous and discrete probability distributions.
+//!
+//! All samplers take an explicit `&mut impl rand::Rng` so that every
+//! simulation in the workspace is reproducible from a single seed. The
+//! distributions implement analytic moments, which the analytic yield models
+//! in `cnfet-core` rely on (the Monte-Carlo engine cross-checks them).
+
+use crate::special::{normal_cdf, normal_pdf, normal_quantile};
+use crate::{Result, StatsError};
+use rand::Rng;
+
+/// Common interface of continuous scalar distributions.
+///
+/// The trait is object-safe so heterogeneous pitch/length models can be
+/// plugged into the growth simulator behind a `&dyn ContinuousDist`.
+pub trait ContinuousDist: std::fmt::Debug {
+    /// Probability density at `x`.
+    fn pdf(&self, x: f64) -> f64;
+    /// Cumulative distribution `P(X ≤ x)`.
+    fn cdf(&self, x: f64) -> f64;
+    /// Mean of the distribution.
+    fn mean(&self) -> f64;
+    /// Variance of the distribution.
+    fn variance(&self) -> f64;
+    /// Draw one sample.
+    fn sample(&self, rng: &mut dyn rand::RngCore) -> f64;
+
+    /// Standard deviation; default derives from [`ContinuousDist::variance`].
+    fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Draw `n` samples into a fresh vector.
+    fn sample_n(&self, rng: &mut dyn rand::RngCore, n: usize) -> Vec<f64> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+/// Gaussian (normal) distribution `N(mean, sd²)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gaussian {
+    mean: f64,
+    sd: f64,
+}
+
+impl Gaussian {
+    /// Create a Gaussian with the given mean and standard deviation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] if `sd` is not finite and
+    /// strictly positive, or `mean` is not finite.
+    pub fn new(mean: f64, sd: f64) -> Result<Self> {
+        if !mean.is_finite() {
+            return Err(StatsError::InvalidParameter {
+                name: "mean",
+                value: mean,
+                constraint: "must be finite",
+            });
+        }
+        if !(sd.is_finite() && sd > 0.0) {
+            return Err(StatsError::InvalidParameter {
+                name: "sd",
+                value: sd,
+                constraint: "must be finite and > 0",
+            });
+        }
+        Ok(Self { mean, sd })
+    }
+
+    /// The standard normal `N(0, 1)`.
+    pub fn standard() -> Self {
+        Self { mean: 0.0, sd: 1.0 }
+    }
+
+    /// Quantile (inverse CDF) at probability `p ∈ (0, 1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `(0, 1)`.
+    pub fn quantile(&self, p: f64) -> f64 {
+        self.mean + self.sd * normal_quantile(p)
+    }
+}
+
+impl ContinuousDist for Gaussian {
+    fn pdf(&self, x: f64) -> f64 {
+        normal_pdf((x - self.mean) / self.sd) / self.sd
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        normal_cdf((x - self.mean) / self.sd)
+    }
+
+    fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    fn variance(&self) -> f64 {
+        self.sd * self.sd
+    }
+
+    fn sample(&self, rng: &mut dyn rand::RngCore) -> f64 {
+        // Box–Muller; one deviate per call keeps the implementation stateless
+        // (and therefore trivially reproducible across threads).
+        let u1: f64 = loop {
+            let u = rng.gen::<f64>();
+            if u > 0.0 {
+                break u;
+            }
+        };
+        let u2: f64 = rng.gen();
+        let r = (-2.0 * u1.ln()).sqrt();
+        self.mean + self.sd * r * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+}
+
+/// Gaussian truncated to the interval `[lo, hi]`.
+///
+/// This is the inter-CNT pitch model used throughout the workspace: CNT
+/// spacing measurements in \[Zhang 09a\] are well described by a Gaussian
+/// with a large coefficient of variation, but physical spacings are strictly
+/// positive, hence truncation at a minimum spacing (default 0).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TruncatedGaussian {
+    /// Parent (untruncated) distribution.
+    parent: Gaussian,
+    lo: f64,
+    hi: f64,
+    /// Φ((lo−µ)/σ)
+    alpha_cdf: f64,
+    /// Φ((hi−µ)/σ)
+    beta_cdf: f64,
+}
+
+impl TruncatedGaussian {
+    /// Truncate `N(mean, sd²)` to `[lo, hi]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] if the parent parameters are
+    /// invalid, if `lo ≥ hi`, or if the retained probability mass is
+    /// numerically zero (truncation window too far in the tail).
+    pub fn new(mean: f64, sd: f64, lo: f64, hi: f64) -> Result<Self> {
+        let parent = Gaussian::new(mean, sd)?;
+        if lo >= hi {
+            return Err(StatsError::InvalidParameter {
+                name: "lo",
+                value: lo,
+                constraint: "must be < hi",
+            });
+        }
+        let alpha_cdf = parent.cdf(lo);
+        let beta_cdf = if hi.is_finite() { parent.cdf(hi) } else { 1.0 };
+        if beta_cdf - alpha_cdf < 1e-12 {
+            return Err(StatsError::InvalidParameter {
+                name: "lo/hi",
+                value: lo,
+                constraint: "truncation window retains no probability mass",
+            });
+        }
+        Ok(Self {
+            parent,
+            lo,
+            hi,
+            alpha_cdf,
+            beta_cdf,
+        })
+    }
+
+    /// Gaussian truncated to positive values `[0, ∞)`.
+    ///
+    /// `mean` and `sd` are the **parent** parameters; truncation at zero
+    /// shifts the achieved mean upward. When the paper-level parameters
+    /// (mean pitch `S = 4 nm`) must be met exactly, use
+    /// [`TruncatedGaussian::positive_with_moments`] instead.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`TruncatedGaussian::new`].
+    pub fn positive(mean: f64, sd: f64) -> Result<Self> {
+        Self::new(mean, sd, 0.0, f64::INFINITY)
+    }
+
+    /// Gaussian truncated to `[0, ∞)` whose **achieved** (post-truncation)
+    /// mean and standard deviation equal the given targets.
+    ///
+    /// Solves for the parent `(µ, σ)` by a damped fixed-point iteration;
+    /// this is how the workspace realizes the paper's "mean inter-CNT pitch
+    /// S = 4 nm with the σ_S/S ratio of \[Zhang 09a\]" exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] for non-positive targets and
+    /// [`StatsError::NoConvergence`] if the iteration does not settle (can
+    /// happen for extreme `sd/mean` ratios above ≈ 1.3, where no truncated
+    /// Gaussian attains the requested moments).
+    pub fn positive_with_moments(target_mean: f64, target_sd: f64) -> Result<Self> {
+        if !(target_mean.is_finite() && target_mean > 0.0) {
+            return Err(StatsError::InvalidParameter {
+                name: "target_mean",
+                value: target_mean,
+                constraint: "must be finite and > 0",
+            });
+        }
+        if !(target_sd.is_finite() && target_sd > 0.0) {
+            return Err(StatsError::InvalidParameter {
+                name: "target_sd",
+                value: target_sd,
+                constraint: "must be finite and > 0",
+            });
+        }
+        let mut mu = target_mean;
+        let mut sd = target_sd;
+        for _ in 0..500 {
+            let cand = Self::new(mu, sd, 0.0, f64::INFINITY)?;
+            let em = cand.mean();
+            let es = cand.std_dev();
+            let dm = em - target_mean;
+            let ds = es - target_sd;
+            if dm.abs() < 5e-7 * target_mean && ds.abs() < 5e-7 * target_sd {
+                return Ok(cand);
+            }
+            // Damped fixed point: move the parent parameters against the
+            // achieved-moment error.
+            mu -= 0.9 * dm;
+            sd -= 0.9 * ds;
+            if sd <= 1e-9 {
+                sd = 1e-9;
+            }
+        }
+        Err(StatsError::NoConvergence(
+            "TruncatedGaussian::positive_with_moments",
+        ))
+    }
+
+    /// Lower truncation bound.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper truncation bound (may be `f64::INFINITY`).
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Mean of the *parent* (untruncated) Gaussian.
+    pub fn parent_mean(&self) -> f64 {
+        self.parent.mean()
+    }
+
+    /// Standard deviation of the *parent* (untruncated) Gaussian.
+    pub fn parent_sd(&self) -> f64 {
+        self.parent.std_dev()
+    }
+
+    /// Retained probability mass `Φ(β) − Φ(α)` of the parent.
+    pub fn mass(&self) -> f64 {
+        self.beta_cdf - self.alpha_cdf
+    }
+
+    /// Quantile of the truncated distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `(0, 1)`.
+    pub fn quantile(&self, p: f64) -> f64 {
+        assert!(p > 0.0 && p < 1.0, "quantile requires p in (0,1), got {p}");
+        let q = self.alpha_cdf + p * self.mass();
+        // Clamp for numerical safety near the boundaries.
+        self.parent.quantile(q.clamp(1e-300, 1.0 - 1e-16))
+    }
+}
+
+impl ContinuousDist for TruncatedGaussian {
+    fn pdf(&self, x: f64) -> f64 {
+        if x < self.lo || x > self.hi {
+            0.0
+        } else {
+            self.parent.pdf(x) / self.mass()
+        }
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x < self.lo {
+            0.0
+        } else if x >= self.hi {
+            1.0
+        } else {
+            (self.parent.cdf(x) - self.alpha_cdf) / self.mass()
+        }
+    }
+
+    fn mean(&self) -> f64 {
+        // E[X | lo ≤ X ≤ hi] = µ + σ·(φ(α) − φ(β)) / Z
+        let mu = self.parent.mean();
+        let sd = self.parent.std_dev();
+        let a = (self.lo - mu) / sd;
+        let b = (self.hi - mu) / sd;
+        let phi_a = normal_pdf(a);
+        let phi_b = if b.is_finite() { normal_pdf(b) } else { 0.0 };
+        mu + sd * (phi_a - phi_b) / self.mass()
+    }
+
+    fn variance(&self) -> f64 {
+        let mu = self.parent.mean();
+        let sd = self.parent.std_dev();
+        let z = self.mass();
+        let a = (self.lo - mu) / sd;
+        let b = (self.hi - mu) / sd;
+        let phi_a = normal_pdf(a);
+        let phi_b = if b.is_finite() { normal_pdf(b) } else { 0.0 };
+        let a_term = if a.is_finite() { a * phi_a } else { 0.0 };
+        let b_term = if b.is_finite() { b * phi_b } else { 0.0 };
+        let d = (phi_a - phi_b) / z;
+        sd * sd * (1.0 + (a_term - b_term) / z - d * d)
+    }
+
+    fn sample(&self, rng: &mut dyn rand::RngCore) -> f64 {
+        // Inverse-CDF sampling: exact, branch-free, and — unlike rejection —
+        // consumes exactly one uniform per deviate, keeping parallel streams
+        // aligned regardless of parameters.
+        let u: f64 = rng.gen::<f64>().clamp(1e-16, 1.0 - 1e-16);
+        self.quantile(u)
+    }
+}
+
+/// Exponential distribution with the given rate `λ`.
+///
+/// Used for CNT length modeling in the beyond-paper ablations (CNT length
+/// variation; the paper assumes fixed `L_CNT`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    rate: f64,
+}
+
+impl Exponential {
+    /// Create an exponential distribution with rate `λ > 0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] if `rate` is not finite and
+    /// strictly positive.
+    pub fn new(rate: f64) -> Result<Self> {
+        if !(rate.is_finite() && rate > 0.0) {
+            return Err(StatsError::InvalidParameter {
+                name: "rate",
+                value: rate,
+                constraint: "must be finite and > 0",
+            });
+        }
+        Ok(Self { rate })
+    }
+
+    /// Create an exponential distribution from its mean (`1/λ`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] if `mean` is not finite and
+    /// strictly positive.
+    pub fn from_mean(mean: f64) -> Result<Self> {
+        if !(mean.is_finite() && mean > 0.0) {
+            return Err(StatsError::InvalidParameter {
+                name: "mean",
+                value: mean,
+                constraint: "must be finite and > 0",
+            });
+        }
+        Self::new(1.0 / mean)
+    }
+
+    /// Rate parameter `λ`.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+}
+
+impl ContinuousDist for Exponential {
+    fn pdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            0.0
+        } else {
+            self.rate * (-self.rate * x).exp()
+        }
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            0.0
+        } else {
+            1.0 - (-self.rate * x).exp()
+        }
+    }
+
+    fn mean(&self) -> f64 {
+        1.0 / self.rate
+    }
+
+    fn variance(&self) -> f64 {
+        1.0 / (self.rate * self.rate)
+    }
+
+    fn sample(&self, rng: &mut dyn rand::RngCore) -> f64 {
+        let u: f64 = rng.gen::<f64>().clamp(1e-16, 1.0 - 1e-16);
+        -(1.0 - u).ln() / self.rate
+    }
+}
+
+/// Bernoulli distribution: `true` with probability `p`.
+///
+/// Models per-CNT binary properties: metallic vs semiconducting typing,
+/// removal by the VMR process, and the aggregate per-CNT failure event of
+/// Eq. (2.1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bernoulli {
+    p: f64,
+}
+
+impl Bernoulli {
+    /// Create a Bernoulli distribution with success probability `p ∈ [0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] if `p` is outside `[0, 1]`.
+    pub fn new(p: f64) -> Result<Self> {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(StatsError::InvalidParameter {
+                name: "p",
+                value: p,
+                constraint: "must be in [0, 1]",
+            });
+        }
+        Ok(Self { p })
+    }
+
+    /// Success probability.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Draw one Bernoulli trial.
+    pub fn sample(&self, rng: &mut (impl Rng + ?Sized)) -> bool {
+        rng.gen::<f64>() < self.p
+    }
+}
+
+/// Poisson distribution with mean `λ`.
+///
+/// Used for scatter counts in the uncorrelated-growth model (2-D Poisson
+/// point process of CNT centers).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Poisson {
+    lambda: f64,
+}
+
+impl Poisson {
+    /// Create a Poisson distribution with mean `λ > 0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] if `lambda` is not finite
+    /// and strictly positive.
+    pub fn new(lambda: f64) -> Result<Self> {
+        if !(lambda.is_finite() && lambda > 0.0) {
+            return Err(StatsError::InvalidParameter {
+                name: "lambda",
+                value: lambda,
+                constraint: "must be finite and > 0",
+            });
+        }
+        Ok(Self { lambda })
+    }
+
+    /// Mean `λ`.
+    pub fn mean(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Variance (equals `λ`).
+    pub fn variance(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Draw one count.
+    ///
+    /// Exact inter-arrival construction (sum of Exp(1) gaps until `λ` is
+    /// exceeded): O(λ) per draw, which is fine for the rendering-scale
+    /// counts this is used for.
+    pub fn sample(&self, rng: &mut (impl Rng + ?Sized)) -> u64 {
+        let mut acc = 0.0_f64;
+        let mut n = 0u64;
+        loop {
+            let u: f64 = rng.gen::<f64>().clamp(1e-16, 1.0 - 1e-16);
+            acc += -(1.0 - u).ln();
+            if acc > self.lambda {
+                return n;
+            }
+            n += 1;
+        }
+    }
+}
+
+/// A discrete distribution over the non-negative integers `0..pmf.len()`.
+///
+/// Construction normalizes the weights; the PMF is dense, which fits CNT
+/// count distributions whose support is a short integer range around `W/S`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiscreteDist {
+    pmf: Vec<f64>,
+    cdf: Vec<f64>,
+}
+
+impl DiscreteDist {
+    /// Build from non-negative weights (need not be normalized).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::EmptyData`] for an empty weight vector, and
+    /// [`StatsError::InvalidParameter`] if any weight is negative/non-finite
+    /// or all weights are zero.
+    pub fn from_weights(weights: &[f64]) -> Result<Self> {
+        if weights.is_empty() {
+            return Err(StatsError::EmptyData("DiscreteDist weights"));
+        }
+        let mut total = 0.0;
+        for &w in weights {
+            if !(w.is_finite() && w >= 0.0) {
+                return Err(StatsError::InvalidParameter {
+                    name: "weight",
+                    value: w,
+                    constraint: "must be finite and >= 0",
+                });
+            }
+            total += w;
+        }
+        if total <= 0.0 {
+            return Err(StatsError::InvalidParameter {
+                name: "weights",
+                value: total,
+                constraint: "must sum to > 0",
+            });
+        }
+        let pmf: Vec<f64> = weights.iter().map(|w| w / total).collect();
+        let mut cdf = Vec::with_capacity(pmf.len());
+        let mut acc = 0.0;
+        for &p in &pmf {
+            acc += p;
+            cdf.push(acc);
+        }
+        // Force exact 1.0 at the end to make sampling airtight.
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        Ok(Self { pmf, cdf })
+    }
+
+    /// Probability mass at `k` (0 outside the support).
+    pub fn pmf(&self, k: usize) -> f64 {
+        self.pmf.get(k).copied().unwrap_or(0.0)
+    }
+
+    /// The full PMF as a slice; index is the outcome.
+    pub fn pmf_slice(&self) -> &[f64] {
+        &self.pmf
+    }
+
+    /// Mean `Σ k·p(k)`.
+    pub fn mean(&self) -> f64 {
+        self.pmf
+            .iter()
+            .enumerate()
+            .map(|(k, p)| k as f64 * p)
+            .sum()
+    }
+
+    /// Variance `Σ k²·p(k) − mean²`.
+    pub fn variance(&self) -> f64 {
+        let m = self.mean();
+        let m2: f64 = self
+            .pmf
+            .iter()
+            .enumerate()
+            .map(|(k, p)| (k as f64) * (k as f64) * p)
+            .sum();
+        (m2 - m * m).max(0.0)
+    }
+
+    /// Probability generating function `E[z^K] = Σ z^k p(k)`.
+    ///
+    /// Evaluated at the per-CNT failure probability this is exactly the
+    /// paper's Eq. (2.2).
+    pub fn pgf(&self, z: f64) -> f64 {
+        // Horner from the top power keeps the sum stable for z < 1.
+        self.pmf.iter().rev().fold(0.0, |acc, &p| acc * z + p)
+    }
+
+    /// Draw one outcome by inverse-CDF lookup (binary search).
+    pub fn sample(&self, rng: &mut (impl Rng + ?Sized)) -> usize {
+        let u: f64 = rng.gen();
+        match self
+            .cdf
+            .binary_search_by(|c| c.partial_cmp(&u).expect("CDF contains NaN"))
+        {
+            Ok(i) | Err(i) => i.min(self.pmf.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xC0FFEE)
+    }
+
+    #[test]
+    fn gaussian_rejects_bad_params() {
+        assert!(Gaussian::new(0.0, 0.0).is_err());
+        assert!(Gaussian::new(0.0, -1.0).is_err());
+        assert!(Gaussian::new(f64::NAN, 1.0).is_err());
+        assert!(Gaussian::new(3.0, 2.0).is_ok());
+    }
+
+    #[test]
+    fn gaussian_moments_and_cdf() {
+        let g = Gaussian::new(10.0, 2.0).unwrap();
+        assert_eq!(g.mean(), 10.0);
+        assert_eq!(g.variance(), 4.0);
+        assert!((g.cdf(10.0) - 0.5).abs() < 1e-9);
+        assert!((g.cdf(12.0) - 0.841344746).abs() < 1e-6);
+        // erf is the A&S rational approximation (~1e-7 absolute), so the
+        // round-tripped median carries that error scaled by sd.
+        assert!((g.quantile(0.5) - 10.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gaussian_sampling_matches_moments() {
+        let g = Gaussian::new(-3.0, 0.5).unwrap();
+        let mut r = rng();
+        let xs = g.sample_n(&mut r, 40_000);
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64;
+        assert!((mean - -3.0).abs() < 0.02, "sample mean {mean}");
+        assert!((var - 0.25).abs() < 0.02, "sample var {var}");
+    }
+
+    #[test]
+    fn truncated_gaussian_support_and_mass() {
+        let t = TruncatedGaussian::positive(4.0, 3.3).unwrap();
+        assert_eq!(t.pdf(-0.1), 0.0);
+        assert_eq!(t.cdf(-0.1), 0.0);
+        assert!(t.mass() < 1.0 && t.mass() > 0.8);
+        // Heavy truncation shifts mean right of the parent mean.
+        assert!(t.mean() > 4.0);
+        let mut r = rng();
+        for _ in 0..2000 {
+            let x = t.sample(&mut r);
+            assert!(x >= 0.0, "sample {x} escaped truncation");
+        }
+    }
+
+    #[test]
+    fn truncated_gaussian_sampling_matches_analytic_moments() {
+        let t = TruncatedGaussian::new(4.0, 3.0, 1.0, 9.0).unwrap();
+        let mut r = rng();
+        let xs = t.sample_n(&mut r, 60_000);
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64;
+        assert!(
+            (mean - t.mean()).abs() < 0.02,
+            "mean: sampled {mean} vs analytic {}",
+            t.mean()
+        );
+        assert!(
+            (var - t.variance()).abs() < 0.05,
+            "var: sampled {var} vs analytic {}",
+            t.variance()
+        );
+    }
+
+    #[test]
+    fn moment_matched_truncation_hits_targets() {
+        let t = TruncatedGaussian::positive_with_moments(4.0, 3.28).unwrap();
+        assert!((t.mean() - 4.0).abs() < 1e-4, "mean {}", t.mean());
+        assert!((t.std_dev() - 3.28).abs() < 1e-4, "sd {}", t.std_dev());
+        // Parent mean must sit below the achieved mean (truncation pushes up).
+        assert!(t.parent_mean() < 4.0);
+        assert!(TruncatedGaussian::positive_with_moments(-1.0, 1.0).is_err());
+        assert!(TruncatedGaussian::positive_with_moments(4.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn truncated_gaussian_rejects_empty_window() {
+        assert!(TruncatedGaussian::new(0.0, 1.0, 50.0, 60.0).is_err());
+        assert!(TruncatedGaussian::new(0.0, 1.0, 2.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn exponential_basic() {
+        let e = Exponential::from_mean(200.0).unwrap();
+        assert!((e.mean() - 200.0).abs() < 1e-12);
+        assert!((e.cdf(200.0) - (1.0 - (-1.0f64).exp())).abs() < 1e-12);
+        let mut r = rng();
+        let xs = e.sample_n(&mut r, 40_000);
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        assert!((mean - 200.0).abs() < 5.0, "sample mean {mean}");
+        assert!(Exponential::new(0.0).is_err());
+        assert!(Exponential::from_mean(-1.0).is_err());
+    }
+
+    #[test]
+    fn bernoulli_frequency() {
+        let b = Bernoulli::new(0.33).unwrap();
+        let mut r = rng();
+        let hits = (0..100_000).filter(|_| b.sample(&mut r)).count();
+        let freq = hits as f64 / 100_000.0;
+        assert!((freq - 0.33).abs() < 0.01, "freq {freq}");
+        assert!(Bernoulli::new(1.5).is_err());
+        assert!(Bernoulli::new(-0.1).is_err());
+    }
+
+    #[test]
+    fn poisson_moments_from_samples() {
+        let p = Poisson::new(12.5).unwrap();
+        let mut r = rng();
+        let mut sum = 0.0;
+        let mut sum2 = 0.0;
+        let n = 30_000;
+        for _ in 0..n {
+            let k = p.sample(&mut r) as f64;
+            sum += k;
+            sum2 += k * k;
+        }
+        let mean = sum / n as f64;
+        let var = sum2 / n as f64 - mean * mean;
+        assert!((mean - 12.5).abs() < 0.15, "mean {mean}");
+        assert!((var - 12.5).abs() < 0.5, "var {var}");
+        assert!(Poisson::new(0.0).is_err());
+        assert!(Poisson::new(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn discrete_dist_pgf_and_moments() {
+        // Deterministic at k = 3: PGF(z) = z³.
+        let d = DiscreteDist::from_weights(&[0.0, 0.0, 0.0, 5.0]).unwrap();
+        assert!((d.pgf(0.5) - 0.125).abs() < 1e-12);
+        assert_eq!(d.mean(), 3.0);
+        assert_eq!(d.variance(), 0.0);
+
+        // Fair coin over {0, 1}: PGF(z) = (1+z)/2.
+        let d = DiscreteDist::from_weights(&[1.0, 1.0]).unwrap();
+        assert!((d.pgf(0.2) - 0.6).abs() < 1e-12);
+        assert!((d.variance() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn discrete_dist_sampling_matches_pmf() {
+        let d = DiscreteDist::from_weights(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        let mut r = rng();
+        let mut counts = [0usize; 4];
+        for _ in 0..100_000 {
+            counts[d.sample(&mut r)] += 1;
+        }
+        for (k, &c) in counts.iter().enumerate() {
+            let freq = c as f64 / 100_000.0;
+            assert!(
+                (freq - d.pmf(k)).abs() < 0.01,
+                "k={k}: freq {freq} vs pmf {}",
+                d.pmf(k)
+            );
+        }
+    }
+
+    #[test]
+    fn discrete_dist_validation() {
+        assert!(DiscreteDist::from_weights(&[]).is_err());
+        assert!(DiscreteDist::from_weights(&[0.0, 0.0]).is_err());
+        assert!(DiscreteDist::from_weights(&[1.0, -1.0]).is_err());
+        assert!(DiscreteDist::from_weights(&[1.0, f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn pgf_at_one_is_one() {
+        let d = DiscreteDist::from_weights(&[0.3, 1.2, 0.01, 7.0, 2.2]).unwrap();
+        assert!((d.pgf(1.0) - 1.0).abs() < 1e-12);
+        assert!((d.pgf(0.0) - d.pmf(0)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,164 @@
+//! Fitting distributions to measured data — the wafer-characterization
+//! entry point.
+//!
+//! The paper's flow assumes the pitch statistics of \[Zhang 09a\] are
+//! known. In practice a fab measures inter-CNT pitches (e.g. from SEM
+//! line scans) and must recover `(S̄, σ_S)` before any yield math can
+//! run. This module fits the workspace's pitch model
+//! ([`TruncatedGaussian`] on `[0, ∞)`) to samples by moment matching,
+//! with a goodness-of-fit check.
+
+use crate::dist::{ContinuousDist, TruncatedGaussian};
+use crate::{Result, StatsError, Summary};
+
+/// Result of fitting a positive truncated Gaussian to samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PitchFit {
+    /// The fitted distribution (achieved moments match the sample's).
+    pub dist: TruncatedGaussian,
+    /// Sample mean the fit reproduces.
+    pub sample_mean: f64,
+    /// Sample standard deviation the fit reproduces.
+    pub sample_sd: f64,
+    /// Number of samples used.
+    pub n: usize,
+    /// Kolmogorov–Smirnov statistic of the fit against the sample.
+    pub ks_statistic: f64,
+}
+
+impl PitchFit {
+    /// Coefficient of variation of the fitted pitch (`σ_S/S̄`) — the input
+    /// to [`crate::renewal::RenewalCount`]-based yield models.
+    pub fn cov(&self) -> f64 {
+        self.sample_sd / self.sample_mean
+    }
+
+    /// Rough KS acceptance at the 5 % level: `D < 1.36/√n`.
+    pub fn acceptable(&self) -> bool {
+        self.ks_statistic < 1.36 / (self.n as f64).sqrt()
+    }
+}
+
+/// Fit a positive truncated Gaussian to pitch samples by matching the
+/// sample mean and standard deviation, then score it with the KS
+/// statistic.
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptyData`] for fewer than 8 samples,
+/// [`StatsError::InvalidParameter`] for non-positive samples, and
+/// propagates moment-matching failures (CoV beyond what the family can
+/// realize, ≈ 0.85).
+pub fn fit_pitch(samples: &[f64]) -> Result<PitchFit> {
+    if samples.len() < 8 {
+        return Err(StatsError::EmptyData("fit_pitch needs >= 8 samples"));
+    }
+    for &x in samples {
+        if !(x.is_finite() && x > 0.0) {
+            return Err(StatsError::InvalidParameter {
+                name: "sample",
+                value: x,
+                constraint: "pitches must be finite and > 0",
+            });
+        }
+    }
+    let summary = Summary::of(samples);
+    let mean = summary.mean();
+    let sd = summary.sample_variance()?.sqrt();
+    let dist = TruncatedGaussian::positive_with_moments(mean, sd)?;
+
+    // KS statistic against the fitted CDF.
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    let n = sorted.len() as f64;
+    let mut d = 0.0_f64;
+    for (i, &x) in sorted.iter().enumerate() {
+        let f = dist.cdf(x);
+        let lo = i as f64 / n;
+        let hi = (i as f64 + 1.0) / n;
+        d = d.max((f - lo).abs()).max((hi - f).abs());
+    }
+
+    Ok(PitchFit {
+        dist,
+        sample_mean: mean,
+        sample_sd: sd,
+        n: samples.len(),
+        ks_statistic: d,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn recovers_known_parameters() {
+        let truth = TruncatedGaussian::positive_with_moments(4.0, 3.2).unwrap();
+        let mut rng = StdRng::seed_from_u64(13);
+        let samples = truth.sample_n(&mut rng, 20_000);
+        let fit = fit_pitch(&samples).unwrap();
+        assert!((fit.sample_mean - 4.0).abs() < 0.08, "mean {}", fit.sample_mean);
+        assert!((fit.cov() - 0.8).abs() < 0.03, "cov {}", fit.cov());
+        assert!(fit.acceptable(), "KS statistic {}", fit.ks_statistic);
+    }
+
+    #[test]
+    fn rejects_wrong_family() {
+        // Uniform samples have matchable moments but a different shape:
+        // the moment fit must score a poor KS statistic.
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(14);
+        let samples: Vec<f64> = (0..20_000).map(|_| rng.gen_range(0.5..8.5)).collect();
+        let fit = fit_pitch(&samples).unwrap();
+        assert!(
+            !fit.acceptable(),
+            "uniform data must not fit: KS = {}",
+            fit.ks_statistic
+        );
+    }
+
+    #[test]
+    fn extreme_cov_reports_no_convergence() {
+        // Exponential-like data (CoV ≈ 1) exceeds what a positive truncated
+        // Gaussian can realize; the fit reports it instead of guessing.
+        let exp = crate::dist::Exponential::from_mean(4.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(16);
+        let samples = exp.sample_n(&mut rng, 20_000);
+        assert!(matches!(
+            fit_pitch(&samples),
+            Err(crate::StatsError::NoConvergence(_))
+        ));
+    }
+
+    #[test]
+    fn validation() {
+        assert!(fit_pitch(&[1.0; 4]).is_err());
+        assert!(fit_pitch(&[1.0, 2.0, -1.0, 3.0, 1.0, 2.0, 1.5, 2.5]).is_err());
+        assert!(fit_pitch(&[1.0, 2.0, f64::NAN, 3.0, 1.0, 2.0, 1.5, 2.5]).is_err());
+    }
+
+    #[test]
+    fn fit_feeds_the_yield_model() {
+        // End-to-end: fitted pitch → renewal failure probability is close
+        // to the truth's.
+        use crate::renewal::{CountModel, RenewalCount};
+        let truth = TruncatedGaussian::positive_with_moments(4.0, 3.2).unwrap();
+        let mut rng = StdRng::seed_from_u64(15);
+        let samples = truth.sample_n(&mut rng, 30_000);
+        let fit = fit_pitch(&samples).unwrap();
+        let p_true = RenewalCount::new(truth, CountModel::GaussianSum)
+            .failure_probability(103.0, 0.531)
+            .unwrap();
+        let p_fit = RenewalCount::new(fit.dist, CountModel::GaussianSum)
+            .failure_probability(103.0, 0.531)
+            .unwrap();
+        let ratio = p_fit / p_true;
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "fitted model diverged: {p_fit:.3e} vs {p_true:.3e}"
+        );
+    }
+}

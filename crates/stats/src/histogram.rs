@@ -1,0 +1,272 @@
+//! Fixed-bin histograms with weighted insertion.
+//!
+//! Used for transistor-width distributions (paper Fig 2.2a), CNT count
+//! distributions from Monte-Carlo runs, and pitch-measurement summaries.
+
+use crate::{Result, StatsError};
+
+/// A histogram over `[lo, hi)` with uniformly sized bins.
+///
+/// Values outside the range are tracked in explicit underflow/overflow
+/// counters rather than silently dropped, because yield tails are exactly
+/// the data we must not lose.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<f64>,
+    underflow: f64,
+    overflow: f64,
+    count: u64,
+    weight_total: f64,
+}
+
+impl Histogram {
+    /// Create a histogram over `[lo, hi)` with `nbins` equal bins.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] if `lo ≥ hi`, either bound is
+    /// non-finite, or `nbins == 0`.
+    pub fn new(lo: f64, hi: f64, nbins: usize) -> Result<Self> {
+        if !(lo.is_finite() && hi.is_finite() && lo < hi) {
+            return Err(StatsError::InvalidParameter {
+                name: "lo/hi",
+                value: lo,
+                constraint: "must be finite with lo < hi",
+            });
+        }
+        if nbins == 0 {
+            return Err(StatsError::InvalidParameter {
+                name: "nbins",
+                value: 0.0,
+                constraint: "must be >= 1",
+            });
+        }
+        Ok(Self {
+            lo,
+            hi,
+            bins: vec![0.0; nbins],
+            underflow: 0.0,
+            overflow: 0.0,
+            count: 0,
+            weight_total: 0.0,
+        })
+    }
+
+    /// Insert a value with weight 1.
+    pub fn add(&mut self, x: f64) {
+        self.add_weighted(x, 1.0);
+    }
+
+    /// Insert a value with an arbitrary non-negative weight.
+    pub fn add_weighted(&mut self, x: f64, w: f64) {
+        debug_assert!(w >= 0.0, "negative weight {w}");
+        self.count += 1;
+        self.weight_total += w;
+        if x < self.lo {
+            self.underflow += w;
+        } else if x >= self.hi {
+            self.overflow += w;
+        } else {
+            let idx = ((x - self.lo) / (self.hi - self.lo) * self.bins.len() as f64) as usize;
+            let idx = idx.min(self.bins.len() - 1);
+            self.bins[idx] += w;
+        }
+    }
+
+    /// Insert every value of an iterator with weight 1.
+    pub fn extend<I: IntoIterator<Item = f64>>(&mut self, values: I) {
+        for v in values {
+            self.add(v);
+        }
+    }
+
+    /// Number of bins.
+    pub fn nbins(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Lower edge of bin `i`.
+    pub fn bin_lo(&self, i: usize) -> f64 {
+        self.lo + (self.hi - self.lo) * i as f64 / self.bins.len() as f64
+    }
+
+    /// Upper edge of bin `i`.
+    pub fn bin_hi(&self, i: usize) -> f64 {
+        self.bin_lo(i + 1)
+    }
+
+    /// Center of bin `i`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        0.5 * (self.bin_lo(i) + self.bin_hi(i))
+    }
+
+    /// Accumulated weight in bin `i`.
+    pub fn bin_weight(&self, i: usize) -> f64 {
+        self.bins[i]
+    }
+
+    /// Fraction of total weight in bin `i` (0 if the histogram is empty).
+    pub fn bin_fraction(&self, i: usize) -> f64 {
+        if self.weight_total > 0.0 {
+            self.bins[i] / self.weight_total
+        } else {
+            0.0
+        }
+    }
+
+    /// All bin weights.
+    pub fn weights(&self) -> &[f64] {
+        &self.bins
+    }
+
+    /// Weight below `lo`.
+    pub fn underflow(&self) -> f64 {
+        self.underflow
+    }
+
+    /// Weight at or above `hi`.
+    pub fn overflow(&self) -> f64 {
+        self.overflow
+    }
+
+    /// Number of insertions (unweighted).
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Total inserted weight, including under/overflow.
+    pub fn weight_total(&self) -> f64 {
+        self.weight_total
+    }
+
+    /// Weighted quantile over the binned data (bin centers as
+    /// representatives; under/overflow excluded).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::EmptyData`] if no in-range weight has been
+    /// inserted, or [`StatsError::InvalidParameter`] if `q` is outside
+    /// `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Result<f64> {
+        if !(0.0..=1.0).contains(&q) {
+            return Err(StatsError::InvalidParameter {
+                name: "q",
+                value: q,
+                constraint: "must be in [0, 1]",
+            });
+        }
+        let in_range: f64 = self.bins.iter().sum();
+        if in_range <= 0.0 {
+            return Err(StatsError::EmptyData("histogram quantile"));
+        }
+        let target = q * in_range;
+        let mut acc = 0.0;
+        for (i, &w) in self.bins.iter().enumerate() {
+            acc += w;
+            if acc >= target {
+                return Ok(self.bin_center(i));
+            }
+        }
+        Ok(self.bin_center(self.bins.len() - 1))
+    }
+
+    /// Merge another histogram with identical binning into this one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::LengthMismatch`] if binning differs.
+    pub fn merge(&mut self, other: &Histogram) -> Result<()> {
+        if self.bins.len() != other.bins.len() || self.lo != other.lo || self.hi != other.hi {
+            return Err(StatsError::LengthMismatch {
+                left: self.bins.len(),
+                right: other.bins.len(),
+            });
+        }
+        for (a, b) in self.bins.iter_mut().zip(&other.bins) {
+            *a += b;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+        self.count += other.count;
+        self.weight_total += other.weight_total;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validation() {
+        assert!(Histogram::new(1.0, 1.0, 4).is_err());
+        assert!(Histogram::new(0.0, 1.0, 0).is_err());
+        assert!(Histogram::new(f64::NAN, 1.0, 4).is_err());
+        assert!(Histogram::new(0.0, 1.0, 4).is_ok());
+    }
+
+    #[test]
+    fn binning_and_edges() {
+        let mut h = Histogram::new(0.0, 10.0, 5).unwrap();
+        h.add(0.0); // bin 0
+        h.add(1.99); // bin 0
+        h.add(2.0); // bin 1
+        h.add(9.999); // bin 4
+        h.add(-0.1); // underflow
+        h.add(10.0); // overflow (right-open)
+        assert_eq!(h.bin_weight(0), 2.0);
+        assert_eq!(h.bin_weight(1), 1.0);
+        assert_eq!(h.bin_weight(4), 1.0);
+        assert_eq!(h.underflow(), 1.0);
+        assert_eq!(h.overflow(), 1.0);
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.bin_lo(1), 2.0);
+        assert_eq!(h.bin_hi(1), 4.0);
+        assert_eq!(h.bin_center(1), 3.0);
+    }
+
+    #[test]
+    fn fractions_sum_to_one_without_flows() {
+        let mut h = Histogram::new(0.0, 1.0, 10).unwrap();
+        h.extend((0..1000).map(|i| i as f64 / 1000.0));
+        let total: f64 = (0..10).map(|i| h.bin_fraction(i)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_insertion() {
+        let mut h = Histogram::new(0.0, 4.0, 4).unwrap();
+        h.add_weighted(0.5, 3.0);
+        h.add_weighted(2.5, 1.0);
+        assert_eq!(h.bin_weight(0), 3.0);
+        assert_eq!(h.bin_fraction(0), 0.75);
+        assert_eq!(h.weight_total(), 4.0);
+    }
+
+    #[test]
+    fn quantiles() {
+        let mut h = Histogram::new(0.0, 100.0, 100).unwrap();
+        h.extend((0..10_000).map(|i| (i % 100) as f64 + 0.5));
+        let median = h.quantile(0.5).unwrap();
+        assert!((median - 50.0).abs() < 2.0, "median {median}");
+        assert!(h.quantile(1.5).is_err());
+        let empty = Histogram::new(0.0, 1.0, 2).unwrap();
+        assert!(empty.quantile(0.5).is_err());
+    }
+
+    #[test]
+    fn merge_requires_identical_binning() {
+        let mut a = Histogram::new(0.0, 1.0, 4).unwrap();
+        let b = Histogram::new(0.0, 1.0, 5).unwrap();
+        assert!(a.merge(&b).is_err());
+        let mut c = Histogram::new(0.0, 1.0, 4).unwrap();
+        c.add(0.5);
+        let mut d = Histogram::new(0.0, 1.0, 4).unwrap();
+        d.add(0.6);
+        c.merge(&d).unwrap();
+        assert_eq!(c.count(), 2);
+        assert_eq!(c.bin_weight(2), 2.0);
+    }
+}

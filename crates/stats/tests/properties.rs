@@ -1,0 +1,113 @@
+//! Property-based tests for the statistics substrate.
+
+use cnt_stats::dist::{ContinuousDist, DiscreteDist, TruncatedGaussian};
+use cnt_stats::renewal::{CountModel, RenewalCount};
+use cnt_stats::{Histogram, Summary};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn truncated_gaussian_cdf_is_monotone(
+        mean in 1.0f64..20.0,
+        cov in 0.1f64..0.8,
+        a in -5.0f64..30.0,
+        b in -5.0f64..30.0,
+    ) {
+        let t = TruncatedGaussian::positive_with_moments(mean, cov * mean).unwrap();
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(t.cdf(lo) <= t.cdf(hi) + 1e-12);
+        prop_assert!((0.0..=1.0).contains(&t.cdf(lo)));
+    }
+
+    #[test]
+    fn truncated_gaussian_quantile_roundtrip(
+        mean in 2.0f64..10.0,
+        cov in 0.2f64..0.8,
+        p in 0.01f64..0.99,
+    ) {
+        let t = TruncatedGaussian::positive_with_moments(mean, cov * mean).unwrap();
+        let x = t.quantile(p);
+        prop_assert!(x >= 0.0);
+        prop_assert!((t.cdf(x) - p).abs() < 1e-5,
+            "cdf(quantile({p})) = {} at x = {x}", t.cdf(x));
+    }
+
+    #[test]
+    fn pgf_is_monotone_and_bounded(
+        weights in prop::collection::vec(0.0f64..10.0, 1..20),
+        z1 in 0.0f64..1.0,
+        z2 in 0.0f64..1.0,
+    ) {
+        prop_assume!(weights.iter().sum::<f64>() > 0.0);
+        let d = DiscreteDist::from_weights(&weights).unwrap();
+        let (lo, hi) = if z1 <= z2 { (z1, z2) } else { (z2, z1) };
+        prop_assert!(d.pgf(lo) <= d.pgf(hi) + 1e-12);
+        prop_assert!(d.pgf(hi) <= 1.0 + 1e-12);
+        prop_assert!(d.pgf(lo) >= 0.0);
+        prop_assert!((d.pgf(1.0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn renewal_failure_probability_decreases_with_width(
+        w1 in 10.0f64..200.0,
+        delta in 1.0f64..50.0,
+        pf in 0.05f64..0.95,
+    ) {
+        let pitch = TruncatedGaussian::positive_with_moments(4.0, 3.2).unwrap();
+        let rc = RenewalCount::new(pitch, CountModel::GaussianSum);
+        let p1 = rc.failure_probability(w1, pf).unwrap();
+        let p2 = rc.failure_probability(w1 + delta, pf).unwrap();
+        prop_assert!(p2 <= p1 * 1.001 + 1e-15, "pF({w1}) = {p1} < pF({}) = {p2}", w1 + delta);
+    }
+
+    #[test]
+    fn renewal_failure_probability_increases_with_pf(
+        w in 20.0f64..150.0,
+        pf1 in 0.05f64..0.9,
+        bump in 0.01f64..0.09,
+    ) {
+        let pitch = TruncatedGaussian::positive_with_moments(4.0, 3.2).unwrap();
+        let rc = RenewalCount::new(pitch, CountModel::GaussianSum);
+        let p1 = rc.failure_probability(w, pf1).unwrap();
+        let p2 = rc.failure_probability(w, pf1 + bump).unwrap();
+        prop_assert!(p2 >= p1 - 1e-15);
+    }
+
+    #[test]
+    fn summary_merge_equals_sequential(
+        xs in prop::collection::vec(-1e3f64..1e3, 1..200),
+        split in 0usize..200,
+    ) {
+        let split = split.min(xs.len());
+        let seq = Summary::of(&xs);
+        let mut a = Summary::of(&xs[..split]);
+        let b = Summary::of(&xs[split..]);
+        a.merge(&b);
+        prop_assert_eq!(a.count(), seq.count());
+        prop_assert!((a.mean() - seq.mean()).abs() < 1e-9);
+        prop_assert!((a.variance() - seq.variance()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn histogram_conserves_weight(
+        xs in prop::collection::vec(-10.0f64..110.0, 1..300),
+    ) {
+        let mut h = Histogram::new(0.0, 100.0, 10).unwrap();
+        h.extend(xs.iter().copied());
+        let binned: f64 = (0..h.nbins()).map(|i| h.bin_weight(i)).sum();
+        let total = binned + h.underflow() + h.overflow();
+        prop_assert!((total - xs.len() as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn count_distribution_mean_tracks_width(
+        w in 20.0f64..300.0,
+    ) {
+        let pitch = TruncatedGaussian::positive_with_moments(4.0, 3.2).unwrap();
+        let rc = RenewalCount::new(pitch, CountModel::GaussianSum);
+        let d = rc.distribution(w).unwrap();
+        // Stationary renewal: E[N] = W/S̄ (CLT approximation within 5 %).
+        prop_assert!((d.mean() - w / 4.0).abs() < 0.05 * (w / 4.0) + 0.5,
+            "W={w}: mean {} vs {}", d.mean(), w / 4.0);
+    }
+}

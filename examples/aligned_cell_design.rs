@@ -1,0 +1,71 @@
+//! Library re-design walkthrough: apply the aligned-active restriction to
+//! both standard-cell libraries and inspect the cost the way a library
+//! team would (Sec 3.2/3.3 of the paper).
+//!
+//! Run with `cargo run --release --example aligned_cell_design`.
+
+use cnfet::celllib::commercial65::commercial65_like;
+use cnfet::celllib::nangate45::nangate45_like;
+use cnfet::layout::{align_library, AlignmentOptions, GridPolicy};
+use cnfet::plot::Table;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let single = AlignmentOptions::default();
+    let dual = AlignmentOptions {
+        policy: GridPolicy::Dual,
+        ..AlignmentOptions::default()
+    };
+
+    for lib in [nangate45_like(), commercial65_like()] {
+        println!("== {} ({} cells) ==\n", lib.name(), lib.cells().len());
+
+        let a1 = align_library(&lib, &single)?;
+        let a2 = align_library(&lib, &dual)?;
+
+        let mut t = Table::new(
+            "alignment cost",
+            &["policy", "cells widened", "min penalty", "max penalty"],
+        );
+        for (name, a) in [("one grid row", &a1), ("two grid rows", &a2)] {
+            t.add_row(&[
+                name.to_string(),
+                format!("{} ({:.1} %)", a.penalized().len(), a.penalized_fraction() * 100.0),
+                a.min_penalty()
+                    .map_or("-".into(), |p| format!("{:.1} %", p * 100.0)),
+                a.max_penalty()
+                    .map_or("-".into(), |p| format!("{:.1} %", p * 100.0)),
+            ])?;
+        }
+        println!("{}", t.to_markdown());
+
+        // The worst offenders, as a library team would triage them.
+        let mut worst: Vec<_> = a1.penalized().into_iter().collect();
+        worst.sort_by(|a, b| {
+            b.penalty()
+                .partial_cmp(&a.penalty())
+                .expect("penalties are finite")
+        });
+        if worst.is_empty() {
+            println!("no cell pays any area penalty.\n");
+        } else {
+            println!("worst cells under the single-grid restriction:");
+            for c in worst.iter().take(8) {
+                println!(
+                    "  {:<22} {:>7.0} nm -> {:>7.0} nm  (+{:.1} %)",
+                    c.cell_name,
+                    c.old_width,
+                    c.new_width,
+                    c.penalty() * 100.0
+                );
+            }
+            println!();
+        }
+    }
+
+    println!(
+        "take-away: one grid row penalizes a handful of high-fan-in cells\n\
+         (and many flops in compact commercial libraries); a second grid row\n\
+         absorbs every conflict at a 2x cost in correlation benefit."
+    );
+    Ok(())
+}

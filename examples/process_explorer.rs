@@ -1,0 +1,87 @@
+//! Process exploration: how `W_min` and the upsizing penalty respond to
+//! the processing knobs (`pm`, `pRs`) and the CNT length.
+//!
+//! The scenario a fab team faces: VMR selectivity trades metallic removal
+//! against collateral damage, and growth recipes trade CNT length against
+//! density. This example sweeps both and prints the resulting design cost.
+//!
+//! Run with `cargo run --release --example process_explorer`.
+
+use cnfet::core::corner::ProcessCorner;
+use cnfet::core::failure::FailureModel;
+use cnfet::core::paper;
+use cnfet::core::rowmodel::RowModel;
+use cnfet::core::wmin::WminSolver;
+use cnfet::plot::Table;
+use cnt_stats::renewal::CountModel;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let m_min = paper::MMIN_FRACTION * paper::M_TRANSISTORS;
+
+    // --- Sweep 1: VMR collateral damage (pRs) at pm = 33 % --------------
+    let mut t = Table::new(
+        "W_min vs VMR collateral damage (pm = 33 %, yield 90 %, M = 1e8)",
+        &["pRs", "pf", "W_min plain (nm)", "W_min corr (nm)"],
+    );
+    let row = RowModel::from_design(paper::L_CNT_UM, paper::RHO_MIN_FET_PER_UM)?;
+    for p_rs in [0.0, 0.1, 0.2, 0.3, 0.4] {
+        let corner = ProcessCorner::new(0.33, p_rs, 1.0)?;
+        // The CLT back-end keeps the sweep fast; anchors elsewhere use the
+        // exact convolution.
+        let model =
+            FailureModel::paper_default(corner)?.with_backend(CountModel::GaussianSum);
+        let solver = WminSolver::new(model);
+        let plain = solver.solve(paper::YIELD_TARGET, m_min)?;
+        let corr = solver.solve_relaxed(paper::YIELD_TARGET, m_min, row.relaxation())?;
+        t.add_row(&[
+            format!("{:.0} %", p_rs * 100.0),
+            format!("{:.3}", corner.pf()),
+            format!("{:.1}", plain.w_min),
+            format!("{:.1}", corr.w_min),
+        ])?;
+    }
+    println!("{}", t.to_markdown());
+
+    // --- Sweep 2: metallic fraction (pm) at pRs = 30 % ------------------
+    let mut t = Table::new(
+        "W_min vs metallic fraction (pRs = 30 %)",
+        &["pm", "pf", "W_min plain (nm)", "W_min corr (nm)"],
+    );
+    for pm in [0.0, 0.1, 0.2, 0.33, 0.45] {
+        let corner = ProcessCorner::new(pm, 0.30, 1.0)?;
+        let model =
+            FailureModel::paper_default(corner)?.with_backend(CountModel::GaussianSum);
+        let solver = WminSolver::new(model);
+        let plain = solver.solve(paper::YIELD_TARGET, m_min)?;
+        let corr = solver.solve_relaxed(paper::YIELD_TARGET, m_min, row.relaxation())?;
+        t.add_row(&[
+            format!("{:.0} %", pm * 100.0),
+            format!("{:.3}", corner.pf()),
+            format!("{:.1}", plain.w_min),
+            format!("{:.1}", corr.w_min),
+        ])?;
+    }
+    println!("{}", t.to_markdown());
+
+    // --- Sweep 3: CNT length (the growth-recipe knob of Eq. 3.2) --------
+    let mut t = Table::new(
+        "Correlated W_min vs CNT length (rho = 1.8 FET/um)",
+        &["L_CNT (um)", "M_Rmin", "relaxation", "W_min corr (nm)"],
+    );
+    let corner = ProcessCorner::aggressive()?;
+    let model = FailureModel::paper_default(corner)?.with_backend(CountModel::GaussianSum);
+    let solver = WminSolver::new(model);
+    for l_cnt in [10.0, 50.0, 100.0, 200.0, 400.0] {
+        let row = RowModel::from_design(l_cnt, paper::RHO_MIN_FET_PER_UM)?;
+        let corr = solver.solve_relaxed(paper::YIELD_TARGET, m_min, row.relaxation())?;
+        t.add_row(&[
+            format!("{l_cnt:.0}"),
+            format!("{:.0}", row.m_r_min()),
+            format!("{:.0}x", row.relaxation()),
+            format!("{:.1}", corr.w_min),
+        ])?;
+    }
+    println!("{}", t.to_markdown());
+    println!("longer CNTs buy more correlation: the knob the paper asks growers for.");
+    Ok(())
+}

@@ -1,0 +1,50 @@
+//! Quickstart: the paper's headline result in ~40 lines.
+//!
+//! Computes the minimum CNFET width (`W_min`) a 100-million-transistor
+//! chip needs for 90 % yield — first assuming independent CNFET failures,
+//! then exploiting the CNT correlation of directional growth with
+//! aligned-active cells.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use cnfet::core::corner::ProcessCorner;
+use cnfet::core::failure::FailureModel;
+use cnfet::core::rowmodel::RowModel;
+use cnfet::core::wmin::WminSolver;
+use cnfet::core::paper;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Processing: 33 % metallic CNTs; VMR removes them all but also 30 %
+    // of the good ones. Pitch: 4 nm mean, Zhang-09a variation.
+    let corner = ProcessCorner::aggressive()?;
+    let model = FailureModel::paper_default(corner)?;
+    println!("per-CNT failure probability pf = {:.3}", model.pf());
+
+    // Device level: failure probability falls exponentially with width.
+    for w in [40.0, 80.0, 120.0, 160.0] {
+        println!("  pF({w:>3} nm) = {:.3e}", model.p_failure(w)?);
+    }
+
+    // Chip level: 33 % of 1e8 transistors are minimum-sized.
+    let m_min = paper::MMIN_FRACTION * paper::M_TRANSISTORS;
+    let solver = WminSolver::new(model);
+    let plain = solver.solve(paper::YIELD_TARGET, m_min)?;
+    println!(
+        "\nwithout correlation:  W_min = {:.1} nm (pF requirement {:.1e})",
+        plain.w_min, plain.p_req
+    );
+
+    // Correlation: 200-µm CNTs × 1.8 critical FETs/µm → rows of ~360
+    // devices that fail together instead of independently.
+    let row = RowModel::from_design(paper::L_CNT_UM, paper::RHO_MIN_FET_PER_UM)?;
+    let relaxed = solver.solve_relaxed(paper::YIELD_TARGET, m_min, row.relaxation())?;
+    println!(
+        "with correlation:     W_min = {:.1} nm ({}x relaxation)",
+        relaxed.w_min,
+        row.relaxation() as u64
+    );
+    println!(
+        "\npaper: 155 nm -> 103 nm at the 45 nm node (350x relaxation)"
+    );
+    Ok(())
+}

@@ -1,0 +1,66 @@
+//! Wafer characterization → yield prediction, end to end.
+//!
+//! A fab does not know `σ_S/S` a priori: it measures inter-CNT pitches on
+//! test structures and fits a model. This example simulates that loop:
+//! "measure" pitches from a grown wafer, fit the pitch distribution,
+//! verify the fit, and feed it into the `W_min` analysis — then compares
+//! against the ground truth the wafer was grown with.
+//!
+//! Run with `cargo run --release --example wafer_calibration`.
+
+use cnfet::core::corner::ProcessCorner;
+use cnfet::core::wmin::WminSolver;
+use cnfet::growth::{DirectionalGrowth, Growth, GrowthParams, LengthModel, Rect};
+use cnfet::stats::fit::fit_pitch;
+use cnfet::stats::renewal::CountModel;
+use cnfet_core::failure::FailureModel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- 1. grow a wafer patch with known (hidden) statistics ----------
+    let truth_cov = 0.8;
+    let params = GrowthParams::new(4.0, truth_cov, 0.33, LengthModel::Fixed(50_000.0))?;
+    let growth = DirectionalGrowth::new(params);
+    let mut rng = StdRng::seed_from_u64(808);
+    let patch = Rect::new(0.0, 0.0, 1000.0, 40_000.0)?; // 1 µm × 40 µm scan
+    let pop = growth.grow(patch, &mut rng);
+
+    // --- 2. "measure" inter-CNT pitches along the scan line -------------
+    let mut tracks = pop.tracks().to_vec();
+    tracks.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let pitches: Vec<f64> = tracks.windows(2).map(|w| w[1] - w[0]).collect();
+    println!("measured {} inter-CNT pitches from the scan", pitches.len());
+
+    // --- 3. fit the pitch model -----------------------------------------
+    let fit = fit_pitch(&pitches)?;
+    println!(
+        "fit: mean = {:.3} nm, sd = {:.3} nm, CoV = {:.3} (truth 0.800)",
+        fit.sample_mean,
+        fit.sample_sd,
+        fit.cov()
+    );
+    println!(
+        "KS statistic {:.4} -> fit {}",
+        fit.ks_statistic,
+        if fit.acceptable() { "accepted" } else { "REJECTED" }
+    );
+
+    // --- 4. yield analysis with the fitted statistics -------------------
+    let corner = ProcessCorner::aggressive()?;
+    let fitted_model = FailureModel::new(fit.sample_mean, fit.cov(), corner)?
+        .with_backend(CountModel::GaussianSum);
+    let truth_model =
+        FailureModel::new(4.0, truth_cov, corner)?.with_backend(CountModel::GaussianSum);
+
+    let m_min = 0.33 * 1e8;
+    let w_fit = WminSolver::new(fitted_model).solve(0.90, m_min)?.w_min;
+    let w_truth = WminSolver::new(truth_model).solve(0.90, m_min)?.w_min;
+    println!("\nW_min from fitted wafer statistics: {w_fit:.1} nm");
+    println!("W_min from ground-truth statistics: {w_truth:.1} nm");
+    println!(
+        "calibration error: {:.1} % — wafer characterization closes the loop",
+        (w_fit / w_truth - 1.0).abs() * 100.0
+    );
+    Ok(())
+}

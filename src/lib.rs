@@ -1,0 +1,93 @@
+//! # cnfet — CNT correlation for CNFET circuit yield enhancement
+//!
+//! A full reproduction of *"Carbon Nanotube Correlation: Promising
+//! Opportunity for CNFET Circuit Yield Enhancement"* (Zhang, Bobba, Patil,
+//! Lin, Wong, De Micheli, Mitra — DAC 2010), built as a set of composable
+//! crates and re-exported here as one facade.
+//!
+//! ## The problem
+//!
+//! CNFETs are built from a handful of parallel carbon nanotubes. Roughly a
+//! third of grown CNTs are metallic and must be etched away, taking ~30 %
+//! of the good ones with them. A narrow transistor can end up with *zero*
+//! working channels — "CNT count failure" — and at a billion transistors
+//! per chip this destroys yield unless narrow devices are upsized at a
+//! large power cost.
+//!
+//! ## The paper's idea
+//!
+//! Directionally grown CNTs are hundreds of micrometres long, so CNFETs
+//! whose active regions are **aligned along the growth direction share the
+//! same CNTs** — they live and die together. Restricting every cell layout
+//! so that critical active regions sit on one global grid converts a row of
+//! ~360 independent failure chances into a single one, relaxing the
+//! device-level failure budget ~350× and shrinking the required upsizing
+//! from `W_min = 155 nm` to `103 nm` at the 45 nm node.
+//!
+//! ## Crate map
+//!
+//! | crate | role |
+//! |-------|------|
+//! | [`stats`] (`cnt-stats`) | distributions, renewal CNT counting, estimators |
+//! | [`growth`] (`cnt-growth`) | CNT growth simulator + VMR removal |
+//! | [`device`] (`cnfet-device`) | CNFET geometry, count failure, Ion, gate cap |
+//! | [`celllib`] (`cnfet-celllib`) | Nangate-45-class + commercial-65-class libraries |
+//! | [`layout`] (`cnfet-layout`) | aligned-active transform, grids, placement |
+//! | [`netlist`] (`cnfet-netlist`) | OpenRISC-class design generator + mapping |
+//! | [`sim`] (`cnfet-sim`) | conditional Monte Carlo + exact run-DP |
+//! | [`core`] (`cnfet-core`) | the paper's yield models and optimizer |
+//! | [`plot`] (`cnfet-plot`) | ASCII figures and markdown/CSV tables |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use cnfet::core::corner::ProcessCorner;
+//! use cnfet::core::failure::FailureModel;
+//! use cnfet::core::rowmodel::RowModel;
+//! use cnfet::core::wmin::WminSolver;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let model = FailureModel::paper_default(ProcessCorner::aggressive()?)?;
+//! let solver = WminSolver::new(model);
+//!
+//! // Without correlation: W_min ≈ 155 nm (paper Sec 2.2).
+//! let plain = solver.solve(0.90, 0.33 * 1e8)?;
+//!
+//! // With directional growth + aligned-active cells: ≈ 103 nm (Sec 3.3).
+//! let row = RowModel::from_design(200.0, 1.8)?;
+//! let relaxed = solver.solve_relaxed(0.90, 0.33 * 1e8, row.relaxation())?;
+//! assert!(relaxed.w_min < plain.w_min - 30.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use cnfet_celllib as celllib;
+pub use cnfet_core as core;
+pub use cnfet_device as device;
+pub use cnfet_layout as layout;
+pub use cnfet_netlist as netlist;
+pub use cnfet_plot as plot;
+pub use cnfet_sim as sim;
+pub use cnt_growth as growth;
+pub use cnt_stats as stats;
+
+/// Workspace version, from the facade crate.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_compile() {
+        // Touch one item from each re-exported crate.
+        let _ = crate::stats::special::erf(1.0);
+        let _ = crate::growth::growth::paper::MEAN_PITCH_NM;
+        let _ = crate::device::FetType::NType;
+        let _ = crate::celllib::cell::TechParams::nangate45();
+        let _ = crate::layout::AlignmentOptions::default();
+        let _ = crate::netlist::synth::DesignSpec::small();
+        let _ = crate::sim::rundp::row_failure_probability(1, &[(0, 0)], 0.5);
+        let _ = crate::core::paper::M_TRANSISTORS;
+        let _ = crate::plot::Table::new("t", &["a"]);
+        assert!(!crate::VERSION.is_empty());
+    }
+}

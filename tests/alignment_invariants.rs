@@ -1,0 +1,138 @@
+//! Integration invariants of the aligned-active transform across the
+//! library, layout and core crates.
+
+use cnfet::celllib::cell::TechParams;
+use cnfet::celllib::commercial65::commercial65_like;
+use cnfet::celllib::nangate45::nangate45_like;
+use cnfet::device::FetType;
+use cnfet::layout::{align_cell, align_library, AlignmentGrid, AlignmentOptions, GridPolicy};
+
+#[test]
+fn aligned_strips_always_land_on_grid_rows() {
+    let lib = nangate45_like();
+    let tech = TechParams::nangate45();
+    let opts = AlignmentOptions::default();
+    let grid = AlignmentGrid::from_tech(&tech, GridPolicy::Single).expect("valid grid");
+    for cell in lib.cells() {
+        let a = align_cell(cell, &tech, &opts).expect("alignable");
+        for s in &a.new_strips {
+            let rows = match s.fet_type {
+                FetType::NType => grid.n_rows(),
+                FetType::PType => grid.p_rows(),
+            };
+            assert!(
+                rows.iter().any(|&r| (s.rect.y0() - r).abs() < 1e-9),
+                "{}: strip at y={} not on a grid row",
+                cell.name(),
+                s.rect.y0()
+            );
+        }
+    }
+}
+
+#[test]
+fn aligned_strips_never_overlap_in_x_within_a_row() {
+    for lib in [nangate45_like(), commercial65_like()] {
+        let opts = AlignmentOptions::default();
+        for cell in lib.cells() {
+            let a = align_cell(cell, lib.tech(), &opts).expect("alignable");
+            for fet_type in [FetType::NType, FetType::PType] {
+                let strips: Vec<_> = a
+                    .new_strips
+                    .iter()
+                    .filter(|s| s.fet_type == fet_type)
+                    .collect();
+                for i in 0..strips.len() {
+                    for j in i + 1..strips.len() {
+                        let same_row =
+                            (strips[i].rect.y0() - strips[j].rect.y0()).abs() < 1e-9;
+                        if same_row {
+                            let (a, b) = (strips[i].rect, strips[j].rect);
+                            assert!(
+                                a.x1() <= b.x0() + 1e-9 || b.x1() <= a.x0() + 1e-9,
+                                "{}: strips overlap after alignment",
+                                cell.name()
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn alignment_never_shrinks_a_cell() {
+    for lib in [nangate45_like(), commercial65_like()] {
+        for opts in [
+            AlignmentOptions::default(),
+            AlignmentOptions {
+                policy: GridPolicy::Dual,
+                ..AlignmentOptions::default()
+            },
+        ] {
+            let a = align_library(&lib, &opts).expect("alignable");
+            for c in &a.cells {
+                assert!(
+                    c.new_width >= c.old_width - 1e-9,
+                    "{}: shrank from {} to {}",
+                    c.cell_name,
+                    c.old_width,
+                    c.new_width
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn dual_grid_dominates_single_grid() {
+    // Two rows can always do at least as well as one.
+    for lib in [nangate45_like(), commercial65_like()] {
+        let single = align_library(&lib, &AlignmentOptions::default()).expect("alignable");
+        let dual = align_library(
+            &lib,
+            &AlignmentOptions {
+                policy: GridPolicy::Dual,
+                ..AlignmentOptions::default()
+            },
+        )
+        .expect("alignable");
+        for (s, d) in single.cells.iter().zip(&dual.cells) {
+            assert_eq!(s.cell_name, d.cell_name);
+            assert!(
+                d.new_width <= s.new_width + 1e-9,
+                "{}: dual {} > single {}",
+                s.cell_name,
+                d.new_width,
+                s.new_width
+            );
+        }
+    }
+}
+
+#[test]
+fn critical_width_filter_is_monotone() {
+    // A lower criticality threshold can only reduce the number of moved
+    // strips and the penalty.
+    let lib = nangate45_like();
+    let tech = TechParams::nangate45();
+    let all = AlignmentOptions::default();
+    let some = AlignmentOptions {
+        critical_width: Some(150.0),
+        ..AlignmentOptions::default()
+    };
+    let none = AlignmentOptions {
+        critical_width: Some(10.0),
+        ..AlignmentOptions::default()
+    };
+    for cell in lib.cells() {
+        let a_all = align_cell(cell, &tech, &all).expect("alignable");
+        let a_some = align_cell(cell, &tech, &some).expect("alignable");
+        let a_none = align_cell(cell, &tech, &none).expect("alignable");
+        assert!(a_some.moved_strips <= a_all.moved_strips, "{}", cell.name());
+        assert_eq!(a_none.moved_strips, 0, "{}", cell.name());
+        assert!(a_some.penalty() <= a_all.penalty() + 1e-9, "{}", cell.name());
+        assert_eq!(a_none.penalty(), 0.0, "{}", cell.name());
+    }
+}

@@ -1,0 +1,149 @@
+//! Cross-validation: the analytic yield models against brute-force
+//! geometric simulation of grown CNT populations.
+//!
+//! The analytic chain (renewal counts → PGF → row DP) and the geometric
+//! chain (grow CNTs → apply VMR → count channels) are implemented in
+//! different crates with no shared code path; agreement here validates
+//! both.
+
+use cnfet::core::corner::ProcessCorner;
+use cnfet::core::failure::FailureModel;
+use cnfet::device::fet::{Cnfet, FetType};
+use cnfet::growth::{DirectionalGrowth, Growth, GrowthParams, Rect};
+use cnfet::sim::rundp::row_failure_probability;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Geometric failure-rate estimate for a W-nm device at moderate widths
+/// where naive MC is feasible.
+fn geometric_failure_rate(width: f64, trials: u32, seed: u64) -> f64 {
+    let params = GrowthParams::paper_defaults().expect("paper defaults valid");
+    let growth = DirectionalGrowth::new(params);
+    let vmr = ProcessCorner::aggressive().expect("valid").vmr();
+    let fet = Cnfet::new("probe", FetType::NType, width, 32.0)
+        .expect("valid device")
+        .at(0.0, 0.0);
+    let region = Rect::new(-64.0, -40.0, 160.0, width + 80.0).expect("valid region");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut failures = 0u32;
+    for _ in 0..trials {
+        let mut pop = growth.grow(region, &mut rng);
+        vmr.apply(&mut pop, &mut rng);
+        failures += fet.fails(&pop) as u32;
+    }
+    failures as f64 / trials as f64
+}
+
+#[test]
+fn analytic_pf_matches_geometric_simulation() {
+    let model = FailureModel::paper_default(ProcessCorner::aggressive().expect("valid"))
+        .expect("valid model");
+    // Widths where pF is large enough for counting statistics (1e-2..1e-3).
+    for (width, trials) in [(20.0, 20_000u32), (32.0, 40_000)] {
+        let analytic = model.p_failure(width).expect("computable");
+        let geometric = geometric_failure_rate(width, trials, width as u64);
+        let ratio = geometric / analytic;
+        assert!(
+            (0.7..1.4).contains(&ratio),
+            "W={width}: geometric {geometric:.4e} vs analytic {analytic:.4e} (ratio {ratio:.2})"
+        );
+    }
+}
+
+#[test]
+fn run_dp_matches_geometric_row_simulation() {
+    // A small row: 8 FETs at staggered offsets over a 250-nm band, wide
+    // enough pf for direct MC. Geometric: grow tracks, type them, check
+    // each FET. Analytic per layout: run DP. Compare the averaged rates.
+    let params = GrowthParams::paper_defaults().expect("valid");
+    let growth = DirectionalGrowth::new(params);
+    let vmr = ProcessCorner::aggressive().expect("valid").vmr();
+    let pf = ProcessCorner::aggressive().expect("valid").pf();
+
+    let spans: Vec<(f64, f64)> = (0..8)
+        .map(|i| {
+            let y0 = (i % 4) as f64 * 50.0;
+            (y0, y0 + 40.0)
+        })
+        .collect();
+    let region = Rect::new(-10.0, -10.0, 200.0, 300.0).expect("valid region");
+
+    let trials = 25_000;
+    let mut rng = StdRng::seed_from_u64(99);
+    let mut geometric_failures = 0u32;
+    let mut dp_sum = 0.0_f64;
+    for _ in 0..trials {
+        let mut pop = growth.grow(region, &mut rng);
+
+        // Analytic-conditional: intervals from the actual track layout.
+        let tracks: Vec<f64> = pop.tracks().to_vec();
+        let mut intervals = Vec::new();
+        let mut certain = false;
+        for &(y0, y1) in &spans {
+            let lo = tracks.partition_point(|&t| t < y0);
+            let hi = tracks.partition_point(|&t| t <= y1);
+            if hi == lo {
+                certain = true;
+                break;
+            }
+            intervals.push((lo, hi - 1));
+        }
+        dp_sum += if certain {
+            1.0
+        } else {
+            row_failure_probability(tracks.len(), &intervals, pf).expect("valid DP input")
+        };
+
+        // Geometric: apply VMR and test every FET's channel count.
+        vmr.apply(&mut pop, &mut rng);
+        let any_fail = spans.iter().any(|&(y0, y1)| {
+            let ar = Rect::new(0.0, y0, 32.0, (y1 - y0).max(1e-9)).expect("valid");
+            pop.useful_count_in(&ar) == 0
+        });
+        geometric_failures += any_fail as u32;
+    }
+    let geometric = geometric_failures as f64 / trials as f64;
+    let dp = dp_sum / trials as f64;
+    let ratio = geometric / dp;
+    assert!(
+        (0.85..1.18).contains(&ratio),
+        "geometric {geometric:.4} vs DP {dp:.4} (ratio {ratio:.3})"
+    );
+}
+
+#[test]
+fn count_distribution_matches_population_counts() {
+    // The renewal count model and the geometric track generator must agree
+    // on the distribution of CNTs under a gate.
+    let params = GrowthParams::paper_defaults().expect("valid");
+    let growth = DirectionalGrowth::new(params.clone());
+    let region = Rect::new(0.0, 0.0, 100.0, 200.0).expect("valid region");
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut sum = 0usize;
+    let mut sum2 = 0usize;
+    let trials = 4000;
+    let gate = Rect::new(10.0, 50.0, 32.0, 64.0).expect("valid gate");
+    for _ in 0..trials {
+        let pop = growth.grow(region, &mut rng);
+        let n = pop.count_in(&gate);
+        sum += n;
+        sum2 += n * n;
+    }
+    let mean = sum as f64 / trials as f64;
+    let var = sum2 as f64 / trials as f64 - mean * mean;
+
+    let analytic = FailureModel::paper_default(ProcessCorner::aggressive().expect("valid"))
+        .expect("valid")
+        .count_distribution(64.0)
+        .expect("computable");
+    assert!(
+        (mean - analytic.mean()).abs() < 0.5,
+        "mean {mean} vs analytic {}",
+        analytic.mean()
+    );
+    assert!(
+        (var - analytic.variance()).abs() / analytic.variance() < 0.25,
+        "var {var} vs analytic {}",
+        analytic.variance()
+    );
+}

@@ -1,0 +1,107 @@
+//! End-to-end integration: the full paper pipeline across every crate.
+//!
+//! netlist generation → technology mapping → placement → yield analysis →
+//! correlation-aware optimization, checked against the paper's case-study
+//! numbers.
+
+use cnfet::celllib::nangate45::nangate45_like;
+use cnfet::core::corner::ProcessCorner;
+use cnfet::core::failure::FailureModel;
+use cnfet::core::optimizer::YieldOptimizer;
+use cnfet::core::paper;
+use cnfet::core::rowmodel::RowModel;
+use cnfet::layout::{place_cells, PlacementOptions};
+use cnfet::netlist::mapping::MappedDesign;
+use cnfet::netlist::synth::{openrisc_class, DesignSpec};
+
+/// Width pairs of the mapped design (0.1 nm quantized).
+fn width_pairs(mapped: &MappedDesign) -> Vec<(f64, u64)> {
+    let mut counts: std::collections::BTreeMap<i64, u64> = std::collections::BTreeMap::new();
+    for w in mapped.transistor_widths() {
+        *counts.entry((w * 10.0).round() as i64).or_insert(0) += 1;
+    }
+    counts
+        .into_iter()
+        .map(|(k, n)| (k as f64 / 10.0, n))
+        .collect()
+}
+
+#[test]
+fn openrisc_case_study_reproduces_paper_numbers() {
+    // 1. Design: OpenRISC-class netlist on the Nangate-45-class library.
+    let lib = nangate45_like();
+    let netlist = openrisc_class(&DesignSpec::small(), 42);
+    let mapped = MappedDesign::map(&netlist, &lib).expect("all cells mappable");
+
+    // 2. Fig 2.2a calibration: ≈ 1/3 of transistors below 160 nm.
+    let frac = mapped.fraction_below(160.0);
+    assert!((0.26..0.40).contains(&frac), "small fraction {frac}");
+
+    // 3. Placement: the critical-FET density feeds Eq. (3.2).
+    let placed = place_cells(mapped.cells(), PlacementOptions::default()).expect("placeable");
+    let rho = placed
+        .min_fet_density_per_um(paper::WMIN_UNCORRELATED_NM)
+        .expect("non-empty design");
+    assert!(
+        (0.8..3.0).contains(&rho),
+        "rho = {rho} FET/um (paper 1.8)"
+    );
+
+    // 4. Yield optimization with the measured distribution and density.
+    let model =
+        FailureModel::paper_default(ProcessCorner::aggressive().expect("valid corner"))
+            .expect("valid model");
+    let row = RowModel::from_design(paper::L_CNT_UM, rho).expect("valid row model");
+    let optimizer = YieldOptimizer::new(
+        model,
+        width_pairs(&mapped),
+        paper::M_TRANSISTORS,
+        row,
+    )
+    .expect("valid optimizer");
+    let report = optimizer.optimize(paper::YIELD_TARGET).expect("solvable");
+
+    // The paper's W_min pair, within model tolerance.
+    assert!(
+        (report.w_min_plain - paper::WMIN_UNCORRELATED_NM).abs() < 12.0,
+        "plain W_min {:.1}",
+        report.w_min_plain
+    );
+    assert!(
+        (report.w_min_corr - paper::WMIN_CORRELATED_NM).abs() < 12.0,
+        "correlated W_min {:.1}",
+        report.w_min_corr
+    );
+    // Penalty nearly eliminated at 45 nm (Fig 3.3).
+    assert!(
+        report.penalty_corr < 0.05,
+        "correlated penalty {:.3}",
+        report.penalty_corr
+    );
+    assert!(report.penalty_plain > report.penalty_corr);
+}
+
+#[test]
+fn relaxation_factor_tracks_density_times_length() {
+    let row = RowModel::from_design(paper::L_CNT_UM, paper::RHO_MIN_FET_PER_UM)
+        .expect("valid row model");
+    assert!((row.relaxation() - paper::M_R_MIN).abs() < 1e-9);
+    // Halving the CNT length halves the benefit.
+    let short = RowModel::from_design(paper::L_CNT_UM / 2.0, paper::RHO_MIN_FET_PER_UM)
+        .expect("valid row model");
+    assert!((short.relaxation() * 2.0 - row.relaxation()).abs() < 1e-9);
+}
+
+#[test]
+fn mapping_is_portable_across_libraries() {
+    // The same netlist maps onto both libraries; widths scale by 65/45.
+    let netlist = openrisc_class(&DesignSpec::small(), 7);
+    let lib45 = nangate45_like();
+    let lib65 = cnfet::celllib::commercial65::commercial65_like();
+    let m45 = MappedDesign::map(&netlist, &lib45).expect("45 nm mapping");
+    let m65 = MappedDesign::map(&netlist, &lib65).expect("65 nm mapping");
+    assert_eq!(m45.cells().len(), m65.cells().len());
+    let w45: f64 = m45.transistor_widths().iter().sum();
+    let w65: f64 = m65.transistor_widths().iter().sum();
+    assert!(((w65 / w45) - 65.0 / 45.0).abs() < 0.01);
+}
