@@ -62,8 +62,7 @@ fn union_by_inclusion_exclusion(intervals: &[(usize, usize)], pf: f64) -> f64 {
 fn bench_dp_vs_inclusion_exclusion(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation/union_evaluators");
     for k in [4usize, 8, 12] {
-        let intervals: Vec<(usize, usize)> =
-            (0..k).map(|i| (i * 3, i * 3 + 5)).collect();
+        let intervals: Vec<(usize, usize)> = (0..k).map(|i| (i * 3, i * 3 + 5)).collect();
         let n_tracks = 3 * k + 8;
         group.bench_with_input(BenchmarkId::new("run_dp", k), &k, |b, _| {
             b.iter(|| {
@@ -146,9 +145,8 @@ fn bench_length_models(c: &mut Criterion) {
         ("fixed", LengthModel::Fixed(1000.0)),
         ("exponential", LengthModel::Exponential { mean: 1000.0 }),
     ] {
-        let growth = DirectionalGrowth::new(
-            GrowthParams::new(4.0, 0.8, 0.33, model).expect("valid"),
-        );
+        let growth =
+            DirectionalGrowth::new(GrowthParams::new(4.0, 0.8, 0.33, model).expect("valid"));
         group.bench_function(name, |b| {
             let mut rng = StdRng::seed_from_u64(5);
             b.iter(|| growth.grow(black_box(region), &mut rng))

@@ -14,7 +14,11 @@ fn bench_histogram(c: &mut Criterion) {
     let netlist = openrisc_class(&DesignSpec::small(), 42);
     let mapped = MappedDesign::map(&netlist, &lib).expect("mappable");
     c.bench_function("fig2_2a/width_histogram_3k_cells", |b| {
-        b.iter(|| mapped.width_histogram(black_box(80.0), 480.0).expect("valid bins"))
+        b.iter(|| {
+            mapped
+                .width_histogram(black_box(80.0), 480.0)
+                .expect("valid bins")
+        })
     });
 }
 
@@ -39,5 +43,10 @@ fn bench_scaling_node(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_histogram, bench_design_generation, bench_scaling_node);
+criterion_group!(
+    benches,
+    bench_histogram,
+    bench_design_generation,
+    bench_scaling_node
+);
 criterion_main!(benches);

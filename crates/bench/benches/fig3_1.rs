@@ -1,7 +1,9 @@
 //! Bench FIG-3.1 — CNT population growth and pair-correlation measurement.
 
 use cnt_growth::correlation::pair_correlation;
-use cnt_growth::{DirectionalGrowth, Growth, GrowthParams, LengthModel, Rect, UncorrelatedGrowth, Vmr};
+use cnt_growth::{
+    DirectionalGrowth, Growth, GrowthParams, LengthModel, Rect, UncorrelatedGrowth, Vmr,
+};
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -36,9 +38,7 @@ fn bench_pair_correlation(c: &mut Criterion) {
     let bb = Rect::new(1000.0, 0.0, 32.0, 64.0).expect("valid");
     c.bench_function("fig3_1/pair_correlation_100trials", |b| {
         let mut rng = StdRng::seed_from_u64(3);
-        b.iter(|| {
-            pair_correlation(&directional, &vmr, a, bb, 100, &mut rng).expect("measurable")
-        })
+        b.iter(|| pair_correlation(&directional, &vmr, a, bb, 100, &mut rng).expect("measurable"))
     });
 }
 

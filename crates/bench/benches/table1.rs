@@ -24,20 +24,12 @@ fn bench_run_dp(c: &mut Criterion) {
     let mut group = c.benchmark_group("table1/run_dp");
     for devices in [36usize, 360, 3600] {
         let (n_tracks, intervals) = paper_scale_intervals(devices);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(devices),
-            &devices,
-            |b, _| {
-                b.iter(|| {
-                    row_failure_probability(
-                        black_box(n_tracks),
-                        black_box(&intervals),
-                        0.531,
-                    )
+        group.bench_with_input(BenchmarkId::from_parameter(devices), &devices, |b, _| {
+            b.iter(|| {
+                row_failure_probability(black_box(n_tracks), black_box(&intervals), 0.531)
                     .expect("valid DP input")
-                })
-            },
-        );
+            })
+        });
     }
     group.finish();
 }
@@ -51,7 +43,11 @@ fn bench_conditional_mc(c: &mut Criterion) {
         devices: 360,
     };
     c.bench_function("table1/conditional_mc_100trials_360fets", |b| {
-        b.iter(|| study.estimate(&model, 100, black_box(7)).expect("estimable"))
+        b.iter(|| {
+            study
+                .estimate(&model, 100, black_box(7))
+                .expect("estimable")
+        })
     });
 }
 

@@ -31,5 +31,9 @@ pub fn paper_row() -> RowModel {
 
 /// A compact stand-in for the Fig 2.2a width distribution.
 pub fn case_study_widths() -> Vec<(f64, u64)> {
-    vec![(110.0, 33_000_000), (185.0, 47_000_000), (370.0, 20_000_000)]
+    vec![
+        (110.0, 33_000_000),
+        (185.0, 47_000_000),
+        (370.0, 20_000_000),
+    ]
 }

@@ -329,11 +329,9 @@ impl Cell {
         // "directional growth, no aligned-active" scenario of Table 1 lose
         // most of the correlation benefit. Quantized to 45 nm legal
         // placement steps.
-        let name_hash: u64 = name
-            .bytes()
-            .fold(0xcbf29ce484222325u64, |h, b| {
-                (h ^ b as u64).wrapping_mul(0x100000001b3)
-            });
+        let name_hash: u64 = name.bytes().fold(0xcbf29ce484222325u64, |h, b| {
+            (h ^ b as u64).wrapping_mul(0x100000001b3)
+        });
 
         for fet_type in [FetType::NType, FetType::PType] {
             let (band_lo_raw, band_hi) = match fet_type {
@@ -522,8 +520,13 @@ mod tests {
 
     #[test]
     fn inverter_geometry() {
-        let c = Cell::synthesize(CellFamily::Inv, DriveStrength::X1, &t45(), LayoutStyle::Relaxed)
-            .unwrap();
+        let c = Cell::synthesize(
+            CellFamily::Inv,
+            DriveStrength::X1,
+            &t45(),
+            LayoutStyle::Relaxed,
+        )
+        .unwrap();
         assert_eq!(c.name(), "INV_X1");
         assert_eq!(c.transistors().len(), 2); // 1 n + 1 p
         assert_eq!(c.n_strips().len(), 1);
@@ -536,12 +539,12 @@ mod tests {
     #[test]
     fn drive_scales_width_until_finger_cap() {
         let t = t45();
-        let x1 = Cell::synthesize(CellFamily::Inv, DriveStrength::X1, &t, LayoutStyle::Relaxed)
-            .unwrap();
-        let x2 = Cell::synthesize(CellFamily::Inv, DriveStrength::X2, &t, LayoutStyle::Relaxed)
-            .unwrap();
-        let x8 = Cell::synthesize(CellFamily::Inv, DriveStrength::X8, &t, LayoutStyle::Relaxed)
-            .unwrap();
+        let x1 =
+            Cell::synthesize(CellFamily::Inv, DriveStrength::X1, &t, LayoutStyle::Relaxed).unwrap();
+        let x2 =
+            Cell::synthesize(CellFamily::Inv, DriveStrength::X2, &t, LayoutStyle::Relaxed).unwrap();
+        let x8 =
+            Cell::synthesize(CellFamily::Inv, DriveStrength::X8, &t, LayoutStyle::Relaxed).unwrap();
         assert_eq!(x1.transistors()[0].width, 185.0);
         assert_eq!(x2.transistors()[0].width, 370.0);
         // X8: 1480 nm total → 4 fingers ≤ 480 nm.
@@ -574,9 +577,13 @@ mod tests {
 
     #[test]
     fn nand2_is_single_strip_and_flop_strips_are_disjoint_when_relaxed() {
-        let nand =
-            Cell::synthesize(CellFamily::Nand(2), DriveStrength::X1, &t45(), LayoutStyle::Relaxed)
-                .unwrap();
+        let nand = Cell::synthesize(
+            CellFamily::Nand(2),
+            DriveStrength::X1,
+            &t45(),
+            LayoutStyle::Relaxed,
+        )
+        .unwrap();
         assert_eq!(nand.n_strips().len(), 1);
 
         let dff = Cell::synthesize(
@@ -626,8 +633,13 @@ mod tests {
 
     #[test]
     fn fill_cells_have_no_transistors() {
-        let f = Cell::synthesize(CellFamily::Fill, DriveStrength::X4, &t45(), LayoutStyle::Relaxed)
-            .unwrap();
+        let f = Cell::synthesize(
+            CellFamily::Fill,
+            DriveStrength::X4,
+            &t45(),
+            LayoutStyle::Relaxed,
+        )
+        .unwrap();
         assert!(f.transistors().is_empty());
         assert!(f.strips().is_empty());
         assert_eq!(f.min_transistor_width(), None);
@@ -668,12 +680,20 @@ mod tests {
     fn scaled_tech_shrinks_widths_linearly() {
         let t45 = TechParams::nangate45();
         let t22 = t45.scaled_to(22.0);
-        let c45 =
-            Cell::synthesize(CellFamily::Inv, DriveStrength::X1, &t45, LayoutStyle::Relaxed)
-                .unwrap();
-        let c22 =
-            Cell::synthesize(CellFamily::Inv, DriveStrength::X1, &t22, LayoutStyle::Relaxed)
-                .unwrap();
+        let c45 = Cell::synthesize(
+            CellFamily::Inv,
+            DriveStrength::X1,
+            &t45,
+            LayoutStyle::Relaxed,
+        )
+        .unwrap();
+        let c22 = Cell::synthesize(
+            CellFamily::Inv,
+            DriveStrength::X1,
+            &t22,
+            LayoutStyle::Relaxed,
+        )
+        .unwrap();
         let ratio = c22.transistors()[0].width / c45.transistors()[0].width;
         assert!((ratio - 22.0 / 45.0).abs() < 1e-9);
     }

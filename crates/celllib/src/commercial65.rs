@@ -227,9 +227,6 @@ mod tests {
         let lib65 = commercial65_like();
         // 65 nm internals: 110 × 65/45 ≈ 158.9 nm.
         let w = lib65.min_transistor_width().unwrap();
-        assert!(
-            (w - 110.0 * 65.0 / 45.0).abs() < 0.5,
-            "min width {w}"
-        );
+        assert!((w - 110.0 * 65.0 / 45.0).abs() < 0.5, "min width {w}");
     }
 }

@@ -125,9 +125,7 @@ impl CellFamily {
             | CellFamily::TriInv
             | CellFamily::Latch { .. } => 1,
             CellFamily::ClkGate | CellFamily::TriBuf => 2,
-            CellFamily::Nand(k) | CellFamily::Nor(k) | CellFamily::And(k) | CellFamily::Or(k) => {
-                *k
-            }
+            CellFamily::Nand(k) | CellFamily::Nor(k) | CellFamily::And(k) | CellFamily::Or(k) => *k,
             CellFamily::Aoi(b) | CellFamily::Oai(b) => b.iter().sum(),
             CellFamily::Xor2 | CellFamily::Xnor2 => 2,
             CellFamily::Mux(k) => k + k.ilog2() as u8,

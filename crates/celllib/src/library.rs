@@ -104,7 +104,9 @@ impl CellLibrary {
                     for i in 0..strips.len() {
                         for j in i + 1..strips.len() {
                             let (a, b) = (strips[i].rect, strips[j].rect);
-                            if a.x0() < b.x1() && b.x0() < a.x1() && strips[i].band != strips[j].band
+                            if a.x0() < b.x1()
+                                && b.x0() < a.x1()
+                                && strips[i].band != strips[j].band
                             {
                                 return true;
                             }
@@ -135,8 +137,13 @@ mod tests {
     fn tiny() -> CellLibrary {
         let tech = TechParams::nangate45();
         let cells = vec![
-            Cell::synthesize(CellFamily::Inv, DriveStrength::X1, &tech, LayoutStyle::Relaxed)
-                .unwrap(),
+            Cell::synthesize(
+                CellFamily::Inv,
+                DriveStrength::X1,
+                &tech,
+                LayoutStyle::Relaxed,
+            )
+            .unwrap(),
             Cell::synthesize(
                 CellFamily::Aoi(&[2, 2, 2]),
                 DriveStrength::X1,
@@ -174,9 +181,13 @@ mod tests {
     #[test]
     fn duplicate_names_rejected() {
         let tech = TechParams::nangate45();
-        let c =
-            Cell::synthesize(CellFamily::Inv, DriveStrength::X1, &tech, LayoutStyle::Relaxed)
-                .unwrap();
+        let c = Cell::synthesize(
+            CellFamily::Inv,
+            DriveStrength::X1,
+            &tech,
+            LayoutStyle::Relaxed,
+        )
+        .unwrap();
         let dup = c.clone();
         assert!(CellLibrary::new("dup", tech, LayoutStyle::Relaxed, vec![c, dup]).is_err());
     }
@@ -186,7 +197,7 @@ mod tests {
         let lib = tiny();
         assert_eq!(lib.sequential_count(), 1);
         assert_eq!(lib.multi_strip_cells().len(), 2); // AOI222 + DFF
-        // Only AOI222 overlaps in x under the relaxed style.
+                                                      // Only AOI222 overlaps in x under the relaxed style.
         let overlapped: Vec<&str> = lib.overlapped_cells().iter().map(|c| c.name()).collect();
         assert_eq!(overlapped, vec!["AOI222_X1"]);
         assert_eq!(lib.min_transistor_width(), Some(110.0)); // DFF internals

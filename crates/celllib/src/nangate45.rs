@@ -179,8 +179,16 @@ mod tests {
     fn known_cells_exist() {
         let lib = nangate45_like();
         for name in [
-            "INV_X1", "INV_X32", "NAND2_X1", "AOI222_X1", "OAI33_X1", "DFF_X1", "SDFFRS_X2",
-            "FILLCELL_X32", "MUX2_X4", "FA_X1",
+            "INV_X1",
+            "INV_X32",
+            "NAND2_X1",
+            "AOI222_X1",
+            "OAI33_X1",
+            "DFF_X1",
+            "SDFFRS_X2",
+            "FILLCELL_X32",
+            "MUX2_X4",
+            "FA_X1",
         ] {
             assert!(lib.cell(name).is_some(), "missing {name}");
         }

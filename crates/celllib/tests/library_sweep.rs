@@ -119,7 +119,11 @@ fn gate_cap_equals_total_width_under_proportional_model() {
 #[test]
 fn drive_strength_orders_cell_width_within_family() {
     let lib = nangate45_like();
-    for (lo, hi) in [("INV_X1", "INV_X8"), ("NAND2_X1", "NAND2_X4"), ("BUF_X2", "BUF_X32")] {
+    for (lo, hi) in [
+        ("INV_X1", "INV_X8"),
+        ("NAND2_X1", "NAND2_X4"),
+        ("BUF_X2", "BUF_X32"),
+    ] {
         let a = lib.cell(lo).expect("present");
         let b = lib.cell(hi).expect("present");
         assert!(

@@ -78,8 +78,7 @@ mod tests {
     fn calibrated_model_reproduces_both_wmin_anchors() {
         // The W_min pair is the paper's operative result; the calibrated
         // model must hit both ends of the 350× arrow in Fig 2.1.
-        let model =
-            FailureModel::paper_default(ProcessCorner::aggressive().unwrap()).unwrap();
+        let model = FailureModel::paper_default(ProcessCorner::aggressive().unwrap()).unwrap();
         let solver = WminSolver::new(model);
         let plain = solver
             .solve_for_requirement(paper::PF_REQUIREMENT_UNCORRELATED)

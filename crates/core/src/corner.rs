@@ -97,11 +97,7 @@ impl ProcessCorner {
 
     /// Short label for reports, e.g. `"pm=33%, pRs=30%"`.
     pub fn label(&self) -> String {
-        format!(
-            "pm={:.0}%, pRs={:.0}%",
-            self.pm * 100.0,
-            self.p_rs * 100.0
-        )
+        format!("pm={:.0}%, pRs={:.0}%", self.pm * 100.0, self.p_rs * 100.0)
     }
 }
 

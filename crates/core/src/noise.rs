@@ -50,12 +50,7 @@ pub fn mean_surviving_metallic(model: &FailureModel, w: f64) -> Result<f64> {
 /// gate count, and [`CoreError::NoConvergence`] when even perfect removal
 /// cannot meet the budget (impossible: `pRm = 1` gives 0 — so this
 /// indicates `budget ≤ 0` slipped through).
-pub fn required_p_rm(
-    model: &FailureModel,
-    w: f64,
-    m_gates: f64,
-    budget: f64,
-) -> Result<f64> {
+pub fn required_p_rm(model: &FailureModel, w: f64, m_gates: f64, budget: f64) -> Result<f64> {
     if !(budget > 0.0 && budget.is_finite()) {
         return Err(CoreError::InvalidParameter {
             name: "budget",
@@ -123,7 +118,10 @@ mod tests {
         assert!(p_wide > p_narrow, "{p_wide} > {p_narrow}");
         // Mean survivors ≈ q · W/S: 0.33·1e-4 · 25 ≈ 8.2e-4 at 100 nm.
         let mean = mean_surviving_metallic(&m, 100.0).unwrap();
-        assert!((mean - 0.33 * 1e-4 * 25.0).abs() / mean < 0.15, "mean {mean}");
+        assert!(
+            (mean - 0.33 * 1e-4 * 25.0).abs() / mean < 0.15,
+            "mean {mean}"
+        );
     }
 
     #[test]
@@ -133,10 +131,7 @@ mod tests {
         // demands pRm ≳ 99.99 % — the number the paper quotes.
         let m = leaky_model();
         let p_rm = required_p_rm(&m, 150.0, 1e8, 1e4).unwrap();
-        assert!(
-            p_rm > 0.9998 && p_rm < 0.999_999_9,
-            "required pRm = {p_rm}"
-        );
+        assert!(p_rm > 0.9998 && p_rm < 0.999_999_9, "required pRm = {p_rm}");
     }
 
     #[test]

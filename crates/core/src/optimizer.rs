@@ -103,8 +103,7 @@ impl YieldOptimizer {
         let mut m_min = self.m_transistors;
         let mut w_min = 0.0;
         for _ in 0..32 {
-            let req =
-                (required_p_failure(yield_target, m_min)? * relaxation).min(0.999_999);
+            let req = (required_p_failure(yield_target, m_min)? * relaxation).min(0.999_999);
             w_min = solver.solve_for_requirement(req)?.w_min;
             let frac = fraction_below(&self.widths, w_min);
             if frac <= 0.0 {
@@ -179,7 +178,11 @@ mod tests {
         let frac = report.m_min / report.m_transistors;
         assert!((frac - 0.33).abs() < 0.02, "m_min fraction {frac}");
         // Fig 3.3 at 45 nm: penalty nearly eliminated.
-        assert!(report.penalty_corr < 0.02, "corr penalty {}", report.penalty_corr);
+        assert!(
+            report.penalty_corr < 0.02,
+            "corr penalty {}",
+            report.penalty_corr
+        );
         assert!(report.penalty_saved() > 0.0);
     }
 

@@ -101,9 +101,15 @@ mod tests {
         assert!((growth - GROWTH_FACTOR).abs() < 0.5, "growth {growth}");
         assert!((align - ALIGNMENT_FACTOR).abs() < 0.5, "align {align}");
         let total = TABLE1_UNCORRELATED / TABLE1_DIRECTIONAL_ALIGNED;
-        assert!((total / RELAXATION_FACTOR - 1.0).abs() < 0.05, "total {total}");
+        assert!(
+            (total / RELAXATION_FACTOR - 1.0).abs() < 0.05,
+            "total {total}"
+        );
         // The pF requirements differ by the relaxation factor.
         let ratio = PF_REQUIREMENT_CORRELATED / PF_REQUIREMENT_UNCORRELATED;
-        assert!((ratio / RELAXATION_FACTOR - 1.0).abs() < 0.1, "ratio {ratio}");
+        assert!(
+            (ratio / RELAXATION_FACTOR - 1.0).abs() < 0.1,
+            "ratio {ratio}"
+        );
     }
 }

@@ -10,11 +10,7 @@ use cnfet_device::GateCapModel;
 ///
 /// Returns [`CoreError::InvalidParameter`] for an empty population,
 /// non-positive widths, or a non-positive `w_min`.
-pub fn upsizing_penalty(
-    cap: &GateCapModel,
-    widths: &[(f64, u64)],
-    w_min: f64,
-) -> Result<f64> {
+pub fn upsizing_penalty(cap: &GateCapModel, widths: &[(f64, u64)], w_min: f64) -> Result<f64> {
     if widths.is_empty() {
         return Err(CoreError::InvalidParameter {
             name: "widths",
@@ -89,10 +85,7 @@ mod tests {
         // inflates the penalty.
         let cap = GateCapModel::proportional();
         let base: Vec<(f64, u64)> = vec![(110.0, 33), (185.0, 47), (370.0, 20)];
-        let scaled: Vec<(f64, u64)> = base
-            .iter()
-            .map(|&(w, n)| (w * 16.0 / 45.0, n))
-            .collect();
+        let scaled: Vec<(f64, u64)> = base.iter().map(|&(w, n)| (w * 16.0 / 45.0, n)).collect();
         let p45 = upsizing_penalty(&cap, &base, 155.0).unwrap();
         let p16 = upsizing_penalty(&cap, &scaled, 155.0).unwrap();
         assert!(p16 > 2.0 * p45, "p45 {p45} p16 {p16}");

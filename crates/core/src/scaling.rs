@@ -73,10 +73,7 @@ impl ScalingStudy {
                 constraint: "must not be empty",
             });
         }
-        for (name, v) in [
-            ("base_node", base_node),
-            ("m_transistors", m_transistors),
-        ] {
+        for (name, v) in [("base_node", base_node), ("m_transistors", m_transistors)] {
             if !(v.is_finite() && v > 0.0) {
                 return Err(CoreError::InvalidParameter {
                     name,
@@ -113,25 +110,16 @@ impl ScalingStudy {
     ///
     /// Propagates solver errors; [`CoreError::NoConvergence`] if the fixed
     /// point oscillates beyond 32 iterations.
-    pub fn solve_node(
-        &self,
-        node: f64,
-        relaxation: f64,
-    ) -> Result<(f64, f64)> {
+    pub fn solve_node(&self, node: f64, relaxation: f64) -> Result<(f64, f64)> {
         let s = node / self.base_node;
-        let widths: Vec<(f64, u64)> = self
-            .base_widths
-            .iter()
-            .map(|&(w, n)| (w * s, n))
-            .collect();
+        let widths: Vec<(f64, u64)> = self.base_widths.iter().map(|&(w, n)| (w * s, n)).collect();
         let solver = WminSolver::new(self.model.clone());
 
         // Fixed point: start with everything minimum-sized.
         let mut m_min = self.m_transistors;
         let mut w_min = 0.0;
         for _ in 0..32 {
-            let req = (required_p_failure(self.yield_target, m_min)? * relaxation)
-                .min(0.999_999);
+            let req = (required_p_failure(self.yield_target, m_min)? * relaxation).min(0.999_999);
             let sol = solver.solve_for_requirement(req)?;
             w_min = sol.w_min;
             let new_frac = fraction_below(&widths, w_min);
@@ -183,7 +171,11 @@ mod tests {
     fn study() -> ScalingStudy {
         // A compact width distribution standing in for Fig 2.2a: 33 % at
         // 110 nm, 47 % at 185 nm, 20 % at 370 nm (of a 1e8-device chip).
-        let widths = vec![(110.0, 33_000_000u64), (185.0, 47_000_000), (370.0, 20_000_000)];
+        let widths = vec![
+            (110.0, 33_000_000u64),
+            (185.0, 47_000_000),
+            (370.0, 20_000_000),
+        ];
         ScalingStudy::new(
             FailureModel::paper_default(ProcessCorner::aggressive().unwrap()).unwrap(),
             45.0,
@@ -208,8 +200,16 @@ mod tests {
                 "penalty must grow: {pair:?}"
             );
         }
-        assert!(results[0].penalty_plain < 0.25, "45 nm: {}", results[0].penalty_plain);
-        assert!(results[3].penalty_plain > 0.8, "16 nm: {}", results[3].penalty_plain);
+        assert!(
+            results[0].penalty_plain < 0.25,
+            "45 nm: {}",
+            results[0].penalty_plain
+        );
+        assert!(
+            results[3].penalty_plain > 0.8,
+            "16 nm: {}",
+            results[3].penalty_plain
+        );
     }
 
     #[test]

@@ -105,16 +105,17 @@ mod tests {
     use crate::paper;
 
     fn solver() -> WminSolver {
-        WminSolver::new(
-            FailureModel::paper_default(ProcessCorner::aggressive().unwrap()).unwrap(),
-        )
+        WminSolver::new(FailureModel::paper_default(ProcessCorner::aggressive().unwrap()).unwrap())
     }
 
     #[test]
     fn paper_wmin_155nm_case_study() {
         // M = 1e8, yield 90 %, M_min = 33 % → W_min ≈ 155 nm (paper).
         let s = solver()
-            .solve(paper::YIELD_TARGET, paper::MMIN_FRACTION * paper::M_TRANSISTORS)
+            .solve(
+                paper::YIELD_TARGET,
+                paper::MMIN_FRACTION * paper::M_TRANSISTORS,
+            )
             .unwrap();
         assert!(
             (s.w_min - paper::WMIN_UNCORRELATED_NM).abs() < 8.0,

@@ -93,8 +93,7 @@ mod tests {
         let vmr = Vmr::paper_aggressive();
         let ion = IonModel::typical();
         let mut rng = StdRng::seed_from_u64(11);
-        let pts =
-            averaging_sweep(&growth, &vmr, &ion, &[32.0, 128.0], 600, &mut rng).unwrap();
+        let pts = averaging_sweep(&growth, &vmr, &ion, &[32.0, 128.0], 600, &mut rng).unwrap();
         assert_eq!(pts.len(), 2);
         let (narrow, wide) = (&pts[0], &pts[1]);
         // 4× width → ≈ 2× lower CoV; allow generous slack for MC noise.

@@ -157,9 +157,9 @@ mod tests {
     fn ion_sums_useful_cnts_only() {
         let m = IonModel::typical();
         let cnts = vec![
-            cnt(0.0, CntType::Semiconducting, 1.5, false), // 20
-            cnt(4.0, CntType::Metallic, 1.5, false),       // excluded: metallic
-            cnt(8.0, CntType::Semiconducting, 1.5, true),  // excluded: removed
+            cnt(0.0, CntType::Semiconducting, 1.5, false),  // 20
+            cnt(4.0, CntType::Metallic, 1.5, false),        // excluded: metallic
+            cnt(8.0, CntType::Semiconducting, 1.5, true),   // excluded: removed
             cnt(12.0, CntType::Semiconducting, 1.5, false), // 20
         ];
         assert!((m.ion(&cnts) - 40.0).abs() < 1e-12);

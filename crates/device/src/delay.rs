@@ -138,10 +138,12 @@ mod tests {
 
     #[test]
     fn validation() {
-        assert!(DelayModel::new(IonModel::typical(), GateCapModel::proportional(), 0.0, 4.0)
-            .is_err());
-        assert!(DelayModel::new(IonModel::typical(), GateCapModel::proportional(), 0.9, -1.0)
-            .is_err());
+        assert!(
+            DelayModel::new(IonModel::typical(), GateCapModel::proportional(), 0.0, 4.0).is_err()
+        );
+        assert!(
+            DelayModel::new(IonModel::typical(), GateCapModel::proportional(), 0.9, -1.0).is_err()
+        );
         let m = DelayModel::typical();
         assert!(m.stage_delay_ps(0.0, 100.0, 4).is_err());
         assert!(m.stage_delay_ps(100.0, 100.0, 0).is_err());
@@ -161,7 +163,10 @@ mod tests {
         let m = DelayModel::typical();
         // Loads at 110 nm upsized to 155 nm: +41 % load, +41 % delay.
         let slowdown = m.worst_case_slowdown(300.0, 110.0, 155.0, 4).unwrap();
-        assert!((slowdown - (155.0 / 110.0 - 1.0)).abs() < 1e-9, "{slowdown}");
+        assert!(
+            (slowdown - (155.0 / 110.0 - 1.0)).abs() < 1e-9,
+            "{slowdown}"
+        );
         // Nothing below threshold → no slowdown.
         assert_eq!(m.worst_case_slowdown(300.0, 200.0, 155.0, 4).unwrap(), 0.0);
     }

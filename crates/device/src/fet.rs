@@ -156,7 +156,9 @@ mod tests {
     fn construction_and_validation() {
         assert!(Cnfet::new("M0", FetType::NType, 0.0, 32.0).is_err());
         assert!(Cnfet::new("M0", FetType::NType, 64.0, f64::NAN).is_err());
-        let f = Cnfet::new("M0", FetType::PType, 64.0, 32.0).unwrap().at(10.0, 20.0);
+        let f = Cnfet::new("M0", FetType::PType, 64.0, 32.0)
+            .unwrap()
+            .at(10.0, 20.0);
         assert_eq!(f.name(), "M0");
         assert_eq!(f.fet_type(), FetType::PType);
         assert_eq!(f.fet_type().tag(), "p");
@@ -169,7 +171,9 @@ mod tests {
 
     #[test]
     fn resizing_preserves_placement() {
-        let f = Cnfet::new("M1", FetType::NType, 64.0, 32.0).unwrap().at(5.0, 7.0);
+        let f = Cnfet::new("M1", FetType::NType, 64.0, 32.0)
+            .unwrap()
+            .at(5.0, 7.0);
         let g = f.resized(128.0).unwrap();
         assert_eq!(g.width(), 128.0);
         assert_eq!(g.origin(), Point::new(5.0, 7.0));
@@ -180,9 +184,7 @@ mod tests {
     fn counting_against_synthetic_population() {
         // Tracks at y = 2, 6, 10; FET spans y ∈ [0, 8] → captures 2 tracks.
         let region = Rect::new(0.0, 0.0, 100.0, 20.0).unwrap();
-        let mk = |y: f64, ty: CntType| {
-            Cnt::new(Point::new(-10.0, y), Point::new(110.0, y), ty)
-        };
+        let mk = |y: f64, ty: CntType| Cnt::new(Point::new(-10.0, y), Point::new(110.0, y), ty);
         let pop = CntPopulation::new(
             region,
             vec![
@@ -192,12 +194,16 @@ mod tests {
             ],
             vec![2.0, 6.0, 10.0],
         );
-        let fet = Cnfet::new("M2", FetType::NType, 8.0, 32.0).unwrap().at(20.0, 0.0);
+        let fet = Cnfet::new("M2", FetType::NType, 8.0, 32.0)
+            .unwrap()
+            .at(20.0, 0.0);
         assert_eq!(fet.cnt_count(&pop), 2);
         assert_eq!(fet.useful_cnt_count(&pop), 1);
         assert!(!fet.fails(&pop));
         // A FET sitting on the metallic track only → fails.
-        let unlucky = Cnfet::new("M3", FetType::NType, 2.0, 32.0).unwrap().at(20.0, 5.0);
+        let unlucky = Cnfet::new("M3", FetType::NType, 2.0, 32.0)
+            .unwrap()
+            .at(20.0, 5.0);
         assert_eq!(unlucky.useful_cnt_count(&pop), 0);
         assert!(unlucky.fails(&pop));
     }

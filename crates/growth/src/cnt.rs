@@ -91,12 +91,20 @@ mod tests {
 
     #[test]
     fn usefulness_rules() {
-        let mut c = Cnt::new(Point::new(0.0, 0.0), Point::new(10.0, 0.0), CntType::Semiconducting);
+        let mut c = Cnt::new(
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            CntType::Semiconducting,
+        );
         assert!(c.is_useful());
         assert!(!c.is_surviving_metallic());
         c.removed = true;
         assert!(!c.is_useful());
-        let m = Cnt::new(Point::new(0.0, 0.0), Point::new(10.0, 0.0), CntType::Metallic);
+        let m = Cnt::new(
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            CntType::Metallic,
+        );
         assert!(!m.is_useful());
         assert!(m.is_surviving_metallic());
         assert!(CntType::Semiconducting.is_useful());
@@ -105,7 +113,11 @@ mod tests {
 
     #[test]
     fn crossing_and_clipping() {
-        let c = Cnt::new(Point::new(-10.0, 5.0), Point::new(100.0, 5.0), CntType::Semiconducting);
+        let c = Cnt::new(
+            Point::new(-10.0, 5.0),
+            Point::new(100.0, 5.0),
+            CntType::Semiconducting,
+        );
         let r = Rect::new(0.0, 0.0, 10.0, 10.0).unwrap();
         assert!(c.crosses(&r));
         let clipped = c.clipped_to(&r).unwrap();
@@ -119,7 +131,11 @@ mod tests {
 
     #[test]
     fn length() {
-        let c = Cnt::new(Point::new(0.0, 0.0), Point::new(3.0, 4.0), CntType::Metallic);
+        let c = Cnt::new(
+            Point::new(0.0, 0.0),
+            Point::new(3.0, 4.0),
+            CntType::Metallic,
+        );
         assert_eq!(c.length(), 5.0);
         assert_eq!(c.diameter, 1.5);
     }

@@ -258,8 +258,7 @@ mod tests {
     #[test]
     fn clip_horizontal_segment() {
         let r = unit();
-        let (a, b) =
-            clip_segment(Point::new(-5.0, 5.0), Point::new(15.0, 5.0), &r).expect("clips");
+        let (a, b) = clip_segment(Point::new(-5.0, 5.0), Point::new(15.0, 5.0), &r).expect("clips");
         assert_eq!(a, Point::new(0.0, 5.0));
         assert_eq!(b, Point::new(10.0, 5.0));
     }
@@ -268,8 +267,7 @@ mod tests {
     fn clip_miss_and_inside() {
         let r = unit();
         assert!(clip_segment(Point::new(-5.0, 20.0), Point::new(15.0, 20.0), &r).is_none());
-        let (a, b) =
-            clip_segment(Point::new(2.0, 2.0), Point::new(3.0, 3.0), &r).expect("inside");
+        let (a, b) = clip_segment(Point::new(2.0, 2.0), Point::new(3.0, 3.0), &r).expect("inside");
         assert_eq!(a, Point::new(2.0, 2.0));
         assert_eq!(b, Point::new(3.0, 3.0));
     }

@@ -111,8 +111,7 @@ impl GrowthParams {
             });
         }
         length.validate()?;
-        let pitch =
-            TruncatedGaussian::positive_with_moments(mean_pitch, pitch_cov * mean_pitch)?;
+        let pitch = TruncatedGaussian::positive_with_moments(mean_pitch, pitch_cov * mean_pitch)?;
         // Typical SWCNT diameter distribution: 1.5 ± 0.2 nm, bounded to the
         // physically meaningful [0.5, 3] nm window [Deng 07].
         let diameter = TruncatedGaussian::new(1.5, 0.2, 0.5, 3.0)?;
@@ -413,14 +412,17 @@ mod tests {
             let xs: Vec<&Cnt> = pop.cnts().iter().filter(|c| c.p0.y == y).collect();
             let lo = xs.iter().map(|c| c.p0.x).fold(f64::INFINITY, f64::min);
             let hi = xs.iter().map(|c| c.p1.x).fold(f64::NEG_INFINITY, f64::max);
-            assert!(lo <= region.x0() && hi >= region.x1(), "track {y} not tiled");
+            assert!(
+                lo <= region.x0() && hi >= region.x1(),
+                "track {y} not tiled"
+            );
         }
     }
 
     #[test]
     fn exponential_lengths_vary() {
-        let p = GrowthParams::new(4.0, 0.82, 0.33, LengthModel::Exponential { mean: 500.0 })
-            .unwrap();
+        let p =
+            GrowthParams::new(4.0, 0.82, 0.33, LengthModel::Exponential { mean: 500.0 }).unwrap();
         let g = DirectionalGrowth::new(p);
         let region = Rect::new(0.0, 0.0, 5000.0, 200.0).unwrap();
         let mut r = rng();

@@ -63,7 +63,11 @@ impl CntPopulation {
 
     /// All CNTs crossing `rect` (unclipped copies).
     pub fn cnts_in(&self, rect: &Rect) -> Vec<Cnt> {
-        self.cnts.iter().filter(|c| c.crosses(rect)).copied().collect()
+        self.cnts
+            .iter()
+            .filter(|c| c.crosses(rect))
+            .copied()
+            .collect()
     }
 
     /// Number of CNTs crossing `rect`, regardless of type/removal.

@@ -128,9 +128,7 @@ mod tests {
         // pf does not depend on pRm.
         let leaky = Vmr::new(0.5, 0.30).unwrap();
         assert!(
-            (leaky.per_cnt_failure_probability(0.33)
-                - vmr.per_cnt_failure_probability(0.33))
-            .abs()
+            (leaky.per_cnt_failure_probability(0.33) - vmr.per_cnt_failure_probability(0.33)).abs()
                 < 1e-12
         );
     }
@@ -167,6 +165,9 @@ mod tests {
         }
         assert_eq!(m_total, m_removed, "pRm = 1 must remove every m-CNT");
         let s_frac = s_removed as f64 / s_total as f64;
-        assert!((s_frac - 0.30).abs() < 0.03, "s-CNT removal fraction {s_frac}");
+        assert!(
+            (s_frac - 0.30).abs() < 0.03,
+            "s-CNT removal fraction {s_frac}"
+        );
     }
 }

@@ -111,7 +111,11 @@ fn strip_is_critical(cell: &Cell, strip_idx: usize, options: &AlignmentOptions) 
 ///
 /// Returns [`LayoutError::InvalidParameter`] for a non-positive
 /// `strip_x_gap`; geometry errors indicate inconsistent inputs.
-pub fn align_cell(cell: &Cell, tech: &TechParams, options: &AlignmentOptions) -> Result<CellAlignment> {
+pub fn align_cell(
+    cell: &Cell,
+    tech: &TechParams,
+    options: &AlignmentOptions,
+) -> Result<CellAlignment> {
     if !(options.strip_x_gap.is_finite() && options.strip_x_gap >= 0.0) {
         return Err(LayoutError::InvalidParameter {
             name: "strip_x_gap",
@@ -195,8 +199,7 @@ pub fn align_cell(cell: &Cell, tech: &TechParams, options: &AlignmentOptions) ->
                         .iter()
                         .map(|&k| cell.strips()[critical[k]].rect.width())
                         .sum();
-                    let packed =
-                        total_extent + (members.len() - 1) as f64 * options.strip_x_gap;
+                    let packed = total_extent + (members.len() - 1) as f64 * options.strip_x_gap;
                     let union_lo = members
                         .iter()
                         .map(|&k| cell.strips()[critical[k]].rect.x0())
@@ -230,8 +233,7 @@ pub fn align_cell(cell: &Cell, tech: &TechParams, options: &AlignmentOptions) ->
             for &k in &members {
                 let old = cell.strips()[critical[k]];
                 let height = old.rect.height();
-                let y = band_lo
-                    + row as f64 * (tech.finger_cap_multi + tech.strip_gap);
+                let y = band_lo + row as f64 * (tech.finger_cap_multi + tech.strip_gap);
                 let rect = Rect::new(cursor, y, old.rect.width(), height)?;
                 if (rect.x0() - old.rect.x0()).abs() > 1e-9
                     || (rect.y0() - old.rect.y0()).abs() > 1e-9
@@ -347,9 +349,13 @@ mod tests {
     #[test]
     fn single_strip_cells_are_free() {
         let tech = TechParams::nangate45();
-        let inv =
-            Cell::synthesize(CellFamily::Inv, DriveStrength::X1, &tech, LayoutStyle::Relaxed)
-                .unwrap();
+        let inv = Cell::synthesize(
+            CellFamily::Inv,
+            DriveStrength::X1,
+            &tech,
+            LayoutStyle::Relaxed,
+        )
+        .unwrap();
         let a = align_cell(&inv, &tech, &opts_single()).unwrap();
         assert!(!a.widened());
         assert_eq!(a.penalty(), 0.0);
@@ -447,9 +453,13 @@ mod tests {
     #[test]
     fn invalid_gap_rejected() {
         let tech = TechParams::nangate45();
-        let inv =
-            Cell::synthesize(CellFamily::Inv, DriveStrength::X1, &tech, LayoutStyle::Relaxed)
-                .unwrap();
+        let inv = Cell::synthesize(
+            CellFamily::Inv,
+            DriveStrength::X1,
+            &tech,
+            LayoutStyle::Relaxed,
+        )
+        .unwrap();
         let opts = AlignmentOptions {
             strip_x_gap: f64::NAN,
             ..AlignmentOptions::default()

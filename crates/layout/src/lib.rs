@@ -90,8 +90,9 @@ impl From<cnfet_celllib::CellLibError> for LayoutError {
 /// Convenience alias used across the crate.
 pub type Result<T> = std::result::Result<T, LayoutError>;
 
-pub use align::{align_cell, align_library, AlignmentOptions, CellAlignment, GridPolicy,
-    LibraryAlignment};
+pub use align::{
+    align_cell, align_library, AlignmentOptions, CellAlignment, GridPolicy, LibraryAlignment,
+};
 pub use grid::AlignmentGrid;
 pub use placement::{place_cells, PlacedDesign, PlacedRow, PlacementOptions};
 

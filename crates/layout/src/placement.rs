@@ -207,9 +207,13 @@ mod tests {
 
     fn cells() -> (Cell, Cell) {
         let tech = TechParams::nangate45();
-        let inv =
-            Cell::synthesize(CellFamily::Inv, DriveStrength::X1, &tech, LayoutStyle::Relaxed)
-                .unwrap();
+        let inv = Cell::synthesize(
+            CellFamily::Inv,
+            DriveStrength::X1,
+            &tech,
+            LayoutStyle::Relaxed,
+        )
+        .unwrap();
         let dff = Cell::synthesize(
             CellFamily::Dff {
                 reset: false,
@@ -267,11 +271,7 @@ mod tests {
         // Threshold below everything → zero density.
         assert_eq!(placed.min_fet_count(10.0), 0);
         // Threshold above internals (110 nm) only → counts DFF internals.
-        let internals_per_dff = dff
-            .transistors()
-            .iter()
-            .filter(|t| t.width < 150.0)
-            .count();
+        let internals_per_dff = dff.transistors().iter().filter(|t| t.width < 150.0).count();
         assert_eq!(placed.min_fet_count(150.0), 3 * internals_per_dff);
         let rho = placed.min_fet_density_per_um(150.0).unwrap();
         assert!(rho > 0.0);

@@ -9,22 +9,32 @@ fn table2_shapes() {
     let n45 = nangate45_like();
     let c65 = commercial65_like();
     let single = AlignmentOptions::default();
-    let dual = AlignmentOptions { policy: GridPolicy::Dual, ..AlignmentOptions::default() };
+    let dual = AlignmentOptions {
+        policy: GridPolicy::Dual,
+        ..AlignmentOptions::default()
+    };
 
     let a45 = align_library(&n45, &single).unwrap();
-    println!("Nangate45 single: {} penalized / {} cells, min {:?} max {:?}",
-        a45.penalized().len(), a45.total_cells(),
-        a45.min_penalty().map(|p| format!("{:.1}%", p*100.0)),
-        a45.max_penalty().map(|p| format!("{:.1}%", p*100.0)));
+    println!(
+        "Nangate45 single: {} penalized / {} cells, min {:?} max {:?}",
+        a45.penalized().len(),
+        a45.total_cells(),
+        a45.min_penalty().map(|p| format!("{:.1}%", p * 100.0)),
+        a45.max_penalty().map(|p| format!("{:.1}%", p * 100.0))
+    );
     for c in a45.penalized() {
-        println!("  {} : {:.1}%", c.cell_name, c.penalty()*100.0);
+        println!("  {} : {:.1}%", c.cell_name, c.penalty() * 100.0);
     }
 
     let a65 = align_library(&c65, &single).unwrap();
-    println!("C65 single: {} penalized / {} ({:.1}%), min {:?} max {:?}",
-        a65.penalized().len(), a65.total_cells(), a65.penalized_fraction()*100.0,
-        a65.min_penalty().map(|p| format!("{:.1}%", p*100.0)),
-        a65.max_penalty().map(|p| format!("{:.1}%", p*100.0)));
+    println!(
+        "C65 single: {} penalized / {} ({:.1}%), min {:?} max {:?}",
+        a65.penalized().len(),
+        a65.total_cells(),
+        a65.penalized_fraction() * 100.0,
+        a65.min_penalty().map(|p| format!("{:.1}%", p * 100.0)),
+        a65.max_penalty().map(|p| format!("{:.1}%", p * 100.0))
+    );
 
     let a65d = align_library(&c65, &dual).unwrap();
     println!("C65 dual: {} penalized", a65d.penalized().len());

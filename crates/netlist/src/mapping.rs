@@ -131,10 +131,9 @@ mod tests {
         // Widths must be 65/45 larger than the Nangate mapping.
         let lib45 = nangate45_like();
         let m45 = MappedDesign::map(&n, &lib45).unwrap();
-        let w65: f64 = mapped.transistor_widths().iter().sum::<f64>()
-            / mapped.transistor_count() as f64;
-        let w45: f64 =
-            m45.transistor_widths().iter().sum::<f64>() / m45.transistor_count() as f64;
+        let w65: f64 =
+            mapped.transistor_widths().iter().sum::<f64>() / mapped.transistor_count() as f64;
+        let w45: f64 = m45.transistor_widths().iter().sum::<f64>() / m45.transistor_count() as f64;
         assert!(
             ((w65 / w45) - 65.0 / 45.0).abs() < 0.01,
             "scaling {w65}/{w45}"
@@ -177,8 +176,8 @@ mod tests {
         let mapped = MappedDesign::map(&n, &lib).unwrap();
         let model = cnfet_device::GateCapModel::proportional();
         let cap = mapped.total_gate_cap(&model);
-        let mean_w = mapped.transistor_widths().iter().sum::<f64>()
-            / mapped.transistor_count() as f64;
+        let mean_w =
+            mapped.transistor_widths().iter().sum::<f64>() / mapped.transistor_count() as f64;
         assert!((cap - mean_w * mapped.transistor_count() as f64).abs() < 1.0);
     }
 }

@@ -31,50 +31,158 @@ struct MixEntry {
 /// Combinational gate mix of a control/datapath processor core, loosely
 /// following published standard-cell usage statistics for RISC cores.
 const COMB_MIX: &[MixEntry] = &[
-    MixEntry { family: CellFamily::Inv, weight: 0.14, drives: &[1, 2, 4, 8] },
-    MixEntry { family: CellFamily::Buf, weight: 0.05, drives: &[1, 2, 4, 8] },
-    MixEntry { family: CellFamily::Nand(2), weight: 0.17, drives: &[1, 2, 4] },
-    MixEntry { family: CellFamily::Nor(2), weight: 0.11, drives: &[1, 2, 4] },
-    MixEntry { family: CellFamily::Nand(3), weight: 0.05, drives: &[1, 2, 4] },
-    MixEntry { family: CellFamily::Nor(3), weight: 0.03, drives: &[1, 2, 4] },
-    MixEntry { family: CellFamily::Nand(4), weight: 0.02, drives: &[1, 2, 4] },
-    MixEntry { family: CellFamily::Nor(4), weight: 0.01, drives: &[1, 2, 4] },
-    MixEntry { family: CellFamily::And(2), weight: 0.04, drives: &[1, 2, 4] },
-    MixEntry { family: CellFamily::Or(2), weight: 0.03, drives: &[1, 2, 4] },
-    MixEntry { family: CellFamily::Aoi(&[2, 1]), weight: 0.09, drives: &[1, 2, 4] },
-    MixEntry { family: CellFamily::Oai(&[2, 1]), weight: 0.09, drives: &[1, 2, 4] },
-    MixEntry { family: CellFamily::Aoi(&[2, 2]), weight: 0.04, drives: &[1, 2, 4] },
-    MixEntry { family: CellFamily::Oai(&[2, 2]), weight: 0.04, drives: &[1, 2, 4] },
-    MixEntry { family: CellFamily::Aoi(&[2, 2, 1]), weight: 0.012, drives: &[1, 2] },
-    MixEntry { family: CellFamily::Oai(&[2, 2, 1]), weight: 0.012, drives: &[1, 2] },
-    MixEntry { family: CellFamily::Aoi(&[2, 2, 2]), weight: 0.006, drives: &[1, 2] },
-    MixEntry { family: CellFamily::Oai(&[2, 2, 2]), weight: 0.006, drives: &[1, 2] },
-    MixEntry { family: CellFamily::Xor2, weight: 0.03, drives: &[1, 2] },
-    MixEntry { family: CellFamily::Xnor2, weight: 0.02, drives: &[1, 2] },
-    MixEntry { family: CellFamily::Mux(2), weight: 0.05, drives: &[1, 2] },
-    MixEntry { family: CellFamily::HalfAdder, weight: 0.01, drives: &[1] },
-    MixEntry { family: CellFamily::FullAdder, weight: 0.014, drives: &[1] },
+    MixEntry {
+        family: CellFamily::Inv,
+        weight: 0.14,
+        drives: &[1, 2, 4, 8],
+    },
+    MixEntry {
+        family: CellFamily::Buf,
+        weight: 0.05,
+        drives: &[1, 2, 4, 8],
+    },
+    MixEntry {
+        family: CellFamily::Nand(2),
+        weight: 0.17,
+        drives: &[1, 2, 4],
+    },
+    MixEntry {
+        family: CellFamily::Nor(2),
+        weight: 0.11,
+        drives: &[1, 2, 4],
+    },
+    MixEntry {
+        family: CellFamily::Nand(3),
+        weight: 0.05,
+        drives: &[1, 2, 4],
+    },
+    MixEntry {
+        family: CellFamily::Nor(3),
+        weight: 0.03,
+        drives: &[1, 2, 4],
+    },
+    MixEntry {
+        family: CellFamily::Nand(4),
+        weight: 0.02,
+        drives: &[1, 2, 4],
+    },
+    MixEntry {
+        family: CellFamily::Nor(4),
+        weight: 0.01,
+        drives: &[1, 2, 4],
+    },
+    MixEntry {
+        family: CellFamily::And(2),
+        weight: 0.04,
+        drives: &[1, 2, 4],
+    },
+    MixEntry {
+        family: CellFamily::Or(2),
+        weight: 0.03,
+        drives: &[1, 2, 4],
+    },
+    MixEntry {
+        family: CellFamily::Aoi(&[2, 1]),
+        weight: 0.09,
+        drives: &[1, 2, 4],
+    },
+    MixEntry {
+        family: CellFamily::Oai(&[2, 1]),
+        weight: 0.09,
+        drives: &[1, 2, 4],
+    },
+    MixEntry {
+        family: CellFamily::Aoi(&[2, 2]),
+        weight: 0.04,
+        drives: &[1, 2, 4],
+    },
+    MixEntry {
+        family: CellFamily::Oai(&[2, 2]),
+        weight: 0.04,
+        drives: &[1, 2, 4],
+    },
+    MixEntry {
+        family: CellFamily::Aoi(&[2, 2, 1]),
+        weight: 0.012,
+        drives: &[1, 2],
+    },
+    MixEntry {
+        family: CellFamily::Oai(&[2, 2, 1]),
+        weight: 0.012,
+        drives: &[1, 2],
+    },
+    MixEntry {
+        family: CellFamily::Aoi(&[2, 2, 2]),
+        weight: 0.006,
+        drives: &[1, 2],
+    },
+    MixEntry {
+        family: CellFamily::Oai(&[2, 2, 2]),
+        weight: 0.006,
+        drives: &[1, 2],
+    },
+    MixEntry {
+        family: CellFamily::Xor2,
+        weight: 0.03,
+        drives: &[1, 2],
+    },
+    MixEntry {
+        family: CellFamily::Xnor2,
+        weight: 0.02,
+        drives: &[1, 2],
+    },
+    MixEntry {
+        family: CellFamily::Mux(2),
+        weight: 0.05,
+        drives: &[1, 2],
+    },
+    MixEntry {
+        family: CellFamily::HalfAdder,
+        weight: 0.01,
+        drives: &[1],
+    },
+    MixEntry {
+        family: CellFamily::FullAdder,
+        weight: 0.014,
+        drives: &[1],
+    },
 ];
 
 /// Sequential mix: mostly plain/reset flops, some scan, few latches.
 const SEQ_MIX: &[MixEntry] = &[
     MixEntry {
-        family: CellFamily::Dff { reset: false, set: false, scan: false },
+        family: CellFamily::Dff {
+            reset: false,
+            set: false,
+            scan: false,
+        },
         weight: 0.35,
         drives: &[1, 2],
     },
     MixEntry {
-        family: CellFamily::Dff { reset: true, set: false, scan: false },
+        family: CellFamily::Dff {
+            reset: true,
+            set: false,
+            scan: false,
+        },
         weight: 0.30,
         drives: &[1, 2],
     },
     MixEntry {
-        family: CellFamily::Dff { reset: false, set: false, scan: true },
+        family: CellFamily::Dff {
+            reset: false,
+            set: false,
+            scan: true,
+        },
         weight: 0.15,
         drives: &[1, 2],
     },
     MixEntry {
-        family: CellFamily::Dff { reset: true, set: false, scan: true },
+        family: CellFamily::Dff {
+            reset: true,
+            set: false,
+            scan: true,
+        },
         weight: 0.12,
         drives: &[1, 2],
     },
@@ -83,7 +191,11 @@ const SEQ_MIX: &[MixEntry] = &[
         weight: 0.04,
         drives: &[1, 2],
     },
-    MixEntry { family: CellFamily::ClkGate, weight: 0.04, drives: &[1, 2, 4] },
+    MixEntry {
+        family: CellFamily::ClkGate,
+        weight: 0.04,
+        drives: &[1, 2, 4],
+    },
 ];
 
 /// Drive-strength distribution of a timing-driven synthesis run (heavily
@@ -134,14 +246,46 @@ impl DesignSpec {
 
     fn or1200_modules() -> Vec<ModuleSpec> {
         vec![
-            ModuleSpec { name: "alu", weight: 0.13, seq_fraction: 0.02 },
-            ModuleSpec { name: "mult_mac", weight: 0.11, seq_fraction: 0.08 },
-            ModuleSpec { name: "regfile", weight: 0.18, seq_fraction: 0.55 },
-            ModuleSpec { name: "decode_ctrl", weight: 0.16, seq_fraction: 0.10 },
-            ModuleSpec { name: "lsu", weight: 0.09, seq_fraction: 0.12 },
-            ModuleSpec { name: "except_sprs", weight: 0.12, seq_fraction: 0.22 },
-            ModuleSpec { name: "if_id_pipeline", weight: 0.13, seq_fraction: 0.35 },
-            ModuleSpec { name: "wb_freeze", weight: 0.08, seq_fraction: 0.15 },
+            ModuleSpec {
+                name: "alu",
+                weight: 0.13,
+                seq_fraction: 0.02,
+            },
+            ModuleSpec {
+                name: "mult_mac",
+                weight: 0.11,
+                seq_fraction: 0.08,
+            },
+            ModuleSpec {
+                name: "regfile",
+                weight: 0.18,
+                seq_fraction: 0.55,
+            },
+            ModuleSpec {
+                name: "decode_ctrl",
+                weight: 0.16,
+                seq_fraction: 0.10,
+            },
+            ModuleSpec {
+                name: "lsu",
+                weight: 0.09,
+                seq_fraction: 0.12,
+            },
+            ModuleSpec {
+                name: "except_sprs",
+                weight: 0.12,
+                seq_fraction: 0.22,
+            },
+            ModuleSpec {
+                name: "if_id_pipeline",
+                weight: 0.13,
+                seq_fraction: 0.35,
+            },
+            ModuleSpec {
+                name: "wb_freeze",
+                weight: 0.08,
+                seq_fraction: 0.15,
+            },
         ]
     }
 
@@ -199,8 +343,7 @@ pub fn openrisc_class(spec: &DesignSpec, seed: u64) -> Netlist {
     let total_weight: f64 = spec.modules.iter().map(|m| m.weight).sum();
 
     for module in &spec.modules {
-        let count =
-            ((module.weight / total_weight) * spec.instances as f64).round() as usize;
+        let count = ((module.weight / total_weight) * spec.instances as f64).round() as usize;
         for k in 0..count {
             let is_seq = rng.gen::<f64>() < module.seq_fraction;
             let entry = if is_seq {

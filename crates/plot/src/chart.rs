@@ -138,11 +138,7 @@ impl LinePlot {
             };
             out.push_str(&format!("{label} |{}\n", row.iter().collect::<String>()));
         }
-        out.push_str(&format!(
-            "{} +{}\n",
-            " ".repeat(8),
-            "-".repeat(self.width)
-        ));
+        out.push_str(&format!("{} +{}\n", " ".repeat(8), "-".repeat(self.width)));
         out.push_str(&format!(
             "{} {:<12.4}{}{:>12.4}\n",
             " ".repeat(8),
@@ -211,10 +207,7 @@ impl BarChart {
             } else {
                 0
             };
-            out.push_str(&format!(
-                "  {label:>label_w$} |{} {v:.4}\n",
-                "█".repeat(n)
-            ));
+            out.push_str(&format!("  {label:>label_w$} |{} {v:.4}\n", "█".repeat(n)));
         }
         Ok(out)
     }
@@ -242,10 +235,7 @@ mod tests {
     fn log_scale_rejects_non_positive() {
         let mut p = LinePlot::new("log", 30, 8).log_y(true);
         p.add_series("bad", vec![(0.0, 0.0)]);
-        assert!(matches!(
-            p.render(),
-            Err(PlotError::InvalidValue { .. })
-        ));
+        assert!(matches!(p.render(), Err(PlotError::InvalidValue { .. })));
     }
 
     #[test]

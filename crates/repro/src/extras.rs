@@ -27,8 +27,7 @@ pub fn run(_fast: bool) -> Result<()> {
         model: FailureModel::paper_default(ProcessCorner::aggressive().map_err(analysis)?)
             .map_err(analysis)?
             .with_backend(CountModel::GaussianSum),
-        row: RowModel::from_design(paper::L_CNT_UM, paper::RHO_MIN_FET_PER_UM)
-            .map_err(analysis)?,
+        row: RowModel::from_design(paper::L_CNT_UM, paper::RHO_MIN_FET_PER_UM).map_err(analysis)?,
         widths: vec![(110.0, 33), (185.0, 47), (370.0, 20)],
         yield_target: paper::YIELD_TARGET,
         m_min: paper::MMIN_FRACTION * paper::M_TRANSISTORS,
@@ -66,13 +65,17 @@ pub fn run(_fast: bool) -> Result<()> {
     // --- pRm requirement --------------------------------------------------
     let mut t = Table::new(
         "surviving-m-CNT exposure vs pRm (W = 150 nm)",
-        &["pRm", "mean survivors/gate", "P(any survivor)", "suspect gates / 1e8"],
+        &[
+            "pRm",
+            "mean survivors/gate",
+            "P(any survivor)",
+            "suspect gates / 1e8",
+        ],
     );
     for p_rm in [0.99, 0.999, 0.9999, 0.99999] {
-        let model = FailureModel::paper_default(
-            ProcessCorner::new(0.33, 0.30, p_rm).map_err(analysis)?,
-        )
-        .map_err(analysis)?;
+        let model =
+            FailureModel::paper_default(ProcessCorner::new(0.33, 0.30, p_rm).map_err(analysis)?)
+                .map_err(analysis)?;
         let mean = mean_surviving_metallic(&model, 150.0).map_err(analysis)?;
         let p_any = p_any_surviving_metallic(&model, 150.0).map_err(analysis)?;
         t.add_row(&[
@@ -85,10 +88,8 @@ pub fn run(_fast: bool) -> Result<()> {
     }
     println!("{}", t.to_markdown());
 
-    let model = FailureModel::paper_default(
-        ProcessCorner::new(0.33, 0.30, 0.5).map_err(analysis)?,
-    )
-    .map_err(analysis)?;
+    let model = FailureModel::paper_default(ProcessCorner::new(0.33, 0.30, 0.5).map_err(analysis)?)
+        .map_err(analysis)?;
     let need = required_p_rm(&model, 150.0, 1e8, 1e4).map_err(analysis)?;
     println!(
         "  pRm needed to keep <= 1e4 suspect gates on a 1e8-gate chip: {need:.5}\n  (paper/[Zhang 09b]: pRm > 99.99 %)"

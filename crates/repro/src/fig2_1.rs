@@ -11,7 +11,10 @@ use cnt_stats::renewal::CountModel;
 
 /// Run the experiment. `fast` uses the CLT back-end for the dense sweep.
 pub fn run(fast: bool) -> Result<()> {
-    banner("FIG 2.1", "CNFET failure probability vs CNFET width (pRm = 1)");
+    banner(
+        "FIG 2.1",
+        "CNFET failure probability vs CNFET width (pRm = 1)",
+    );
 
     let corners = [
         ProcessCorner::aggressive().map_err(analysis)?,
@@ -30,12 +33,7 @@ pub fn run(fast: bool) -> Result<()> {
         v
     };
 
-    let mut plot = LinePlot::new(
-        "pF vs W (nm); log10 y — paper Fig 2.1",
-        64,
-        18,
-    )
-    .log_y(true);
+    let mut plot = LinePlot::new("pF vs W (nm); log10 y — paper Fig 2.1", 64, 18).log_y(true);
     let mut csv = Table::new(
         "fig2-1 data",
         &["width_nm", "pm33_prs30", "pm33_prs0", "pm0_prs0"],

@@ -38,10 +38,7 @@ pub fn run(fast: bool) -> Result<()> {
     let results = study.run(&paper::SCALING_NODES_NM).map_err(analysis)?;
 
     let mut chart = BarChart::new("penalty (%) per node — no correlation", 40);
-    let mut csv = Table::new(
-        "fig2-2b data",
-        &["node_nm", "w_min_nm", "penalty_percent"],
-    );
+    let mut csv = Table::new("fig2-2b data", &["node_nm", "w_min_nm", "penalty_percent"]);
     for r in &results {
         chart.add_bar(format!("{:>2.0} nm", r.node), r.penalty_plain * 100.0);
         csv.add_row(&[
@@ -70,14 +67,14 @@ pub fn run(fast: bool) -> Result<()> {
         format!("{:.1} %", p16 * 100.0),
         p16 > 0.8,
     );
+    let monotone = results
+        .windows(2)
+        .all(|p| p[1].penalty_plain > p[0].penalty_plain);
     cmp.add(
         "monotone increase",
         "yes".into(),
-        format!(
-            "{}",
-            results.windows(2).all(|p| p[1].penalty_plain > p[0].penalty_plain)
-        ),
-        results.windows(2).all(|p| p[1].penalty_plain > p[0].penalty_plain),
+        format!("{monotone}"),
+        monotone,
     );
     let cmp_table = cmp.finish();
 

@@ -25,9 +25,8 @@ fn render(pop: &cnt_growth::CntPopulation, region: Rect, cols: usize, rows: usiz
                 let x = c.p0.x + t * (c.p1.x - c.p0.x);
                 let y = c.p0.y + t * (c.p1.y - c.p0.y);
                 let col = (((x - region.x0()) / region.width()) * (cols - 1) as f64) as usize;
-                let row = rows
-                    - 1
-                    - (((y - region.y0()) / region.height()) * (rows - 1) as f64) as usize;
+                let row =
+                    rows - 1 - (((y - region.y0()) / region.height()) * (rows - 1) as f64) as usize;
                 let glyph = match (cnt.ty, cnt.removed) {
                     (cnt_growth::CntType::Metallic, false) => 'M',
                     (_, true) => '.',
@@ -76,14 +75,21 @@ pub fn run(fast: bool) -> Result<()> {
         .map_err(analysis)?;
 
     // (b) directional growth, FETs not aligned.
-    let params_d = GrowthParams::new(16.0, 0.8, 0.33, LengthModel::Fixed(200_000.0))
-        .map_err(analysis)?;
+    let params_d =
+        GrowthParams::new(16.0, 0.8, 0.33, LengthModel::Fixed(200_000.0)).map_err(analysis)?;
     let directional = DirectionalGrowth::new(params_d.clone());
     println!("  (b) non-aligned layout on directional CNT growth");
     let pop = directional.grow(view, &mut rng);
     println!("{}", render(&pop, view, 64, 10));
-    let pc_b = pair_correlation(&directional, &vmr, fet_a, fet_b_misaligned, trials, &mut rng)
-        .map_err(analysis)?;
+    let pc_b = pair_correlation(
+        &directional,
+        &vmr,
+        fet_a,
+        fet_b_misaligned,
+        trials,
+        &mut rng,
+    )
+    .map_err(analysis)?;
 
     // (c) directional growth, aligned-active layout.
     println!("  (c) aligned-active layout on directional CNT growth");
@@ -94,7 +100,12 @@ pub fn run(fast: bool) -> Result<()> {
 
     let mut csv = Table::new(
         "fig3-1 measured pair statistics",
-        &["scenario", "count_correlation", "mean_count_a", "mean_count_b"],
+        &[
+            "scenario",
+            "count_correlation",
+            "mean_count_a",
+            "mean_count_b",
+        ],
     );
     for (name, pc) in [
         ("uncorrelated growth", &pc_a),

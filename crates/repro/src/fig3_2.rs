@@ -35,13 +35,20 @@ fn sketch(width: f64, height: f64, strips: &[&ActiveStrip]) -> String {
         out.extend(row);
         out.push_str("|\n");
     }
-    out.push_str(&format!("  +{}+  width = {:.0} nm\n", "-".repeat(cols), width));
+    out.push_str(&format!(
+        "  +{}+  width = {:.0} nm\n",
+        "-".repeat(cols),
+        width
+    ));
     out
 }
 
 /// Run the experiment.
 pub fn run(_fast: bool) -> Result<()> {
-    banner("FIG 3.2", "AOI222_X1 before/after the aligned-active restriction");
+    banner(
+        "FIG 3.2",
+        "AOI222_X1 before/after the aligned-active restriction",
+    );
 
     let lib = nangate45_like();
     let cell = lib.require("AOI222_X1").map_err(analysis)?;
@@ -79,10 +86,7 @@ pub fn run(_fast: bool) -> Result<()> {
     );
     let cmp_table = cmp.finish();
 
-    let mut csv = Table::new(
-        "fig3-2 data",
-        &["quantity", "before", "after"],
-    );
+    let mut csv = Table::new("fig3-2 data", &["quantity", "before", "after"]);
     csv.add_row(&[
         "cell width (nm)".into(),
         format!("{:.0}", aligned.old_width),

@@ -17,8 +17,8 @@ pub fn run(fast: bool) -> Result<()> {
 
     let model = FailureModel::paper_default(ProcessCorner::aggressive().map_err(analysis)?)
         .map_err(analysis)?;
-    let row = RowModel::from_design(paper::L_CNT_UM, paper::RHO_MIN_FET_PER_UM)
-        .map_err(analysis)?;
+    let row =
+        RowModel::from_design(paper::L_CNT_UM, paper::RHO_MIN_FET_PER_UM).map_err(analysis)?;
 
     // The paper's Table 1 is evaluated at the design point where the
     // aligned p_RF equals 1.5e-8 — find the matching device width.

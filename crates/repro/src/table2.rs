@@ -9,8 +9,8 @@ use cnfet_core::failure::FailureModel;
 use cnfet_core::paper;
 use cnfet_core::rowmodel::RowModel;
 use cnfet_core::wmin::WminSolver;
-use cnfet_plot::Table;
 use cnfet_layout::{align_library, AlignmentOptions, GridPolicy, LibraryAlignment};
+use cnfet_plot::Table;
 
 struct Column {
     label: String,
@@ -21,11 +21,7 @@ struct Column {
     w_min: f64,
 }
 
-fn column(
-    label: &str,
-    aligned: &LibraryAlignment,
-    w_min: f64,
-) -> Column {
+fn column(label: &str, aligned: &LibraryAlignment, w_min: f64) -> Column {
     Column {
         label: label.to_string(),
         cells: aligned.total_cells(),
@@ -70,7 +66,10 @@ pub fn run(fast: bool) -> Result<()> {
         .solve_relaxed(
             paper::YIELD_TARGET,
             m_min,
-            row65.with_grid_division(2.0).map_err(analysis)?.relaxation(),
+            row65
+                .with_grid_division(2.0)
+                .map_err(analysis)?
+                .relaxation(),
         )
         .map_err(analysis)?
         .w_min;
@@ -204,10 +203,7 @@ pub fn run(fast: bool) -> Result<()> {
     cmp.add(
         "two grids cost < 5 % extra W_min",
         "yes".into(),
-        format!(
-            "{:.1} %",
-            (cols[1].w_min / cols[0].w_min - 1.0) * 100.0
-        ),
+        format!("{:.1} %", (cols[1].w_min / cols[0].w_min - 1.0) * 100.0),
         cols[1].w_min / cols[0].w_min < 1.06,
     );
     let cmp_table = cmp.finish();

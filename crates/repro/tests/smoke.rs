@@ -1,0 +1,90 @@
+//! Smoke tests: the `repro` binary's figure/table subcommands must run to
+//! completion and print non-empty, finite output (no NaN/inf leaking into a
+//! paper table).
+
+use std::path::Path;
+use std::process::Command;
+
+/// Run one repro subcommand in `--fast` mode inside an isolated working
+/// directory (the binary writes `results/*.csv` relative to its cwd) and
+/// return its stdout.
+fn run_subcommand(name: &str) -> String {
+    let dir = Path::new(env!("CARGO_TARGET_TMPDIR")).join(format!("repro-smoke-{name}"));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args([name, "--fast"])
+        .current_dir(&dir)
+        .output()
+        .expect("spawn repro binary");
+    assert!(
+        out.status.success(),
+        "`repro {name} --fast` failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).expect("utf-8 output");
+
+    // Every CSV the run announced must exist and be non-empty.
+    let results = dir.join("results");
+    let mut csvs = 0;
+    if results.is_dir() {
+        for entry in std::fs::read_dir(&results).expect("read results dir") {
+            let path = entry.expect("dir entry").path();
+            let body = std::fs::read_to_string(&path).expect("read csv");
+            assert!(!body.trim().is_empty(), "{} is empty", path.display());
+            assert_finite(&body, &path.display().to_string());
+            csvs += 1;
+        }
+    }
+    assert!(csvs > 0, "`repro {name}` wrote no CSV results");
+    stdout
+}
+
+/// Assert the text contains at least one number and no NaN/inf tokens.
+fn assert_finite(text: &str, what: &str) {
+    let lowered = text.to_lowercase();
+    for bad in ["nan", "-inf", "inf,", " inf", "infinity"] {
+        assert!(
+            !lowered.contains(bad),
+            "{what} contains non-finite value `{bad}`:\n{text}"
+        );
+    }
+    assert!(
+        text.chars().any(|c| c.is_ascii_digit()),
+        "{what} contains no numeric output:\n{text}"
+    );
+}
+
+#[test]
+fn fig2_1_runs_and_prints_finite_output() {
+    let stdout = run_subcommand("fig2-1");
+    assert!(!stdout.trim().is_empty(), "no stdout from fig2-1");
+    assert_finite(&stdout, "fig2-1 stdout");
+    // The figure sweeps pF over widths for the three corners.
+    assert!(
+        stdout.contains("pF") || stdout.to_lowercase().contains("failure"),
+        "fig2-1 output does not mention the failure probability:\n{stdout}"
+    );
+}
+
+#[test]
+fn table1_runs_and_prints_finite_output() {
+    let stdout = run_subcommand("table1");
+    assert!(!stdout.trim().is_empty(), "no stdout from table1");
+    assert_finite(&stdout, "table1 stdout");
+    // Table 1 compares the three growth/layout scenarios.
+    assert!(
+        stdout.to_lowercase().contains("scenario") || stdout.contains("p_RF"),
+        "table1 output does not look like Table 1:\n{stdout}"
+    );
+}
+
+#[test]
+fn unknown_subcommand_fails_cleanly() {
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .arg("no-such-figure")
+        .output()
+        .expect("spawn repro binary");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown experiment"), "stderr: {stderr}");
+}

@@ -1,6 +1,6 @@
 //! Parallel Monte-Carlo execution with deterministic seeding.
 //!
-//! Work is split across scoped crossbeam threads; worker `k` derives its
+//! Work is split across scoped threads; worker `k` derives its
 //! RNG from `seed ⊕ SplitMix64(k)`, so results are reproducible for a given
 //! `(seed, workers)` pair and workers never share a stream.
 
@@ -35,12 +35,12 @@ where
     let extra = (trials % workers as u64) as usize;
 
     let mut results: Vec<Summary> = Vec::with_capacity(workers);
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(workers);
         for k in 0..workers {
             let quota = base + (k < extra) as u64;
             let job = &job;
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 let mut rng = StdRng::seed_from_u64(seed ^ splitmix64(k as u64 + 1));
                 let mut acc = Summary::new();
                 for _ in 0..quota {
@@ -52,8 +52,7 @@ where
         for h in handles {
             results.push(h.join().expect("worker panicked"));
         }
-    })
-    .expect("crossbeam scope failed");
+    });
 
     let mut merged = Summary::new();
     for s in &results {
@@ -89,7 +88,10 @@ mod tests {
     fn workers_have_distinct_streams() {
         // With one trial per worker, samples must differ across workers.
         let s = run_parallel(4, 4, 9, |rng| rng.gen::<f64>());
-        assert!(s.max() - s.min() > 1e-6, "workers produced identical values");
+        assert!(
+            s.max() - s.min() > 1e-6,
+            "workers produced identical values"
+        );
     }
 
     #[test]

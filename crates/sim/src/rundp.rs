@@ -60,11 +60,7 @@ pub fn row_failure_probability(
     }
     for &(lo, hi) in intervals {
         if lo > hi || hi >= n_tracks {
-            return Err(SimError::BadInterval {
-                lo,
-                hi,
-                n_tracks,
-            });
+            return Err(SimError::BadInterval { lo, hi, n_tracks });
         }
     }
     if intervals.is_empty() {
@@ -141,10 +137,7 @@ pub fn row_failure_probability(
 ///
 /// Same as [`row_failure_probability`], plus a length check between `pf`
 /// and `n_tracks`, and per-element range validation.
-pub fn row_failure_probability_weighted(
-    pf: &[f64],
-    intervals: &[(usize, usize)],
-) -> Result<f64> {
+pub fn row_failure_probability_weighted(pf: &[f64], intervals: &[(usize, usize)]) -> Result<f64> {
     let n_tracks = pf.len();
     for &p in pf {
         if !(0.0..=1.0).contains(&p) {
@@ -242,9 +235,9 @@ pub fn row_failure_probability_bruteforce(
                 prob *= 1.0 - pf;
             }
         }
-        let fails = intervals.iter().any(|&(lo, hi)| {
-            (lo..=hi).all(|t| mask >> t & 1 == 1)
-        });
+        let fails = intervals
+            .iter()
+            .any(|&(lo, hi)| (lo..=hi).all(|t| mask >> t & 1 == 1));
         if fails {
             p_fail += prob;
         }
@@ -330,8 +323,7 @@ mod tests {
     fn weighted_reduces_to_uniform() {
         let intervals = [(0usize, 2usize), (3, 5), (2, 4)];
         let uniform = row_failure_probability(8, &intervals, 0.531).unwrap();
-        let weighted =
-            row_failure_probability_weighted(&[0.531; 8], &intervals).unwrap();
+        let weighted = row_failure_probability_weighted(&[0.531; 8], &intervals).unwrap();
         assert!((uniform - weighted).abs() < 1e-14);
     }
 
@@ -351,10 +343,7 @@ mod tests {
     fn weighted_validation() {
         assert!(row_failure_probability_weighted(&[0.5, 1.5], &[(0, 1)]).is_err());
         assert!(row_failure_probability_weighted(&[0.5], &[(0, 1)]).is_err());
-        assert_eq!(
-            row_failure_probability_weighted(&[], &[]).unwrap(),
-            0.0
-        );
+        assert_eq!(row_failure_probability_weighted(&[], &[]).unwrap(), 0.0);
     }
 
     #[test]

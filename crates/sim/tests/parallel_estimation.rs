@@ -60,7 +60,9 @@ fn parallel_run_is_reproducible() {
     let f = {
         let sc = sc.clone();
         move |rng: &mut rand::rngs::StdRng| {
-            estimate_row_failure(&sc, 10, rng).expect("estimable").probability
+            estimate_row_failure(&sc, 10, rng)
+                .expect("estimable")
+                .probability
         }
     };
     let a = run_parallel(40, 4, 7, &f);

@@ -108,7 +108,9 @@ mod tests {
         // Deterministic pseudo-random pairs via LCG.
         let mut state = 12345u64;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 11) as f64 / (1u64 << 53) as f64
         };
         let xs: Vec<f64> = (0..20_000).map(|_| next()).collect();
@@ -134,7 +136,9 @@ mod tests {
 
     #[test]
     fn autocorrelation_of_alternating_series() {
-        let series: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let series: Vec<f64> = (0..100)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let r1 = autocorrelation(&series, 1).unwrap();
         let r2 = autocorrelation(&series, 2).unwrap();
         assert!(r1 < -0.9, "lag-1 {r1}");

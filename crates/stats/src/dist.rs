@@ -566,11 +566,7 @@ impl DiscreteDist {
 
     /// Mean `Σ k·p(k)`.
     pub fn mean(&self) -> f64 {
-        self.pmf
-            .iter()
-            .enumerate()
-            .map(|(k, p)| k as f64 * p)
-            .sum()
+        self.pmf.iter().enumerate().map(|(k, p)| k as f64 * p).sum()
     }
 
     /// Variance `Σ k²·p(k) − mean²`.

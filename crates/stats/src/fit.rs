@@ -100,7 +100,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(13);
         let samples = truth.sample_n(&mut rng, 20_000);
         let fit = fit_pitch(&samples).unwrap();
-        assert!((fit.sample_mean - 4.0).abs() < 0.08, "mean {}", fit.sample_mean);
+        assert!(
+            (fit.sample_mean - 4.0).abs() < 0.08,
+            "mean {}",
+            fit.sample_mean
+        );
         assert!((fit.cov() - 0.8).abs() < 0.03, "cov {}", fit.cov());
         assert!(fit.acceptable(), "KS statistic {}", fit.ks_statistic);
     }

@@ -141,6 +141,13 @@ impl RenewalCount {
 
     /// Convenience: the paper's Eq. (2.2), `pF(W) = E[pf^N(W)]`.
     ///
+    /// For the [`CountModel::Convolution`] back-end this does *not*
+    /// materialize the count distribution: the PGF is evaluated directly by
+    /// a single renewal-equation sweep over the grid
+    /// ([`RenewalCount::failure_probability_conv`]), which is `O(W · S̄)`
+    /// cells instead of `O(W² · S̄)` and is what makes bisection solvers
+    /// over wide brackets (up to micrometre widths) tractable.
+    ///
     /// # Errors
     ///
     /// Propagates [`RenewalCount::distribution`] errors; additionally rejects
@@ -153,7 +160,126 @@ impl RenewalCount {
                 constraint: "must be in [0, 1]",
             });
         }
+        if let CountModel::Convolution { step } = self.model {
+            if width.is_finite() && width > 0.0 {
+                return self.failure_probability_conv(width, pf, step);
+            }
+        }
         Ok(self.distribution(width)?.pgf(pf))
+    }
+
+    /// Direct PGF evaluation for the convolution back-end.
+    ///
+    /// Decompose Eq. (2.2) by the position of the *last* CNT inside the
+    /// region:
+    ///
+    /// ```text
+    /// pF(W) = P{first gap > W}
+    ///       + Σ_x u(x) · P{pitch > W − x},
+    /// u(x)  = pf·f_first(x) + pf·(u ∗ f_pitch)(x)
+    /// ```
+    ///
+    /// where `u(x)` is the pf-weighted renewal density
+    /// `Σ_{n≥1} pf^n f_{T_n}(x)`, computed by one forward sweep of the
+    /// renewal equation on a grid of pitch `step`. Every term is
+    /// non-negative, so unlike the naive `1 − (1/pf − 1)·Σ pf^m S(m)`
+    /// rearrangement there is no catastrophic cancellation, and deep-tail
+    /// values (`1e-9` and below) come out at full double precision.
+    fn failure_probability_conv(&self, width: f64, pf: f64, step: f64) -> Result<f64> {
+        if !(step.is_finite() && step > 0.0) {
+            return Err(StatsError::InvalidParameter {
+                name: "step",
+                value: step,
+                constraint: "must be finite and > 0",
+            });
+        }
+        let h = step;
+        let mean = self.pitch.mean();
+        let sd = self.pitch.std_dev();
+        let support_hi = (mean + 10.0 * sd).min(self.pitch.hi());
+
+        // Pitch kernel on the integer grid: bin j covers
+        // ((j−½)h, (j+½)h], mass from the exact CDF.
+        let kbins = ((support_hi / h).ceil() as usize).max(1) + 1;
+        let mut kernel = Vec::with_capacity(kbins);
+        let mut prev = self.pitch.cdf(0.0);
+        for j in 0..kbins {
+            let c = self.pitch.cdf((j as f64 + 0.5) * h);
+            kernel.push((c - prev).max(0.0));
+            prev = c;
+        }
+        let resid: f64 = 1.0 - kernel.iter().sum::<f64>();
+        if let Some(last) = kernel.last_mut() {
+            *last += resid.max(0.0);
+        }
+
+        let wbins = (width / h).round() as usize;
+
+        // First-gap mass per grid bin and the exact no-CNT term.
+        let (first, p_empty): (Vec<f64>, f64) = match self.start {
+            StartPolicy::Ordinary => {
+                let first: Vec<f64> = kernel.iter().copied().take(wbins + 1).collect();
+                (first, 1.0 - self.pitch.cdf(width))
+            }
+            StartPolicy::Stationary => {
+                // Equilibrium density f_e(x) = (1 − F(x))/S̄, integrated per
+                // bin by the trapezoid rule on the exact CDF.
+                let nb = wbins + 1;
+                let mut fe = Vec::with_capacity(nb);
+                let mut s_prev = 1.0 - self.pitch.cdf(0.0);
+                for j in 0..nb {
+                    let lo_edge = (j as f64 - 0.5) * h;
+                    let hi_edge = (j as f64 + 0.5) * h;
+                    let s_hi = 1.0 - self.pitch.cdf(hi_edge);
+                    let bin_w = hi_edge - lo_edge.max(0.0);
+                    let m = (bin_w * 0.5 * (s_prev + s_hi) / mean).max(0.0);
+                    fe.push(m);
+                    s_prev = s_hi;
+                }
+                // P{first gap > W} = ∫_W^∞ (1 − F)/S̄ — summed directly as a
+                // positive-term tail integral. The obvious `1 − Σ fe`
+                // rearrangement cancels catastrophically and floors deep-tail
+                // values (≲ 1e-7) to exactly 0, which would break the pf → 0
+                // corner where p_empty dominates pF.
+                let mut tail = 0.0;
+                let mut x = width;
+                let mut s_lo = 1.0 - self.pitch.cdf(x);
+                while s_lo > 0.0 && x < self.pitch.hi() {
+                    let s_hi = 1.0 - self.pitch.cdf(x + h);
+                    tail += 0.5 * (s_lo + s_hi) * h / mean;
+                    x += h;
+                    s_lo = s_hi;
+                }
+                (fe, tail)
+            }
+        };
+
+        // Forward renewal sweep: u[j] depends on u[0..j] and kernel[0]
+        // (the sub-half-step mass) on itself.
+        let k0 = pf * kernel[0];
+        if k0 >= 1.0 {
+            return Err(StatsError::NoConvergence(
+                "failure_probability_conv: grid step too coarse for pitch scale",
+            ));
+        }
+        let mut u = vec![0.0_f64; wbins + 1];
+        for j in 0..=wbins {
+            let mut acc = first.get(j).copied().unwrap_or(0.0);
+            let i_lo = j.saturating_sub(kernel.len() - 1);
+            for i in i_lo..j {
+                acc += u[i] * kernel[j - i];
+            }
+            u[j] = pf * acc / (1.0 - k0);
+        }
+
+        // Tail survivor of the pitch, from the exact CDF.
+        let mut p_fail = p_empty;
+        for (j, &uj) in u.iter().enumerate() {
+            if uj > 0.0 {
+                p_fail += uj * (1.0 - self.pitch.cdf(width - j as f64 * h));
+            }
+        }
+        Ok(p_fail.clamp(0.0, 1.0))
     }
 
     /// Mean and variance of the first-gap distribution for this policy.
@@ -342,10 +468,7 @@ impl RenewalCount {
             }
             counts[n] += 1;
         }
-        let pmf: Vec<f64> = counts
-            .iter()
-            .map(|&c| c as f64 / trials as f64)
-            .collect();
+        let pmf: Vec<f64> = counts.iter().map(|&c| c as f64 / trials as f64).collect();
         CountDistribution::from_pmf(pmf, width)
     }
 
@@ -557,6 +680,23 @@ mod tests {
     }
 
     #[test]
+    fn conv_pgf_deep_tail_p_empty_does_not_cancel() {
+        // pf = 0 reduces pF to P{N = 0}, which is ~1e-11 at W = 25 nm. The
+        // direct sweep must agree with the per-n distribution instead of
+        // flooring to 0 through `1 − covered` cancellation.
+        let rc = RenewalCount::new(pitch(), CountModel::Convolution { step: 0.05 });
+        for w in [20.0, 25.0] {
+            let sweep = rc.failure_probability(w, 0.0).unwrap();
+            let exact = rc.distribution(w).unwrap().pgf(0.0);
+            assert!(sweep > 0.0, "W={w}: deep-tail p_empty floored to zero");
+            assert!(
+                (sweep - exact).abs() / exact < 0.05,
+                "W={w}: sweep {sweep:.3e} vs distribution {exact:.3e}"
+            );
+        }
+    }
+
+    #[test]
     fn failure_probability_decreases_with_width() {
         let rc = RenewalCount::new(pitch(), CountModel::Convolution { step: 0.05 });
         let mut last = 1.0;
@@ -572,13 +712,25 @@ mod tests {
         // With W ≪ S, the stationary start sees a CNT with probability
         // ≈ W/S̄ while the ordinary start must wait a full pitch.
         let w = 1.0;
-        let stat = RenewalCount::new(pitch(), CountModel::MonteCarlo { trials: 40_000, seed: 3 })
-            .distribution(w)
-            .unwrap();
-        let ord = RenewalCount::new(pitch(), CountModel::MonteCarlo { trials: 40_000, seed: 3 })
-            .with_start(StartPolicy::Ordinary)
-            .distribution(w)
-            .unwrap();
+        let stat = RenewalCount::new(
+            pitch(),
+            CountModel::MonteCarlo {
+                trials: 40_000,
+                seed: 3,
+            },
+        )
+        .distribution(w)
+        .unwrap();
+        let ord = RenewalCount::new(
+            pitch(),
+            CountModel::MonteCarlo {
+                trials: 40_000,
+                seed: 3,
+            },
+        )
+        .with_start(StartPolicy::Ordinary)
+        .distribution(w)
+        .unwrap();
         assert!(stat.mean() > 0.0);
         assert!(
             stat.mean() > ord.mean(),
@@ -594,12 +746,16 @@ mod tests {
         assert!(rc.distribution(-1.0).is_err());
         assert!(rc.distribution(f64::NAN).is_err());
         assert!(rc.failure_probability(100.0, 1.5).is_err());
-        assert!(RenewalCount::new(pitch(), CountModel::Convolution { step: 0.0 })
-            .distribution(10.0)
-            .is_err());
-        assert!(RenewalCount::new(pitch(), CountModel::MonteCarlo { trials: 0, seed: 0 })
-            .distribution(10.0)
-            .is_err());
+        assert!(
+            RenewalCount::new(pitch(), CountModel::Convolution { step: 0.0 })
+                .distribution(10.0)
+                .is_err()
+        );
+        assert!(
+            RenewalCount::new(pitch(), CountModel::MonteCarlo { trials: 0, seed: 0 })
+                .distribution(10.0)
+                .is_err()
+        );
     }
 
     #[test]

@@ -29,7 +29,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         for (name, a) in [("one grid row", &a1), ("two grid rows", &a2)] {
             t.add_row(&[
                 name.to_string(),
-                format!("{} ({:.1} %)", a.penalized().len(), a.penalized_fraction() * 100.0),
+                format!(
+                    "{} ({:.1} %)",
+                    a.penalized().len(),
+                    a.penalized_fraction() * 100.0
+                ),
                 a.min_penalty()
                     .map_or("-".into(), |p| format!("{:.1} %", p * 100.0)),
                 a.max_penalty()

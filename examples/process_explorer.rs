@@ -28,8 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let corner = ProcessCorner::new(0.33, p_rs, 1.0)?;
         // The CLT back-end keeps the sweep fast; anchors elsewhere use the
         // exact convolution.
-        let model =
-            FailureModel::paper_default(corner)?.with_backend(CountModel::GaussianSum);
+        let model = FailureModel::paper_default(corner)?.with_backend(CountModel::GaussianSum);
         let solver = WminSolver::new(model);
         let plain = solver.solve(paper::YIELD_TARGET, m_min)?;
         let corr = solver.solve_relaxed(paper::YIELD_TARGET, m_min, row.relaxation())?;
@@ -49,8 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     for pm in [0.0, 0.1, 0.2, 0.33, 0.45] {
         let corner = ProcessCorner::new(pm, 0.30, 1.0)?;
-        let model =
-            FailureModel::paper_default(corner)?.with_backend(CountModel::GaussianSum);
+        let model = FailureModel::paper_default(corner)?.with_backend(CountModel::GaussianSum);
         let solver = WminSolver::new(model);
         let plain = solver.solve(paper::YIELD_TARGET, m_min)?;
         let corr = solver.solve_relaxed(paper::YIELD_TARGET, m_min, row.relaxation())?;

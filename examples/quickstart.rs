@@ -9,9 +9,9 @@
 
 use cnfet::core::corner::ProcessCorner;
 use cnfet::core::failure::FailureModel;
+use cnfet::core::paper;
 use cnfet::core::rowmodel::RowModel;
 use cnfet::core::wmin::WminSolver;
-use cnfet::core::paper;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Processing: 33 % metallic CNTs; VMR removes them all but also 30 %
@@ -43,8 +43,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         relaxed.w_min,
         row.relaxation() as u64
     );
-    println!(
-        "\npaper: 155 nm -> 103 nm at the 45 nm node (350x relaxation)"
-    );
+    println!("\npaper: 155 nm -> 103 nm at the 45 nm node (350x relaxation)");
     Ok(())
 }

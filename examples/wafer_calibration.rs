@@ -43,7 +43,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "KS statistic {:.4} -> fit {}",
         fit.ks_statistic,
-        if fit.acceptable() { "accepted" } else { "REJECTED" }
+        if fit.acceptable() {
+            "accepted"
+        } else {
+            "REJECTED"
+        }
     );
 
     // --- 4. yield analysis with the fitted statistics -------------------

@@ -44,8 +44,7 @@ fn aligned_strips_never_overlap_in_x_within_a_row() {
                     .collect();
                 for i in 0..strips.len() {
                     for j in i + 1..strips.len() {
-                        let same_row =
-                            (strips[i].rect.y0() - strips[j].rect.y0()).abs() < 1e-9;
+                        let same_row = (strips[i].rect.y0() - strips[j].rect.y0()).abs() < 1e-9;
                         if same_row {
                             let (a, b) = (strips[i].rect, strips[j].rect);
                             assert!(
@@ -132,7 +131,11 @@ fn critical_width_filter_is_monotone() {
         let a_none = align_cell(cell, &tech, &none).expect("alignable");
         assert!(a_some.moved_strips <= a_all.moved_strips, "{}", cell.name());
         assert_eq!(a_none.moved_strips, 0, "{}", cell.name());
-        assert!(a_some.penalty() <= a_all.penalty() + 1e-9, "{}", cell.name());
+        assert!(
+            a_some.penalty() <= a_all.penalty() + 1e-9,
+            "{}",
+            cell.name()
+        );
         assert_eq!(a_none.penalty(), 0.0, "{}", cell.name());
     }
 }

@@ -42,23 +42,14 @@ fn openrisc_case_study_reproduces_paper_numbers() {
     let rho = placed
         .min_fet_density_per_um(paper::WMIN_UNCORRELATED_NM)
         .expect("non-empty design");
-    assert!(
-        (0.8..3.0).contains(&rho),
-        "rho = {rho} FET/um (paper 1.8)"
-    );
+    assert!((0.8..3.0).contains(&rho), "rho = {rho} FET/um (paper 1.8)");
 
     // 4. Yield optimization with the measured distribution and density.
-    let model =
-        FailureModel::paper_default(ProcessCorner::aggressive().expect("valid corner"))
-            .expect("valid model");
+    let model = FailureModel::paper_default(ProcessCorner::aggressive().expect("valid corner"))
+        .expect("valid model");
     let row = RowModel::from_design(paper::L_CNT_UM, rho).expect("valid row model");
-    let optimizer = YieldOptimizer::new(
-        model,
-        width_pairs(&mapped),
-        paper::M_TRANSISTORS,
-        row,
-    )
-    .expect("valid optimizer");
+    let optimizer = YieldOptimizer::new(model, width_pairs(&mapped), paper::M_TRANSISTORS, row)
+        .expect("valid optimizer");
     let report = optimizer.optimize(paper::YIELD_TARGET).expect("solvable");
 
     // The paper's W_min pair, within model tolerance.
@@ -83,8 +74,8 @@ fn openrisc_case_study_reproduces_paper_numbers() {
 
 #[test]
 fn relaxation_factor_tracks_density_times_length() {
-    let row = RowModel::from_design(paper::L_CNT_UM, paper::RHO_MIN_FET_PER_UM)
-        .expect("valid row model");
+    let row =
+        RowModel::from_design(paper::L_CNT_UM, paper::RHO_MIN_FET_PER_UM).expect("valid row model");
     assert!((row.relaxation() - paper::M_R_MIN).abs() < 1e-9);
     // Halving the CNT length halves the benefit.
     let short = RowModel::from_design(paper::L_CNT_UM / 2.0, paper::RHO_MIN_FET_PER_UM)

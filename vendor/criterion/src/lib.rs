@@ -1,0 +1,233 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment has no network access, so the subset of the
+//! criterion 0.5 API used by `crates/bench` is reimplemented here: the
+//! [`criterion_group!`]/[`criterion_main!`] macros, [`Criterion`],
+//! [`BenchmarkId`], benchmark groups, and `Bencher::iter`.
+//!
+//! Measurement is deliberately lightweight — a short warm-up followed by a
+//! fixed time budget per benchmark, reporting mean ns/iter to stdout. It is
+//! good enough to rank back-ends and catch order-of-magnitude regressions;
+//! it does not do criterion's outlier analysis or HTML reports.
+//!
+//! Bench targets must set `harness = false` in their manifest (as with real
+//! criterion), because [`criterion_main!`] expands to `fn main`.
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity, re-exported for criterion parity.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Wall-clock budget spent measuring each benchmark after warm-up.
+const MEASURE_BUDGET: Duration = Duration::from_millis(120);
+/// Wall-clock budget spent warming each benchmark up.
+const WARMUP_BUDGET: Duration = Duration::from_millis(20);
+
+/// Identifier for one benchmark: a function name plus an optional parameter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Identifier with both a function name and a parameter, rendered
+    /// `name/parameter` like criterion does.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Identifier carrying only a parameter value.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything accepted as a benchmark name: `&str`, `String`, [`BenchmarkId`].
+pub trait IntoBenchmarkId {
+    /// Render to the display name used in the report.
+    fn into_name(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_name(self) -> String {
+        self.name
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_name(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_name(self) -> String {
+        self
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, repeating it until the measurement budget is spent.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up: also estimates per-iteration cost for batch sizing.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < WARMUP_BUDGET {
+            std_black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().checked_div(warm_iters as u32);
+        let batch = match per_iter {
+            Some(d) if d > Duration::ZERO => {
+                (MEASURE_BUDGET.as_nanos() / d.as_nanos().max(1) / 10).clamp(1, 1 << 20) as u64
+            }
+            _ => 1 << 10,
+        };
+
+        let start = Instant::now();
+        while start.elapsed() < MEASURE_BUDGET {
+            for _ in 0..batch {
+                std_black_box(routine());
+            }
+            self.iters += batch;
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one(name: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        iters: 0,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    if b.iters == 0 {
+        println!("bench {name:<48} (no iterations recorded)");
+        return;
+    }
+    let ns = b.elapsed.as_nanos() as f64 / b.iters as f64;
+    println!("bench {name:<48} {ns:>14.1} ns/iter  ({} iters)", b.iters);
+}
+
+/// A named collection of related benchmarks, mirroring criterion's
+/// `BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    group_name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmark `f` under `id` within this group.
+    pub fn bench_function<ID: IntoBenchmarkId, F>(&mut self, id: ID, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = format!("{}/{}", self.group_name, id.into_name());
+        run_one(&name, &mut f);
+        self
+    }
+
+    /// Benchmark `f` under `id`, passing `input` through to the closure.
+    pub fn bench_with_input<ID: IntoBenchmarkId, I: ?Sized, F>(
+        &mut self,
+        id: ID,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let name = format!("{}/{}", self.group_name, id.into_name());
+        run_one(&name, &mut |b| f(b, input));
+        self
+    }
+
+    /// End the group (report flushing is a no-op here).
+    pub fn finish(self) {}
+}
+
+/// Benchmark driver, mirroring criterion's `Criterion` struct.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Benchmark a single function.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, &mut f);
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            group_name: name.into(),
+            _criterion: self,
+        }
+    }
+}
+
+/// Bundle benchmark functions into a group runner, mirroring criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `fn main` running the given groups, mirroring criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_formats_like_criterion() {
+        assert_eq!(BenchmarkId::new("conv", 155u64).name, "conv/155");
+        assert_eq!(BenchmarkId::from_parameter(7).name, "7");
+    }
+
+    #[test]
+    fn bencher_runs_routine() {
+        let mut c = Criterion::default();
+        let mut hits = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| hits += 1));
+        assert!(hits > 0);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.bench_with_input(BenchmarkId::new("f", 1), &3u64, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        group.bench_function("plain", |b| b.iter(|| black_box(1 + 1)));
+        group.finish();
+    }
+}

@@ -1,0 +1,350 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! property-testing crate.
+//!
+//! The build environment has no network access, so the subset of the
+//! proptest 1.x API used by this workspace is reimplemented here:
+//!
+//! * the [`proptest!`] macro (`fn name(arg in strategy, ...) { body }`),
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assume!`],
+//! * numeric range strategies (`0.0f64..1.0`, `1usize..20`, ...),
+//! * [`collection::vec`] and [`bool::ANY`].
+//!
+//! Differences from real proptest: inputs are drawn from a deterministic
+//! per-test seeded generator (derived from the test name, so runs are fully
+//! reproducible), there is **no shrinking**, and the default case count is
+//! 64 (override with the `PROPTEST_CASES` environment variable).
+
+use rand::rngs::StdRng;
+
+/// How a property-test case ended early.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// A `prop_assert*!` failed: the property is violated.
+    Fail(String),
+    /// A `prop_assume!` failed: discard the case, it is out of domain.
+    Reject,
+}
+
+impl TestCaseError {
+    /// Build a failure with a message.
+    pub fn fail<S: Into<String>>(msg: S) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// True for `prop_assume!` rejections.
+    pub fn is_rejection(&self) -> bool {
+        matches!(self, TestCaseError::Reject)
+    }
+}
+
+/// Result type produced by the body of a [`proptest!`] case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// A source of random typed values (real proptest's `Strategy`, minus
+/// shrinking).
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+    /// Draw one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rand::Rng::gen_range(rng, self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(f32, f64, u32, u64, usize, i32, i64, isize);
+
+/// Strategy yielding a constant.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+pub mod bool {
+    //! Boolean strategies.
+    use super::Strategy;
+    use rand::rngs::StdRng;
+
+    /// Strategy for a fair random boolean.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// The uniform boolean strategy (`proptest::bool::ANY`).
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn sample(&self, rng: &mut StdRng) -> bool {
+            rand::Rng::gen::<bool>(rng)
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies ([`vec`]).
+    use super::Strategy;
+    use rand::rngs::StdRng;
+
+    /// Admissible lengths for a generated collection.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_exclusive: n + 1,
+            }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_exclusive: r.end,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi_exclusive: r.end() + 1,
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of values drawn from `element`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+            let len = rand::Rng::gen_range(rng, self.size.lo..self.size.hi_exclusive);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// `proptest::collection::vec`: vectors of `element` with length in
+    /// `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+#[doc(hidden)]
+pub mod test_runner {
+    //! Support machinery for the [`proptest!`] macro expansion.
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Number of cases to run per property (default 64, `PROPTEST_CASES`
+    /// overrides).
+    pub fn case_count() -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64)
+    }
+
+    /// Deterministic per-test generator: the seed is an FNV-1a hash of the
+    /// test name, so every run of a given test sees the same inputs.
+    pub fn rng_for(test_name: &str) -> StdRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        StdRng::seed_from_u64(h)
+    }
+}
+
+/// Define property tests: `proptest! { #[test] fn name(x in 0..10) {..} }`.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut __rng = $crate::test_runner::rng_for(stringify!($name));
+                let __cases = $crate::test_runner::case_count();
+                for __case in 0..__cases {
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut __rng);)+
+                    let __outcome: $crate::TestCaseResult = (move || {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                    match __outcome {
+                        ::core::result::Result::Ok(()) => {}
+                        ::core::result::Result::Err($crate::TestCaseError::Reject) => {}
+                        ::core::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "property `{}` falsified on case {}/{}: {}",
+                                stringify!($name), __case + 1, __cases, msg
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// `assert!` that reports through the proptest harness.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        let __cond: bool = $cond;
+        if !__cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(
+                concat!("assertion failed: ", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        let __cond: bool = $cond;
+        if !__cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}: {}",
+                stringify!($cond),
+                format!($($fmt)+),
+            )));
+        }
+    };
+}
+
+/// `assert_eq!` that reports through the proptest harness.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`)",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r,
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`): {}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r,
+                format!($($fmt)+),
+            )));
+        }
+    }};
+}
+
+/// Discard the current case when its inputs are out of the property's
+/// domain.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        let __cond: bool = $cond;
+        if !__cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+pub mod prelude {
+    //! One-stop imports, mirroring `proptest::prelude`.
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+    pub use crate::{Just, Strategy, TestCaseError, TestCaseResult};
+
+    pub mod prop {
+        //! The `prop::` path exposed by the real prelude.
+        pub use crate::bool;
+        pub use crate::collection;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(
+            x in 2.5f64..7.5,
+            n in 3usize..9,
+            s in 0u64..50,
+        ) {
+            prop_assert!((2.5..7.5).contains(&x), "x = {x}");
+            prop_assert!((3..9).contains(&n));
+            prop_assert!(s < 50);
+        }
+
+        #[test]
+        fn vectors_have_requested_lengths(
+            xs in prop::collection::vec(0.0f64..1.0, 1..20),
+            flag in prop::bool::ANY,
+        ) {
+            prop_assert!(!xs.is_empty() && xs.len() < 20);
+            prop_assert!(xs.iter().all(|v| (0.0..1.0).contains(v)));
+            prop_assert_eq!(flag, flag);
+        }
+
+        #[test]
+        fn assume_discards_out_of_domain(
+            a in 0.0f64..1.0,
+        ) {
+            prop_assume!(a > 0.25);
+            prop_assert!(a > 0.25);
+        }
+    }
+
+    #[test]
+    fn determinism_same_test_name_same_stream() {
+        use crate::test_runner::rng_for;
+        use rand::RngCore;
+        let mut a = rng_for("t");
+        let mut b = rng_for("t");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    #[should_panic(expected = "falsified")]
+    fn failing_property_panics() {
+        proptest! {
+            fn always_fails(x in 0usize..10) {
+                prop_assert!(x > 100, "x = {x}");
+            }
+        }
+        always_fails();
+    }
+}
