@@ -1,9 +1,10 @@
 //! Bench FIG-3.2 / TAB-2 — the aligned-active transform, per cell and
 //! library-wide.
 
-use cnfet_bench::library45;
+use cnfet_bench::{library45, paper_curve, paper_model, table2_relaxations};
 use cnfet_celllib::cell::TechParams;
 use cnfet_celllib::commercial65::commercial65_like;
+use cnfet_core::wmin::WminSolver;
 use cnfet_layout::{align_cell, align_library, AlignmentOptions, GridPolicy};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
@@ -46,10 +47,47 @@ fn bench_library_generation(c: &mut Criterion) {
     });
 }
 
+/// Table 2's yield workload: the three library columns' `W_min` solves on
+/// the exact convolution back-end. The `per_call_model` arm re-evaluates
+/// `pF(W)` on every bisection step (the pre-pipeline wiring); the
+/// `shared_curve` arm builds one memoized `FailureCurve` per iteration and
+/// shares it across all three solves — the pipeline's hot path.
+fn bench_table2_wmin(c: &mut Criterion) {
+    let m_min = 0.33 * 1e8;
+    let mut group = c.benchmark_group("table2/wmin_three_columns");
+    group.bench_function("per_call_model", |b| {
+        b.iter(|| {
+            let solver = WminSolver::new(paper_model());
+            for &relaxation in &table2_relaxations() {
+                black_box(
+                    solver
+                        .solve_relaxed(black_box(0.90), m_min, relaxation)
+                        .expect("solvable"),
+                );
+            }
+        })
+    });
+    group.bench_function("shared_curve", |b| {
+        b.iter(|| {
+            let curve = paper_curve();
+            let solver = WminSolver::new(&curve);
+            for &relaxation in &table2_relaxations() {
+                black_box(
+                    solver
+                        .solve_relaxed(black_box(0.90), m_min, relaxation)
+                        .expect("solvable"),
+                );
+            }
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_align_cell,
     bench_align_libraries,
-    bench_library_generation
+    bench_library_generation,
+    bench_table2_wmin
 );
 criterion_main!(benches);

@@ -3,6 +3,9 @@
 use cnfet_bench::{case_study_widths, paper_model, paper_row};
 use cnfet_core::optimizer::YieldOptimizer;
 use cnfet_core::wmin::WminSolver;
+use cnfet_pipeline::{
+    BackendSpec, CorrelationSpec, MminSpec, Pipeline, RhoSpec, ScenarioSpec, SweepRunner,
+};
 use cnt_stats::renewal::CountModel;
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
@@ -34,5 +37,45 @@ fn bench_optimizer(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_wmin_solve, bench_optimizer);
+/// One Fig 3.3 scenario spec at `node`, CLT back-end, reduced design.
+fn fig3_3_spec(node: f64, correlation: CorrelationSpec) -> ScenarioSpec {
+    let mut spec = ScenarioSpec::baseline(format!("bench/node={node}/{}", correlation.name()));
+    spec.node_nm = node;
+    spec.correlation = correlation;
+    spec.backend = BackendSpec::GaussianSum;
+    spec.m_min = MminSpec::SelfConsistent;
+    spec.rho = RhoSpec::Paper;
+    spec.fast_design = true;
+    spec
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    // Warm the design/curve caches once; the benches then measure the
+    // steady-state scenario evaluation the sweep runner sees.
+    let pipeline = Pipeline::new();
+    let warm = fig3_3_spec(32.0, CorrelationSpec::GrowthAlignedLayout);
+    pipeline.evaluate(&warm, 1).expect("evaluable");
+    c.bench_function("fig3_3/pipeline_evaluate_node32", |b| {
+        b.iter(|| pipeline.evaluate(black_box(&warm), 1).expect("evaluable"))
+    });
+
+    let specs: Vec<ScenarioSpec> = [45.0, 32.0, 22.0, 16.0]
+        .into_iter()
+        .flat_map(|node| {
+            [
+                fig3_3_spec(node, CorrelationSpec::None),
+                fig3_3_spec(node, CorrelationSpec::GrowthAlignedLayout),
+            ]
+        })
+        .collect();
+    c.bench_function("fig3_3/sweep_8_scenarios", |b| {
+        b.iter(|| {
+            SweepRunner::new(&pipeline)
+                .with_workers(4)
+                .run(black_box(&specs), 7)
+        })
+    });
+}
+
+criterion_group!(benches, bench_wmin_solve, bench_optimizer, bench_pipeline);
 criterion_main!(benches);

@@ -6,6 +6,7 @@
 use cnfet_celllib::nangate45::nangate45_like;
 use cnfet_celllib::CellLibrary;
 use cnfet_core::corner::ProcessCorner;
+use cnfet_core::curve::FailureCurve;
 use cnfet_core::failure::FailureModel;
 use cnfet_core::rowmodel::RowModel;
 
@@ -13,6 +14,18 @@ use cnfet_core::rowmodel::RowModel;
 pub fn paper_model() -> FailureModel {
     FailureModel::paper_default(ProcessCorner::aggressive().expect("valid corner"))
         .expect("valid model")
+}
+
+/// A cold memoized curve over [`paper_model`].
+pub fn paper_curve() -> FailureCurve {
+    FailureCurve::new(paper_model())
+}
+
+/// The three Table 2 requirement relaxations (65 nm one grid, 65 nm two
+/// grids, Nangate-45 one grid) at the paper's scale — the library-wide
+/// `W_min` workload.
+pub fn table2_relaxations() -> [f64; 3] {
+    [254.0, 127.0, 360.0]
 }
 
 /// The Nangate-45-class library.

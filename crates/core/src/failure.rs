@@ -138,36 +138,7 @@ impl FailureModel {
     /// [`CoreError::NoConvergence`] if the target is outside the model's
     /// reachable range within `[w_lo, w_hi]`.
     pub fn width_for_failure(&self, target: f64, w_lo: f64, w_hi: f64) -> Result<f64> {
-        if !(target > 0.0 && target < 1.0) {
-            return Err(CoreError::InvalidParameter {
-                name: "target",
-                value: target,
-                constraint: "must be in (0, 1)",
-            });
-        }
-        let f_lo = self.p_failure(w_lo)?;
-        let f_hi = self.p_failure(w_hi)?;
-        // pF decreases with W.
-        if !(f_hi <= target && target <= f_lo) {
-            return Err(CoreError::NoConvergence(
-                "width_for_failure: target not bracketed",
-            ));
-        }
-        let (mut lo, mut hi) = (w_lo, w_hi);
-        for _ in 0..80 {
-            let mid = 0.5 * (lo + hi);
-            if self.p_failure(mid)? > target {
-                lo = mid;
-            } else {
-                hi = mid;
-            }
-            if hi - lo < 0.01 {
-                break;
-            }
-        }
-        // Return the side that satisfies pF(W) <= target, so callers can
-        // rely on the requirement being met.
-        Ok(hi)
+        crate::curve::width_for_failure(self, target, w_lo, w_hi)
     }
 }
 

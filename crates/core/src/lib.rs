@@ -11,6 +11,7 @@
 //! |-------|--------|---------|
 //! | Eq. (2.1) | [`corner`] | per-CNT failure probability `pf = pm + ps·pRs` |
 //! | Eq. (2.2), Fig 2.1 | [`failure`] | device failure `pF(W) = E[pf^N(W)]` |
+//! | (hot path) | [`curve`] | memoized, monotone-interpolated `pF(W)` curves |
 //! | Eq. (2.3) | [`chipyield`] | chip yield over a width population |
 //! | Eq. (2.4)/(2.5) | [`wmin`] | the `W_min` upsizing-threshold solver |
 //! | Fig 2.2b | [`penalty`], [`scaling`] | gate-capacitance upsizing penalty vs node |
@@ -40,6 +41,7 @@
 pub mod calibration;
 pub mod chipyield;
 pub mod corner;
+pub mod curve;
 pub mod failure;
 pub mod noise;
 pub mod optimizer;
@@ -134,10 +136,11 @@ impl From<cnfet_layout::LayoutError> for CoreError {
 pub type Result<T> = std::result::Result<T, CoreError>;
 
 pub use corner::ProcessCorner;
+pub use curve::{FailureCurve, PFailure};
 pub use failure::FailureModel;
 pub use optimizer::{OptimizationReport, YieldOptimizer};
 pub use rowmodel::RowModel;
-pub use wmin::{WminSolution, WminSolver};
+pub use wmin::{UpsizingSolution, WminSolution, WminSolver};
 
 #[cfg(test)]
 mod tests {

@@ -2,11 +2,11 @@
 //! steps 1–2): estimate `W_min` with and without the correlation benefit
 //! for a concrete design, and price both options.
 
-use crate::chipyield::required_p_failure;
+use crate::curve::FailureCurve;
 use crate::failure::FailureModel;
-use crate::penalty::{fraction_below, upsizing_penalty};
+use crate::penalty::upsizing_penalty;
 use crate::rowmodel::RowModel;
-use crate::wmin::WminSolver;
+use crate::wmin::solve_upsizing;
 use crate::{CoreError, Result};
 use cnfet_device::GateCapModel;
 
@@ -42,7 +42,7 @@ impl OptimizationReport {
 /// Optimizer inputs: a width distribution plus the row-correlation model.
 #[derive(Debug, Clone)]
 pub struct YieldOptimizer {
-    model: FailureModel,
+    curve: FailureCurve,
     widths: Vec<(f64, u64)>,
     m_transistors: f64,
     row: RowModel,
@@ -82,7 +82,7 @@ impl YieldOptimizer {
             });
         }
         Ok(Self {
-            model,
+            curve: FailureCurve::new(model),
             widths,
             m_transistors,
             row,
@@ -97,28 +97,16 @@ impl YieldOptimizer {
     }
 
     /// Solve the self-consistent `(W_min, M_min)` fixed point for a given
-    /// requirement relaxation.
+    /// requirement relaxation (both arms share the memoized curve).
     fn solve(&self, yield_target: f64, relaxation: f64) -> Result<(f64, f64)> {
-        let solver = WminSolver::new(self.model.clone());
-        let mut m_min = self.m_transistors;
-        let mut w_min = 0.0;
-        for _ in 0..32 {
-            let req = (required_p_failure(yield_target, m_min)? * relaxation).min(0.999_999);
-            w_min = solver.solve_for_requirement(req)?.w_min;
-            let frac = fraction_below(&self.widths, w_min);
-            if frac <= 0.0 {
-                // W_min fell below the narrowest device: nothing needs
-                // upsizing, the design already meets the target.
-                break;
-            }
-            let new_m_min = (frac * self.m_transistors).max(1.0);
-            if (new_m_min - m_min).abs() / m_min < 1e-3 {
-                m_min = new_m_min;
-                break;
-            }
-            m_min = new_m_min;
-        }
-        Ok((w_min, m_min))
+        let sol = solve_upsizing(
+            &self.curve,
+            &self.widths,
+            yield_target,
+            self.m_transistors,
+            relaxation,
+        )?;
+        Ok((sol.w_min, sol.m_min))
     }
 
     /// Produce the optimization report for a yield target.

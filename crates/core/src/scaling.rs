@@ -8,11 +8,11 @@
 //! `M_Rmin` itself grows because smaller cells pack more critical CNFETs
 //! per micrometre.
 
-use crate::chipyield::required_p_failure;
+use crate::curve::FailureCurve;
 use crate::failure::FailureModel;
-use crate::penalty::{fraction_below, upsizing_penalty};
+use crate::penalty::upsizing_penalty;
 use crate::rowmodel::RowModel;
-use crate::wmin::WminSolver;
+use crate::wmin::solve_upsizing;
 use crate::{CoreError, Result};
 use cnfet_device::GateCapModel;
 
@@ -34,9 +34,13 @@ pub struct NodeResult {
 }
 
 /// The scaling study configuration.
+///
+/// All nodes and both correlation arms share one memoized
+/// [`FailureCurve`], so the `pF(W)` hot path is evaluated once per region
+/// of interest instead of once per bisection step.
 #[derive(Debug, Clone)]
 pub struct ScalingStudy {
-    model: FailureModel,
+    curve: FailureCurve,
     base_node: f64,
     base_widths: Vec<(f64, u64)>,
     yield_target: f64,
@@ -83,7 +87,7 @@ impl ScalingStudy {
             }
         }
         Ok(Self {
-            model,
+            curve: FailureCurve::new(model),
             base_node,
             base_widths,
             yield_target,
@@ -113,28 +117,15 @@ impl ScalingStudy {
     pub fn solve_node(&self, node: f64, relaxation: f64) -> Result<(f64, f64)> {
         let s = node / self.base_node;
         let widths: Vec<(f64, u64)> = self.base_widths.iter().map(|&(w, n)| (w * s, n)).collect();
-        let solver = WminSolver::new(self.model.clone());
-
-        // Fixed point: start with everything minimum-sized.
-        let mut m_min = self.m_transistors;
-        let mut w_min = 0.0;
-        for _ in 0..32 {
-            let req = (required_p_failure(self.yield_target, m_min)? * relaxation).min(0.999_999);
-            let sol = solver.solve_for_requirement(req)?;
-            w_min = sol.w_min;
-            let new_frac = fraction_below(&widths, w_min);
-            if new_frac <= 0.0 {
-                // Nothing below W_min: the scaled design needs no upsizing.
-                break;
-            }
-            let new_m_min = new_frac * self.m_transistors;
-            if (new_m_min - m_min).abs() / m_min < 1e-3 {
-                break;
-            }
-            m_min = new_m_min;
-        }
-        let pen = upsizing_penalty(&self.cap, &widths, w_min)?;
-        Ok((w_min, pen))
+        let sol = solve_upsizing(
+            &self.curve,
+            &widths,
+            self.yield_target,
+            self.m_transistors,
+            relaxation,
+        )?;
+        let pen = upsizing_penalty(&self.cap, &widths, sol.w_min)?;
+        Ok((sol.w_min, pen))
     }
 
     /// Run the study over the given nodes.

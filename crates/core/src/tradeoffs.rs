@@ -7,6 +7,7 @@
 //! W_min"). This module evaluates both sides of that trade for a concrete
 //! library + design, producing the numbers a design team would weigh.
 
+use crate::curve::{FailureCurve, PFailure};
 use crate::failure::FailureModel;
 use crate::penalty::upsizing_penalty;
 use crate::rowmodel::RowModel;
@@ -51,12 +52,26 @@ pub struct GridTradeoff<'a> {
 }
 
 impl GridTradeoff<'_> {
-    /// Evaluate one policy.
+    /// Evaluate one policy with a fresh (cold) curve.
     ///
     /// # Errors
     ///
     /// Propagates alignment and solver errors.
     pub fn evaluate(&self, policy: GridPolicy) -> Result<TradeoffPoint> {
+        self.evaluate_with(&FailureCurve::new(self.model.clone()), policy)
+    }
+
+    /// Evaluate one policy on a caller-provided `pF(W)` evaluator (share a
+    /// [`FailureCurve`] to amortize exact evaluations across policies).
+    ///
+    /// # Errors
+    ///
+    /// Propagates alignment and solver errors.
+    pub fn evaluate_with<E: PFailure>(
+        &self,
+        eval: &E,
+        policy: GridPolicy,
+    ) -> Result<TradeoffPoint> {
         if self.widths.is_empty() {
             return Err(CoreError::InvalidParameter {
                 name: "widths",
@@ -77,7 +92,7 @@ impl GridTradeoff<'_> {
         let new: f64 = aligned.cells.iter().map(|c| c.new_width).sum();
 
         let row = self.row.with_grid_division(policy.benefit_division())?;
-        let solver = WminSolver::new(self.model.clone());
+        let solver = WminSolver::new(eval);
         let sol = solver.solve_relaxed(self.yield_target, self.m_min, row.relaxation())?;
         let pen = upsizing_penalty(&GateCapModel::proportional(), &self.widths, sol.w_min)?;
         Ok(TradeoffPoint {
@@ -96,9 +111,10 @@ impl GridTradeoff<'_> {
     ///
     /// Propagates [`GridTradeoff::evaluate`] errors.
     pub fn run(&self) -> Result<[TradeoffPoint; 2]> {
+        let curve = FailureCurve::new(self.model.clone());
         Ok([
-            self.evaluate(GridPolicy::Single)?,
-            self.evaluate(GridPolicy::Dual)?,
+            self.evaluate_with(&curve, GridPolicy::Single)?,
+            self.evaluate_with(&curve, GridPolicy::Dual)?,
         ])
     }
 }

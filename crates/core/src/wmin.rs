@@ -4,9 +4,16 @@
 //! device narrower than `W_min` is widened to it, the chip meets its yield
 //! target. The paper's simplification (2.5) reduces this to one device
 //! query: find `W` with `pF(W) ≤ (1 − Yield)/M_min`, read off Fig 2.1.
+//!
+//! The solver is generic over [`PFailure`]: run it on an exact
+//! [`FailureModel`] for anchors, or on a shared
+//! [`FailureCurve`](crate::curve::FailureCurve) when many solves hit the
+//! same `(corner, backend)` curve.
 
 use crate::chipyield::required_p_failure;
+use crate::curve::{width_for_failure, PFailure};
 use crate::failure::FailureModel;
+use crate::penalty::fraction_below;
 use crate::Result;
 
 /// Solution of the `W_min` problem.
@@ -22,17 +29,17 @@ pub struct WminSolution {
 
 /// Bisection solver for `W_min` over a monotone `pF(W)`.
 #[derive(Debug, Clone)]
-pub struct WminSolver {
-    model: FailureModel,
+pub struct WminSolver<E: PFailure = FailureModel> {
+    eval: E,
     w_lo: f64,
     w_hi: f64,
 }
 
-impl WminSolver {
+impl<E: PFailure> WminSolver<E> {
     /// Create a solver with the default search bracket `[5, 2000] nm`.
-    pub fn new(model: FailureModel) -> Self {
+    pub fn new(eval: E) -> Self {
         Self {
-            model,
+            eval,
             w_lo: 5.0,
             w_hi: 2000.0,
         }
@@ -45,9 +52,9 @@ impl WminSolver {
         self
     }
 
-    /// The failure model in use.
-    pub fn model(&self) -> &FailureModel {
-        &self.model
+    /// The `pF(W)` evaluator in use (a model or a memoized curve).
+    pub fn evaluator(&self) -> &E {
+        &self.eval
     }
 
     /// Solve for an explicit device-level requirement `p_req`.
@@ -56,11 +63,11 @@ impl WminSolver {
     ///
     /// Propagates bracketing failures from the model inversion.
     pub fn solve_for_requirement(&self, p_req: f64) -> Result<WminSolution> {
-        let w_min = self.model.width_for_failure(p_req, self.w_lo, self.w_hi)?;
+        let w_min = width_for_failure(&self.eval, p_req, self.w_lo, self.w_hi)?;
         Ok(WminSolution {
             w_min,
             p_req,
-            p_at_w_min: self.model.p_failure(w_min)?,
+            p_at_w_min: self.eval.p_failure(w_min)?,
         })
     }
 
@@ -98,10 +105,65 @@ impl WminSolver {
     }
 }
 
+/// The self-consistent `(W_min, M_min)` fixed point shared by the scaling
+/// study, the optimizer, and the scenario pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UpsizingSolution {
+    /// The upsizing threshold (nm).
+    pub w_min: f64,
+    /// The self-consistent minimum-sized-device count.
+    pub m_min: f64,
+    /// The device-level requirement imposed at convergence.
+    pub p_req: f64,
+}
+
+/// Solve the paper's iterative Eq. (2.5) estimate: `M_min` is the number
+/// of devices below `W_min`, which itself depends on `M_min`. `relaxation`
+/// multiplies the device-level requirement (1 for the uncorrelated case).
+///
+/// # Errors
+///
+/// Propagates requirement/bracketing errors from the underlying solves.
+pub fn solve_upsizing<E: PFailure>(
+    eval: &E,
+    widths: &[(f64, u64)],
+    yield_target: f64,
+    m_transistors: f64,
+    relaxation: f64,
+) -> Result<UpsizingSolution> {
+    let solver = WminSolver::new(eval);
+    // Fixed point: start with everything minimum-sized.
+    let mut m_min = m_transistors;
+    let mut w_min = 0.0;
+    let mut p_req = 0.0;
+    for _ in 0..32 {
+        let req = (required_p_failure(yield_target, m_min)? * relaxation).min(0.999_999);
+        p_req = req;
+        w_min = solver.solve_for_requirement(req)?.w_min;
+        let frac = fraction_below(widths, w_min);
+        if frac <= 0.0 {
+            // Nothing below W_min: the design needs no upsizing.
+            break;
+        }
+        let new_m_min = (frac * m_transistors).max(1.0);
+        if (new_m_min - m_min).abs() / m_min < 1e-3 {
+            m_min = new_m_min;
+            break;
+        }
+        m_min = new_m_min;
+    }
+    Ok(UpsizingSolution {
+        w_min,
+        m_min,
+        p_req,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::corner::ProcessCorner;
+    use crate::curve::FailureCurve;
     use crate::paper;
 
     fn solver() -> WminSolver {
@@ -158,6 +220,34 @@ mod tests {
         let w90 = s.solve(0.90, 33e6).unwrap().w_min;
         let w99 = s.solve(0.99, 33e6).unwrap().w_min;
         assert!(w99 > w90);
+    }
+
+    #[test]
+    fn solver_runs_on_a_shared_curve() {
+        let model = FailureModel::paper_default(ProcessCorner::aggressive().unwrap()).unwrap();
+        let curve = FailureCurve::new(model.clone());
+        let on_curve = WminSolver::new(&curve).solve(0.9, 33e6).unwrap();
+        let on_model = WminSolver::new(model).solve(0.9, 33e6).unwrap();
+        assert!(
+            (on_curve.w_min - on_model.w_min).abs() < 0.5,
+            "curve {} vs model {}",
+            on_curve.w_min,
+            on_model.w_min
+        );
+    }
+
+    #[test]
+    fn fixed_point_lands_on_the_distribution() {
+        let model = FailureModel::paper_default(ProcessCorner::aggressive().unwrap()).unwrap();
+        let widths = vec![
+            (110.0, 33_000_000u64),
+            (185.0, 47_000_000),
+            (370.0, 20_000_000),
+        ];
+        let sol = solve_upsizing(&model, &widths, 0.90, 1e8, 1.0).unwrap();
+        assert!((sol.w_min - paper::WMIN_UNCORRELATED_NM).abs() < 10.0);
+        assert!((sol.m_min / 1e8 - 0.33).abs() < 0.02, "m_min {}", sol.m_min);
+        assert!(sol.p_req > 0.0);
     }
 
     #[test]

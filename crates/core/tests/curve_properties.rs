@@ -1,0 +1,140 @@
+//! Property tests for the memoized `pF(W)` curve: interpolation accuracy
+//! against the exact model, and `W_min`-solver agreement on the paper's
+//! case studies.
+
+use cnfet_core::corner::ProcessCorner;
+use cnfet_core::curve::FailureCurve;
+use cnfet_core::failure::FailureModel;
+use cnfet_core::paper;
+use cnfet_core::wmin::WminSolver;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+fn corners() -> [ProcessCorner; 3] {
+    [
+        ProcessCorner::aggressive().unwrap(),
+        ProcessCorner::ideal_removal().unwrap(),
+        ProcessCorner::all_semiconducting().unwrap(),
+    ]
+}
+
+/// Shared warm curves over the exact convolution back-end (the CLT
+/// back-end is itself pointwise-noisy at extreme underflow magnitudes, so
+/// "within 1 % of exact" is only meaningful against the exact model).
+/// Sharing across cases also stresses the memoized state.
+fn curves() -> &'static Vec<(FailureModel, FailureCurve)> {
+    static CURVES: OnceLock<Vec<(FailureModel, FailureCurve)>> = OnceLock::new();
+    CURVES.get_or_init(|| {
+        corners()
+            .into_iter()
+            .map(|corner| {
+                let model = FailureModel::paper_default(corner).unwrap();
+                (model.clone(), FailureCurve::new(model))
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn curve_matches_exact_pf_within_1_percent(
+        w in 5.0f64..2000.0,
+        which in 0usize..3,
+    ) {
+        let (model, curve) = &curves()[which];
+        let exact = model.p_failure(w).unwrap();
+        let interp = curve.p_failure(w).unwrap();
+        if exact > 1e-290 {
+            let rel = (interp / exact - 1.0).abs();
+            prop_assert!(
+                rel <= 0.01,
+                "corner {which}, W = {w:.3} nm: exact {exact:.6e} vs curve {interp:.6e} \
+                 (rel err {rel:.4})"
+            );
+        } else {
+            // Deep underflow territory: both must agree it is negligible.
+            prop_assert!(interp < 1e-280, "W = {w:.3}: {interp:.3e} not negligible");
+        }
+    }
+
+    #[test]
+    fn curve_inversion_matches_model_inversion(target_exp in -8.0f64..-2.0) {
+        let target = 10f64.powf(target_exp);
+        let (model, curve) = &curves()[0];
+        let from_curve = curve.width_for_failure(target, 5.0, 2000.0).unwrap();
+        let from_model = model.width_for_failure(target, 5.0, 2000.0).unwrap();
+        prop_assert!(
+            (from_curve - from_model).abs() < 0.5,
+            "target {target:.2e}: curve {from_curve:.2} vs model {from_model:.2}"
+        );
+    }
+}
+
+/// The paper's two case studies, solved on the exact convolution back-end:
+/// curve-backed and model-backed solvers must land within 0.5 nm.
+#[test]
+fn wmin_on_curve_matches_wmin_on_model_for_paper_cases() {
+    let model = FailureModel::paper_default(ProcessCorner::aggressive().unwrap()).unwrap();
+    let curve = FailureCurve::new(model.clone());
+    let on_model = WminSolver::new(model);
+    let on_curve = WminSolver::new(&curve);
+    let m_min = paper::MMIN_FRACTION * paper::M_TRANSISTORS;
+
+    // 155 nm case: no correlation.
+    let a = on_model.solve(paper::YIELD_TARGET, m_min).unwrap();
+    let b = on_curve.solve(paper::YIELD_TARGET, m_min).unwrap();
+    assert!(
+        (a.w_min - b.w_min).abs() < 0.5,
+        "155 nm case: model {:.3} vs curve {:.3}",
+        a.w_min,
+        b.w_min
+    );
+    assert!((a.w_min - paper::WMIN_UNCORRELATED_NM).abs() < 8.0);
+
+    // 103 nm case: the 350× correlation relaxation.
+    let a = on_model
+        .solve_relaxed(paper::YIELD_TARGET, m_min, paper::RELAXATION_FACTOR)
+        .unwrap();
+    let b = on_curve
+        .solve_relaxed(paper::YIELD_TARGET, m_min, paper::RELAXATION_FACTOR)
+        .unwrap();
+    assert!(
+        (a.w_min - b.w_min).abs() < 0.5,
+        "103 nm case: model {:.3} vs curve {:.3}",
+        a.w_min,
+        b.w_min
+    );
+    assert!((a.w_min - paper::WMIN_CORRELATED_NM).abs() < 6.0);
+
+    // The second and later solves on the shared curve are nearly free:
+    // far fewer exact evaluations than the four bisections would need.
+    let evals = curve.evaluations();
+    let _ = on_curve.solve(paper::YIELD_TARGET, m_min).unwrap();
+    let _ = on_curve
+        .solve_relaxed(paper::YIELD_TARGET, m_min, paper::RELAXATION_FACTOR)
+        .unwrap();
+    assert_eq!(
+        curve.evaluations(),
+        evals,
+        "repeat solves must be pure cache hits"
+    );
+}
+
+/// Accuracy spot check on a cold (unshared) curve at the anchors the
+/// figures print.
+#[test]
+fn convolution_curve_accuracy_at_figure_anchors() {
+    let model = FailureModel::paper_default(ProcessCorner::aggressive().unwrap()).unwrap();
+    let curve = FailureCurve::new(model.clone());
+    for w in [20.0, 60.0, 103.0, 155.0, 180.0, 400.0, 1200.0] {
+        let exact = model.p_failure(w).unwrap();
+        let interp = curve.p_failure(w).unwrap();
+        if exact > 1e-290 {
+            let rel = (interp / exact - 1.0).abs();
+            assert!(
+                rel <= 0.01,
+                "W = {w}: exact {exact:.6e} vs curve {interp:.6e} (rel {rel:.4})"
+            );
+        }
+    }
+}

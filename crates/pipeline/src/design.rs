@@ -1,0 +1,85 @@
+//! Mapped-design statistics: the `(width, count)` distribution and the
+//! critical-FET row density the yield analysis consumes.
+//!
+//! This is the growth → device → layout leg of the old per-experiment
+//! wiring, centralized so the [`crate::engine::Pipeline`] can compute it
+//! once per `(library, design size)` and share it across scenarios.
+
+use crate::Result;
+use cnfet_celllib::CellLibrary;
+use cnfet_layout::{place_cells, PlacementOptions};
+use cnfet_netlist::mapping::MappedDesign;
+use cnfet_netlist::synth::{openrisc_class, DesignSpec};
+
+/// The case-study design mapped onto a library: its `(width, count)`
+/// distribution plus the measured critical-FET row density (per µm).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignStats {
+    /// Distinct transistor widths with instance counts.
+    pub width_pairs: Vec<(f64, u64)>,
+    /// Measured `P_min-CNFET` density (critical FETs per µm of row).
+    pub rho_per_um: f64,
+    /// Total transistor count of the generated design.
+    pub transistors: usize,
+}
+
+/// Generate the OpenRISC-class design, map it onto `lib`, place it and
+/// extract the statistics the yield analysis needs. `fast` uses the
+/// reduced design.
+///
+/// # Errors
+///
+/// Propagates mapping and placement errors.
+pub fn design_stats(lib: &CellLibrary, fast: bool) -> Result<DesignStats> {
+    let spec = if fast {
+        DesignSpec::small()
+    } else {
+        DesignSpec::openrisc()
+    };
+    let netlist = openrisc_class(&spec, 42);
+    let mapped = MappedDesign::map(&netlist, lib)?;
+
+    // Collapse widths to (width, count) pairs (0.1-nm quantization).
+    let mut counts: std::collections::BTreeMap<i64, u64> = std::collections::BTreeMap::new();
+    for w in mapped.transistor_widths() {
+        *counts.entry((w * 10.0).round() as i64).or_insert(0) += 1;
+    }
+    let width_pairs: Vec<(f64, u64)> = counts
+        .into_iter()
+        .map(|(k, n)| (k as f64 / 10.0, n))
+        .collect();
+
+    // Place and measure the critical-FET density. The criticality
+    // threshold is the uncorrelated W_min regime (anything below ~155 nm at
+    // 45 nm), scaled with the library's node so the same device classes
+    // count as critical in the 65 nm library.
+    let placed = place_cells(mapped.cells(), PlacementOptions::default())?;
+    let w_critical = cnfet_core::paper::WMIN_UNCORRELATED_NM * lib.tech().node_nm / 45.0;
+    let rho_per_um = placed.min_fet_density_per_um(w_critical)?;
+
+    Ok(DesignStats {
+        width_pairs,
+        rho_per_um,
+        transistors: mapped.transistor_count(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnfet_celllib::nangate45::nangate45_like;
+
+    #[test]
+    fn fast_design_statistics_are_sane() {
+        let stats = design_stats(&nangate45_like(), true).unwrap();
+        assert!(stats.transistors > 1000);
+        assert!(!stats.width_pairs.is_empty());
+        let total: u64 = stats.width_pairs.iter().map(|&(_, n)| n).sum();
+        assert_eq!(total as usize, stats.transistors);
+        assert!(
+            stats.rho_per_um > 0.5 && stats.rho_per_um < 10.0,
+            "rho = {}",
+            stats.rho_per_um
+        );
+    }
+}

@@ -1,0 +1,434 @@
+//! The pipeline engine: cached substrates + scenario evaluation.
+
+use crate::design::{design_stats, DesignStats};
+use crate::report::ScenarioReport;
+use crate::spec::{BackendSpec, CornerSpec, CorrelationSpec, LibrarySpec, MminSpec, RhoSpec};
+use crate::{Result, ScenarioSpec};
+use cnfet_celllib::CellLibrary;
+use cnfet_core::curve::FailureCurve;
+use cnfet_core::failure::FailureModel;
+use cnfet_core::paper;
+use cnfet_core::penalty::upsizing_penalty;
+use cnfet_core::rowmodel::{evaluate_table1, RowModel, Table1, UnalignedRowStudy};
+use cnfet_core::wmin::{solve_upsizing, UpsizingSolution, WminSolver};
+use cnfet_device::GateCapModel;
+use cnfet_layout::{align_library, AlignmentOptions, GridPolicy, LibraryAlignment};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Cache key for one `(corner, backend)` failure curve.
+type CurveKey = (u64, u64, u64, u8, u64);
+
+fn curve_key(corner: &CornerSpec, backend: &BackendSpec) -> Result<CurveKey> {
+    let c = corner.corner()?;
+    let (tag, step) = match backend {
+        BackendSpec::Convolution { step } => (0u8, step.to_bits()),
+        BackendSpec::GaussianSum => (1u8, 0),
+    };
+    Ok((
+        c.pm().to_bits(),
+        c.p_rs().to_bits(),
+        c.p_rm().to_bits(),
+        tag,
+        step,
+    ))
+}
+
+/// The shared evaluator behind every experiment, bench, and sweep.
+///
+/// All getters hand out `Arc`s from interior caches, so one `Pipeline` can
+/// be borrowed concurrently by the [`crate::sweep::SweepRunner`] workers:
+/// the expensive substrates — memoized `pF(W)` curves, mapped-design
+/// statistics, aligned libraries — are computed once per distinct key and
+/// shared from then on.
+#[derive(Default)]
+pub struct Pipeline {
+    curves: Mutex<HashMap<CurveKey, Arc<FailureCurve>>>,
+    designs: Mutex<HashMap<(LibrarySpec, bool), Arc<DesignStats>>>,
+    libraries: Mutex<HashMap<LibrarySpec, Arc<CellLibrary>>>,
+    alignments: Mutex<HashMap<(LibrarySpec, bool), Arc<LibraryAlignment>>>,
+}
+
+impl Pipeline {
+    /// An empty pipeline; every cache fills lazily.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build the (uncached) failure model for a corner and back-end.
+    ///
+    /// # Errors
+    ///
+    /// Propagates corner/model validation errors.
+    pub fn failure_model(
+        &self,
+        corner: &CornerSpec,
+        backend: &BackendSpec,
+    ) -> Result<FailureModel> {
+        Ok(FailureModel::paper_default(corner.corner()?)?.with_backend(backend.count_model()))
+    }
+
+    /// The shared memoized `pF(W)` curve for a corner and back-end.
+    ///
+    /// # Errors
+    ///
+    /// Propagates corner/model validation errors.
+    pub fn failure_curve(
+        &self,
+        corner: &CornerSpec,
+        backend: &BackendSpec,
+    ) -> Result<Arc<FailureCurve>> {
+        let key = curve_key(corner, backend)?;
+        let mut curves = self.curves.lock().expect("pipeline lock poisoned");
+        if let Some(curve) = curves.get(&key) {
+            return Ok(Arc::clone(curve));
+        }
+        let curve = Arc::new(FailureCurve::new(self.failure_model(corner, backend)?));
+        curves.insert(key, Arc::clone(&curve));
+        Ok(curve)
+    }
+
+    /// The generated cell library (cached).
+    pub fn library(&self, lib: LibrarySpec) -> Arc<CellLibrary> {
+        let mut libraries = self.libraries.lock().expect("pipeline lock poisoned");
+        Arc::clone(
+            libraries
+                .entry(lib)
+                .or_insert_with(|| Arc::new(lib.build())),
+        )
+    }
+
+    /// Mapped-design statistics for `(library, fast)` (cached).
+    ///
+    /// # Errors
+    ///
+    /// Propagates mapping/placement errors.
+    pub fn design_stats(&self, lib: LibrarySpec, fast: bool) -> Result<Arc<DesignStats>> {
+        if let Some(stats) = self
+            .designs
+            .lock()
+            .expect("pipeline lock poisoned")
+            .get(&(lib, fast))
+        {
+            return Ok(Arc::clone(stats));
+        }
+        // Compute outside the lock: mapping + placement is the slow part.
+        let library = self.library(lib);
+        let stats = Arc::new(design_stats(&library, fast)?);
+        Ok(Arc::clone(
+            self.designs
+                .lock()
+                .expect("pipeline lock poisoned")
+                .entry((lib, fast))
+                .or_insert(stats),
+        ))
+    }
+
+    /// The aligned-active transform of a whole library (cached per grid
+    /// policy).
+    ///
+    /// # Errors
+    ///
+    /// Propagates alignment errors.
+    pub fn aligned_library(
+        &self,
+        lib: LibrarySpec,
+        policy: GridPolicy,
+    ) -> Result<Arc<LibraryAlignment>> {
+        let key = (lib, policy == GridPolicy::Dual);
+        if let Some(aligned) = self
+            .alignments
+            .lock()
+            .expect("pipeline lock poisoned")
+            .get(&key)
+        {
+            return Ok(Arc::clone(aligned));
+        }
+        let library = self.library(lib);
+        let aligned = Arc::new(align_library(
+            &library,
+            &AlignmentOptions {
+                policy,
+                ..AlignmentOptions::default()
+            },
+        )?);
+        Ok(Arc::clone(
+            self.alignments
+                .lock()
+                .expect("pipeline lock poisoned")
+                .entry(key)
+                .or_insert(aligned),
+        ))
+    }
+
+    /// The Eq. (3.2) row model a scenario implies: density from the paper
+    /// or the measured design, rescaled to the scenario node, divided by
+    /// the grid policy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates design-stats and row-model validation errors.
+    pub fn row_model(&self, spec: &ScenarioSpec) -> Result<RowModel> {
+        let base_node = spec.library.node_nm();
+        let rho_base = match spec.rho {
+            RhoSpec::Paper => paper::RHO_MIN_FET_PER_UM,
+            RhoSpec::Measured => {
+                self.design_stats(spec.library, spec.fast_design)?
+                    .rho_per_um
+            }
+        };
+        // Critical-FET density rises as cells shrink below the base node.
+        let rho = rho_base * base_node / spec.node_nm;
+        let row = RowModel::from_design(paper::L_CNT_UM, rho)?;
+        Ok(row.with_grid_division(spec.grid.benefit_division())?)
+    }
+
+    /// The requirement relaxation a correlation scenario buys (Sec 3.1 /
+    /// Table 1): none → 1, directional growth alone → `M_Rmin` divided by
+    /// the paper's 13× alignment factor, growth + aligned-active → the
+    /// full `M_Rmin`.
+    pub fn relaxation(spec: &ScenarioSpec, row: &RowModel) -> f64 {
+        match spec.correlation {
+            CorrelationSpec::None => 1.0,
+            CorrelationSpec::Growth => (row.relaxation() / paper::ALIGNMENT_FACTOR).max(1.0),
+            CorrelationSpec::GrowthAlignedLayout => row.relaxation().max(1.0),
+        }
+    }
+
+    /// Evaluate one scenario. `seed` drives the optional conditional-MC
+    /// cross-check (and is recorded in the report either way); analytic
+    /// results are seed-independent.
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation, model, solver, and simulation errors.
+    pub fn evaluate(&self, spec: &ScenarioSpec, seed: u64) -> Result<ScenarioReport> {
+        spec.validate()?;
+        let curve = self.failure_curve(&spec.corner, &spec.backend)?;
+        let stats = self.design_stats(spec.library, spec.fast_design)?;
+        let scale = spec.node_nm / spec.library.node_nm();
+        let widths: Vec<(f64, u64)> = stats
+            .width_pairs
+            .iter()
+            .map(|&(w, n)| (w * scale, n))
+            .collect();
+        let row = self.row_model(spec)?;
+        let relaxation = Self::relaxation(spec, &row);
+
+        let sol: UpsizingSolution = match spec.m_min {
+            MminSpec::Fraction(fraction) => {
+                let m_min = (fraction * spec.m_transistors).max(1.0);
+                let solver = WminSolver::new(curve.as_ref());
+                let s = solver.solve_relaxed(spec.yield_target, m_min, relaxation.max(1.0))?;
+                UpsizingSolution {
+                    w_min: s.w_min,
+                    m_min,
+                    p_req: s.p_req,
+                }
+            }
+            MminSpec::SelfConsistent => solve_upsizing(
+                curve.as_ref(),
+                &widths,
+                spec.yield_target,
+                spec.m_transistors,
+                relaxation,
+            )?,
+        };
+        let penalty = upsizing_penalty(&GateCapModel::proportional(), &widths, sol.w_min)?;
+        let p_at_w_min = curve.p_failure(sol.w_min)?;
+
+        // Optional conditional-MC cross-check of the non-aligned row
+        // failure probability at the solved width (Table-1 machinery).
+        let unaligned_p_rf_mc = if spec.mc_trials > 0
+            && spec.correlation != CorrelationSpec::None
+            && sol.w_min < 0.95 * 560.0 * scale
+        {
+            let study = UnalignedRowStudy {
+                band_height: 560.0 * scale,
+                width: sol.w_min,
+                offset_step: 45.0 * scale,
+                devices: row.m_r_min().round().max(1.0) as usize,
+            };
+            let model = self.failure_model(&spec.corner, &spec.backend)?;
+            Some(study.estimate(&model, spec.mc_trials, seed)?.probability)
+        } else {
+            None
+        };
+
+        Ok(ScenarioReport {
+            name: spec.name.clone(),
+            seed,
+            library: spec.library.name().to_string(),
+            node_nm: spec.node_nm,
+            corner: spec.corner.label(),
+            correlation: spec.correlation.name().to_string(),
+            backend: spec.backend.name().to_string(),
+            yield_target: spec.yield_target,
+            m_transistors: spec.m_transistors,
+            m_min: sol.m_min,
+            m_r_min: row.m_r_min(),
+            relaxation,
+            p_req: sol.p_req,
+            w_min_nm: sol.w_min,
+            p_at_w_min,
+            upsizing_penalty: penalty,
+            unaligned_p_rf_mc,
+            curve_evaluations: curve.evaluations(),
+        })
+    }
+
+    /// The paper's Table 1 anchor: find the width where the aligned
+    /// `p_RF` equals 1.5e-8, then estimate all three growth/layout
+    /// scenarios there (conditional MC for the non-aligned case).
+    ///
+    /// # Errors
+    ///
+    /// Propagates model inversion and simulation errors.
+    pub fn table1_anchor(&self, trials: u32, seed: u64) -> Result<Table1Anchor> {
+        let corner = CornerSpec::Aggressive;
+        let backend = BackendSpec::Convolution { step: 0.05 };
+        let model = self.failure_model(&corner, &backend)?;
+        let curve = self.failure_curve(&corner, &backend)?;
+        let row = RowModel::from_design(paper::L_CNT_UM, paper::RHO_MIN_FET_PER_UM)?;
+        let w_eval = curve.width_for_failure(paper::TABLE1_DIRECTIONAL_ALIGNED, 50.0, 300.0)?;
+        let study = UnalignedRowStudy {
+            band_height: 560.0, // polarity-band height of the 45-nm cell geometry
+            width: w_eval,
+            offset_step: 45.0, // legal-placement grid of the library
+            devices: paper::M_R_MIN as usize,
+        };
+        let table1 = evaluate_table1(&model, &row, &study, trials, seed)?;
+        Ok(Table1Anchor { w_eval, table1 })
+    }
+}
+
+/// Result of [`Pipeline::table1_anchor`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1Anchor {
+    /// The evaluation width (nm) where aligned `p_RF = pF = 1.5e-8`.
+    pub w_eval: f64,
+    /// The three-scenario Table 1 evaluation at that width.
+    pub table1: Table1,
+}
+
+impl std::fmt::Debug for Pipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pipeline")
+            .field(
+                "curves",
+                &self.curves.lock().expect("pipeline lock poisoned").len(),
+            )
+            .field(
+                "designs",
+                &self.designs.lock().expect("pipeline lock poisoned").len(),
+            )
+            .finish_non_exhaustive()
+    }
+}
+
+// Keep the compiler honest about the concurrency contract: SweepRunner
+// shares `&Pipeline` across scoped threads.
+const _: fn() = || {
+    fn assert_sync<T: Sync>() {}
+    assert_sync::<Pipeline>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::ScenarioSpec;
+
+    fn fast_spec(name: &str) -> ScenarioSpec {
+        let mut spec = ScenarioSpec::baseline(name);
+        spec.backend = BackendSpec::GaussianSum;
+        spec.fast_design = true;
+        spec.rho = RhoSpec::Paper;
+        spec
+    }
+
+    #[test]
+    fn caches_are_shared() {
+        let p = Pipeline::new();
+        let a = p
+            .failure_curve(&CornerSpec::Aggressive, &BackendSpec::GaussianSum)
+            .unwrap();
+        let b = p
+            .failure_curve(&CornerSpec::Aggressive, &BackendSpec::GaussianSum)
+            .unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "same key must share one curve");
+        let c = p
+            .failure_curve(&CornerSpec::IdealRemoval, &BackendSpec::GaussianSum)
+            .unwrap();
+        assert!(
+            !Arc::ptr_eq(&a, &c),
+            "different corners get distinct curves"
+        );
+
+        let d1 = p.design_stats(LibrarySpec::Nangate45, true).unwrap();
+        let d2 = p.design_stats(LibrarySpec::Nangate45, true).unwrap();
+        assert!(Arc::ptr_eq(&d1, &d2));
+    }
+
+    #[test]
+    fn correlation_relaxes_wmin() {
+        let p = Pipeline::new();
+        let plain = p.evaluate(&fast_spec("plain"), 1).unwrap();
+        let mut corr_spec = fast_spec("corr");
+        corr_spec.correlation = CorrelationSpec::GrowthAlignedLayout;
+        let corr = p.evaluate(&corr_spec, 1).unwrap();
+        assert!(
+            corr.w_min_nm < plain.w_min_nm - 30.0,
+            "correlated {} vs plain {}",
+            corr.w_min_nm,
+            plain.w_min_nm
+        );
+        assert!(corr.relaxation > 300.0, "relaxation {}", corr.relaxation);
+        assert_eq!(plain.relaxation, 1.0);
+        assert!(corr.upsizing_penalty <= plain.upsizing_penalty);
+
+        let mut growth_spec = fast_spec("growth");
+        growth_spec.correlation = CorrelationSpec::Growth;
+        let growth = p.evaluate(&growth_spec, 1).unwrap();
+        assert!(
+            growth.w_min_nm < plain.w_min_nm && growth.w_min_nm > corr.w_min_nm,
+            "growth-only {} must sit between {} and {}",
+            growth.w_min_nm,
+            corr.w_min_nm,
+            plain.w_min_nm
+        );
+    }
+
+    #[test]
+    fn grid_division_halves_the_benefit() {
+        let p = Pipeline::new();
+        let mut single = fast_spec("single");
+        single.correlation = CorrelationSpec::GrowthAlignedLayout;
+        let mut dual = single.clone();
+        dual.name = "dual".into();
+        dual.grid = GridPolicy::Dual;
+        let rs = p.evaluate(&single, 1).unwrap();
+        let rd = p.evaluate(&dual, 1).unwrap();
+        assert!((rs.relaxation / rd.relaxation - 2.0).abs() < 1e-9);
+        assert!(rd.w_min_nm > rs.w_min_nm);
+    }
+
+    #[test]
+    fn mc_cross_check_runs_and_is_seeded() {
+        let p = Pipeline::new();
+        let mut spec = fast_spec("mc");
+        spec.correlation = CorrelationSpec::GrowthAlignedLayout;
+        spec.mc_trials = 50;
+        let a = p.evaluate(&spec, 7).unwrap();
+        let b = p.evaluate(&spec, 7).unwrap();
+        let c = p.evaluate(&spec, 8).unwrap();
+        let pa = a.unaligned_p_rf_mc.expect("mc requested");
+        assert_eq!(pa, b.unaligned_p_rf_mc.unwrap(), "same seed, same estimate");
+        assert_ne!(
+            pa,
+            c.unaligned_p_rf_mc.unwrap(),
+            "different seed, different estimate"
+        );
+        // The non-aligned estimate sits between aligned and uncorrelated.
+        assert!(pa >= a.p_at_w_min);
+    }
+}

@@ -1,0 +1,167 @@
+//! # cnfet-pipeline
+//!
+//! The unified scenario pipeline: one declarative entry point for every
+//! yield computation in the workspace.
+//!
+//! The DAC 2010 reproduction asks the same underlying question in many
+//! shapes — *given a processing corner, a correlation scenario, a library
+//! and a node, what `W_min` does the yield target impose and what does the
+//! upsizing cost?* Historically each figure/table hand-wired its own
+//! growth → device → layout → yield chain; this crate replaces that with:
+//!
+//! * [`spec::ScenarioSpec`] — a declarative description of one scenario
+//!   (process corner × correlation scenario × node × library × yield
+//!   target × count back-end), parse/serialize via the dependency-free
+//!   JSON-lite of [`json`];
+//! * [`spec::ScenarioGrid`] — grid files with defaults, cartesian axes and
+//!   explicit scenario lists, so process/circuit co-optimization sweeps
+//!   (Hills et al.) are data, not code;
+//! * [`engine::Pipeline`] — the evaluator. It caches one memoized
+//!   [`cnfet_core::curve::FailureCurve`] per `(corner, backend)`, one
+//!   mapped-design statistic per `(library, size)`, and one aligned
+//!   library per `(library, grid policy)`, so every consumer shares the
+//!   `pF(W)` hot path instead of recomputing it;
+//! * [`sweep::SweepRunner`] — fans a grid across scoped threads with the
+//!   deterministic seed-splitting of `cnfet_sim::engine`, collecting one
+//!   [`report::ScenarioReport`] per scenario;
+//! * [`report`] — structured JSON artifacts for downstream tooling.
+//!
+//! ## Example
+//!
+//! ```
+//! use cnfet_pipeline::{Pipeline, ScenarioGrid, SweepRunner};
+//!
+//! # fn main() -> cnfet_pipeline::Result<()> {
+//! let grid = ScenarioGrid::parse(r#"{
+//!     "defaults": { "backend": "gaussian-sum", "rho": "paper", "fast_design": true },
+//!     "axes": { "correlation": ["none", "growth+aligned-layout"] }
+//! }"#)?;
+//! let pipeline = Pipeline::new();
+//! let reports = SweepRunner::new(&pipeline)
+//!     .run(&grid.scenarios, 20100613)
+//!     .into_iter()
+//!     .collect::<cnfet_pipeline::Result<Vec<_>>>()?;
+//! // Correlation shrinks the upsizing threshold (155 nm → 103 nm in the paper).
+//! assert!(reports[1].w_min_nm < reports[0].w_min_nm - 30.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod design;
+pub mod engine;
+pub mod json;
+pub mod report;
+pub mod spec;
+pub mod sweep;
+
+use std::error::Error;
+use std::fmt;
+
+/// Error type of the scenario pipeline.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// Malformed grid/spec document.
+    Parse {
+        /// 1-based line in the source document.
+        line: usize,
+        /// What went wrong.
+        msg: String,
+    },
+    /// A spec field failed validation.
+    InvalidSpec {
+        /// The offending field.
+        field: &'static str,
+        /// The constraint that was violated.
+        msg: String,
+    },
+    /// Underlying yield-model error.
+    Core(cnfet_core::CoreError),
+    /// Underlying netlist/mapping error.
+    Netlist(cnfet_netlist::NetlistError),
+    /// Underlying layout error.
+    Layout(cnfet_layout::LayoutError),
+    /// Filesystem error while writing artifacts.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
+            PipelineError::InvalidSpec { field, msg } => {
+                write!(f, "invalid scenario field `{field}`: {msg}")
+            }
+            PipelineError::Core(e) => write!(f, "yield-model error: {e}"),
+            PipelineError::Netlist(e) => write!(f, "netlist error: {e}"),
+            PipelineError::Layout(e) => write!(f, "layout error: {e}"),
+            PipelineError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl Error for PipelineError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PipelineError::Core(e) => Some(e),
+            PipelineError::Netlist(e) => Some(e),
+            PipelineError::Layout(e) => Some(e),
+            PipelineError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<cnfet_core::CoreError> for PipelineError {
+    fn from(e: cnfet_core::CoreError) -> Self {
+        PipelineError::Core(e)
+    }
+}
+
+impl From<cnfet_netlist::NetlistError> for PipelineError {
+    fn from(e: cnfet_netlist::NetlistError) -> Self {
+        PipelineError::Netlist(e)
+    }
+}
+
+impl From<cnfet_layout::LayoutError> for PipelineError {
+    fn from(e: cnfet_layout::LayoutError) -> Self {
+        PipelineError::Layout(e)
+    }
+}
+
+impl From<std::io::Error> for PipelineError {
+    fn from(e: std::io::Error) -> Self {
+        PipelineError::Io(e)
+    }
+}
+
+/// Result alias for the pipeline.
+pub type Result<T> = std::result::Result<T, PipelineError>;
+
+pub use design::DesignStats;
+pub use engine::{Pipeline, Table1Anchor};
+pub use json::Json;
+pub use report::ScenarioReport;
+pub use spec::{
+    BackendSpec, CornerSpec, CorrelationSpec, LibrarySpec, MminSpec, RhoSpec, ScenarioGrid,
+    ScenarioSpec,
+};
+pub use sweep::SweepRunner;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_chain_preserves_sources() {
+        let core = cnfet_core::CoreError::NoConvergence("wmin");
+        let e: PipelineError = core.into();
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(e.to_string().contains("wmin"));
+        let parse = PipelineError::Parse {
+            line: 3,
+            msg: "boom".into(),
+        };
+        assert!(parse.to_string().contains("line 3"));
+    }
+}

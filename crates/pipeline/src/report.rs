@@ -1,0 +1,176 @@
+//! Structured scenario results and artifact emission.
+
+use crate::json::Json;
+use crate::Result;
+use std::path::{Path, PathBuf};
+
+/// The evaluated outcome of one [`crate::spec::ScenarioSpec`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioReport {
+    /// Scenario name (from the spec).
+    pub name: String,
+    /// The seed the sweep assigned (drives the optional MC cross-check).
+    pub seed: u64,
+    /// Library name.
+    pub library: String,
+    /// Technology node (nm).
+    pub node_nm: f64,
+    /// Processing-corner label.
+    pub corner: String,
+    /// Correlation-scenario name.
+    pub correlation: String,
+    /// Count back-end name.
+    pub backend: String,
+    /// Yield target.
+    pub yield_target: f64,
+    /// Chip transistor count `M`.
+    pub m_transistors: f64,
+    /// Minimum-sized device count `M_min` (fixed or self-consistent).
+    pub m_min: f64,
+    /// Row size `M_Rmin` of the Eq. (3.2) model.
+    pub m_r_min: f64,
+    /// Requirement relaxation applied (1 = uncorrelated).
+    pub relaxation: f64,
+    /// The device-level requirement `pF_req`.
+    pub p_req: f64,
+    /// The solved upsizing threshold (nm).
+    pub w_min_nm: f64,
+    /// Achieved `pF(W_min)`.
+    pub p_at_w_min: f64,
+    /// Gate-capacitance upsizing penalty.
+    pub upsizing_penalty: f64,
+    /// Conditional-MC estimate of the non-aligned row failure probability
+    /// (when the spec requested trials).
+    pub unaligned_p_rf_mc: Option<f64>,
+    /// Cumulative exact evaluations on the shared curve after this
+    /// scenario (provenance for the memoization win).
+    pub curve_evaluations: u64,
+}
+
+impl ScenarioReport {
+    /// Serialize as a JSON object.
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("name".into(), Json::Str(self.name.clone())),
+            ("seed".into(), Json::Num(self.seed as f64)),
+            ("library".into(), Json::Str(self.library.clone())),
+            ("node_nm".into(), Json::Num(self.node_nm)),
+            ("corner".into(), Json::Str(self.corner.clone())),
+            ("correlation".into(), Json::Str(self.correlation.clone())),
+            ("backend".into(), Json::Str(self.backend.clone())),
+            ("yield_target".into(), Json::Num(self.yield_target)),
+            ("m_transistors".into(), Json::Num(self.m_transistors)),
+            ("m_min".into(), Json::Num(self.m_min)),
+            ("m_r_min".into(), Json::Num(self.m_r_min)),
+            ("relaxation".into(), Json::Num(self.relaxation)),
+            ("p_req".into(), Json::Num(self.p_req)),
+            ("w_min_nm".into(), Json::Num(self.w_min_nm)),
+            ("p_at_w_min".into(), Json::Num(self.p_at_w_min)),
+            ("upsizing_penalty".into(), Json::Num(self.upsizing_penalty)),
+            (
+                "curve_evaluations".into(),
+                Json::Num(self.curve_evaluations as f64),
+            ),
+        ];
+        if let Some(p) = self.unaligned_p_rf_mc {
+            fields.push(("unaligned_p_rf_mc".into(), Json::Num(p)));
+        }
+        Json::Obj(fields)
+    }
+}
+
+/// Sanitize a scenario name into a filesystem-safe artifact stem.
+fn artifact_stem(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' || c == '.' {
+                c
+            } else {
+                '-'
+            }
+        })
+        .collect();
+    if out.is_empty() {
+        out.push_str("scenario");
+    }
+    out
+}
+
+/// Write one JSON artifact per report plus a combined
+/// `sweep-summary.json`, returning the paths written.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_reports(dir: &Path, reports: &[ScenarioReport]) -> Result<Vec<PathBuf>> {
+    std::fs::create_dir_all(dir)?;
+    let mut written = Vec::with_capacity(reports.len() + 1);
+    for report in reports {
+        let path = dir.join(format!("{}.json", artifact_stem(&report.name)));
+        std::fs::write(&path, report.to_json().to_string_pretty())?;
+        written.push(path);
+    }
+    let summary = Json::Arr(reports.iter().map(ScenarioReport::to_json).collect());
+    let path = dir.join("sweep-summary.json");
+    std::fs::write(&path, summary.to_string_pretty())?;
+    written.push(path);
+    Ok(written)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(name: &str) -> ScenarioReport {
+        ScenarioReport {
+            name: name.into(),
+            seed: 7,
+            library: "nangate45".into(),
+            node_nm: 45.0,
+            corner: "pm=33%, pRs=30%".into(),
+            correlation: "none".into(),
+            backend: "convolution".into(),
+            yield_target: 0.9,
+            m_transistors: 1e8,
+            m_min: 33e6,
+            m_r_min: 360.0,
+            relaxation: 1.0,
+            p_req: 3e-9,
+            w_min_nm: 155.0,
+            p_at_w_min: 2.9e-9,
+            upsizing_penalty: 0.11,
+            unaligned_p_rf_mc: None,
+            curve_evaluations: 42,
+        }
+    }
+
+    #[test]
+    fn report_serializes_and_reparses() {
+        let r = report("a/b c");
+        let json = r.to_json();
+        let reparsed = Json::parse(&json.to_string_pretty()).unwrap();
+        assert_eq!(reparsed.get("w_min_nm").unwrap().as_f64(), Some(155.0));
+        assert_eq!(reparsed.get("name").unwrap().as_str(), Some("a/b c"));
+        assert!(reparsed.get("unaligned_p_rf_mc").is_none());
+    }
+
+    #[test]
+    fn artifacts_land_on_disk() {
+        let dir = std::env::temp_dir().join(format!("cnfet-report-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let written = write_reports(&dir, &[report("x/y=1"), report("x/y=2")]).unwrap();
+        assert_eq!(written.len(), 3);
+        for path in &written {
+            let body = std::fs::read_to_string(path).unwrap();
+            assert!(
+                Json::parse(&body).is_ok(),
+                "{} must be valid",
+                path.display()
+            );
+        }
+        assert!(dir.join("x-y-1.json").is_file());
+        assert!(dir.join("sweep-summary.json").is_file());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

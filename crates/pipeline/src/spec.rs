@@ -1,0 +1,769 @@
+//! Declarative scenario specifications and scenario grids.
+//!
+//! A [`ScenarioSpec`] names one complete yield computation: a processing
+//! corner × a correlation scenario × a technology node × a cell library ×
+//! a yield target × a numerical count back-end (plus the knobs the paper's
+//! experiments vary: grid policy, `M_min` treatment, critical-FET density
+//! source). Specs serialize to the JSON-lite format of [`crate::json`], so
+//! whole grids live in version-controlled files and sweep results come
+//! back as structured artifacts.
+//!
+//! A [`ScenarioGrid`] file has three (all optional, at least one required)
+//! top-level sections:
+//!
+//! ```text
+//! {
+//!   // fields merged into every scenario
+//!   "defaults": { "library": "nangate45", "yield_target": 0.9 },
+//!   // cartesian product axes: every combination becomes one scenario
+//!   "axes": { "node_nm": [45, 32], "correlation": ["none", "growth+aligned-layout"] },
+//!   // and/or explicitly listed scenarios (each merged over the defaults)
+//!   "scenarios": [ { "name": "anchor", "node_nm": 45 } ]
+//! }
+//! ```
+
+use crate::json::Json;
+use crate::{PipelineError, Result};
+use cnfet_core::corner::ProcessCorner;
+use cnfet_core::paper;
+use cnfet_layout::GridPolicy;
+use cnt_stats::renewal::CountModel;
+
+fn invalid(field: &'static str, msg: impl Into<String>) -> PipelineError {
+    PipelineError::InvalidSpec {
+        field,
+        msg: msg.into(),
+    }
+}
+
+/// The processing corner of Eq. (2.1): a paper-named corner or an explicit
+/// `(pm, pRs, pRm)` triple.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CornerSpec {
+    /// `pm = 33 %, pRs = 30 %` — the paper's main corner.
+    Aggressive,
+    /// `pm = 33 %, pRs = 0` — perfect removal selectivity.
+    IdealRemoval,
+    /// `pm = 0, pRs = 0` — perfectly semiconducting growth.
+    AllSemiconducting,
+    /// An explicit corner.
+    Custom {
+        /// Metallic CNT fraction.
+        pm: f64,
+        /// Collateral semiconducting removal probability.
+        p_rs: f64,
+        /// Metallic removal probability.
+        p_rm: f64,
+    },
+}
+
+impl CornerSpec {
+    /// Resolve to a validated [`ProcessCorner`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates out-of-range probabilities for custom corners.
+    pub fn corner(&self) -> Result<ProcessCorner> {
+        let c = match self {
+            CornerSpec::Aggressive => ProcessCorner::aggressive(),
+            CornerSpec::IdealRemoval => ProcessCorner::ideal_removal(),
+            CornerSpec::AllSemiconducting => ProcessCorner::all_semiconducting(),
+            CornerSpec::Custom { pm, p_rs, p_rm } => ProcessCorner::new(*pm, *p_rs, *p_rm),
+        };
+        Ok(c?)
+    }
+
+    fn from_json(v: &Json) -> Result<Self> {
+        match v {
+            Json::Str(s) => match s.as_str() {
+                "aggressive" => Ok(CornerSpec::Aggressive),
+                "ideal-removal" => Ok(CornerSpec::IdealRemoval),
+                "all-semiconducting" => Ok(CornerSpec::AllSemiconducting),
+                other => Err(invalid(
+                    "corner",
+                    format!(
+                        "unknown corner `{other}` (expected aggressive, ideal-removal, \
+                         all-semiconducting, or an object)"
+                    ),
+                )),
+            },
+            Json::Obj(_) => {
+                let field = |key: &str| -> Result<Option<f64>> {
+                    match v.get(key) {
+                        None => Ok(None),
+                        Some(j) => j
+                            .as_f64()
+                            .map(Some)
+                            .ok_or_else(|| invalid("corner", format!("`{key}` must be a number"))),
+                    }
+                };
+                Ok(CornerSpec::Custom {
+                    pm: field("pm")?.ok_or_else(|| invalid("corner", "missing `pm`"))?,
+                    p_rs: field("p_rs")?.ok_or_else(|| invalid("corner", "missing `p_rs`"))?,
+                    p_rm: field("p_rm")?.unwrap_or(1.0),
+                })
+            }
+            _ => Err(invalid("corner", "must be a string or an object")),
+        }
+    }
+
+    fn to_json(self) -> Json {
+        match self {
+            CornerSpec::Aggressive => Json::Str("aggressive".into()),
+            CornerSpec::IdealRemoval => Json::Str("ideal-removal".into()),
+            CornerSpec::AllSemiconducting => Json::Str("all-semiconducting".into()),
+            CornerSpec::Custom { pm, p_rs, p_rm } => Json::Obj(vec![
+                ("pm".into(), Json::Num(pm)),
+                ("p_rs".into(), Json::Num(p_rs)),
+                ("p_rm".into(), Json::Num(p_rm)),
+            ]),
+        }
+    }
+
+    /// Short display label.
+    pub fn label(&self) -> String {
+        match self.corner() {
+            Ok(c) => c.label(),
+            Err(_) => "invalid corner".to_string(),
+        }
+    }
+}
+
+/// The growth/layout correlation scenario (paper Fig 3.1 / Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CorrelationSpec {
+    /// Uncorrelated CNT growth — every device fails independently.
+    None,
+    /// Directional growth on an unmodified (non-aligned) library: partial
+    /// track sharing, credited with the paper's Table 1 growth factor.
+    Growth,
+    /// Directional growth + aligned-active layout: the full `M_Rmin`
+    /// relaxation.
+    GrowthAlignedLayout,
+}
+
+impl CorrelationSpec {
+    const NAMES: [(&'static str, CorrelationSpec); 3] = [
+        ("none", CorrelationSpec::None),
+        ("growth", CorrelationSpec::Growth),
+        (
+            "growth+aligned-layout",
+            CorrelationSpec::GrowthAlignedLayout,
+        ),
+    ];
+
+    fn from_json(v: &Json) -> Result<Self> {
+        let s = v
+            .as_str()
+            .ok_or_else(|| invalid("correlation", "must be a string"))?;
+        Self::NAMES
+            .iter()
+            .find(|(name, _)| *name == s)
+            .map(|(_, value)| *value)
+            .ok_or_else(|| {
+                invalid(
+                    "correlation",
+                    format!("unknown scenario `{s}` (none, growth, growth+aligned-layout)"),
+                )
+            })
+    }
+
+    /// The canonical scenario name.
+    pub fn name(&self) -> &'static str {
+        Self::NAMES
+            .iter()
+            .find(|(_, value)| value == self)
+            .map(|(name, _)| *name)
+            .expect("every variant is named")
+    }
+}
+
+/// Which standard-cell library (and with it, the base technology node).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LibrarySpec {
+    /// The Nangate-45-class library (134 cells, 45 nm).
+    Nangate45,
+    /// The commercial-65-class library (775 cells, 65 nm).
+    Commercial65,
+}
+
+impl LibrarySpec {
+    /// Generate the library.
+    pub fn build(&self) -> cnfet_celllib::CellLibrary {
+        match self {
+            LibrarySpec::Nangate45 => cnfet_celllib::nangate45::nangate45_like(),
+            LibrarySpec::Commercial65 => cnfet_celllib::commercial65::commercial65_like(),
+        }
+    }
+
+    /// The library's native technology node (nm).
+    pub fn node_nm(&self) -> f64 {
+        match self {
+            LibrarySpec::Nangate45 => 45.0,
+            LibrarySpec::Commercial65 => 65.0,
+        }
+    }
+
+    /// The canonical name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            LibrarySpec::Nangate45 => "nangate45",
+            LibrarySpec::Commercial65 => "commercial65",
+        }
+    }
+
+    fn from_json(v: &Json) -> Result<Self> {
+        match v.as_str() {
+            Some("nangate45") => Ok(LibrarySpec::Nangate45),
+            Some("commercial65") => Ok(LibrarySpec::Commercial65),
+            Some(other) => Err(invalid(
+                "library",
+                format!("unknown library `{other}` (nangate45, commercial65)"),
+            )),
+            None => Err(invalid("library", "must be a string")),
+        }
+    }
+}
+
+/// The numerical CNT-count back-end.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BackendSpec {
+    /// Exact discretized convolution with the given step (nm).
+    Convolution {
+        /// Discretization step in nanometres.
+        step: f64,
+    },
+    /// The ~100× faster central-limit approximation.
+    GaussianSum,
+}
+
+impl BackendSpec {
+    /// The equivalent `cnt-stats` count model.
+    pub fn count_model(&self) -> CountModel {
+        match self {
+            BackendSpec::Convolution { step } => CountModel::Convolution { step: *step },
+            BackendSpec::GaussianSum => CountModel::GaussianSum,
+        }
+    }
+
+    /// The canonical name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BackendSpec::Convolution { .. } => "convolution",
+            BackendSpec::GaussianSum => "gaussian-sum",
+        }
+    }
+
+    fn from_json(v: &Json) -> Result<Self> {
+        match v {
+            Json::Str(s) => match s.as_str() {
+                "convolution" => Ok(BackendSpec::Convolution { step: 0.05 }),
+                "gaussian-sum" => Ok(BackendSpec::GaussianSum),
+                other => Err(invalid(
+                    "backend",
+                    format!("unknown backend `{other}` (convolution, gaussian-sum)"),
+                )),
+            },
+            Json::Obj(_) => {
+                let kind = v
+                    .get("kind")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| invalid("backend", "object form needs a `kind` string"))?;
+                match kind {
+                    "convolution" => Ok(BackendSpec::Convolution {
+                        step: v.get("step").and_then(Json::as_f64).unwrap_or(0.05),
+                    }),
+                    "gaussian-sum" => Ok(BackendSpec::GaussianSum),
+                    other => Err(invalid("backend", format!("unknown backend `{other}`"))),
+                }
+            }
+            _ => Err(invalid("backend", "must be a string or an object")),
+        }
+    }
+
+    fn to_json(self) -> Json {
+        match self {
+            BackendSpec::Convolution { step } => Json::Obj(vec![
+                ("kind".into(), Json::Str("convolution".into())),
+                ("step".into(), Json::Num(step)),
+            ]),
+            BackendSpec::GaussianSum => Json::Str("gaussian-sum".into()),
+        }
+    }
+}
+
+/// How `M_min` (the minimum-sized-device count) is determined.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MminSpec {
+    /// A fixed fraction of the chip's transistors (the paper's 33 %).
+    Fraction(f64),
+    /// The self-consistent Eq. (2.5) fixed point over the design's width
+    /// distribution (the scaling-study treatment).
+    SelfConsistent,
+}
+
+/// Where the critical-FET row density `ρ` comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RhoSpec {
+    /// The paper's 1.8 FET/µm (Sec 3.3).
+    Paper,
+    /// Measured from the placed OpenRISC-class design on the chosen
+    /// library.
+    Measured,
+}
+
+/// One declarative yield scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    /// Scenario name (also names the result artifact).
+    pub name: String,
+    /// Processing corner.
+    pub corner: CornerSpec,
+    /// Growth/layout correlation scenario.
+    pub correlation: CorrelationSpec,
+    /// Cell library (fixes the base node and the design mapping).
+    pub library: LibrarySpec,
+    /// Technology node to scale the design to (nm).
+    pub node_nm: f64,
+    /// Chip yield target in `(0, 1)`.
+    pub yield_target: f64,
+    /// Numerical count back-end.
+    pub backend: BackendSpec,
+    /// Chip transistor count `M`.
+    pub m_transistors: f64,
+    /// `M_min` treatment.
+    pub m_min: MminSpec,
+    /// Critical-FET density source.
+    pub rho: RhoSpec,
+    /// Aligned-active grid policy (Sec 3.3: one or two regions).
+    pub grid: GridPolicy,
+    /// Use the reduced OpenRISC-class design for the mapped statistics.
+    pub fast_design: bool,
+    /// Conditional-MC trials for the non-aligned row estimate (0 = analytic
+    /// only; only meaningful for correlated scenarios).
+    pub mc_trials: u32,
+}
+
+impl ScenarioSpec {
+    /// The paper's baseline configuration: aggressive corner, Nangate-45
+    /// library at its native node, 90 % yield on a 1e8-transistor chip,
+    /// exact convolution back-end, fixed 33 % `M_min`, measured density,
+    /// single-grid aligned-active, no correlation.
+    pub fn baseline(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            corner: CornerSpec::Aggressive,
+            correlation: CorrelationSpec::None,
+            library: LibrarySpec::Nangate45,
+            node_nm: 45.0,
+            yield_target: paper::YIELD_TARGET,
+            backend: BackendSpec::Convolution { step: 0.05 },
+            m_transistors: paper::M_TRANSISTORS,
+            m_min: MminSpec::Fraction(paper::MMIN_FRACTION),
+            rho: RhoSpec::Measured,
+            grid: GridPolicy::Single,
+            fast_design: false,
+            mc_trials: 0,
+        }
+    }
+
+    /// Check scalar fields are in-domain.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::InvalidSpec`] naming the offending field.
+    pub fn validate(&self) -> Result<()> {
+        self.corner.corner()?;
+        if !(self.node_nm.is_finite() && self.node_nm > 0.0) {
+            return Err(invalid("node_nm", "must be finite and > 0"));
+        }
+        if !(self.yield_target > 0.0 && self.yield_target < 1.0) {
+            return Err(invalid("yield_target", "must be in (0, 1)"));
+        }
+        if !(self.m_transistors.is_finite() && self.m_transistors >= 1.0) {
+            return Err(invalid("m_transistors", "must be finite and >= 1"));
+        }
+        if let MminSpec::Fraction(f) = self.m_min {
+            if !(f > 0.0 && f <= 1.0) {
+                return Err(invalid("m_min", "fraction must be in (0, 1]"));
+            }
+        }
+        if let BackendSpec::Convolution { step } = self.backend {
+            if !(step.is_finite() && step > 0.0) {
+                return Err(invalid("backend", "convolution step must be > 0"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Apply one named field from a JSON value (the merge primitive used
+    /// by defaults / axes / explicit scenarios).
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::InvalidSpec`] for unknown fields or wrong types.
+    pub fn apply(&mut self, key: &str, value: &Json) -> Result<()> {
+        let num = |field: &'static str| -> Result<f64> {
+            value
+                .as_f64()
+                .ok_or_else(|| invalid(field, "must be a number"))
+        };
+        match key {
+            "name" => {
+                self.name = value
+                    .as_str()
+                    .ok_or_else(|| invalid("name", "must be a string"))?
+                    .to_string();
+            }
+            "corner" => self.corner = CornerSpec::from_json(value)?,
+            "correlation" => self.correlation = CorrelationSpec::from_json(value)?,
+            "library" => {
+                self.library = LibrarySpec::from_json(value)?;
+                self.node_nm = self.library.node_nm();
+            }
+            "node_nm" => self.node_nm = num("node_nm")?,
+            "yield_target" => self.yield_target = num("yield_target")?,
+            "backend" => self.backend = BackendSpec::from_json(value)?,
+            "m_transistors" => self.m_transistors = num("m_transistors")?,
+            "m_min" => match value {
+                Json::Str(s) if s == "self-consistent" => self.m_min = MminSpec::SelfConsistent,
+                Json::Num(f) => self.m_min = MminSpec::Fraction(*f),
+                _ => {
+                    return Err(invalid(
+                        "m_min",
+                        "must be a fraction or \"self-consistent\"",
+                    ))
+                }
+            },
+            "rho" => match value.as_str() {
+                Some("paper") => self.rho = RhoSpec::Paper,
+                Some("measured") => self.rho = RhoSpec::Measured,
+                _ => return Err(invalid("rho", "must be \"paper\" or \"measured\"")),
+            },
+            "grid" => match value.as_str() {
+                Some("single") => self.grid = GridPolicy::Single,
+                Some("dual") => self.grid = GridPolicy::Dual,
+                _ => return Err(invalid("grid", "must be \"single\" or \"dual\"")),
+            },
+            "fast_design" => {
+                self.fast_design = value
+                    .as_bool()
+                    .ok_or_else(|| invalid("fast_design", "must be a boolean"))?;
+            }
+            "mc_trials" => self.mc_trials = num("mc_trials")? as u32,
+            other => {
+                return Err(PipelineError::InvalidSpec {
+                    field: "scenario",
+                    msg: format!("unknown field `{other}`"),
+                })
+            }
+        }
+        Ok(())
+    }
+
+    /// Build a spec from a JSON object, starting from [`Self::baseline`].
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::InvalidSpec`] for unknown fields, wrong types, or
+    /// out-of-domain values.
+    pub fn from_json(v: &Json) -> Result<Self> {
+        let fields = v
+            .as_object()
+            .ok_or_else(|| invalid("scenario", "must be an object"))?;
+        let mut spec = Self::baseline("scenario");
+        for (key, value) in fields {
+            spec.apply(key, value)?;
+        }
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Serialize the full (explicit) spec.
+    pub fn to_json(&self) -> Json {
+        let m_min = match self.m_min {
+            MminSpec::Fraction(f) => Json::Num(f),
+            MminSpec::SelfConsistent => Json::Str("self-consistent".into()),
+        };
+        Json::Obj(vec![
+            ("name".into(), Json::Str(self.name.clone())),
+            ("corner".into(), self.corner.to_json()),
+            (
+                "correlation".into(),
+                Json::Str(self.correlation.name().into()),
+            ),
+            ("library".into(), Json::Str(self.library.name().into())),
+            ("node_nm".into(), Json::Num(self.node_nm)),
+            ("yield_target".into(), Json::Num(self.yield_target)),
+            ("backend".into(), self.backend.to_json()),
+            ("m_transistors".into(), Json::Num(self.m_transistors)),
+            ("m_min".into(), m_min),
+            (
+                "rho".into(),
+                Json::Str(
+                    match self.rho {
+                        RhoSpec::Paper => "paper",
+                        RhoSpec::Measured => "measured",
+                    }
+                    .into(),
+                ),
+            ),
+            (
+                "grid".into(),
+                Json::Str(
+                    match self.grid {
+                        GridPolicy::Single => "single",
+                        GridPolicy::Dual => "dual",
+                    }
+                    .into(),
+                ),
+            ),
+            ("fast_design".into(), Json::Bool(self.fast_design)),
+            ("mc_trials".into(), Json::Num(f64::from(self.mc_trials))),
+        ])
+    }
+}
+
+/// An ordered list of scenarios, typically loaded from a grid file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioGrid {
+    /// The expanded scenarios, in file/product order.
+    pub scenarios: Vec<ScenarioSpec>,
+}
+
+impl ScenarioGrid {
+    /// Parse a grid document (see the module docs for the format).
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::Parse`] for malformed JSON,
+    /// [`PipelineError::InvalidSpec`] for bad fields or an empty grid.
+    pub fn parse(src: &str) -> Result<Self> {
+        let doc = Json::parse(src)?;
+        let known = ["defaults", "axes", "scenarios", "name"];
+        for (key, _) in doc
+            .as_object()
+            .ok_or_else(|| invalid("grid", "document must be an object"))?
+        {
+            if !known.contains(&key.as_str()) {
+                return Err(invalid("grid", format!("unknown section `{key}`")));
+            }
+        }
+
+        let mut base =
+            ScenarioSpec::baseline(doc.get("name").and_then(Json::as_str).unwrap_or("scenario"));
+        if let Some(defaults) = doc.get("defaults") {
+            let fields = defaults
+                .as_object()
+                .ok_or_else(|| invalid("defaults", "must be an object"))?;
+            for (key, value) in fields {
+                base.apply(key, value)?;
+            }
+        }
+
+        let mut scenarios = Vec::new();
+
+        if let Some(axes) = doc.get("axes") {
+            let axes = axes
+                .as_object()
+                .ok_or_else(|| invalid("axes", "must be an object"))?;
+            for (key, values) in axes {
+                if values.as_array().is_none_or(<[Json]>::is_empty) {
+                    return Err(invalid(
+                        "axes",
+                        format!("`{key}` must be a non-empty array"),
+                    ));
+                }
+            }
+            // Cartesian product in file order: later axes vary fastest.
+            let mut combos: Vec<Vec<(String, Json)>> = vec![Vec::new()];
+            for (key, values) in axes {
+                let values = values.as_array().expect("checked above");
+                combos = combos
+                    .into_iter()
+                    .flat_map(|combo| {
+                        values.iter().map(move |v| {
+                            let mut next = combo.clone();
+                            next.push((key.clone(), v.clone()));
+                            next
+                        })
+                    })
+                    .collect();
+            }
+            for combo in combos {
+                let mut spec = base.clone();
+                let mut parts = vec![spec.name.clone()];
+                for (key, value) in &combo {
+                    spec.apply(key, value)?;
+                    parts.push(format!("{key}={}", axis_label(value)));
+                }
+                spec.name = parts.join("/");
+                spec.validate()?;
+                scenarios.push(spec);
+            }
+        }
+
+        if let Some(explicit) = doc.get("scenarios") {
+            let items = explicit
+                .as_array()
+                .ok_or_else(|| invalid("scenarios", "must be an array"))?;
+            for (i, item) in items.iter().enumerate() {
+                let fields = item
+                    .as_object()
+                    .ok_or_else(|| invalid("scenarios", "each entry must be an object"))?;
+                let mut spec = base.clone();
+                spec.name = format!("{}/{}", spec.name, i);
+                for (key, value) in fields {
+                    spec.apply(key, value)?;
+                }
+                spec.validate()?;
+                scenarios.push(spec);
+            }
+        }
+
+        if scenarios.is_empty() {
+            return Err(invalid(
+                "grid",
+                "no scenarios: provide `axes` and/or `scenarios`",
+            ));
+        }
+        let mut names: Vec<&str> = scenarios.iter().map(|s| s.name.as_str()).collect();
+        names.sort_unstable();
+        if names.windows(2).any(|p| p[0] == p[1]) {
+            return Err(invalid("grid", "scenario names must be unique"));
+        }
+        Ok(Self { scenarios })
+    }
+
+    /// Serialize as an explicit scenario list (the normal-form artifact).
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![(
+            "scenarios".into(),
+            Json::Arr(self.scenarios.iter().map(ScenarioSpec::to_json).collect()),
+        )])
+    }
+}
+
+/// Compact rendering of an axis value for auto-generated scenario names.
+fn axis_label(v: &Json) -> String {
+    match v {
+        Json::Str(s) => s.clone(),
+        Json::Num(n) if n.fract() == 0.0 && n.abs() < 1e15 => format!("{}", *n as i64),
+        Json::Num(n) => format!("{n}"),
+        Json::Bool(b) => format!("{b}"),
+        other => format!("{other:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_is_valid_and_round_trips() {
+        let spec = ScenarioSpec::baseline("anchor");
+        spec.validate().unwrap();
+        let json = spec.to_json();
+        let back = ScenarioSpec::from_json(&json).unwrap();
+        assert_eq!(spec, back);
+    }
+
+    #[test]
+    fn grid_axes_expand_as_a_product() {
+        let grid = ScenarioGrid::parse(
+            r#"{
+                "name": "scaling",
+                "defaults": { "m_min": "self-consistent", "rho": "paper" },
+                "axes": {
+                    "node_nm": [45, 32, 22, 16],
+                    "correlation": ["none", "growth+aligned-layout"]
+                }
+            }"#,
+        )
+        .unwrap();
+        assert_eq!(grid.scenarios.len(), 8);
+        assert_eq!(
+            grid.scenarios[0].name,
+            "scaling/node_nm=45/correlation=none"
+        );
+        assert_eq!(grid.scenarios[0].m_min, MminSpec::SelfConsistent);
+        assert_eq!(grid.scenarios[0].rho, RhoSpec::Paper);
+        assert_eq!(
+            grid.scenarios[7].correlation,
+            CorrelationSpec::GrowthAlignedLayout
+        );
+        assert_eq!(grid.scenarios[7].node_nm, 16.0);
+        // Later axes vary fastest.
+        assert_eq!(
+            grid.scenarios[1].correlation,
+            CorrelationSpec::GrowthAlignedLayout
+        );
+        assert_eq!(grid.scenarios[1].node_nm, 45.0);
+    }
+
+    #[test]
+    fn explicit_scenarios_merge_over_defaults() {
+        let grid = ScenarioGrid::parse(
+            r#"{
+                "defaults": { "library": "commercial65", "yield_target": 0.95 },
+                "scenarios": [
+                    { "name": "one-grid" },
+                    { "name": "two-grids", "grid": "dual" }
+                ]
+            }"#,
+        )
+        .unwrap();
+        assert_eq!(grid.scenarios.len(), 2);
+        for s in &grid.scenarios {
+            assert_eq!(s.library, LibrarySpec::Commercial65);
+            assert_eq!(s.node_nm, 65.0, "library choice sets the node");
+            assert_eq!(s.yield_target, 0.95);
+        }
+        assert_eq!(grid.scenarios[0].grid, GridPolicy::Single);
+        assert_eq!(grid.scenarios[1].grid, GridPolicy::Dual);
+    }
+
+    #[test]
+    fn rejects_bad_grids() {
+        assert!(ScenarioGrid::parse("{}").is_err(), "empty grid");
+        assert!(
+            ScenarioGrid::parse(r#"{ "axes": { "node_nm": [] } }"#).is_err(),
+            "empty axis"
+        );
+        assert!(
+            ScenarioGrid::parse(r#"{ "scenarios": [ { "nope": 1 } ] }"#).is_err(),
+            "unknown field"
+        );
+        assert!(
+            ScenarioGrid::parse(r#"{ "mystery": 1, "scenarios": [ {} ] }"#).is_err(),
+            "unknown section"
+        );
+        assert!(
+            ScenarioGrid::parse(r#"{ "scenarios": [ { "name": "a" }, { "name": "a" } ] }"#)
+                .is_err(),
+            "duplicate names"
+        );
+        assert!(
+            ScenarioGrid::parse(r#"{ "scenarios": [ { "yield_target": 2.0 } ] }"#).is_err(),
+            "out-of-domain yield"
+        );
+    }
+
+    #[test]
+    fn corner_spec_forms() {
+        let named = CornerSpec::from_json(&Json::Str("ideal-removal".into())).unwrap();
+        assert_eq!(named, CornerSpec::IdealRemoval);
+        let custom =
+            CornerSpec::from_json(&Json::parse(r#"{ "pm": 0.2, "p_rs": 0.1 }"#).unwrap()).unwrap();
+        assert_eq!(
+            custom,
+            CornerSpec::Custom {
+                pm: 0.2,
+                p_rs: 0.1,
+                p_rm: 1.0
+            }
+        );
+        assert!(custom.corner().is_ok());
+        assert!(CornerSpec::from_json(&Json::Str("bogus".into())).is_err());
+    }
+}

@@ -1,0 +1,95 @@
+//! Parity tests: the declarative pipeline must reproduce the numbers the
+//! hand-wired experiment code produced before the refactor.
+
+use cnfet_core::failure::FailureModel;
+use cnfet_core::paper;
+use cnfet_core::rowmodel::RowModel;
+use cnfet_core::scaling::ScalingStudy;
+use cnfet_pipeline::{
+    BackendSpec, CorrelationSpec, LibrarySpec, MminSpec, Pipeline, RhoSpec, ScenarioSpec,
+};
+
+/// One Fig 3.3-style scenario (self-consistent `M_min`, paper density).
+fn scaling_spec(node: f64, correlated: bool) -> ScenarioSpec {
+    let mut spec = ScenarioSpec::baseline(format!("parity/{node}/{correlated}"));
+    spec.node_nm = node;
+    spec.correlation = if correlated {
+        CorrelationSpec::GrowthAlignedLayout
+    } else {
+        CorrelationSpec::None
+    };
+    spec.m_min = MminSpec::SelfConsistent;
+    spec.rho = RhoSpec::Paper;
+    spec.fast_design = true;
+    spec
+}
+
+#[test]
+fn pipeline_matches_scaling_study_at_every_node() {
+    let pipeline = Pipeline::new();
+    let stats = pipeline
+        .design_stats(LibrarySpec::Nangate45, true)
+        .expect("design stats");
+    let study = ScalingStudy::new(
+        FailureModel::paper_default(cnfet_core::ProcessCorner::aggressive().unwrap()).unwrap(),
+        45.0,
+        stats.width_pairs.clone(),
+        paper::YIELD_TARGET,
+        paper::M_TRANSISTORS,
+        RowModel::from_design(paper::L_CNT_UM, paper::RHO_MIN_FET_PER_UM).unwrap(),
+    )
+    .unwrap();
+    let expected = study.run(&paper::SCALING_NODES_NM).unwrap();
+
+    for r in &expected {
+        let plain = pipeline.evaluate(&scaling_spec(r.node, false), 0).unwrap();
+        let corr = pipeline.evaluate(&scaling_spec(r.node, true), 0).unwrap();
+        assert!(
+            (plain.w_min_nm - r.w_min_plain).abs() < 1.0,
+            "node {}: plain {} vs study {}",
+            r.node,
+            plain.w_min_nm,
+            r.w_min_plain
+        );
+        assert!(
+            (corr.w_min_nm - r.w_min_corr).abs() < 1.0,
+            "node {}: corr {} vs study {}",
+            r.node,
+            corr.w_min_nm,
+            r.w_min_corr
+        );
+        assert!((plain.upsizing_penalty - r.penalty_plain).abs() < 0.01);
+        assert!((corr.upsizing_penalty - r.penalty_corr).abs() < 0.01);
+        assert!((corr.relaxation - r.relaxation).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn fixed_mmin_matches_the_direct_solver() {
+    // Table-2 treatment: fixed 33 % M_min, single solve, no fixed point.
+    let pipeline = Pipeline::new();
+    let mut spec = ScenarioSpec::baseline("parity/fixed");
+    spec.backend = BackendSpec::Convolution { step: 0.05 };
+    spec.rho = RhoSpec::Paper;
+    spec.fast_design = true;
+    spec.correlation = CorrelationSpec::GrowthAlignedLayout;
+    let report = pipeline.evaluate(&spec, 0).unwrap();
+
+    let model =
+        FailureModel::paper_default(cnfet_core::ProcessCorner::aggressive().unwrap()).unwrap();
+    let solver = cnfet_core::WminSolver::new(model);
+    let direct = solver
+        .solve_relaxed(
+            paper::YIELD_TARGET,
+            paper::MMIN_FRACTION * paper::M_TRANSISTORS,
+            paper::M_R_MIN,
+        )
+        .unwrap();
+    assert!(
+        (report.w_min_nm - direct.w_min).abs() < 0.5,
+        "pipeline {} vs direct {}",
+        report.w_min_nm,
+        direct.w_min
+    );
+    assert!((report.w_min_nm - paper::WMIN_CORRELATED_NM).abs() < 8.0);
+}

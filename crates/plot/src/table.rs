@@ -85,6 +85,48 @@ impl Table {
         out
     }
 
+    /// Render as a JSON array of objects keyed by the headers — the
+    /// structured-artifact twin of [`Table::to_csv`]. Cells stay strings
+    /// (they are already formatted for display); escaping covers quotes,
+    /// backslashes, and control characters.
+    pub fn to_json(&self) -> String {
+        let quote = |c: &str| -> String {
+            let mut out = String::with_capacity(c.len() + 2);
+            out.push('"');
+            for ch in c.chars() {
+                match ch {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\r' => out.push_str("\\r"),
+                    '\t' => out.push_str("\\t"),
+                    ch if (ch as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", ch as u32)),
+                    ch => out.push(ch),
+                }
+            }
+            out.push('"');
+            out
+        };
+        let mut out = String::from("[");
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n  {");
+            for (j, (header, cell)) in self.headers.iter().zip(row).enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&quote(header));
+                out.push_str(": ");
+                out.push_str(&quote(cell));
+            }
+            out.push('}');
+        }
+        out.push_str("\n]\n");
+        out
+    }
+
     /// Render as CSV (RFC-4180-style quoting for cells containing commas
     /// or quotes).
     pub fn to_csv(&self) -> String {
@@ -159,6 +201,17 @@ mod tests {
             })
         ));
         assert_eq!(t.row_count(), 0);
+    }
+
+    #[test]
+    fn json_emission_escapes_and_keys_by_header() {
+        let mut t = Table::new("", &["scenario", "value"]);
+        t.add_row(&["say \"hi\"\n".into(), "1.5".into()]).unwrap();
+        let json = t.to_json();
+        assert!(json.contains("\"scenario\": \"say \\\"hi\\\"\\n\""));
+        assert!(json.contains("\"value\": \"1.5\""));
+        assert!(json.trim_start().starts_with('['));
+        assert!(json.trim_end().ends_with(']'));
     }
 
     #[test]

@@ -1,6 +1,8 @@
 //! Shared plumbing for the reproduction harness.
 
+use cnfet_pipeline::Pipeline;
 use cnfet_plot::Table;
+use std::error::Error;
 use std::fmt;
 use std::io::Write;
 use std::path::PathBuf;
@@ -10,8 +12,11 @@ use std::path::PathBuf;
 pub enum ReproError {
     /// Unknown experiment name on the command line.
     UnknownExperiment(String),
-    /// Any error bubbling up from the analysis crates.
-    Analysis(String),
+    /// Malformed command line (bad flag value, missing argument).
+    Usage(String),
+    /// Any error bubbling up from the analysis crates, with its source
+    /// chain intact.
+    Analysis(Box<dyn Error + Send + Sync>),
     /// Filesystem error while writing results.
     Io(std::io::Error),
 }
@@ -20,13 +25,31 @@ impl fmt::Display for ReproError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ReproError::UnknownExperiment(name) => write!(f, "unknown experiment `{name}`"),
-            ReproError::Analysis(msg) => write!(f, "analysis failed: {msg}"),
+            ReproError::Usage(msg) => write!(f, "invalid usage: {msg}"),
+            ReproError::Analysis(e) => {
+                write!(f, "analysis failed: {e}")?;
+                // Surface the cause chain, deepest last.
+                let mut source = e.source();
+                while let Some(cause) = source {
+                    write!(f, "\n  caused by: {cause}")?;
+                    source = cause.source();
+                }
+                Ok(())
+            }
             ReproError::Io(e) => write!(f, "i/o error: {e}"),
         }
     }
 }
 
-impl std::error::Error for ReproError {}
+impl Error for ReproError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ReproError::Analysis(e) => Some(e.as_ref()),
+            ReproError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<std::io::Error> for ReproError {
     fn from(e: std::io::Error) -> Self {
@@ -34,13 +57,66 @@ impl From<std::io::Error> for ReproError {
     }
 }
 
-/// Convert any analysis-crate error into a harness error.
-pub fn analysis<E: std::error::Error>(e: E) -> ReproError {
-    ReproError::Analysis(e.to_string())
+impl From<cnfet_pipeline::PipelineError> for ReproError {
+    fn from(e: cnfet_pipeline::PipelineError) -> Self {
+        ReproError::Analysis(Box::new(e))
+    }
+}
+
+/// Convert any analysis-crate error into a harness error, keeping the
+/// original error object (and therefore its `source()` chain) alive.
+pub fn analysis<E: Error + Send + Sync + 'static>(e: E) -> ReproError {
+    ReproError::Analysis(Box::new(e))
 }
 
 /// Result alias for the harness.
 pub type Result<T> = std::result::Result<T, ReproError>;
+
+/// Per-invocation context every experiment receives: CLI options plus the
+/// shared scenario pipeline (so `all` reuses curves, mapped designs, and
+/// aligned libraries across experiments).
+pub struct RunContext {
+    /// Reduced trial counts / design sizes.
+    pub fast: bool,
+    /// Where CSV and JSON artifacts go (CLI `--out-dir`, default
+    /// `results/`).
+    pub out_dir: PathBuf,
+    /// CLI `--seed`, if given.
+    seed: Option<u64>,
+    /// The shared scenario pipeline.
+    pub pipeline: Pipeline,
+}
+
+impl RunContext {
+    /// Build a context with default output directory and seeds.
+    pub fn new(fast: bool) -> Self {
+        Self {
+            fast,
+            out_dir: PathBuf::from("results"),
+            seed: None,
+            pipeline: Pipeline::new(),
+        }
+    }
+
+    /// Override the output directory (builder style).
+    pub fn with_out_dir(mut self, out_dir: PathBuf) -> Self {
+        self.out_dir = out_dir;
+        self
+    }
+
+    /// Override the base seed (builder style).
+    pub fn with_seed(mut self, seed: Option<u64>) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The seed for an experiment: the CLI `--seed` when given, otherwise
+    /// the experiment's historical default (so published numbers stay
+    /// bit-identical without flags).
+    pub fn seed_or(&self, default: u64) -> u64 {
+        self.seed.unwrap_or(default)
+    }
+}
 
 /// Print a section banner.
 pub fn banner(id: &str, title: &str) {
@@ -49,12 +125,11 @@ pub fn banner(id: &str, title: &str) {
     println!("{}", "=".repeat(72));
 }
 
-/// Write a table's CSV under `results/<name>.csv` (directory created on
+/// Write a table's CSV under `<out-dir>/<name>.csv` (directory created on
 /// demand) and announce the path.
-pub fn write_csv(name: &str, table: &Table) -> Result<()> {
-    let dir = PathBuf::from("results");
-    std::fs::create_dir_all(&dir)?;
-    let path = dir.join(format!("{name}.csv"));
+pub fn write_csv(ctx: &RunContext, name: &str, table: &Table) -> Result<()> {
+    std::fs::create_dir_all(&ctx.out_dir)?;
+    let path = ctx.out_dir.join(format!("{name}.csv"));
     let mut f = std::fs::File::create(&path)?;
     f.write_all(table.to_csv().as_bytes())?;
     println!("  [csv] {}", path.display());
@@ -75,7 +150,18 @@ impl Comparison {
     }
 
     /// Add one quantity; `close` is the reproduction criterion used.
-    pub fn add(&mut self, quantity: &str, paper: String, measured: String, close: bool) {
+    ///
+    /// # Errors
+    ///
+    /// Propagates the (structurally impossible for this fixed 4-column
+    /// shape, but no longer panicking) table row-width error.
+    pub fn add(
+        &mut self,
+        quantity: &str,
+        paper: String,
+        measured: String,
+        close: bool,
+    ) -> Result<()> {
         self.table
             .add_row(&[
                 quantity.to_string(),
@@ -83,7 +169,7 @@ impl Comparison {
                 measured,
                 if close { "yes".into() } else { "off".into() },
             ])
-            .expect("4 columns");
+            .map_err(analysis)
     }
 
     /// Print the table and return it for CSV emission.
@@ -101,57 +187,4 @@ pub fn within_factor(measured: f64, paper: f64, factor: f64) -> bool {
     }
     let r = measured / paper;
     r >= 1.0 / factor && r <= factor
-}
-
-/// The case-study design mapped onto a library: its `(width, count)`
-/// distribution plus the measured critical-FET row density (per µm).
-pub struct DesignStats {
-    /// Distinct transistor widths with instance counts.
-    pub width_pairs: Vec<(f64, u64)>,
-    /// Measured `P_min-CNFET` density (critical FETs per µm of row).
-    pub rho_per_um: f64,
-    /// Total transistor count of the generated design.
-    pub transistors: usize,
-}
-
-/// Generate the OpenRISC-class design, map it onto a library, place it and
-/// extract the statistics the yield analysis needs.
-pub fn design_stats(lib: &cnfet_celllib::CellLibrary, fast: bool) -> Result<DesignStats> {
-    use cnfet_layout::{place_cells, PlacementOptions};
-    use cnfet_netlist::mapping::MappedDesign;
-    use cnfet_netlist::synth::{openrisc_class, DesignSpec};
-
-    let spec = if fast {
-        DesignSpec::small()
-    } else {
-        DesignSpec::openrisc()
-    };
-    let netlist = openrisc_class(&spec, 42);
-    let mapped = MappedDesign::map(&netlist, lib).map_err(analysis)?;
-
-    // Collapse widths to (width, count) pairs (0.1-nm quantization).
-    let mut counts: std::collections::BTreeMap<i64, u64> = std::collections::BTreeMap::new();
-    for w in mapped.transistor_widths() {
-        *counts.entry((w * 10.0).round() as i64).or_insert(0) += 1;
-    }
-    let width_pairs: Vec<(f64, u64)> = counts
-        .into_iter()
-        .map(|(k, n)| (k as f64 / 10.0, n))
-        .collect();
-
-    // Place and measure the critical-FET density. The criticality
-    // threshold is the uncorrelated W_min regime (anything below ~155 nm at
-    // 45 nm), scaled with the library's node so the same device classes
-    // count as critical in the 65 nm library.
-    let placed = place_cells(mapped.cells(), PlacementOptions::default()).map_err(analysis)?;
-    let w_critical = cnfet_core::paper::WMIN_UNCORRELATED_NM * lib.tech().node_nm / 45.0;
-    let rho_per_um = placed
-        .min_fet_density_per_um(w_critical)
-        .map_err(analysis)?;
-
-    Ok(DesignStats {
-        width_pairs,
-        rho_per_um,
-        transistors: mapped.transistor_count(),
-    })
 }

@@ -2,31 +2,28 @@
 //! (Sec 3.3's closing discussion, quantified) and the noise-margin
 //! `pRm` requirement (\[Zhang 09b\] hook).
 
-use crate::common::{analysis, banner, write_csv, Result};
-use cnfet_celllib::nangate45::nangate45_like;
-use cnfet_core::corner::ProcessCorner;
-use cnfet_core::failure::FailureModel;
+use crate::common::{analysis, banner, write_csv, Result, RunContext};
 use cnfet_core::noise::{mean_surviving_metallic, p_any_surviving_metallic, required_p_rm};
 use cnfet_core::paper;
 use cnfet_core::rowmodel::RowModel;
 use cnfet_core::tradeoffs::GridTradeoff;
+use cnfet_pipeline::{BackendSpec, CornerSpec, LibrarySpec};
 use cnfet_plot::Table;
-use cnt_stats::renewal::CountModel;
 
 /// Run the extension analyses.
-pub fn run(_fast: bool) -> Result<()> {
+pub fn run(ctx: &RunContext) -> Result<()> {
     banner(
         "EXTRAS",
         "Grid-policy trade-off and the [Zhang 09b] pRm requirement",
     );
 
     // --- grid trade-off --------------------------------------------------
-    let lib = nangate45_like();
+    let lib = ctx.pipeline.library(LibrarySpec::Nangate45);
     let study = GridTradeoff {
         library: &lib,
-        model: FailureModel::paper_default(ProcessCorner::aggressive().map_err(analysis)?)
-            .map_err(analysis)?
-            .with_backend(CountModel::GaussianSum),
+        model: ctx
+            .pipeline
+            .failure_model(&CornerSpec::Aggressive, &BackendSpec::GaussianSum)?,
         row: RowModel::from_design(paper::L_CNT_UM, paper::RHO_MIN_FET_PER_UM).map_err(analysis)?,
         widths: vec![(110.0, 33), (185.0, 47), (370.0, 20)],
         yield_target: paper::YIELD_TARGET,
@@ -53,14 +50,14 @@ pub fn run(_fast: bool) -> Result<()> {
             format!("{:.1}", p.w_min),
             format!("{:.1} %", p.upsizing_penalty * 100.0),
         ])
-        .expect("6 cols");
+        .map_err(analysis)?;
     }
     println!("{}", t.to_markdown());
     println!(
         "  dual-grid W_min cost: +{:.1} % (paper: \"< 5 % increase in W_min\")\n",
         (dual.w_min / single.w_min - 1.0) * 100.0
     );
-    write_csv("extras-grid-tradeoff", &t)?;
+    write_csv(ctx, "extras-grid-tradeoff", &t)?;
 
     // --- pRm requirement --------------------------------------------------
     let mut t = Table::new(
@@ -72,10 +69,14 @@ pub fn run(_fast: bool) -> Result<()> {
             "suspect gates / 1e8",
         ],
     );
+    let exact = BackendSpec::Convolution { step: 0.05 };
     for p_rm in [0.99, 0.999, 0.9999, 0.99999] {
-        let model =
-            FailureModel::paper_default(ProcessCorner::new(0.33, 0.30, p_rm).map_err(analysis)?)
-                .map_err(analysis)?;
+        let corner = CornerSpec::Custom {
+            pm: 0.33,
+            p_rs: 0.30,
+            p_rm,
+        };
+        let model = ctx.pipeline.failure_model(&corner, &exact)?;
         let mean = mean_surviving_metallic(&model, 150.0).map_err(analysis)?;
         let p_any = p_any_surviving_metallic(&model, 150.0).map_err(analysis)?;
         t.add_row(&[
@@ -84,16 +85,22 @@ pub fn run(_fast: bool) -> Result<()> {
             format!("{p_any:.2e}"),
             format!("{:.1e}", p_any * 1e8),
         ])
-        .expect("4 cols");
+        .map_err(analysis)?;
     }
     println!("{}", t.to_markdown());
 
-    let model = FailureModel::paper_default(ProcessCorner::new(0.33, 0.30, 0.5).map_err(analysis)?)
-        .map_err(analysis)?;
+    let model = ctx.pipeline.failure_model(
+        &CornerSpec::Custom {
+            pm: 0.33,
+            p_rs: 0.30,
+            p_rm: 0.5,
+        },
+        &exact,
+    )?;
     let need = required_p_rm(&model, 150.0, 1e8, 1e4).map_err(analysis)?;
     println!(
         "  pRm needed to keep <= 1e4 suspect gates on a 1e8-gate chip: {need:.5}\n  (paper/[Zhang 09b]: pRm > 99.99 %)"
     );
-    write_csv("extras-prm", &t)?;
+    write_csv(ctx, "extras-prm", &t)?;
     Ok(())
 }

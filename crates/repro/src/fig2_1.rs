@@ -1,29 +1,32 @@
 //! Fig 2.1 — CNFET failure probability vs width for three processing
 //! corners, with the paper's `W_min` anchors and the 350× arrow.
 
-use crate::common::{analysis, banner, within_factor, write_csv, Comparison, Result};
-use cnfet_core::corner::ProcessCorner;
-use cnfet_core::failure::FailureModel;
+use crate::common::{analysis, banner, within_factor, write_csv, Comparison, Result, RunContext};
 use cnfet_core::paper;
 use cnfet_core::wmin::WminSolver;
+use cnfet_pipeline::{BackendSpec, CornerSpec};
 use cnfet_plot::{LinePlot, Table};
-use cnt_stats::renewal::CountModel;
 
-/// Run the experiment. `fast` uses the CLT back-end for the dense sweep.
-pub fn run(fast: bool) -> Result<()> {
+/// Run the experiment. `--fast` uses the CLT back-end for the dense sweep.
+pub fn run(ctx: &RunContext) -> Result<()> {
     banner(
         "FIG 2.1",
         "CNFET failure probability vs CNFET width (pRm = 1)",
     );
 
     let corners = [
-        ProcessCorner::aggressive().map_err(analysis)?,
-        ProcessCorner::ideal_removal().map_err(analysis)?,
-        ProcessCorner::all_semiconducting().map_err(analysis)?,
+        CornerSpec::Aggressive,
+        CornerSpec::IdealRemoval,
+        CornerSpec::AllSemiconducting,
     ];
+    let sweep_backend = if ctx.fast {
+        BackendSpec::GaussianSum
+    } else {
+        BackendSpec::Convolution { step: 0.05 }
+    };
     let widths: Vec<f64> = {
         let (lo, hi) = paper::FIG21_W_RANGE_NM;
-        let step = if fast { 10.0 } else { 5.0 };
+        let step = if ctx.fast { 10.0 } else { 5.0 };
         let mut v = Vec::new();
         let mut w = lo;
         while w <= hi + 1e-9 {
@@ -41,14 +44,10 @@ pub fn run(fast: bool) -> Result<()> {
 
     let mut series: Vec<Vec<(f64, f64)>> = Vec::new();
     for corner in &corners {
-        let model = if fast {
-            FailureModel::paper_default(*corner)
-                .map_err(analysis)?
-                .with_backend(CountModel::GaussianSum)
-        } else {
-            FailureModel::paper_default(*corner).map_err(analysis)?
-        };
-        let pts = model.sweep(&widths).map_err(analysis)?;
+        // One shared memoized curve per corner; the anchor solves below
+        // reuse the aggressive-corner curve's cache.
+        let curve = ctx.pipeline.failure_curve(corner, &sweep_backend)?;
+        let pts = curve.sweep(&widths).map_err(analysis)?;
         series.push(
             pts.iter()
                 .map(|p| (p.width, p.p_failure.max(1e-14)))
@@ -62,11 +61,11 @@ pub fn run(fast: bool) -> Result<()> {
             format!("{:.6e}", series[1][i].1),
             format!("{:.6e}", series[2][i].1),
         ])
-        .expect("4 cols");
+        .map_err(analysis)?;
     }
-    plot.add_series(corners[0].label(), series[0].clone());
-    plot.add_series(corners[1].label(), series[1].clone());
-    plot.add_series(corners[2].label(), series[2].clone());
+    for (corner, points) in corners.iter().zip(&series) {
+        plot.add_series(corner.label(), points.clone());
+    }
     plot.add_marker(
         paper::WMIN_UNCORRELATED_NM,
         paper::PF_REQUIREMENT_UNCORRELATED,
@@ -80,14 +79,20 @@ pub fn run(fast: bool) -> Result<()> {
     println!("{}", plot.render().map_err(analysis)?);
 
     // Anchor comparison (exact back-end regardless of --fast).
-    let model = FailureModel::paper_default(corners[0]).map_err(analysis)?;
+    let exact = BackendSpec::Convolution { step: 0.05 };
+    let model = ctx
+        .pipeline
+        .failure_model(&CornerSpec::Aggressive, &exact)?;
     let p155 = model
         .p_failure(paper::WMIN_UNCORRELATED_NM)
         .map_err(analysis)?;
     let p103 = model
         .p_failure(paper::WMIN_CORRELATED_NM)
         .map_err(analysis)?;
-    let solver = WminSolver::new(model);
+    let curve = ctx
+        .pipeline
+        .failure_curve(&CornerSpec::Aggressive, &exact)?;
+    let solver = WminSolver::new(curve.as_ref());
     let w_plain = solver
         .solve_for_requirement(paper::PF_REQUIREMENT_UNCORRELATED)
         .map_err(analysis)?
@@ -103,28 +108,28 @@ pub fn run(fast: bool) -> Result<()> {
         format!("{:.1e}", paper::PF_REQUIREMENT_UNCORRELATED),
         format!("{p155:.1e}"),
         within_factor(p155, paper::PF_REQUIREMENT_UNCORRELATED, 3.0),
-    );
+    )?;
     cmp.add(
         "pF(103 nm)",
         format!("{:.1e}", paper::PF_REQUIREMENT_CORRELATED),
         format!("{p103:.1e}"),
         within_factor(p103, paper::PF_REQUIREMENT_CORRELATED, 3.0),
-    );
+    )?;
     cmp.add(
         "W_min @ 3e-9 (nm)",
         format!("{}", paper::WMIN_UNCORRELATED_NM),
         format!("{w_plain:.1}"),
         (w_plain - paper::WMIN_UNCORRELATED_NM).abs() < 10.0,
-    );
+    )?;
     cmp.add(
         "W_min @ 1.1e-6 (nm)",
         format!("{}", paper::WMIN_CORRELATED_NM),
         format!("{w_corr:.1}"),
         (w_corr - paper::WMIN_CORRELATED_NM).abs() < 6.0,
-    );
+    )?;
     let cmp_table = cmp.finish();
 
-    write_csv("fig2-1", &csv)?;
-    write_csv("fig2-1-comparison", &cmp_table)?;
+    write_csv(ctx, "fig2-1", &csv)?;
+    write_csv(ctx, "fig2-1-comparison", &cmp_table)?;
     Ok(())
 }

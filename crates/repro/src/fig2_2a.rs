@@ -1,22 +1,22 @@
 //! Fig 2.2a — transistor width distribution of the OpenRISC-class core
 //! synthesized onto the Nangate-45-class library.
 
-use crate::common::{analysis, banner, write_csv, Comparison, Result};
-use cnfet_celllib::nangate45::nangate45_like;
+use crate::common::{analysis, banner, write_csv, Comparison, Result, RunContext};
 use cnfet_core::paper;
 use cnfet_netlist::mapping::MappedDesign;
 use cnfet_netlist::synth::{openrisc_class, DesignSpec};
+use cnfet_pipeline::LibrarySpec;
 use cnfet_plot::{BarChart, Table};
 
-/// Run the experiment. `fast` shrinks the generated design.
-pub fn run(fast: bool) -> Result<()> {
+/// Run the experiment. `--fast` shrinks the generated design.
+pub fn run(ctx: &RunContext) -> Result<()> {
     banner(
         "FIG 2.2a",
         "Transistor width distribution of an OpenRISC-class core (Nangate-45-class)",
     );
 
-    let lib = nangate45_like();
-    let spec = if fast {
+    let lib = ctx.pipeline.library(LibrarySpec::Nangate45);
+    let spec = if ctx.fast {
         DesignSpec::small()
     } else {
         DesignSpec::openrisc()
@@ -45,7 +45,7 @@ pub fn run(fast: bool) -> Result<()> {
             format!("{}", hist.bin_hi(i)),
             format!("{:.4}", hist.bin_fraction(i)),
         ])
-        .expect("3 cols");
+        .map_err(analysis)?;
     }
     println!("{}", chart.render().map_err(analysis)?);
 
@@ -56,17 +56,17 @@ pub fn run(fast: bool) -> Result<()> {
         format!("{:.0} %", paper::MMIN_FRACTION * 100.0),
         format!("{:.1} %", two_bins * 100.0),
         (two_bins - paper::MMIN_FRACTION).abs() < 0.05,
-    );
+    )?;
     let frac155 = mapped.fraction_below(paper::WMIN_UNCORRELATED_NM);
     cmp.add(
         "fraction below W_min = 155 nm",
         format!("{:.0} %", paper::MMIN_FRACTION * 100.0),
         format!("{:.1} %", frac155 * 100.0),
         (frac155 - paper::MMIN_FRACTION).abs() < 0.05,
-    );
+    )?;
     let cmp_table = cmp.finish();
 
-    write_csv("fig2-2a", &csv)?;
-    write_csv("fig2-2a-comparison", &cmp_table)?;
+    write_csv(ctx, "fig2-2a", &csv)?;
+    write_csv(ctx, "fig2-2a-comparison", &cmp_table)?;
     Ok(())
 }

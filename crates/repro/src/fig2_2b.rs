@@ -1,31 +1,32 @@
 //! Fig 2.2b — gate-capacitance penalty of upsizing vs technology node,
 //! without CNT correlation.
 
-use crate::common::{analysis, banner, design_stats, write_csv, Comparison, Result};
-use cnfet_celllib::nangate45::nangate45_like;
-use cnfet_core::corner::ProcessCorner;
-use cnfet_core::failure::FailureModel;
+use crate::common::{analysis, banner, write_csv, Comparison, Result, RunContext};
 use cnfet_core::paper;
 use cnfet_core::rowmodel::RowModel;
 use cnfet_core::scaling::ScalingStudy;
+use cnfet_pipeline::{BackendSpec, CornerSpec, LibrarySpec};
 use cnfet_plot::{BarChart, Table};
 
 /// Run the experiment.
-pub fn run(fast: bool) -> Result<()> {
+pub fn run(ctx: &RunContext) -> Result<()> {
     banner(
         "FIG 2.2b",
         "Upsizing penalty (% gate capacitance) vs technology node — no correlation",
     );
 
-    let lib = nangate45_like();
-    let stats = design_stats(&lib, fast)?;
+    let stats = ctx
+        .pipeline
+        .design_stats(LibrarySpec::Nangate45, ctx.fast)?;
     println!(
         "  width distribution from {} transistors; measured rho = {:.2} FET/um",
         stats.transistors, stats.rho_per_um
     );
 
-    let model = FailureModel::paper_default(ProcessCorner::aggressive().map_err(analysis)?)
-        .map_err(analysis)?;
+    let model = ctx.pipeline.failure_model(
+        &CornerSpec::Aggressive,
+        &BackendSpec::Convolution { step: 0.05 },
+    )?;
     let study = ScalingStudy::new(
         model,
         45.0,
@@ -46,7 +47,7 @@ pub fn run(fast: bool) -> Result<()> {
             format!("{:.1}", r.w_min_plain),
             format!("{:.1}", r.penalty_plain * 100.0),
         ])
-        .expect("3 cols");
+        .map_err(analysis)?;
     }
     println!("{}", chart.render().map_err(analysis)?);
 
@@ -60,13 +61,13 @@ pub fn run(fast: bool) -> Result<()> {
         "~10 %".into(),
         format!("{:.1} %", p45 * 100.0),
         p45 < 0.25,
-    );
+    )?;
     cmp.add(
         "penalty @ 16 nm",
         ">100 %".into(),
         format!("{:.1} %", p16 * 100.0),
         p16 > 0.8,
-    );
+    )?;
     let monotone = results
         .windows(2)
         .all(|p| p[1].penalty_plain > p[0].penalty_plain);
@@ -75,10 +76,10 @@ pub fn run(fast: bool) -> Result<()> {
         "yes".into(),
         format!("{monotone}"),
         monotone,
-    );
+    )?;
     let cmp_table = cmp.finish();
 
-    write_csv("fig2-2b", &csv)?;
-    write_csv("fig2-2b-comparison", &cmp_table)?;
+    write_csv(ctx, "fig2-2b", &csv)?;
+    write_csv(ctx, "fig2-2b-comparison", &cmp_table)?;
     Ok(())
 }

@@ -4,7 +4,7 @@
 //! simulated populations and *quantify* the correlation each scenario
 //! delivers.
 
-use crate::common::{analysis, banner, write_csv, Comparison, Result};
+use crate::common::{analysis, banner, write_csv, Comparison, Result, RunContext};
 use cnfet_plot::Table;
 use cnt_growth::correlation::pair_correlation;
 use cnt_growth::{
@@ -47,13 +47,13 @@ fn render(pop: &cnt_growth::CntPopulation, region: Rect, cols: usize, rows: usiz
     out
 }
 
-/// Run the experiment. `fast` lowers trial counts.
-pub fn run(fast: bool) -> Result<()> {
+/// Run the experiment. `--fast` lowers trial counts.
+pub fn run(ctx: &RunContext) -> Result<()> {
     banner(
         "FIG 3.1",
         "CNT growth and layout scenarios: render + measured correlation",
     );
-    let trials = if fast { 150 } else { 600 };
+    let trials = if ctx.fast { 150 } else { 600 };
     let vmr = Vmr::paper_aggressive();
 
     // Two 103-nm-wide FETs, 1 µm apart along the growth direction.
@@ -62,7 +62,7 @@ pub fn run(fast: bool) -> Result<()> {
     let fet_b_misaligned = Rect::new(1000.0, 380.0, 32.0, 103.0).map_err(analysis)?;
 
     let view = Rect::new(-50.0, 150.0, 1200.0, 400.0).map_err(analysis)?;
-    let mut rng = StdRng::seed_from_u64(31);
+    let mut rng = StdRng::seed_from_u64(ctx.seed_or(31));
 
     // (a) uncorrelated growth.
     let params_u =
@@ -118,7 +118,7 @@ pub fn run(fast: bool) -> Result<()> {
             format!("{:.2}", pc.mean_count_a),
             format!("{:.2}", pc.mean_count_b),
         ])
-        .expect("4 cols");
+        .map_err(analysis)?;
     }
     println!("{}", csv.to_markdown());
 
@@ -128,22 +128,22 @@ pub fn run(fast: bool) -> Result<()> {
         "~0".into(),
         format!("{:.3}", pc_a.count_correlation),
         pc_a.count_correlation.abs() < 0.25,
-    );
+    )?;
     cmp.add(
         "(b) directional non-aligned: pair correlation",
         "~0 (no shared tracks)".into(),
         format!("{:.3}", pc_b.count_correlation),
         pc_b.count_correlation.abs() < 0.25,
-    );
+    )?;
     cmp.add(
         "(c) directional aligned: pair correlation",
         "~1 (perfect within L_CNT)".into(),
         format!("{:.3}", pc_c.count_correlation),
         pc_c.count_correlation > 0.9,
-    );
+    )?;
     let cmp_table = cmp.finish();
 
-    write_csv("fig3-1", &csv)?;
-    write_csv("fig3-1-comparison", &cmp_table)?;
+    write_csv(ctx, "fig3-1", &csv)?;
+    write_csv(ctx, "fig3-1-comparison", &cmp_table)?;
     Ok(())
 }

@@ -1,11 +1,11 @@
 //! Fig 3.2 — the AOI222_X1 cell before and after enforcing the
 //! aligned-active layout style.
 
-use crate::common::{analysis, banner, write_csv, Comparison, Result};
+use crate::common::{analysis, banner, write_csv, Comparison, Result, RunContext};
 use cnfet_celllib::cell::{ActiveStrip, TechParams};
-use cnfet_celllib::nangate45::nangate45_like;
 use cnfet_core::paper;
 use cnfet_layout::{align_cell, AlignmentOptions};
+use cnfet_pipeline::LibrarySpec;
 use cnfet_plot::Table;
 
 /// Sketch strips inside the cell outline.
@@ -44,13 +44,13 @@ fn sketch(width: f64, height: f64, strips: &[&ActiveStrip]) -> String {
 }
 
 /// Run the experiment.
-pub fn run(_fast: bool) -> Result<()> {
+pub fn run(ctx: &RunContext) -> Result<()> {
     banner(
         "FIG 3.2",
         "AOI222_X1 before/after the aligned-active restriction",
     );
 
-    let lib = nangate45_like();
+    let lib = ctx.pipeline.library(LibrarySpec::Nangate45);
     let cell = lib.require("AOI222_X1").map_err(analysis)?;
     let tech = TechParams::nangate45();
     let aligned = align_cell(cell, &tech, &AlignmentOptions::default()).map_err(analysis)?;
@@ -69,7 +69,7 @@ pub fn run(_fast: bool) -> Result<()> {
         format!("~{:.0} %", paper::AOI222_X1_PENALTY * 100.0),
         format!("{:.1} %", aligned.penalty() * 100.0),
         (aligned.penalty() - paper::AOI222_X1_PENALTY).abs() < 0.05,
-    );
+    )?;
     cmp.add(
         "n-strips share one y after transform",
         "yes".into(),
@@ -83,7 +83,7 @@ pub fn run(_fast: bool) -> Result<()> {
             format!("{}", ys.windows(2).all(|p| (p[0] - p[1]).abs() < 1e-9))
         },
         true,
-    );
+    )?;
     let cmp_table = cmp.finish();
 
     let mut csv = Table::new("fig3-2 data", &["quantity", "before", "after"]);
@@ -92,14 +92,14 @@ pub fn run(_fast: bool) -> Result<()> {
         format!("{:.0}", aligned.old_width),
         format!("{:.0}", aligned.new_width),
     ])
-    .expect("3 cols");
+    .map_err(analysis)?;
     csv.add_row(&[
         "moved strips".into(),
         "0".into(),
         format!("{}", aligned.moved_strips),
     ])
-    .expect("3 cols");
-    write_csv("fig3-2", &csv)?;
-    write_csv("fig3-2-comparison", &cmp_table)?;
+    .map_err(analysis)?;
+    write_csv(ctx, "fig3-2", &csv)?;
+    write_csv(ctx, "fig3-2-comparison", &cmp_table)?;
     Ok(())
 }

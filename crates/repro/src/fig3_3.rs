@@ -1,35 +1,52 @@
 //! Fig 3.3 — upsizing penalty vs node, with and without CNT correlation.
+//!
+//! This experiment is now literally a scenario grid: nodes × {no
+//! correlation, growth + aligned-active layout}, evaluated in parallel by
+//! the pipeline's sweep runner on one shared `pF(W)` curve.
 
-use crate::common::{analysis, banner, design_stats, write_csv, Comparison, Result};
-use cnfet_celllib::nangate45::nangate45_like;
-use cnfet_core::corner::ProcessCorner;
-use cnfet_core::failure::FailureModel;
+use crate::common::{analysis, banner, write_csv, Comparison, Result, RunContext};
 use cnfet_core::paper;
-use cnfet_core::rowmodel::RowModel;
-use cnfet_core::scaling::ScalingStudy;
+use cnfet_pipeline::{
+    CorrelationSpec, MminSpec, RhoSpec, ScenarioReport, ScenarioSpec, SweepRunner,
+};
 use cnfet_plot::Table;
 
+/// The Fig 3.3 scenario grid: every scaling node, with and without the
+/// correlation relaxation (paper density, self-consistent `M_min`).
+fn grid(ctx: &RunContext) -> Vec<ScenarioSpec> {
+    let mut specs = Vec::new();
+    for &node in &paper::SCALING_NODES_NM {
+        for correlation in [CorrelationSpec::None, CorrelationSpec::GrowthAlignedLayout] {
+            let mut spec = ScenarioSpec::baseline(format!(
+                "fig3-3/node={node:.0}/corr={}",
+                correlation.name()
+            ));
+            spec.node_nm = node;
+            spec.correlation = correlation;
+            spec.m_min = MminSpec::SelfConsistent;
+            spec.rho = RhoSpec::Paper;
+            spec.fast_design = ctx.fast;
+            specs.push(spec);
+        }
+    }
+    specs
+}
+
 /// Run the experiment.
-pub fn run(fast: bool) -> Result<()> {
+pub fn run(ctx: &RunContext) -> Result<()> {
     banner(
         "FIG 3.3",
         "Upsizing penalty vs node — with vs without correlation + aligned-active",
     );
 
-    let lib = nangate45_like();
-    let stats = design_stats(&lib, fast)?;
-    let model = FailureModel::paper_default(ProcessCorner::aggressive().map_err(analysis)?)
-        .map_err(analysis)?;
-    let study = ScalingStudy::new(
-        model,
-        45.0,
-        stats.width_pairs.clone(),
-        paper::YIELD_TARGET,
-        paper::M_TRANSISTORS,
-        RowModel::from_design(paper::L_CNT_UM, paper::RHO_MIN_FET_PER_UM).map_err(analysis)?,
-    )
-    .map_err(analysis)?;
-    let results = study.run(&paper::SCALING_NODES_NM).map_err(analysis)?;
+    let specs = grid(ctx);
+    let results: Vec<ScenarioReport> = SweepRunner::new(&ctx.pipeline)
+        .run(&specs, ctx.seed_or(20100613))
+        .into_iter()
+        .collect::<cnfet_pipeline::Result<_>>()?;
+    // Grid order: (plain, corr) per node.
+    let pairs: Vec<(&ScenarioReport, &ScenarioReport)> =
+        results.chunks(2).map(|p| (&p[0], &p[1])).collect();
 
     let mut csv = Table::new(
         "fig3-3 data",
@@ -44,49 +61,51 @@ pub fn run(fast: bool) -> Result<()> {
     );
     println!("  node | penalty (no corr) | penalty (with corr)");
     println!("  -----+-------------------+--------------------");
-    for r in &results {
+    for (plain, corr) in &pairs {
         println!(
             "   {:>2.0}  |      {:>6.1} %     |      {:>6.1} %",
-            r.node,
-            r.penalty_plain * 100.0,
-            r.penalty_corr * 100.0
+            plain.node_nm,
+            plain.upsizing_penalty * 100.0,
+            corr.upsizing_penalty * 100.0
         );
         csv.add_row(&[
-            format!("{}", r.node),
-            format!("{:.1}", r.penalty_plain * 100.0),
-            format!("{:.1}", r.penalty_corr * 100.0),
-            format!("{:.1}", r.w_min_plain),
-            format!("{:.1}", r.w_min_corr),
-            format!("{:.0}", r.relaxation),
+            format!("{}", plain.node_nm),
+            format!("{:.1}", plain.upsizing_penalty * 100.0),
+            format!("{:.1}", corr.upsizing_penalty * 100.0),
+            format!("{:.1}", plain.w_min_nm),
+            format!("{:.1}", corr.w_min_nm),
+            format!("{:.0}", corr.relaxation),
         ])
-        .expect("6 cols");
+        .map_err(analysis)?;
     }
     println!();
 
     let mut cmp = Comparison::new("Fig 3.3 shape");
-    let r45 = &results[0];
+    let (_, corr45) = pairs[0];
     cmp.add(
         "45 nm penalty nearly eliminated",
         "~0 %".into(),
-        format!("{:.1} %", r45.penalty_corr * 100.0),
-        r45.penalty_corr < 0.03,
-    );
+        format!("{:.1} %", corr45.upsizing_penalty * 100.0),
+        corr45.upsizing_penalty < 0.03,
+    )?;
     cmp.add(
         "W_min with correlation @45 nm",
         format!("{} nm", paper::WMIN_CORRELATED_NM),
-        format!("{:.1} nm", r45.w_min_corr),
-        (r45.w_min_corr - paper::WMIN_CORRELATED_NM).abs() < 8.0,
-    );
-    let all_reduced = results.iter().all(|r| r.penalty_corr < r.penalty_plain);
+        format!("{:.1} nm", corr45.w_min_nm),
+        (corr45.w_min_nm - paper::WMIN_CORRELATED_NM).abs() < 8.0,
+    )?;
+    let all_reduced = pairs
+        .iter()
+        .all(|(plain, corr)| corr.upsizing_penalty < plain.upsizing_penalty);
     cmp.add(
         "correlation reduces penalty at every node",
         "yes".into(),
         format!("{all_reduced}"),
         all_reduced,
-    );
+    )?;
     let cmp_table = cmp.finish();
 
-    write_csv("fig3-3", &csv)?;
-    write_csv("fig3-3-comparison", &cmp_table)?;
+    write_csv(ctx, "fig3-3", &csv)?;
+    write_csv(ctx, "fig3-3-comparison", &cmp_table)?;
     Ok(())
 }

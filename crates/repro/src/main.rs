@@ -1,7 +1,8 @@
 //! `cnfet-repro` — regenerate every table and figure of the DAC 2010 paper.
 //!
 //! ```text
-//! cnfet-repro <experiment> [--fast]
+//! cnfet-repro <experiment> [--fast] [--out-dir <path>] [--seed <u64>]
+//! cnfet-repro sweep <grid-file> [--fast] [--out-dir <path>] [--seed <u64>] [--workers <n>]
 //!
 //! experiments:
 //!   fig2-1    pF vs W for three processing corners (+ W_min anchors)
@@ -14,10 +15,19 @@
 //!   table2    library-wide area penalties and W_min values
 //!   extras    beyond-paper analyses: grid trade-off, pRm requirement
 //!   all       everything above, in paper order
+//!   sweep     evaluate a declarative scenario-grid file in parallel
+//!
+//! options:
+//!   --fast            reduced trial counts and design sizes
+//!   --out-dir <path>  artifact directory (default `results/`)
+//!   --seed <u64>      base RNG seed (default: each experiment's published seed)
 //! ```
 //!
 //! Every experiment prints an ASCII rendition plus a paper-vs-measured
-//! comparison, and writes CSV data under `results/`.
+//! comparison, and writes CSV data under the output directory. All
+//! computations route through the `cnfet-pipeline` scenario engine, so one
+//! invocation of `all` shares memoized `pF(W)` curves, mapped designs, and
+//! aligned libraries across experiments.
 
 mod common;
 mod extras;
@@ -27,44 +37,112 @@ mod fig2_2b;
 mod fig3_1;
 mod fig3_2;
 mod fig3_3;
+mod sweep;
 mod table1;
 mod table2;
 
+use common::{ReproError, RunContext};
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn usage() {
     eprintln!(
-        "usage: cnfet-repro <fig2-1|fig2-2a|fig2-2b|fig3-1|table1|fig3-2|fig3-3|table2|extras|all> [--fast]"
+        "usage: cnfet-repro <fig2-1|fig2-2a|fig2-2b|fig3-1|table1|fig3-2|fig3-3|table2|extras|all> \
+         [--fast] [--out-dir <path>] [--seed <u64>]\n       \
+         cnfet-repro sweep <grid-file> [--fast] [--out-dir <path>] [--seed <u64>] [--workers <n>]"
     );
 }
 
-fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let fast = args.iter().any(|a| a == "--fast");
-    let which = match args.iter().find(|a| !a.starts_with("--")) {
-        Some(w) => w.clone(),
-        None => {
-            usage();
-            return ExitCode::FAILURE;
-        }
+struct Cli {
+    positionals: Vec<String>,
+    fast: bool,
+    out_dir: Option<PathBuf>,
+    seed: Option<u64>,
+    workers: Option<usize>,
+}
+
+/// Parse `args` (flags may appear anywhere; `--flag value` and
+/// `--flag=value` both work).
+fn parse_cli(args: &[String]) -> common::Result<Cli> {
+    let mut cli = Cli {
+        positionals: Vec::new(),
+        fast: false,
+        out_dir: None,
+        seed: None,
+        workers: None,
     };
+    let mut iter = args.iter().peekable();
+    while let Some(arg) = iter.next() {
+        let (flag, inline) = match arg.split_once('=') {
+            Some((f, v)) if f.starts_with("--") => (f, Some(v.to_string())),
+            _ => (arg.as_str(), None),
+        };
+        let mut value = |name: &str| -> common::Result<String> {
+            if let Some(v) = inline.clone() {
+                return Ok(v);
+            }
+            iter.next()
+                .cloned()
+                .ok_or_else(|| ReproError::Usage(format!("{name} needs a value")))
+        };
+        match flag {
+            "--fast" => cli.fast = true,
+            "--out-dir" => cli.out_dir = Some(PathBuf::from(value("--out-dir")?)),
+            "--seed" => {
+                let v = value("--seed")?;
+                cli.seed = Some(v.parse().map_err(|_| {
+                    ReproError::Usage(format!("--seed expects an unsigned integer, got `{v}`"))
+                })?);
+            }
+            "--workers" => {
+                let v = value("--workers")?;
+                cli.workers = Some(v.parse().map_err(|_| {
+                    ReproError::Usage(format!("--workers expects a positive integer, got `{v}`"))
+                })?);
+            }
+            f if f.starts_with("--") => {
+                return Err(ReproError::Usage(format!("unknown flag `{f}`")));
+            }
+            _ => cli.positionals.push(arg.clone()),
+        }
+    }
+    Ok(cli)
+}
+
+fn dispatch(cli: &Cli) -> common::Result<()> {
+    let Some(which) = cli.positionals.first() else {
+        return Err(ReproError::Usage("missing experiment name".into()));
+    };
+    let mut ctx = RunContext::new(cli.fast).with_seed(cli.seed);
+    if let Some(dir) = &cli.out_dir {
+        ctx = ctx.with_out_dir(dir.clone());
+    }
+
+    if which == "sweep" {
+        let Some(grid_file) = cli.positionals.get(1) else {
+            return Err(ReproError::Usage(
+                "sweep needs a <grid-file> argument".into(),
+            ));
+        };
+        return sweep::run(&ctx, grid_file, cli.workers);
+    }
 
     let run = |name: &str| -> common::Result<()> {
         match name {
-            "fig2-1" => fig2_1::run(fast),
-            "fig2-2a" => fig2_2a::run(fast),
-            "fig2-2b" => fig2_2b::run(fast),
-            "fig3-1" => fig3_1::run(fast),
-            "table1" => table1::run(fast),
-            "fig3-2" => fig3_2::run(fast),
-            "fig3-3" => fig3_3::run(fast),
-            "table2" => table2::run(fast),
-            "extras" => extras::run(fast),
-            other => Err(common::ReproError::UnknownExperiment(other.to_string())),
+            "fig2-1" => fig2_1::run(&ctx),
+            "fig2-2a" => fig2_2a::run(&ctx),
+            "fig2-2b" => fig2_2b::run(&ctx),
+            "fig3-1" => fig3_1::run(&ctx),
+            "table1" => table1::run(&ctx),
+            "fig3-2" => fig3_2::run(&ctx),
+            "fig3-3" => fig3_3::run(&ctx),
+            "table2" => table2::run(&ctx),
+            "extras" => extras::run(&ctx),
+            other => Err(ReproError::UnknownExperiment(other.to_string())),
         }
     };
 
-    let result = if which == "all" {
+    if which == "all" {
         [
             "fig2-1", "fig2-2a", "fig2-2b", "fig3-1", "table1", "fig3-2", "fig3-3", "table2",
             "extras",
@@ -72,14 +150,18 @@ fn main() -> ExitCode {
         .iter()
         .try_for_each(|n| run(n))
     } else {
-        run(&which)
-    };
+        run(which)
+    }
+}
 
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = parse_cli(&args).and_then(|cli| dispatch(&cli));
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
-            if matches!(e, common::ReproError::UnknownExperiment(_)) {
+            if matches!(e, ReproError::UnknownExperiment(_) | ReproError::Usage(_)) {
                 usage();
             }
             ExitCode::FAILURE

@@ -1,0 +1,85 @@
+//! `sweep <grid-file>` — evaluate a declarative scenario grid in parallel
+//! and emit structured artifacts.
+
+use crate::common::{banner, write_csv, ReproError, Result, RunContext};
+use cnfet_pipeline::{report, ScenarioGrid, SweepRunner};
+use cnfet_plot::Table;
+
+/// Run a scenario-grid file through the pipeline.
+pub fn run(ctx: &RunContext, grid_file: &str, workers: Option<usize>) -> Result<()> {
+    banner("SWEEP", &format!("scenario grid `{grid_file}`"));
+
+    let src = std::fs::read_to_string(grid_file)?;
+    let grid = ScenarioGrid::parse(&src)?;
+    let mut runner = SweepRunner::new(&ctx.pipeline);
+    if let Some(workers) = workers {
+        runner = runner.with_workers(workers);
+    }
+    println!(
+        "  {} scenarios across {} workers (base seed {})",
+        grid.scenarios.len(),
+        runner.workers(),
+        ctx.seed_or(20100613),
+    );
+
+    // The run is still fully declarative: --fast only tightens the design
+    // size unless the grid file pinned it itself.
+    let mut specs = grid.scenarios;
+    if ctx.fast {
+        for spec in &mut specs {
+            spec.fast_design = true;
+        }
+    }
+    let results = runner.run(&specs, ctx.seed_or(20100613));
+
+    let mut table = Table::new(
+        "sweep results",
+        &[
+            "scenario",
+            "node_nm",
+            "corner",
+            "correlation",
+            "relaxation",
+            "W_min_nm",
+            "penalty_percent",
+        ],
+    );
+    let mut reports = Vec::new();
+    let mut failures: Vec<(String, cnfet_pipeline::PipelineError)> = Vec::new();
+    for (spec, result) in specs.iter().zip(results) {
+        match result {
+            Ok(r) => {
+                table
+                    .add_row(&[
+                        r.name.clone(),
+                        format!("{:.0}", r.node_nm),
+                        r.corner.clone(),
+                        r.correlation.clone(),
+                        format!("{:.0}x", r.relaxation),
+                        format!("{:.1}", r.w_min_nm),
+                        format!("{:.1}", r.upsizing_penalty * 100.0),
+                    ])
+                    .map_err(crate::common::analysis)?;
+                reports.push(r);
+            }
+            Err(e) => failures.push((spec.name.clone(), e)),
+        }
+    }
+    println!("{}", table.to_markdown());
+    write_csv(ctx, "sweep-summary", &table)?;
+
+    let written = report::write_reports(&ctx.out_dir, &reports)?;
+    println!(
+        "  [json] {} scenario artifacts under {}",
+        written.len(),
+        ctx.out_dir.display()
+    );
+
+    for (name, e) in &failures {
+        eprintln!("  scenario `{name}` failed: {e}");
+    }
+    match failures.into_iter().next() {
+        Some((_, e)) => Err(ReproError::Analysis(Box::new(e))),
+        None => Ok(()),
+    }
+}

@@ -1,44 +1,25 @@
 //! Table 1 — row failure probability `p_RF` under the three growth/layout
 //! scenarios, anchored at the paper's aligned operating point.
 
-use crate::common::{analysis, banner, within_factor, write_csv, Comparison, Result};
-use cnfet_core::corner::ProcessCorner;
-use cnfet_core::failure::FailureModel;
+use crate::common::{analysis, banner, within_factor, write_csv, Comparison, Result, RunContext};
 use cnfet_core::paper;
-use cnfet_core::rowmodel::{evaluate_table1, RowModel, UnalignedRowStudy};
 use cnfet_plot::Table;
 
-/// Run the experiment. `fast` lowers the conditional-MC trial count.
-pub fn run(fast: bool) -> Result<()> {
+/// Run the experiment. `--fast` lowers the conditional-MC trial count.
+pub fn run(ctx: &RunContext) -> Result<()> {
     banner(
         "TABLE 1",
         "Benefits from directional CNT growth and aligned-active layout",
     );
 
-    let model = FailureModel::paper_default(ProcessCorner::aggressive().map_err(analysis)?)
-        .map_err(analysis)?;
-    let row =
-        RowModel::from_design(paper::L_CNT_UM, paper::RHO_MIN_FET_PER_UM).map_err(analysis)?;
-
-    // The paper's Table 1 is evaluated at the design point where the
-    // aligned p_RF equals 1.5e-8 — find the matching device width.
-    let w_eval = model
-        .width_for_failure(paper::TABLE1_DIRECTIONAL_ALIGNED, 50.0, 300.0)
-        .map_err(analysis)?;
+    let trials = if ctx.fast { 400 } else { 4000 };
+    let anchor = ctx.pipeline.table1_anchor(trials, ctx.seed_or(20100613))?;
     println!(
         "  evaluation width: {:.1} nm (so that aligned p_RF = pF = {:.1e})",
-        w_eval,
+        anchor.w_eval,
         paper::TABLE1_DIRECTIONAL_ALIGNED
     );
-
-    let study = UnalignedRowStudy {
-        band_height: 560.0, // polarity-band height of the 45-nm cell geometry
-        width: w_eval,
-        offset_step: 45.0, // legal-placement grid of the library
-        devices: paper::M_R_MIN as usize,
-    };
-    let trials = if fast { 400 } else { 4000 };
-    let t1 = evaluate_table1(&model, &row, &study, trials, 20100613).map_err(analysis)?;
+    let t1 = &anchor.table1;
 
     let mut out = Table::new(
         "Table 1 — p_RF per scenario",
@@ -49,19 +30,19 @@ pub fn run(fast: bool) -> Result<()> {
         format!("{:.1e}", paper::TABLE1_UNCORRELATED),
         format!("{:.2e}", t1.uncorrelated),
     ])
-    .expect("3 cols");
+    .map_err(analysis)?;
     out.add_row(&[
         "directional growth, no aligned-active".into(),
         format!("{:.1e}", paper::TABLE1_DIRECTIONAL_UNALIGNED),
         format!("{:.2e}", t1.directional_unaligned),
     ])
-    .expect("3 cols");
+    .map_err(analysis)?;
     out.add_row(&[
         "directional growth, aligned-active".into(),
         format!("{:.1e}", paper::TABLE1_DIRECTIONAL_ALIGNED),
         format!("{:.2e}", t1.directional_aligned),
     ])
-    .expect("3 cols");
+    .map_err(analysis)?;
     println!("{}", out.to_markdown());
 
     let mut cmp = Comparison::new("Table 1 reduction factors");
@@ -70,22 +51,22 @@ pub fn run(fast: bool) -> Result<()> {
         format!("{:.1}x", paper::GROWTH_FACTOR),
         format!("{:.1}x", t1.growth_factor()),
         within_factor(t1.growth_factor(), paper::GROWTH_FACTOR, 3.0),
-    );
+    )?;
     cmp.add(
         "alignment factor (unaligned / aligned)",
         format!("{:.1}x", paper::ALIGNMENT_FACTOR),
         format!("{:.1}x", t1.alignment_factor()),
         within_factor(t1.alignment_factor(), paper::ALIGNMENT_FACTOR, 3.0),
-    );
+    )?;
     cmp.add(
         "total factor",
         format!("{:.0}x", paper::RELAXATION_FACTOR),
         format!("{:.0}x", t1.total_factor()),
         within_factor(t1.total_factor(), paper::RELAXATION_FACTOR, 1.5),
-    );
+    )?;
     let cmp_table = cmp.finish();
 
-    write_csv("table1", &out)?;
-    write_csv("table1-comparison", &cmp_table)?;
+    write_csv(ctx, "table1", &out)?;
+    write_csv(ctx, "table1-comparison", &cmp_table)?;
     Ok(())
 }

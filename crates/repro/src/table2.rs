@@ -1,15 +1,15 @@
 //! Table 2 — area penalty of the aligned-active restriction on the two
 //! standard-cell libraries, plus the resulting `W_min` values.
+//!
+//! The three columns are three `ScenarioSpec`s (65 nm one grid, 65 nm two
+//! grids, Nangate-45 one grid) evaluated by the pipeline on one shared
+//! `pF(W)` curve; alignment statistics come from the pipeline's cached
+//! library transforms.
 
-use crate::common::{analysis, banner, design_stats, write_csv, Comparison, Result};
-use cnfet_celllib::commercial65::commercial65_like;
-use cnfet_celllib::nangate45::nangate45_like;
-use cnfet_core::corner::ProcessCorner;
-use cnfet_core::failure::FailureModel;
+use crate::common::{analysis, banner, write_csv, Comparison, Result, RunContext};
 use cnfet_core::paper;
-use cnfet_core::rowmodel::RowModel;
-use cnfet_core::wmin::WminSolver;
-use cnfet_layout::{align_library, AlignmentOptions, GridPolicy, LibraryAlignment};
+use cnfet_layout::GridPolicy;
+use cnfet_pipeline::{CorrelationSpec, LibrarySpec, ScenarioReport, ScenarioSpec, SweepRunner};
 use cnfet_plot::Table;
 
 struct Column {
@@ -21,78 +21,83 @@ struct Column {
     w_min: f64,
 }
 
-fn column(label: &str, aligned: &LibraryAlignment, w_min: f64) -> Column {
-    Column {
+/// One Table 2 column: the correlated `W_min` on a library with a given
+/// grid policy, with the density measured from the mapped design.
+fn spec(name: &str, library: LibrarySpec, grid: GridPolicy, fast: bool) -> ScenarioSpec {
+    let mut spec = ScenarioSpec::baseline(name);
+    spec.library = library;
+    spec.node_nm = library.node_nm();
+    spec.correlation = CorrelationSpec::GrowthAlignedLayout;
+    spec.grid = grid;
+    spec.fast_design = fast;
+    spec
+}
+
+/// Run the experiment.
+pub fn run(ctx: &RunContext) -> Result<()> {
+    banner(
+        "TABLE 2",
+        "Area penalty on standard-cell libraries for the aligned-active style",
+    );
+
+    let specs = [
+        spec(
+            "table2/65nm-one-region",
+            LibrarySpec::Commercial65,
+            GridPolicy::Single,
+            ctx.fast,
+        ),
+        spec(
+            "table2/65nm-two-regions",
+            LibrarySpec::Commercial65,
+            GridPolicy::Dual,
+            ctx.fast,
+        ),
+        spec(
+            "table2/nangate45-one-region",
+            LibrarySpec::Nangate45,
+            GridPolicy::Single,
+            ctx.fast,
+        ),
+    ];
+    let reports: Vec<ScenarioReport> = SweepRunner::new(&ctx.pipeline)
+        .run(&specs, ctx.seed_or(20100613))
+        .into_iter()
+        .collect::<cnfet_pipeline::Result<_>>()?;
+
+    let a65_single = ctx
+        .pipeline
+        .aligned_library(LibrarySpec::Commercial65, GridPolicy::Single)?;
+    let a65_dual = ctx
+        .pipeline
+        .aligned_library(LibrarySpec::Commercial65, GridPolicy::Dual)?;
+    let a45_single = ctx
+        .pipeline
+        .aligned_library(LibrarySpec::Nangate45, GridPolicy::Single)?;
+
+    let stats65 = ctx
+        .pipeline
+        .design_stats(LibrarySpec::Commercial65, ctx.fast)?;
+    let stats45 = ctx
+        .pipeline
+        .design_stats(LibrarySpec::Nangate45, ctx.fast)?;
+    println!(
+        "  measured rho: 45 nm design {:.2} FET/um (paper 1.8), 65 nm design {:.2} FET/um",
+        stats45.rho_per_um, stats65.rho_per_um
+    );
+
+    let column = |label: &str, aligned: &cnfet_layout::LibraryAlignment, w_min: f64| Column {
         label: label.to_string(),
         cells: aligned.total_cells(),
         penalized_pct: aligned.penalized_fraction() * 100.0,
         min_penalty: aligned.min_penalty(),
         max_penalty: aligned.max_penalty(),
         w_min,
-    }
-}
-
-/// Run the experiment.
-pub fn run(fast: bool) -> Result<()> {
-    banner(
-        "TABLE 2",
-        "Area penalty on standard-cell libraries for the aligned-active style",
-    );
-
-    let single = AlignmentOptions::default();
-    let dual = AlignmentOptions {
-        policy: GridPolicy::Dual,
-        ..AlignmentOptions::default()
     };
-
-    // --- 65 nm commercial-class library --------------------------------
-    let c65 = commercial65_like();
-    let a65_single = align_library(&c65, &single).map_err(analysis)?;
-    let a65_dual = align_library(&c65, &dual).map_err(analysis)?;
-
-    // W_min at 65 nm: the correlation density comes from the design mapped
-    // onto the 65 nm library (bigger cells → fewer critical FETs per µm).
-    let stats65 = design_stats(&c65, fast)?;
-    let model = FailureModel::paper_default(ProcessCorner::aggressive().map_err(analysis)?)
-        .map_err(analysis)?;
-    let solver = WminSolver::new(model);
-    let m_min = paper::MMIN_FRACTION * paper::M_TRANSISTORS;
-    let row65 = RowModel::from_design(paper::L_CNT_UM, stats65.rho_per_um).map_err(analysis)?;
-    let w65_single = solver
-        .solve_relaxed(paper::YIELD_TARGET, m_min, row65.relaxation())
-        .map_err(analysis)?
-        .w_min;
-    let w65_dual = solver
-        .solve_relaxed(
-            paper::YIELD_TARGET,
-            m_min,
-            row65
-                .with_grid_division(2.0)
-                .map_err(analysis)?
-                .relaxation(),
-        )
-        .map_err(analysis)?
-        .w_min;
-
-    // --- Nangate-45-class library ---------------------------------------
-    let n45 = nangate45_like();
-    let a45_single = align_library(&n45, &single).map_err(analysis)?;
-    let stats45 = design_stats(&n45, fast)?;
-    let row45 = RowModel::from_design(paper::L_CNT_UM, stats45.rho_per_um).map_err(analysis)?;
-    let w45_single = solver
-        .solve_relaxed(paper::YIELD_TARGET, m_min, row45.relaxation())
-        .map_err(analysis)?
-        .w_min;
-
-    println!(
-        "  measured rho: 45 nm design {:.2} FET/um (paper 1.8), 65 nm design {:.2} FET/um",
-        stats45.rho_per_um, stats65.rho_per_um
-    );
-
     let cols = [
-        column("65nm, one aligned region", &a65_single, w65_single),
-        column("65nm, two aligned regions", &a65_dual, w65_dual),
-        column("Nangate 45nm, one region", &a45_single, w45_single),
+        column("65nm, one aligned region", &a65_single, reports[0].w_min_nm),
+        column("65nm, two aligned regions", &a65_dual, reports[1].w_min_nm),
+        column("Nangate 45nm, one region", &a45_single, reports[2].w_min_nm),
     ];
 
     let fmt_pen = |p: Option<f64>| -> String {
@@ -111,35 +116,35 @@ pub fn run(fast: bool) -> Result<()> {
         cols[1].cells.to_string(),
         cols[2].cells.to_string(),
     ])
-    .expect("4 cols");
+    .map_err(analysis)?;
     out.add_row(&[
         "cells with area penalty".into(),
         format!("{:.1} %", cols[0].penalized_pct),
         format!("{:.1} %", cols[1].penalized_pct),
         format!("{:.1} %", cols[2].penalized_pct),
     ])
-    .expect("4 cols");
+    .map_err(analysis)?;
     out.add_row(&[
         "min penalty".into(),
         fmt_pen(cols[0].min_penalty),
         fmt_pen(cols[1].min_penalty),
         fmt_pen(cols[2].min_penalty),
     ])
-    .expect("4 cols");
+    .map_err(analysis)?;
     out.add_row(&[
         "max penalty".into(),
         fmt_pen(cols[0].max_penalty),
         fmt_pen(cols[1].max_penalty),
         fmt_pen(cols[2].max_penalty),
     ])
-    .expect("4 cols");
+    .map_err(analysis)?;
     out.add_row(&[
         "W_min (nm)".into(),
         format!("{:.0}", cols[0].w_min),
         format!("{:.0}", cols[1].w_min),
         format!("{:.0}", cols[2].w_min),
     ])
-    .expect("4 cols");
+    .map_err(analysis)?;
     println!("{}", out.to_markdown());
 
     let mut cmp = Comparison::new("Table 2 vs paper");
@@ -148,7 +153,7 @@ pub fn run(fast: bool) -> Result<()> {
         format!("~{:.0} %", paper::COMMERCIAL65_PENALIZED_FRACTION * 100.0),
         format!("{:.1} %", cols[0].penalized_pct),
         (cols[0].penalized_pct / 100.0 - paper::COMMERCIAL65_PENALIZED_FRACTION).abs() < 0.07,
-    );
+    )?;
     cmp.add(
         "65 nm penalty range (one region)",
         format!(
@@ -162,13 +167,13 @@ pub fn run(fast: bool) -> Result<()> {
             fmt_pen(cols[0].max_penalty)
         ),
         cols[0].min_penalty.unwrap_or(0.0) < 0.2 && cols[0].max_penalty.unwrap_or(0.0) > 0.25,
-    );
+    )?;
     cmp.add(
         "65 nm cells penalized (two regions)",
         "0".into(),
         format!("{:.1} %", cols[1].penalized_pct),
         cols[1].penalized_pct == 0.0,
-    );
+    )?;
     cmp.add(
         "Nangate cells penalized",
         format!(
@@ -183,7 +188,7 @@ pub fn run(fast: bool) -> Result<()> {
             cols[2].penalized_pct
         ),
         a45_single.penalized().len() == paper::NANGATE_PENALIZED_CELLS,
-    );
+    )?;
     cmp.add(
         "W_min 65/one, 65/two, 45 (nm)",
         format!(
@@ -199,16 +204,16 @@ pub fn run(fast: bool) -> Result<()> {
         (cols[0].w_min - paper::TABLE2_WMIN_NM.0).abs() < 10.0
             && (cols[1].w_min - paper::TABLE2_WMIN_NM.1).abs() < 10.0
             && (cols[2].w_min - paper::TABLE2_WMIN_NM.2).abs() < 10.0,
-    );
+    )?;
     cmp.add(
         "two grids cost < 5 % extra W_min",
         "yes".into(),
         format!("{:.1} %", (cols[1].w_min / cols[0].w_min - 1.0) * 100.0),
         cols[1].w_min / cols[0].w_min < 1.06,
-    );
+    )?;
     let cmp_table = cmp.finish();
 
-    write_csv("table2", &out)?;
-    write_csv("table2-comparison", &cmp_table)?;
+    write_csv(ctx, "table2", &out)?;
+    write_csv(ctx, "table2-comparison", &cmp_table)?;
     Ok(())
 }

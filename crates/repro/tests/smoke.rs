@@ -39,13 +39,16 @@ fn run_subcommand(name: &str) -> String {
     stdout
 }
 
-/// Assert the text contains at least one number and no NaN/inf tokens.
+/// Assert the text contains at least one number and no NaN/inf tokens
+/// (token-wise, so words like "nangate45" do not false-positive).
 fn assert_finite(text: &str, what: &str) {
-    let lowered = text.to_lowercase();
-    for bad in ["nan", "-inf", "inf,", " inf", "infinity"] {
+    for token in text.split(|c: char| !(c.is_ascii_alphanumeric() || "+-.".contains(c))) {
+        let core = token
+            .trim_matches(|c| c == '+' || c == '-' || c == '.')
+            .to_lowercase();
         assert!(
-            !lowered.contains(bad),
-            "{what} contains non-finite value `{bad}`:\n{text}"
+            core != "nan" && core != "inf" && core != "infinity",
+            "{what} contains non-finite value `{token}`:\n{text}"
         );
     }
     assert!(
@@ -87,4 +90,118 @@ fn unknown_subcommand_fails_cleanly() {
     assert!(!out.status.success());
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("unknown experiment"), "stderr: {stderr}");
+}
+
+#[test]
+fn out_dir_flag_redirects_artifacts() {
+    let dir = Path::new(env!("CARGO_TARGET_TMPDIR")).join("repro-smoke-outdir");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    let custom = dir.join("custom-results");
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["fig2-1", "--fast", "--out-dir"])
+        .arg(&custom)
+        .current_dir(&dir)
+        .output()
+        .expect("spawn repro binary");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        custom.join("fig2-1.csv").is_file(),
+        "--out-dir must receive the CSVs"
+    );
+    assert!(
+        !dir.join("results").exists(),
+        "default results/ must not be created when --out-dir is given"
+    );
+}
+
+#[test]
+fn seed_flag_changes_mc_results_and_default_seed_is_stable() {
+    let run = |label: &str, extra: &[&str]| -> String {
+        let dir = Path::new(env!("CARGO_TARGET_TMPDIR")).join(format!("repro-smoke-seed-{label}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+            .args(["table1", "--fast"])
+            .args(extra)
+            .current_dir(&dir)
+            .output()
+            .expect("spawn repro binary");
+        assert!(
+            out.status.success(),
+            "stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        std::fs::read_to_string(dir.join("results/table1.csv")).expect("table1 csv")
+    };
+    let default_a = run("a", &[]);
+    let default_b = run("b", &[]);
+    assert_eq!(default_a, default_b, "default seed must be deterministic");
+    let seeded = run("c", &["--seed", "12345"]);
+    assert_ne!(
+        default_a, seeded,
+        "--seed must reach the conditional-MC estimator"
+    );
+}
+
+#[test]
+fn sweep_subcommand_runs_a_grid_file() {
+    let dir = Path::new(env!("CARGO_TARGET_TMPDIR")).join("repro-smoke-sweep");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    let grid = dir.join("grid.json");
+    std::fs::write(
+        &grid,
+        r#"// smoke grid: two correlation scenarios at the CLT back-end
+{
+  "name": "smoke",
+  "defaults": { "backend": "gaussian-sum", "rho": "paper", "fast_design": true },
+  "axes": { "correlation": ["none", "growth+aligned-layout"] }
+}
+"#,
+    )
+    .expect("write grid file");
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["sweep", "grid.json", "--workers", "2"])
+        .current_dir(&dir)
+        .output()
+        .expect("spawn repro binary");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("2 scenarios"), "stdout: {stdout}");
+    assert!(dir.join("results/sweep-summary.csv").is_file());
+    let summary =
+        std::fs::read_to_string(dir.join("results/sweep-summary.json")).expect("json artifact");
+    assert!(summary.contains("w_min_nm"));
+    assert_finite(&summary, "sweep-summary.json");
+
+    // A broken grid file fails cleanly.
+    std::fs::write(dir.join("bad.json"), "{ not json").expect("write bad grid");
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["sweep", "bad.json"])
+        .current_dir(&dir)
+        .output()
+        .expect("spawn repro binary");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("parse error"));
+}
+
+#[test]
+fn bad_flag_values_fail_with_usage() {
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["fig2-1", "--seed", "not-a-number"])
+        .output()
+        .expect("spawn repro binary");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--seed"), "stderr: {stderr}");
+    assert!(stderr.contains("usage:"), "stderr: {stderr}");
 }

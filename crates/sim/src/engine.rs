@@ -16,6 +16,16 @@ fn splitmix64(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
+/// Derive the `index`-th child seed of `base`.
+///
+/// This is the deterministic seed-splitting rule the parallel engine uses
+/// for its workers, exposed so other fan-out layers (e.g. the scenario
+/// sweep runner) stay reproducible for a given `(base, index)` pair
+/// independent of worker count and scheduling.
+pub fn split_seed(base: u64, index: u64) -> u64 {
+    base ^ splitmix64(index.wrapping_add(1))
+}
+
 /// Run `trials` evaluations of `job` across `workers` threads and merge the
 /// per-worker [`Summary`] accumulators.
 ///
@@ -41,7 +51,7 @@ where
             let quota = base + (k < extra) as u64;
             let job = &job;
             handles.push(scope.spawn(move || {
-                let mut rng = StdRng::seed_from_u64(seed ^ splitmix64(k as u64 + 1));
+                let mut rng = StdRng::seed_from_u64(split_seed(seed, k as u64));
                 let mut acc = Summary::new();
                 for _ in 0..quota {
                     acc.add(job(&mut rng));

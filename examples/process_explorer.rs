@@ -8,6 +8,7 @@
 //! Run with `cargo run --release --example process_explorer`.
 
 use cnfet::core::corner::ProcessCorner;
+use cnfet::core::curve::FailureCurve;
 use cnfet::core::failure::FailureModel;
 use cnfet::core::paper;
 use cnfet::core::rowmodel::RowModel;
@@ -66,9 +67,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "Correlated W_min vs CNT length (rho = 1.8 FET/um)",
         &["L_CNT (um)", "M_Rmin", "relaxation", "W_min corr (nm)"],
     );
+    // All five solves hit the same corner, so share one memoized curve —
+    // the bisections after the first are pure cache lookups.
     let corner = ProcessCorner::aggressive()?;
-    let model = FailureModel::paper_default(corner)?.with_backend(CountModel::GaussianSum);
-    let solver = WminSolver::new(model);
+    let curve = FailureCurve::new(
+        FailureModel::paper_default(corner)?.with_backend(CountModel::GaussianSum),
+    );
+    let solver = WminSolver::new(&curve);
     for l_cnt in [10.0, 50.0, 100.0, 200.0, 400.0] {
         let row = RowModel::from_design(l_cnt, paper::RHO_MIN_FET_PER_UM)?;
         let corr = solver.solve_relaxed(paper::YIELD_TARGET, m_min, row.relaxation())?;

@@ -36,6 +36,7 @@
 //! | [`netlist`] (`cnfet-netlist`) | OpenRISC-class design generator + mapping |
 //! | [`sim`] (`cnfet-sim`) | conditional Monte Carlo + exact run-DP |
 //! | [`core`] (`cnfet-core`) | the paper's yield models and optimizer |
+//! | [`pipeline`] (`cnfet-pipeline`) | declarative scenario specs, curve caches, parallel sweeps |
 //! | [`plot`] (`cnfet-plot`) | ASCII figures and markdown/CSV tables |
 //!
 //! ## Quickstart
@@ -66,6 +67,7 @@ pub use cnfet_core as core;
 pub use cnfet_device as device;
 pub use cnfet_layout as layout;
 pub use cnfet_netlist as netlist;
+pub use cnfet_pipeline as pipeline;
 pub use cnfet_plot as plot;
 pub use cnfet_sim as sim;
 pub use cnt_growth as growth;
@@ -87,6 +89,7 @@ mod tests {
         let _ = crate::netlist::synth::DesignSpec::small();
         let _ = crate::sim::rundp::row_failure_probability(1, &[(0, 0)], 0.5);
         let _ = crate::core::paper::M_TRANSISTORS;
+        let _ = crate::pipeline::ScenarioSpec::baseline("t");
         let _ = crate::plot::Table::new("t", &["a"]);
         assert!(!crate::VERSION.is_empty());
     }
