@@ -125,10 +125,20 @@ struct CurveState {
 /// level otherwise. Queries outside the domain fall back to (memoized) exact
 /// evaluation.
 ///
-/// The curve is `Sync`: share it across threads with `&FailureCurve` or
-/// `Arc<FailureCurve>`, both of which implement [`PFailure`].
-pub struct FailureCurve {
-    model: FailureModel,
+/// The curve is generic over its evaluator: the default
+/// [`FailureModel`] gives the analytic back-ends, and a stochastic
+/// evaluator like [`crate::stochastic::McFailure`] plugs in unchanged —
+/// a Monte-Carlo estimate at a fixed `(seed, width)` is still a pure
+/// function of the model, so memoization and determinism carry over.
+/// Stochastic evaluators should pair with a widened `rel_tol` (at least a
+/// few times the Monte-Carlo relative CI) so sampling noise does not read
+/// as curvature; see [`FailureCurve::with_rel_tol`].
+///
+/// The curve is `Sync` (for `Sync` evaluators): share it across threads
+/// with `&FailureCurve` or `Arc<FailureCurve>`, both of which implement
+/// [`PFailure`].
+pub struct FailureCurve<E: PFailure = FailureModel> {
+    model: E,
     w_lo: f64,
     w_hi: f64,
     rel_tol: f64,
@@ -136,7 +146,7 @@ pub struct FailureCurve {
     state: RwLock<CurveState>,
 }
 
-impl std::fmt::Debug for FailureCurve {
+impl<E: PFailure + std::fmt::Debug> std::fmt::Debug for FailureCurve<E> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("FailureCurve")
             .field("model", &self.model)
@@ -147,7 +157,7 @@ impl std::fmt::Debug for FailureCurve {
     }
 }
 
-impl Clone for FailureCurve {
+impl<E: PFailure + Clone> Clone for FailureCurve<E> {
     /// Cloning copies the cached knots, so a clone starts warm.
     fn clone(&self) -> Self {
         let state = self.state.read().expect("curve lock poisoned");
@@ -165,10 +175,10 @@ impl Clone for FailureCurve {
     }
 }
 
-impl FailureCurve {
+impl<E: PFailure> FailureCurve<E> {
     /// Wrap a model with the default domain `[5, 2000] nm` (the `W_min`
     /// solver's bracket) and a 0.4 % relative tolerance.
-    pub fn new(model: FailureModel) -> Self {
+    pub fn new(model: E) -> Self {
         Self {
             model,
             w_lo: 5.0,
@@ -217,8 +227,8 @@ impl FailureCurve {
         Ok(self)
     }
 
-    /// The wrapped exact model.
-    pub fn model(&self) -> &FailureModel {
+    /// The wrapped evaluator (a model or a stochastic back-end).
+    pub fn model(&self) -> &E {
         &self.model
     }
 
@@ -414,7 +424,7 @@ impl FailureCurve {
     }
 }
 
-impl PFailure for FailureCurve {
+impl<E: PFailure> PFailure for FailureCurve<E> {
     fn p_failure(&self, w: f64) -> Result<f64> {
         FailureCurve::p_failure(self, w)
     }

@@ -49,6 +49,7 @@ pub mod paper;
 pub mod penalty;
 pub mod rowmodel;
 pub mod scaling;
+pub mod stochastic;
 pub mod tradeoffs;
 pub mod wmin;
 
@@ -140,6 +141,7 @@ pub use curve::{FailureCurve, PFailure};
 pub use failure::FailureModel;
 pub use optimizer::{OptimizationReport, YieldOptimizer};
 pub use rowmodel::RowModel;
+pub use stochastic::{McFailure, McPoint};
 pub use wmin::{UpsizingSolution, WminSolution, WminSolver};
 
 #[cfg(test)]

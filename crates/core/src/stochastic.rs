@@ -1,0 +1,245 @@
+//! Stochastic `pF(W)` evaluation — the Monte-Carlo back-end as a drop-in
+//! [`PFailure`] evaluator.
+//!
+//! [`McFailure`] wraps a [`FailureModel`]'s pitch statistics and corner
+//! with an adaptive-precision target: every width query runs the
+//! stratified, exponentially tilted sampler
+//! (`cnt_stats::renewal::FailureSampler`) through the batched
+//! [`cnfet_sim::adaptive`] driver until the confidence interval is tighter
+//! than `rel_ci`, then memoizes the resulting [`McPoint`]. Queries are
+//! seeded per width (`split_seed(seed, w.to_bits())`), so the evaluator is
+//! a pure function of `(model, precision, seed)` — independent of query
+//! order, thread interleaving, and worker count — and [`FailureCurve`],
+//! the `W_min` bisection, and the penalty tables can treat it exactly like
+//! an analytic back-end.
+
+use crate::curve::PFailure;
+use crate::failure::FailureModel;
+use crate::Result;
+use cnfet_sim::adaptive::{McOutcome, McPrecision};
+use cnfet_sim::engine::split_seed;
+use cnfet_sim::estimate_fet_failure_adaptive;
+use std::collections::HashMap;
+use std::sync::RwLock;
+
+/// One memoized stochastic evaluation of `pF` at a width.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct McPoint {
+    /// Point estimate of `pF(w)`.
+    pub estimate: f64,
+    /// Confidence-interval lower bound.
+    pub lo: f64,
+    /// Confidence-interval upper bound.
+    pub hi: f64,
+    /// Confidence level of `[lo, hi]`.
+    pub level: f64,
+    /// Trials this width consumed.
+    pub trials: u64,
+    /// Whether the precision target was met before `max_trials`.
+    pub converged: bool,
+}
+
+impl McPoint {
+    fn from_outcome(outcome: &McOutcome) -> Self {
+        Self {
+            estimate: outcome.ci.estimate,
+            lo: outcome.ci.lo,
+            hi: outcome.ci.hi,
+            level: outcome.ci.level,
+            trials: outcome.trials,
+            converged: outcome.converged,
+        }
+    }
+}
+
+/// Adaptive Monte-Carlo [`PFailure`] evaluator with per-width memoization.
+#[derive(Debug)]
+pub struct McFailure {
+    model: FailureModel,
+    precision: McPrecision,
+    seed: u64,
+    workers: usize,
+    points: RwLock<HashMap<u64, McPoint>>,
+}
+
+impl McFailure {
+    /// Wrap a failure model's pitch/corner with an adaptive-precision
+    /// Monte-Carlo evaluation at the given base seed.
+    ///
+    /// # Errors
+    ///
+    /// Rejects invalid precision parameters.
+    pub fn new(model: FailureModel, precision: McPrecision, seed: u64) -> Result<Self> {
+        precision.validate().map_err(crate::CoreError::Sim)?;
+        Ok(Self {
+            model,
+            precision,
+            seed,
+            workers: 1,
+            points: RwLock::new(HashMap::new()),
+        })
+    }
+
+    /// Set the worker-thread count used per evaluation (builder style).
+    /// Results are bit-identical for every value; this is purely a
+    /// wall-clock knob.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// The wrapped analytic model (pitch statistics and corner).
+    pub fn model(&self) -> &FailureModel {
+        &self.model
+    }
+
+    /// The precision target.
+    pub fn precision(&self) -> McPrecision {
+        self.precision
+    }
+
+    /// The base seed (each width derives its own stream from it).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The stochastic point at `w`: estimate, CI bounds, and trial count.
+    /// Memoized — repeated queries are free and identical.
+    ///
+    /// # Errors
+    ///
+    /// Rejects non-finite / non-positive widths; propagates sampler errors.
+    pub fn point(&self, w: f64) -> Result<McPoint> {
+        if let Some(p) = self
+            .points
+            .read()
+            .expect("mc cache lock poisoned")
+            .get(&w.to_bits())
+        {
+            return Ok(*p);
+        }
+        let outcome = estimate_fet_failure_adaptive(
+            w,
+            *self.model.pitch(),
+            self.model.pf(),
+            &self.precision,
+            self.workers,
+            split_seed(self.seed, w.to_bits()),
+        )
+        .map_err(crate::CoreError::Sim)?;
+        let point = McPoint::from_outcome(&outcome);
+        self.points
+            .write()
+            .expect("mc cache lock poisoned")
+            .insert(w.to_bits(), point);
+        Ok(point)
+    }
+
+    /// Total trials consumed across all memoized widths.
+    pub fn total_trials(&self) -> u64 {
+        self.points
+            .read()
+            .expect("mc cache lock poisoned")
+            .values()
+            .map(|p| p.trials)
+            .sum()
+    }
+
+    /// Number of distinct widths evaluated so far.
+    pub fn evaluated_widths(&self) -> usize {
+        self.points.read().expect("mc cache lock poisoned").len()
+    }
+
+    /// Whether every memoized point met the precision target.
+    pub fn all_converged(&self) -> bool {
+        self.points
+            .read()
+            .expect("mc cache lock poisoned")
+            .values()
+            .all(|p| p.converged)
+    }
+}
+
+impl PFailure for McFailure {
+    fn p_failure(&self, w: f64) -> Result<f64> {
+        Ok(self.point(w)?.estimate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corner::ProcessCorner;
+    use crate::curve::FailureCurve;
+    use crate::wmin::WminSolver;
+    use cnt_stats::renewal::CountModel;
+
+    fn model() -> FailureModel {
+        FailureModel::paper_default(ProcessCorner::aggressive().unwrap()).unwrap()
+    }
+
+    fn precision() -> McPrecision {
+        McPrecision {
+            rel_ci: 0.10,
+            max_trials: 200_000,
+            batch: 1_000,
+            level: 0.95,
+        }
+    }
+
+    #[test]
+    fn memoizes_and_is_query_order_independent() {
+        let a = McFailure::new(model(), precision(), 7).unwrap();
+        let p1 = a.point(103.0).unwrap();
+        let p2 = a.point(103.0).unwrap();
+        assert_eq!(p1, p2);
+        assert_eq!(a.evaluated_widths(), 1, "repeat query must be cached");
+        assert_eq!(a.total_trials(), p1.trials);
+
+        let b = McFailure::new(model(), precision(), 7)
+            .unwrap()
+            .with_workers(4);
+        let _ = b.point(60.0).unwrap();
+        let q = b.point(103.0).unwrap();
+        assert_eq!(p1, q, "query order and workers must not change answers");
+    }
+
+    #[test]
+    fn ci_brackets_the_convolution_value() {
+        let mc = McFailure::new(model(), precision(), 3).unwrap();
+        let conv = model().with_backend(CountModel::Convolution { step: 0.02 });
+        for w in [60.0, 103.0, 155.0] {
+            let point = mc.point(w).unwrap();
+            let exact = conv.p_failure(w).unwrap();
+            assert!(point.converged, "W={w} did not converge");
+            assert!(
+                point.lo <= exact && exact <= point.hi,
+                "W={w}: conv {exact:.4e} outside [{:.4e}, {:.4e}]",
+                point.lo,
+                point.hi
+            );
+        }
+    }
+
+    #[test]
+    fn wmin_bisection_runs_on_the_stochastic_backend() {
+        // Eq. (2.5) on the MC evaluator, via the shared curve layer, must
+        // land near the paper's 155 nm anchor.
+        let mc = McFailure::new(model(), precision(), 11).unwrap();
+        let curve = FailureCurve::new(mc).with_rel_tol(0.25).unwrap();
+        let sol = WminSolver::new(&curve).solve(0.90, 33e6).unwrap();
+        assert!(
+            (sol.w_min - 155.0).abs() < 12.0,
+            "stochastic W_min {} vs paper ≈155",
+            sol.w_min
+        );
+        let analytic = WminSolver::new(model()).solve(0.90, 33e6).unwrap();
+        assert!(
+            (sol.w_min - analytic.w_min).abs() / analytic.w_min < 0.05,
+            "stochastic {} vs analytic {}",
+            sol.w_min,
+            analytic.w_min
+        );
+        assert!(curve.model().total_trials() > 0);
+    }
+}

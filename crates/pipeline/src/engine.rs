@@ -1,29 +1,46 @@
 //! The pipeline engine: cached substrates + scenario evaluation.
 
 use crate::design::{design_stats, DesignStats};
-use crate::report::ScenarioReport;
+use crate::report::{McBackendReport, ScenarioReport};
 use crate::spec::{BackendSpec, CornerSpec, CorrelationSpec, LibrarySpec, MminSpec, RhoSpec};
-use crate::{Result, ScenarioSpec};
+use crate::{PipelineError, Result, ScenarioSpec};
 use cnfet_celllib::CellLibrary;
-use cnfet_core::curve::FailureCurve;
+use cnfet_core::curve::{FailureCurve, PFailure};
 use cnfet_core::failure::FailureModel;
 use cnfet_core::paper;
 use cnfet_core::penalty::upsizing_penalty;
 use cnfet_core::rowmodel::{evaluate_table1, RowModel, Table1, UnalignedRowStudy};
+use cnfet_core::stochastic::McFailure;
 use cnfet_core::wmin::{solve_upsizing, UpsizingSolution, WminSolver};
 use cnfet_device::GateCapModel;
 use cnfet_layout::{align_library, AlignmentOptions, GridPolicy, LibraryAlignment};
+use cnfet_sim::engine::split_seed;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
 /// Cache key for one `(corner, backend)` failure curve.
 type CurveKey = (u64, u64, u64, u8, u64);
 
+/// Seed salt for the count model backing auxiliary (non-curve) queries.
+const COUNT_MODEL_SALT: u64 = 0x636E_7463; // "cntc"
+
+/// Seed salt deriving the Monte-Carlo evaluator stream from a scenario
+/// seed, keeping it disjoint from the row-failure cross-check stream.
+const MC_EVAL_SALT: u64 = 0x7046_6D63; // "pFmc"
+
 fn curve_key(corner: &CornerSpec, backend: &BackendSpec) -> Result<CurveKey> {
     let c = corner.corner()?;
     let (tag, step) = match backend {
         BackendSpec::Convolution { step } => (0u8, step.to_bits()),
         BackendSpec::GaussianSum => (1u8, 0),
+        BackendSpec::MonteCarlo { .. } => {
+            return Err(PipelineError::InvalidSpec {
+                field: "backend",
+                msg: "monte-carlo curves are seeded per scenario and are not shareable; \
+                      Pipeline::evaluate builds them inline"
+                    .into(),
+            })
+        }
     };
     Ok((
         c.pm().to_bits(),
@@ -32,6 +49,16 @@ fn curve_key(corner: &CornerSpec, backend: &BackendSpec) -> Result<CurveKey> {
         tag,
         step,
     ))
+}
+
+/// Worker threads for one Monte-Carlo evaluation. Results are worker-count
+/// independent by construction, so this is purely a wall-clock knob; cap
+/// it so sweep-level parallelism does not oversubscribe badly.
+fn mc_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(8)
 }
 
 /// The shared evaluator behind every experiment, bench, and sweep.
@@ -65,14 +92,18 @@ impl Pipeline {
         corner: &CornerSpec,
         backend: &BackendSpec,
     ) -> Result<FailureModel> {
-        Ok(FailureModel::paper_default(corner.corner()?)?.with_backend(backend.count_model()))
+        Ok(FailureModel::paper_default(corner.corner()?)?
+            .with_backend(backend.count_model(COUNT_MODEL_SALT)))
     }
 
-    /// The shared memoized `pF(W)` curve for a corner and back-end.
+    /// The shared memoized `pF(W)` curve for an *analytic* corner ×
+    /// back-end pair. Monte-Carlo curves are seeded per scenario and built
+    /// inline by [`Pipeline::evaluate`].
     ///
     /// # Errors
     ///
-    /// Propagates corner/model validation errors.
+    /// Propagates corner/model validation errors; rejects the Monte-Carlo
+    /// back-end.
     pub fn failure_curve(
         &self,
         corner: &CornerSpec,
@@ -195,16 +226,46 @@ impl Pipeline {
         }
     }
 
-    /// Evaluate one scenario. `seed` drives the optional conditional-MC
-    /// cross-check (and is recorded in the report either way); analytic
-    /// results are seed-independent.
+    /// Solve the scenario's `W_min` problem on any `pF(W)` evaluator —
+    /// an analytic curve or a stochastic back-end.
+    fn solve_wmin<E: PFailure>(
+        spec: &ScenarioSpec,
+        eval: &E,
+        widths: &[(f64, u64)],
+        relaxation: f64,
+    ) -> Result<UpsizingSolution> {
+        Ok(match spec.m_min {
+            MminSpec::Fraction(fraction) => {
+                let m_min = (fraction * spec.m_transistors).max(1.0);
+                let solver = WminSolver::new(eval);
+                let s = solver.solve_relaxed(spec.yield_target, m_min, relaxation.max(1.0))?;
+                UpsizingSolution {
+                    w_min: s.w_min,
+                    m_min,
+                    p_req: s.p_req,
+                }
+            }
+            MminSpec::SelfConsistent => solve_upsizing(
+                eval,
+                widths,
+                spec.yield_target,
+                spec.m_transistors,
+                relaxation,
+            )?,
+        })
+    }
+
+    /// Evaluate one scenario. `seed` drives the Monte-Carlo back-end (if
+    /// selected) and the optional conditional-MC cross-check, and is
+    /// recorded in the report either way; analytic results are
+    /// seed-independent, stochastic results are a pure function of
+    /// `(spec, seed)` regardless of worker count.
     ///
     /// # Errors
     ///
     /// Propagates validation, model, solver, and simulation errors.
     pub fn evaluate(&self, spec: &ScenarioSpec, seed: u64) -> Result<ScenarioReport> {
         spec.validate()?;
-        let curve = self.failure_curve(&spec.corner, &spec.backend)?;
         let stats = self.design_stats(spec.library, spec.fast_design)?;
         let scale = spec.node_nm / spec.library.node_nm();
         let widths: Vec<(f64, u64)> = stats
@@ -215,27 +276,40 @@ impl Pipeline {
         let row = self.row_model(spec)?;
         let relaxation = Self::relaxation(spec, &row);
 
-        let sol: UpsizingSolution = match spec.m_min {
-            MminSpec::Fraction(fraction) => {
-                let m_min = (fraction * spec.m_transistors).max(1.0);
-                let solver = WminSolver::new(curve.as_ref());
-                let s = solver.solve_relaxed(spec.yield_target, m_min, relaxation.max(1.0))?;
-                UpsizingSolution {
-                    w_min: s.w_min,
-                    m_min,
-                    p_req: s.p_req,
-                }
+        let (sol, p_at_w_min, curve_evaluations, mc) = match spec.backend.mc_precision() {
+            Some(precision) => {
+                // Stochastic back-end: a per-scenario evaluator (seeded per
+                // width) behind the same memoizing curve layer the analytic
+                // back-ends use. The interpolation tolerance is widened to
+                // several CI half-widths so sampling noise does not read as
+                // curvature and trigger runaway refinement.
+                let model = FailureModel::paper_default(spec.corner.corner()?)?;
+                let eval = McFailure::new(model, precision, split_seed(seed, MC_EVAL_SALT))?
+                    .with_workers(mc_workers());
+                let rel_tol = (4.0 * precision.rel_ci).clamp(0.05, 0.25);
+                let curve = FailureCurve::new(eval).with_rel_tol(rel_tol)?;
+                let sol = Self::solve_wmin(spec, &curve, &widths, relaxation)?;
+                // Record the CI at the solved width from a direct (memoized,
+                // exact-width) stochastic point, not the interpolant.
+                let point = curve.model().point(sol.w_min)?;
+                let mc = McBackendReport {
+                    trials: curve.model().total_trials(),
+                    widths_evaluated: curve.model().evaluated_widths() as u64,
+                    ci_lo: point.lo,
+                    ci_hi: point.hi,
+                    ci_level: point.level,
+                    converged: curve.model().all_converged(),
+                };
+                (sol, point.estimate, curve.evaluations(), Some(mc))
             }
-            MminSpec::SelfConsistent => solve_upsizing(
-                curve.as_ref(),
-                &widths,
-                spec.yield_target,
-                spec.m_transistors,
-                relaxation,
-            )?,
+            None => {
+                let curve = self.failure_curve(&spec.corner, &spec.backend)?;
+                let sol = Self::solve_wmin(spec, curve.as_ref(), &widths, relaxation)?;
+                let p_at = curve.p_failure(sol.w_min)?;
+                (sol, p_at, curve.evaluations(), None)
+            }
         };
         let penalty = upsizing_penalty(&GateCapModel::proportional(), &widths, sol.w_min)?;
-        let p_at_w_min = curve.p_failure(sol.w_min)?;
 
         // Optional conditional-MC cross-check of the non-aligned row
         // failure probability at the solved width (Table-1 machinery).
@@ -273,7 +347,8 @@ impl Pipeline {
             p_at_w_min,
             upsizing_penalty: penalty,
             unaligned_p_rf_mc,
-            curve_evaluations: curve.evaluations(),
+            curve_evaluations,
+            mc,
         })
     }
 

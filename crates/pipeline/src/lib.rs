@@ -141,10 +141,10 @@ pub type Result<T> = std::result::Result<T, PipelineError>;
 pub use design::DesignStats;
 pub use engine::{Pipeline, Table1Anchor};
 pub use json::Json;
-pub use report::ScenarioReport;
+pub use report::{McBackendReport, ScenarioReport};
 pub use spec::{
-    BackendSpec, CornerSpec, CorrelationSpec, LibrarySpec, MminSpec, RhoSpec, ScenarioGrid,
-    ScenarioSpec,
+    mc_backend_defaults, BackendSpec, CornerSpec, CorrelationSpec, LibrarySpec, MminSpec, RhoSpec,
+    ScenarioGrid, ScenarioSpec,
 };
 pub use sweep::SweepRunner;
 

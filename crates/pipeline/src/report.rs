@@ -4,6 +4,40 @@ use crate::json::Json;
 use crate::Result;
 use std::path::{Path, PathBuf};
 
+/// Provenance of a Monte-Carlo-backend evaluation: how much simulation a
+/// scenario consumed and how tight the estimate at `W_min` is.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct McBackendReport {
+    /// Total trials across every width the solve touched.
+    pub trials: u64,
+    /// Distinct widths evaluated stochastically.
+    pub widths_evaluated: u64,
+    /// Confidence-interval lower bound of `pF(W_min)`.
+    pub ci_lo: f64,
+    /// Confidence-interval upper bound of `pF(W_min)`.
+    pub ci_hi: f64,
+    /// Confidence level of the bounds.
+    pub ci_level: f64,
+    /// Whether every width met the precision target before `max_trials`.
+    pub converged: bool,
+}
+
+impl McBackendReport {
+    fn to_json(self) -> Json {
+        Json::Obj(vec![
+            ("trials".into(), Json::Num(self.trials as f64)),
+            (
+                "widths_evaluated".into(),
+                Json::Num(self.widths_evaluated as f64),
+            ),
+            ("ci_lo".into(), Json::Num(self.ci_lo)),
+            ("ci_hi".into(), Json::Num(self.ci_hi)),
+            ("ci_level".into(), Json::Num(self.ci_level)),
+            ("converged".into(), Json::Bool(self.converged)),
+        ])
+    }
+}
+
 /// The evaluated outcome of one [`crate::spec::ScenarioSpec`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioReport {
@@ -45,6 +79,10 @@ pub struct ScenarioReport {
     /// Cumulative exact evaluations on the shared curve after this
     /// scenario (provenance for the memoization win).
     pub curve_evaluations: u64,
+    /// Monte-Carlo-backend provenance: trials used and the CI of
+    /// `pF(W_min)` (present iff the scenario ran the `monte-carlo`
+    /// back-end).
+    pub mc: Option<McBackendReport>,
 }
 
 impl ScenarioReport {
@@ -74,6 +112,9 @@ impl ScenarioReport {
         ];
         if let Some(p) = self.unaligned_p_rf_mc {
             fields.push(("unaligned_p_rf_mc".into(), Json::Num(p)));
+        }
+        if let Some(mc) = self.mc {
+            fields.push(("mc".into(), mc.to_json()));
         }
         Json::Obj(fields)
     }
@@ -142,6 +183,7 @@ mod tests {
             upsizing_penalty: 0.11,
             unaligned_p_rf_mc: None,
             curve_evaluations: 42,
+            mc: None,
         }
     }
 
@@ -153,6 +195,26 @@ mod tests {
         assert_eq!(reparsed.get("w_min_nm").unwrap().as_f64(), Some(155.0));
         assert_eq!(reparsed.get("name").unwrap().as_str(), Some("a/b c"));
         assert!(reparsed.get("unaligned_p_rf_mc").is_none());
+        assert!(reparsed.get("mc").is_none());
+    }
+
+    #[test]
+    fn mc_provenance_serializes_as_nested_object() {
+        let mut r = report("mc");
+        r.backend = "monte-carlo".into();
+        r.mc = Some(McBackendReport {
+            trials: 480_000,
+            widths_evaluated: 24,
+            ci_lo: 2.6e-9,
+            ci_hi: 3.2e-9,
+            ci_level: 0.95,
+            converged: true,
+        });
+        let reparsed = Json::parse(&r.to_json().to_string_pretty()).unwrap();
+        let mc = reparsed.get("mc").expect("mc object present");
+        assert_eq!(mc.get("trials").unwrap().as_f64(), Some(480_000.0));
+        assert_eq!(mc.get("converged").unwrap().as_bool(), Some(true));
+        assert_eq!(mc.get("ci_hi").unwrap().as_f64(), Some(3.2e-9));
     }
 
     #[test]

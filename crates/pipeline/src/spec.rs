@@ -27,6 +27,7 @@ use crate::{PipelineError, Result};
 use cnfet_core::corner::ProcessCorner;
 use cnfet_core::paper;
 use cnfet_layout::GridPolicy;
+use cnfet_sim::adaptive::McPrecision;
 use cnt_stats::renewal::CountModel;
 
 fn invalid(field: &'static str, msg: impl Into<String>) -> PipelineError {
@@ -235,14 +236,69 @@ pub enum BackendSpec {
     },
     /// The ~100× faster central-limit approximation.
     GaussianSum,
+    /// Adaptive-precision Monte Carlo: the stratified, exponentially
+    /// tilted simulation estimator, run in batches until the confidence
+    /// interval of every `pF(W)` query is tighter than `rel_ci`. The
+    /// independent witness that cross-validates the two analytic
+    /// back-ends.
+    MonteCarlo {
+        /// Target relative confidence-interval half-width (e.g. 0.05).
+        rel_ci: f64,
+        /// Hard cap on trials per `pF(W)` evaluation.
+        max_trials: u64,
+        /// Trials per batch (the seeding/commit granularity).
+        batch: u32,
+        /// Confidence level of the reported intervals (e.g. 0.95).
+        ci_level: f64,
+    },
+}
+
+/// Grid-file defaults for the Monte-Carlo back-end — the single source of
+/// truth is [`McPrecision::default`] (±5 % at 95 % confidence, batches of
+/// 2000, at most 2 M trials per width).
+pub fn mc_backend_defaults() -> BackendSpec {
+    let p = McPrecision::default();
+    BackendSpec::MonteCarlo {
+        rel_ci: p.rel_ci,
+        max_trials: p.max_trials,
+        batch: p.batch,
+        ci_level: p.level,
+    }
 }
 
 impl BackendSpec {
-    /// The equivalent `cnt-stats` count model.
-    pub fn count_model(&self) -> CountModel {
+    /// The equivalent `cnt-stats` count model. The Monte-Carlo back-end's
+    /// adaptive driver lives above the count model (see
+    /// `cnfet_core::stochastic::McFailure`); here it maps to the
+    /// fixed-trials [`CountModel::MonteCarlo`] flavor at one batch per
+    /// evaluation, which is what auxiliary single-shot queries (e.g. the
+    /// row-failure cross-check's count sampling) use.
+    pub fn count_model(&self, seed: u64) -> CountModel {
         match self {
             BackendSpec::Convolution { step } => CountModel::Convolution { step: *step },
             BackendSpec::GaussianSum => CountModel::GaussianSum,
+            BackendSpec::MonteCarlo { batch, .. } => CountModel::MonteCarlo {
+                trials: (*batch).max(2),
+                seed,
+            },
+        }
+    }
+
+    /// The adaptive-precision target of a Monte-Carlo back-end.
+    pub fn mc_precision(&self) -> Option<McPrecision> {
+        match self {
+            BackendSpec::MonteCarlo {
+                rel_ci,
+                max_trials,
+                batch,
+                ci_level,
+            } => Some(McPrecision {
+                rel_ci: *rel_ci,
+                max_trials: *max_trials,
+                batch: *batch,
+                level: *ci_level,
+            }),
+            _ => None,
         }
     }
 
@@ -251,7 +307,45 @@ impl BackendSpec {
         match self {
             BackendSpec::Convolution { .. } => "convolution",
             BackendSpec::GaussianSum => "gaussian-sum",
+            BackendSpec::MonteCarlo { .. } => "monte-carlo",
         }
+    }
+
+    /// Parse the monte-carlo parameter object. `allow` names the keys that
+    /// are legal in this form (the `kind` form carries a `kind` key, the
+    /// nested form does not); anything else — including a non-object
+    /// payload — is an error rather than a silent fall-through to the
+    /// defaults.
+    fn mc_from_fields(v: &Json, allow: &[&str]) -> Result<Self> {
+        let fields = v
+            .as_object()
+            .ok_or_else(|| invalid("backend", "monte-carlo parameters must be an object"))?;
+        for (key, _) in fields {
+            if !allow.contains(&key.as_str()) {
+                return Err(invalid(
+                    "backend",
+                    format!(
+                        "unknown monte-carlo field `{key}` (rel_ci, max_trials, batch, ci_level)"
+                    ),
+                ));
+            }
+        }
+        let field = |key: &str| -> Result<Option<f64>> {
+            match v.get(key) {
+                None => Ok(None),
+                Some(j) => j
+                    .as_f64()
+                    .map(Some)
+                    .ok_or_else(|| invalid("backend", format!("`{key}` must be a number"))),
+            }
+        };
+        let d = McPrecision::default();
+        Ok(BackendSpec::MonteCarlo {
+            rel_ci: field("rel_ci")?.unwrap_or(d.rel_ci),
+            max_trials: field("max_trials")?.map_or(d.max_trials, |v| v as u64),
+            batch: field("batch")?.map_or(d.batch, |v| v as u32),
+            ci_level: field("ci_level")?.unwrap_or(d.level),
+        })
     }
 
     fn from_json(v: &Json) -> Result<Self> {
@@ -259,12 +353,20 @@ impl BackendSpec {
             Json::Str(s) => match s.as_str() {
                 "convolution" => Ok(BackendSpec::Convolution { step: 0.05 }),
                 "gaussian-sum" => Ok(BackendSpec::GaussianSum),
+                "monte-carlo" => Ok(mc_backend_defaults()),
                 other => Err(invalid(
                     "backend",
-                    format!("unknown backend `{other}` (convolution, gaussian-sum)"),
+                    format!("unknown backend `{other}` (convolution, gaussian-sum, monte-carlo)"),
                 )),
             },
-            Json::Obj(_) => {
+            Json::Obj(fields) => {
+                // Nested single-key form: { "monte-carlo": { "rel_ci": … } }.
+                if fields.len() == 1 && fields[0].0 == "monte-carlo" {
+                    return Self::mc_from_fields(
+                        &fields[0].1,
+                        &["rel_ci", "max_trials", "batch", "ci_level"],
+                    );
+                }
                 let kind = v
                     .get("kind")
                     .and_then(Json::as_str)
@@ -274,6 +376,10 @@ impl BackendSpec {
                         step: v.get("step").and_then(Json::as_f64).unwrap_or(0.05),
                     }),
                     "gaussian-sum" => Ok(BackendSpec::GaussianSum),
+                    "monte-carlo" => Self::mc_from_fields(
+                        v,
+                        &["kind", "rel_ci", "max_trials", "batch", "ci_level"],
+                    ),
                     other => Err(invalid("backend", format!("unknown backend `{other}`"))),
                 }
             }
@@ -288,6 +394,18 @@ impl BackendSpec {
                 ("step".into(), Json::Num(step)),
             ]),
             BackendSpec::GaussianSum => Json::Str("gaussian-sum".into()),
+            BackendSpec::MonteCarlo {
+                rel_ci,
+                max_trials,
+                batch,
+                ci_level,
+            } => Json::Obj(vec![
+                ("kind".into(), Json::Str("monte-carlo".into())),
+                ("rel_ci".into(), Json::Num(rel_ci)),
+                ("max_trials".into(), Json::Num(max_trials as f64)),
+                ("batch".into(), Json::Num(f64::from(batch))),
+                ("ci_level".into(), Json::Num(ci_level)),
+            ]),
         }
     }
 }
@@ -388,10 +506,19 @@ impl ScenarioSpec {
                 return Err(invalid("m_min", "fraction must be in (0, 1]"));
             }
         }
-        if let BackendSpec::Convolution { step } = self.backend {
-            if !(step.is_finite() && step > 0.0) {
-                return Err(invalid("backend", "convolution step must be > 0"));
+        match self.backend {
+            BackendSpec::Convolution { step } => {
+                if !(step.is_finite() && step > 0.0) {
+                    return Err(invalid("backend", "convolution step must be > 0"));
+                }
             }
+            BackendSpec::MonteCarlo { .. } => {
+                let precision = self.backend.mc_precision().expect("monte-carlo variant");
+                precision.validate().map_err(|e| {
+                    invalid("backend", format!("monte-carlo precision invalid: {e}"))
+                })?;
+            }
+            BackendSpec::GaussianSum => {}
         }
         Ok(())
     }
@@ -746,6 +873,109 @@ mod tests {
         assert!(
             ScenarioGrid::parse(r#"{ "scenarios": [ { "yield_target": 2.0 } ] }"#).is_err(),
             "out-of-domain yield"
+        );
+    }
+
+    #[test]
+    fn monte_carlo_backend_forms_and_round_trip() {
+        // Bare name → defaults.
+        let bare = BackendSpec::from_json(&Json::Str("monte-carlo".into())).unwrap();
+        assert_eq!(bare, mc_backend_defaults());
+        assert_eq!(bare.name(), "monte-carlo");
+        // `kind` object form with overrides.
+        let kind = BackendSpec::from_json(
+            &Json::parse(r#"{ "kind": "monte-carlo", "rel_ci": 0.02, "batch": 500 }"#).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(
+            kind,
+            BackendSpec::MonteCarlo {
+                rel_ci: 0.02,
+                max_trials: 2_000_000,
+                batch: 500,
+                ci_level: 0.95
+            }
+        );
+        // Nested single-key form (the grid-schema shorthand).
+        let nested = BackendSpec::from_json(
+            &Json::parse(
+                r#"{ "monte-carlo": { "rel_ci": 0.1, "max_trials": 50000, "ci_level": 0.99 } }"#,
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        assert_eq!(
+            nested,
+            BackendSpec::MonteCarlo {
+                rel_ci: 0.1,
+                max_trials: 50_000,
+                batch: 2_000,
+                ci_level: 0.99
+            }
+        );
+        // Full-spec round trip through to_json/from_json.
+        let mut spec = ScenarioSpec::baseline("mc");
+        spec.backend = kind;
+        spec.validate().unwrap();
+        let back = ScenarioSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(spec, back);
+        // The precision surface maps 1:1.
+        let p = kind.mc_precision().unwrap();
+        assert_eq!(p.rel_ci, 0.02);
+        assert_eq!(p.batch, 500);
+        assert!(bare.count_model(9) != CountModel::GaussianSum);
+    }
+
+    #[test]
+    fn monte_carlo_backend_rejects_bad_precision() {
+        let mut spec = ScenarioSpec::baseline("bad");
+        spec.backend = BackendSpec::MonteCarlo {
+            rel_ci: 0.0,
+            max_trials: 1000,
+            batch: 100,
+            ci_level: 0.95,
+        };
+        assert!(spec.validate().is_err(), "rel_ci = 0");
+        spec.backend = BackendSpec::MonteCarlo {
+            rel_ci: 0.05,
+            max_trials: 10,
+            batch: 100,
+            ci_level: 0.95,
+        };
+        assert!(spec.validate().is_err(), "cap below one batch");
+        spec.backend = BackendSpec::MonteCarlo {
+            rel_ci: 0.05,
+            max_trials: 1000,
+            batch: 100,
+            ci_level: 1.0,
+        };
+        assert!(spec.validate().is_err(), "ci_level = 1");
+        assert!(
+            ScenarioGrid::parse(
+                r#"{ "scenarios": [ { "backend": { "monte-carlo": { "batch": 1 } } } ] }"#
+            )
+            .is_err(),
+            "grid-level validation must catch it too"
+        );
+        // Mistyped keys and non-object payloads must error, not silently
+        // fall back to 2M-trial defaults.
+        assert!(
+            BackendSpec::from_json(
+                &Json::parse(r#"{ "monte-carlo": { "trials": 50000 } }"#).unwrap()
+            )
+            .is_err(),
+            "unknown field `trials`"
+        );
+        assert!(
+            BackendSpec::from_json(&Json::parse(r#"{ "monte-carlo": "fast" }"#).unwrap()).is_err(),
+            "non-object payload"
+        );
+        assert!(
+            BackendSpec::from_json(
+                &Json::parse(r#"{ "kind": "monte-carlo", "rel-ci": 0.1 }"#).unwrap()
+            )
+            .is_err(),
+            "mistyped key in the kind form"
         );
     }
 

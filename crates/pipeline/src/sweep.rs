@@ -128,6 +128,43 @@ mod tests {
     }
 
     #[test]
+    fn monte_carlo_backend_sweeps_are_worker_independent() {
+        // The acceptance contract of the MC back-end: a sweep over
+        // stochastic scenarios is bit-identical for --workers 1 vs
+        // --workers 8 at a fixed seed, including trial counts and CI
+        // bounds.
+        let grid = ScenarioGrid::parse(
+            r#"{
+                "name": "mc",
+                "defaults": {
+                    "backend": { "monte-carlo": { "rel_ci": 0.15, "max_trials": 100000, "batch": 1000 } },
+                    "rho": "paper",
+                    "fast_design": true
+                },
+                "axes": { "correlation": ["none", "growth+aligned-layout"] }
+            }"#,
+        )
+        .unwrap();
+        let pipeline = Pipeline::new();
+        let one = SweepRunner::new(&pipeline)
+            .with_workers(1)
+            .run(&grid.scenarios, 7);
+        let many = SweepRunner::new(&pipeline)
+            .with_workers(8)
+            .run(&grid.scenarios, 7);
+        for (a, b) in one.iter().zip(many.iter()) {
+            let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+            assert_eq!(a, b, "MC scenario reports must be worker-independent");
+            let mc = a.mc.as_ref().expect("mc provenance present");
+            assert!(mc.trials > 0 && mc.ci_lo <= a.p_at_w_min && a.p_at_w_min <= mc.ci_hi);
+        }
+        // Correlation must still shrink W_min under the stochastic backend.
+        let plain = one[0].as_ref().unwrap();
+        let corr = one[1].as_ref().unwrap();
+        assert!(corr.w_min_nm < plain.w_min_nm - 30.0);
+    }
+
+    #[test]
     fn bad_scenarios_fail_individually() {
         let pipeline = Pipeline::new();
         let mut specs = fast_grid();

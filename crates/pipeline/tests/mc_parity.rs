@@ -1,0 +1,172 @@
+//! Monte-Carlo vs. analytic parity: the third witness.
+//!
+//! For every corner × correlation × node cell, the scenario evaluated with
+//! the `monte-carlo` back-end must agree with the exact-convolution
+//! back-end within the confidence interval it reports — the same
+//! analytic-vs-simulation cross-validation loop Hills et al. use to trust
+//! their co-optimization results.
+
+use cnfet_core::failure::FailureModel;
+use cnfet_pipeline::{BackendSpec, CornerSpec, CorrelationSpec, Pipeline, RhoSpec, ScenarioSpec};
+use cnt_stats::renewal::CountModel;
+
+// 99.9 % intervals: 12 strict bracket assertions at 95 % would fail on
+// coverage alone about half the time; at 99.9 % the grid is expected to
+// bracket everywhere (and the fixed seed keeps the outcome reproducible).
+const MC_BACKEND: BackendSpec = BackendSpec::MonteCarlo {
+    rel_ci: 0.08,
+    max_trials: 400_000,
+    batch: 1_000,
+    ci_level: 0.999,
+};
+
+fn spec(
+    name: String,
+    corner: CornerSpec,
+    correlation: CorrelationSpec,
+    node: f64,
+    backend: BackendSpec,
+) -> ScenarioSpec {
+    let mut spec = ScenarioSpec::baseline(name);
+    spec.corner = corner;
+    spec.correlation = correlation;
+    spec.node_nm = node;
+    spec.backend = backend;
+    spec.fast_design = true;
+    spec.rho = RhoSpec::Paper;
+    spec
+}
+
+#[test]
+fn mc_backend_agrees_with_convolution_across_the_grid() {
+    let pipeline = Pipeline::new();
+    let corners = [CornerSpec::Aggressive, CornerSpec::IdealRemoval];
+    let correlations = [
+        CorrelationSpec::None,
+        CorrelationSpec::Growth,
+        CorrelationSpec::GrowthAlignedLayout,
+    ];
+    let nodes = [45.0, 32.0];
+
+    for (ci, corner) in corners.iter().enumerate() {
+        // One exact model per corner: the reference the MC CI must cover.
+        let exact = FailureModel::paper_default(corner.corner().unwrap())
+            .unwrap()
+            .with_backend(CountModel::Convolution { step: 0.05 });
+        for correlation in correlations {
+            for node in nodes {
+                let cell = format!("{}/{}/{node}", ci, correlation.name());
+                let mc_spec = spec(cell.clone(), *corner, correlation, node, MC_BACKEND);
+                let conv_spec = spec(
+                    format!("{cell}/conv"),
+                    *corner,
+                    correlation,
+                    node,
+                    BackendSpec::Convolution { step: 0.05 },
+                );
+                let mc = pipeline.evaluate(&mc_spec, 20_100_613).unwrap();
+                let conv = pipeline.evaluate(&conv_spec, 20_100_613).unwrap();
+                let provenance = mc.mc.expect("monte-carlo provenance recorded");
+
+                assert!(
+                    provenance.converged,
+                    "{cell}: MC did not converge ({} trials)",
+                    provenance.trials
+                );
+                assert!(provenance.trials > 0 && provenance.widths_evaluated > 0);
+
+                // The exact pF at the MC-solved width must sit inside the
+                // reported confidence interval (the estimate itself is the
+                // interval's center by construction).
+                let reference = exact.p_failure(mc.w_min_nm).unwrap();
+                assert!(
+                    provenance.ci_lo <= reference && reference <= provenance.ci_hi,
+                    "{cell}: conv pF({:.2}) = {reference:.4e} outside MC CI \
+                     [{:.4e}, {:.4e}]",
+                    mc.w_min_nm,
+                    provenance.ci_lo,
+                    provenance.ci_hi
+                );
+
+                // And the two back-ends must solve to nearby thresholds:
+                // pF is steep in W, so an 8 % probability CI is ~1 % in W.
+                let rel_w = (mc.w_min_nm - conv.w_min_nm).abs() / conv.w_min_nm;
+                assert!(
+                    rel_w < 0.03,
+                    "{cell}: W_min mc {:.2} vs conv {:.2} ({:.1} % apart)",
+                    mc.w_min_nm,
+                    conv.w_min_nm,
+                    100.0 * rel_w
+                );
+                assert_eq!(mc.backend, "monte-carlo");
+                assert!(conv.mc.is_none(), "analytic runs carry no MC provenance");
+            }
+        }
+    }
+}
+
+#[test]
+fn zero_pf_corner_is_exact_and_instant() {
+    // All-semiconducting: pf = 0, so the stratified estimator is
+    // variance-free and the MC backend solves the same W_min as the
+    // convolution backend to interpolation accuracy.
+    let pipeline = Pipeline::new();
+    let mc = pipeline
+        .evaluate(
+            &spec(
+                "semi/mc".into(),
+                CornerSpec::AllSemiconducting,
+                CorrelationSpec::None,
+                45.0,
+                MC_BACKEND,
+            ),
+            1,
+        )
+        .unwrap();
+    let conv = pipeline
+        .evaluate(
+            &spec(
+                "semi/conv".into(),
+                CornerSpec::AllSemiconducting,
+                CorrelationSpec::None,
+                45.0,
+                BackendSpec::Convolution { step: 0.05 },
+            ),
+            1,
+        )
+        .unwrap();
+    let provenance = mc.mc.unwrap();
+    assert!(provenance.converged);
+    // Every width converges in exactly one batch.
+    assert_eq!(
+        provenance.trials,
+        provenance.widths_evaluated * 1_000,
+        "pf = 0 must take one batch per width"
+    );
+    assert!(
+        (mc.w_min_nm - conv.w_min_nm).abs() / conv.w_min_nm < 0.03,
+        "mc {} vs conv {}",
+        mc.w_min_nm,
+        conv.w_min_nm
+    );
+}
+
+#[test]
+fn mc_backend_is_deterministic_per_seed() {
+    let pipeline = Pipeline::new();
+    let s = spec(
+        "det".into(),
+        CornerSpec::Aggressive,
+        CorrelationSpec::GrowthAlignedLayout,
+        45.0,
+        MC_BACKEND,
+    );
+    let a = pipeline.evaluate(&s, 77).unwrap();
+    let b = pipeline.evaluate(&s, 77).unwrap();
+    assert_eq!(a, b, "same spec + seed must be bit-identical");
+    let c = pipeline.evaluate(&s, 78).unwrap();
+    assert_ne!(
+        a.p_at_w_min, c.p_at_w_min,
+        "a different seed must actually resample"
+    );
+}

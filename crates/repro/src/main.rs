@@ -3,6 +3,7 @@
 //! ```text
 //! cnfet-repro <experiment> [--fast] [--out-dir <path>] [--seed <u64>]
 //! cnfet-repro sweep <grid-file> [--fast] [--out-dir <path>] [--seed <u64>] [--workers <n>]
+//!                   [--backend <name-or-json>]
 //!
 //! experiments:
 //!   fig2-1    pF vs W for three processing corners (+ W_min anchors)
@@ -21,6 +22,9 @@
 //!   --fast            reduced trial counts and design sizes
 //!   --out-dir <path>  artifact directory (default `results/`)
 //!   --seed <u64>      base RNG seed (default: each experiment's published seed)
+//!   --backend <b>     (sweep) override every scenario's count back-end:
+//!                     convolution | gaussian-sum | monte-carlo, or a JSON
+//!                     object, e.g. '{"monte-carlo": {"rel_ci": 0.05}}'
 //! ```
 //!
 //! Every experiment prints an ASCII rendition plus a paper-vs-measured
@@ -49,7 +53,8 @@ fn usage() {
     eprintln!(
         "usage: cnfet-repro <fig2-1|fig2-2a|fig2-2b|fig3-1|table1|fig3-2|fig3-3|table2|extras|all> \
          [--fast] [--out-dir <path>] [--seed <u64>]\n       \
-         cnfet-repro sweep <grid-file> [--fast] [--out-dir <path>] [--seed <u64>] [--workers <n>]"
+         cnfet-repro sweep <grid-file> [--fast] [--out-dir <path>] [--seed <u64>] [--workers <n>] \
+         [--backend <name-or-json>]"
     );
 }
 
@@ -59,6 +64,7 @@ struct Cli {
     out_dir: Option<PathBuf>,
     seed: Option<u64>,
     workers: Option<usize>,
+    backend: Option<String>,
 }
 
 /// Parse `args` (flags may appear anywhere; `--flag value` and
@@ -70,6 +76,7 @@ fn parse_cli(args: &[String]) -> common::Result<Cli> {
         out_dir: None,
         seed: None,
         workers: None,
+        backend: None,
     };
     let mut iter = args.iter().peekable();
     while let Some(arg) = iter.next() {
@@ -100,6 +107,7 @@ fn parse_cli(args: &[String]) -> common::Result<Cli> {
                     ReproError::Usage(format!("--workers expects a positive integer, got `{v}`"))
                 })?);
             }
+            "--backend" => cli.backend = Some(value("--backend")?),
             f if f.starts_with("--") => {
                 return Err(ReproError::Usage(format!("unknown flag `{f}`")));
             }
@@ -124,7 +132,13 @@ fn dispatch(cli: &Cli) -> common::Result<()> {
                 "sweep needs a <grid-file> argument".into(),
             ));
         };
-        return sweep::run(&ctx, grid_file, cli.workers);
+        return sweep::run(&ctx, grid_file, cli.workers, cli.backend.as_deref());
+    }
+
+    if cli.backend.is_some() {
+        return Err(ReproError::Usage(
+            "--backend only applies to the sweep subcommand".into(),
+        ));
     }
 
     let run = |name: &str| -> common::Result<()> {

@@ -2,11 +2,27 @@
 //! and emit structured artifacts.
 
 use crate::common::{banner, write_csv, ReproError, Result, RunContext};
-use cnfet_pipeline::{report, ScenarioGrid, SweepRunner};
+use cnfet_pipeline::{report, Json, ScenarioGrid, SweepRunner};
 use cnfet_plot::Table;
 
+/// Parse a `--backend` override: a bare back-end name or a JSON object
+/// (e.g. `{"monte-carlo": {"rel_ci": 0.05}}`).
+fn backend_override(raw: &str) -> Result<Json> {
+    let trimmed = raw.trim();
+    if trimmed.starts_with('{') {
+        Ok(Json::parse(trimmed)?)
+    } else {
+        Ok(Json::Str(trimmed.to_string()))
+    }
+}
+
 /// Run a scenario-grid file through the pipeline.
-pub fn run(ctx: &RunContext, grid_file: &str, workers: Option<usize>) -> Result<()> {
+pub fn run(
+    ctx: &RunContext,
+    grid_file: &str,
+    workers: Option<usize>,
+    backend: Option<&str>,
+) -> Result<()> {
     banner("SWEEP", &format!("scenario grid `{grid_file}`"));
 
     let src = std::fs::read_to_string(grid_file)?;
@@ -23,12 +39,21 @@ pub fn run(ctx: &RunContext, grid_file: &str, workers: Option<usize>) -> Result<
     );
 
     // The run is still fully declarative: --fast only tightens the design
-    // size unless the grid file pinned it itself.
+    // size and --backend only swaps the count back-end, unless the grid
+    // file pinned them itself.
     let mut specs = grid.scenarios;
     if ctx.fast {
         for spec in &mut specs {
             spec.fast_design = true;
         }
+    }
+    if let Some(raw) = backend {
+        let json = backend_override(raw)?;
+        for spec in &mut specs {
+            spec.apply("backend", &json)?;
+            spec.validate()?;
+        }
+        println!("  backend override: {}", specs[0].backend.name());
     }
     let results = runner.run(&specs, ctx.seed_or(20100613));
 
@@ -39,9 +64,12 @@ pub fn run(ctx: &RunContext, grid_file: &str, workers: Option<usize>) -> Result<
             "node_nm",
             "corner",
             "correlation",
+            "backend",
             "relaxation",
             "W_min_nm",
             "penalty_percent",
+            "mc_trials",
+            "mc_ci",
         ],
     );
     let mut reports = Vec::new();
@@ -49,15 +77,25 @@ pub fn run(ctx: &RunContext, grid_file: &str, workers: Option<usize>) -> Result<
     for (spec, result) in specs.iter().zip(results) {
         match result {
             Ok(r) => {
+                let (mc_trials, mc_ci) = match &r.mc {
+                    Some(mc) => (
+                        format!("{}", mc.trials),
+                        format!("[{:.2e}, {:.2e}]", mc.ci_lo, mc.ci_hi),
+                    ),
+                    None => ("-".into(), "-".into()),
+                };
                 table
                     .add_row(&[
                         r.name.clone(),
                         format!("{:.0}", r.node_nm),
                         r.corner.clone(),
                         r.correlation.clone(),
+                        r.backend.clone(),
                         format!("{:.0}x", r.relaxation),
                         format!("{:.1}", r.w_min_nm),
                         format!("{:.1}", r.upsizing_penalty * 100.0),
+                        mc_trials,
+                        mc_ci,
                     ])
                     .map_err(crate::common::analysis)?;
                 reports.push(r);

@@ -195,6 +195,71 @@ fn sweep_subcommand_runs_a_grid_file() {
 }
 
 #[test]
+fn sweep_backend_override_runs_monte_carlo() {
+    let dir = Path::new(env!("CARGO_TARGET_TMPDIR")).join("repro-smoke-mc-backend");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    let grid = dir.join("grid.json");
+    std::fs::write(
+        &grid,
+        r#"{
+  "name": "mc-smoke",
+  "defaults": { "rho": "paper", "fast_design": true },
+  "axes": { "correlation": ["none", "growth+aligned-layout"] }
+}
+"#,
+    )
+    .expect("write grid file");
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args([
+            "sweep",
+            "grid.json",
+            "--backend",
+            r#"{"monte-carlo": {"rel_ci": 0.15, "max_trials": 100000, "batch": 1000}}"#,
+            "--seed",
+            "7",
+        ])
+        .current_dir(&dir)
+        .output()
+        .expect("spawn repro binary");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("backend override: monte-carlo"),
+        "stdout: {stdout}"
+    );
+    let summary =
+        std::fs::read_to_string(dir.join("results/sweep-summary.json")).expect("json artifact");
+    assert!(summary.contains("\"backend\": \"monte-carlo\""));
+    assert!(
+        summary.contains("\"trials\"") && summary.contains("\"ci_hi\""),
+        "MC provenance must land in the artifact: {summary}"
+    );
+    assert_finite(&summary, "mc sweep-summary.json");
+
+    // A bogus override fails cleanly before any evaluation.
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["sweep", "grid.json", "--backend", "quantum"])
+        .current_dir(&dir)
+        .output()
+        .expect("spawn repro binary");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown backend"));
+
+    // --backend outside `sweep` is a usage error.
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["fig2-1", "--backend", "monte-carlo"])
+        .output()
+        .expect("spawn repro binary");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--backend"));
+}
+
+#[test]
 fn bad_flag_values_fail_with_usage() {
     let out = Command::new(env!("CARGO_BIN_EXE_repro"))
         .args(["fig2-1", "--seed", "not-a-number"])

@@ -4,6 +4,7 @@
 //! flips are integrated out exactly — per device as `pf^n`, per row via the
 //! run DP. Estimates at the 1e-9 scale converge in thousands of trials.
 
+use crate::adaptive::{run_adaptive_affine, McOutcome, McPrecision};
 use crate::rundp::row_failure_probability;
 use crate::{Result, SimError};
 use cnt_stats::ci::{conditional_mc_ci, ConfidenceInterval};
@@ -133,6 +134,39 @@ pub fn estimate_fet_failure(
         ci95,
         trials,
     })
+}
+
+/// Adaptive-precision estimate of a single CNFET's count-failure
+/// probability `pF(width)` — the Monte-Carlo back-end's workhorse.
+///
+/// Strategy: build the stratified, exponentially tilted
+/// [`cnt_stats::renewal::FailureSampler`] (the `N = 0` stratum is exact;
+/// the `N ≥ 1` tail is importance-sampled at the saddle point), then run it
+/// through the batched [`crate::adaptive`] driver until the confidence
+/// interval meets `precision.rel_ci` or `precision.max_trials` is spent.
+/// The result is bit-identical for any `workers` count.
+///
+/// # Errors
+///
+/// Propagates sampler-construction and precision-validation errors.
+pub fn estimate_fet_failure_adaptive(
+    width: f64,
+    pitch: TruncatedGaussian,
+    pf: f64,
+    precision: &McPrecision,
+    workers: usize,
+    seed: u64,
+) -> Result<McOutcome> {
+    let renewal = RenewalCount::new(pitch, CountModel::GaussianSum);
+    let sampler = renewal.failure_sampler(width, pf)?;
+    run_adaptive_affine(
+        precision,
+        workers,
+        seed,
+        sampler.p_empty(),
+        sampler.tail_weight(),
+        |rng| sampler.sample_tail(rng),
+    )
 }
 
 /// Estimate the row failure probability `p_RF` of a [`RowScenario`]:

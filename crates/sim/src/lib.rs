@@ -32,6 +32,7 @@
 //! assert!((p - (0.25 + 0.5 - 0.125)).abs() < 1e-12);
 //! ```
 
+pub mod adaptive;
 pub mod condmc;
 pub mod engine;
 pub mod rundp;
@@ -98,6 +99,9 @@ impl From<cnt_stats::StatsError> for SimError {
 /// Convenience alias used across the crate.
 pub type Result<T> = std::result::Result<T, SimError>;
 
-pub use condmc::{estimate_fet_failure, estimate_row_failure, RowScenario};
+pub use adaptive::{run_adaptive, run_adaptive_affine, McOutcome, McPrecision};
+pub use condmc::{
+    estimate_fet_failure, estimate_fet_failure_adaptive, estimate_row_failure, RowScenario,
+};
 pub use engine::run_parallel;
 pub use rundp::{row_failure_probability, row_failure_probability_weighted};

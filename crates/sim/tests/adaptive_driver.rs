@@ -1,0 +1,103 @@
+//! Regression tests for the adaptive-precision Monte-Carlo driver: worker
+//! independence at a fixed seed (the contract the scenario pipeline relies
+//! on) and agreement with the analytic convolution back-end.
+
+use cnfet_sim::adaptive::{run_adaptive, McPrecision};
+use cnfet_sim::estimate_fet_failure_adaptive;
+use cnt_stats::renewal::{CountModel, RenewalCount};
+use cnt_stats::TruncatedGaussian;
+use rand::Rng;
+
+fn pitch() -> TruncatedGaussian {
+    TruncatedGaussian::positive_with_moments(4.0, 3.28).unwrap()
+}
+
+#[test]
+fn workers_1_vs_8_bit_identical_at_fixed_seed() {
+    // The sweep-runner guarantee, extended to the MC driver: identical
+    // results for any worker count, not just a fixed (seed, workers) pair.
+    let precision = McPrecision {
+        rel_ci: 0.03,
+        max_trials: 200_000,
+        batch: 1_000,
+        level: 0.95,
+    };
+    let job = |rng: &mut rand::rngs::StdRng| rng.gen::<f64>() * rng.gen::<f64>();
+    let serial = run_adaptive(&precision, 1, 42, job).unwrap();
+    let parallel = run_adaptive(&precision, 8, 42, job).unwrap();
+    assert_eq!(serial.ci.estimate, parallel.ci.estimate, "estimate differs");
+    assert_eq!(serial.ci.lo, parallel.ci.lo);
+    assert_eq!(serial.ci.hi, parallel.ci.hi);
+    assert_eq!(serial.trials, parallel.trials, "stopping point differs");
+    assert_eq!(serial.batches, parallel.batches);
+    assert_eq!(serial.summary, parallel.summary);
+
+    // A different seed must change the answer (the test has teeth).
+    let other = run_adaptive(&precision, 8, 43, job).unwrap();
+    assert_ne!(serial.ci.estimate, other.ci.estimate);
+}
+
+#[test]
+fn fet_failure_adaptive_is_worker_independent_end_to_end() {
+    let precision = McPrecision {
+        rel_ci: 0.10,
+        max_trials: 100_000,
+        batch: 1_000,
+        level: 0.95,
+    };
+    let a = estimate_fet_failure_adaptive(103.0, pitch(), 0.531, &precision, 1, 7).unwrap();
+    let b = estimate_fet_failure_adaptive(103.0, pitch(), 0.531, &precision, 8, 7).unwrap();
+    assert_eq!(a, b, "workers must not change the adaptive estimate");
+}
+
+#[test]
+fn fet_failure_adaptive_brackets_the_convolution_backend() {
+    // The cross-validation loop of the paper reproduction: at the paper's
+    // two anchor widths (pF ≈ 1e-6 and ≈ 1e-9) the MC estimate's CI must
+    // bracket the analytic value.
+    let precision = McPrecision {
+        rel_ci: 0.05,
+        max_trials: 400_000,
+        batch: 2_000,
+        level: 0.99,
+    };
+    let conv = RenewalCount::new(pitch(), CountModel::Convolution { step: 0.02 });
+    for w in [103.0, 155.0] {
+        let analytic = conv.failure_probability(w, 0.531).unwrap();
+        let mc = estimate_fet_failure_adaptive(w, pitch(), 0.531, &precision, 4, 11).unwrap();
+        assert!(
+            mc.converged,
+            "W={w}: did not converge in {} trials",
+            mc.trials
+        );
+        assert!(
+            mc.ci.lo <= analytic && analytic <= mc.ci.hi,
+            "W={w}: conv {analytic:.4e} outside MC CI {}",
+            mc.ci
+        );
+        assert!(
+            mc.trials < 400_000,
+            "W={w}: tilted sampler should converge early, used {}",
+            mc.trials
+        );
+    }
+}
+
+#[test]
+fn zero_pf_corner_converges_in_one_batch() {
+    // All-semiconducting corner: pf = 0 reduces pF to the exact zero-count
+    // stratum; the driver must not stall hunting an unobservable event.
+    let precision = McPrecision::default();
+    let mc = estimate_fet_failure_adaptive(40.0, pitch(), 0.0, &precision, 4, 1).unwrap();
+    assert!(mc.converged);
+    assert_eq!(mc.batches, 1);
+    assert_eq!(mc.ci.half_width(), 0.0);
+    let conv = RenewalCount::new(pitch(), CountModel::Convolution { step: 0.05 })
+        .failure_probability(40.0, 0.0)
+        .unwrap();
+    assert!(
+        (mc.ci.estimate - conv).abs() / conv < 0.05,
+        "exact stratum {:.3e} vs conv {conv:.3e}",
+        mc.ci.estimate
+    );
+}

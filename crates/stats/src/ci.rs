@@ -69,6 +69,13 @@ fn check_level(level: f64) -> Result<f64> {
 pub fn mean_ci(summary: &Summary, level: f64) -> Result<ConfidenceInterval> {
     let z = check_level(level)?;
     let se = summary.std_error()?;
+    if !(summary.mean().is_finite() && se.is_finite()) {
+        return Err(StatsError::InvalidParameter {
+            name: "summary",
+            value: summary.mean(),
+            constraint: "mean and standard error must be finite",
+        });
+    }
     Ok(ConfidenceInterval {
         estimate: summary.mean(),
         lo: summary.mean() - z * se,
@@ -167,6 +174,22 @@ mod tests {
         assert!(proportion_ci(1, 4, 1.0).is_err());
         let s = Summary::of(&[1.0]);
         assert!(mean_ci(&s, 0.95).is_err());
+    }
+
+    #[test]
+    fn empty_and_degenerate_batches_never_produce_nan() {
+        // The adaptive MC driver merges batch summaries and asks for a CI
+        // after every commit; each edge case must be a typed error or a
+        // finite in-range interval, never NaN.
+        assert!(proportion_ci(0, 0, 0.95).is_err(), "empty batch");
+        assert!(proportion_ci(7, 3, 0.95).is_err(), "overfull batch");
+        let all = proportion_ci(1000, 1000, 0.95).unwrap();
+        assert!(all.lo >= 0.0 && all.hi <= 1.0 && all.lo.is_finite());
+        assert_eq!(all.hi, 1.0);
+        let nan = Summary::of(&[f64::NAN, 1.0, 2.0]);
+        assert!(mean_ci(&nan, 0.95).is_err(), "NaN data must not leak a CI");
+        let inf = Summary::of(&[f64::INFINITY, 1.0]);
+        assert!(mean_ci(&inf, 0.95).is_err());
     }
 
     #[test]

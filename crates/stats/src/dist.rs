@@ -259,6 +259,41 @@ impl TruncatedGaussian {
         self.beta_cdf - self.alpha_cdf
     }
 
+    /// Exponential tilt: the distribution with density
+    /// `g(x) ∝ f(x)·e^{θx}`, together with `ln M(θ)` where
+    /// `M(θ) = E[e^{θX}]` is the moment generating function.
+    ///
+    /// For a truncated Gaussian the tilt stays in the family: only the
+    /// parent mean shifts, by `θσ²`. This is the importance-sampling
+    /// primitive behind the Monte-Carlo deep-tail estimator of
+    /// [`crate::renewal::FailureSampler`]: sampling pitches from the tilted
+    /// density and re-weighting by the likelihood ratio
+    /// `Π f/g = M(θ)ⁿ·e^{−θΣx}` moves the typical CNT count into the
+    /// region that dominates a rare-event expectation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] for a non-finite `θ` or a
+    /// tilt so extreme that the tilted window retains no mass.
+    pub fn tilted(&self, theta: f64) -> Result<(TruncatedGaussian, f64)> {
+        if !theta.is_finite() {
+            return Err(StatsError::InvalidParameter {
+                name: "theta",
+                value: theta,
+                constraint: "must be finite",
+            });
+        }
+        if theta == 0.0 {
+            return Ok((*self, 0.0));
+        }
+        let mu = self.parent.mean();
+        let sd = self.parent.std_dev();
+        let tilted = TruncatedGaussian::new(mu + theta * sd * sd, sd, self.lo, self.hi)?;
+        let ln_m =
+            theta * mu + 0.5 * theta * theta * sd * sd + tilted.mass().ln() - self.mass().ln();
+        Ok((tilted, ln_m))
+    }
+
     /// Quantile of the truncated distribution.
     ///
     /// # Panics
@@ -675,6 +710,41 @@ mod tests {
             "var: sampled {var} vs analytic {}",
             t.variance()
         );
+    }
+
+    #[test]
+    fn tilted_density_is_reweighted_parent() {
+        let t = TruncatedGaussian::positive(4.0, 3.3).unwrap();
+        let theta = 0.3;
+        let (g, ln_m) = t.tilted(theta).unwrap();
+        // g(x) = f(x)·e^{θx}/M(θ) pointwise.
+        for x in [0.5, 2.0, 4.0, 8.0, 15.0] {
+            let want = t.pdf(x) * (theta * x - ln_m).exp();
+            assert!(
+                (g.pdf(x) - want).abs() < 1e-9 * want.max(1.0),
+                "x={x}: tilted pdf {} vs reweighted {want}",
+                g.pdf(x)
+            );
+        }
+        // M(θ) = E[e^{θX}], checked by quadrature over the support.
+        let mut m = 0.0;
+        let h = 0.001;
+        let mut x = 0.0;
+        while x < 4.0 + 12.0 * 3.3 {
+            m += t.pdf(x + 0.5 * h) * (theta * (x + 0.5 * h)).exp() * h;
+            x += h;
+        }
+        assert!(
+            (ln_m - m.ln()).abs() < 1e-3,
+            "ln M analytic {ln_m} vs quadrature {}",
+            m.ln()
+        );
+        // Positive tilt stretches the mean; zero tilt is the identity.
+        assert!(g.mean() > t.mean());
+        let (same, zero) = t.tilted(0.0).unwrap();
+        assert_eq!(zero, 0.0);
+        assert_eq!(same, t);
+        assert!(t.tilted(f64::NAN).is_err());
     }
 
     #[test]

@@ -99,7 +99,7 @@ pub type Result<T> = std::result::Result<T, StatsError>;
 pub use describe::Summary;
 pub use dist::{Bernoulli, ContinuousDist, DiscreteDist, Exponential, Gaussian, TruncatedGaussian};
 pub use histogram::Histogram;
-pub use renewal::{CountDistribution, CountModel, RenewalCount};
+pub use renewal::{CountDistribution, CountModel, FailureSampler, RenewalCount};
 
 #[cfg(test)]
 mod tests {
