@@ -3,9 +3,7 @@
 use cnfet_bench::{case_study_widths, paper_model, paper_row};
 use cnfet_core::optimizer::YieldOptimizer;
 use cnfet_core::wmin::WminSolver;
-use cnfet_pipeline::{
-    BackendSpec, CorrelationSpec, MminSpec, Pipeline, RhoSpec, ScenarioSpec, SweepRunner,
-};
+use cnfet_pipeline::{BackendSpec, CorrelationSpec, MminSpec, RhoSpec, ScenarioSpec, YieldService};
 use cnt_stats::renewal::CountModel;
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
@@ -50,13 +48,13 @@ fn fig3_3_spec(node: f64, correlation: CorrelationSpec) -> ScenarioSpec {
 }
 
 fn bench_pipeline(c: &mut Criterion) {
-    // Warm the design/curve caches once; the benches then measure the
-    // steady-state scenario evaluation the sweep runner sees.
-    let pipeline = Pipeline::new();
+    // Warm the service's design/curve caches once; the benches then
+    // measure the steady-state scenario evaluation the daemon sees.
+    let service = YieldService::new();
     let warm = fig3_3_spec(32.0, CorrelationSpec::GrowthAlignedLayout);
-    pipeline.evaluate(&warm, 1).expect("evaluable");
+    service.evaluate(&warm, 1).expect("evaluable");
     c.bench_function("fig3_3/pipeline_evaluate_node32", |b| {
-        b.iter(|| pipeline.evaluate(black_box(&warm), 1).expect("evaluable"))
+        b.iter(|| service.evaluate(black_box(&warm), 1).expect("evaluable"))
     });
 
     let specs: Vec<ScenarioSpec> = [45.0, 32.0, 22.0, 16.0]
@@ -70,9 +68,9 @@ fn bench_pipeline(c: &mut Criterion) {
         .collect();
     c.bench_function("fig3_3/sweep_8_scenarios", |b| {
         b.iter(|| {
-            SweepRunner::new(&pipeline)
-                .with_workers(4)
-                .run(black_box(&specs), 7)
+            service
+                .sweep_with_workers(black_box(specs.clone()), 7, 4)
+                .count()
         })
     });
 }

@@ -1,0 +1,111 @@
+//! Bench SERVICE — warm-cache request throughput of the v1 yield service.
+//!
+//! The service's reason to exist is that a long-lived daemon answers the
+//! co-optimizer's thousandth `Evaluate` from warm shared caches instead
+//! of rebuilding curves and design statistics per call. These benches pin
+//! that win in the perf trajectory:
+//!
+//! * `warm_cache_evaluate` — steady-state typed evaluation on a shared
+//!   service (the daemon's hot path);
+//! * `cold_pipeline_per_call` — the anti-pattern the service replaces: a
+//!   fresh `Pipeline` (empty caches) per request;
+//! * `envelope_evaluate` — the full wire path: request parse → dispatch →
+//!   response serialize, measuring envelope overhead on top of the warm
+//!   evaluation;
+//! * `sweep_stream_12` — a 12-scenario grid streamed through the handle.
+
+use cnfet_pipeline::{
+    BackendSpec, CorrelationSpec, Json, Pipeline, RhoSpec, ScenarioSpec, YieldRequest, YieldService,
+};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn service_spec(name: &str, node: f64, correlation: CorrelationSpec) -> ScenarioSpec {
+    let mut spec = ScenarioSpec::baseline(name);
+    spec.node_nm = node;
+    spec.correlation = correlation;
+    spec.backend = BackendSpec::GaussianSum;
+    spec.rho = RhoSpec::Paper;
+    spec.fast_design = true;
+    spec
+}
+
+fn bench_evaluate_paths(c: &mut Criterion) {
+    let spec = service_spec("bench", 32.0, CorrelationSpec::GrowthAlignedLayout);
+
+    let service = YieldService::new();
+    service.evaluate(&spec, 1).expect("warms the caches");
+    c.bench_function("service/warm_cache_evaluate", |b| {
+        b.iter(|| service.evaluate(black_box(&spec), 1).expect("evaluable"))
+    });
+
+    c.bench_function("service/cold_pipeline_per_call", |b| {
+        b.iter(|| {
+            Pipeline::new()
+                .evaluate(black_box(&spec), 1)
+                .expect("evaluable")
+        })
+    });
+}
+
+fn bench_envelope_overhead(c: &mut Criterion) {
+    let spec = service_spec("bench", 32.0, CorrelationSpec::GrowthAlignedLayout);
+    let service = YieldService::new();
+    service.evaluate(&spec, 1).expect("warms the caches");
+    let line = YieldRequest::evaluate("b-1", spec, 1)
+        .to_json()
+        .to_string_compact();
+    c.bench_function("service/envelope_evaluate", |b| {
+        b.iter(|| {
+            let mut bytes = 0usize;
+            service.handle_line(black_box(&line), &mut |response| {
+                bytes += response.to_json().to_string_compact().len();
+            });
+            assert!(bytes > 0);
+            bytes
+        })
+    });
+    // The parse-only share of the wire path, for reference.
+    c.bench_function("service/request_parse", |b| {
+        b.iter(|| YieldRequest::from_json(&Json::parse(black_box(&line)).unwrap()).unwrap())
+    });
+}
+
+fn bench_sweep_stream(c: &mut Criterion) {
+    let service = YieldService::new();
+    let specs: Vec<ScenarioSpec> = [45.0, 32.0, 22.0, 16.0]
+        .into_iter()
+        .flat_map(|node| {
+            [
+                service_spec(&format!("n{node}/plain"), node, CorrelationSpec::None),
+                service_spec(&format!("n{node}/growth"), node, CorrelationSpec::Growth),
+                service_spec(
+                    &format!("n{node}/full"),
+                    node,
+                    CorrelationSpec::GrowthAlignedLayout,
+                ),
+            ]
+        })
+        .collect();
+    // Warm once so the bench measures steady-state streaming.
+    for item in service.sweep_with_workers(specs.clone(), 7, 4) {
+        item.report.expect("evaluable");
+    }
+    c.bench_function("service/sweep_stream_12", |b| {
+        b.iter(|| {
+            let delivered = service
+                .sweep_with_workers(black_box(specs.clone()), 7, 4)
+                .count();
+            assert_eq!(delivered, 12);
+            delivered
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_evaluate_paths,
+    bench_envelope_overhead,
+    bench_sweep_stream
+);
+criterion_main!(benches);

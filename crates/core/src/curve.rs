@@ -252,6 +252,25 @@ impl<E: PFailure> FailureCurve<E> {
         self.state.read().expect("curve lock poisoned").ln_pf.len()
     }
 
+    /// The curve's residency cost in cache-entry units — the knot count.
+    /// Bounded cache layers (e.g. the pipeline's LRU) use this as the
+    /// eviction weight of a resident curve.
+    pub fn cache_cost(&self) -> usize {
+        self.knots()
+    }
+
+    /// Eviction hook: drop every memoized knot (and the evaluation
+    /// counter), keeping the model, domain, and tolerance. Because the
+    /// cached knots are a pure function of the model, a cleared curve
+    /// returns exactly the same answers — it only re-pays the exact
+    /// evaluations. Lets long-lived caches shed memory without
+    /// invalidating handles.
+    pub fn clear_cache(&self) {
+        let mut state = self.state.write().expect("curve lock poisoned");
+        state.ln_pf.clear();
+        state.evals = 0;
+    }
+
     /// Memoized `pF(w)`: exact on cache misses at dyadic refinement points,
     /// interpolated (within `rel_tol`) everywhere else.
     ///
@@ -576,6 +595,22 @@ mod tests {
             .is_err());
         assert!(FailureCurve::new(fast_model()).with_rel_tol(0.0).is_err());
         assert!(FailureCurve::new(fast_model()).with_rel_tol(0.5).is_err());
+    }
+
+    #[test]
+    fn clear_cache_resets_cost_but_not_answers() {
+        let curve = FailureCurve::new(fast_model());
+        let before = curve.p_failure(123.0).unwrap();
+        assert!(curve.cache_cost() > 0);
+        assert_eq!(curve.cache_cost(), curve.knots());
+        curve.clear_cache();
+        assert_eq!(curve.cache_cost(), 0);
+        assert_eq!(curve.evaluations(), 0);
+        assert_eq!(
+            curve.p_failure(123.0).unwrap(),
+            before,
+            "a cleared curve must answer identically"
+        );
     }
 
     #[test]

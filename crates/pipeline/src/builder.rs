@@ -1,0 +1,399 @@
+//! The typed scenario builder — one validation path for every client.
+//!
+//! Historically each entry point mutated [`ScenarioSpec`] through the
+//! string-keyed `apply(key, value)` primitive, so the JSON grid parser,
+//! the CLI `--backend` override, and programmatic callers each had their
+//! own way of producing an invalid spec. [`ScenarioBuilder`] inverts that:
+//! typed setters are the primitive, the JSON field path
+//! ([`ScenarioBuilder::set_json`]) is one client of them, and
+//! [`ScenarioBuilder::build`] is the single place a spec is validated.
+//!
+//! Unknown field names fail with [`PipelineError::UnknownKey`], which
+//! carries the nearest valid key by edit distance — `"yeild_target"`
+//! suggests `yield_target` — so the error is machine-actionable all the
+//! way up through the service envelope layer.
+
+use crate::json::Json;
+use crate::spec::{
+    BackendSpec, CornerSpec, CorrelationSpec, LibrarySpec, MminSpec, RhoSpec, ScenarioSpec,
+};
+use crate::{PipelineError, Result};
+use cnfet_layout::GridPolicy;
+
+/// Every field name [`ScenarioBuilder::set_json`] accepts, in the order
+/// they appear in serialized specs. The service's `Describe` response
+/// exposes this list so wire clients can introspect the schema.
+pub const SCENARIO_KEYS: [&str; 13] = [
+    "name",
+    "corner",
+    "correlation",
+    "library",
+    "node_nm",
+    "yield_target",
+    "backend",
+    "m_transistors",
+    "m_min",
+    "rho",
+    "grid",
+    "fast_design",
+    "mc_trials",
+];
+
+/// Levenshtein edit distance (iterative two-row form).
+fn edit_distance(a: &str, b: &str) -> usize {
+    let (a, b): (Vec<char>, Vec<char>) = (a.chars().collect(), b.chars().collect());
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut curr = vec![0usize; b.len() + 1];
+    for (i, ca) in a.iter().enumerate() {
+        curr[0] = i + 1;
+        for (j, cb) in b.iter().enumerate() {
+            let subst = prev[j] + usize::from(ca != cb);
+            curr[j + 1] = subst.min(prev[j + 1] + 1).min(curr[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[b.len()]
+}
+
+/// The closest candidate to `key` by edit distance, if it is close enough
+/// to plausibly be a typo (distance ≤ max(2, len/3), ties broken by
+/// candidate order).
+pub(crate) fn suggest(key: &str, candidates: &[&'static str]) -> Option<&'static str> {
+    let budget = (key.chars().count() / 3).max(2);
+    candidates
+        .iter()
+        .map(|c| (edit_distance(key, c), *c))
+        .min_by_key(|(d, _)| *d)
+        .filter(|(d, _)| *d <= budget)
+        .map(|(_, c)| c)
+}
+
+/// Build an [`PipelineError::UnknownKey`] with the nearest valid key.
+pub(crate) fn unknown_key(
+    context: &'static str,
+    key: &str,
+    candidates: &[&'static str],
+) -> PipelineError {
+    PipelineError::UnknownKey {
+        context,
+        key: key.to_string(),
+        suggestion: suggest(key, candidates).map(str::to_string),
+    }
+}
+
+/// A typed, validating builder over [`ScenarioSpec`].
+///
+/// Setters are infallible (they only store typed values); all domain
+/// validation happens once, in [`ScenarioBuilder::build`]. The JSON field
+/// path ([`ScenarioBuilder::set_json`]) parses each value into the typed
+/// setter it names, so grid files, service envelopes, and the CLI share
+/// exactly one decoding path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioBuilder {
+    spec: ScenarioSpec,
+}
+
+impl Default for ScenarioBuilder {
+    /// Starts from [`ScenarioSpec::baseline`] named `"scenario"`.
+    fn default() -> Self {
+        Self::new("scenario")
+    }
+}
+
+impl ScenarioBuilder {
+    /// Start from the paper's baseline configuration.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            spec: ScenarioSpec::baseline(name),
+        }
+    }
+
+    /// Start from an existing spec (e.g. to derive a variant).
+    pub fn from_spec(spec: ScenarioSpec) -> Self {
+        Self { spec }
+    }
+
+    /// Scenario name (also names the result artifact).
+    pub fn name(mut self, name: impl Into<String>) -> Self {
+        self.spec.name = name.into();
+        self
+    }
+
+    /// Processing corner.
+    pub fn corner(mut self, corner: CornerSpec) -> Self {
+        self.spec.corner = corner;
+        self
+    }
+
+    /// Growth/layout correlation scenario.
+    pub fn correlation(mut self, correlation: CorrelationSpec) -> Self {
+        self.spec.correlation = correlation;
+        self
+    }
+
+    /// Cell library; also resets the node to the library's native node
+    /// (override with [`ScenarioBuilder::node_nm`] afterwards).
+    pub fn library(mut self, library: LibrarySpec) -> Self {
+        self.spec.library = library;
+        self.spec.node_nm = library.node_nm();
+        self
+    }
+
+    /// Technology node to scale the design to (nm).
+    pub fn node_nm(mut self, node_nm: f64) -> Self {
+        self.spec.node_nm = node_nm;
+        self
+    }
+
+    /// Chip yield target in `(0, 1)`.
+    pub fn yield_target(mut self, yield_target: f64) -> Self {
+        self.spec.yield_target = yield_target;
+        self
+    }
+
+    /// Numerical count back-end.
+    pub fn backend(mut self, backend: BackendSpec) -> Self {
+        self.spec.backend = backend;
+        self
+    }
+
+    /// Chip transistor count `M`.
+    pub fn m_transistors(mut self, m: f64) -> Self {
+        self.spec.m_transistors = m;
+        self
+    }
+
+    /// `M_min` treatment.
+    pub fn m_min(mut self, m_min: MminSpec) -> Self {
+        self.spec.m_min = m_min;
+        self
+    }
+
+    /// Critical-FET density source.
+    pub fn rho(mut self, rho: RhoSpec) -> Self {
+        self.spec.rho = rho;
+        self
+    }
+
+    /// Aligned-active grid policy.
+    pub fn grid(mut self, grid: GridPolicy) -> Self {
+        self.spec.grid = grid;
+        self
+    }
+
+    /// Use the reduced OpenRISC-class design.
+    pub fn fast_design(mut self, fast: bool) -> Self {
+        self.spec.fast_design = fast;
+        self
+    }
+
+    /// Conditional-MC trials for the non-aligned row cross-check.
+    pub fn mc_trials(mut self, trials: u32) -> Self {
+        self.spec.mc_trials = trials;
+        self
+    }
+
+    /// Apply one named field from a JSON value — the merge primitive the
+    /// grid parser (defaults / axes / explicit scenarios) and the service
+    /// envelope layer are built on.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::UnknownKey`] (with a nearest-key suggestion) for
+    /// unknown field names, [`PipelineError::InvalidSpec`] for wrong
+    /// types.
+    pub fn set_json(mut self, key: &str, value: &Json) -> Result<Self> {
+        let invalid = |field: &'static str, msg: &str| PipelineError::InvalidSpec {
+            field,
+            msg: msg.into(),
+        };
+        let num = |field: &'static str| -> Result<f64> {
+            value
+                .as_f64()
+                .ok_or_else(|| invalid(field, "must be a number"))
+        };
+        match key {
+            "name" => {
+                self.spec.name = value
+                    .as_str()
+                    .ok_or_else(|| invalid("name", "must be a string"))?
+                    .to_string();
+                Ok(self)
+            }
+            "corner" => Ok(self.corner(CornerSpec::from_json(value)?)),
+            "correlation" => Ok(self.correlation(CorrelationSpec::from_json(value)?)),
+            "library" => Ok(self.library(LibrarySpec::from_json(value)?)),
+            "node_nm" => {
+                let v = num("node_nm")?;
+                Ok(self.node_nm(v))
+            }
+            "yield_target" => {
+                let v = num("yield_target")?;
+                Ok(self.yield_target(v))
+            }
+            "backend" => Ok(self.backend(BackendSpec::from_json(value)?)),
+            "m_transistors" => {
+                let v = num("m_transistors")?;
+                Ok(self.m_transistors(v))
+            }
+            "m_min" => match value {
+                Json::Str(s) if s == "self-consistent" => Ok(self.m_min(MminSpec::SelfConsistent)),
+                Json::Num(f) => Ok(self.m_min(MminSpec::Fraction(*f))),
+                _ => Err(invalid(
+                    "m_min",
+                    "must be a fraction or \"self-consistent\"",
+                )),
+            },
+            "rho" => match value.as_str() {
+                Some("paper") => Ok(self.rho(RhoSpec::Paper)),
+                Some("measured") => Ok(self.rho(RhoSpec::Measured)),
+                _ => Err(invalid("rho", "must be \"paper\" or \"measured\"")),
+            },
+            "grid" => match value.as_str() {
+                Some("single") => Ok(self.grid(GridPolicy::Single)),
+                Some("dual") => Ok(self.grid(GridPolicy::Dual)),
+                _ => Err(invalid("grid", "must be \"single\" or \"dual\"")),
+            },
+            "fast_design" => {
+                let v = value
+                    .as_bool()
+                    .ok_or_else(|| invalid("fast_design", "must be a boolean"))?;
+                Ok(self.fast_design(v))
+            }
+            "mc_trials" => {
+                let v = num("mc_trials")?;
+                Ok(self.mc_trials(v as u32))
+            }
+            other => Err(unknown_key("scenario", other, &SCENARIO_KEYS)),
+        }
+    }
+
+    /// Peek at the spec as configured so far (not yet validated).
+    pub fn spec(&self) -> &ScenarioSpec {
+        &self.spec
+    }
+
+    /// Validate and return the finished spec.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::InvalidSpec`] naming the offending field.
+    pub fn build(self) -> Result<ScenarioSpec> {
+        self.spec.validate()?;
+        Ok(self.spec)
+    }
+
+    /// Return the spec **without** validating — for merge pipelines (grid
+    /// defaults, axis products) that validate each finished scenario once
+    /// after all fields are applied.
+    pub fn build_unchecked(self) -> ScenarioSpec {
+        self.spec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn typed_setters_build_a_valid_spec() {
+        let spec = ScenarioBuilder::new("typed")
+            .corner(CornerSpec::IdealRemoval)
+            .correlation(CorrelationSpec::GrowthAlignedLayout)
+            .library(LibrarySpec::Commercial65)
+            .node_nm(32.0)
+            .yield_target(0.95)
+            .backend(BackendSpec::GaussianSum)
+            .m_min(MminSpec::SelfConsistent)
+            .rho(RhoSpec::Paper)
+            .grid(GridPolicy::Dual)
+            .fast_design(true)
+            .build()
+            .unwrap();
+        assert_eq!(spec.name, "typed");
+        assert_eq!(spec.corner, CornerSpec::IdealRemoval);
+        assert_eq!(spec.library, LibrarySpec::Commercial65);
+        assert_eq!(spec.node_nm, 32.0, "node override survives library()");
+        assert_eq!(spec.grid, GridPolicy::Dual);
+    }
+
+    #[test]
+    fn library_resets_node_unless_overridden_after() {
+        let spec = ScenarioBuilder::new("n")
+            .node_nm(22.0)
+            .library(LibrarySpec::Commercial65)
+            .build()
+            .unwrap();
+        assert_eq!(spec.node_nm, 65.0, "library() resets the node");
+    }
+
+    #[test]
+    fn build_validates() {
+        assert!(ScenarioBuilder::new("bad")
+            .yield_target(1.5)
+            .build()
+            .is_err());
+        assert!(ScenarioBuilder::new("bad").node_nm(-1.0).build().is_err());
+    }
+
+    #[test]
+    fn json_path_matches_typed_path() {
+        let typed = ScenarioBuilder::new("x")
+            .library(LibrarySpec::Commercial65)
+            .yield_target(0.95)
+            .build()
+            .unwrap();
+        let json = ScenarioBuilder::new("x")
+            .set_json("library", &Json::Str("commercial65".into()))
+            .unwrap()
+            .set_json("yield_target", &Json::Num(0.95))
+            .unwrap()
+            .build()
+            .unwrap();
+        assert_eq!(typed, json);
+    }
+
+    #[test]
+    fn unknown_keys_get_a_suggestion() {
+        let err = ScenarioBuilder::new("t")
+            .set_json("yeild_target", &Json::Num(0.9))
+            .unwrap_err();
+        match err {
+            PipelineError::UnknownKey {
+                key, suggestion, ..
+            } => {
+                assert_eq!(key, "yeild_target");
+                assert_eq!(suggestion.as_deref(), Some("yield_target"));
+            }
+            other => panic!("expected UnknownKey, got {other:?}"),
+        }
+        // Display names the suggestion too, for CLI users.
+        let err = ScenarioBuilder::new("t")
+            .set_json("corelation", &Json::Str("none".into()))
+            .unwrap_err();
+        assert!(
+            err.to_string().contains("did you mean `correlation`"),
+            "message: {err}"
+        );
+    }
+
+    #[test]
+    fn hopeless_keys_get_no_suggestion() {
+        let err = ScenarioBuilder::new("t")
+            .set_json("zzzzzzzzzz", &Json::Num(1.0))
+            .unwrap_err();
+        match err {
+            PipelineError::UnknownKey { suggestion, .. } => assert_eq!(suggestion, None),
+            other => panic!("expected UnknownKey, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn edit_distance_basics() {
+        assert_eq!(edit_distance("", "abc"), 3);
+        assert_eq!(edit_distance("abc", "abc"), 0);
+        assert_eq!(edit_distance("kitten", "sitting"), 3);
+        assert_eq!(suggest("nodenm", &SCENARIO_KEYS), Some("node_nm"));
+        assert_eq!(suggest("backened", &SCENARIO_KEYS), Some("backend"));
+    }
+}

@@ -1,0 +1,159 @@
+//! A small bounded LRU cache — the eviction layer under every shared
+//! pipeline substrate.
+//!
+//! The pipeline memoizes expensive pure functions (memoized `pF(W)`
+//! curves, mapped-design statistics, aligned libraries). Before the
+//! service redesign those maps grew without bound: a long-lived daemon
+//! sweeping thousands of distinct corners would pin every curve it ever
+//! built. [`BoundedCache`] caps each substrate at a configurable number of
+//! entries and evicts the least-recently-used one on overflow.
+//!
+//! Eviction never changes answers — every cached value is a pure function
+//! of its key — so the cache is free to be as small as memory demands;
+//! capacity only trades recomputation for residency. Recency is tracked
+//! with a monotone access stamp; eviction scans for the minimum stamp,
+//! which is O(capacity) but capacities here are tens of entries, far below
+//! the cost of recomputing even one curve knot.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// A bounded map with least-recently-used eviction.
+///
+/// Not internally synchronized: the pipeline wraps each cache in its own
+/// `Mutex`, matching the previous `Mutex<HashMap<..>>` layout.
+#[derive(Debug)]
+pub struct BoundedCache<K, V> {
+    capacity: usize,
+    clock: u64,
+    entries: HashMap<K, (V, u64)>,
+}
+
+impl<K: Eq + Hash + Clone, V> BoundedCache<K, V> {
+    /// An empty cache holding at most `capacity` entries (clamped to ≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            clock: 0,
+            entries: HashMap::new(),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of resident entries (≤ capacity, always).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Look up `key`, refreshing its recency on a hit.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        self.clock += 1;
+        let clock = self.clock;
+        self.entries.get_mut(key).map(|(value, stamp)| {
+            *stamp = clock;
+            &*value
+        })
+    }
+
+    /// Insert (or replace) `key`, evicting the least-recently-used entry
+    /// first if the cache is full. Returns the evicted `(key, value)`
+    /// pair, if any, so callers can run teardown hooks on it.
+    pub fn insert(&mut self, key: K, value: V) -> Option<(K, V)> {
+        self.clock += 1;
+        let mut evicted = None;
+        if !self.entries.contains_key(&key) && self.entries.len() >= self.capacity {
+            // Full and inserting a new key: evict the stalest entry.
+            let stalest = self
+                .entries
+                .iter()
+                .min_by_key(|(_, (_, stamp))| *stamp)
+                .map(|(k, _)| k.clone())
+                .expect("cache is non-empty when full");
+            evicted = self
+                .entries
+                .remove_entry(&stalest)
+                .map(|(k, (v, _))| (k, v));
+        }
+        self.entries.insert(key, (value, self.clock));
+        evicted
+    }
+
+    /// Remove every entry, keeping the capacity.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Iterate the resident values (arbitrary order; does not touch
+    /// recency).
+    pub fn values(&self) -> impl Iterator<Item = &V> {
+        self.entries.values().map(|(value, _)| value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_exceeds_capacity() {
+        let mut cache = BoundedCache::new(3);
+        for i in 0..100 {
+            cache.insert(i, i * 10);
+            assert!(cache.len() <= 3, "len {} after insert {i}", cache.len());
+        }
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.capacity(), 3);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut cache = BoundedCache::new(2);
+        assert!(cache.insert("a", 1).is_none());
+        assert!(cache.insert("b", 2).is_none());
+        // Touch `a`, so `b` is now the stalest.
+        assert_eq!(cache.get(&"a"), Some(&1));
+        let evicted = cache.insert("c", 3);
+        assert_eq!(evicted, Some(("b", 2)));
+        assert_eq!(cache.get(&"a"), Some(&1));
+        assert_eq!(cache.get(&"b"), None);
+        assert_eq!(cache.get(&"c"), Some(&3));
+    }
+
+    #[test]
+    fn replacing_an_existing_key_does_not_evict() {
+        let mut cache = BoundedCache::new(2);
+        cache.insert("a", 1);
+        cache.insert("b", 2);
+        assert!(cache.insert("a", 10).is_none(), "replace is not an insert");
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.get(&"a"), Some(&10));
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let mut cache = BoundedCache::new(0);
+        assert_eq!(cache.capacity(), 1);
+        cache.insert(1, "x");
+        assert_eq!(cache.insert(2, "y"), Some((1, "x")));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_capacity() {
+        let mut cache = BoundedCache::new(4);
+        cache.insert(1, 1);
+        cache.insert(2, 2);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.capacity(), 4);
+    }
+}

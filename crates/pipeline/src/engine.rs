@@ -1,5 +1,6 @@
 //! The pipeline engine: cached substrates + scenario evaluation.
 
+use crate::cache::BoundedCache;
 use crate::design::{design_stats, DesignStats};
 use crate::report::{McBackendReport, ScenarioReport};
 use crate::spec::{BackendSpec, CornerSpec, CorrelationSpec, LibrarySpec, MminSpec, RhoSpec};
@@ -61,25 +62,119 @@ fn mc_workers() -> usize {
         .min(8)
 }
 
+/// Capacity bounds for the pipeline's two unbounded-key caches. The
+/// library and alignment caches need no bound — their key domains are the
+/// finite `(library, grid-policy)` product (≤ 4 entries).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Maximum resident `pF(W)` curves (distinct `(corner, backend)`
+    /// pairs). Each curve holds tens-to-hundreds of knots.
+    pub curve_capacity: usize,
+    /// Maximum resident mapped-design statistics (distinct
+    /// `(library, fast)` pairs).
+    pub design_capacity: usize,
+}
+
+impl Default for CacheConfig {
+    /// 32 curves / 8 designs — generous for every workload in the repo,
+    /// small enough that a daemon sweeping thousands of custom corners
+    /// stays flat.
+    fn default() -> Self {
+        Self {
+            curve_capacity: 32,
+            design_capacity: 8,
+        }
+    }
+}
+
+/// A point-in-time snapshot of cache residency — the provenance surface
+/// for the memoization win (replaces the per-report `curve_evaluations`
+/// counter, which made reports depend on cache warmth).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Resident `pF(W)` curves.
+    pub curves: usize,
+    /// Configured curve capacity.
+    pub curve_capacity: usize,
+    /// Total exact knots across resident curves (the
+    /// [`FailureCurve::cache_cost`] sum).
+    pub curve_knots: usize,
+    /// Total exact model evaluations performed by resident curves.
+    pub curve_evaluations: u64,
+    /// Resident mapped-design statistics.
+    pub designs: usize,
+    /// Configured design capacity.
+    pub design_capacity: usize,
+    /// Resident generated libraries.
+    pub libraries: usize,
+    /// Resident aligned-library transforms.
+    pub alignments: usize,
+}
+
 /// The shared evaluator behind every experiment, bench, and sweep.
 ///
 /// All getters hand out `Arc`s from interior caches, so one `Pipeline` can
 /// be borrowed concurrently by the [`crate::sweep::SweepRunner`] workers:
 /// the expensive substrates — memoized `pF(W)` curves, mapped-design
 /// statistics, aligned libraries — are computed once per distinct key and
-/// shared from then on.
-#[derive(Default)]
+/// shared from then on. The curve and design caches are **bounded** (LRU,
+/// see [`CacheConfig`]); eviction only re-costs a future miss, it never
+/// changes an answer, because every cached value is a pure function of its
+/// key.
 pub struct Pipeline {
-    curves: Mutex<HashMap<CurveKey, Arc<FailureCurve>>>,
-    designs: Mutex<HashMap<(LibrarySpec, bool), Arc<DesignStats>>>,
+    curves: Mutex<BoundedCache<CurveKey, Arc<FailureCurve>>>,
+    designs: Mutex<BoundedCache<(LibrarySpec, bool), Arc<DesignStats>>>,
     libraries: Mutex<HashMap<LibrarySpec, Arc<CellLibrary>>>,
     alignments: Mutex<HashMap<(LibrarySpec, bool), Arc<LibraryAlignment>>>,
 }
 
+impl Default for Pipeline {
+    fn default() -> Self {
+        Self::with_cache_config(CacheConfig::default())
+    }
+}
+
 impl Pipeline {
-    /// An empty pipeline; every cache fills lazily.
+    /// An empty pipeline with default cache bounds; every cache fills
+    /// lazily.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty pipeline with explicit cache bounds.
+    pub fn with_cache_config(config: CacheConfig) -> Self {
+        Self {
+            curves: Mutex::new(BoundedCache::new(config.curve_capacity)),
+            designs: Mutex::new(BoundedCache::new(config.design_capacity)),
+            libraries: Mutex::new(HashMap::new()),
+            alignments: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// A residency snapshot of every cache (volatile by nature — this is
+    /// operational provenance, deliberately kept out of scenario reports).
+    pub fn cache_stats(&self) -> CacheStats {
+        let curves = self.curves.lock().expect("pipeline lock poisoned");
+        let (mut curve_knots, mut curve_evaluations) = (0, 0);
+        curves.values().for_each(|curve| {
+            curve_knots += curve.cache_cost();
+            curve_evaluations += curve.evaluations();
+        });
+        let designs = self.designs.lock().expect("pipeline lock poisoned");
+        CacheStats {
+            curves: curves.len(),
+            curve_capacity: curves.capacity(),
+            curve_knots,
+            curve_evaluations,
+            designs: designs.len(),
+            design_capacity: designs.capacity(),
+            libraries: self.libraries.lock().expect("pipeline lock poisoned").len(),
+            alignments: self
+                .alignments
+                .lock()
+                .expect("pipeline lock poisoned")
+                .len(),
+        }
     }
 
     /// Build the (uncached) failure model for a corner and back-end.
@@ -110,11 +205,22 @@ impl Pipeline {
         backend: &BackendSpec,
     ) -> Result<Arc<FailureCurve>> {
         let key = curve_key(corner, backend)?;
-        let mut curves = self.curves.lock().expect("pipeline lock poisoned");
-        if let Some(curve) = curves.get(&key) {
+        if let Some(curve) = self
+            .curves
+            .lock()
+            .expect("pipeline lock poisoned")
+            .get(&key)
+        {
             return Ok(Arc::clone(curve));
         }
+        // Build outside the lock; re-check before inserting so concurrent
+        // builders of the same key converge on one shared curve.
         let curve = Arc::new(FailureCurve::new(self.failure_model(corner, backend)?));
+        let mut curves = self.curves.lock().expect("pipeline lock poisoned");
+        if let Some(existing) = curves.get(&key) {
+            return Ok(Arc::clone(existing));
+        }
+        // An evicted curve dies here; outstanding Arcs stay valid.
         curves.insert(key, Arc::clone(&curve));
         Ok(curve)
     }
@@ -146,13 +252,12 @@ impl Pipeline {
         // Compute outside the lock: mapping + placement is the slow part.
         let library = self.library(lib);
         let stats = Arc::new(design_stats(&library, fast)?);
-        Ok(Arc::clone(
-            self.designs
-                .lock()
-                .expect("pipeline lock poisoned")
-                .entry((lib, fast))
-                .or_insert(stats),
-        ))
+        let mut designs = self.designs.lock().expect("pipeline lock poisoned");
+        if let Some(existing) = designs.get(&(lib, fast)) {
+            return Ok(Arc::clone(existing));
+        }
+        designs.insert((lib, fast), Arc::clone(&stats));
+        Ok(stats)
     }
 
     /// The aligned-active transform of a whole library (cached per grid
@@ -259,7 +364,14 @@ impl Pipeline {
     /// selected) and the optional conditional-MC cross-check, and is
     /// recorded in the report either way; analytic results are
     /// seed-independent, stochastic results are a pure function of
-    /// `(spec, seed)` regardless of worker count.
+    /// `(spec, seed)` regardless of worker count. The report carries no
+    /// cache provenance, so the result is a pure function of
+    /// `(spec, seed)` — byte-identical however warm the caches are.
+    ///
+    /// Service-era callers should prefer
+    /// [`crate::service::YieldService::evaluate`], which routes through
+    /// the shared bounded caches and the versioned envelope layer; this
+    /// method remains as the engine-level entry point behind it.
     ///
     /// # Errors
     ///
@@ -276,7 +388,7 @@ impl Pipeline {
         let row = self.row_model(spec)?;
         let relaxation = Self::relaxation(spec, &row);
 
-        let (sol, p_at_w_min, curve_evaluations, mc) = match spec.backend.mc_precision() {
+        let (sol, p_at_w_min, mc) = match spec.backend.mc_precision() {
             Some(precision) => {
                 // Stochastic back-end: a per-scenario evaluator (seeded per
                 // width) behind the same memoizing curve layer the analytic
@@ -300,13 +412,13 @@ impl Pipeline {
                     ci_level: point.level,
                     converged: curve.model().all_converged(),
                 };
-                (sol, point.estimate, curve.evaluations(), Some(mc))
+                (sol, point.estimate, Some(mc))
             }
             None => {
                 let curve = self.failure_curve(&spec.corner, &spec.backend)?;
                 let sol = Self::solve_wmin(spec, curve.as_ref(), &widths, relaxation)?;
                 let p_at = curve.p_failure(sol.w_min)?;
-                (sol, p_at, curve.evaluations(), None)
+                (sol, p_at, None)
             }
         };
         let penalty = upsizing_penalty(&GateCapModel::proportional(), &widths, sol.w_min)?;
@@ -347,7 +459,6 @@ impl Pipeline {
             p_at_w_min,
             upsizing_penalty: penalty,
             unaligned_p_rf_mc,
-            curve_evaluations,
             mc,
         })
     }
@@ -389,14 +500,7 @@ pub struct Table1Anchor {
 impl std::fmt::Debug for Pipeline {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Pipeline")
-            .field(
-                "curves",
-                &self.curves.lock().expect("pipeline lock poisoned").len(),
-            )
-            .field(
-                "designs",
-                &self.designs.lock().expect("pipeline lock poisoned").len(),
-            )
+            .field("cache_stats", &self.cache_stats())
             .finish_non_exhaustive()
     }
 }
@@ -442,6 +546,46 @@ mod tests {
         let d1 = p.design_stats(LibrarySpec::Nangate45, true).unwrap();
         let d2 = p.design_stats(LibrarySpec::Nangate45, true).unwrap();
         assert!(Arc::ptr_eq(&d1, &d2));
+
+        let stats = p.cache_stats();
+        assert_eq!(stats.curves, 2);
+        assert_eq!(stats.designs, 1);
+        assert_eq!(stats.libraries, 1);
+        assert!(stats.curve_capacity >= stats.curves);
+    }
+
+    #[test]
+    fn curve_cache_is_bounded_and_eviction_preserves_answers() {
+        let p = Pipeline::with_cache_config(CacheConfig {
+            curve_capacity: 2,
+            design_capacity: 8,
+        });
+        let corner = |pm: f64| CornerSpec::Custom {
+            pm,
+            p_rs: 0.1,
+            p_rm: 1.0,
+        };
+        let first = p
+            .failure_curve(&corner(0.10), &BackendSpec::GaussianSum)
+            .unwrap();
+        let baseline = first.p_failure(120.0).unwrap();
+        for i in 0..20 {
+            let pm = 0.10 + 0.01 * f64::from(i);
+            p.failure_curve(&corner(pm), &BackendSpec::GaussianSum)
+                .unwrap();
+            assert!(
+                p.cache_stats().curves <= 2,
+                "cache exceeded its bound at corner {i}"
+            );
+        }
+        // The first curve was evicted; rebuilding it answers identically.
+        let rebuilt = p
+            .failure_curve(&corner(0.10), &BackendSpec::GaussianSum)
+            .unwrap();
+        assert!(!Arc::ptr_eq(&first, &rebuilt), "must be a fresh curve");
+        assert_eq!(rebuilt.p_failure(120.0).unwrap(), baseline);
+        // The evicted Arc we still hold keeps working.
+        assert_eq!(first.p_failure(120.0).unwrap(), baseline);
     }
 
     #[test]

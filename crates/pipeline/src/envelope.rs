@@ -1,0 +1,861 @@
+//! Versioned request/response envelopes — the service wire contract.
+//!
+//! Every interaction with [`crate::service::YieldService`] is an envelope:
+//!
+//! ```text
+//! request  = { "schema": 1, "id": "<caller id>", "body": <body> }
+//! body     = { "evaluate": { "spec": {…}, "seed": 7 } }
+//!          | { "sweep": { "grid": {…}, "seed": 7, "workers": 4 } }
+//!          | "describe"
+//! response = { "schema": 1, "id": "<same id>", "body": <body> }
+//! body     = { "report": {…} }                        // Evaluate result
+//!          | { "sweep_report": { "index", "total", "report" } }   // streamed
+//!          | { "sweep_done": { "total", "failed" } }  // stream terminator
+//!          | { "describe": {…capabilities…} }
+//!          | { "error": { "code", "message", … } }
+//! ```
+//!
+//! The `schema` field is the versioning handle: requests carrying any
+//! version other than [`SCHEMA_VERSION`] are rejected with
+//! [`ErrorCode::UnsupportedSchema`] instead of being misinterpreted.
+//! Error bodies carry machine-readable [`ErrorCode`]s (with structured
+//! payloads like the nearest-key suggestion), not just prose, so
+//! co-optimization loops can branch on failure modes.
+//!
+//! Everything round-trips: `parse(to_json(x)) == x` for requests and
+//! responses alike, which the envelope property tests pin down.
+
+use crate::json::Json;
+use crate::report::ScenarioReport;
+use crate::spec::{ScenarioGrid, ScenarioSpec};
+use crate::{PipelineError, Result};
+
+/// The one wire-schema version this build understands.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Default base seed when a request omits one — the repo-wide canonical
+/// seed (the paper's publication date).
+pub const DEFAULT_SEED: u64 = 20100613;
+
+fn bad(msg: impl Into<String>) -> PipelineError {
+    PipelineError::InvalidSpec {
+        field: "envelope",
+        msg: msg.into(),
+    }
+}
+
+/// What a request asks the service to do.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RequestBody {
+    /// Evaluate one scenario under a seed.
+    Evaluate {
+        /// The scenario to evaluate.
+        spec: ScenarioSpec,
+        /// Base seed (drives stochastic back-ends; recorded either way).
+        seed: u64,
+    },
+    /// Evaluate a whole grid, streaming one `sweep_report` per scenario
+    /// in index order, then a `sweep_done` terminator.
+    Sweep {
+        /// The grid to expand and evaluate.
+        grid: ScenarioGrid,
+        /// Base seed; scenario `i` runs under `split_seed(seed, i)`.
+        seed: u64,
+        /// Worker-thread override (`None` = service default). Never
+        /// changes results, only wall-clock.
+        workers: Option<usize>,
+    },
+    /// Capability/version discovery.
+    Describe,
+}
+
+/// One versioned request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct YieldRequest {
+    /// Wire-schema version; must equal [`SCHEMA_VERSION`].
+    pub schema: u64,
+    /// Caller-chosen correlation id, echoed on every response.
+    pub id: String,
+    /// The operation.
+    pub body: RequestBody,
+}
+
+impl YieldRequest {
+    /// A schema-1 `evaluate` request.
+    pub fn evaluate(id: impl Into<String>, spec: ScenarioSpec, seed: u64) -> Self {
+        Self {
+            schema: SCHEMA_VERSION,
+            id: id.into(),
+            body: RequestBody::Evaluate { spec, seed },
+        }
+    }
+
+    /// A schema-1 `sweep` request.
+    pub fn sweep(
+        id: impl Into<String>,
+        grid: ScenarioGrid,
+        seed: u64,
+        workers: Option<usize>,
+    ) -> Self {
+        Self {
+            schema: SCHEMA_VERSION,
+            id: id.into(),
+            body: RequestBody::Sweep {
+                grid,
+                seed,
+                workers,
+            },
+        }
+    }
+
+    /// A schema-1 `describe` request.
+    pub fn describe(id: impl Into<String>) -> Self {
+        Self {
+            schema: SCHEMA_VERSION,
+            id: id.into(),
+            body: RequestBody::Describe,
+        }
+    }
+
+    /// Serialize to the wire object.
+    pub fn to_json(&self) -> Json {
+        let body = match &self.body {
+            RequestBody::Evaluate { spec, seed } => Json::Obj(vec![(
+                "evaluate".into(),
+                Json::Obj(vec![
+                    ("spec".into(), spec.to_json()),
+                    ("seed".into(), Json::from_u64(*seed)),
+                ]),
+            )]),
+            RequestBody::Sweep {
+                grid,
+                seed,
+                workers,
+            } => {
+                let mut fields = vec![
+                    ("grid".into(), grid.to_json()),
+                    ("seed".into(), Json::from_u64(*seed)),
+                ];
+                if let Some(w) = workers {
+                    fields.push(("workers".into(), Json::Num(*w as f64)));
+                }
+                Json::Obj(vec![("sweep".into(), Json::Obj(fields))])
+            }
+            RequestBody::Describe => Json::Str("describe".into()),
+        };
+        Json::Obj(vec![
+            ("schema".into(), Json::Num(self.schema as f64)),
+            ("id".into(), Json::Str(self.id.clone())),
+            ("body".into(), body),
+        ])
+    }
+
+    /// Parse a request envelope.
+    ///
+    /// Schema validation is intentionally **not** done here — the service
+    /// answers unsupported schemas with a structured
+    /// [`ErrorCode::UnsupportedSchema`] response rather than a parse
+    /// failure, so this accepts any integer `schema`.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::InvalidSpec`] / [`PipelineError::UnknownKey`] on
+    /// malformed envelopes or bodies.
+    pub fn from_json(v: &Json) -> Result<Self> {
+        let fields = v
+            .as_object()
+            .ok_or_else(|| bad("request must be an object"))?;
+        for (key, _) in fields {
+            if !["schema", "id", "body"].contains(&key.as_str()) {
+                return Err(crate::builder::unknown_key(
+                    "request",
+                    key,
+                    &["schema", "id", "body"],
+                ));
+            }
+        }
+        // `as_u64` keeps `schema: 1.9` / `schema: -1` from being silently
+        // truncated into a supported (or misreported) version; any
+        // well-formed integer still reaches the service's version check.
+        let schema = v
+            .get("schema")
+            .ok_or_else(|| bad("missing `schema` field"))?
+            .as_u64()
+            .ok_or_else(|| bad("`schema` must be a non-negative integer"))?;
+        let id = v
+            .get("id")
+            .and_then(Json::as_str)
+            .ok_or_else(|| bad("missing string `id` field"))?
+            .to_string();
+        let body = v.get("body").ok_or_else(|| bad("missing `body` field"))?;
+        let body = Self::body_from_json(body)?;
+        Ok(Self { schema, id, body })
+    }
+
+    fn body_from_json(body: &Json) -> Result<RequestBody> {
+        if body.as_str() == Some("describe") {
+            return Ok(RequestBody::Describe);
+        }
+        let fields = body
+            .as_object()
+            .ok_or_else(|| bad("`body` must be \"describe\" or a single-key object"))?;
+        let [(kind, payload)] = fields else {
+            return Err(bad("`body` must have exactly one key"));
+        };
+        match kind.as_str() {
+            "describe" => Ok(RequestBody::Describe),
+            "evaluate" => {
+                reject_unknown_keys("evaluate request", payload, &["spec", "seed"])?;
+                let spec = payload
+                    .get("spec")
+                    .ok_or_else(|| bad("`evaluate` needs a `spec` object"))?;
+                Ok(RequestBody::Evaluate {
+                    spec: ScenarioSpec::from_json(spec)?,
+                    seed: opt_seed(payload)?,
+                })
+            }
+            "sweep" => {
+                reject_unknown_keys("sweep request", payload, &["grid", "seed", "workers"])?;
+                let grid = payload
+                    .get("grid")
+                    .ok_or_else(|| bad("`sweep` needs a `grid` object"))?;
+                Ok(RequestBody::Sweep {
+                    grid: ScenarioGrid::from_json(grid)?,
+                    seed: opt_seed(payload)?,
+                    workers: match payload.get("workers") {
+                        None => None,
+                        Some(w) => Some(
+                            w.as_u64()
+                                .filter(|w| *w >= 1)
+                                .ok_or_else(|| bad("`workers` must be a positive integer"))?
+                                as usize,
+                        ),
+                    },
+                })
+            }
+            other => Err(crate::builder::unknown_key(
+                "request body",
+                other,
+                &["evaluate", "sweep", "describe"],
+            )),
+        }
+    }
+}
+
+/// Reject payload keys outside `allowed` — a typo'd `seed` or `workers`
+/// must error with a suggestion, not silently fall back to defaults.
+fn reject_unknown_keys(
+    context: &'static str,
+    payload: &Json,
+    allowed: &[&'static str],
+) -> Result<()> {
+    let fields = payload
+        .as_object()
+        .ok_or_else(|| bad(format!("{context} payload must be an object")))?;
+    for (key, _) in fields {
+        if !allowed.contains(&key.as_str()) {
+            return Err(crate::builder::unknown_key(context, key, allowed));
+        }
+    }
+    Ok(())
+}
+
+/// Optional `seed` field, defaulting to [`DEFAULT_SEED`]. Accepts the
+/// exact [`Json::from_u64`] encoding (number or decimal string).
+fn opt_seed(payload: &Json) -> Result<u64> {
+    match payload.get("seed") {
+        None => Ok(DEFAULT_SEED),
+        Some(s) => s
+            .as_u64()
+            .ok_or_else(|| bad("`seed` must be a non-negative integer (or decimal string)")),
+    }
+}
+
+/// Best-effort extraction of the caller id from a (possibly malformed)
+/// request document, so error responses can still be correlated.
+pub fn recover_id(v: &Json) -> String {
+    v.get("id")
+        .and_then(Json::as_str)
+        .unwrap_or_default()
+        .to_string()
+}
+
+/// Machine-readable failure classification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The envelope itself (or its JSON) is malformed.
+    BadRequest,
+    /// The request's `schema` version is not supported by this build.
+    UnsupportedSchema {
+        /// The version the caller asked for.
+        requested: u64,
+    },
+    /// A scenario field failed domain validation.
+    BadSpec {
+        /// The offending field.
+        field: String,
+    },
+    /// An unknown key in a spec/grid/envelope, with the nearest valid key.
+    UnknownKey {
+        /// The key as received.
+        key: String,
+        /// The closest valid key by edit distance, when one is plausible.
+        suggestion: Option<String>,
+    },
+    /// A solver or stochastic estimate failed to converge.
+    Unconverged,
+    /// Any other engine-side failure.
+    Internal,
+}
+
+impl ErrorCode {
+    /// The stable wire tag of this code.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            ErrorCode::BadRequest => "bad_request",
+            ErrorCode::UnsupportedSchema { .. } => "unsupported_schema",
+            ErrorCode::BadSpec { .. } => "bad_spec",
+            ErrorCode::UnknownKey { .. } => "unknown_key",
+            ErrorCode::Unconverged => "unconverged",
+            ErrorCode::Internal => "internal",
+        }
+    }
+}
+
+/// A structured error body: a code plus a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceError {
+    /// Machine-readable classification.
+    pub code: ErrorCode,
+    /// Prose for humans; clients should branch on `code`, not this.
+    pub message: String,
+}
+
+impl ServiceError {
+    /// Classify an engine error into its wire form. The mapping is total:
+    /// anything unrecognized degrades to [`ErrorCode::Internal`] with the
+    /// full display chain as the message.
+    pub fn from_pipeline(e: &PipelineError) -> Self {
+        let code = match e {
+            PipelineError::Parse { .. } => ErrorCode::BadRequest,
+            PipelineError::InvalidSpec { field, .. } => ErrorCode::BadSpec {
+                field: (*field).to_string(),
+            },
+            PipelineError::UnknownKey {
+                key, suggestion, ..
+            } => ErrorCode::UnknownKey {
+                key: key.clone(),
+                suggestion: suggestion.clone(),
+            },
+            PipelineError::Core(cnfet_core::CoreError::NoConvergence(_)) => ErrorCode::Unconverged,
+            _ => ErrorCode::Internal,
+        };
+        Self {
+            code,
+            message: e.to_string(),
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        let mut fields = vec![("code".into(), Json::Str(self.code.tag().into()))];
+        match &self.code {
+            ErrorCode::UnsupportedSchema { requested } => {
+                fields.push(("requested".into(), Json::Num(*requested as f64)));
+                fields.push((
+                    "supported".into(),
+                    Json::Arr(vec![Json::Num(SCHEMA_VERSION as f64)]),
+                ));
+            }
+            ErrorCode::BadSpec { field } => {
+                fields.push(("field".into(), Json::Str(field.clone())));
+            }
+            ErrorCode::UnknownKey { key, suggestion } => {
+                fields.push(("key".into(), Json::Str(key.clone())));
+                if let Some(s) = suggestion {
+                    fields.push(("suggestion".into(), Json::Str(s.clone())));
+                }
+            }
+            _ => {}
+        }
+        fields.push(("message".into(), Json::Str(self.message.clone())));
+        Json::Obj(fields)
+    }
+
+    fn from_json(v: &Json) -> Result<Self> {
+        let tag = v
+            .get("code")
+            .and_then(Json::as_str)
+            .ok_or_else(|| bad("error body needs a string `code`"))?;
+        let field = |key: &str| -> Result<String> {
+            v.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| bad(format!("error code `{tag}` needs a string `{key}`")))
+        };
+        let code = match tag {
+            "bad_request" => ErrorCode::BadRequest,
+            "unsupported_schema" => ErrorCode::UnsupportedSchema {
+                requested: v
+                    .get("requested")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| bad("`unsupported_schema` needs a u64 `requested`"))?,
+            },
+            "bad_spec" => ErrorCode::BadSpec {
+                field: field("field")?,
+            },
+            "unknown_key" => ErrorCode::UnknownKey {
+                key: field("key")?,
+                suggestion: match v.get("suggestion") {
+                    None => None,
+                    Some(s) => Some(
+                        s.as_str()
+                            .ok_or_else(|| bad("`suggestion` must be a string"))?
+                            .to_string(),
+                    ),
+                },
+            },
+            "unconverged" => ErrorCode::Unconverged,
+            "internal" => ErrorCode::Internal,
+            other => return Err(bad(format!("unknown error code `{other}`"))),
+        };
+        Ok(Self {
+            code,
+            message: v
+                .get("message")
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_string(),
+        })
+    }
+}
+
+/// Capability discovery payload — the `describe` answer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceInfo {
+    /// Service name.
+    pub service: String,
+    /// Crate version of the serving build.
+    pub version: String,
+    /// Wire-schema versions this build accepts.
+    pub schemas: Vec<u64>,
+    /// Request kinds the service answers.
+    pub requests: Vec<String>,
+    /// Known count back-ends.
+    pub backends: Vec<String>,
+    /// Known correlation scenarios.
+    pub correlations: Vec<String>,
+    /// Known cell libraries.
+    pub libraries: Vec<String>,
+    /// Every scenario-spec field name.
+    pub scenario_keys: Vec<String>,
+}
+
+impl Default for ServiceInfo {
+    fn default() -> Self {
+        Self {
+            service: "cnfet-yield-service".into(),
+            version: env!("CARGO_PKG_VERSION").into(),
+            schemas: vec![SCHEMA_VERSION],
+            requests: ["evaluate", "sweep", "describe"].map(String::from).to_vec(),
+            backends: ["convolution", "gaussian-sum", "monte-carlo"]
+                .map(String::from)
+                .to_vec(),
+            correlations: ["none", "growth", "growth+aligned-layout"]
+                .map(String::from)
+                .to_vec(),
+            libraries: ["nangate45", "commercial65"].map(String::from).to_vec(),
+            scenario_keys: crate::builder::SCENARIO_KEYS.map(String::from).to_vec(),
+        }
+    }
+}
+
+impl ServiceInfo {
+    fn to_json(&self) -> Json {
+        let strings =
+            |items: &[String]| Json::Arr(items.iter().map(|s| Json::Str(s.clone())).collect());
+        Json::Obj(vec![
+            ("service".into(), Json::Str(self.service.clone())),
+            ("version".into(), Json::Str(self.version.clone())),
+            (
+                "schemas".into(),
+                Json::Arr(self.schemas.iter().map(|s| Json::Num(*s as f64)).collect()),
+            ),
+            ("requests".into(), strings(&self.requests)),
+            ("backends".into(), strings(&self.backends)),
+            ("correlations".into(), strings(&self.correlations)),
+            ("libraries".into(), strings(&self.libraries)),
+            ("scenario_keys".into(), strings(&self.scenario_keys)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Self> {
+        let strings = |key: &str| -> Result<Vec<String>> {
+            v.get(key)
+                .and_then(Json::as_array)
+                .ok_or_else(|| bad(format!("describe body needs an array `{key}`")))?
+                .iter()
+                .map(|s| {
+                    s.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| bad(format!("`{key}` entries must be strings")))
+                })
+                .collect()
+        };
+        let text = |key: &str| -> Result<String> {
+            v.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| bad(format!("describe body needs a string `{key}`")))
+        };
+        Ok(Self {
+            service: text("service")?,
+            version: text("version")?,
+            schemas: v
+                .get("schemas")
+                .and_then(Json::as_array)
+                .ok_or_else(|| bad("describe body needs an array `schemas`"))?
+                .iter()
+                .map(|s| {
+                    s.as_u64()
+                        .ok_or_else(|| bad("`schemas` entries must be non-negative integers"))
+                })
+                .collect::<Result<_>>()?,
+            requests: strings("requests")?,
+            backends: strings("backends")?,
+            correlations: strings("correlations")?,
+            libraries: strings("libraries")?,
+            scenario_keys: strings("scenario_keys")?,
+        })
+    }
+}
+
+/// What a response carries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ResponseBody {
+    /// The result of an `evaluate` request.
+    Report(ScenarioReport),
+    /// One streamed result of a `sweep` request (index order guaranteed).
+    SweepReport {
+        /// Scenario index within the expanded grid.
+        index: u64,
+        /// Total scenarios in the sweep.
+        total: u64,
+        /// The scenario's report.
+        report: ScenarioReport,
+    },
+    /// Stream terminator of a `sweep` request.
+    SweepDone {
+        /// Total scenarios in the sweep.
+        total: u64,
+        /// How many scenarios failed (their errors were streamed inline).
+        failed: u64,
+    },
+    /// The capability payload of a `describe` request.
+    Describe(ServiceInfo),
+    /// A structured failure.
+    Error(ServiceError),
+}
+
+/// One versioned response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct YieldResponse {
+    /// Wire-schema version of this response.
+    pub schema: u64,
+    /// The request id this answers.
+    pub id: String,
+    /// The payload.
+    pub body: ResponseBody,
+}
+
+impl YieldResponse {
+    /// Wrap a body in a schema-1 envelope for `id`.
+    pub fn new(id: impl Into<String>, body: ResponseBody) -> Self {
+        Self {
+            schema: SCHEMA_VERSION,
+            id: id.into(),
+            body,
+        }
+    }
+
+    /// A schema-1 error response.
+    pub fn error(id: impl Into<String>, error: ServiceError) -> Self {
+        Self::new(id, ResponseBody::Error(error))
+    }
+
+    /// True for [`ResponseBody::Error`] payloads.
+    pub fn is_error(&self) -> bool {
+        matches!(self.body, ResponseBody::Error(_))
+    }
+
+    /// Serialize to the wire object.
+    pub fn to_json(&self) -> Json {
+        let body = match &self.body {
+            ResponseBody::Report(report) => Json::Obj(vec![("report".into(), report.to_json())]),
+            ResponseBody::SweepReport {
+                index,
+                total,
+                report,
+            } => Json::Obj(vec![(
+                "sweep_report".into(),
+                Json::Obj(vec![
+                    ("index".into(), Json::Num(*index as f64)),
+                    ("total".into(), Json::Num(*total as f64)),
+                    ("report".into(), report.to_json()),
+                ]),
+            )]),
+            ResponseBody::SweepDone { total, failed } => Json::Obj(vec![(
+                "sweep_done".into(),
+                Json::Obj(vec![
+                    ("total".into(), Json::Num(*total as f64)),
+                    ("failed".into(), Json::Num(*failed as f64)),
+                ]),
+            )]),
+            ResponseBody::Describe(info) => Json::Obj(vec![("describe".into(), info.to_json())]),
+            ResponseBody::Error(e) => Json::Obj(vec![("error".into(), e.to_json())]),
+        };
+        Json::Obj(vec![
+            ("schema".into(), Json::Num(self.schema as f64)),
+            ("id".into(), Json::Str(self.id.clone())),
+            ("body".into(), body),
+        ])
+    }
+
+    /// Parse a response envelope (the client half of the wire contract).
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::InvalidSpec`] on malformed envelopes.
+    pub fn from_json(v: &Json) -> Result<Self> {
+        let schema = v
+            .get("schema")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| bad("response needs a non-negative integer `schema`"))?;
+        let id = v
+            .get("id")
+            .and_then(Json::as_str)
+            .ok_or_else(|| bad("response needs a string `id`"))?
+            .to_string();
+        let body = v
+            .get("body")
+            .ok_or_else(|| bad("response needs a `body`"))?;
+        let fields = body
+            .as_object()
+            .ok_or_else(|| bad("response `body` must be an object"))?;
+        let [(kind, payload)] = fields else {
+            return Err(bad("response `body` must have exactly one key"));
+        };
+        let num = |key: &str| -> Result<u64> {
+            payload
+                .get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| bad(format!("`{kind}` needs a u64 `{key}`")))
+        };
+        let body = match kind.as_str() {
+            "report" => ResponseBody::Report(ScenarioReport::from_json(payload)?),
+            "sweep_report" => ResponseBody::SweepReport {
+                index: num("index")?,
+                total: num("total")?,
+                report: ScenarioReport::from_json(
+                    payload
+                        .get("report")
+                        .ok_or_else(|| bad("`sweep_report` needs a `report`"))?,
+                )?,
+            },
+            "sweep_done" => ResponseBody::SweepDone {
+                total: num("total")?,
+                failed: num("failed")?,
+            },
+            "describe" => ResponseBody::Describe(ServiceInfo::from_json(payload)?),
+            "error" => ResponseBody::Error(ServiceError::from_json(payload)?),
+            other => {
+                return Err(bad(format!("unknown response body kind `{other}`")));
+            }
+        };
+        Ok(Self { schema, id, body })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_forms_round_trip() {
+        let requests = [
+            YieldRequest::evaluate("e-1", ScenarioSpec::baseline("b"), 7),
+            YieldRequest::sweep(
+                "s-1",
+                ScenarioGrid {
+                    scenarios: vec![ScenarioSpec::baseline("one")],
+                },
+                9,
+                Some(4),
+            ),
+            YieldRequest::describe("d-1"),
+        ];
+        for req in requests {
+            let wire = req.to_json().to_string_pretty();
+            let back = YieldRequest::from_json(&Json::parse(&wire).unwrap()).unwrap();
+            assert_eq!(back, req, "round trip failed for: {wire}");
+        }
+    }
+
+    #[test]
+    fn seed_and_workers_default_when_omitted() {
+        let req = YieldRequest::from_json(
+            &Json::parse(r#"{ "schema": 1, "id": "x", "body": { "evaluate": { "spec": {} } } }"#)
+                .unwrap(),
+        )
+        .unwrap();
+        match req.body {
+            RequestBody::Evaluate { seed, .. } => assert_eq!(seed, DEFAULT_SEED),
+            other => panic!("expected evaluate, got {other:?}"),
+        }
+        let req = YieldRequest::from_json(
+            &Json::parse(
+                r#"{ "schema": 1, "id": "x",
+                     "body": { "sweep": { "grid": { "scenarios": [ {} ] } } } }"#,
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        match req.body {
+            RequestBody::Sweep { seed, workers, .. } => {
+                assert_eq!(seed, DEFAULT_SEED);
+                assert_eq!(workers, None);
+            }
+            other => panic!("expected sweep, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected() {
+        let cases = [
+            (r#"[1]"#, "not an object"),
+            (r#"{ "id": "x", "body": "describe" }"#, "missing schema"),
+            (r#"{ "schema": 1, "body": "describe" }"#, "missing id"),
+            (r#"{ "schema": 1, "id": "x" }"#, "missing body"),
+            (
+                r#"{ "schema": 1, "id": "x", "body": { "evaluate": {}, "sweep": {} } }"#,
+                "two body keys",
+            ),
+            (
+                r#"{ "schema": 1, "id": "x", "body": { "evaluate": {} } }"#,
+                "evaluate without spec",
+            ),
+            (
+                r#"{ "schema": 1, "id": "x", "body": { "sweep": { "grid": {"scenarios": [{}]}, "workers": 0 } } }"#,
+                "zero workers",
+            ),
+        ];
+        for (doc, why) in cases {
+            assert!(
+                YieldRequest::from_json(&Json::parse(doc).unwrap()).is_err(),
+                "{why}"
+            );
+        }
+    }
+
+    #[test]
+    fn typoed_payload_keys_error_instead_of_defaulting() {
+        // `sead` must not silently fall back to the default seed.
+        let err = YieldRequest::from_json(
+            &Json::parse(
+                r#"{ "schema": 1, "id": "x", "body": { "evaluate": { "spec": {}, "sead": 42 } } }"#,
+            )
+            .unwrap(),
+        )
+        .unwrap_err();
+        match err {
+            PipelineError::UnknownKey {
+                key, suggestion, ..
+            } => {
+                assert_eq!(key, "sead");
+                assert_eq!(suggestion.as_deref(), Some("seed"));
+            }
+            other => panic!("expected UnknownKey, got {other:?}"),
+        }
+        // Same for a typo'd `workers` in sweep payloads.
+        assert!(YieldRequest::from_json(
+            &Json::parse(
+                r#"{ "schema": 1, "id": "x",
+                     "body": { "sweep": { "grid": { "scenarios": [ {} ] }, "wokers": 2 } } }"#,
+            )
+            .unwrap(),
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn non_integer_and_negative_schemas_are_malformed() {
+        for schema in ["1.9", "-1", "0.5", "true", "\"one\""] {
+            let doc = format!(r#"{{ "schema": {schema}, "id": "x", "body": "describe" }}"#);
+            assert!(
+                YieldRequest::from_json(&Json::parse(&doc).unwrap()).is_err(),
+                "schema {schema} must not be truncated into an integer version"
+            );
+        }
+        // Integral values (any magnitude) still parse, so the service can
+        // answer them with a structured `unsupported_schema`.
+        let req = YieldRequest::from_json(
+            &Json::parse(r#"{ "schema": 99, "id": "x", "body": "describe" }"#).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(req.schema, 99);
+    }
+
+    #[test]
+    fn unknown_request_keys_get_suggestions() {
+        let err = YieldRequest::from_json(
+            &Json::parse(r#"{ "schema": 1, "id": "x", "bodyy": "describe" }"#).unwrap(),
+        )
+        .unwrap_err();
+        match err {
+            PipelineError::UnknownKey { suggestion, .. } => {
+                assert_eq!(suggestion.as_deref(), Some("body"));
+            }
+            other => panic!("expected UnknownKey, got {other:?}"),
+        }
+        let err = YieldRequest::from_json(
+            &Json::parse(r#"{ "schema": 1, "id": "x", "body": { "evaluat": {} } }"#).unwrap(),
+        )
+        .unwrap_err();
+        match err {
+            PipelineError::UnknownKey {
+                key, suggestion, ..
+            } => {
+                assert_eq!(key, "evaluat");
+                assert_eq!(suggestion.as_deref(), Some("evaluate"));
+            }
+            other => panic!("expected UnknownKey, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_code_mapping_is_structured() {
+        let e = ServiceError::from_pipeline(&PipelineError::UnknownKey {
+            context: "scenario",
+            key: "yeild_target".into(),
+            suggestion: Some("yield_target".into()),
+        });
+        assert_eq!(e.code.tag(), "unknown_key");
+        let e = ServiceError::from_pipeline(&PipelineError::Core(
+            cnfet_core::CoreError::NoConvergence("wmin"),
+        ));
+        assert_eq!(e.code, ErrorCode::Unconverged);
+        let e = ServiceError::from_pipeline(&PipelineError::Parse {
+            line: 1,
+            msg: "x".into(),
+        });
+        assert_eq!(e.code, ErrorCode::BadRequest);
+    }
+
+    #[test]
+    fn recover_id_is_best_effort() {
+        assert_eq!(
+            recover_id(&Json::parse(r#"{ "id": "abc", "schema": true }"#).unwrap()),
+            "abc"
+        );
+        assert_eq!(recover_id(&Json::Num(4.0)), "");
+    }
+}

@@ -74,6 +74,30 @@ impl Json {
         }
     }
 
+    /// Encode a `u64` exactly: as a number while f64-safe (≤ 2⁵³), as a
+    /// decimal string above that. JSON numbers travel as doubles, which
+    /// would corrupt the low bits of full-range values like split seeds.
+    pub fn from_u64(n: u64) -> Json {
+        const F64_EXACT: u64 = 1 << 53;
+        if n <= F64_EXACT {
+            Json::Num(n as f64)
+        } else {
+            Json::Str(n.to_string())
+        }
+    }
+
+    /// Decode a `u64` written by [`Json::from_u64`] (also accepts any
+    /// non-negative integral number or decimal string).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= (1u64 << 53) as f64 => {
+                Some(*n as u64)
+            }
+            Json::Str(s) => s.parse().ok(),
+            _ => None,
+        }
+    }
+
     /// The value as a boolean.
     pub fn as_bool(&self) -> Option<bool> {
         match self {
@@ -104,6 +128,48 @@ impl Json {
         self.write(&mut out, 0);
         out.push('\n');
         out
+    }
+
+    /// Serialize onto one line with no extra whitespace — the JSON-lines
+    /// form the `repro serve` daemon speaks (one value per line, so
+    /// embedded newlines are never emitted).
+    pub fn to_string_compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Json::Num(n) => write_number(out, *n),
+            Json::Str(s) => write_string(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_string(out, k);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
     }
 
     fn write(&self, out: &mut String, indent: usize) {
@@ -414,6 +480,16 @@ mod tests {
     }
 
     #[test]
+    fn compact_form_is_one_line_and_reparses() {
+        let doc = r#"{"a": [1, 2.5, -3e-2], "b": {"s": "x \"y\"\nz", "t": false}, "c": null}"#;
+        let v = Json::parse(doc).unwrap();
+        let compact = v.to_string_compact();
+        assert!(!compact.contains('\n'), "compact output must be one line");
+        assert!(!compact.contains(": "), "no decorative whitespace");
+        assert_eq!(Json::parse(&compact).unwrap(), v);
+    }
+
+    #[test]
     fn preserves_key_order() {
         let v = Json::parse(r#"{"z": 1, "a": 2, "m": 3}"#).unwrap();
         let keys: Vec<&str> = v
@@ -439,6 +515,30 @@ mod tests {
         assert!(Json::parse("[1, 2").is_err());
         assert!(Json::parse("12 34").is_err(), "trailing content");
         assert!(Json::parse("1e999").is_err(), "non-finite number");
+    }
+
+    #[test]
+    fn u64_encoding_is_exact_across_the_full_range() {
+        for n in [
+            0,
+            7,
+            (1u64 << 53) - 1,
+            1u64 << 53,
+            (1u64 << 53) + 1,
+            10_451_216_379_200_822_466,
+            u64::MAX,
+        ] {
+            let encoded = Json::from_u64(n);
+            let reparsed = Json::parse(&encoded.to_string_pretty()).unwrap();
+            assert_eq!(reparsed.as_u64(), Some(n), "n = {n}");
+        }
+        // Small values stay plain numbers (human-friendly wire format).
+        assert!(matches!(Json::from_u64(42), Json::Num(_)));
+        // Values that would round in an f64 travel as strings.
+        assert!(matches!(Json::from_u64(u64::MAX), Json::Str(_)));
+        assert_eq!(Json::Num(-1.0).as_u64(), None);
+        assert_eq!(Json::Num(0.5).as_u64(), None);
+        assert_eq!(Json::Str("not a number".into()).as_u64(), None);
     }
 
     #[test]

@@ -26,6 +26,26 @@
 //!   [`report::ScenarioReport`] per scenario;
 //! * [`report`] — structured JSON artifacts for downstream tooling.
 //!
+//! ## The service layer
+//!
+//! Long-lived callers (the `repro serve` daemon, co-optimization loops)
+//! use the v1 **service API** layered on top:
+//!
+//! * [`service::YieldService`] — a cloneable handle over one shared
+//!   [`engine::Pipeline`] whose curve/design caches are **bounded**
+//!   ([`cache::BoundedCache`], capacities in [`engine::CacheConfig`]);
+//! * [`envelope`] — versioned `YieldRequest` / `YieldResponse` wire
+//!   envelopes (`schema: 1`) with machine-readable
+//!   [`envelope::ErrorCode`]s;
+//! * [`service::SweepHandle`] — incremental sweep results in
+//!   deterministic index order, with cooperative cancellation and
+//!   progress reporting;
+//! * [`builder::ScenarioBuilder`] — the typed construction/validation
+//!   path that grid files, CLI overrides, and envelopes all share.
+//!
+//! [`engine::Pipeline::evaluate`] and [`sweep::SweepRunner`] remain as
+//! thin compatibility shims; new code should go through the service.
+//!
 //! ## Example
 //!
 //! ```
@@ -47,10 +67,14 @@
 //! # }
 //! ```
 
+pub mod builder;
+pub mod cache;
 pub mod design;
 pub mod engine;
+pub mod envelope;
 pub mod json;
 pub mod report;
+pub mod service;
 pub mod spec;
 pub mod sweep;
 
@@ -74,6 +98,16 @@ pub enum PipelineError {
         /// The constraint that was violated.
         msg: String,
     },
+    /// An unknown key in a spec, grid, or envelope, with the nearest
+    /// valid key by edit distance when one is plausible.
+    UnknownKey {
+        /// What the key names (e.g. `scenario`, `grid`, `request`).
+        context: &'static str,
+        /// The key as received.
+        key: String,
+        /// The closest valid key, when the typo is recoverable.
+        suggestion: Option<String>,
+    },
     /// Underlying yield-model error.
     Core(cnfet_core::CoreError),
     /// Underlying netlist/mapping error.
@@ -90,6 +124,17 @@ impl fmt::Display for PipelineError {
             PipelineError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
             PipelineError::InvalidSpec { field, msg } => {
                 write!(f, "invalid scenario field `{field}`: {msg}")
+            }
+            PipelineError::UnknownKey {
+                context,
+                key,
+                suggestion,
+            } => {
+                write!(f, "unknown {context} key `{key}`")?;
+                if let Some(s) = suggestion {
+                    write!(f, " (did you mean `{s}`?)")?;
+                }
+                Ok(())
             }
             PipelineError::Core(e) => write!(f, "yield-model error: {e}"),
             PipelineError::Netlist(e) => write!(f, "netlist error: {e}"),
@@ -138,10 +183,17 @@ impl From<std::io::Error> for PipelineError {
 /// Result alias for the pipeline.
 pub type Result<T> = std::result::Result<T, PipelineError>;
 
+pub use builder::ScenarioBuilder;
+pub use cache::BoundedCache;
 pub use design::DesignStats;
-pub use engine::{Pipeline, Table1Anchor};
+pub use engine::{CacheConfig, CacheStats, Pipeline, Table1Anchor};
+pub use envelope::{
+    ErrorCode, RequestBody, ResponseBody, ServiceError, ServiceInfo, YieldRequest, YieldResponse,
+    DEFAULT_SEED, SCHEMA_VERSION,
+};
 pub use json::Json;
 pub use report::{McBackendReport, ScenarioReport};
+pub use service::{ServiceConfig, SweepHandle, SweepItem, SweepProgress, YieldService};
 pub use spec::{
     mc_backend_defaults, BackendSpec, CornerSpec, CorrelationSpec, LibrarySpec, MminSpec, RhoSpec,
     ScenarioGrid, ScenarioSpec,

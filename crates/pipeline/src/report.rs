@@ -1,8 +1,36 @@
 //! Structured scenario results and artifact emission.
+//!
+//! A [`ScenarioReport`] is a pure function of `(spec, seed)` — it carries
+//! no volatile provenance (cache warmth, shared counters), so repeated
+//! evaluations and sweeps at any worker count serialize byte-identically.
+//! Shared-cache provenance lives on
+//! [`crate::engine::Pipeline::cache_stats`] instead.
 
 use crate::json::Json;
-use crate::Result;
+use crate::{PipelineError, Result};
 use std::path::{Path, PathBuf};
+
+fn bad_report(msg: impl Into<String>) -> PipelineError {
+    PipelineError::InvalidSpec {
+        field: "report",
+        msg: msg.into(),
+    }
+}
+
+/// Required object field as f64.
+fn req_f64(v: &Json, key: &str) -> Result<f64> {
+    v.get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| bad_report(format!("missing numeric field `{key}`")))
+}
+
+/// Required object field as a string.
+fn req_str(v: &Json, key: &str) -> Result<String> {
+    v.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| bad_report(format!("missing string field `{key}`")))
+}
 
 /// Provenance of a Monte-Carlo-backend evaluation: how much simulation a
 /// scenario consumed and how tight the estimate at `W_min` is.
@@ -35,6 +63,25 @@ impl McBackendReport {
             ("ci_level".into(), Json::Num(self.ci_level)),
             ("converged".into(), Json::Bool(self.converged)),
         ])
+    }
+
+    /// Parse the provenance object written by [`McBackendReport::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::InvalidSpec`] on missing or mistyped fields.
+    pub fn from_json(v: &Json) -> Result<Self> {
+        Ok(Self {
+            trials: req_f64(v, "trials")? as u64,
+            widths_evaluated: req_f64(v, "widths_evaluated")? as u64,
+            ci_lo: req_f64(v, "ci_lo")?,
+            ci_hi: req_f64(v, "ci_hi")?,
+            ci_level: req_f64(v, "ci_level")?,
+            converged: v
+                .get("converged")
+                .and_then(Json::as_bool)
+                .ok_or_else(|| bad_report("missing boolean field `converged`"))?,
+        })
     }
 }
 
@@ -76,9 +123,6 @@ pub struct ScenarioReport {
     /// Conditional-MC estimate of the non-aligned row failure probability
     /// (when the spec requested trials).
     pub unaligned_p_rf_mc: Option<f64>,
-    /// Cumulative exact evaluations on the shared curve after this
-    /// scenario (provenance for the memoization win).
-    pub curve_evaluations: u64,
     /// Monte-Carlo-backend provenance: trials used and the CI of
     /// `pF(W_min)` (present iff the scenario ran the `monte-carlo`
     /// back-end).
@@ -90,7 +134,7 @@ impl ScenarioReport {
     pub fn to_json(&self) -> Json {
         let mut fields = vec![
             ("name".into(), Json::Str(self.name.clone())),
-            ("seed".into(), Json::Num(self.seed as f64)),
+            ("seed".into(), Json::from_u64(self.seed)),
             ("library".into(), Json::Str(self.library.clone())),
             ("node_nm".into(), Json::Num(self.node_nm)),
             ("corner".into(), Json::Str(self.corner.clone())),
@@ -105,10 +149,6 @@ impl ScenarioReport {
             ("w_min_nm".into(), Json::Num(self.w_min_nm)),
             ("p_at_w_min".into(), Json::Num(self.p_at_w_min)),
             ("upsizing_penalty".into(), Json::Num(self.upsizing_penalty)),
-            (
-                "curve_evaluations".into(),
-                Json::Num(self.curve_evaluations as f64),
-            ),
         ];
         if let Some(p) = self.unaligned_p_rf_mc {
             fields.push(("unaligned_p_rf_mc".into(), Json::Num(p)));
@@ -117,6 +157,50 @@ impl ScenarioReport {
             fields.push(("mc".into(), mc.to_json()));
         }
         Json::Obj(fields)
+    }
+
+    /// Parse a report object written by [`ScenarioReport::to_json`] — the
+    /// client half of the service wire format.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::InvalidSpec`] on missing or mistyped fields.
+    pub fn from_json(v: &Json) -> Result<Self> {
+        if v.as_object().is_none() {
+            return Err(bad_report("report must be an object"));
+        }
+        Ok(Self {
+            name: req_str(v, "name")?,
+            seed: v
+                .get("seed")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| bad_report("missing u64 field `seed`"))?,
+            library: req_str(v, "library")?,
+            node_nm: req_f64(v, "node_nm")?,
+            corner: req_str(v, "corner")?,
+            correlation: req_str(v, "correlation")?,
+            backend: req_str(v, "backend")?,
+            yield_target: req_f64(v, "yield_target")?,
+            m_transistors: req_f64(v, "m_transistors")?,
+            m_min: req_f64(v, "m_min")?,
+            m_r_min: req_f64(v, "m_r_min")?,
+            relaxation: req_f64(v, "relaxation")?,
+            p_req: req_f64(v, "p_req")?,
+            w_min_nm: req_f64(v, "w_min_nm")?,
+            p_at_w_min: req_f64(v, "p_at_w_min")?,
+            upsizing_penalty: req_f64(v, "upsizing_penalty")?,
+            unaligned_p_rf_mc: match v.get("unaligned_p_rf_mc") {
+                None => None,
+                Some(p) => Some(
+                    p.as_f64()
+                        .ok_or_else(|| bad_report("`unaligned_p_rf_mc` must be a number"))?,
+                ),
+            },
+            mc: match v.get("mc") {
+                None => None,
+                Some(mc) => Some(McBackendReport::from_json(mc)?),
+            },
+        })
     }
 }
 
@@ -182,7 +266,6 @@ mod tests {
             p_at_w_min: 2.9e-9,
             upsizing_penalty: 0.11,
             unaligned_p_rf_mc: None,
-            curve_evaluations: 42,
             mc: None,
         }
     }
@@ -196,6 +279,37 @@ mod tests {
         assert_eq!(reparsed.get("name").unwrap().as_str(), Some("a/b c"));
         assert!(reparsed.get("unaligned_p_rf_mc").is_none());
         assert!(reparsed.get("mc").is_none());
+        assert_eq!(
+            ScenarioReport::from_json(&reparsed).unwrap(),
+            r,
+            "reports round-trip through the wire format"
+        );
+    }
+
+    #[test]
+    fn report_round_trips_with_optional_fields() {
+        let mut r = report("full");
+        r.unaligned_p_rf_mc = Some(4.5e-7);
+        r.mc = Some(McBackendReport {
+            trials: 1000,
+            widths_evaluated: 7,
+            ci_lo: 1e-9,
+            ci_hi: 2e-9,
+            ci_level: 0.95,
+            converged: false,
+        });
+        let back =
+            ScenarioReport::from_json(&Json::parse(&r.to_json().to_string_pretty()).unwrap())
+                .unwrap();
+        assert_eq!(back, r);
+        assert!(
+            ScenarioReport::from_json(&Json::Num(1.0)).is_err(),
+            "non-objects are rejected"
+        );
+        assert!(
+            ScenarioReport::from_json(&Json::Obj(vec![])).is_err(),
+            "missing fields are rejected"
+        );
     }
 
     #[test]

@@ -1,0 +1,501 @@
+//! `YieldService` — the long-lived, shared-cache front end of the engine.
+//!
+//! A [`YieldService`] owns one [`Pipeline`] with **bounded** LRU caches
+//! and answers versioned [`crate::envelope`] requests from any number of
+//! callers: clones share the same caches (the handle is an `Arc`), so a
+//! daemon, a test harness, and a co-optimization loop all hit the same
+//! warm `pF(W)` curves. Three entry styles, one semantics:
+//!
+//! * typed — [`YieldService::evaluate`], [`YieldService::sweep`] (returns
+//!   a streaming [`SweepHandle`]), [`YieldService::describe`];
+//! * envelopes — [`YieldService::stream`] / [`YieldService::handle`] map
+//!   a [`YieldRequest`] to one or more [`YieldResponse`]s;
+//! * wire — [`YieldService::handle_line`] parses one JSON-lines request
+//!   and never fails, turning every problem into a structured error
+//!   response (the `repro serve` daemon loop).
+//!
+//! Determinism contract: responses are a pure function of the request
+//! (plus the seed it carries). Sweeps stream reports in index order under
+//! `split_seed(seed, index)` regardless of worker count, and reports
+//! carry no volatile cache provenance — so identical requests serialize
+//! byte-identically whether caches are cold, warm, or shared.
+
+use crate::engine::{CacheConfig, Pipeline};
+use crate::envelope::{
+    ErrorCode, RequestBody, ResponseBody, ServiceError, ServiceInfo, YieldRequest, YieldResponse,
+    SCHEMA_VERSION,
+};
+use crate::json::Json;
+use crate::report::ScenarioReport;
+use crate::spec::ScenarioSpec;
+use crate::Result;
+use cnfet_sim::engine::split_seed;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+
+/// Service configuration: cache bounds plus sweep defaults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Bounds for the shared pipeline caches.
+    pub cache: CacheConfig,
+    /// Default worker-thread count for sweeps (requests may override).
+    pub sweep_workers: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            cache: CacheConfig::default(),
+            sweep_workers: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+        }
+    }
+}
+
+struct ServiceInner {
+    pipeline: Pipeline,
+    config: ServiceConfig,
+}
+
+/// The shared-cache request/response front end (see the module docs).
+///
+/// Cloning is cheap and shares the caches; the service is `Send + Sync`.
+#[derive(Clone)]
+pub struct YieldService {
+    inner: Arc<ServiceInner>,
+}
+
+impl Default for YieldService {
+    fn default() -> Self {
+        Self::with_config(ServiceConfig::default())
+    }
+}
+
+impl std::fmt::Debug for YieldService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("YieldService")
+            .field("config", &self.inner.config)
+            .field("cache_stats", &self.inner.pipeline.cache_stats())
+            .finish()
+    }
+}
+
+impl YieldService {
+    /// A service with default cache bounds and worker counts.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A service with explicit configuration.
+    pub fn with_config(config: ServiceConfig) -> Self {
+        Self {
+            inner: Arc::new(ServiceInner {
+                pipeline: Pipeline::with_cache_config(config.cache),
+                config,
+            }),
+        }
+    }
+
+    /// The shared pipeline behind this service (for callers that need the
+    /// lower-level substrate getters: curves, libraries, design stats).
+    pub fn pipeline(&self) -> &Pipeline {
+        &self.inner.pipeline
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.inner.config
+    }
+
+    /// Capability discovery (the `describe` answer). Static per build, so
+    /// repeated calls serialize byte-identically.
+    pub fn describe(&self) -> ServiceInfo {
+        ServiceInfo::default()
+    }
+
+    /// Evaluate one scenario on the shared bounded caches.
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation, model, solver, and simulation errors.
+    pub fn evaluate(&self, spec: &ScenarioSpec, seed: u64) -> Result<ScenarioReport> {
+        self.inner.pipeline.evaluate(spec, seed)
+    }
+
+    /// Start a streaming sweep with the service's default worker count.
+    /// Scenario `i` evaluates under `split_seed(seed, i)` — the same
+    /// contract as the legacy `SweepRunner`.
+    pub fn sweep(&self, specs: Vec<ScenarioSpec>, seed: u64) -> SweepHandle {
+        self.sweep_with_workers(specs, seed, self.inner.config.sweep_workers)
+    }
+
+    /// Start a streaming sweep with an explicit worker count. Workers only
+    /// change wall-clock, never results or delivery order.
+    pub fn sweep_with_workers(
+        &self,
+        specs: Vec<ScenarioSpec>,
+        seed: u64,
+        workers: usize,
+    ) -> SweepHandle {
+        SweepHandle::spawn(Arc::clone(&self.inner), specs, seed, workers)
+    }
+
+    /// Answer one request, streaming every response through `emit` (an
+    /// `evaluate`/`describe` request emits exactly one response; a `sweep`
+    /// emits one per scenario plus a terminator).
+    pub fn stream(&self, request: &YieldRequest, emit: &mut dyn FnMut(YieldResponse)) {
+        if request.schema != SCHEMA_VERSION {
+            emit(YieldResponse::error(
+                &request.id,
+                ServiceError {
+                    code: ErrorCode::UnsupportedSchema {
+                        requested: request.schema,
+                    },
+                    message: format!(
+                        "schema {} is not supported (this build speaks schema {SCHEMA_VERSION})",
+                        request.schema
+                    ),
+                },
+            ));
+            return;
+        }
+        match &request.body {
+            RequestBody::Describe => {
+                emit(YieldResponse::new(
+                    &request.id,
+                    ResponseBody::Describe(self.describe()),
+                ));
+            }
+            RequestBody::Evaluate { spec, seed } => match self.evaluate(spec, *seed) {
+                Ok(report) => emit(YieldResponse::new(
+                    &request.id,
+                    ResponseBody::Report(report),
+                )),
+                Err(e) => emit(YieldResponse::error(
+                    &request.id,
+                    ServiceError::from_pipeline(&e),
+                )),
+            },
+            RequestBody::Sweep {
+                grid,
+                seed,
+                workers,
+            } => {
+                let total = grid.scenarios.len() as u64;
+                let workers = workers.unwrap_or(self.inner.config.sweep_workers);
+                let handle = self.sweep_with_workers(grid.scenarios.clone(), *seed, workers);
+                let mut failed = 0;
+                let mut delivered = 0;
+                for item in handle {
+                    delivered += 1;
+                    match item.report {
+                        Ok(report) => emit(YieldResponse::new(
+                            &request.id,
+                            ResponseBody::SweepReport {
+                                index: item.index as u64,
+                                total,
+                                report,
+                            },
+                        )),
+                        Err(e) => {
+                            failed += 1;
+                            emit(YieldResponse::error(
+                                &request.id,
+                                ServiceError::from_pipeline(&e),
+                            ));
+                        }
+                    }
+                }
+                // A worker that died (panic in the engine) leaves a gap the
+                // handle cannot stream past; never dress that up as a clean
+                // completion — report the shortfall and count it as failed.
+                let missing = total - delivered;
+                if missing > 0 {
+                    failed += missing;
+                    emit(YieldResponse::error(
+                        &request.id,
+                        ServiceError {
+                            code: ErrorCode::Internal,
+                            message: format!(
+                                "sweep truncated: {missing} of {total} scenarios were never \
+                                 delivered (worker failure)"
+                            ),
+                        },
+                    ));
+                }
+                emit(YieldResponse::new(
+                    &request.id,
+                    ResponseBody::SweepDone { total, failed },
+                ));
+            }
+        }
+    }
+
+    /// Answer one request, collecting all responses (convenience wrapper
+    /// over [`YieldService::stream`] for non-streaming callers).
+    pub fn handle(&self, request: &YieldRequest) -> Vec<YieldResponse> {
+        let mut out = Vec::new();
+        self.stream(request, &mut |response| out.push(response));
+        out
+    }
+
+    /// Parse and answer one JSON-lines request. Never fails: malformed
+    /// input becomes a structured error response with a best-effort id —
+    /// the daemon loop of `repro serve`.
+    pub fn handle_line(&self, line: &str, emit: &mut dyn FnMut(YieldResponse)) {
+        let doc = match Json::parse(line) {
+            Ok(doc) => doc,
+            Err(e) => {
+                emit(YieldResponse::error("", ServiceError::from_pipeline(&e)));
+                return;
+            }
+        };
+        let request = match YieldRequest::from_json(&doc) {
+            Ok(request) => request,
+            Err(e) => {
+                emit(YieldResponse::error(
+                    crate::envelope::recover_id(&doc),
+                    ServiceError::from_pipeline(&e),
+                ));
+                return;
+            }
+        };
+        self.stream(&request, emit);
+    }
+}
+
+/// Progress snapshot of a streaming sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepProgress {
+    /// Scenarios whose evaluation has finished (any order).
+    pub completed: usize,
+    /// Reports already handed to the consumer (index order).
+    pub delivered: usize,
+    /// Scenarios in the sweep.
+    pub total: usize,
+}
+
+/// One streamed sweep result.
+#[derive(Debug)]
+pub struct SweepItem {
+    /// Index of the scenario within the sweep's spec list.
+    pub index: usize,
+    /// The evaluation outcome.
+    pub report: Result<ScenarioReport>,
+}
+
+/// A handle to an in-flight sweep: an iterator of [`SweepItem`]s in
+/// strict index order, plus cooperative cancellation and progress.
+///
+/// Workers claim scenario indices from a shared counter and evaluate out
+/// of order; the handle reorders on delivery, so `next()` blocks until
+/// the next index is available. After [`SweepHandle::cancel`], workers
+/// stop claiming new scenarios (in-flight ones finish) and the stream
+/// ends at the first undelivered index. Dropping the handle cancels and
+/// joins the workers.
+pub struct SweepHandle {
+    total: usize,
+    next_index: usize,
+    delivered: usize,
+    pending: BTreeMap<usize, Result<ScenarioReport>>,
+    rx: mpsc::Receiver<(usize, Result<ScenarioReport>)>,
+    cancel: Arc<AtomicBool>,
+    completed: Arc<AtomicUsize>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl SweepHandle {
+    fn spawn(
+        inner: Arc<ServiceInner>,
+        specs: Vec<ScenarioSpec>,
+        seed: u64,
+        workers: usize,
+    ) -> Self {
+        let total = specs.len();
+        let specs = Arc::new(specs);
+        let cancel = Arc::new(AtomicBool::new(false));
+        let completed = Arc::new(AtomicUsize::new(0));
+        let claim = Arc::new(AtomicUsize::new(0));
+        let (tx, rx) = mpsc::channel();
+        let workers = workers.max(1).min(total.max(1));
+        let handles = (0..workers)
+            .map(|_| {
+                let inner = Arc::clone(&inner);
+                let specs = Arc::clone(&specs);
+                let cancel = Arc::clone(&cancel);
+                let completed = Arc::clone(&completed);
+                let claim = Arc::clone(&claim);
+                let tx = tx.clone();
+                std::thread::spawn(move || loop {
+                    if cancel.load(Ordering::Acquire) {
+                        return;
+                    }
+                    let i = claim.fetch_add(1, Ordering::Relaxed);
+                    if i >= specs.len() {
+                        return;
+                    }
+                    let report = inner
+                        .pipeline
+                        .evaluate(&specs[i], split_seed(seed, i as u64));
+                    completed.fetch_add(1, Ordering::Release);
+                    // The consumer may have dropped the handle mid-stream;
+                    // a closed channel just means nobody wants the rest.
+                    if tx.send((i, report)).is_err() {
+                        return;
+                    }
+                })
+            })
+            .collect();
+        Self {
+            total,
+            next_index: 0,
+            delivered: 0,
+            pending: BTreeMap::new(),
+            rx,
+            cancel,
+            completed,
+            workers: handles,
+        }
+    }
+
+    /// The number of scenarios in the sweep.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Ask the workers to stop after their in-flight scenarios. Items
+    /// already evaluated and contiguous with the delivered prefix still
+    /// stream out; the iterator then ends.
+    pub fn cancel(&self) {
+        self.cancel.store(true, Ordering::Release);
+    }
+
+    /// A progress snapshot (safe to call between `next()` calls).
+    pub fn progress(&self) -> SweepProgress {
+        SweepProgress {
+            completed: self.completed.load(Ordering::Acquire),
+            delivered: self.delivered,
+            total: self.total,
+        }
+    }
+
+    /// Block until the next in-index-order item is available; `None` once
+    /// the sweep is exhausted or cancellation truncated the stream.
+    #[allow(clippy::should_implement_trait)] // Iterator::next is the forwarding impl below
+    pub fn next(&mut self) -> Option<SweepItem> {
+        while self.next_index < self.total {
+            if let Some(report) = self.pending.remove(&self.next_index) {
+                let index = self.next_index;
+                self.next_index += 1;
+                self.delivered += 1;
+                return Some(SweepItem { index, report });
+            }
+            match self.rx.recv() {
+                Ok((i, report)) => {
+                    self.pending.insert(i, report);
+                }
+                // Workers are gone (finished or cancelled). Whatever is
+                // buffered beyond a gap can never be delivered in order.
+                Err(mpsc::RecvError) => return None,
+            }
+        }
+        None
+    }
+}
+
+impl Iterator for SweepHandle {
+    type Item = SweepItem;
+
+    fn next(&mut self) -> Option<SweepItem> {
+        SweepHandle::next(self)
+    }
+}
+
+impl Drop for SweepHandle {
+    fn drop(&mut self) {
+        self.cancel();
+        // Unblock senders by draining, then join.
+        while self.rx.try_recv().is_ok() {}
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{BackendSpec, RhoSpec};
+
+    fn fast_spec(name: &str) -> ScenarioSpec {
+        let mut spec = ScenarioSpec::baseline(name);
+        spec.backend = BackendSpec::GaussianSum;
+        spec.fast_design = true;
+        spec.rho = RhoSpec::Paper;
+        spec
+    }
+
+    #[test]
+    fn clones_share_caches() {
+        let service = YieldService::new();
+        let clone = service.clone();
+        service.evaluate(&fast_spec("warm"), 1).unwrap();
+        assert!(
+            clone.pipeline().cache_stats().curves > 0,
+            "clone must see the warmed cache"
+        );
+    }
+
+    #[test]
+    fn evaluate_matches_pipeline() {
+        let service = YieldService::new();
+        let spec = fast_spec("x");
+        let a = service.evaluate(&spec, 3).unwrap();
+        let b = Pipeline::new().evaluate(&spec, 3).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn describe_is_static() {
+        let service = YieldService::new();
+        let a = YieldResponse::new("d", ResponseBody::Describe(service.describe()));
+        let b = YieldResponse::new("d", ResponseBody::Describe(service.describe()));
+        assert_eq!(
+            a.to_json().to_string_pretty(),
+            b.to_json().to_string_pretty()
+        );
+    }
+
+    #[test]
+    fn unsupported_schema_is_rejected() {
+        let service = YieldService::new();
+        let mut request = YieldRequest::describe("v2");
+        request.schema = 2;
+        let responses = service.handle(&request);
+        assert_eq!(responses.len(), 1);
+        assert_eq!(responses[0].id, "v2");
+        match &responses[0].body {
+            ResponseBody::Error(e) => {
+                assert_eq!(e.code, ErrorCode::UnsupportedSchema { requested: 2 });
+            }
+            other => panic!("expected error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn handle_line_never_panics_and_correlates_ids() {
+        let service = YieldService::new();
+        let mut responses = Vec::new();
+        service.handle_line("this is not json", &mut |r| responses.push(r));
+        service.handle_line(r#"{ "id": "bad-1", "schema": 1 }"#, &mut |r| {
+            responses.push(r)
+        });
+        assert_eq!(responses.len(), 2);
+        assert!(responses.iter().all(YieldResponse::is_error));
+        assert_eq!(responses[0].id, "", "unparseable line has no id");
+        assert_eq!(responses[1].id, "bad-1", "id recovered from bad envelope");
+    }
+}

@@ -74,7 +74,7 @@ impl CornerSpec {
         Ok(c?)
     }
 
-    fn from_json(v: &Json) -> Result<Self> {
+    pub(crate) fn from_json(v: &Json) -> Result<Self> {
         match v {
             Json::Str(s) => match s.as_str() {
                 "aggressive" => Ok(CornerSpec::Aggressive),
@@ -153,7 +153,7 @@ impl CorrelationSpec {
         ),
     ];
 
-    fn from_json(v: &Json) -> Result<Self> {
+    pub(crate) fn from_json(v: &Json) -> Result<Self> {
         let s = v
             .as_str()
             .ok_or_else(|| invalid("correlation", "must be a string"))?;
@@ -213,7 +213,7 @@ impl LibrarySpec {
         }
     }
 
-    fn from_json(v: &Json) -> Result<Self> {
+    pub(crate) fn from_json(v: &Json) -> Result<Self> {
         match v.as_str() {
             Some("nangate45") => Ok(LibrarySpec::Nangate45),
             Some("commercial65") => Ok(LibrarySpec::Commercial65),
@@ -348,7 +348,7 @@ impl BackendSpec {
         })
     }
 
-    fn from_json(v: &Json) -> Result<Self> {
+    pub(crate) fn from_json(v: &Json) -> Result<Self> {
         match v {
             Json::Str(s) => match s.as_str() {
                 "convolution" => Ok(BackendSpec::Convolution { step: 0.05 }),
@@ -523,68 +523,22 @@ impl ScenarioSpec {
         Ok(())
     }
 
-    /// Apply one named field from a JSON value (the merge primitive used
-    /// by defaults / axes / explicit scenarios).
+    /// Apply one named field from a JSON value.
+    ///
+    /// **Deprecated shim**: this now forwards to
+    /// [`crate::builder::ScenarioBuilder::set_json`], the single
+    /// validation path shared by grid files, the CLI, and the service
+    /// envelopes. New code should use the builder directly.
     ///
     /// # Errors
     ///
-    /// [`PipelineError::InvalidSpec`] for unknown fields or wrong types.
+    /// [`PipelineError::UnknownKey`] for unknown fields (with a
+    /// nearest-key suggestion), [`PipelineError::InvalidSpec`] for wrong
+    /// types.
     pub fn apply(&mut self, key: &str, value: &Json) -> Result<()> {
-        let num = |field: &'static str| -> Result<f64> {
-            value
-                .as_f64()
-                .ok_or_else(|| invalid(field, "must be a number"))
-        };
-        match key {
-            "name" => {
-                self.name = value
-                    .as_str()
-                    .ok_or_else(|| invalid("name", "must be a string"))?
-                    .to_string();
-            }
-            "corner" => self.corner = CornerSpec::from_json(value)?,
-            "correlation" => self.correlation = CorrelationSpec::from_json(value)?,
-            "library" => {
-                self.library = LibrarySpec::from_json(value)?;
-                self.node_nm = self.library.node_nm();
-            }
-            "node_nm" => self.node_nm = num("node_nm")?,
-            "yield_target" => self.yield_target = num("yield_target")?,
-            "backend" => self.backend = BackendSpec::from_json(value)?,
-            "m_transistors" => self.m_transistors = num("m_transistors")?,
-            "m_min" => match value {
-                Json::Str(s) if s == "self-consistent" => self.m_min = MminSpec::SelfConsistent,
-                Json::Num(f) => self.m_min = MminSpec::Fraction(*f),
-                _ => {
-                    return Err(invalid(
-                        "m_min",
-                        "must be a fraction or \"self-consistent\"",
-                    ))
-                }
-            },
-            "rho" => match value.as_str() {
-                Some("paper") => self.rho = RhoSpec::Paper,
-                Some("measured") => self.rho = RhoSpec::Measured,
-                _ => return Err(invalid("rho", "must be \"paper\" or \"measured\"")),
-            },
-            "grid" => match value.as_str() {
-                Some("single") => self.grid = GridPolicy::Single,
-                Some("dual") => self.grid = GridPolicy::Dual,
-                _ => return Err(invalid("grid", "must be \"single\" or \"dual\"")),
-            },
-            "fast_design" => {
-                self.fast_design = value
-                    .as_bool()
-                    .ok_or_else(|| invalid("fast_design", "must be a boolean"))?;
-            }
-            "mc_trials" => self.mc_trials = num("mc_trials")? as u32,
-            other => {
-                return Err(PipelineError::InvalidSpec {
-                    field: "scenario",
-                    msg: format!("unknown field `{other}`"),
-                })
-            }
-        }
+        let updated =
+            crate::builder::ScenarioBuilder::from_spec(self.clone()).set_json(key, value)?;
+        *self = updated.build_unchecked();
         Ok(())
     }
 
@@ -592,18 +546,17 @@ impl ScenarioSpec {
     ///
     /// # Errors
     ///
-    /// [`PipelineError::InvalidSpec`] for unknown fields, wrong types, or
-    /// out-of-domain values.
+    /// [`PipelineError::UnknownKey`] / [`PipelineError::InvalidSpec`] for
+    /// unknown fields, wrong types, or out-of-domain values.
     pub fn from_json(v: &Json) -> Result<Self> {
         let fields = v
             .as_object()
             .ok_or_else(|| invalid("scenario", "must be an object"))?;
-        let mut spec = Self::baseline("scenario");
+        let mut builder = crate::builder::ScenarioBuilder::new("scenario");
         for (key, value) in fields {
-            spec.apply(key, value)?;
+            builder = builder.set_json(key, value)?;
         }
-        spec.validate()?;
-        Ok(spec)
+        builder.build()
     }
 
     /// Serialize the full (explicit) spec.
@@ -663,30 +616,45 @@ impl ScenarioGrid {
     ///
     /// # Errors
     ///
-    /// [`PipelineError::Parse`] for malformed JSON,
-    /// [`PipelineError::InvalidSpec`] for bad fields or an empty grid.
+    /// [`PipelineError::Parse`] for malformed JSON, otherwise as
+    /// [`ScenarioGrid::from_json`].
     pub fn parse(src: &str) -> Result<Self> {
-        let doc = Json::parse(src)?;
-        let known = ["defaults", "axes", "scenarios", "name"];
+        Self::from_json(&Json::parse(src)?)
+    }
+
+    /// Expand a parsed grid document (the form service envelopes carry).
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::UnknownKey`] for unknown sections or scenario
+    /// fields (with nearest-key suggestions),
+    /// [`PipelineError::InvalidSpec`] for bad fields or an empty grid.
+    pub fn from_json(doc: &Json) -> Result<Self> {
+        const SECTIONS: [&str; 4] = ["defaults", "axes", "scenarios", "name"];
         for (key, _) in doc
             .as_object()
             .ok_or_else(|| invalid("grid", "document must be an object"))?
         {
-            if !known.contains(&key.as_str()) {
-                return Err(invalid("grid", format!("unknown section `{key}`")));
+            if !SECTIONS.contains(&key.as_str()) {
+                return Err(crate::builder::unknown_key("grid", key, &SECTIONS));
             }
         }
 
-        let mut base =
-            ScenarioSpec::baseline(doc.get("name").and_then(Json::as_str).unwrap_or("scenario"));
+        let mut base = crate::builder::ScenarioBuilder::new(
+            doc.get("name").and_then(Json::as_str).unwrap_or("scenario"),
+        );
         if let Some(defaults) = doc.get("defaults") {
             let fields = defaults
                 .as_object()
                 .ok_or_else(|| invalid("defaults", "must be an object"))?;
             for (key, value) in fields {
-                base.apply(key, value)?;
+                base = base.set_json(key, value)?;
             }
         }
+        // Merging is not yet validation: each finished scenario validates
+        // once below, after axes/explicit fields are applied over the
+        // defaults.
+        let base = base.build_unchecked();
 
         let mut scenarios = Vec::new();
 
@@ -718,15 +686,13 @@ impl ScenarioGrid {
                     .collect();
             }
             for combo in combos {
-                let mut spec = base.clone();
-                let mut parts = vec![spec.name.clone()];
+                let mut builder = crate::builder::ScenarioBuilder::from_spec(base.clone());
+                let mut parts = vec![base.name.clone()];
                 for (key, value) in &combo {
-                    spec.apply(key, value)?;
+                    builder = builder.set_json(key, value)?;
                     parts.push(format!("{key}={}", axis_label(value)));
                 }
-                spec.name = parts.join("/");
-                spec.validate()?;
-                scenarios.push(spec);
+                scenarios.push(builder.name(parts.join("/")).build()?);
             }
         }
 
@@ -738,13 +704,12 @@ impl ScenarioGrid {
                 let fields = item
                     .as_object()
                     .ok_or_else(|| invalid("scenarios", "each entry must be an object"))?;
-                let mut spec = base.clone();
-                spec.name = format!("{}/{}", spec.name, i);
+                let mut builder = crate::builder::ScenarioBuilder::from_spec(base.clone())
+                    .name(format!("{}/{}", base.name, i));
                 for (key, value) in fields {
-                    spec.apply(key, value)?;
+                    builder = builder.set_json(key, value)?;
                 }
-                spec.validate()?;
-                scenarios.push(spec);
+                scenarios.push(builder.build()?);
             }
         }
 
@@ -873,6 +838,35 @@ mod tests {
         assert!(
             ScenarioGrid::parse(r#"{ "scenarios": [ { "yield_target": 2.0 } ] }"#).is_err(),
             "out-of-domain yield"
+        );
+    }
+
+    #[test]
+    fn unknown_grid_keys_name_the_nearest_valid_key() {
+        // A typo'd scenario field: the error must carry the suggestion.
+        let err =
+            ScenarioGrid::parse(r#"{ "scenarios": [ { "yeild_target": 0.9 } ] }"#).unwrap_err();
+        match &err {
+            PipelineError::UnknownKey {
+                key, suggestion, ..
+            } => {
+                assert_eq!(key, "yeild_target");
+                assert_eq!(suggestion.as_deref(), Some("yield_target"));
+            }
+            other => panic!("expected UnknownKey, got {other:?}"),
+        }
+        assert!(err.to_string().contains("did you mean `yield_target`"));
+        // A typo'd top-level section gets the same treatment.
+        let err = ScenarioGrid::parse(r#"{ "defalts": {}, "scenarios": [ {} ] }"#).unwrap_err();
+        assert!(
+            err.to_string().contains("did you mean `defaults`"),
+            "message: {err}"
+        );
+        // Typo'd axis names too (axes apply fields to scenarios).
+        let err = ScenarioGrid::parse(r#"{ "axes": { "node_mn": [45, 32] } }"#).unwrap_err();
+        assert!(
+            err.to_string().contains("did you mean `node_nm`"),
+            "message: {err}"
         );
     }
 

@@ -16,6 +16,13 @@ use cnfet_sim::engine::split_seed;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Fans a list of scenarios across worker threads.
+///
+/// **Deprecated shim**: kept so existing callers compile unchanged. It
+/// blocks until every scenario finishes and returns the whole result
+/// vector; new code should use
+/// [`crate::service::YieldService::sweep`], which streams reports
+/// incrementally (same seed-splitting contract, same determinism) and
+/// adds cancellation and progress.
 #[derive(Debug)]
 pub struct SweepRunner<'a> {
     pipeline: &'a Pipeline,

@@ -1,6 +1,6 @@
 //! Shared plumbing for the reproduction harness.
 
-use cnfet_pipeline::Pipeline;
+use cnfet_pipeline::{Pipeline, YieldService};
 use cnfet_plot::Table;
 use std::error::Error;
 use std::fmt;
@@ -73,8 +73,9 @@ pub fn analysis<E: Error + Send + Sync + 'static>(e: E) -> ReproError {
 pub type Result<T> = std::result::Result<T, ReproError>;
 
 /// Per-invocation context every experiment receives: CLI options plus the
-/// shared scenario pipeline (so `all` reuses curves, mapped designs, and
-/// aligned libraries across experiments).
+/// shared yield service (so `all` reuses curves, mapped designs, and
+/// aligned libraries across experiments through one set of bounded
+/// caches).
 pub struct RunContext {
     /// Reduced trial counts / design sizes.
     pub fast: bool,
@@ -83,8 +84,8 @@ pub struct RunContext {
     pub out_dir: PathBuf,
     /// CLI `--seed`, if given.
     seed: Option<u64>,
-    /// The shared scenario pipeline.
-    pub pipeline: Pipeline,
+    /// The shared scenario service (bounded caches, streaming sweeps).
+    pub service: YieldService,
 }
 
 impl RunContext {
@@ -94,8 +95,14 @@ impl RunContext {
             fast,
             out_dir: PathBuf::from("results"),
             seed: None,
-            pipeline: Pipeline::new(),
+            service: YieldService::new(),
         }
+    }
+
+    /// The engine behind the service, for experiments that need the
+    /// substrate getters (curves, libraries, design statistics).
+    pub fn pipeline(&self) -> &Pipeline {
+        self.service.pipeline()
     }
 
     /// Override the output directory (builder style).

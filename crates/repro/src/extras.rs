@@ -18,11 +18,11 @@ pub fn run(ctx: &RunContext) -> Result<()> {
     );
 
     // --- grid trade-off --------------------------------------------------
-    let lib = ctx.pipeline.library(LibrarySpec::Nangate45);
+    let lib = ctx.pipeline().library(LibrarySpec::Nangate45);
     let study = GridTradeoff {
         library: &lib,
         model: ctx
-            .pipeline
+            .pipeline()
             .failure_model(&CornerSpec::Aggressive, &BackendSpec::GaussianSum)?,
         row: RowModel::from_design(paper::L_CNT_UM, paper::RHO_MIN_FET_PER_UM).map_err(analysis)?,
         widths: vec![(110.0, 33), (185.0, 47), (370.0, 20)],
@@ -76,7 +76,7 @@ pub fn run(ctx: &RunContext) -> Result<()> {
             p_rs: 0.30,
             p_rm,
         };
-        let model = ctx.pipeline.failure_model(&corner, &exact)?;
+        let model = ctx.pipeline().failure_model(&corner, &exact)?;
         let mean = mean_surviving_metallic(&model, 150.0).map_err(analysis)?;
         let p_any = p_any_surviving_metallic(&model, 150.0).map_err(analysis)?;
         t.add_row(&[
@@ -89,7 +89,7 @@ pub fn run(ctx: &RunContext) -> Result<()> {
     }
     println!("{}", t.to_markdown());
 
-    let model = ctx.pipeline.failure_model(
+    let model = ctx.pipeline().failure_model(
         &CornerSpec::Custom {
             pm: 0.33,
             p_rs: 0.30,

@@ -46,7 +46,7 @@ pub fn run(ctx: &RunContext) -> Result<()> {
     for corner in &corners {
         // One shared memoized curve per corner; the anchor solves below
         // reuse the aggressive-corner curve's cache.
-        let curve = ctx.pipeline.failure_curve(corner, &sweep_backend)?;
+        let curve = ctx.pipeline().failure_curve(corner, &sweep_backend)?;
         let pts = curve.sweep(&widths).map_err(analysis)?;
         series.push(
             pts.iter()
@@ -81,7 +81,7 @@ pub fn run(ctx: &RunContext) -> Result<()> {
     // Anchor comparison (exact back-end regardless of --fast).
     let exact = BackendSpec::Convolution { step: 0.05 };
     let model = ctx
-        .pipeline
+        .pipeline()
         .failure_model(&CornerSpec::Aggressive, &exact)?;
     let p155 = model
         .p_failure(paper::WMIN_UNCORRELATED_NM)
@@ -90,7 +90,7 @@ pub fn run(ctx: &RunContext) -> Result<()> {
         .p_failure(paper::WMIN_CORRELATED_NM)
         .map_err(analysis)?;
     let curve = ctx
-        .pipeline
+        .pipeline()
         .failure_curve(&CornerSpec::Aggressive, &exact)?;
     let solver = WminSolver::new(curve.as_ref());
     let w_plain = solver

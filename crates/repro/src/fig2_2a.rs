@@ -15,7 +15,7 @@ pub fn run(ctx: &RunContext) -> Result<()> {
         "Transistor width distribution of an OpenRISC-class core (Nangate-45-class)",
     );
 
-    let lib = ctx.pipeline.library(LibrarySpec::Nangate45);
+    let lib = ctx.pipeline().library(LibrarySpec::Nangate45);
     let spec = if ctx.fast {
         DesignSpec::small()
     } else {

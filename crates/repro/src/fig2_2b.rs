@@ -16,14 +16,14 @@ pub fn run(ctx: &RunContext) -> Result<()> {
     );
 
     let stats = ctx
-        .pipeline
+        .pipeline()
         .design_stats(LibrarySpec::Nangate45, ctx.fast)?;
     println!(
         "  width distribution from {} transistors; measured rho = {:.2} FET/um",
         stats.transistors, stats.rho_per_um
     );
 
-    let model = ctx.pipeline.failure_model(
+    let model = ctx.pipeline().failure_model(
         &CornerSpec::Aggressive,
         &BackendSpec::Convolution { step: 0.05 },
     )?;

@@ -50,7 +50,7 @@ pub fn run(ctx: &RunContext) -> Result<()> {
         "AOI222_X1 before/after the aligned-active restriction",
     );
 
-    let lib = ctx.pipeline.library(LibrarySpec::Nangate45);
+    let lib = ctx.pipeline().library(LibrarySpec::Nangate45);
     let cell = lib.require("AOI222_X1").map_err(analysis)?;
     let tech = TechParams::nangate45();
     let aligned = align_cell(cell, &tech, &AlignmentOptions::default()).map_err(analysis)?;

@@ -1,14 +1,12 @@
 //! Fig 3.3 — upsizing penalty vs node, with and without CNT correlation.
 //!
 //! This experiment is now literally a scenario grid: nodes × {no
-//! correlation, growth + aligned-active layout}, evaluated in parallel by
-//! the pipeline's sweep runner on one shared `pF(W)` curve.
+//! correlation, growth + aligned-active layout}, streamed in parallel by
+//! the yield service on one shared `pF(W)` curve.
 
 use crate::common::{analysis, banner, write_csv, Comparison, Result, RunContext};
 use cnfet_core::paper;
-use cnfet_pipeline::{
-    CorrelationSpec, MminSpec, RhoSpec, ScenarioReport, ScenarioSpec, SweepRunner,
-};
+use cnfet_pipeline::{CorrelationSpec, MminSpec, RhoSpec, ScenarioReport, ScenarioSpec};
 use cnfet_plot::Table;
 
 /// The Fig 3.3 scenario grid: every scaling node, with and without the
@@ -40,9 +38,10 @@ pub fn run(ctx: &RunContext) -> Result<()> {
     );
 
     let specs = grid(ctx);
-    let results: Vec<ScenarioReport> = SweepRunner::new(&ctx.pipeline)
-        .run(&specs, ctx.seed_or(20100613))
-        .into_iter()
+    let results: Vec<ScenarioReport> = ctx
+        .service
+        .sweep(specs, ctx.seed_or(20100613))
+        .map(|item| item.report)
         .collect::<cnfet_pipeline::Result<_>>()?;
     // Grid order: (plain, corr) per node.
     let pairs: Vec<(&ScenarioReport, &ScenarioReport)> =

@@ -4,6 +4,7 @@
 //! cnfet-repro <experiment> [--fast] [--out-dir <path>] [--seed <u64>]
 //! cnfet-repro sweep <grid-file> [--fast] [--out-dir <path>] [--seed <u64>] [--workers <n>]
 //!                   [--backend <name-or-json>]
+//! cnfet-repro serve [--workers <n>] [--curve-cache <n>]
 //!
 //! experiments:
 //!   fig2-1    pF vs W for three processing corners (+ W_min anchors)
@@ -17,6 +18,7 @@
 //!   extras    beyond-paper analyses: grid trade-off, pRm requirement
 //!   all       everything above, in paper order
 //!   sweep     evaluate a declarative scenario-grid file in parallel
+//!   serve     JSON-lines yield-service daemon on stdin/stdout
 //!
 //! options:
 //!   --fast            reduced trial counts and design sizes
@@ -25,6 +27,9 @@
 //!   --backend <b>     (sweep) override every scenario's count back-end:
 //!                     convolution | gaussian-sum | monte-carlo, or a JSON
 //!                     object, e.g. '{"monte-carlo": {"rel_ci": 0.05}}'
+//!   --workers <n>     (sweep, serve) worker threads; wall-clock only,
+//!                     never results
+//!   --curve-cache <n> (serve) LRU capacity of the shared pF(W) curve cache
 //! ```
 //!
 //! Every experiment prints an ASCII rendition plus a paper-vs-measured
@@ -41,6 +46,7 @@ mod fig2_2b;
 mod fig3_1;
 mod fig3_2;
 mod fig3_3;
+mod serve;
 mod sweep;
 mod table1;
 mod table2;
@@ -54,7 +60,8 @@ fn usage() {
         "usage: cnfet-repro <fig2-1|fig2-2a|fig2-2b|fig3-1|table1|fig3-2|fig3-3|table2|extras|all> \
          [--fast] [--out-dir <path>] [--seed <u64>]\n       \
          cnfet-repro sweep <grid-file> [--fast] [--out-dir <path>] [--seed <u64>] [--workers <n>] \
-         [--backend <name-or-json>]"
+         [--backend <name-or-json>]\n       \
+         cnfet-repro serve [--workers <n>] [--curve-cache <n>]"
     );
 }
 
@@ -65,6 +72,7 @@ struct Cli {
     seed: Option<u64>,
     workers: Option<usize>,
     backend: Option<String>,
+    curve_cache: Option<usize>,
 }
 
 /// Parse `args` (flags may appear anywhere; `--flag value` and
@@ -77,6 +85,7 @@ fn parse_cli(args: &[String]) -> common::Result<Cli> {
         seed: None,
         workers: None,
         backend: None,
+        curve_cache: None,
     };
     let mut iter = args.iter().peekable();
     while let Some(arg) = iter.next() {
@@ -108,6 +117,14 @@ fn parse_cli(args: &[String]) -> common::Result<Cli> {
                 })?);
             }
             "--backend" => cli.backend = Some(value("--backend")?),
+            "--curve-cache" => {
+                let v = value("--curve-cache")?;
+                cli.curve_cache = Some(v.parse().map_err(|_| {
+                    ReproError::Usage(format!(
+                        "--curve-cache expects a positive integer, got `{v}`"
+                    ))
+                })?);
+            }
             f if f.starts_with("--") => {
                 return Err(ReproError::Usage(format!("unknown flag `{f}`")));
             }
@@ -124,6 +141,26 @@ fn dispatch(cli: &Cli) -> common::Result<()> {
     let mut ctx = RunContext::new(cli.fast).with_seed(cli.seed);
     if let Some(dir) = &cli.out_dir {
         ctx = ctx.with_out_dir(dir.clone());
+    }
+
+    if which == "serve" {
+        if cli.backend.is_some() || cli.fast || cli.seed.is_some() || cli.out_dir.is_some() {
+            return Err(ReproError::Usage(
+                "serve takes only --workers and --curve-cache; seeds and specs \
+                 arrive per request"
+                    .into(),
+            ));
+        }
+        return serve::run(&serve::ServeOptions {
+            workers: cli.workers,
+            curve_cache: cli.curve_cache,
+        });
+    }
+
+    if cli.curve_cache.is_some() {
+        return Err(ReproError::Usage(
+            "--curve-cache only applies to the serve subcommand".into(),
+        ));
     }
 
     if which == "sweep" {

@@ -1,0 +1,89 @@
+//! `serve` — run the yield service as a JSON-lines daemon.
+//!
+//! Reads one [`cnfet_pipeline::YieldRequest`] per stdin line and writes
+//! one or more single-line [`cnfet_pipeline::YieldResponse`]s to stdout
+//! (sweeps stream one `sweep_report` per scenario, in index order, then a
+//! `sweep_done`). stdout carries *only* JSON lines — all diagnostics go
+//! to stderr — so external co-optimizers can pipe the daemon directly.
+//! The process stays up across malformed input (every problem becomes a
+//! structured error response) and exits 0 on EOF.
+//!
+//! ```text
+//! printf '%s\n' \
+//!   '{"schema":1,"id":"cap","body":"describe"}' \
+//!   '{"schema":1,"id":"w45","body":{"evaluate":{"spec":{"fast_design":true}}}}' \
+//!   | repro serve
+//! ```
+//!
+//! Responses are deterministic: repeated identical requests — within one
+//! session (warm caches) or across sessions — serialize byte-identically,
+//! and `--workers` only changes wall-clock time, never bytes.
+
+use crate::common::{ReproError, Result};
+use cnfet_pipeline::{ServiceConfig, YieldService};
+use std::io::{BufRead, Write};
+
+/// Configuration of one daemon session, parsed from the CLI.
+pub struct ServeOptions {
+    /// Sweep worker-thread override (`--workers`).
+    pub workers: Option<usize>,
+    /// Curve-cache capacity override (`--curve-cache`).
+    pub curve_cache: Option<usize>,
+}
+
+/// Run the daemon loop over stdin/stdout until EOF.
+pub fn run(options: &ServeOptions) -> Result<()> {
+    let mut config = ServiceConfig::default();
+    if let Some(workers) = options.workers {
+        if workers == 0 {
+            return Err(ReproError::Usage("--workers must be >= 1".into()));
+        }
+        config.sweep_workers = workers;
+    }
+    if let Some(capacity) = options.curve_cache {
+        if capacity == 0 {
+            return Err(ReproError::Usage("--curve-cache must be >= 1".into()));
+        }
+        config.cache.curve_capacity = capacity;
+    }
+    let service = YieldService::with_config(config);
+    eprintln!(
+        "repro serve: yield service up (schema 1, {} sweep workers, {} curve slots); \
+         one JSON request per line, ctrl-d to exit",
+        config.sweep_workers, config.cache.curve_capacity
+    );
+
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let mut served = 0u64;
+    for line in stdin.lock().lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut io_error: Option<std::io::Error> = None;
+        // Write + flush each response as it is produced, so sweep results
+        // stream to the client while later scenarios still compute.
+        service.handle_line(&line, &mut |response| {
+            if io_error.is_some() {
+                return;
+            }
+            let emit = writeln!(out, "{}", response.to_json().to_string_compact())
+                .and_then(|()| out.flush());
+            if let Err(e) = emit {
+                io_error = Some(e);
+            }
+        });
+        if let Some(e) = io_error {
+            // A broken pipe means the client hung up: a clean shutdown.
+            if e.kind() == std::io::ErrorKind::BrokenPipe {
+                return Ok(());
+            }
+            return Err(e.into());
+        }
+        served += 1;
+    }
+    eprintln!("repro serve: eof after {served} requests, shutting down");
+    Ok(())
+}

@@ -1,8 +1,9 @@
-//! `sweep <grid-file>` — evaluate a declarative scenario grid in parallel
-//! and emit structured artifacts.
+//! `sweep <grid-file>` — evaluate a declarative scenario grid through the
+//! yield service, streaming results as they land, and emit structured
+//! artifacts.
 
 use crate::common::{banner, write_csv, ReproError, Result, RunContext};
-use cnfet_pipeline::{report, Json, ScenarioGrid, SweepRunner};
+use cnfet_pipeline::{report, Json, ScenarioBuilder, ScenarioGrid, ScenarioReport};
 use cnfet_plot::Table;
 
 /// Parse a `--backend` override: a bare back-end name or a JSON object
@@ -16,7 +17,7 @@ fn backend_override(raw: &str) -> Result<Json> {
     }
 }
 
-/// Run a scenario-grid file through the pipeline.
+/// Run a scenario-grid file through the service.
 pub fn run(
     ctx: &RunContext,
     grid_file: &str,
@@ -27,20 +28,18 @@ pub fn run(
 
     let src = std::fs::read_to_string(grid_file)?;
     let grid = ScenarioGrid::parse(&src)?;
-    let mut runner = SweepRunner::new(&ctx.pipeline);
-    if let Some(workers) = workers {
-        runner = runner.with_workers(workers);
-    }
+    let workers = workers.unwrap_or(ctx.service.config().sweep_workers);
     println!(
         "  {} scenarios across {} workers (base seed {})",
         grid.scenarios.len(),
-        runner.workers(),
+        workers,
         ctx.seed_or(20100613),
     );
 
     // The run is still fully declarative: --fast only tightens the design
     // size and --backend only swaps the count back-end, unless the grid
-    // file pinned them itself.
+    // file pinned them itself. Both go through the one shared
+    // builder/validation path.
     let mut specs = grid.scenarios;
     if ctx.fast {
         for spec in &mut specs {
@@ -49,13 +48,13 @@ pub fn run(
     }
     if let Some(raw) = backend {
         let json = backend_override(raw)?;
-        for spec in &mut specs {
-            spec.apply("backend", &json)?;
-            spec.validate()?;
+        for spec in specs.iter_mut() {
+            *spec = ScenarioBuilder::from_spec(spec.clone())
+                .set_json("backend", &json)?
+                .build()?;
         }
         println!("  backend override: {}", specs[0].backend.name());
     }
-    let results = runner.run(&specs, ctx.seed_or(20100613));
 
     let mut table = Table::new(
         "sweep results",
@@ -72,10 +71,15 @@ pub fn run(
             "mc_ci",
         ],
     );
-    let mut reports = Vec::new();
+    let mut reports: Vec<ScenarioReport> = Vec::new();
     let mut failures: Vec<(String, cnfet_pipeline::PipelineError)> = Vec::new();
-    for (spec, result) in specs.iter().zip(results) {
-        match result {
+    // Stream: reports arrive in index order while later scenarios are
+    // still being evaluated by the service's worker pool.
+    let handle = ctx
+        .service
+        .sweep_with_workers(specs.clone(), ctx.seed_or(20100613), workers);
+    for item in handle {
+        match item.report {
             Ok(r) => {
                 let (mc_trials, mc_ci) = match &r.mc {
                     Some(mc) => (
@@ -100,7 +104,7 @@ pub fn run(
                     .map_err(crate::common::analysis)?;
                 reports.push(r);
             }
-            Err(e) => failures.push((spec.name.clone(), e)),
+            Err(e) => failures.push((specs[item.index].name.clone(), e)),
         }
     }
     println!("{}", table.to_markdown());

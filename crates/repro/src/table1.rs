@@ -13,7 +13,9 @@ pub fn run(ctx: &RunContext) -> Result<()> {
     );
 
     let trials = if ctx.fast { 400 } else { 4000 };
-    let anchor = ctx.pipeline.table1_anchor(trials, ctx.seed_or(20100613))?;
+    let anchor = ctx
+        .pipeline()
+        .table1_anchor(trials, ctx.seed_or(20100613))?;
     println!(
         "  evaluation width: {:.1} nm (so that aligned p_RF = pF = {:.1e})",
         anchor.w_eval,

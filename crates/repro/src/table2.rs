@@ -9,7 +9,7 @@
 use crate::common::{analysis, banner, write_csv, Comparison, Result, RunContext};
 use cnfet_core::paper;
 use cnfet_layout::GridPolicy;
-use cnfet_pipeline::{CorrelationSpec, LibrarySpec, ScenarioReport, ScenarioSpec, SweepRunner};
+use cnfet_pipeline::{CorrelationSpec, LibrarySpec, ScenarioReport, ScenarioSpec};
 use cnfet_plot::Table;
 
 struct Column {
@@ -60,26 +60,27 @@ pub fn run(ctx: &RunContext) -> Result<()> {
             ctx.fast,
         ),
     ];
-    let reports: Vec<ScenarioReport> = SweepRunner::new(&ctx.pipeline)
-        .run(&specs, ctx.seed_or(20100613))
-        .into_iter()
+    let reports: Vec<ScenarioReport> = ctx
+        .service
+        .sweep(specs.to_vec(), ctx.seed_or(20100613))
+        .map(|item| item.report)
         .collect::<cnfet_pipeline::Result<_>>()?;
 
     let a65_single = ctx
-        .pipeline
+        .pipeline()
         .aligned_library(LibrarySpec::Commercial65, GridPolicy::Single)?;
     let a65_dual = ctx
-        .pipeline
+        .pipeline()
         .aligned_library(LibrarySpec::Commercial65, GridPolicy::Dual)?;
     let a45_single = ctx
-        .pipeline
+        .pipeline()
         .aligned_library(LibrarySpec::Nangate45, GridPolicy::Single)?;
 
     let stats65 = ctx
-        .pipeline
+        .pipeline()
         .design_stats(LibrarySpec::Commercial65, ctx.fast)?;
     let stats45 = ctx
-        .pipeline
+        .pipeline()
         .design_stats(LibrarySpec::Nangate45, ctx.fast)?;
     println!(
         "  measured rho: 45 nm design {:.2} FET/um (paper 1.8), 65 nm design {:.2} FET/um",

@@ -1,0 +1,149 @@
+//! End-to-end tests of the `repro serve` JSON-lines daemon: a full
+//! evaluate + sweep + describe session, byte-level determinism across
+//! repeats and worker counts, and structured error behavior.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+/// Run `repro serve` with `args`, feed it `input`, return its stdout.
+fn serve_session(args: &[&str], input: &str) -> String {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .arg("serve")
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn repro serve");
+    child
+        .stdin
+        .take()
+        .expect("stdin piped")
+        .write_all(input.as_bytes())
+        .expect("write requests");
+    let out = child.wait_with_output().expect("daemon runs to EOF");
+    assert!(
+        out.status.success(),
+        "serve failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf-8 output")
+}
+
+fn session_script() -> String {
+    [
+        r#"{"schema":1,"id":"r1","body":{"evaluate":{"spec":{"fast_design":true,"backend":"gaussian-sum","rho":"paper"},"seed":7}}}"#,
+        r#"{"schema":1,"id":"r2","body":{"sweep":{"grid":{"defaults":{"backend":"gaussian-sum","rho":"paper","fast_design":true},"axes":{"correlation":["none","growth","growth+aligned-layout"]}},"seed":9}}}"#,
+        r#"{"schema":1,"id":"r3","body":"describe"}"#,
+        "",
+    ]
+    .join("\n")
+}
+
+/// The id of one response line (cheap field grab, no full JSON parse).
+fn response_id(line: &str) -> &str {
+    let start = line.find(r#""id":""#).expect("id field") + 6;
+    &line[start..start + line[start..].find('"').expect("closing quote")]
+}
+
+#[test]
+fn serve_answers_a_full_session_in_order_with_no_errors() {
+    let stdout = serve_session(&[], &session_script());
+    let lines: Vec<&str> = stdout.lines().collect();
+    // r1 → 1 report; r2 → 3 sweep_reports + sweep_done; r3 → describe.
+    assert_eq!(lines.len(), 6, "stdout:\n{stdout}");
+    let ids: Vec<&str> = lines.iter().map(|l| response_id(l)).collect();
+    assert_eq!(ids, ["r1", "r2", "r2", "r2", "r2", "r3"]);
+    assert!(
+        !stdout.contains(r#""error""#),
+        "session must be error-free:\n{stdout}"
+    );
+    // Every line is a one-line JSON object of schema 1.
+    for line in &lines {
+        assert!(line.starts_with(r#"{"schema":1,"#), "line: {line}");
+    }
+    // The sweep streams in index order and terminates.
+    assert!(lines[1].contains(r#""index":0"#));
+    assert!(lines[2].contains(r#""index":1"#));
+    assert!(lines[3].contains(r#""index":2"#));
+    assert!(lines[4].contains(r#""sweep_done":{"total":3,"failed":0}"#));
+    // Correlation shrinks W_min — the paper's claim, read off the wire.
+    let w_min = |line: &str| -> f64 {
+        let start = line.find(r#""w_min_nm":"#).expect("w_min field") + 11;
+        line[start..]
+            .split(',')
+            .next()
+            .unwrap()
+            .parse()
+            .expect("numeric w_min")
+    };
+    assert!(w_min(lines[3]) < w_min(lines[1]) - 30.0);
+}
+
+#[test]
+fn serve_is_byte_deterministic_across_repeats_sessions_and_workers() {
+    // Identical requests repeated within one session: the second answer
+    // (warm caches) must be byte-identical to the first.
+    let twice = format!("{}{}", session_script(), session_script());
+    let stdout = serve_session(&["--workers", "1"], &twice);
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 12);
+    assert_eq!(
+        lines[..6].join("\n"),
+        lines[6..].join("\n"),
+        "warm-cache responses must repeat byte-identically"
+    );
+    // A fresh session with 8 workers: same bytes again.
+    let eight = serve_session(&["--workers", "8"], &session_script());
+    assert_eq!(
+        lines[..6].join("\n"),
+        eight.trim_end(),
+        "worker count must never change a byte"
+    );
+}
+
+#[test]
+fn serve_survives_garbage_and_answers_structured_errors() {
+    let script = [
+        "not json at all",
+        r#"{"schema":1,"id":"bad-spec","body":{"evaluate":{"spec":{"yield_target":2.0}}}}"#,
+        r#"{"schema":1,"id":"typo","body":{"evaluate":{"spec":{"yeild_target":0.9}}}}"#,
+        r#"{"schema":2,"id":"future","body":"describe"}"#,
+        r#"{"schema":1,"id":"still-up","body":"describe"}"#,
+        "",
+    ]
+    .join("\n");
+    let stdout = serve_session(&[], &script);
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 5, "stdout:\n{stdout}");
+    assert!(lines[0].contains(r#""code":"bad_request""#));
+    assert!(lines[1].contains(r#""code":"bad_spec""#));
+    assert!(lines[1].contains(r#""field":"yield_target""#));
+    assert!(lines[2].contains(r#""code":"unknown_key""#));
+    assert!(
+        lines[2].contains(r#""suggestion":"yield_target""#),
+        "typo must come back with the nearest key: {}",
+        lines[2]
+    );
+    assert!(lines[3].contains(r#""code":"unsupported_schema""#));
+    assert!(lines[3].contains(r#""requested":2"#));
+    // The daemon is still alive and serving after four failures.
+    assert!(lines[4].contains(r#""describe""#));
+    assert_eq!(response_id(lines[4]), "still-up");
+}
+
+#[test]
+fn serve_rejects_flags_that_belong_to_experiments() {
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["serve", "--seed", "3"])
+        .output()
+        .expect("spawn repro");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("serve takes only"), "stderr: {stderr}");
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["fig2-1", "--curve-cache", "4"])
+        .output()
+        .expect("spawn repro");
+    assert!(!out.status.success());
+}

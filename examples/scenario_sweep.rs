@@ -1,14 +1,15 @@
-//! Scenario sweep: the pipeline as a library, end to end.
+//! Scenario sweep: the yield service as a library, end to end.
 //!
 //! Builds a processing/circuit co-optimization grid *declaratively* — the
-//! way `cnfet-repro sweep <file>` consumes grid files — and fans it across
-//! worker threads on one shared set of memoized `pF(W)` curves. The grid
-//! crosses two processing corners with the three growth/layout correlation
-//! scenarios at two nodes: 12 scenarios, 4 distinct curves, one pipeline.
+//! way `cnfet-repro sweep <file>` consumes grid files — and streams it
+//! through a [`cnfet::pipeline::YieldService`]: bounded shared caches,
+//! deterministic index-order delivery, live progress. The grid crosses
+//! two processing corners with the three growth/layout correlation
+//! scenarios at two nodes: 12 scenarios, 4 distinct curves, one service.
 //!
 //! Run with `cargo run --release --example scenario_sweep`.
 
-use cnfet::pipeline::{Pipeline, ScenarioGrid, SweepRunner};
+use cnfet::pipeline::{ScenarioGrid, YieldService};
 use cnfet::plot::Table;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -31,11 +32,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     println!("expanded {} scenarios", grid.scenarios.len());
 
-    let pipeline = Pipeline::new();
-    let reports = SweepRunner::new(&pipeline)
-        .run(&grid.scenarios, 20100613)
-        .into_iter()
-        .collect::<cnfet::pipeline::Result<Vec<_>>>()?;
+    // Stream the sweep: reports arrive in index order while later
+    // scenarios are still evaluating on the shared bounded caches.
+    let service = YieldService::new();
+    let mut handle = service.sweep(grid.scenarios, 20100613);
+    let mut reports = Vec::new();
+    while let Some(item) = handle.next() {
+        let progress = handle.progress();
+        reports.push(item.report?);
+        println!(
+            "  [{}/{}] {}",
+            progress.delivered,
+            progress.total,
+            reports.last().expect("just pushed").name
+        );
+    }
+    let stats = service.pipeline().cache_stats();
+    println!(
+        "cache residency: {}/{} curves ({} exact knots), {} designs",
+        stats.curves, stats.curve_capacity, stats.curve_knots, stats.designs
+    );
 
     let mut table = Table::new(
         "process/circuit co-optimization grid",

@@ -36,7 +36,7 @@
 //! | [`netlist`] (`cnfet-netlist`) | OpenRISC-class design generator + mapping |
 //! | [`sim`] (`cnfet-sim`) | conditional Monte Carlo + exact run-DP |
 //! | [`core`] (`cnfet-core`) | the paper's yield models and optimizer |
-//! | [`pipeline`] (`cnfet-pipeline`) | declarative scenario specs, curve caches, parallel sweeps |
+//! | [`pipeline`] (`cnfet-pipeline`) | scenario specs, bounded curve caches, the v1 `YieldService` + envelopes |
 //! | [`plot`] (`cnfet-plot`) | ASCII figures and markdown/CSV tables |
 //!
 //! ## Quickstart
@@ -58,6 +58,32 @@
 //! let row = RowModel::from_design(200.0, 1.8)?;
 //! let relaxed = solver.solve_relaxed(0.90, 0.33 * 1e8, row.relaxation())?;
 //! assert!(relaxed.w_min < plain.w_min - 30.0);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! ## Service API
+//!
+//! Production callers use [`pipeline::YieldService`] — one shared set of
+//! bounded LRU caches behind versioned request/response envelopes, with
+//! streaming sweeps (`repro serve` exposes the same surface as a
+//! JSON-lines daemon):
+//!
+//! ```
+//! use cnfet::pipeline::{ResponseBody, ScenarioBuilder, YieldRequest, YieldService};
+//!
+//! # fn main() -> cnfet::pipeline::Result<()> {
+//! let spec = ScenarioBuilder::new("w45")
+//!     .fast_design(true)
+//!     .rho(cnfet::pipeline::RhoSpec::Paper)
+//!     .backend(cnfet::pipeline::BackendSpec::GaussianSum)
+//!     .build()?;
+//! let service = YieldService::new();
+//! let responses = service.handle(&YieldRequest::evaluate("req-1", spec, 7));
+//! let ResponseBody::Report(report) = &responses[0].body else {
+//!     panic!("evaluate answers with a report");
+//! };
+//! assert!(report.w_min_nm > 100.0);
 //! # Ok(())
 //! # }
 //! ```
@@ -90,6 +116,7 @@ mod tests {
         let _ = crate::sim::rundp::row_failure_probability(1, &[(0, 0)], 0.5);
         let _ = crate::core::paper::M_TRANSISTORS;
         let _ = crate::pipeline::ScenarioSpec::baseline("t");
+        let _ = crate::pipeline::YieldService::new().describe();
         let _ = crate::plot::Table::new("t", &["a"]);
         assert!(!crate::VERSION.is_empty());
     }
