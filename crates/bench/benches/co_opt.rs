@@ -1,0 +1,66 @@
+//! Bench CO_OPT — the process–design co-optimization engine.
+//!
+//! The co-optimizer is the workload the bounded shared caches were built
+//! to feed: every candidate batch re-asks `pF(W)` questions on the same
+//! handful of `(corner, backend)` curves. These benches pin the search
+//! cost in the perf trajectory:
+//!
+//! * `grid_16_warm` — the 16-candidate correlation-vs-width grid scan on
+//!   a warm service (the `repro coopt` example, steady state);
+//! * `grid_16_cold_service` — the same study paying first-touch curve and
+//!   design-stat builds, bounding the cache win;
+//! * `descent_vs_grid_evals` — coordinate descent on the same space,
+//!   measuring the evaluation savings the strategy buys.
+
+use cnfet_opt::run_co_opt;
+use cnfet_pipeline::{CoOptSpec, YieldService};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn study(searcher: &str) -> CoOptSpec {
+    CoOptSpec::parse(&format!(
+        r#"{{
+            "name": "bench",
+            "base": {{
+                "backend": "gaussian-sum",
+                "rho": "paper",
+                "fast_design": true,
+                "correlation": "growth+aligned-layout"
+            }},
+            "search": {{
+                "l_cnt_um": {{ "min": 50, "max": 400, "steps": 8 }},
+                "grid": ["dual", "single"]
+            }},
+            "searcher": {searcher}
+        }}"#
+    ))
+    .expect("valid bench spec")
+}
+
+fn bench_grid_scan(c: &mut Criterion) {
+    let spec = study(r#""grid""#);
+    let service = YieldService::new();
+    run_co_opt(&service, &spec, 1, 4).expect("warms the caches");
+    c.bench_function("co_opt/grid_16_warm", |b| {
+        b.iter(|| run_co_opt(&service, black_box(&spec), 1, 4).expect("searchable"))
+    });
+    c.bench_function("co_opt/grid_16_cold_service", |b| {
+        b.iter(|| run_co_opt(&YieldService::new(), black_box(&spec), 1, 4).expect("searchable"))
+    });
+}
+
+fn bench_descent(c: &mut Criterion) {
+    let spec = study(r#"{ "kind": "coordinate-descent", "restarts": 2, "max_sweeps": 4 }"#);
+    let service = YieldService::new();
+    let report = run_co_opt(&service, &spec, 1, 4).expect("warms the caches");
+    assert!(
+        report.evaluations <= report.candidates,
+        "descent must not exceed the grid"
+    );
+    c.bench_function("co_opt/descent_vs_grid_evals", |b| {
+        b.iter(|| run_co_opt(&service, black_box(&spec), 1, 4).expect("searchable"))
+    });
+}
+
+criterion_group!(benches, bench_grid_scan, bench_descent);
+criterion_main!(benches);

@@ -17,6 +17,7 @@
 //! | Fig 2.2b | [`penalty`], [`scaling`] | gate-capacitance upsizing penalty vs node |
 //! | Eq. (3.1)/(3.2), Table 1 | [`rowmodel`] | row-correlation model: uncorrelated / directional non-aligned / aligned-active |
 //! | Sec 3.2/3.3 | [`optimizer`] | end-to-end processing/design co-optimization |
+//! | Sec 3.2 (search) | [`objective`] | scalarized cost functional for the `cnfet-opt` search engine |
 //! | \[Zhang 09b\] hook | [`noise`] | surviving-m-CNT statistics and the pRm requirement |
 //! | (calibration) | [`calibration`] | pins the σ_S/S free parameter to the paper's own anchors |
 //! | (constants) | [`paper`] | every number the paper reports, for comparison tables |
@@ -38,12 +39,15 @@
 //! # }
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod calibration;
 pub mod chipyield;
 pub mod corner;
 pub mod curve;
 pub mod failure;
 pub mod noise;
+pub mod objective;
 pub mod optimizer;
 pub mod paper;
 pub mod penalty;
@@ -139,6 +143,7 @@ pub type Result<T> = std::result::Result<T, CoreError>;
 pub use corner::ProcessCorner;
 pub use curve::{FailureCurve, PFailure};
 pub use failure::FailureModel;
+pub use objective::{CandidateMetrics, CostWeights};
 pub use optimizer::{OptimizationReport, YieldOptimizer};
 pub use rowmodel::RowModel;
 pub use stochastic::{McFailure, McPoint};

@@ -1,0 +1,211 @@
+//! Objective hooks for process–design co-optimization.
+//!
+//! The co-optimization engine (the `cnfet-opt` crate) searches a joint
+//! processing/circuit space — correlation length, processing corner,
+//! technology node, grid policy — and needs one scalar to rank candidate
+//! scenarios that all *meet* the yield target. This module supplies that
+//! scalar: a weighted cost functional over the quantities the paper trades
+//! against each other (Sec 3.2's heuristic, made explicit):
+//!
+//! * the upsizing threshold `W_min` itself (smaller is better — narrow
+//!   devices are the whole point of scaling),
+//! * the gate-capacitance **upsizing penalty** (the area/power cost of
+//!   widening everything below `W_min`, Figs 2.2b / 3.3),
+//! * the **failure-budget margin** `p_req / pF(W_min)` (how much slack the
+//!   solved width leaves against the device-level requirement).
+//!
+//! The yield target is a *constraint*, not a term: every candidate is
+//! solved at the target, so the functional only ranks feasible points.
+//! Weights are plain data and serialize through the pipeline's JSON layer,
+//! so a co-optimization spec file fully determines the ranking.
+
+use crate::{CoreError, Result};
+
+/// The measured quantities of one feasible candidate scenario that the
+/// cost functional consumes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CandidateMetrics {
+    /// The solved upsizing threshold (nm).
+    pub w_min_nm: f64,
+    /// The gate-capacitance upsizing penalty at that threshold.
+    pub upsizing_penalty: f64,
+    /// The device-level requirement the solve imposed.
+    pub p_req: f64,
+    /// The achieved `pF(W_min)` (≤ `p_req` for a converged solve).
+    pub p_at_w_min: f64,
+}
+
+/// Weights of the scalarized co-optimization objective.
+///
+/// The cost of a feasible candidate is
+///
+/// ```text
+/// cost = w_min_weight · (W_min / w_ref_nm)
+///      + area_weight  · upsizing_penalty
+///      − margin_weight · log10(p_req / pF(W_min))
+/// ```
+///
+/// All terms are dimensionless. `w_ref_nm` normalizes `W_min` so the
+/// default weights are comparable across nodes (the paper's 155 nm
+/// uncorrelated threshold is the natural reference). A positive
+/// `margin_weight` *rewards* failure-budget headroom (the margin term
+/// enters negatively), which prefers candidates whose solve landed
+/// comfortably below the requirement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostWeights {
+    /// Weight of the normalized `W_min` term.
+    pub w_min_weight: f64,
+    /// Weight of the upsizing-penalty term.
+    pub area_weight: f64,
+    /// Weight of the failure-budget-margin reward term.
+    pub margin_weight: f64,
+    /// Reference width (nm) normalizing the `W_min` term.
+    pub w_ref_nm: f64,
+}
+
+impl Default for CostWeights {
+    /// Equal weight on normalized `W_min` and the upsizing penalty, no
+    /// margin reward, referenced to the paper's 155 nm threshold.
+    fn default() -> Self {
+        Self {
+            w_min_weight: 1.0,
+            area_weight: 1.0,
+            margin_weight: 0.0,
+            w_ref_nm: crate::paper::WMIN_UNCORRELATED_NM,
+        }
+    }
+}
+
+impl CostWeights {
+    /// Check the weights are usable: every field finite, weights
+    /// non-negative, at least one weight positive, reference positive.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidParameter`] naming the offending field.
+    pub fn validate(&self) -> Result<()> {
+        for (name, v) in [
+            ("w_min_weight", self.w_min_weight),
+            ("area_weight", self.area_weight),
+            ("margin_weight", self.margin_weight),
+        ] {
+            if !(v.is_finite() && v >= 0.0) {
+                return Err(CoreError::InvalidParameter {
+                    name,
+                    value: v,
+                    constraint: "must be finite and >= 0",
+                });
+            }
+        }
+        if !(self.w_ref_nm.is_finite() && self.w_ref_nm > 0.0) {
+            return Err(CoreError::InvalidParameter {
+                name: "w_ref_nm",
+                value: self.w_ref_nm,
+                constraint: "must be finite and > 0",
+            });
+        }
+        if self.w_min_weight == 0.0 && self.area_weight == 0.0 && self.margin_weight == 0.0 {
+            return Err(CoreError::InvalidParameter {
+                name: "weights",
+                value: 0.0,
+                constraint: "at least one weight must be > 0",
+            });
+        }
+        Ok(())
+    }
+
+    /// Evaluate the cost functional on one candidate's metrics.
+    ///
+    /// The margin term is clamped to a non-negative margin (a solve that
+    /// landed exactly on the requirement scores zero headroom; it never
+    /// scores negative headroom, since the solver guarantees
+    /// `pF(W_min) ≤ p_req` up to bisection tolerance).
+    pub fn cost(&self, m: &CandidateMetrics) -> f64 {
+        let margin = if m.p_at_w_min > 0.0 && m.p_req > 0.0 {
+            (m.p_req / m.p_at_w_min).max(1.0).log10()
+        } else {
+            0.0
+        };
+        self.w_min_weight * (m.w_min_nm / self.w_ref_nm) + self.area_weight * m.upsizing_penalty
+            - self.margin_weight * margin
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics(w_min_nm: f64, penalty: f64) -> CandidateMetrics {
+        CandidateMetrics {
+            w_min_nm,
+            upsizing_penalty: penalty,
+            p_req: 1e-6,
+            p_at_w_min: 1e-7,
+        }
+    }
+
+    #[test]
+    fn default_weights_are_valid_and_rank_smaller_wmin_lower() {
+        let w = CostWeights::default();
+        w.validate().unwrap();
+        let narrow = w.cost(&metrics(103.0, 0.01));
+        let wide = w.cost(&metrics(155.0, 0.11));
+        assert!(narrow < wide, "narrow {narrow} vs wide {wide}");
+    }
+
+    #[test]
+    fn margin_rewards_headroom() {
+        let w = CostWeights {
+            margin_weight: 1.0,
+            ..CostWeights::default()
+        };
+        let tight = CandidateMetrics {
+            p_at_w_min: 9e-7,
+            ..metrics(120.0, 0.05)
+        };
+        let roomy = CandidateMetrics {
+            p_at_w_min: 1e-9,
+            ..metrics(120.0, 0.05)
+        };
+        assert!(w.cost(&roomy) < w.cost(&tight));
+        // An (out-of-contract) negative margin is clamped, not rewarded.
+        let over = CandidateMetrics {
+            p_at_w_min: 1e-5,
+            ..metrics(120.0, 0.05)
+        };
+        assert_eq!(
+            w.cost(&over),
+            w.cost(&CandidateMetrics {
+                p_at_w_min: 1e-6,
+                ..metrics(120.0, 0.05)
+            })
+        );
+    }
+
+    #[test]
+    fn validation_rejects_bad_weights() {
+        let base = CostWeights::default();
+        for bad in [
+            CostWeights {
+                w_min_weight: -1.0,
+                ..base
+            },
+            CostWeights {
+                area_weight: f64::NAN,
+                ..base
+            },
+            CostWeights {
+                w_ref_nm: 0.0,
+                ..base
+            },
+            CostWeights {
+                w_min_weight: 0.0,
+                area_weight: 0.0,
+                margin_weight: 0.0,
+                ..base
+            },
+        ] {
+            assert!(bad.validate().is_err(), "{bad:?} must be rejected");
+        }
+    }
+}

@@ -9,7 +9,8 @@
 //! than `rel_ci`, then memoizes the resulting [`McPoint`]. Queries are
 //! seeded per width (`split_seed(seed, w.to_bits())`), so the evaluator is
 //! a pure function of `(model, precision, seed)` — independent of query
-//! order, thread interleaving, and worker count — and [`FailureCurve`],
+//! order, thread interleaving, and worker count — and
+//! [`FailureCurve`](crate::curve::FailureCurve),
 //! the `W_min` bisection, and the penalty tables can treat it exactly like
 //! an analytic back-end.
 

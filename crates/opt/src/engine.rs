@@ -1,0 +1,224 @@
+//! Candidate evaluation, memoization, and report assembly.
+//!
+//! A [`SearchContext`] is the substrate every [`crate::Searcher`] runs on:
+//! it turns choice vectors into candidate scenarios (via
+//! [`CoOptSpec::scenario`]), fans un-memoized candidates through the
+//! shared-cache [`YieldService`] as one index-ordered streaming sweep per
+//! batch, scores each result with the spec's cost functional, and records
+//! everything it ever evaluated. Batch seeds derive from the run seed by
+//! batch counter, and the search logic itself is sequential — so the
+//! evaluated set, every score, and the final [`CoOptReport`] are a pure
+//! function of `(spec, seed)`, independent of worker count.
+
+use cnfet_core::objective::CandidateMetrics;
+use cnfet_pipeline::{
+    CoOptReport, CoOptSpec, ParetoFront, ParetoPoint, Result, ScenarioReport, YieldService,
+};
+use cnfet_sim::engine::split_seed;
+use std::collections::BTreeMap;
+
+/// One evaluated point of the search space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Candidate {
+    /// The axis choice indices that name the point.
+    pub choice: Vec<usize>,
+    /// The full scenario evaluation.
+    pub report: ScenarioReport,
+    /// Normalized process-demand index in `[0, 1]`.
+    pub demand: f64,
+    /// The scalarized circuit cost under the spec's weights.
+    pub cost: f64,
+}
+
+impl Candidate {
+    /// The candidate as a Pareto-artifact point.
+    pub fn to_point(&self) -> ParetoPoint {
+        ParetoPoint {
+            scenario: self.report.name.clone(),
+            choice: self.choice.iter().map(|&i| i as u64).collect(),
+            demand: self.demand,
+            cost: self.cost,
+            w_min_nm: self.report.w_min_nm,
+            upsizing_penalty: self.report.upsizing_penalty,
+            p_req: self.report.p_req,
+            p_at_w_min: self.report.p_at_w_min,
+            relaxation: self.report.relaxation,
+        }
+    }
+}
+
+/// The evaluation substrate a [`crate::Searcher`] drives (see the module
+/// docs for the determinism contract).
+pub struct SearchContext<'a> {
+    spec: &'a CoOptSpec,
+    service: &'a YieldService,
+    seed: u64,
+    workers: usize,
+    batches: u64,
+    memo: BTreeMap<Vec<usize>, Candidate>,
+}
+
+impl<'a> SearchContext<'a> {
+    /// A fresh context over a (possibly warm) service.
+    pub fn new(spec: &'a CoOptSpec, service: &'a YieldService, seed: u64, workers: usize) -> Self {
+        Self {
+            spec,
+            service,
+            seed,
+            workers: workers.max(1),
+            batches: 0,
+            memo: BTreeMap::new(),
+        }
+    }
+
+    /// The problem being searched.
+    pub fn spec(&self) -> &CoOptSpec {
+        self.spec
+    }
+
+    /// The run's base seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Distinct candidates evaluated so far.
+    pub fn evaluations(&self) -> usize {
+        self.memo.len()
+    }
+
+    /// Evaluate a batch of choice vectors, memoized: already-seen
+    /// candidates are answered from the record, the rest fan through the
+    /// service as one streaming sweep. Results come back in request
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates candidate-construction and evaluation errors (a failing
+    /// candidate aborts the run — the spec was validated up front, so a
+    /// failure here is a solver/model error worth surfacing, not noise).
+    pub fn evaluate(&mut self, choices: &[Vec<usize>]) -> Result<Vec<Candidate>> {
+        let mut fresh: Vec<Vec<usize>> = Vec::new();
+        let mut queued: std::collections::BTreeSet<&Vec<usize>> = std::collections::BTreeSet::new();
+        for choice in choices {
+            if !self.memo.contains_key(choice) && queued.insert(choice) {
+                fresh.push(choice.clone());
+            }
+        }
+        if !fresh.is_empty() {
+            let specs = fresh
+                .iter()
+                .map(|choice| self.spec.scenario(choice))
+                .collect::<Result<Vec<_>>>()?;
+            let batch_seed = split_seed(self.seed, self.batches);
+            self.batches += 1;
+            let handle = self
+                .service
+                .sweep_with_workers(specs, batch_seed, self.workers);
+            let mut reports = Vec::with_capacity(fresh.len());
+            for item in handle {
+                reports.push(item.report?);
+            }
+            for (choice, report) in fresh.into_iter().zip(reports) {
+                let demand = self.spec.demand(&choice)?;
+                let cost = self.spec.objective.cost(&CandidateMetrics {
+                    w_min_nm: report.w_min_nm,
+                    upsizing_penalty: report.upsizing_penalty,
+                    p_req: report.p_req,
+                    p_at_w_min: report.p_at_w_min,
+                });
+                self.memo.insert(
+                    choice.clone(),
+                    Candidate {
+                        choice,
+                        report,
+                        demand,
+                        cost,
+                    },
+                );
+            }
+        }
+        Ok(choices
+            .iter()
+            .map(|choice| self.memo[choice].clone())
+            .collect())
+    }
+
+    /// Assemble the run artifact from everything evaluated so far. The
+    /// best candidate is the minimum-cost one, ties broken by canonical
+    /// (lexicographic) choice order; the front prunes dominated points
+    /// over `(demand, cost)`.
+    ///
+    /// # Errors
+    ///
+    /// [`cnfet_pipeline::PipelineError::InvalidSpec`] when nothing was
+    /// evaluated (a searcher contract violation).
+    pub fn into_report(self, searcher: &'static str) -> Result<CoOptReport> {
+        let mut best: Option<&Candidate> = None;
+        for candidate in self.memo.values() {
+            // Strict `<` keeps the earlier (lexicographically smaller
+            // choice) candidate on ties — BTreeMap iterates in choice
+            // order.
+            if best.is_none_or(|b| candidate.cost < b.cost) {
+                best = Some(candidate);
+            }
+        }
+        let best = best
+            .ok_or_else(|| cnfet_pipeline::PipelineError::InvalidSpec {
+                field: "search",
+                msg: "the searcher evaluated no candidates".into(),
+            })?
+            .to_point();
+        let front = ParetoFront::from_points(self.memo.values().map(Candidate::to_point).collect());
+        Ok(CoOptReport {
+            name: self.spec.name.clone(),
+            searcher: searcher.to_string(),
+            seed: self.seed,
+            candidates: self.spec.candidate_count(),
+            evaluations: self.memo.len() as u64,
+            best,
+            front,
+        })
+    }
+}
+
+/// Run a co-optimization study with the strategy its spec selects.
+///
+/// `workers` bounds the evaluation parallelism of each candidate batch;
+/// it never changes a byte of the report.
+///
+/// # Errors
+///
+/// Propagates spec validation and candidate evaluation errors.
+pub fn run_co_opt(
+    service: &YieldService,
+    spec: &CoOptSpec,
+    seed: u64,
+    workers: usize,
+) -> Result<CoOptReport> {
+    run_with_searcher(
+        service,
+        spec,
+        seed,
+        workers,
+        &*crate::searcher_for(spec.searcher),
+    )
+}
+
+/// Run a co-optimization study with an explicit (possibly custom)
+/// strategy — the pluggable entry point behind [`run_co_opt`].
+///
+/// # Errors
+///
+/// Propagates spec validation and candidate evaluation errors.
+pub fn run_with_searcher(
+    service: &YieldService,
+    spec: &CoOptSpec,
+    seed: u64,
+    workers: usize,
+    searcher: &dyn crate::Searcher,
+) -> Result<CoOptReport> {
+    spec.validate()?;
+    let mut ctx = SearchContext::new(spec, service, seed, workers);
+    searcher.search(&mut ctx)?;
+    ctx.into_report(searcher.name())
+}

@@ -1,0 +1,153 @@
+//! The pluggable search strategies.
+//!
+//! A [`Searcher`] decides *which* candidates to evaluate; the
+//! [`SearchContext`] decides *how* (batched,
+//! memoized, deterministic). Two strategies ship:
+//!
+//! * [`GridScan`] — evaluate the whole cartesian product. Exhaustive, so
+//!   the resulting Pareto front is exact; cost grows with the product of
+//!   axis lengths.
+//! * [`CoordinateDescent`] — from each of `restarts` seeded start points,
+//!   sweep the axes in order, batch-evaluating every value of one axis
+//!   with the others held fixed and moving to the cheapest; stop when a
+//!   full sweep makes no move. Evaluates `O(restarts · sweeps · Σ axis
+//!   lengths)` candidates instead of the product, at the price of an
+//!   approximate front (only visited candidates are considered).
+//!
+//! Both are deterministic by construction: their decision sequences
+//! depend only on `(spec, seed)` and the (deterministic) evaluation
+//! results.
+
+use crate::engine::SearchContext;
+use cnfet_pipeline::{Result, SearcherSpec};
+use cnfet_sim::engine::split_seed;
+
+/// Seed salt separating restart-start-point derivation from batch seeds.
+const RESTART_SALT: u64 = 0x636F_6F70; // "coop"
+
+/// A co-optimization search strategy.
+pub trait Searcher {
+    /// The canonical strategy name recorded in the report.
+    fn name(&self) -> &'static str;
+
+    /// Drive the context until the strategy is satisfied. Everything
+    /// evaluated through `ctx` lands in the final report's Pareto set.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors.
+    fn search(&self, ctx: &mut SearchContext<'_>) -> Result<()>;
+}
+
+/// The strategy instance a [`SearcherSpec`] selects.
+pub fn searcher_for(spec: SearcherSpec) -> Box<dyn Searcher> {
+    match spec {
+        SearcherSpec::GridScan => Box::new(GridScan),
+        SearcherSpec::CoordinateDescent {
+            restarts,
+            max_sweeps,
+        } => Box::new(CoordinateDescent {
+            restarts,
+            max_sweeps,
+        }),
+    }
+}
+
+/// Exhaustive batched scan of the full cartesian product (exact Pareto
+/// front).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GridScan;
+
+impl Searcher for GridScan {
+    fn name(&self) -> &'static str {
+        "grid"
+    }
+
+    fn search(&self, ctx: &mut SearchContext<'_>) -> Result<()> {
+        let lens: Vec<usize> = ctx.spec().axes.iter().map(|a| a.values.len()).collect();
+        let total = ctx.spec().candidate_count() as usize;
+        // Canonical enumeration: first axis varies slowest (mixed radix,
+        // most-significant digit first).
+        let mut choices = Vec::with_capacity(total);
+        for mut index in 0..total {
+            let mut choice = vec![0usize; lens.len()];
+            for (slot, len) in choice.iter_mut().zip(&lens).rev() {
+                *slot = index % len;
+                index /= len;
+            }
+            choices.push(choice);
+        }
+        ctx.evaluate(&choices)?;
+        Ok(())
+    }
+}
+
+/// Seeded coordinate descent with restarts (approximate front, far fewer
+/// evaluations than the product).
+#[derive(Debug, Clone, Copy)]
+pub struct CoordinateDescent {
+    /// Independent start points; the first is always the base
+    /// configuration (index 0 on every axis), the rest are seeded.
+    pub restarts: u32,
+    /// Hard cap on coordinate sweeps per restart.
+    pub max_sweeps: u32,
+}
+
+impl Searcher for CoordinateDescent {
+    fn name(&self) -> &'static str {
+        "coordinate-descent"
+    }
+
+    fn search(&self, ctx: &mut SearchContext<'_>) -> Result<()> {
+        let lens: Vec<usize> = ctx.spec().axes.iter().map(|a| a.values.len()).collect();
+        let restart_seed = split_seed(ctx.seed(), RESTART_SALT);
+        for restart in 0..self.restarts.max(1) {
+            let mut current: Vec<usize> = if restart == 0 {
+                vec![0; lens.len()]
+            } else {
+                // A deterministic scattered start: one split stream per
+                // (restart, axis) pair, reduced to the axis length.
+                lens.iter()
+                    .enumerate()
+                    .map(|(axis, &len)| {
+                        let stream =
+                            split_seed(restart_seed, u64::from(restart) * 0x1_0000 + axis as u64);
+                        (stream % len as u64) as usize
+                    })
+                    .collect()
+            };
+            let mut cost = ctx.evaluate(std::slice::from_ref(&current))?[0].cost;
+            for _sweep in 0..self.max_sweeps.max(1) {
+                let mut moved = false;
+                for axis in 0..lens.len() {
+                    let batch: Vec<Vec<usize>> = (0..lens[axis])
+                        .map(|value| {
+                            let mut choice = current.clone();
+                            choice[axis] = value;
+                            choice
+                        })
+                        .collect();
+                    let evaluated = ctx.evaluate(&batch)?;
+                    // Strict `<` keeps the lowest-index value on ties, so
+                    // the walk cannot oscillate between equal-cost values.
+                    let (mut best_value, mut best_cost) = (current[axis], cost);
+                    for candidate in &evaluated {
+                        if candidate.cost < best_cost {
+                            best_cost = candidate.cost;
+                            best_value = candidate.choice[axis];
+                        }
+                    }
+                    if best_value != current[axis] {
+                        current[axis] = best_value;
+                        cost = best_cost;
+                        moved = true;
+                    }
+                }
+                if !moved {
+                    break;
+                }
+            }
+        }
+        Ok(())
+    }
+}

@@ -23,7 +23,7 @@ use cnfet_layout::GridPolicy;
 /// Every field name [`ScenarioBuilder::set_json`] accepts, in the order
 /// they appear in serialized specs. The service's `Describe` response
 /// exposes this list so wire clients can introspect the schema.
-pub const SCENARIO_KEYS: [&str; 13] = [
+pub const SCENARIO_KEYS: [&str; 14] = [
     "name",
     "corner",
     "correlation",
@@ -34,6 +34,7 @@ pub const SCENARIO_KEYS: [&str; 13] = [
     "m_transistors",
     "m_min",
     "rho",
+    "l_cnt_um",
     "grid",
     "fast_design",
     "mc_trials",
@@ -175,6 +176,12 @@ impl ScenarioBuilder {
         self
     }
 
+    /// CNT correlation length `L_CNT` (µm).
+    pub fn l_cnt_um(mut self, l_cnt_um: f64) -> Self {
+        self.spec.l_cnt_um = l_cnt_um;
+        self
+    }
+
     /// Aligned-active grid policy.
     pub fn grid(mut self, grid: GridPolicy) -> Self {
         self.spec.grid = grid;
@@ -249,6 +256,10 @@ impl ScenarioBuilder {
                 Some("measured") => Ok(self.rho(RhoSpec::Measured)),
                 _ => Err(invalid("rho", "must be \"paper\" or \"measured\"")),
             },
+            "l_cnt_um" => {
+                let v = num("l_cnt_um")?;
+                Ok(self.l_cnt_um(v))
+            }
             "grid" => match value.as_str() {
                 Some("single") => Ok(self.grid(GridPolicy::Single)),
                 Some("dual") => Ok(self.grid(GridPolicy::Dual)),
@@ -288,6 +299,532 @@ impl ScenarioBuilder {
     /// after all fields are applied.
     pub fn build_unchecked(self) -> ScenarioSpec {
         self.spec
+    }
+}
+
+/// Top-level keys of a co-optimization spec document.
+pub const COOPT_KEYS: [&str; 5] = ["name", "base", "search", "objective", "searcher"];
+
+/// Names of the search strategies the `cnfet-opt` engine ships.
+pub const SEARCHER_KINDS: [&str; 2] = ["grid", "coordinate-descent"];
+
+/// One axis of the co-optimization search space: a scenario field and the
+/// ordered candidate values it may take.
+///
+/// **Order is semantic**: list values from least to most *process-demanding*
+/// (e.g. correlation lengths ascending, metallic fractions descending).
+/// The engine derives each candidate's process-demand index from its
+/// normalized position along every axis, and the Pareto front trades that
+/// demand against the circuit-side cost functional.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchAxis {
+    /// The scenario field this axis varies (any [`SCENARIO_KEYS`] entry
+    /// except `name`).
+    pub key: String,
+    /// The ordered candidate values (each a JSON value the field's
+    /// [`ScenarioBuilder::set_json`] arm accepts).
+    pub values: Vec<Json>,
+}
+
+/// Which search strategy evaluates the space (the engine lives in the
+/// `cnfet-opt` crate; this is the declarative selection).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SearcherSpec {
+    /// Exhaustive batched scan of the full cartesian product — every
+    /// candidate is evaluated, so the Pareto front is exact.
+    GridScan,
+    /// Seeded coordinate descent with restarts: from each start point,
+    /// sweep the axes in order, batch-evaluating every value of one axis
+    /// with the others held fixed, and move to the cheapest; repeat until
+    /// a full sweep makes no move. Evaluates a fraction of the space; the
+    /// Pareto front covers only visited candidates.
+    CoordinateDescent {
+        /// Independent seeded start points (the first restart always
+        /// starts at the base configuration, index 0 on every axis).
+        restarts: u32,
+        /// Hard cap on coordinate sweeps per restart.
+        max_sweeps: u32,
+    },
+}
+
+/// The coordinate-descent defaults: 3 restarts, at most 8 sweeps each.
+pub fn coordinate_descent_defaults() -> SearcherSpec {
+    SearcherSpec::CoordinateDescent {
+        restarts: 3,
+        max_sweeps: 8,
+    }
+}
+
+impl SearcherSpec {
+    /// The canonical name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SearcherSpec::GridScan => "grid",
+            SearcherSpec::CoordinateDescent { .. } => "coordinate-descent",
+        }
+    }
+
+    /// Parse the `BackendSpec`-style forms: a bare name (`"grid"`,
+    /// `"coordinate-descent"`), or an object with a `kind` plus strategy
+    /// parameters (`{"kind": "coordinate-descent", "restarts": 4}`).
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::InvalidSpec`] on unknown names, unknown or
+    /// mistyped parameters.
+    pub fn from_json(v: &Json) -> Result<Self> {
+        let invalid = |msg: String| PipelineError::InvalidSpec {
+            field: "searcher",
+            msg,
+        };
+        match v {
+            Json::Str(s) => match s.as_str() {
+                "grid" => Ok(SearcherSpec::GridScan),
+                "coordinate-descent" => Ok(coordinate_descent_defaults()),
+                other => Err(invalid(format!(
+                    "unknown searcher `{other}` (grid, coordinate-descent)"
+                ))),
+            },
+            Json::Obj(fields) => {
+                let kind = v
+                    .get("kind")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| invalid("object form needs a `kind` string".into()))?;
+                match kind {
+                    "grid" => {
+                        if fields.len() > 1 {
+                            return Err(invalid("`grid` takes no parameters".into()));
+                        }
+                        Ok(SearcherSpec::GridScan)
+                    }
+                    "coordinate-descent" => {
+                        let field = |key: &str| -> Result<Option<u32>> {
+                            match v.get(key) {
+                                None => Ok(None),
+                                Some(j) => j
+                                    .as_f64()
+                                    .filter(|n| n.fract() == 0.0 && *n >= 1.0 && *n <= 1e6)
+                                    .map(|n| Some(n as u32))
+                                    .ok_or_else(|| {
+                                        invalid(format!("`{key}` must be a positive integer"))
+                                    }),
+                            }
+                        };
+                        for (key, _) in fields {
+                            if !["kind", "restarts", "max_sweeps"].contains(&key.as_str()) {
+                                return Err(invalid(format!(
+                                    "unknown coordinate-descent field `{key}` \
+                                     (restarts, max_sweeps)"
+                                )));
+                            }
+                        }
+                        let SearcherSpec::CoordinateDescent {
+                            restarts: dr,
+                            max_sweeps: ds,
+                        } = coordinate_descent_defaults()
+                        else {
+                            unreachable!("defaults are coordinate descent")
+                        };
+                        Ok(SearcherSpec::CoordinateDescent {
+                            restarts: field("restarts")?.unwrap_or(dr),
+                            max_sweeps: field("max_sweeps")?.unwrap_or(ds),
+                        })
+                    }
+                    other => Err(invalid(format!("unknown searcher `{other}`"))),
+                }
+            }
+            _ => Err(invalid("must be a string or an object".into())),
+        }
+    }
+
+    /// Serialize to the wire form (normal `kind` object for parameterized
+    /// strategies, bare string otherwise).
+    pub fn to_json(&self) -> Json {
+        match self {
+            SearcherSpec::GridScan => Json::Str("grid".into()),
+            SearcherSpec::CoordinateDescent {
+                restarts,
+                max_sweeps,
+            } => Json::Obj(vec![
+                ("kind".into(), Json::Str("coordinate-descent".into())),
+                ("restarts".into(), Json::Num(f64::from(*restarts))),
+                ("max_sweeps".into(), Json::Num(f64::from(*max_sweeps))),
+            ]),
+        }
+    }
+}
+
+/// A declarative process–design co-optimization problem: a base scenario,
+/// the search axes varied over it, the scalarized objective, and the
+/// search strategy. Parsed from spec files (`repro coopt <spec.json>`) and
+/// carried by the `co_opt` service envelope; executed by the `cnfet-opt`
+/// engine.
+///
+/// The JSON document form:
+///
+/// ```text
+/// {
+///   "name": "corr-vs-width",
+///   // scenario fields merged over ScenarioSpec::baseline
+///   "base": { "fast_design": true, "correlation": "growth+aligned-layout" },
+///   // ordered candidate values per scenario field; least → most demanding.
+///   // Numeric fields also accept {"min", "max", "steps"} ranges.
+///   "search": {
+///     "l_cnt_um": { "min": 50, "max": 400, "steps": 4 },
+///     "grid": ["single", "dual"]
+///   },
+///   "objective": { "w_min_weight": 1, "area_weight": 1 },   // all optional
+///   "searcher": "grid"            // or {"kind": "coordinate-descent", …}
+/// }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoOptSpec {
+    /// Study name (also names the Pareto artifact).
+    pub name: String,
+    /// The scenario every candidate starts from.
+    pub base: ScenarioSpec,
+    /// The search axes, in file order (earlier axes vary slowest in the
+    /// canonical candidate enumeration).
+    pub axes: Vec<SearchAxis>,
+    /// Weights of the scalarized circuit-cost objective.
+    pub objective: cnfet_core::objective::CostWeights,
+    /// The strategy that walks the space.
+    pub searcher: SearcherSpec,
+}
+
+fn invalid_coopt(field: &'static str, msg: impl Into<String>) -> PipelineError {
+    PipelineError::InvalidSpec {
+        field,
+        msg: msg.into(),
+    }
+}
+
+/// Parse the `objective` object onto [`cnfet_core::objective::CostWeights`]
+/// (every field optional, defaults from `CostWeights::default`).
+fn cost_weights_from_json(v: &Json) -> Result<cnfet_core::objective::CostWeights> {
+    const KEYS: [&str; 4] = ["w_min_weight", "area_weight", "margin_weight", "w_ref_nm"];
+    let fields = v
+        .as_object()
+        .ok_or_else(|| invalid_coopt("objective", "must be an object"))?;
+    for (key, _) in fields {
+        if !KEYS.contains(&key.as_str()) {
+            return Err(unknown_key("objective", key, &KEYS));
+        }
+    }
+    let field = |key: &str| -> Result<Option<f64>> {
+        match v.get(key) {
+            None => Ok(None),
+            Some(j) => j
+                .as_f64()
+                .map(Some)
+                .ok_or_else(|| invalid_coopt("objective", format!("`{key}` must be a number"))),
+        }
+    };
+    let d = cnfet_core::objective::CostWeights::default();
+    Ok(cnfet_core::objective::CostWeights {
+        w_min_weight: field("w_min_weight")?.unwrap_or(d.w_min_weight),
+        area_weight: field("area_weight")?.unwrap_or(d.area_weight),
+        margin_weight: field("margin_weight")?.unwrap_or(d.margin_weight),
+        w_ref_nm: field("w_ref_nm")?.unwrap_or(d.w_ref_nm),
+    })
+}
+
+fn cost_weights_to_json(w: &cnfet_core::objective::CostWeights) -> Json {
+    Json::Obj(vec![
+        ("w_min_weight".into(), Json::Num(w.w_min_weight)),
+        ("area_weight".into(), Json::Num(w.area_weight)),
+        ("margin_weight".into(), Json::Num(w.margin_weight)),
+        ("w_ref_nm".into(), Json::Num(w.w_ref_nm)),
+    ])
+}
+
+impl SearchAxis {
+    /// Expand one `search` entry: an explicit non-empty array of values,
+    /// or — for numeric fields — a `{"min", "max", "steps"}` range that
+    /// expands to `steps` evenly spaced values, ascending.
+    fn from_json(key: &str, v: &Json) -> Result<Self> {
+        let axis_keys: Vec<&'static str> = SCENARIO_KEYS
+            .iter()
+            .copied()
+            .filter(|k| *k != "name")
+            .collect();
+        if !axis_keys.contains(&key) {
+            return Err(unknown_key("search axis", key, &axis_keys));
+        }
+        let values: Vec<Json> = match v {
+            Json::Arr(values) if !values.is_empty() => values.clone(),
+            Json::Arr(_) => {
+                return Err(invalid_coopt(
+                    "search",
+                    format!("axis `{key}` must list at least one value"),
+                ))
+            }
+            Json::Obj(fields) => {
+                for (k, _) in fields {
+                    if !["min", "max", "steps"].contains(&k.as_str()) {
+                        return Err(unknown_key("search range", k, &["min", "max", "steps"]));
+                    }
+                }
+                let num = |k: &str| -> Result<f64> {
+                    v.get(k).and_then(Json::as_f64).ok_or_else(|| {
+                        invalid_coopt("search", format!("range for `{key}` needs a number `{k}`"))
+                    })
+                };
+                let (min, max) = (num("min")?, num("max")?);
+                let steps = num("steps")?;
+                if !(steps.fract() == 0.0 && (2.0..=10_000.0).contains(&steps)) {
+                    return Err(invalid_coopt(
+                        "search",
+                        format!("range for `{key}` needs integer `steps` in [2, 10000]"),
+                    ));
+                }
+                if !(min.is_finite() && max.is_finite() && min < max) {
+                    return Err(invalid_coopt(
+                        "search",
+                        format!("range for `{key}` needs finite min < max"),
+                    ));
+                }
+                let n = steps as usize;
+                (0..n)
+                    .map(|i| Json::Num(min + (max - min) * i as f64 / (n - 1) as f64))
+                    .collect()
+            }
+            _ => {
+                return Err(invalid_coopt(
+                    "search",
+                    format!("axis `{key}` must be a value array or a min/max/steps range"),
+                ))
+            }
+        };
+        Ok(Self {
+            key: key.to_string(),
+            values,
+        })
+    }
+}
+
+impl CoOptSpec {
+    /// Parse a co-optimization document.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::Parse`] for malformed JSON, otherwise as
+    /// [`CoOptSpec::from_json`].
+    pub fn parse(src: &str) -> Result<Self> {
+        Self::from_json(&Json::parse(src)?)
+    }
+
+    /// Build from a parsed document (the form the `co_opt` envelope
+    /// carries). Every axis value is trial-applied to the base scenario at
+    /// parse time, so a typo'd value fails here with the shared builder
+    /// diagnostics instead of mid-search.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::UnknownKey`] / [`PipelineError::InvalidSpec`] for
+    /// unknown sections, unknown fields, or out-of-domain values.
+    pub fn from_json(doc: &Json) -> Result<Self> {
+        for (key, _) in doc
+            .as_object()
+            .ok_or_else(|| invalid_coopt("co_opt", "document must be an object"))?
+        {
+            if !COOPT_KEYS.contains(&key.as_str()) {
+                return Err(unknown_key("co_opt", key, &COOPT_KEYS));
+            }
+        }
+        let name = match doc.get("name") {
+            None => "coopt".to_string(),
+            Some(v) => v
+                .as_str()
+                .ok_or_else(|| invalid_coopt("name", "must be a string"))?
+                .to_string(),
+        };
+        let mut builder = ScenarioBuilder::new(name.clone());
+        if let Some(base) = doc.get("base") {
+            let fields = base
+                .as_object()
+                .ok_or_else(|| invalid_coopt("base", "must be an object"))?;
+            for (key, value) in fields {
+                builder = builder.set_json(key, value)?;
+            }
+        }
+        let base = builder.name(name.clone()).build()?;
+
+        let search = doc
+            .get("search")
+            .ok_or_else(|| invalid_coopt("search", "a co_opt spec needs a `search` object"))?;
+        let entries = search
+            .as_object()
+            .ok_or_else(|| invalid_coopt("search", "must be an object"))?;
+        if entries.is_empty() {
+            return Err(invalid_coopt("search", "needs at least one axis"));
+        }
+        let mut axes = Vec::with_capacity(entries.len());
+        for (key, value) in entries {
+            let axis = SearchAxis::from_json(key, value)?;
+            // Trial-apply AND validate each candidate value over the base,
+            // so type and domain errors fail at parse time with the
+            // field's own diagnostics instead of mid-search.
+            for v in &axis.values {
+                ScenarioBuilder::from_spec(base.clone())
+                    .set_json(key, v)?
+                    .build()?;
+            }
+            axes.push(axis);
+        }
+
+        let objective = match doc.get("objective") {
+            None => cnfet_core::objective::CostWeights::default(),
+            Some(v) => cost_weights_from_json(v)?,
+        };
+        objective
+            .validate()
+            .map_err(|e| invalid_coopt("objective", e.to_string()))?;
+
+        let searcher = match doc.get("searcher") {
+            None => SearcherSpec::GridScan,
+            Some(v) => SearcherSpec::from_json(v)?,
+        };
+
+        let spec = Self {
+            name,
+            base,
+            axes,
+            objective,
+            searcher,
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Serialize the full (explicit) spec; ranges are written as the value
+    /// lists they expanded to, so the normal form round-trips exactly.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("name".into(), Json::Str(self.name.clone())),
+            ("base".into(), self.base.to_json()),
+            (
+                "search".into(),
+                Json::Obj(
+                    self.axes
+                        .iter()
+                        .map(|a| (a.key.clone(), Json::Arr(a.values.clone())))
+                        .collect(),
+                ),
+            ),
+            ("objective".into(), cost_weights_to_json(&self.objective)),
+            ("searcher".into(), self.searcher.to_json()),
+        ])
+    }
+
+    /// Check the spec is executable: a valid base, at least one axis, a
+    /// bounded candidate count, valid weights.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::InvalidSpec`] naming the offending section.
+    pub fn validate(&self) -> Result<()> {
+        self.base.validate()?;
+        self.objective
+            .validate()
+            .map_err(|e| invalid_coopt("objective", e.to_string()))?;
+        if self.axes.is_empty() {
+            return Err(invalid_coopt("search", "needs at least one axis"));
+        }
+        let mut keys: Vec<&str> = self.axes.iter().map(|a| a.key.as_str()).collect();
+        keys.sort_unstable();
+        if keys.windows(2).any(|p| p[0] == p[1]) {
+            return Err(invalid_coopt("search", "axis keys must be unique"));
+        }
+        for axis in &self.axes {
+            if axis.values.is_empty() {
+                return Err(invalid_coopt(
+                    "search",
+                    format!("axis `{}` must list at least one value", axis.key),
+                ));
+            }
+        }
+        const MAX_CANDIDATES: u64 = 1_000_000;
+        if self.candidate_count() > MAX_CANDIDATES {
+            return Err(invalid_coopt(
+                "search",
+                format!("search space exceeds {MAX_CANDIDATES} candidates"),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Size of the full search space (product of axis lengths).
+    pub fn candidate_count(&self) -> u64 {
+        self.axes
+            .iter()
+            .map(|a| a.values.len() as u64)
+            .try_fold(1u64, u64::checked_mul)
+            .unwrap_or(u64::MAX)
+    }
+
+    /// Build the candidate scenario for one choice vector (`choice[i]`
+    /// indexes `axes[i].values`). The scenario is named
+    /// `<name>/<key>=<value>/…`, so candidate artifacts are
+    /// self-describing.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::InvalidSpec`] for an out-of-range choice vector or
+    /// a candidate whose merged fields fail validation.
+    pub fn scenario(&self, choice: &[usize]) -> Result<ScenarioSpec> {
+        if choice.len() != self.axes.len() {
+            return Err(invalid_coopt(
+                "search",
+                format!(
+                    "choice vector has {} entries for {} axes",
+                    choice.len(),
+                    self.axes.len()
+                ),
+            ));
+        }
+        let mut builder = ScenarioBuilder::from_spec(self.base.clone());
+        let mut parts = vec![self.name.clone()];
+        for (axis, &i) in self.axes.iter().zip(choice) {
+            let value = axis.values.get(i).ok_or_else(|| {
+                invalid_coopt(
+                    "search",
+                    format!("choice {i} out of range for axis `{}`", axis.key),
+                )
+            })?;
+            builder = builder.set_json(&axis.key, value)?;
+            parts.push(format!("{}={}", axis.key, crate::spec::axis_label(value)));
+        }
+        builder.name(parts.join("/")).build()
+    }
+
+    /// The normalized process-demand index of a choice vector: the mean,
+    /// over axes with more than one value, of the choice's fractional
+    /// position along its (least → most demanding) axis order. 0 selects
+    /// the least demanding value everywhere, 1 the most demanding.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::InvalidSpec`] for an out-of-range choice vector.
+    pub fn demand(&self, choice: &[usize]) -> Result<f64> {
+        if choice.len() != self.axes.len()
+            || self
+                .axes
+                .iter()
+                .zip(choice)
+                .any(|(a, &i)| i >= a.values.len())
+        {
+            return Err(invalid_coopt("search", "choice vector out of range"));
+        }
+        let mut sum = 0.0;
+        let mut n = 0u32;
+        for (axis, &i) in self.axes.iter().zip(choice) {
+            if axis.values.len() > 1 {
+                sum += i as f64 / (axis.values.len() - 1) as f64;
+                n += 1;
+            }
+        }
+        Ok(if n == 0 { 0.0 } else { sum / f64::from(n) })
     }
 }
 

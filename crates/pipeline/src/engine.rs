@@ -315,7 +315,7 @@ impl Pipeline {
         };
         // Critical-FET density rises as cells shrink below the base node.
         let rho = rho_base * base_node / spec.node_nm;
-        let row = RowModel::from_design(paper::L_CNT_UM, rho)?;
+        let row = RowModel::from_design(spec.l_cnt_um, rho)?;
         Ok(row.with_grid_division(spec.grid.benefit_division())?)
     }
 

@@ -24,10 +24,77 @@
 //!
 //! Everything round-trips: `parse(to_json(x)) == x` for requests and
 //! responses alike, which the envelope property tests pin down.
+//!
+//! ## The wire format, executed
+//!
+//! The README's JSON-lines session, as a doc-test — every request line
+//! parses, dispatches, and every response serializes back through
+//! [`YieldResponse::from_json`] unchanged, so the documented format
+//! cannot drift from the code:
+//!
+//! ```
+//! use cnfet_pipeline::{Json, ResponseBody, YieldRequest, YieldResponse, YieldService};
+//!
+//! # fn main() -> cnfet_pipeline::Result<()> {
+//! let service = YieldService::new();
+//! let lines = [
+//!     // capability discovery
+//!     r#"{"schema":1,"id":"cap","body":"describe"}"#,
+//!     // one scenario (seed optional, default 20100613)
+//!     r#"{"schema":1,"id":"w45","body":{"evaluate":{"spec":
+//!         {"fast_design":true,"backend":"gaussian-sum","rho":"paper"},"seed":7}}}"#,
+//!     // a grid, streamed in index order then terminated
+//!     r#"{"schema":1,"id":"swp","body":{"sweep":{"grid":
+//!         {"defaults":{"fast_design":true,"backend":"gaussian-sum","rho":"paper"},
+//!          "axes":{"correlation":["none","growth+aligned-layout"]}},"seed":9}}}"#,
+//! ];
+//! let mut responses = Vec::new();
+//! for line in lines {
+//!     let request = YieldRequest::from_json(&Json::parse(line)?)?;
+//!     for response in service.handle(&request) {
+//!         // Serialize → parse: the response survives the wire unchanged.
+//!         let wire = response.to_json().to_string_compact();
+//!         assert!(!wire.contains('\n'), "JSON-lines responses are one line");
+//!         assert_eq!(YieldResponse::from_json(&Json::parse(&wire)?)?, response);
+//!         responses.push(response);
+//!     }
+//! }
+//! // describe, evaluate report, two sweep reports in order, terminator.
+//! assert_eq!(responses.len(), 5);
+//! assert!(matches!(&responses[0].body, ResponseBody::Describe(info)
+//!     if info.backends.contains(&"monte-carlo".into())));
+//! assert!(matches!(&responses[1].body, ResponseBody::Report(r) if r.seed == 7));
+//! assert!(matches!(&responses[2].body, ResponseBody::SweepReport { index: 0, .. }));
+//! assert!(matches!(&responses[3].body, ResponseBody::SweepReport { index: 1, .. }));
+//! assert!(matches!(&responses[4].body,
+//!     ResponseBody::SweepDone { total: 2, failed: 0 }));
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! Malformed input never kills the session — it becomes a structured,
+//! machine-branchable error line (here with the documented nearest-key
+//! suggestion):
+//!
+//! ```
+//! use cnfet_pipeline::YieldService;
+//!
+//! let service = YieldService::new();
+//! let mut lines = Vec::new();
+//! service.handle_line(
+//!     r#"{"schema":1,"id":"typo","body":{"evaluate":{"spec":{"yeild_target":0.9}}}}"#,
+//!     &mut |response| lines.push(response.to_json().to_string_compact()),
+//! );
+//! assert_eq!(lines.len(), 1);
+//! assert!(lines[0].contains(r#""id":"typo""#));
+//! assert!(lines[0].contains(r#""code":"unknown_key""#));
+//! assert!(lines[0].contains(r#""suggestion":"yield_target""#));
+//! ```
 
+use crate::builder::{CoOptSpec, COOPT_KEYS, SCENARIO_KEYS, SEARCHER_KINDS};
 use crate::json::Json;
-use crate::report::ScenarioReport;
-use crate::spec::{ScenarioGrid, ScenarioSpec};
+use crate::report::{CoOptReport, ScenarioReport};
+use crate::spec::{BackendSpec, CorrelationSpec, LibrarySpec, ScenarioGrid, ScenarioSpec};
 use crate::{PipelineError, Result};
 
 /// The one wire-schema version this build understands.
@@ -60,6 +127,18 @@ pub enum RequestBody {
         /// The grid to expand and evaluate.
         grid: ScenarioGrid,
         /// Base seed; scenario `i` runs under `split_seed(seed, i)`.
+        seed: u64,
+        /// Worker-thread override (`None` = service default). Never
+        /// changes results, only wall-clock.
+        workers: Option<usize>,
+    },
+    /// Run a process–design co-optimization study (served by the
+    /// `cnfet-opt` front end; a bare [`crate::service::YieldService`]
+    /// answers it with [`ErrorCode::UnsupportedBody`]).
+    CoOpt {
+        /// The declarative study to execute.
+        spec: CoOptSpec,
+        /// Base seed; candidate batches derive their seeds from it.
         seed: u64,
         /// Worker-thread override (`None` = service default). Never
         /// changes results, only wall-clock.
@@ -108,6 +187,24 @@ impl YieldRequest {
         }
     }
 
+    /// A schema-1 `co_opt` request.
+    pub fn co_opt(
+        id: impl Into<String>,
+        spec: CoOptSpec,
+        seed: u64,
+        workers: Option<usize>,
+    ) -> Self {
+        Self {
+            schema: SCHEMA_VERSION,
+            id: id.into(),
+            body: RequestBody::CoOpt {
+                spec,
+                seed,
+                workers,
+            },
+        }
+    }
+
     /// A schema-1 `describe` request.
     pub fn describe(id: impl Into<String>) -> Self {
         Self {
@@ -140,6 +237,20 @@ impl YieldRequest {
                     fields.push(("workers".into(), Json::Num(*w as f64)));
                 }
                 Json::Obj(vec![("sweep".into(), Json::Obj(fields))])
+            }
+            RequestBody::CoOpt {
+                spec,
+                seed,
+                workers,
+            } => {
+                let mut fields = vec![
+                    ("spec".into(), spec.to_json()),
+                    ("seed".into(), Json::from_u64(*seed)),
+                ];
+                if let Some(w) = workers {
+                    fields.push(("workers".into(), Json::Num(*w as f64)));
+                }
+                Json::Obj(vec![("co_opt".into(), Json::Obj(fields))])
             }
             RequestBody::Describe => Json::Str("describe".into()),
         };
@@ -222,21 +333,24 @@ impl YieldRequest {
                 Ok(RequestBody::Sweep {
                     grid: ScenarioGrid::from_json(grid)?,
                     seed: opt_seed(payload)?,
-                    workers: match payload.get("workers") {
-                        None => None,
-                        Some(w) => Some(
-                            w.as_u64()
-                                .filter(|w| *w >= 1)
-                                .ok_or_else(|| bad("`workers` must be a positive integer"))?
-                                as usize,
-                        ),
-                    },
+                    workers: opt_workers(payload)?,
+                })
+            }
+            "co_opt" => {
+                reject_unknown_keys("co_opt request", payload, &["spec", "seed", "workers"])?;
+                let spec = payload
+                    .get("spec")
+                    .ok_or_else(|| bad("`co_opt` needs a `spec` object"))?;
+                Ok(RequestBody::CoOpt {
+                    spec: CoOptSpec::from_json(spec)?,
+                    seed: opt_seed(payload)?,
+                    workers: opt_workers(payload)?,
                 })
             }
             other => Err(crate::builder::unknown_key(
                 "request body",
                 other,
-                &["evaluate", "sweep", "describe"],
+                &["evaluate", "sweep", "co_opt", "describe"],
             )),
         }
     }
@@ -260,6 +374,18 @@ fn reject_unknown_keys(
     Ok(())
 }
 
+/// Optional `workers` field: a positive integer when present.
+fn opt_workers(payload: &Json) -> Result<Option<usize>> {
+    match payload.get("workers") {
+        None => Ok(None),
+        Some(w) => Ok(Some(
+            w.as_u64()
+                .filter(|w| *w >= 1)
+                .ok_or_else(|| bad("`workers` must be a positive integer"))? as usize,
+        )),
+    }
+}
+
 /// Optional `seed` field, defaulting to [`DEFAULT_SEED`]. Accepts the
 /// exact [`Json::from_u64`] encoding (number or decimal string).
 fn opt_seed(payload: &Json) -> Result<u64> {
@@ -278,6 +404,33 @@ pub fn recover_id(v: &Json) -> String {
         .and_then(Json::as_str)
         .unwrap_or_default()
         .to_string()
+}
+
+/// The shared JSON-lines daemon plumbing: parse one request line and hand
+/// it to `dispatch`. Never fails — malformed JSON or a bad envelope
+/// becomes a structured error response with a best-effort id. Every wire
+/// front end (`YieldService::handle_line`, the `cnfet-opt` `OptService`)
+/// routes through this one implementation, so id recovery and error
+/// classification cannot diverge between them.
+pub fn dispatch_line(
+    line: &str,
+    emit: &mut dyn FnMut(YieldResponse),
+    dispatch: impl FnOnce(&YieldRequest, &mut dyn FnMut(YieldResponse)),
+) {
+    let doc = match Json::parse(line) {
+        Ok(doc) => doc,
+        Err(e) => {
+            emit(YieldResponse::error("", ServiceError::from_pipeline(&e)));
+            return;
+        }
+    };
+    match YieldRequest::from_json(&doc) {
+        Ok(request) => dispatch(&request, emit),
+        Err(e) => emit(YieldResponse::error(
+            recover_id(&doc),
+            ServiceError::from_pipeline(&e),
+        )),
+    }
 }
 
 /// Machine-readable failure classification.
@@ -302,6 +455,13 @@ pub enum ErrorCode {
         /// The closest valid key by edit distance, when one is plausible.
         suggestion: Option<String>,
     },
+    /// The request body is well-formed but this front end does not serve
+    /// it (e.g. `co_opt` sent to a bare yield service). The `describe`
+    /// response enumerates what *is* served.
+    UnsupportedBody {
+        /// The body kind the caller asked for.
+        body: String,
+    },
     /// A solver or stochastic estimate failed to converge.
     Unconverged,
     /// Any other engine-side failure.
@@ -316,6 +476,7 @@ impl ErrorCode {
             ErrorCode::UnsupportedSchema { .. } => "unsupported_schema",
             ErrorCode::BadSpec { .. } => "bad_spec",
             ErrorCode::UnknownKey { .. } => "unknown_key",
+            ErrorCode::UnsupportedBody { .. } => "unsupported_body",
             ErrorCode::Unconverged => "unconverged",
             ErrorCode::Internal => "internal",
         }
@@ -375,6 +536,9 @@ impl ServiceError {
                     fields.push(("suggestion".into(), Json::Str(s.clone())));
                 }
             }
+            ErrorCode::UnsupportedBody { body } => {
+                fields.push(("body".into(), Json::Str(body.clone())));
+            }
             _ => {}
         }
         fields.push(("message".into(), Json::Str(self.message.clone())));
@@ -414,6 +578,9 @@ impl ServiceError {
                     ),
                 },
             },
+            "unsupported_body" => ErrorCode::UnsupportedBody {
+                body: field("body")?,
+            },
             "unconverged" => ErrorCode::Unconverged,
             "internal" => ErrorCode::Internal,
             other => return Err(bad(format!("unknown error code `{other}`"))),
@@ -430,6 +597,15 @@ impl ServiceError {
 }
 
 /// Capability discovery payload — the `describe` answer.
+///
+/// Everything a wire client needs to build valid requests without reading
+/// the README: the request bodies this front end serves, every count
+/// back-end kind, every scenario field, and the co-optimization schema
+/// (spec keys and searcher kinds). The lists are derived from the same
+/// canonical constants the parsers validate against
+/// ([`BackendSpec::KINDS`], [`SCENARIO_KEYS`], [`COOPT_KEYS`],
+/// [`SEARCHER_KINDS`]), so `describe` cannot drift from what the build
+/// actually accepts.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServiceInfo {
     /// Service name.
@@ -438,9 +614,10 @@ pub struct ServiceInfo {
     pub version: String,
     /// Wire-schema versions this build accepts.
     pub schemas: Vec<u64>,
-    /// Request kinds the service answers.
+    /// Request bodies this front end answers (a bare yield service omits
+    /// `co_opt`; the `cnfet-opt` front end includes it).
     pub requests: Vec<String>,
-    /// Known count back-ends.
+    /// Known count back-end kinds.
     pub backends: Vec<String>,
     /// Known correlation scenarios.
     pub correlations: Vec<String>,
@@ -448,28 +625,48 @@ pub struct ServiceInfo {
     pub libraries: Vec<String>,
     /// Every scenario-spec field name.
     pub scenario_keys: Vec<String>,
+    /// Top-level keys of a `co_opt` spec document.
+    pub coopt_keys: Vec<String>,
+    /// Known co-optimization search strategies.
+    pub searchers: Vec<String>,
 }
 
 impl Default for ServiceInfo {
+    /// The capabilities of a bare [`crate::service::YieldService`] (no
+    /// `co_opt` execution; the schema lists are still advertised so
+    /// clients can discover the richer front end exists).
     fn default() -> Self {
         Self {
             service: "cnfet-yield-service".into(),
             version: env!("CARGO_PKG_VERSION").into(),
             schemas: vec![SCHEMA_VERSION],
             requests: ["evaluate", "sweep", "describe"].map(String::from).to_vec(),
-            backends: ["convolution", "gaussian-sum", "monte-carlo"]
-                .map(String::from)
-                .to_vec(),
-            correlations: ["none", "growth", "growth+aligned-layout"]
-                .map(String::from)
-                .to_vec(),
-            libraries: ["nangate45", "commercial65"].map(String::from).to_vec(),
-            scenario_keys: crate::builder::SCENARIO_KEYS.map(String::from).to_vec(),
+            backends: BackendSpec::KINDS.map(String::from).to_vec(),
+            correlations: CorrelationSpec::KINDS.map(String::from).to_vec(),
+            libraries: LibrarySpec::KINDS.map(String::from).to_vec(),
+            scenario_keys: SCENARIO_KEYS.map(String::from).to_vec(),
+            coopt_keys: COOPT_KEYS.map(String::from).to_vec(),
+            searchers: SEARCHER_KINDS.map(String::from).to_vec(),
         }
     }
 }
 
 impl ServiceInfo {
+    /// The capabilities of a co-optimization-enabled front end (the
+    /// `cnfet-opt` `OptService` / `repro serve`): everything the bare
+    /// service answers plus `co_opt`.
+    pub fn with_co_opt() -> Self {
+        Self {
+            requests: ["evaluate", "sweep", "co_opt", "describe"]
+                .map(String::from)
+                .to_vec(),
+            ..Self::default()
+        }
+    }
+}
+
+impl ServiceInfo {
+    /// Serialize to the wire object.
     fn to_json(&self) -> Json {
         let strings =
             |items: &[String]| Json::Arr(items.iter().map(|s| Json::Str(s.clone())).collect());
@@ -485,6 +682,8 @@ impl ServiceInfo {
             ("correlations".into(), strings(&self.correlations)),
             ("libraries".into(), strings(&self.libraries)),
             ("scenario_keys".into(), strings(&self.scenario_keys)),
+            ("coopt_keys".into(), strings(&self.coopt_keys)),
+            ("searchers".into(), strings(&self.searchers)),
         ])
     }
 
@@ -525,6 +724,8 @@ impl ServiceInfo {
             correlations: strings("correlations")?,
             libraries: strings("libraries")?,
             scenario_keys: strings("scenario_keys")?,
+            coopt_keys: strings("coopt_keys")?,
+            searchers: strings("searchers")?,
         })
     }
 }
@@ -550,6 +751,8 @@ pub enum ResponseBody {
         /// How many scenarios failed (their errors were streamed inline).
         failed: u64,
     },
+    /// The result of a `co_opt` request: the Pareto artifact of the run.
+    CoOpt(CoOptReport),
     /// The capability payload of a `describe` request.
     Describe(ServiceInfo),
     /// A structured failure.
@@ -610,6 +813,9 @@ impl YieldResponse {
                     ("failed".into(), Json::Num(*failed as f64)),
                 ]),
             )]),
+            ResponseBody::CoOpt(report) => {
+                Json::Obj(vec![("co_opt_report".into(), report.to_json())])
+            }
             ResponseBody::Describe(info) => Json::Obj(vec![("describe".into(), info.to_json())]),
             ResponseBody::Error(e) => Json::Obj(vec![("error".into(), e.to_json())]),
         };
@@ -665,6 +871,7 @@ impl YieldResponse {
                 total: num("total")?,
                 failed: num("failed")?,
             },
+            "co_opt_report" => ResponseBody::CoOpt(CoOptReport::from_json(payload)?),
             "describe" => ResponseBody::Describe(ServiceInfo::from_json(payload)?),
             "error" => ResponseBody::Error(ServiceError::from_json(payload)?),
             other => {

@@ -67,6 +67,8 @@
 //! # }
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod builder;
 pub mod cache;
 pub mod design;
@@ -183,7 +185,10 @@ impl From<std::io::Error> for PipelineError {
 /// Result alias for the pipeline.
 pub type Result<T> = std::result::Result<T, PipelineError>;
 
-pub use builder::ScenarioBuilder;
+pub use builder::{
+    coordinate_descent_defaults, CoOptSpec, ScenarioBuilder, SearchAxis, SearcherSpec, COOPT_KEYS,
+    SCENARIO_KEYS, SEARCHER_KINDS,
+};
 pub use cache::BoundedCache;
 pub use design::DesignStats;
 pub use engine::{CacheConfig, CacheStats, Pipeline, Table1Anchor};
@@ -192,7 +197,7 @@ pub use envelope::{
     DEFAULT_SEED, SCHEMA_VERSION,
 };
 pub use json::Json;
-pub use report::{McBackendReport, ScenarioReport};
+pub use report::{CoOptReport, McBackendReport, ParetoFront, ParetoPoint, ScenarioReport};
 pub use service::{ServiceConfig, SweepHandle, SweepItem, SweepProgress, YieldService};
 pub use spec::{
     mc_backend_defaults, BackendSpec, CornerSpec, CorrelationSpec, LibrarySpec, MminSpec, RhoSpec,

@@ -51,7 +51,8 @@ pub struct McBackendReport {
 }
 
 impl McBackendReport {
-    fn to_json(self) -> Json {
+    /// Serialize as the nested `mc` provenance object.
+    pub fn to_json(self) -> Json {
         Json::Obj(vec![
             ("trials".into(), Json::Num(self.trials as f64)),
             (
@@ -204,6 +205,237 @@ impl ScenarioReport {
     }
 }
 
+/// One evaluated co-optimization candidate, as it appears in Pareto
+/// artifacts: the axis choices that produced it plus the solved metrics
+/// and its two ranking scalars (process demand, scalarized cost).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParetoPoint {
+    /// The candidate's self-describing scenario name
+    /// (`<study>/<key>=<value>/…`).
+    pub scenario: String,
+    /// The axis choice indices, in spec axis order (the candidate's
+    /// canonical identity within the search space).
+    pub choice: Vec<u64>,
+    /// Normalized process-demand index in `[0, 1]` (0 = least demanding
+    /// value on every axis).
+    pub demand: f64,
+    /// The scalarized circuit cost (`cnfet_core::objective::CostWeights`).
+    pub cost: f64,
+    /// The solved upsizing threshold (nm).
+    pub w_min_nm: f64,
+    /// The gate-capacitance upsizing penalty at that threshold.
+    pub upsizing_penalty: f64,
+    /// The device-level requirement the solve imposed.
+    pub p_req: f64,
+    /// The achieved `pF(W_min)`.
+    pub p_at_w_min: f64,
+    /// The correlation relaxation factor the candidate enjoyed.
+    pub relaxation: f64,
+}
+
+impl ParetoPoint {
+    /// True when `self` Pareto-dominates `other` over the minimized
+    /// `(demand, cost)` pair: no worse on both, strictly better on one.
+    pub fn dominates(&self, other: &ParetoPoint) -> bool {
+        self.demand <= other.demand
+            && self.cost <= other.cost
+            && (self.demand < other.demand || self.cost < other.cost)
+    }
+
+    /// Serialize as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("scenario".into(), Json::Str(self.scenario.clone())),
+            (
+                "choice".into(),
+                Json::Arr(self.choice.iter().map(|&i| Json::Num(i as f64)).collect()),
+            ),
+            ("demand".into(), Json::Num(self.demand)),
+            ("cost".into(), Json::Num(self.cost)),
+            ("w_min_nm".into(), Json::Num(self.w_min_nm)),
+            ("upsizing_penalty".into(), Json::Num(self.upsizing_penalty)),
+            ("p_req".into(), Json::Num(self.p_req)),
+            ("p_at_w_min".into(), Json::Num(self.p_at_w_min)),
+            ("relaxation".into(), Json::Num(self.relaxation)),
+        ])
+    }
+
+    /// Parse a point written by [`ParetoPoint::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::InvalidSpec`] on missing or mistyped fields.
+    pub fn from_json(v: &Json) -> Result<Self> {
+        let choice = v
+            .get("choice")
+            .and_then(Json::as_array)
+            .ok_or_else(|| bad_report("point needs a `choice` array"))?
+            .iter()
+            .map(|i| {
+                i.as_u64()
+                    .ok_or_else(|| bad_report("`choice` entries must be non-negative integers"))
+            })
+            .collect::<Result<_>>()?;
+        Ok(Self {
+            scenario: req_str(v, "scenario")?,
+            choice,
+            demand: req_f64(v, "demand")?,
+            cost: req_f64(v, "cost")?,
+            w_min_nm: req_f64(v, "w_min_nm")?,
+            upsizing_penalty: req_f64(v, "upsizing_penalty")?,
+            p_req: req_f64(v, "p_req")?,
+            p_at_w_min: req_f64(v, "p_at_w_min")?,
+            relaxation: req_f64(v, "relaxation")?,
+        })
+    }
+}
+
+/// The non-dominated frontier of an evaluated candidate set, minimized
+/// over `(process demand, circuit cost)` — the trade study a design team
+/// reads off a co-optimization run.
+///
+/// Construction prunes dominated points and orders the survivors by
+/// ascending demand (ties by cost, then scenario name), so the front is a
+/// deterministic, diffable artifact.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ParetoFront {
+    points: Vec<ParetoPoint>,
+}
+
+impl ParetoFront {
+    /// Build the front from every evaluated candidate, pruning dominated
+    /// points.
+    pub fn from_points(mut candidates: Vec<ParetoPoint>) -> Self {
+        candidates.sort_by(|a, b| {
+            a.demand
+                .total_cmp(&b.demand)
+                .then(a.cost.total_cmp(&b.cost))
+                .then(a.scenario.cmp(&b.scenario))
+        });
+        let mut points: Vec<ParetoPoint> = Vec::new();
+        for candidate in candidates {
+            if points.iter().any(|kept| kept.dominates(&candidate)) {
+                continue;
+            }
+            // A later candidate never dominates an earlier kept one under
+            // the (demand asc, cost asc) sort, so one forward pass is
+            // enough; equal (demand, cost) duplicates collapse to the
+            // first by scenario order.
+            if points
+                .iter()
+                .any(|kept| kept.demand == candidate.demand && kept.cost == candidate.cost)
+            {
+                continue;
+            }
+            points.push(candidate);
+        }
+        Self { points }
+    }
+
+    /// The surviving points, ascending by demand.
+    pub fn points(&self) -> &[ParetoPoint] {
+        &self.points
+    }
+
+    /// Number of non-dominated points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when the front is empty (no candidates were evaluated).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Serialize as a JSON array of points.
+    pub fn to_json(&self) -> Json {
+        Json::Arr(self.points.iter().map(ParetoPoint::to_json).collect())
+    }
+
+    /// Parse a front written by [`ParetoFront::to_json`]. The points are
+    /// re-pruned on parse, so a hand-edited artifact cannot smuggle a
+    /// dominated point back in.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::InvalidSpec`] on malformed points.
+    pub fn from_json(v: &Json) -> Result<Self> {
+        let points = v
+            .as_array()
+            .ok_or_else(|| bad_report("front must be an array"))?
+            .iter()
+            .map(ParetoPoint::from_json)
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Self::from_points(points))
+    }
+}
+
+/// The artifact of one co-optimization run: provenance, the best
+/// candidate by scalarized cost, and the Pareto front over everything the
+/// searcher evaluated. A pure function of `(spec, seed)` — worker counts
+/// never change a byte.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoOptReport {
+    /// Study name (from the spec).
+    pub name: String,
+    /// The strategy that ran (`grid`, `coordinate-descent`).
+    pub searcher: String,
+    /// The base seed of the run.
+    pub seed: u64,
+    /// Size of the declared search space.
+    pub candidates: u64,
+    /// Distinct candidates actually evaluated.
+    pub evaluations: u64,
+    /// The minimum-cost evaluated candidate (ties broken by canonical
+    /// choice order).
+    pub best: ParetoPoint,
+    /// The non-dominated frontier over every evaluated candidate.
+    pub front: ParetoFront,
+}
+
+impl CoOptReport {
+    /// Serialize as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("name".into(), Json::Str(self.name.clone())),
+            ("searcher".into(), Json::Str(self.searcher.clone())),
+            ("seed".into(), Json::from_u64(self.seed)),
+            ("candidates".into(), Json::Num(self.candidates as f64)),
+            ("evaluations".into(), Json::Num(self.evaluations as f64)),
+            ("best".into(), self.best.to_json()),
+            ("front".into(), self.front.to_json()),
+        ])
+    }
+
+    /// Parse a report written by [`CoOptReport::to_json`] — the client
+    /// half of the `co_opt` wire format.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::InvalidSpec`] on missing or mistyped fields.
+    pub fn from_json(v: &Json) -> Result<Self> {
+        let num_u64 = |key: &str| -> Result<u64> {
+            v.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| bad_report(format!("missing u64 field `{key}`")))
+        };
+        Ok(Self {
+            name: req_str(v, "name")?,
+            searcher: req_str(v, "searcher")?,
+            seed: num_u64("seed")?,
+            candidates: num_u64("candidates")?,
+            evaluations: num_u64("evaluations")?,
+            best: ParetoPoint::from_json(
+                v.get("best").ok_or_else(|| bad_report("missing `best`"))?,
+            )?,
+            front: ParetoFront::from_json(
+                v.get("front")
+                    .ok_or_else(|| bad_report("missing `front`"))?,
+            )?,
+        })
+    }
+}
+
 /// Sanitize a scenario name into a filesystem-safe artifact stem.
 fn artifact_stem(name: &str) -> String {
     let mut out: String = name
@@ -220,6 +452,20 @@ fn artifact_stem(name: &str) -> String {
         out.push_str("scenario");
     }
     out
+}
+
+/// Write a co-optimization artifact as `<name>.coopt.json`, returning the
+/// path. The serialization is pretty-printed with stable key order, so
+/// identical reports are byte-identical on disk.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_coopt_report(dir: &Path, report: &CoOptReport) -> Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{}.coopt.json", artifact_stem(&report.name)));
+    std::fs::write(&path, report.to_json().to_string_pretty())?;
+    Ok(path)
 }
 
 /// Write one JSON artifact per report plus a combined

@@ -25,7 +25,6 @@ use crate::envelope::{
     ErrorCode, RequestBody, ResponseBody, ServiceError, ServiceInfo, YieldRequest, YieldResponse,
     SCHEMA_VERSION,
 };
-use crate::json::Json;
 use crate::report::ScenarioReport;
 use crate::spec::ScenarioSpec;
 use crate::Result;
@@ -231,6 +230,23 @@ impl YieldService {
                     ResponseBody::SweepDone { total, failed },
                 ));
             }
+            RequestBody::CoOpt { .. } => {
+                // The search engine lives above this crate (`cnfet-opt`);
+                // a bare yield service advertises that honestly instead of
+                // guessing.
+                emit(YieldResponse::error(
+                    &request.id,
+                    ServiceError {
+                        code: ErrorCode::UnsupportedBody {
+                            body: "co_opt".into(),
+                        },
+                        message: "co_opt requests are served by the co-optimization front \
+                                  end (cnfet-opt `OptService` / `repro serve`), not a bare \
+                                  yield service"
+                            .into(),
+                    },
+                ));
+            }
         }
     }
 
@@ -246,24 +262,7 @@ impl YieldService {
     /// input becomes a structured error response with a best-effort id —
     /// the daemon loop of `repro serve`.
     pub fn handle_line(&self, line: &str, emit: &mut dyn FnMut(YieldResponse)) {
-        let doc = match Json::parse(line) {
-            Ok(doc) => doc,
-            Err(e) => {
-                emit(YieldResponse::error("", ServiceError::from_pipeline(&e)));
-                return;
-            }
-        };
-        let request = match YieldRequest::from_json(&doc) {
-            Ok(request) => request,
-            Err(e) => {
-                emit(YieldResponse::error(
-                    crate::envelope::recover_id(&doc),
-                    ServiceError::from_pipeline(&e),
-                ));
-                return;
-            }
-        };
-        self.stream(&request, emit);
+        crate::envelope::dispatch_line(line, emit, |request, emit| self.stream(request, emit));
     }
 }
 

@@ -144,6 +144,9 @@ pub enum CorrelationSpec {
 }
 
 impl CorrelationSpec {
+    /// The canonical scenario names, in benefit order.
+    pub const KINDS: [&'static str; 3] = ["none", "growth", "growth+aligned-layout"];
+
     const NAMES: [(&'static str, CorrelationSpec); 3] = [
         ("none", CorrelationSpec::None),
         ("growth", CorrelationSpec::Growth),
@@ -189,6 +192,9 @@ pub enum LibrarySpec {
 }
 
 impl LibrarySpec {
+    /// The canonical library names.
+    pub const KINDS: [&'static str; 2] = ["nangate45", "commercial65"];
+
     /// Generate the library.
     pub fn build(&self) -> cnfet_celllib::CellLibrary {
         match self {
@@ -267,6 +273,9 @@ pub fn mc_backend_defaults() -> BackendSpec {
 }
 
 impl BackendSpec {
+    /// The canonical back-end kind names.
+    pub const KINDS: [&'static str; 3] = ["convolution", "gaussian-sum", "monte-carlo"];
+
     /// The equivalent `cnt-stats` count model. The Monte-Carlo back-end's
     /// adaptive driver lives above the count model (see
     /// `cnfet_core::stochastic::McFailure`); here it maps to the
@@ -453,6 +462,11 @@ pub struct ScenarioSpec {
     pub m_min: MminSpec,
     /// Critical-FET density source.
     pub rho: RhoSpec,
+    /// CNT correlation length `L_CNT` (µm) — how far devices along the
+    /// growth direction share the same CNTs. Sets the row size
+    /// `M_Rmin = L_CNT · ρ` and with it the correlated-scenario
+    /// relaxation; the paper's directional growth reaches 200 µm.
+    pub l_cnt_um: f64,
     /// Aligned-active grid policy (Sec 3.3: one or two regions).
     pub grid: GridPolicy,
     /// Use the reduced OpenRISC-class design for the mapped statistics.
@@ -479,6 +493,7 @@ impl ScenarioSpec {
             m_transistors: paper::M_TRANSISTORS,
             m_min: MminSpec::Fraction(paper::MMIN_FRACTION),
             rho: RhoSpec::Measured,
+            l_cnt_um: paper::L_CNT_UM,
             grid: GridPolicy::Single,
             fast_design: false,
             mc_trials: 0,
@@ -505,6 +520,9 @@ impl ScenarioSpec {
             if !(f > 0.0 && f <= 1.0) {
                 return Err(invalid("m_min", "fraction must be in (0, 1]"));
             }
+        }
+        if !(self.l_cnt_um.is_finite() && self.l_cnt_um > 0.0) {
+            return Err(invalid("l_cnt_um", "must be finite and > 0"));
         }
         match self.backend {
             BackendSpec::Convolution { step } => {
@@ -588,6 +606,7 @@ impl ScenarioSpec {
                     .into(),
                 ),
             ),
+            ("l_cnt_um".into(), Json::Num(self.l_cnt_um)),
             (
                 "grid".into(),
                 Json::Str(
@@ -737,7 +756,7 @@ impl ScenarioGrid {
 }
 
 /// Compact rendering of an axis value for auto-generated scenario names.
-fn axis_label(v: &Json) -> String {
+pub(crate) fn axis_label(v: &Json) -> String {
     match v {
         Json::Str(s) => s.clone(),
         Json::Num(n) if n.fract() == 0.0 && n.abs() < 1e15 => format!("{}", *n as i64),

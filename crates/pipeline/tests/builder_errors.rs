@@ -1,0 +1,211 @@
+//! Exhaustive error-path coverage of [`ScenarioBuilder::set_json`]: every
+//! field arm's rejection, the [`ErrorCode`] each one maps to on the wire,
+//! and the Levenshtein nearest-key suggestion text — so a client typo can
+//! never silently fall back to a default.
+
+use cnfet_pipeline::{
+    ErrorCode, Json, PipelineError, ScenarioBuilder, ServiceError, SCENARIO_KEYS,
+};
+
+fn set(key: &str, value: &str) -> Result<ScenarioBuilder, PipelineError> {
+    ScenarioBuilder::new("t").set_json(key, &Json::parse(value).unwrap())
+}
+
+/// The wire classification of a builder error.
+fn code(err: &PipelineError) -> ErrorCode {
+    ServiceError::from_pipeline(err).code
+}
+
+#[test]
+fn every_field_arm_rejects_mistyped_values_as_bad_spec() {
+    // (key, bad value, fragment the message must carry): one case per
+    // `set_json` arm, each a type (not domain) violation.
+    let cases = [
+        ("name", "1", "must be a string"),
+        ("corner", "42", "must be a string or an object"),
+        ("corner", r#""bogus""#, "unknown corner"),
+        ("corner", r#"{ "pm": 0.3 }"#, "missing `p_rs`"),
+        (
+            "corner",
+            r#"{ "pm": "x", "p_rs": 0.1 }"#,
+            "must be a number",
+        ),
+        ("correlation", "3", "must be a string"),
+        ("correlation", r#""sideways""#, "unknown scenario"),
+        ("library", "1", "must be a string"),
+        ("library", r#""tsmc7""#, "unknown library"),
+        ("node_nm", r#""wide""#, "must be a number"),
+        ("yield_target", "true", "must be a number"),
+        ("backend", "9", "must be a string or an object"),
+        ("backend", r#""quantum""#, "unknown backend"),
+        (
+            "backend",
+            r#"{ "kind": "monte-carlo", "trials": 5 }"#,
+            "unknown monte-carlo field",
+        ),
+        ("m_transistors", r#""many""#, "must be a number"),
+        ("m_min", r#""most""#, "fraction or \"self-consistent\""),
+        ("rho", "1.8", "\"paper\" or \"measured\""),
+        ("l_cnt_um", r#""long""#, "must be a number"),
+        ("grid", r#""triple""#, "\"single\" or \"dual\""),
+        ("fast_design", r#""yes""#, "must be a boolean"),
+        ("mc_trials", r#""lots""#, "must be a number"),
+    ];
+    for (key, value, fragment) in cases {
+        let err = set(key, value).unwrap_err();
+        assert!(
+            err.to_string().contains(fragment),
+            "`{key}` = {value}: message `{err}` must contain `{fragment}`"
+        );
+        match code(&err) {
+            ErrorCode::BadSpec { field } => assert!(
+                !field.is_empty(),
+                "`{key}` must map to bad_spec with a named field"
+            ),
+            other => panic!("`{key}` = {value} must map to bad_spec, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn every_domain_violation_is_caught_at_build() {
+    // Values with the right type but out of domain: accepted by the
+    // setter, rejected by `build()`.
+    let cases = [
+        ("node_nm", "-45"),
+        ("node_nm", "0"),
+        ("yield_target", "0"),
+        ("yield_target", "1.5"),
+        ("m_transistors", "0.5"),
+        ("m_min", "0"),
+        ("m_min", "1.5"),
+        ("l_cnt_um", "-200"),
+        ("l_cnt_um", "0"),
+        ("backend", r#"{ "kind": "convolution", "step": -0.05 }"#),
+        ("backend", r#"{ "monte-carlo": { "rel_ci": 0 } }"#),
+    ];
+    for (key, value) in cases {
+        let err = set(key, value)
+            .unwrap_or_else(|e| panic!("`{key}` = {value} is a domain error, not {e}"))
+            .build()
+            .unwrap_err();
+        match code(&err) {
+            ErrorCode::BadSpec { .. } => {}
+            other => panic!("`{key}` = {value} must map to bad_spec, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn unknown_keys_map_to_unknown_key_with_the_documented_suggestion() {
+    // The satellite contract: the Levenshtein suggestion is part of the
+    // error surface, both structured and in display text.
+    let cases = [
+        ("yeild_target", Some("yield_target")),
+        ("corelation", Some("correlation")),
+        ("nodenm", Some("node_nm")),
+        ("l_cnt_un", Some("l_cnt_um")),
+        ("backened", Some("backend")),
+        ("fastdesign", Some("fast_design")),
+        ("zzzzzzzzzz", None), // hopeless typos get no guess
+    ];
+    for (key, expected) in cases {
+        let err = set(key, "1").unwrap_err();
+        match &err {
+            PipelineError::UnknownKey {
+                key: got,
+                suggestion,
+                ..
+            } => {
+                assert_eq!(got, key);
+                assert_eq!(suggestion.as_deref(), expected, "for `{key}`");
+            }
+            other => panic!("`{key}` must be UnknownKey, got {other:?}"),
+        }
+        match code(&err) {
+            ErrorCode::UnknownKey {
+                key: got,
+                suggestion,
+            } => {
+                assert_eq!(got, key);
+                assert_eq!(suggestion.as_deref(), expected);
+            }
+            other => panic!("`{key}` must map to unknown_key, got {other:?}"),
+        }
+        match expected {
+            Some(s) => assert!(
+                err.to_string().contains(&format!("did you mean `{s}`?")),
+                "display for `{key}`: {err}"
+            ),
+            None => assert!(
+                !err.to_string().contains("did you mean"),
+                "display for `{key}`: {err}"
+            ),
+        }
+    }
+}
+
+#[test]
+fn every_scenario_key_has_a_working_set_json_arm() {
+    // The inverse guarantee: the advertised schema (`SCENARIO_KEYS`, which
+    // `describe` exposes on the wire) is exactly the set of keys the
+    // builder accepts.
+    let good = [
+        ("name", r#""renamed""#),
+        ("corner", r#""ideal-removal""#),
+        ("correlation", r#""growth""#),
+        ("library", r#""commercial65""#),
+        ("node_nm", "32"),
+        ("yield_target", "0.95"),
+        ("backend", r#""gaussian-sum""#),
+        ("m_transistors", "1e7"),
+        ("m_min", r#""self-consistent""#),
+        ("rho", r#""paper""#),
+        ("l_cnt_um", "400"),
+        ("grid", r#""dual""#),
+        ("fast_design", "true"),
+        ("mc_trials", "50"),
+    ];
+    assert_eq!(good.len(), SCENARIO_KEYS.len());
+    let mut builder = ScenarioBuilder::new("t");
+    for (key, value) in good {
+        assert!(SCENARIO_KEYS.contains(&key), "`{key}` must be advertised");
+        builder = builder
+            .set_json(key, &Json::parse(value).unwrap())
+            .unwrap_or_else(|e| panic!("`{key}` = {value} must be accepted: {e}"));
+    }
+    let spec = builder.build().unwrap();
+    assert_eq!(spec.name, "renamed");
+    assert_eq!(spec.l_cnt_um, 400.0);
+}
+
+#[test]
+fn coopt_axis_values_are_domain_validated_at_parse_time() {
+    // A domain-invalid candidate value must fail at parse, not mid-search.
+    let err = cnfet_pipeline::CoOptSpec::parse(
+        r#"{ "name": "bad", "search": { "l_cnt_um": [-50, 200] } }"#,
+    )
+    .unwrap_err();
+    assert!(
+        matches!(code(&err), ErrorCode::BadSpec { field } if field == "l_cnt_um"),
+        "got {err:?}"
+    );
+    // Out-of-domain values reachable only through an axis combination
+    // still fail per-value against the base.
+    assert!(cnfet_pipeline::CoOptSpec::parse(
+        r#"{ "name": "bad", "search": { "yield_target": [0.9, 1.5] } }"#,
+    )
+    .is_err());
+}
+
+#[test]
+fn coopt_name_must_be_a_string_when_present() {
+    // A mistyped `name` must error, not silently rename the artifact.
+    let err =
+        cnfet_pipeline::CoOptSpec::parse(r#"{ "name": 42, "search": { "l_cnt_um": [200] } }"#)
+            .unwrap_err();
+    assert!(err.to_string().contains("must be a string"), "got {err:?}");
+    // Omitting it entirely still falls back to the documented default.
+    let spec = cnfet_pipeline::CoOptSpec::parse(r#"{ "search": { "l_cnt_um": [200] } }"#).unwrap();
+    assert_eq!(spec.name, "coopt");
+}

@@ -3,9 +3,10 @@
 //! must be rejected with a structured `unsupported_schema` error.
 
 use cnfet_pipeline::{
-    BackendSpec, CorrelationSpec, ErrorCode, Json, LibrarySpec, McBackendReport, ResponseBody,
-    ScenarioGrid, ScenarioReport, ScenarioSpec, ServiceError, ServiceInfo, YieldRequest,
-    YieldResponse, YieldService, SCHEMA_VERSION,
+    BackendSpec, CoOptReport, CoOptSpec, CorrelationSpec, ErrorCode, Json, LibrarySpec,
+    McBackendReport, ParetoFront, ParetoPoint, ResponseBody, ScenarioGrid, ScenarioReport,
+    ScenarioSpec, SearchAxis, SearcherSpec, ServiceError, ServiceInfo, YieldRequest, YieldResponse,
+    YieldService, SCHEMA_VERSION,
 };
 use proptest::prelude::*;
 
@@ -19,7 +20,7 @@ fn text(indices: &[usize]) -> String {
 }
 
 fn error_code(variant: usize, key: &[usize], suggest: bool, n: u64) -> ErrorCode {
-    match variant % 6 {
+    match variant % 7 {
         0 => ErrorCode::BadRequest,
         1 => ErrorCode::UnsupportedSchema { requested: n },
         2 => ErrorCode::BadSpec { field: text(key) },
@@ -27,8 +28,49 @@ fn error_code(variant: usize, key: &[usize], suggest: bool, n: u64) -> ErrorCode
             key: text(key),
             suggestion: suggest.then(|| "yield_target".to_string()),
         },
-        4 => ErrorCode::Unconverged,
+        4 => ErrorCode::UnsupportedBody { body: text(key) },
+        5 => ErrorCode::Unconverged,
         _ => ErrorCode::Internal,
+    }
+}
+
+fn coopt_spec(name: &[usize], node: f64, target: f64, backend: usize, searcher: bool) -> CoOptSpec {
+    CoOptSpec {
+        name: text(name),
+        base: spec(name, node, target, backend),
+        axes: vec![
+            SearchAxis {
+                key: "l_cnt_um".into(),
+                values: vec![Json::Num(50.0), Json::Num(200.0), Json::Num(400.0)],
+            },
+            SearchAxis {
+                key: "grid".into(),
+                values: vec![Json::Str("dual".into()), Json::Str("single".into())],
+            },
+        ],
+        objective: cnfet_core::objective::CostWeights::default(),
+        searcher: if searcher {
+            SearcherSpec::GridScan
+        } else {
+            SearcherSpec::CoordinateDescent {
+                restarts: 4,
+                max_sweeps: 7,
+            }
+        },
+    }
+}
+
+fn pareto_point(name: &[usize], w_min: f64, demand: f64) -> ParetoPoint {
+    ParetoPoint {
+        scenario: text(name),
+        choice: vec![1, 0],
+        demand,
+        cost: w_min / 155.0,
+        w_min_nm: w_min,
+        upsizing_penalty: 0.065,
+        p_req: 1.1e-6,
+        p_at_w_min: 9.7e-7,
+        relaxation: 360.0,
     }
 }
 
@@ -94,7 +136,7 @@ proptest! {
         backend in 0usize..12,
         seed in 0u64..u64::MAX, // full range: split seeds exceed 2^53
         workers in 1usize..16,
-        kind in 0usize..3,
+        kind in 0usize..4,
     ) {
         let s = spec(&name, node, target, backend);
         let request = match kind {
@@ -104,6 +146,12 @@ proptest! {
                 ScenarioGrid { scenarios: vec![s] },
                 seed,
                 (workers % 2 == 0).then_some(workers),
+            ),
+            2 => YieldRequest::co_opt(
+                text(&id),
+                coopt_spec(&name, node, target, backend, workers % 2 == 0),
+                seed,
+                (workers % 3 == 0).then_some(workers),
             ),
             _ => YieldRequest::describe(text(&id)),
         };
@@ -118,12 +166,12 @@ proptest! {
         id in prop::collection::vec(0usize..16, 0..12),
         name in prop::collection::vec(0usize..16, 0..10),
         message in prop::collection::vec(0usize..16, 0..24),
-        variant in 0usize..6,
+        variant in 0usize..7,
         suggest in proptest::bool::ANY,
         n in 0u64..100,
         seed in 0u64..u64::MAX,
         w_min in 20.0f64..400.0,
-        kind in 0usize..5,
+        kind in 0usize..6,
         with_mc in proptest::bool::ANY,
     ) {
         let body = match kind {
@@ -134,7 +182,23 @@ proptest! {
                 report: report(&name, seed, w_min, with_mc),
             },
             2 => ResponseBody::SweepDone { total: n + 3, failed: n % 4 },
-            3 => ResponseBody::Describe(ServiceInfo::default()),
+            3 => ResponseBody::Describe(if with_mc {
+                ServiceInfo::with_co_opt()
+            } else {
+                ServiceInfo::default()
+            }),
+            4 => ResponseBody::CoOpt(CoOptReport {
+                name: text(&name),
+                searcher: "grid".into(),
+                seed,
+                candidates: n + 6,
+                evaluations: n + 1,
+                best: pareto_point(&name, w_min, 0.5),
+                front: ParetoFront::from_points(vec![
+                    pareto_point(&name, w_min, 0.5),
+                    pareto_point(&message, w_min + 30.0, 0.25),
+                ]),
+            }),
             _ => ResponseBody::Error(ServiceError {
                 code: error_code(variant, &name, suggest, n),
                 message: text(&message),

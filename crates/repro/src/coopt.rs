@@ -1,0 +1,74 @@
+//! `coopt <spec.json>` — run a process–design co-optimization study and
+//! emit the Pareto-front artifact.
+//!
+//! The spec file is a declarative [`CoOptSpec`] document (see the README's
+//! "Co-optimization" section); the run fans candidate scenarios through
+//! the shared yield service, so `--workers` only changes wall-clock —
+//! the emitted `<name>.coopt.json` artifact is byte-identical for any
+//! worker count.
+
+use crate::common::{banner, write_csv, Result, RunContext};
+use cnfet_opt::run_co_opt;
+use cnfet_pipeline::{report, CoOptSpec};
+use cnfet_plot::Table;
+
+/// Run a co-optimization spec file through the engine.
+pub fn run(ctx: &RunContext, spec_file: &str, workers: Option<usize>) -> Result<()> {
+    banner("COOPT", &format!("co-optimization spec `{spec_file}`"));
+
+    let src = std::fs::read_to_string(spec_file)?;
+    let mut spec = CoOptSpec::parse(&src)?;
+    if ctx.fast {
+        spec.base.fast_design = true;
+    }
+    let workers = workers.unwrap_or(ctx.service.config().sweep_workers);
+    let seed = ctx.seed_or(20100613);
+    println!(
+        "  `{}`: {} axes, {} candidates, searcher `{}`, {} workers (seed {seed})",
+        spec.name,
+        spec.axes.len(),
+        spec.candidate_count(),
+        spec.searcher.name(),
+        workers,
+    );
+
+    let report = run_co_opt(&ctx.service, &spec, seed, workers)?;
+
+    let mut table = Table::new(
+        "pareto front (demand ascending)",
+        &[
+            "candidate",
+            "demand",
+            "cost",
+            "W_min_nm",
+            "penalty_percent",
+            "relaxation",
+        ],
+    );
+    for point in report.front.points() {
+        table
+            .add_row(&[
+                point.scenario.clone(),
+                format!("{:.3}", point.demand),
+                format!("{:.4}", point.cost),
+                format!("{:.1}", point.w_min_nm),
+                format!("{:.1}", point.upsizing_penalty * 100.0),
+                format!("{:.0}x", point.relaxation),
+            ])
+            .map_err(crate::common::analysis)?;
+    }
+    println!("{}", table.to_markdown());
+    println!(
+        "  best: `{}` (cost {:.4}, W_min {:.1} nm); {} of {} candidates evaluated",
+        report.best.scenario,
+        report.best.cost,
+        report.best.w_min_nm,
+        report.evaluations,
+        report.candidates,
+    );
+    write_csv(ctx, &format!("{}-pareto", spec.name), &table)?;
+
+    let path = report::write_coopt_report(&ctx.out_dir, &report)?;
+    println!("  [json] {}", path.display());
+    Ok(())
+}

@@ -4,6 +4,7 @@
 //! cnfet-repro <experiment> [--fast] [--out-dir <path>] [--seed <u64>]
 //! cnfet-repro sweep <grid-file> [--fast] [--out-dir <path>] [--seed <u64>] [--workers <n>]
 //!                   [--backend <name-or-json>]
+//! cnfet-repro coopt <spec-file> [--fast] [--out-dir <path>] [--seed <u64>] [--workers <n>]
 //! cnfet-repro serve [--workers <n>] [--curve-cache <n>]
 //!
 //! experiments:
@@ -18,7 +19,8 @@
 //!   extras    beyond-paper analyses: grid trade-off, pRm requirement
 //!   all       everything above, in paper order
 //!   sweep     evaluate a declarative scenario-grid file in parallel
-//!   serve     JSON-lines yield-service daemon on stdin/stdout
+//!   coopt     run a process–design co-optimization study (Pareto artifact)
+//!   serve     JSON-lines yield-service daemon on stdin/stdout (incl. co_opt)
 //!
 //! options:
 //!   --fast            reduced trial counts and design sizes
@@ -27,8 +29,8 @@
 //!   --backend <b>     (sweep) override every scenario's count back-end:
 //!                     convolution | gaussian-sum | monte-carlo, or a JSON
 //!                     object, e.g. '{"monte-carlo": {"rel_ci": 0.05}}'
-//!   --workers <n>     (sweep, serve) worker threads; wall-clock only,
-//!                     never results
+//!   --workers <n>     (sweep, coopt, serve) worker threads; wall-clock
+//!                     only, never results
 //!   --curve-cache <n> (serve) LRU capacity of the shared pF(W) curve cache
 //! ```
 //!
@@ -39,6 +41,7 @@
 //! aligned libraries across experiments.
 
 mod common;
+mod coopt;
 mod extras;
 mod fig2_1;
 mod fig2_2a;
@@ -61,6 +64,7 @@ fn usage() {
          [--fast] [--out-dir <path>] [--seed <u64>]\n       \
          cnfet-repro sweep <grid-file> [--fast] [--out-dir <path>] [--seed <u64>] [--workers <n>] \
          [--backend <name-or-json>]\n       \
+         cnfet-repro coopt <spec-file> [--fast] [--out-dir <path>] [--seed <u64>] [--workers <n>]\n       \
          cnfet-repro serve [--workers <n>] [--curve-cache <n>]"
     );
 }
@@ -170,6 +174,22 @@ fn dispatch(cli: &Cli) -> common::Result<()> {
             ));
         };
         return sweep::run(&ctx, grid_file, cli.workers, cli.backend.as_deref());
+    }
+
+    if which == "coopt" {
+        if cli.backend.is_some() {
+            return Err(ReproError::Usage(
+                "--backend only applies to the sweep subcommand; pin the back-end in \
+                 the coopt spec's `base` instead"
+                    .into(),
+            ));
+        }
+        let Some(spec_file) = cli.positionals.get(1) else {
+            return Err(ReproError::Usage(
+                "coopt needs a <spec-file> argument".into(),
+            ));
+        };
+        return coopt::run(&ctx, spec_file, cli.workers);
     }
 
     if cli.backend.is_some() {

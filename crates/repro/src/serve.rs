@@ -3,10 +3,12 @@
 //! Reads one [`cnfet_pipeline::YieldRequest`] per stdin line and writes
 //! one or more single-line [`cnfet_pipeline::YieldResponse`]s to stdout
 //! (sweeps stream one `sweep_report` per scenario, in index order, then a
-//! `sweep_done`). stdout carries *only* JSON lines — all diagnostics go
-//! to stderr — so external co-optimizers can pipe the daemon directly.
-//! The process stays up across malformed input (every problem becomes a
-//! structured error response) and exits 0 on EOF.
+//! `sweep_done`). The daemon runs the co-optimization front end
+//! ([`cnfet_opt::OptService`]), so `co_opt` request bodies are executed
+//! in-process rather than declined. stdout carries *only* JSON lines —
+//! all diagnostics go to stderr — so external co-optimizers can pipe the
+//! daemon directly. The process stays up across malformed input (every
+//! problem becomes a structured error response) and exits 0 on EOF.
 //!
 //! ```text
 //! printf '%s\n' \
@@ -20,7 +22,8 @@
 //! and `--workers` only changes wall-clock time, never bytes.
 
 use crate::common::{ReproError, Result};
-use cnfet_pipeline::{ServiceConfig, YieldService};
+use cnfet_opt::OptService;
+use cnfet_pipeline::ServiceConfig;
 use std::io::{BufRead, Write};
 
 /// Configuration of one daemon session, parsed from the CLI.
@@ -46,10 +49,10 @@ pub fn run(options: &ServeOptions) -> Result<()> {
         }
         config.cache.curve_capacity = capacity;
     }
-    let service = YieldService::with_config(config);
+    let service = OptService::with_config(config);
     eprintln!(
-        "repro serve: yield service up (schema 1, {} sweep workers, {} curve slots); \
-         one JSON request per line, ctrl-d to exit",
+        "repro serve: yield service up (schema 1 incl. co_opt, {} sweep workers, \
+         {} curve slots); one JSON request per line, ctrl-d to exit",
         config.sweep_workers, config.cache.curve_capacity
     );
 

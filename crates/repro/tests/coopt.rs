@@ -1,0 +1,103 @@
+//! Acceptance tests of the `repro coopt` subcommand: the example trade
+//! study runs end-to-end and its Pareto artifact is byte-identical for
+//! any `--workers` value.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("repo root")
+        .to_path_buf()
+}
+
+/// Run `repro coopt` on the example spec with a given worker count in an
+/// isolated scratch directory; return (stdout, artifact bytes).
+fn run_coopt(tag: &str, workers: u32) -> (String, String) {
+    let dir = Path::new(env!("CARGO_TARGET_TMPDIR")).join(format!("repro-coopt-{tag}"));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    let spec = repo_root().join("examples/coopt/correlation_tradeoff.json");
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args([
+            "coopt",
+            spec.to_str().expect("utf-8 path"),
+            "--workers",
+            &workers.to_string(),
+        ])
+        .current_dir(&dir)
+        .output()
+        .expect("spawn repro binary");
+    assert!(
+        out.status.success(),
+        "`repro coopt --workers {workers}` failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).expect("utf-8 output");
+    let artifact = dir.join("results/correlation-tradeoff.coopt.json");
+    let bytes = std::fs::read_to_string(&artifact)
+        .unwrap_or_else(|e| panic!("artifact {}: {e}", artifact.display()));
+    (stdout, bytes)
+}
+
+#[test]
+fn example_artifact_is_byte_identical_across_worker_counts() {
+    let (stdout, one) = run_coopt("w1", 1);
+    let (_, eight) = run_coopt("w8", 8);
+    assert_eq!(
+        one, eight,
+        "the Pareto artifact must not depend on --workers"
+    );
+    assert!(
+        stdout.contains("pareto front"),
+        "stdout must render the front:\n{stdout}"
+    );
+
+    // The artifact parses back as a typed report and carries the paper's
+    // qualitative result: along the single-grid slice, W_min strictly
+    // decreases as the correlation length grows.
+    let report = cnfet_pipeline::CoOptReport::from_json(
+        &cnfet_pipeline::Json::parse(&one).expect("valid JSON artifact"),
+    )
+    .expect("typed artifact");
+    assert_eq!(report.name, "correlation-tradeoff");
+    assert_eq!(report.candidates, 16);
+    assert_eq!(report.evaluations, 16, "the grid scan is exhaustive");
+    let front = report.front.points();
+    assert!(
+        front.len() >= 3,
+        "at least three correlation settings survive on the front"
+    );
+    // The paper's qualitative result, read straight off the front: every
+    // step up in process demand (longer CNTs / stricter layout) buys a
+    // strictly smaller W_min at the fixed 90 % yield target.
+    for pair in front.windows(2) {
+        assert!(pair[0].demand <= pair[1].demand, "front sorted by demand");
+        assert!(
+            pair[1].w_min_nm < pair[0].w_min_nm,
+            "W_min must strictly decrease along the front: {} then {}",
+            pair[0].scenario,
+            pair[1].scenario
+        );
+    }
+    // Table 2 anchor: the paper's ~350× relaxation (M_Rmin = 360) sits at
+    // the correlated threshold, the 103 nm Nangate column.
+    let anchored = front
+        .iter()
+        .find(|p| (p.relaxation - 360.0).abs() < 1.0)
+        .expect("the paper's relaxation corner is on the front");
+    assert!(
+        (anchored.w_min_nm - 103.0).abs() < 8.0,
+        "Table 2 Nangate column: measured {} nm",
+        anchored.w_min_nm
+    );
+    // The cheapest candidate is the most process-demanding corner: the
+    // longest correlation length on the single aligned grid.
+    assert!(
+        report.best.scenario.contains("l_cnt_um=400")
+            && report.best.scenario.contains("grid=single"),
+        "best: {}",
+        report.best.scenario
+    );
+}

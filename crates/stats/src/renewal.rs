@@ -147,7 +147,7 @@ impl RenewalCount {
     /// For the [`CountModel::Convolution`] back-end this does *not*
     /// materialize the count distribution: the PGF is evaluated directly by
     /// a single renewal-equation sweep over the grid
-    /// ([`RenewalCount::failure_probability_conv`]), which is `O(W · S̄)`
+    /// (`RenewalCount::failure_probability_conv`), which is `O(W · S̄)`
     /// cells instead of `O(W² · S̄)` and is what makes bisection solvers
     /// over wide brackets (up to micrometre widths) tractable.
     ///

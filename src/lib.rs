@@ -37,6 +37,7 @@
 //! | [`sim`] (`cnfet-sim`) | conditional Monte Carlo + exact run-DP |
 //! | [`core`] (`cnfet-core`) | the paper's yield models and optimizer |
 //! | [`pipeline`] (`cnfet-pipeline`) | scenario specs, bounded curve caches, the v1 `YieldService` + envelopes |
+//! | [`opt`] (`cnfet-opt`) | process–design co-optimization: searchers, Pareto fronts, `OptService` |
 //! | [`plot`] (`cnfet-plot`) | ASCII figures and markdown/CSV tables |
 //!
 //! ## Quickstart
@@ -93,6 +94,7 @@ pub use cnfet_core as core;
 pub use cnfet_device as device;
 pub use cnfet_layout as layout;
 pub use cnfet_netlist as netlist;
+pub use cnfet_opt as opt;
 pub use cnfet_pipeline as pipeline;
 pub use cnfet_plot as plot;
 pub use cnfet_sim as sim;
@@ -117,6 +119,7 @@ mod tests {
         let _ = crate::core::paper::M_TRANSISTORS;
         let _ = crate::pipeline::ScenarioSpec::baseline("t");
         let _ = crate::pipeline::YieldService::new().describe();
+        let _ = crate::opt::OptService::new().describe();
         let _ = crate::plot::Table::new("t", &["a"]);
         assert!(!crate::VERSION.is_empty());
     }

@@ -94,7 +94,7 @@ pub mod bool {
 }
 
 pub mod collection {
-    //! Collection strategies ([`vec`]).
+    //! Collection strategies ([`vec()`]).
     use super::Strategy;
     use rand::rngs::StdRng;
 
@@ -160,7 +160,7 @@ pub mod collection {
 
 #[doc(hidden)]
 pub mod test_runner {
-    //! Support machinery for the [`proptest!`] macro expansion.
+    //! Support machinery for the `proptest!` macro expansion.
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
