@@ -18,8 +18,8 @@ use crate::curve::PFailure;
 use crate::failure::FailureModel;
 use crate::Result;
 use cnfet_sim::adaptive::{McOutcome, McPrecision};
-use cnfet_sim::engine::split_seed;
 use cnfet_sim::estimate_fet_failure_adaptive;
+use cnt_stats::seed::split_seed;
 use std::collections::HashMap;
 use std::sync::RwLock;
 

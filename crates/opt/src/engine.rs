@@ -14,7 +14,7 @@ use cnfet_core::objective::CandidateMetrics;
 use cnfet_pipeline::{
     CoOptReport, CoOptSpec, ParetoFront, ParetoPoint, Result, ScenarioReport, YieldService,
 };
-use cnfet_sim::engine::split_seed;
+use cnt_stats::seed::split_seed;
 use std::collections::BTreeMap;
 
 /// One evaluated point of the search space.

@@ -20,7 +20,7 @@
 
 use crate::engine::SearchContext;
 use cnfet_pipeline::{Result, SearcherSpec};
-use cnfet_sim::engine::split_seed;
+use cnt_stats::seed::split_seed;
 
 /// Seed salt separating restart-start-point derivation from batch seeds.
 const RESTART_SALT: u64 = 0x636F_6F70; // "coop"

@@ -1,0 +1,67 @@
+//! Integration contract of the fab-space search: the shipped example
+//! spec parses and executes, the ranking matches physical expectation
+//! (flatter density profile → higher wafer yield), and dist-valued
+//! co-opt axes — the scalar knobs' new distribution forms — parse and
+//! evaluate end to end.
+
+use cnfet_opt::{run_co_opt, run_fab_search, FabSpec};
+use cnfet_pipeline::{CoOptSpec, YieldService};
+
+#[test]
+fn shipped_example_spec_runs_and_ranks_flat_trend_best() {
+    let src = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../examples/coopt/field_hyperparameters.json"
+    ))
+    .expect("example spec must ship");
+    let spec = FabSpec::parse(&src).expect("example spec must parse");
+    assert_eq!(spec.candidate_count(), 9);
+
+    let service = YieldService::new();
+    let report = run_fab_search(&service, &spec, 20100613, 2).unwrap();
+    assert_eq!(report.candidates.len(), 9);
+    let best = &report.candidates[report.best];
+    assert!(
+        best.label.contains("density.trend=0"),
+        "flattest wafer must win: {}",
+        best.label
+    );
+    // The artifact round-trips as stable JSON (same run, same bytes).
+    let again = run_fab_search(&service, &spec, 20100613, 4).unwrap();
+    assert_eq!(
+        report.to_json().to_string_pretty(),
+        again.to_json().to_string_pretty()
+    );
+}
+
+#[test]
+fn coopt_axes_accept_distribution_values() {
+    // A scenario axis may now carry distribution objects: the candidates
+    // realize per-seed draws through the stochastic knob layer.
+    let spec = CoOptSpec::parse(
+        r#"{
+            "name": "dist-axis",
+            "base": {
+                "backend": "gaussian-sum",
+                "rho": "paper",
+                "fast_design": true,
+                "correlation": "growth+aligned-layout"
+            },
+            "search": {
+                "density": [1.0, { "gaussian": { "mean": 1.0, "sd": 0.05 } }],
+                "l_cnt_um": [100, 200]
+            },
+            "searcher": "grid"
+        }"#,
+    )
+    .unwrap();
+    let report = run_co_opt(&YieldService::new(), &spec, 7, 2).unwrap();
+    assert_eq!(report.evaluations, 4);
+    // Same spec, same seed → byte-identical artifact even though half the
+    // candidates sample their density.
+    let again = run_co_opt(&YieldService::new(), &spec, 7, 1).unwrap();
+    assert_eq!(
+        report.to_json().to_string_pretty(),
+        again.to_json().to_string_pretty()
+    );
+}

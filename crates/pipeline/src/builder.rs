@@ -23,7 +23,7 @@ use cnfet_layout::GridPolicy;
 /// Every field name [`ScenarioBuilder::set_json`] accepts, in the order
 /// they appear in serialized specs. The service's `Describe` response
 /// exposes this list so wire clients can introspect the schema.
-pub const SCENARIO_KEYS: [&str; 14] = [
+pub const SCENARIO_KEYS: [&str; 15] = [
     "name",
     "corner",
     "correlation",
@@ -34,6 +34,7 @@ pub const SCENARIO_KEYS: [&str; 14] = [
     "m_transistors",
     "m_min",
     "rho",
+    "density",
     "l_cnt_um",
     "grid",
     "fast_design",
@@ -69,12 +70,12 @@ pub(crate) fn suggest(key: &str, candidates: &[&'static str]) -> Option<&'static
         .map(|(_, c)| c)
 }
 
-/// Build an [`PipelineError::UnknownKey`] with the nearest valid key.
-pub(crate) fn unknown_key(
-    context: &'static str,
-    key: &str,
-    candidates: &[&'static str],
-) -> PipelineError {
+/// Build an [`PipelineError::UnknownKey`] with the nearest valid key by
+/// edit distance (suggested when the typo is within max(2, len/3) edits).
+/// Public so downstream front ends (the `cnfet-opt` fab search, custom
+/// spec layers) report typos with the same structure and suggestion rule
+/// as the core parsers.
+pub fn unknown_key(context: &'static str, key: &str, candidates: &[&'static str]) -> PipelineError {
     PipelineError::UnknownKey {
         context,
         key: key.to_string(),
@@ -176,8 +177,21 @@ impl ScenarioBuilder {
         self
     }
 
-    /// CNT correlation length `L_CNT` (µm).
+    /// Critical-FET density multiplier (a distribution for stochastic
+    /// scenarios; [`cnt_stats::DistSpec::Fixed`] for the scalar form).
+    pub fn density(mut self, density: cnt_stats::DistSpec) -> Self {
+        self.spec.density = density;
+        self
+    }
+
+    /// CNT correlation length `L_CNT` (µm) — the scalar (fixed) form.
     pub fn l_cnt_um(mut self, l_cnt_um: f64) -> Self {
+        self.spec.l_cnt_um = cnt_stats::DistSpec::Fixed(l_cnt_um);
+        self
+    }
+
+    /// CNT correlation length `L_CNT` (µm) as a distribution.
+    pub fn l_cnt_um_dist(mut self, l_cnt_um: cnt_stats::DistSpec) -> Self {
         self.spec.l_cnt_um = l_cnt_um;
         self
     }
@@ -245,10 +259,13 @@ impl ScenarioBuilder {
             }
             "m_min" => match value {
                 Json::Str(s) if s == "self-consistent" => Ok(self.m_min(MminSpec::SelfConsistent)),
-                Json::Num(f) => Ok(self.m_min(MminSpec::Fraction(*f))),
+                Json::Num(_) | Json::Obj(_) => {
+                    let d = crate::knob::dist_from_json("m_min", value)?;
+                    Ok(self.m_min(MminSpec::Fraction(d)))
+                }
                 _ => Err(invalid(
                     "m_min",
-                    "must be a fraction or \"self-consistent\"",
+                    "must be a fraction, a distribution object, or \"self-consistent\"",
                 )),
             },
             "rho" => match value.as_str() {
@@ -256,10 +273,8 @@ impl ScenarioBuilder {
                 Some("measured") => Ok(self.rho(RhoSpec::Measured)),
                 _ => Err(invalid("rho", "must be \"paper\" or \"measured\"")),
             },
-            "l_cnt_um" => {
-                let v = num("l_cnt_um")?;
-                Ok(self.l_cnt_um(v))
-            }
+            "density" => Ok(self.density(crate::knob::dist_from_json("density", value)?)),
+            "l_cnt_um" => Ok(self.l_cnt_um_dist(crate::knob::dist_from_json("l_cnt_um", value)?)),
             "grid" => match value.as_str() {
                 Some("single") => Ok(self.grid(GridPolicy::Single)),
                 Some("dual") => Ok(self.grid(GridPolicy::Dual)),

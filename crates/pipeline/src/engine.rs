@@ -15,7 +15,7 @@ use cnfet_core::stochastic::McFailure;
 use cnfet_core::wmin::{solve_upsizing, UpsizingSolution, WminSolver};
 use cnfet_device::GateCapModel;
 use cnfet_layout::{align_library, AlignmentOptions, GridPolicy, LibraryAlignment};
-use cnfet_sim::engine::split_seed;
+use cnt_stats::seed::split_seed;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
@@ -28,6 +28,15 @@ const COUNT_MODEL_SALT: u64 = 0x636E_7463; // "cntc"
 /// Seed salt deriving the Monte-Carlo evaluator stream from a scenario
 /// seed, keeping it disjoint from the row-failure cross-check stream.
 const MC_EVAL_SALT: u64 = 0x7046_6D63; // "pFmc"
+
+/// The deterministic central value of a knob: the value itself for the
+/// fixed form, the analytic mean otherwise.
+fn knob_central(d: &cnt_stats::DistSpec) -> Result<f64> {
+    d.mean().map_err(|e| PipelineError::InvalidSpec {
+        field: "scenario",
+        msg: e.to_string(),
+    })
+}
 
 fn curve_key(corner: &CornerSpec, backend: &BackendSpec) -> Result<CurveKey> {
     let c = corner.corner()?;
@@ -313,9 +322,12 @@ impl Pipeline {
                     .rho_per_um
             }
         };
-        // Critical-FET density rises as cells shrink below the base node.
-        let rho = rho_base * base_node / spec.node_nm;
-        let row = RowModel::from_design(spec.l_cnt_um, rho)?;
+        // Critical-FET density rises as cells shrink below the base node;
+        // the density knob scales the resolved source on top of that. A
+        // stochastic spec uses its central (mean) values here — callers
+        // that want a sampled realization pass a realized spec.
+        let rho = rho_base * base_node / spec.node_nm * knob_central(&spec.density)?;
+        let row = RowModel::from_design(knob_central(&spec.l_cnt_um)?, rho)?;
         Ok(row.with_grid_division(spec.grid.benefit_division())?)
     }
 
@@ -340,8 +352,8 @@ impl Pipeline {
         relaxation: f64,
     ) -> Result<UpsizingSolution> {
         Ok(match spec.m_min {
-            MminSpec::Fraction(fraction) => {
-                let m_min = (fraction * spec.m_transistors).max(1.0);
+            MminSpec::Fraction(dist) => {
+                let m_min = (knob_central(&dist)? * spec.m_transistors).max(1.0);
                 let solver = WminSolver::new(eval);
                 let s = solver.solve_relaxed(spec.yield_target, m_min, relaxation.max(1.0))?;
                 UpsizingSolution {
@@ -378,6 +390,16 @@ impl Pipeline {
     /// Propagates validation, model, solver, and simulation errors.
     pub fn evaluate(&self, spec: &ScenarioSpec, seed: u64) -> Result<ScenarioReport> {
         spec.validate()?;
+        // A stochastic spec realizes its knobs from the seed before
+        // anything else; deterministic specs pass through untouched, so
+        // their results are bit-stable across releases.
+        let realized;
+        let spec = if spec.is_stochastic() {
+            realized = spec.realize(seed)?;
+            &realized
+        } else {
+            spec
+        };
         let stats = self.design_stats(spec.library, spec.fast_design)?;
         let scale = spec.node_nm / spec.library.node_nm();
         let widths: Vec<(f64, u64)> = stats

@@ -6,11 +6,13 @@
 //! request  = { "schema": 1, "id": "<caller id>", "body": <body> }
 //! body     = { "evaluate": { "spec": {…}, "seed": 7 } }
 //!          | { "sweep": { "grid": {…}, "seed": 7, "workers": 4 } }
+//!          | { "wafer": { "spec": {…}, "seed": 7, "workers": 4 } }
 //!          | "describe"
 //! response = { "schema": 1, "id": "<same id>", "body": <body> }
 //! body     = { "report": {…} }                        // Evaluate result
 //!          | { "sweep_report": { "index", "total", "report" } }   // streamed
 //!          | { "sweep_done": { "total", "failed" } }  // stream terminator
+//!          | { "wafer_report": {…} }                  // Wafer result
 //!          | { "describe": {…capabilities…} }
 //!          | { "error": { "code", "message", … } }
 //! ```
@@ -72,6 +74,39 @@
 //! # }
 //! ```
 //!
+//! A `wafer` body streams a whole wafer of per-die scenario realizations
+//! into one aggregated artifact. The spec carries die-grid geometry, a
+//! base scenario, and per-knob random fields; the response's
+//! `wafer_report` is byte-identical for any `workers` value:
+//!
+//! ```
+//! use cnfet_pipeline::{Json, ResponseBody, YieldRequest, YieldResponse, YieldService};
+//!
+//! # fn main() -> cnfet_pipeline::Result<()> {
+//! let service = YieldService::new();
+//! let line = r#"{"schema":1,"id":"wf","body":{"wafer":{
+//!     "spec":{
+//!         "diameter_dies": 20,
+//!         "base": {"fast_design":true,"backend":"gaussian-sum","rho":"paper",
+//!                  "correlation":"growth+aligned-layout"},
+//!         "fields": {"density": {"dist": {"gaussian": {"mean": 1, "sd": 0.05}},
+//!                                "trend": -0.1, "clamp_lo": 0.5, "clamp_hi": 2.0}}
+//!     },
+//!     "seed": 7, "workers": 2}}}"#;
+//! let request = YieldRequest::from_json(&Json::parse(line)?)?;
+//! let responses = service.handle(&request);
+//! assert_eq!(responses.len(), 1);
+//! let ResponseBody::Wafer(report) = &responses[0].body else { panic!("not a wafer") };
+//! // 20 dies across the diameter → the inscribed circle holds ~π/4·20².
+//! assert_eq!(report.dies, 316);
+//! assert!(report.min_die_yield <= report.max_die_yield);
+//! // The artifact survives the wire unchanged.
+//! let wire = responses[0].to_json().to_string_compact();
+//! assert_eq!(YieldResponse::from_json(&Json::parse(&wire)?)?, responses[0]);
+//! # Ok(())
+//! # }
+//! ```
+//!
 //! Malformed input never kills the session — it becomes a structured,
 //! machine-branchable error line (here with the documented nearest-key
 //! suggestion):
@@ -95,7 +130,9 @@ use crate::builder::{CoOptSpec, COOPT_KEYS, SCENARIO_KEYS, SEARCHER_KINDS};
 use crate::json::Json;
 use crate::report::{CoOptReport, ScenarioReport};
 use crate::spec::{BackendSpec, CorrelationSpec, LibrarySpec, ScenarioGrid, ScenarioSpec};
+use crate::wafer::{WaferReport, WaferSpec, WAFER_KEYS};
 use crate::{PipelineError, Result};
+use cnt_stats::DistSpec;
 
 /// The one wire-schema version this build understands.
 pub const SCHEMA_VERSION: u64 = 1;
@@ -139,6 +176,17 @@ pub enum RequestBody {
         /// The declarative study to execute.
         spec: CoOptSpec,
         /// Base seed; candidate batches derive their seeds from it.
+        seed: u64,
+        /// Worker-thread override (`None` = service default). Never
+        /// changes results, only wall-clock.
+        workers: Option<usize>,
+    },
+    /// Stream a wafer-scale random-field workload into one aggregated
+    /// [`WaferReport`].
+    Wafer {
+        /// The wafer workload to evaluate.
+        spec: WaferSpec,
+        /// Base seed; the spec's own `seed` (when set) takes precedence.
         seed: u64,
         /// Worker-thread override (`None` = service default). Never
         /// changes results, only wall-clock.
@@ -205,6 +253,24 @@ impl YieldRequest {
         }
     }
 
+    /// A schema-1 `wafer` request.
+    pub fn wafer(
+        id: impl Into<String>,
+        spec: WaferSpec,
+        seed: u64,
+        workers: Option<usize>,
+    ) -> Self {
+        Self {
+            schema: SCHEMA_VERSION,
+            id: id.into(),
+            body: RequestBody::Wafer {
+                spec,
+                seed,
+                workers,
+            },
+        }
+    }
+
     /// A schema-1 `describe` request.
     pub fn describe(id: impl Into<String>) -> Self {
         Self {
@@ -251,6 +317,20 @@ impl YieldRequest {
                     fields.push(("workers".into(), Json::Num(*w as f64)));
                 }
                 Json::Obj(vec![("co_opt".into(), Json::Obj(fields))])
+            }
+            RequestBody::Wafer {
+                spec,
+                seed,
+                workers,
+            } => {
+                let mut fields = vec![
+                    ("spec".into(), spec.to_json()),
+                    ("seed".into(), Json::from_u64(*seed)),
+                ];
+                if let Some(w) = workers {
+                    fields.push(("workers".into(), Json::Num(*w as f64)));
+                }
+                Json::Obj(vec![("wafer".into(), Json::Obj(fields))])
             }
             RequestBody::Describe => Json::Str("describe".into()),
         };
@@ -347,10 +427,21 @@ impl YieldRequest {
                     workers: opt_workers(payload)?,
                 })
             }
+            "wafer" => {
+                reject_unknown_keys("wafer request", payload, &["spec", "seed", "workers"])?;
+                let spec = payload
+                    .get("spec")
+                    .ok_or_else(|| bad("`wafer` needs a `spec` object"))?;
+                Ok(RequestBody::Wafer {
+                    spec: WaferSpec::from_json(spec)?,
+                    seed: opt_seed(payload)?,
+                    workers: opt_workers(payload)?,
+                })
+            }
             other => Err(crate::builder::unknown_key(
                 "request body",
                 other,
-                &["evaluate", "sweep", "co_opt", "describe"],
+                &["evaluate", "sweep", "co_opt", "wafer", "describe"],
             )),
         }
     }
@@ -625,6 +716,10 @@ pub struct ServiceInfo {
     pub libraries: Vec<String>,
     /// Every scenario-spec field name.
     pub scenario_keys: Vec<String>,
+    /// Known distribution kinds the stochastic knobs accept.
+    pub dist_kinds: Vec<String>,
+    /// Top-level keys of a `wafer` spec document.
+    pub wafer_keys: Vec<String>,
     /// Top-level keys of a `co_opt` spec document.
     pub coopt_keys: Vec<String>,
     /// Known co-optimization search strategies.
@@ -640,11 +735,15 @@ impl Default for ServiceInfo {
             service: "cnfet-yield-service".into(),
             version: env!("CARGO_PKG_VERSION").into(),
             schemas: vec![SCHEMA_VERSION],
-            requests: ["evaluate", "sweep", "describe"].map(String::from).to_vec(),
+            requests: ["evaluate", "sweep", "wafer", "describe"]
+                .map(String::from)
+                .to_vec(),
             backends: BackendSpec::KINDS.map(String::from).to_vec(),
             correlations: CorrelationSpec::KINDS.map(String::from).to_vec(),
             libraries: LibrarySpec::KINDS.map(String::from).to_vec(),
             scenario_keys: SCENARIO_KEYS.map(String::from).to_vec(),
+            dist_kinds: DistSpec::KINDS.map(String::from).to_vec(),
+            wafer_keys: WAFER_KEYS.map(String::from).to_vec(),
             coopt_keys: COOPT_KEYS.map(String::from).to_vec(),
             searchers: SEARCHER_KINDS.map(String::from).to_vec(),
         }
@@ -657,7 +756,7 @@ impl ServiceInfo {
     /// service answers plus `co_opt`.
     pub fn with_co_opt() -> Self {
         Self {
-            requests: ["evaluate", "sweep", "co_opt", "describe"]
+            requests: ["evaluate", "sweep", "co_opt", "wafer", "describe"]
                 .map(String::from)
                 .to_vec(),
             ..Self::default()
@@ -682,6 +781,8 @@ impl ServiceInfo {
             ("correlations".into(), strings(&self.correlations)),
             ("libraries".into(), strings(&self.libraries)),
             ("scenario_keys".into(), strings(&self.scenario_keys)),
+            ("dist_kinds".into(), strings(&self.dist_kinds)),
+            ("wafer_keys".into(), strings(&self.wafer_keys)),
             ("coopt_keys".into(), strings(&self.coopt_keys)),
             ("searchers".into(), strings(&self.searchers)),
         ])
@@ -724,6 +825,8 @@ impl ServiceInfo {
             correlations: strings("correlations")?,
             libraries: strings("libraries")?,
             scenario_keys: strings("scenario_keys")?,
+            dist_kinds: strings("dist_kinds")?,
+            wafer_keys: strings("wafer_keys")?,
             coopt_keys: strings("coopt_keys")?,
             searchers: strings("searchers")?,
         })
@@ -753,6 +856,8 @@ pub enum ResponseBody {
     },
     /// The result of a `co_opt` request: the Pareto artifact of the run.
     CoOpt(CoOptReport),
+    /// The result of a `wafer` request: the aggregated wafer artifact.
+    Wafer(WaferReport),
     /// The capability payload of a `describe` request.
     Describe(ServiceInfo),
     /// A structured failure.
@@ -816,6 +921,9 @@ impl YieldResponse {
             ResponseBody::CoOpt(report) => {
                 Json::Obj(vec![("co_opt_report".into(), report.to_json())])
             }
+            ResponseBody::Wafer(report) => {
+                Json::Obj(vec![("wafer_report".into(), report.to_json())])
+            }
             ResponseBody::Describe(info) => Json::Obj(vec![("describe".into(), info.to_json())]),
             ResponseBody::Error(e) => Json::Obj(vec![("error".into(), e.to_json())]),
         };
@@ -872,6 +980,7 @@ impl YieldResponse {
                 failed: num("failed")?,
             },
             "co_opt_report" => ResponseBody::CoOpt(CoOptReport::from_json(payload)?),
+            "wafer_report" => ResponseBody::Wafer(WaferReport::from_json(payload)?),
             "describe" => ResponseBody::Describe(ServiceInfo::from_json(payload)?),
             "error" => ResponseBody::Error(ServiceError::from_json(payload)?),
             other => {
@@ -897,6 +1006,12 @@ mod tests {
                 },
                 9,
                 Some(4),
+            ),
+            YieldRequest::wafer(
+                "w-1",
+                WaferSpec::new("wafer", 16, ScenarioSpec::baseline("base")),
+                11,
+                Some(2),
             ),
             YieldRequest::describe("d-1"),
         ];

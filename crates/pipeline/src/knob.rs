@@ -1,0 +1,481 @@
+//! JSON forms and realization plumbing for the stochastic scenario knobs.
+//!
+//! `cnt-stats` owns the *semantics* of [`DistSpec`] and [`FieldSpec`]
+//! (validation, moments, sampling); this module owns their *wire forms*
+//! in the hand-rolled JSON dialect of [`crate::json`], with the same
+//! discipline as `BackendSpec`:
+//!
+//! * a **bare number** is the scalar back-compat form and parses as
+//!   [`DistSpec::Fixed`] — every pre-existing scenario file keeps its
+//!   meaning (and its serialized bytes);
+//! * a **`kind` object** spells the distribution out:
+//!   `{"kind": "gaussian", "mean": 200, "sd": 20}`;
+//! * a **nested single-key object** is the grid-schema shorthand:
+//!   `{"gaussian": {"mean": 200, "sd": 20}}`;
+//! * unknown kinds and unknown parameter names fail with
+//!   [`crate::PipelineError::UnknownKey`] carrying the nearest valid
+//!   candidate by edit distance, so typos are machine-actionable all the
+//!   way up the service envelope.
+//!
+//! The module also centralizes how a stochastic scenario *realizes* into
+//! scalars: the per-knob seed derivation (fixed knob order, one salt),
+//! the per-knob domain clamps, and the relative quantization grid that
+//! keeps realized values cache-friendly.
+
+use crate::builder::unknown_key;
+use crate::json::Json;
+use crate::{PipelineError, Result};
+use cnt_stats::{DistSpec, FieldSpec};
+
+fn invalid(field: &'static str, msg: impl Into<String>) -> PipelineError {
+    PipelineError::InvalidSpec {
+        field,
+        msg: msg.into(),
+    }
+}
+
+/// Parameter names of each distribution kind, aligned with
+/// [`DistSpec::KINDS`].
+const KIND_PARAMS: [&[&str]; 5] = [
+    &["value"],
+    &["mean", "sd"],
+    &["mean", "sd", "lo", "hi"],
+    &["lo", "hi"],
+    &["mu", "sigma"],
+];
+
+/// The parameter names of one kind (panics only on a non-canonical kind,
+/// which callers rule out by matching first).
+fn params_of(kind: &str) -> &'static [&'static str] {
+    DistSpec::KINDS
+        .iter()
+        .position(|k| *k == kind)
+        .map(|i| KIND_PARAMS[i])
+        .expect("caller matched a canonical kind")
+}
+
+/// Parse the parameter object of a known `kind`. `extra` names keys that
+/// are legal beyond the kind's parameters (the `kind` tag itself in the
+/// tagged form; nothing in the nested form).
+fn dist_params(context: &'static str, kind: &str, v: &Json, extra: &[&str]) -> Result<DistSpec> {
+    let fields = v
+        .as_object()
+        .ok_or_else(|| invalid(context, format!("`{kind}` parameters must be an object")))?;
+    let params = params_of(kind);
+    for (key, _) in fields {
+        if !params.contains(&key.as_str()) && !extra.contains(&key.as_str()) {
+            return Err(unknown_key(context, key, params));
+        }
+    }
+    let num = |key: &'static str| -> Result<f64> {
+        v.get(key)
+            .ok_or_else(|| invalid(context, format!("`{kind}` needs a number `{key}`")))?
+            .as_f64()
+            .ok_or_else(|| invalid(context, format!("`{kind}.{key}` must be a number")))
+    };
+    let spec = match kind {
+        "fixed" => DistSpec::Fixed(num("value")?),
+        "gaussian" => DistSpec::Gaussian {
+            mean: num("mean")?,
+            sd: num("sd")?,
+        },
+        "truncated-gaussian" => DistSpec::TruncatedGaussian {
+            mean: num("mean")?,
+            sd: num("sd")?,
+            lo: num("lo")?,
+            hi: num("hi")?,
+        },
+        "uniform" => DistSpec::Uniform {
+            lo: num("lo")?,
+            hi: num("hi")?,
+        },
+        "lognormal" => DistSpec::LogNormal {
+            mu: num("mu")?,
+            sigma: num("sigma")?,
+        },
+        _ => unreachable!("caller matched a canonical kind"),
+    };
+    spec.validate()
+        .map_err(|e| invalid(context, e.to_string()))?;
+    Ok(spec)
+}
+
+/// Parse a [`DistSpec`] from any of its three wire forms (see the module
+/// docs). `context` names the owning field in diagnostics.
+///
+/// # Errors
+///
+/// [`PipelineError::UnknownKey`] for unknown kinds or parameter names
+/// (with nearest-candidate suggestions), [`PipelineError::InvalidSpec`]
+/// for wrong shapes or out-of-domain parameters.
+pub fn dist_from_json(context: &'static str, v: &Json) -> Result<DistSpec> {
+    match v {
+        Json::Num(n) => {
+            let spec = DistSpec::Fixed(*n);
+            spec.validate()
+                .map_err(|e| invalid(context, e.to_string()))?;
+            Ok(spec)
+        }
+        Json::Obj(fields) => {
+            // Nested single-key form: { "gaussian": { "mean": …, "sd": … } }.
+            if fields.len() == 1 && fields[0].0 != "kind" {
+                let key = fields[0].0.as_str();
+                if !DistSpec::KINDS.contains(&key) {
+                    return Err(unknown_key(context, key, &DistSpec::KINDS));
+                }
+                return dist_params(context, key, &fields[0].1, &[]);
+            }
+            let kind = v
+                .get("kind")
+                .and_then(Json::as_str)
+                .ok_or_else(|| invalid(context, "object form needs a `kind` string"))?;
+            if !DistSpec::KINDS.contains(&kind) {
+                return Err(unknown_key(context, kind, &DistSpec::KINDS));
+            }
+            dist_params(context, kind, v, &["kind"])
+        }
+        _ => Err(invalid(
+            context,
+            "must be a number or a distribution object",
+        )),
+    }
+}
+
+/// Serialize a [`DistSpec`] to its normal wire form: a bare number for
+/// `Fixed` (so scalar scenarios round-trip byte-identically), the tagged
+/// `kind` object otherwise. `dist_from_json` inverts this exactly.
+pub fn dist_to_json(d: &DistSpec) -> Json {
+    let kv = |pairs: Vec<(&str, f64)>, kind: &str| {
+        let mut fields = vec![("kind".to_string(), Json::Str(kind.into()))];
+        fields.extend(
+            pairs
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), Json::Num(v))),
+        );
+        Json::Obj(fields)
+    };
+    match *d {
+        DistSpec::Fixed(v) => Json::Num(v),
+        DistSpec::Gaussian { mean, sd } => kv(vec![("mean", mean), ("sd", sd)], "gaussian"),
+        DistSpec::TruncatedGaussian { mean, sd, lo, hi } => kv(
+            vec![("mean", mean), ("sd", sd), ("lo", lo), ("hi", hi)],
+            "truncated-gaussian",
+        ),
+        DistSpec::Uniform { lo, hi } => kv(vec![("lo", lo), ("hi", hi)], "uniform"),
+        DistSpec::LogNormal { mu, sigma } => kv(vec![("mu", mu), ("sigma", sigma)], "lognormal"),
+    }
+}
+
+/// The field-object keys beyond the embedded distribution.
+const FIELD_KEYS: [&str; 6] = [
+    "dist",
+    "trend",
+    "noise_sd",
+    "correlation_dies",
+    "clamp_lo",
+    "clamp_hi",
+];
+
+/// Parse a [`FieldSpec`]. Accepts every [`dist_from_json`] form (which
+/// becomes a trivial field: no trend, no correlated noise), or the full
+/// field object `{"dist": …, "trend": …, "noise_sd": …,
+/// "correlation_dies": …, "clamp_lo": …, "clamp_hi": …}` where every key
+/// but `dist` is optional.
+///
+/// # Errors
+///
+/// As [`dist_from_json`], plus [`PipelineError::InvalidSpec`] for bad
+/// field hyperparameters.
+pub fn field_from_json(context: &'static str, v: &Json) -> Result<FieldSpec> {
+    let is_field_obj = v
+        .as_object()
+        .is_some_and(|fields| fields.iter().any(|(k, _)| FIELD_KEYS.contains(&k.as_str())));
+    if !is_field_obj {
+        return Ok(FieldSpec::from_dist(dist_from_json(context, v)?));
+    }
+    let fields = v.as_object().expect("checked above");
+    for (key, _) in fields {
+        if !FIELD_KEYS.contains(&key.as_str()) {
+            return Err(unknown_key(context, key, &FIELD_KEYS));
+        }
+    }
+    let dist = dist_from_json(
+        context,
+        v.get("dist")
+            .ok_or_else(|| invalid(context, "field object needs a `dist`"))?,
+    )?;
+    let opt = |key: &'static str| -> Result<Option<f64>> {
+        match v.get(key) {
+            None => Ok(None),
+            Some(j) => j
+                .as_f64()
+                .map(Some)
+                .ok_or_else(|| invalid(context, format!("`{key}` must be a number"))),
+        }
+    };
+    let base = FieldSpec::from_dist(dist);
+    let spec = FieldSpec {
+        dist,
+        trend: opt("trend")?.unwrap_or(base.trend),
+        noise_sd: opt("noise_sd")?.unwrap_or(base.noise_sd),
+        correlation_dies: opt("correlation_dies")?.unwrap_or(base.correlation_dies),
+        clamp_lo: opt("clamp_lo")?.unwrap_or(base.clamp_lo),
+        clamp_hi: opt("clamp_hi")?.unwrap_or(base.clamp_hi),
+    };
+    spec.validate()
+        .map_err(|e| invalid(context, e.to_string()))?;
+    Ok(spec)
+}
+
+/// Serialize a [`FieldSpec`] to its normal wire form: the bare
+/// distribution when the field is trivial (no trend, no noise, no
+/// clamps), the full field object otherwise. Optional hyperparameters at
+/// their defaults are omitted, so `field_from_json` inverts this exactly.
+pub fn field_to_json(f: &FieldSpec) -> Json {
+    let base = FieldSpec::from_dist(f.dist);
+    if *f == base {
+        return dist_to_json(&f.dist);
+    }
+    let mut fields = vec![("dist".to_string(), dist_to_json(&f.dist))];
+    let mut push = |key: &str, v: f64, default: f64| {
+        // NaN never appears in a validated spec, so == is exact here.
+        if v != default {
+            fields.push((key.to_string(), Json::Num(v)));
+        }
+    };
+    push("trend", f.trend, base.trend);
+    push("noise_sd", f.noise_sd, base.noise_sd);
+    push(
+        "correlation_dies",
+        f.correlation_dies,
+        base.correlation_dies,
+    );
+    push("clamp_lo", f.clamp_lo, base.clamp_lo);
+    push("clamp_hi", f.clamp_hi, base.clamp_hi);
+    Json::Obj(fields)
+}
+
+/// The stochastic scenario knobs, in canonical order. The order is part
+/// of the determinism contract: knob `i` always derives its sample
+/// stream from `split_seed(split_seed(seed, KNOB_SALT), i)`, so adding a
+/// distribution to one knob never shifts another knob's draws.
+pub const STOCHASTIC_KNOBS: [&str; 3] = ["density", "l_cnt_um", "m_min"];
+
+/// Seed salt separating knob realization from every other derived stream.
+pub const KNOB_SALT: u64 = 0x6B6E_6F62; // "knob"
+
+/// Domain clamp applied to a realized knob value, by knob index in
+/// [`STOCHASTIC_KNOBS`]. Sampling can land outside the field's physical
+/// domain (a Gaussian tail, an aggressive trend); the clamp keeps every
+/// realized scenario valid by construction.
+pub fn knob_domain(knob: usize) -> (f64, f64) {
+    match knob {
+        0 => (0.05, 20.0),     // density multiplier on ρ
+        1 => (0.01, 10_000.0), // L_CNT (µm)
+        2 => (1e-6, 1.0),      // M_min fraction
+        _ => unreachable!("no such knob"),
+    }
+}
+
+/// Quantize a realized knob value onto a relative grid of `2⁻¹⁰`
+/// (≈ 0.1 % spacing).
+///
+/// Continuous sampling makes every die's realized scenario unique, which
+/// would defeat the wafer engine's per-run result memo and any cache
+/// keyed on knob values. Snapping to a relative grid bounds the rounding
+/// error at one part in a thousand — far below the model's fidelity —
+/// while collapsing a wafer's dies onto a few hundred distinct values
+/// per knob octave.
+pub fn quantize(v: f64) -> f64 {
+    if v == 0.0 || !v.is_finite() {
+        return v;
+    }
+    let step = 2.0_f64.powi(v.abs().log2().floor() as i32 - 10);
+    (v / step).round() * step
+}
+
+/// Clamp then quantize one realized knob value.
+pub fn snap(knob: usize, v: f64) -> f64 {
+    let (lo, hi) = knob_domain(knob);
+    quantize(v.clamp(lo, hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bare_number_is_fixed_and_round_trips() {
+        let d = dist_from_json("density", &Json::Num(1.5)).unwrap();
+        assert_eq!(d, DistSpec::Fixed(1.5));
+        assert_eq!(dist_to_json(&d), Json::Num(1.5));
+        assert!(dist_from_json("density", &Json::Num(f64::NAN)).is_err());
+    }
+
+    #[test]
+    fn tagged_and_nested_forms_agree() {
+        let tagged = dist_from_json(
+            "l_cnt_um",
+            &Json::parse(r#"{ "kind": "gaussian", "mean": 200, "sd": 20 }"#).unwrap(),
+        )
+        .unwrap();
+        let nested = dist_from_json(
+            "l_cnt_um",
+            &Json::parse(r#"{ "gaussian": { "mean": 200, "sd": 20 } }"#).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(tagged, nested);
+        assert_eq!(
+            tagged,
+            DistSpec::Gaussian {
+                mean: 200.0,
+                sd: 20.0
+            }
+        );
+        // Normal form is the tagged object; it round-trips exactly.
+        let wire = dist_to_json(&tagged);
+        assert_eq!(dist_from_json("l_cnt_um", &wire).unwrap(), tagged);
+    }
+
+    #[test]
+    fn every_kind_round_trips() {
+        let specs = [
+            DistSpec::Fixed(3.25),
+            DistSpec::Gaussian { mean: 1.0, sd: 0.1 },
+            DistSpec::TruncatedGaussian {
+                mean: 1.0,
+                sd: 0.25,
+                lo: 0.5,
+                hi: 2.0,
+            },
+            DistSpec::Uniform { lo: 0.8, hi: 1.2 },
+            DistSpec::LogNormal {
+                mu: 0.0,
+                sigma: 0.3,
+            },
+        ];
+        for spec in specs {
+            let wire = dist_to_json(&spec);
+            assert_eq!(dist_from_json("density", &wire).unwrap(), spec, "{spec:?}");
+        }
+    }
+
+    #[test]
+    fn unknown_kinds_and_params_get_suggestions() {
+        let err = dist_from_json(
+            "density",
+            &Json::parse(r#"{ "kind": "gausian", "mean": 1, "sd": 0.1 }"#).unwrap(),
+        )
+        .unwrap_err();
+        assert!(
+            err.to_string().contains("did you mean `gaussian`"),
+            "message: {err}"
+        );
+        let err = dist_from_json(
+            "density",
+            &Json::parse(r#"{ "kind": "gaussian", "mean": 1, "sD": 0.1 }"#).unwrap(),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("did you mean `sd`"), "{err}");
+        let err = dist_from_json(
+            "density",
+            &Json::parse(r#"{ "uniforme": { "lo": 0, "hi": 1 } }"#).unwrap(),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("did you mean `uniform`"), "{err}");
+    }
+
+    #[test]
+    fn bad_parameters_fail_at_parse_time() {
+        assert!(dist_from_json(
+            "density",
+            &Json::parse(r#"{ "kind": "gaussian", "mean": 1, "sd": 0 }"#).unwrap(),
+        )
+        .is_err());
+        assert!(dist_from_json(
+            "density",
+            &Json::parse(r#"{ "kind": "uniform", "lo": 2, "hi": 1 }"#).unwrap(),
+        )
+        .is_err());
+        assert!(
+            dist_from_json(
+                "density",
+                &Json::parse(r#"{ "kind": "gaussian" }"#).unwrap()
+            )
+            .is_err(),
+            "missing parameters"
+        );
+        assert!(dist_from_json("density", &Json::Str("gaussian".into())).is_err());
+    }
+
+    #[test]
+    fn field_forms_round_trip() {
+        // A bare dist parses as a trivial field and serializes back bare.
+        let trivial = field_from_json("density", &Json::Num(1.0)).unwrap();
+        assert_eq!(trivial, FieldSpec::from_dist(DistSpec::Fixed(1.0)));
+        assert_eq!(field_to_json(&trivial), Json::Num(1.0));
+        // The full object form keeps only non-default hyperparameters.
+        let full = field_from_json(
+            "density",
+            &Json::parse(
+                r#"{ "dist": { "gaussian": { "mean": 1, "sd": 0.05 } },
+                     "trend": -0.1, "noise_sd": 0.05, "correlation_dies": 24,
+                     "clamp_lo": 0.5, "clamp_hi": 1.5 }"#,
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        assert_eq!(full.trend, -0.1);
+        assert_eq!(full.correlation_dies, 24.0);
+        let wire = field_to_json(&full);
+        assert_eq!(field_from_json("density", &wire).unwrap(), full);
+        // Defaulted hyperparameters are omitted from the wire form.
+        let partial = field_from_json(
+            "density",
+            &Json::parse(r#"{ "dist": 2.0, "trend": 0.2 }"#).unwrap(),
+        )
+        .unwrap();
+        let wire = partial_to_keys(&field_to_json(&partial));
+        assert_eq!(wire, vec!["dist", "trend"]);
+    }
+
+    fn partial_to_keys(v: &Json) -> Vec<String> {
+        v.as_object()
+            .unwrap()
+            .iter()
+            .map(|(k, _)| k.clone())
+            .collect()
+    }
+
+    #[test]
+    fn field_rejects_unknown_keys_and_bad_hyperparameters() {
+        let err = field_from_json(
+            "density",
+            &Json::parse(r#"{ "dist": 1.0, "noise_s": 0.1 }"#).unwrap(),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("did you mean `noise_sd`"), "{err}");
+        assert!(field_from_json(
+            "density",
+            &Json::parse(r#"{ "dist": 1.0, "noise_sd": 0.9 }"#).unwrap(),
+        )
+        .is_err());
+        assert!(
+            field_from_json("density", &Json::parse(r#"{ "trend": 0.1 }"#).unwrap()).is_err(),
+            "field object without dist"
+        );
+    }
+
+    #[test]
+    fn quantization_is_idempotent_and_tight() {
+        for v in [0.0333, 1.0, 199.7, 0.051, 9999.0] {
+            let q = quantize(v);
+            assert!(((q - v) / v).abs() <= 2.0_f64.powi(-10), "{v} → {q}");
+            assert_eq!(quantize(q), q, "idempotent at {v}");
+        }
+        assert_eq!(quantize(0.0), 0.0);
+        // snap applies the knob domain clamp first.
+        assert_eq!(snap(0, 100.0), 20.0);
+        assert_eq!(snap(2, 1.5), 1.0);
+    }
+}

@@ -75,10 +75,12 @@ pub mod design;
 pub mod engine;
 pub mod envelope;
 pub mod json;
+pub mod knob;
 pub mod report;
 pub mod service;
 pub mod spec;
 pub mod sweep;
+pub mod wafer;
 
 use std::error::Error;
 use std::fmt;
@@ -197,6 +199,7 @@ pub use envelope::{
     DEFAULT_SEED, SCHEMA_VERSION,
 };
 pub use json::Json;
+pub use knob::{dist_from_json, dist_to_json, field_from_json, field_to_json, STOCHASTIC_KNOBS};
 pub use report::{CoOptReport, McBackendReport, ParetoFront, ParetoPoint, ScenarioReport};
 pub use service::{ServiceConfig, SweepHandle, SweepItem, SweepProgress, YieldService};
 pub use spec::{
@@ -204,6 +207,7 @@ pub use spec::{
     ScenarioGrid, ScenarioSpec,
 };
 pub use sweep::SweepRunner;
+pub use wafer::{RadialBand, WaferEngine, WaferReport, WaferSpec};
 
 #[cfg(test)]
 mod tests {

@@ -437,7 +437,7 @@ impl CoOptReport {
 }
 
 /// Sanitize a scenario name into a filesystem-safe artifact stem.
-fn artifact_stem(name: &str) -> String {
+pub(crate) fn artifact_stem(name: &str) -> String {
     let mut out: String = name
         .chars()
         .map(|c| {

@@ -27,8 +27,9 @@ use crate::envelope::{
 };
 use crate::report::ScenarioReport;
 use crate::spec::ScenarioSpec;
+use crate::wafer::{WaferEngine, WaferReport, WaferSpec};
 use crate::Result;
-use cnfet_sim::engine::split_seed;
+use cnt_stats::seed::split_seed;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
@@ -142,6 +143,31 @@ impl YieldService {
         SweepHandle::spawn(Arc::clone(&self.inner), specs, seed, workers)
     }
 
+    /// Run a wafer-scale random-field workload on the shared caches with
+    /// the service's default worker count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation, model, and solver errors.
+    pub fn wafer(&self, spec: &WaferSpec, seed: u64) -> Result<WaferReport> {
+        self.wafer_with_workers(spec, seed, self.inner.config.sweep_workers)
+    }
+
+    /// Run a wafer workload with an explicit worker count. Workers only
+    /// change wall-clock — the report is byte-identical for any count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation, model, and solver errors.
+    pub fn wafer_with_workers(
+        &self,
+        spec: &WaferSpec,
+        seed: u64,
+        workers: usize,
+    ) -> Result<WaferReport> {
+        WaferEngine::new(&self.inner.pipeline).run(spec, seed, workers.max(1))
+    }
+
     /// Answer one request, streaming every response through `emit` (an
     /// `evaluate`/`describe` request emits exactly one response; a `sweep`
     /// emits one per scenario plus a terminator).
@@ -229,6 +255,22 @@ impl YieldService {
                     &request.id,
                     ResponseBody::SweepDone { total, failed },
                 ));
+            }
+            RequestBody::Wafer {
+                spec,
+                seed,
+                workers,
+            } => {
+                let workers = workers.unwrap_or(self.inner.config.sweep_workers);
+                match self.wafer_with_workers(spec, *seed, workers) {
+                    Ok(report) => {
+                        emit(YieldResponse::new(&request.id, ResponseBody::Wafer(report)))
+                    }
+                    Err(e) => emit(YieldResponse::error(
+                        &request.id,
+                        ServiceError::from_pipeline(&e),
+                    )),
+                }
             }
             RequestBody::CoOpt { .. } => {
                 // The search engine lives above this crate (`cnfet-opt`);

@@ -23,12 +23,15 @@
 //! ```
 
 use crate::json::Json;
+use crate::knob;
 use crate::{PipelineError, Result};
 use cnfet_core::corner::ProcessCorner;
 use cnfet_core::paper;
 use cnfet_layout::GridPolicy;
 use cnfet_sim::adaptive::McPrecision;
 use cnt_stats::renewal::CountModel;
+use cnt_stats::seed::split_seed;
+use cnt_stats::DistSpec;
 
 fn invalid(field: &'static str, msg: impl Into<String>) -> PipelineError {
     PipelineError::InvalidSpec {
@@ -422,11 +425,19 @@ impl BackendSpec {
 /// How `M_min` (the minimum-sized-device count) is determined.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum MminSpec {
-    /// A fixed fraction of the chip's transistors (the paper's 33 %).
-    Fraction(f64),
+    /// A fraction of the chip's transistors (the paper's fixed 33 %, or a
+    /// distribution over fractions for stochastic scenarios).
+    Fraction(DistSpec),
     /// The self-consistent Eq. (2.5) fixed point over the design's width
     /// distribution (the scaling-study treatment).
     SelfConsistent,
+}
+
+impl MminSpec {
+    /// The paper's fixed-fraction form (scalar back-compat constructor).
+    pub fn fraction(f: f64) -> Self {
+        MminSpec::Fraction(DistSpec::Fixed(f))
+    }
 }
 
 /// Where the critical-FET row density `ρ` comes from.
@@ -462,11 +473,16 @@ pub struct ScenarioSpec {
     pub m_min: MminSpec,
     /// Critical-FET density source.
     pub rho: RhoSpec,
+    /// Multiplier on the resolved critical-FET density `ρ` — `Fixed(1)`
+    /// uses the source density as-is; a distribution models die-to-die
+    /// growth-density variation.
+    pub density: DistSpec,
     /// CNT correlation length `L_CNT` (µm) — how far devices along the
     /// growth direction share the same CNTs. Sets the row size
     /// `M_Rmin = L_CNT · ρ` and with it the correlated-scenario
-    /// relaxation; the paper's directional growth reaches 200 µm.
-    pub l_cnt_um: f64,
+    /// relaxation; the paper's directional growth reaches 200 µm. A bare
+    /// number is the fixed form; a distribution models per-die variation.
+    pub l_cnt_um: DistSpec,
     /// Aligned-active grid policy (Sec 3.3: one or two regions).
     pub grid: GridPolicy,
     /// Use the reduced OpenRISC-class design for the mapped statistics.
@@ -491,9 +507,10 @@ impl ScenarioSpec {
             yield_target: paper::YIELD_TARGET,
             backend: BackendSpec::Convolution { step: 0.05 },
             m_transistors: paper::M_TRANSISTORS,
-            m_min: MminSpec::Fraction(paper::MMIN_FRACTION),
+            m_min: MminSpec::fraction(paper::MMIN_FRACTION),
             rho: RhoSpec::Measured,
-            l_cnt_um: paper::L_CNT_UM,
+            density: DistSpec::Fixed(1.0),
+            l_cnt_um: DistSpec::Fixed(paper::L_CNT_UM),
             grid: GridPolicy::Single,
             fast_design: false,
             mc_trials: 0,
@@ -516,13 +533,29 @@ impl ScenarioSpec {
         if !(self.m_transistors.is_finite() && self.m_transistors >= 1.0) {
             return Err(invalid("m_transistors", "must be finite and >= 1"));
         }
-        if let MminSpec::Fraction(f) = self.m_min {
-            if !(f > 0.0 && f <= 1.0) {
-                return Err(invalid("m_min", "fraction must be in (0, 1]"));
+        if let MminSpec::Fraction(d) = self.m_min {
+            d.validate().map_err(|e| invalid("m_min", e.to_string()))?;
+            if let Some(f) = d.as_fixed() {
+                if !(f > 0.0 && f <= 1.0) {
+                    return Err(invalid("m_min", "fraction must be in (0, 1]"));
+                }
             }
         }
-        if !(self.l_cnt_um.is_finite() && self.l_cnt_um > 0.0) {
-            return Err(invalid("l_cnt_um", "must be finite and > 0"));
+        self.density
+            .validate()
+            .map_err(|e| invalid("density", e.to_string()))?;
+        if let Some(v) = self.density.as_fixed() {
+            if !(v.is_finite() && v > 0.0) {
+                return Err(invalid("density", "must be finite and > 0"));
+            }
+        }
+        self.l_cnt_um
+            .validate()
+            .map_err(|e| invalid("l_cnt_um", e.to_string()))?;
+        if let Some(v) = self.l_cnt_um.as_fixed() {
+            if !(v.is_finite() && v > 0.0) {
+                return Err(invalid("l_cnt_um", "must be finite and > 0"));
+            }
         }
         match self.backend {
             BackendSpec::Convolution { step } => {
@@ -577,10 +610,64 @@ impl ScenarioSpec {
         builder.build()
     }
 
+    /// True if any knob carries a non-degenerate distribution — i.e. the
+    /// scenario needs a seed-driven [`ScenarioSpec::realize`] step before
+    /// (or as part of) evaluation.
+    pub fn is_stochastic(&self) -> bool {
+        let m_min_stochastic = match self.m_min {
+            MminSpec::Fraction(d) => !d.is_fixed(),
+            MminSpec::SelfConsistent => false,
+        };
+        !self.density.is_fixed() || !self.l_cnt_um.is_fixed() || m_min_stochastic
+    }
+
+    /// Resolve every stochastic knob to a concrete scalar under `seed`,
+    /// returning an all-`Fixed` spec.
+    ///
+    /// An already-deterministic spec returns unchanged (no RNG is
+    /// consulted), so scalar scenarios evaluate byte-identically to every
+    /// prior release. Each knob draws from its own derived stream —
+    /// `split_seed(split_seed(seed, KNOB_SALT), knob_index)` in the fixed
+    /// order of [`crate::knob::STOCHASTIC_KNOBS`] — so adding a
+    /// distribution to one knob never shifts another's draws. Realized
+    /// values are clamped to the knob's physical domain and snapped onto
+    /// the relative quantization grid (see [`crate::knob::snap`]), which
+    /// keeps the downstream caches effective.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::InvalidSpec`] for invalid distribution parameters.
+    pub fn realize(&self, seed: u64) -> Result<ScenarioSpec> {
+        let mut spec = self.clone();
+        if !self.is_stochastic() {
+            return Ok(spec);
+        }
+        let knob_base = split_seed(seed, knob::KNOB_SALT);
+        let draw = |knob: usize, d: &DistSpec| -> Result<f64> {
+            let mut rng = cnt_stats::seed::seeded_rng(split_seed(knob_base, knob as u64));
+            let v = d
+                .sample(&mut rng)
+                .map_err(|e| invalid("scenario", e.to_string()))?;
+            Ok(knob::snap(knob, v))
+        };
+        if !spec.density.is_fixed() {
+            spec.density = DistSpec::Fixed(draw(0, &self.density)?);
+        }
+        if !spec.l_cnt_um.is_fixed() {
+            spec.l_cnt_um = DistSpec::Fixed(draw(1, &self.l_cnt_um)?);
+        }
+        if let MminSpec::Fraction(d) = self.m_min {
+            if !d.is_fixed() {
+                spec.m_min = MminSpec::Fraction(DistSpec::Fixed(draw(2, &d)?));
+            }
+        }
+        Ok(spec)
+    }
+
     /// Serialize the full (explicit) spec.
     pub fn to_json(&self) -> Json {
         let m_min = match self.m_min {
-            MminSpec::Fraction(f) => Json::Num(f),
+            MminSpec::Fraction(d) => knob::dist_to_json(&d),
             MminSpec::SelfConsistent => Json::Str("self-consistent".into()),
         };
         Json::Obj(vec![
@@ -606,7 +693,8 @@ impl ScenarioSpec {
                     .into(),
                 ),
             ),
-            ("l_cnt_um".into(), Json::Num(self.l_cnt_um)),
+            ("density".into(), knob::dist_to_json(&self.density)),
+            ("l_cnt_um".into(), knob::dist_to_json(&self.l_cnt_um)),
             (
                 "grid".into(),
                 Json::Str(

@@ -12,7 +12,7 @@ use crate::engine::Pipeline;
 use crate::report::ScenarioReport;
 use crate::spec::ScenarioSpec;
 use crate::Result;
-use cnfet_sim::engine::split_seed;
+use cnt_stats::seed::split_seed;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Fans a list of scenarios across worker threads.

@@ -1,0 +1,950 @@
+//! Wafer-scale random-field workloads: [`WaferSpec`], the streaming
+//! [`WaferEngine`], and the aggregated [`WaferReport`].
+//!
+//! A wafer run answers the paper's yield question at manufacturing scale:
+//! *if every die on a wafer sees its own realization of the stochastic
+//! process knobs — growth density, CNT correlation length, minimum-device
+//! fraction — what does the wafer's yield distribution look like?*
+//!
+//! The model: the **base scenario** is solved once at its central knob
+//! values, fixing the design width `W_design` (you tape out one design,
+//! not one per die). Each die then realizes its knobs from the per-knob
+//! [`cnt_stats::FieldSpec`] random fields — a local distribution × radial
+//! trend × spatially correlated noise — and the die's yield is the chip
+//! yield that design achieves under the die's process conditions:
+//! `(1 − pF(W_design)/relaxation_die)^{M_min,die}` (Eq. 2.5 with the
+//! Sec 3.1 relaxation evaluated at the die's realized row model).
+//!
+//! **Determinism contract**: the report is a pure function of
+//! `(spec, seed)`. Die realizations derive from
+//! `split_seed(split_seed(seed, KNOB_SALT), knob_index)` per knob and the
+//! die's full-grid index, never from evaluation order; dies are
+//! aggregated in fixed 1024-die chunks whose partial sums are merged in
+//! chunk order, so the serialized [`WaferReport`] is **byte-identical for
+//! any worker count**.
+//!
+//! Realized knob values are clamped to their physical domain and snapped
+//! onto the relative quantization grid of [`crate::knob::snap`]; the
+//! engine memoizes die outcomes per distinct quantized knob tuple, so a
+//! 100 k-die wafer typically evaluates only a few thousand distinct
+//! scenarios through the shared curve/design caches.
+
+use crate::builder::unknown_key;
+use crate::engine::Pipeline;
+use crate::json::Json;
+use crate::knob::{self, field_from_json, field_to_json};
+use crate::report::artifact_stem;
+use crate::spec::{MminSpec, RhoSpec, ScenarioSpec};
+use crate::{PipelineError, Result};
+use cnfet_core::chipyield::yield_min_dominated;
+use cnfet_core::paper;
+use cnfet_core::rowmodel::RowModel;
+use cnt_stats::seed::split_seed;
+use cnt_stats::{DistSpec, FieldSampler, FieldSpec};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+fn invalid(field: &'static str, msg: impl Into<String>) -> PipelineError {
+    PipelineError::InvalidSpec {
+        field,
+        msg: msg.into(),
+    }
+}
+
+/// Yield-binning histogram resolution (bins over `[0, 1]`).
+const YIELD_BINS: usize = 10;
+/// Radial-profile resolution (equal-width normalized-radius bands).
+const RADIAL_BANDS: usize = 8;
+/// Dies per aggregation chunk — the fixed merge granularity that makes
+/// the report worker-count independent.
+const CHUNK_DIES: usize = 1024;
+/// Largest accepted wafer diameter in dies (≈ 13 M dies).
+const MAX_DIAMETER_DIES: u32 = 4096;
+
+/// Top-level keys of a wafer spec document.
+pub const WAFER_KEYS: [&str; 5] = ["name", "seed", "diameter_dies", "base", "fields"];
+
+/// A declarative wafer-scale workload: die-grid geometry, the base
+/// scenario the design is solved on, and one random field per stochastic
+/// knob.
+///
+/// The JSON document form:
+///
+/// ```text
+/// {
+///   "name": "wafer-demo",
+///   "diameter_dies": 360,            // dies across the wafer diameter
+///   "seed": 7,                        // optional: pins the realization
+///   "base": { "correlation": "growth+aligned-layout", … },
+///   "fields": {                       // per-knob random fields
+///     "density": { "dist": { "gaussian": { "mean": 1, "sd": 0.08 } },
+///                  "trend": -0.1, "noise_sd": 0.05,
+///                  "correlation_dies": 24 },
+///     "l_cnt_um": { "uniform": { "lo": 150, "hi": 250 } }
+///   }
+/// }
+/// ```
+///
+/// Every [`crate::knob::STOCHASTIC_KNOBS`] entry may carry a field; knobs
+/// without one fall back to the base scenario's own (possibly
+/// distributional) knob as a trivial field with no trend or correlated
+/// noise.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WaferSpec {
+    /// Workload name (also names the `<name>.wafer.json` artifact).
+    pub name: String,
+    /// Dies across the wafer diameter; dies whose grid-cell centers fall
+    /// inside the inscribed circle exist (`≈ π/4 · D²` dies).
+    pub diameter_dies: u32,
+    /// Optional pinned seed; when absent the caller's seed (e.g. the
+    /// envelope seed) drives the realization.
+    pub seed: Option<u64>,
+    /// The scenario the design is solved on and every die derives from.
+    pub base: ScenarioSpec,
+    /// Per-knob random fields, indexed like
+    /// [`crate::knob::STOCHASTIC_KNOBS`] (density, l_cnt_um, m_min).
+    pub fields: [Option<FieldSpec>; 3],
+}
+
+impl WaferSpec {
+    /// A wafer over the given base with no field overrides.
+    pub fn new(name: impl Into<String>, diameter_dies: u32, base: ScenarioSpec) -> Self {
+        Self {
+            name: name.into(),
+            diameter_dies,
+            seed: None,
+            base,
+            fields: [None, None, None],
+        }
+    }
+
+    /// Parse a wafer document.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::Parse`] for malformed JSON, otherwise as
+    /// [`WaferSpec::from_json`].
+    pub fn parse(src: &str) -> Result<Self> {
+        Self::from_json(&Json::parse(src)?)
+    }
+
+    /// Build from a parsed document (the form the `wafer` envelope body
+    /// carries).
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::UnknownKey`] for unknown sections, knobs, or
+    /// distribution kinds (with nearest-candidate suggestions),
+    /// [`PipelineError::InvalidSpec`] for bad values.
+    pub fn from_json(doc: &Json) -> Result<Self> {
+        for (key, _) in doc
+            .as_object()
+            .ok_or_else(|| invalid("wafer", "document must be an object"))?
+        {
+            if !WAFER_KEYS.contains(&key.as_str()) {
+                return Err(unknown_key("wafer", key, &WAFER_KEYS));
+            }
+        }
+        let name = match doc.get("name") {
+            None => "wafer".to_string(),
+            Some(v) => v
+                .as_str()
+                .ok_or_else(|| invalid("name", "must be a string"))?
+                .to_string(),
+        };
+        let diameter_dies = doc
+            .get("diameter_dies")
+            .ok_or_else(|| invalid("diameter_dies", "a wafer spec needs `diameter_dies`"))?
+            .as_u64()
+            .filter(|d| (1..=u64::from(MAX_DIAMETER_DIES)).contains(d))
+            .ok_or_else(|| {
+                invalid(
+                    "diameter_dies",
+                    format!("must be an integer in [1, {MAX_DIAMETER_DIES}]"),
+                )
+            })? as u32;
+        let seed = match doc.get("seed") {
+            None => None,
+            Some(v) => Some(
+                v.as_u64()
+                    .ok_or_else(|| invalid("seed", "must be a non-negative integer"))?,
+            ),
+        };
+        // The base scenario keeps its own name (it round-trips through
+        // `ScenarioSpec::to_json`); it defaults to the wafer's name only
+        // when the document does not set one.
+        let mut builder = crate::builder::ScenarioBuilder::new(name.clone());
+        if let Some(base) = doc.get("base") {
+            let fields = base
+                .as_object()
+                .ok_or_else(|| invalid("base", "must be an object"))?;
+            for (key, value) in fields {
+                builder = builder.set_json(key, value)?;
+            }
+        }
+        let base = builder.build()?;
+
+        let mut fields: [Option<FieldSpec>; 3] = [None, None, None];
+        if let Some(v) = doc.get("fields") {
+            let entries = v
+                .as_object()
+                .ok_or_else(|| invalid("fields", "must be an object"))?;
+            for (key, value) in entries {
+                let knob = knob::STOCHASTIC_KNOBS
+                    .iter()
+                    .position(|k| k == key)
+                    .ok_or_else(|| unknown_key("fields", key, &knob::STOCHASTIC_KNOBS))?;
+                // The three knobs share one static context label each so
+                // diagnostics can say which knob's field failed.
+                let context = knob::STOCHASTIC_KNOBS[knob];
+                fields[knob] = Some(field_from_json(context, value)?);
+            }
+        }
+
+        let spec = Self {
+            name,
+            diameter_dies,
+            seed,
+            base,
+            fields,
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Serialize the full spec; `WaferSpec::from_json` inverts this
+    /// exactly (the normal form).
+    pub fn to_json(&self) -> Json {
+        let mut doc = vec![("name".to_string(), Json::Str(self.name.clone()))];
+        if let Some(seed) = self.seed {
+            doc.push(("seed".to_string(), Json::from_u64(seed)));
+        }
+        doc.push((
+            "diameter_dies".to_string(),
+            Json::from_u64(u64::from(self.diameter_dies)),
+        ));
+        doc.push(("base".to_string(), self.base.to_json()));
+        let fields: Vec<(String, Json)> = self
+            .fields
+            .iter()
+            .enumerate()
+            .filter_map(|(i, f)| {
+                f.as_ref()
+                    .map(|f| (knob::STOCHASTIC_KNOBS[i].to_string(), field_to_json(f)))
+            })
+            .collect();
+        if !fields.is_empty() {
+            doc.push(("fields".to_string(), Json::Obj(fields)));
+        }
+        Json::Obj(doc)
+    }
+
+    /// Validate geometry, the base scenario, and every field.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::InvalidSpec`] naming the offending part.
+    pub fn validate(&self) -> Result<()> {
+        if !(1..=MAX_DIAMETER_DIES).contains(&self.diameter_dies) {
+            return Err(invalid(
+                "diameter_dies",
+                format!("must be in [1, {MAX_DIAMETER_DIES}]"),
+            ));
+        }
+        self.base.validate()?;
+        for (i, field) in self.fields.iter().enumerate() {
+            if let Some(f) = field {
+                f.validate().map_err(|e| {
+                    invalid("fields", format!("{}: {e}", knob::STOCHASTIC_KNOBS[i]))
+                })?;
+            }
+        }
+        if self.fields[2].is_some() && matches!(self.base.m_min, MminSpec::SelfConsistent) {
+            return Err(invalid(
+                "fields",
+                "an `m_min` field needs a fractional base `m_min`, not \"self-consistent\"",
+            ));
+        }
+        Ok(())
+    }
+
+    /// The effective random field of one knob: the explicit field if set,
+    /// otherwise the base scenario's knob as a trivial field. `None` for
+    /// `m_min` under the self-consistent treatment (no per-die variation).
+    fn effective_field(&self, knob: usize) -> Option<FieldSpec> {
+        if let Some(f) = &self.fields[knob] {
+            return Some(*f);
+        }
+        let dist = match knob {
+            0 => self.base.density,
+            1 => self.base.l_cnt_um,
+            2 => match self.base.m_min {
+                MminSpec::Fraction(d) => d,
+                MminSpec::SelfConsistent => return None,
+            },
+            _ => unreachable!("no such knob"),
+        };
+        Some(FieldSpec::from_dist(dist))
+    }
+
+    /// The base scenario with every stochastic knob collapsed to its
+    /// central (mean) value — the deterministic design point the wafer's
+    /// `W_design` is solved at.
+    fn central_base(&self) -> Result<ScenarioSpec> {
+        let central = |d: &DistSpec, field: &'static str| -> Result<DistSpec> {
+            Ok(DistSpec::Fixed(
+                d.mean().map_err(|e| invalid(field, e.to_string()))?,
+            ))
+        };
+        let mut base = self.base.clone();
+        base.density = central(&base.density, "density")?;
+        base.l_cnt_um = central(&base.l_cnt_um, "l_cnt_um")?;
+        if let MminSpec::Fraction(d) = base.m_min {
+            base.m_min = MminSpec::Fraction(central(&d, "m_min")?);
+        }
+        Ok(base)
+    }
+
+    /// Number of dies on the wafer (grid cells whose centers fall inside
+    /// the inscribed circle).
+    pub fn die_count(&self) -> u64 {
+        die_positions(self.diameter_dies).len() as u64
+    }
+}
+
+/// One die's geometry: full-grid index (the seeding key) and position.
+#[derive(Debug, Clone, Copy)]
+struct Die {
+    /// Row-major index in the full `D × D` grid — stable under geometry,
+    /// which keeps per-die draws independent of how many dies exist.
+    grid_index: u64,
+    /// Grid-cell center, in die pitches from the wafer center.
+    x: f64,
+    y: f64,
+    /// Normalized radius in `[0, 1]`.
+    r: f64,
+}
+
+/// Enumerate the dies of a `D`-die-diameter wafer in row-major order.
+fn die_positions(diameter_dies: u32) -> Vec<Die> {
+    let d = diameter_dies as f64;
+    let radius = d / 2.0;
+    let mut dies = Vec::new();
+    for j in 0..diameter_dies {
+        for i in 0..diameter_dies {
+            let x = (f64::from(i) + 0.5) - radius;
+            let y = (f64::from(j) + 0.5) - radius;
+            let rr = (x * x + y * y).sqrt();
+            if rr <= radius {
+                dies.push(Die {
+                    grid_index: u64::from(j) * u64::from(diameter_dies) + u64::from(i),
+                    x,
+                    y,
+                    r: if radius > 0.0 {
+                        (rr / radius).min(1.0)
+                    } else {
+                        0.0
+                    },
+                });
+            }
+        }
+    }
+    dies
+}
+
+/// One radial band of the wafer yield profile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RadialBand {
+    /// Inclusive lower normalized radius of the band.
+    pub r_lo: f64,
+    /// Exclusive upper normalized radius (the last band includes 1).
+    pub r_hi: f64,
+    /// Dies in the band.
+    pub dies: u64,
+    /// Mean die yield over the band (0 when empty).
+    pub mean_yield: f64,
+}
+
+/// The aggregated result of one wafer run — a pure function of
+/// `(spec, seed)`, byte-identical for any worker count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WaferReport {
+    /// The workload name.
+    pub name: String,
+    /// The seed the realization derived from.
+    pub seed: u64,
+    /// Wafer diameter in dies.
+    pub diameter_dies: u32,
+    /// Dies evaluated.
+    pub dies: u64,
+    /// The design width solved on the central base scenario (nm).
+    pub w_design_nm: f64,
+    /// Mean die yield across the wafer.
+    pub overall_yield: f64,
+    /// Worst die yield.
+    pub min_die_yield: f64,
+    /// Best die yield.
+    pub max_die_yield: f64,
+    /// Distinct quantized knob tuples evaluated (the memo's key count —
+    /// how much the quantization grid collapsed the wafer).
+    pub distinct_scenarios: u64,
+    /// Die counts of the ten equal-width yield bins over `[0, 1]`.
+    pub bins: Vec<u64>,
+    /// Center-to-edge yield profile over eight equal-width radius bands.
+    pub radial: Vec<RadialBand>,
+}
+
+impl WaferReport {
+    /// Serialize to the wire/artifact form (stable key order).
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("name".into(), Json::Str(self.name.clone())),
+            ("seed".into(), Json::from_u64(self.seed)),
+            (
+                "diameter_dies".into(),
+                Json::from_u64(u64::from(self.diameter_dies)),
+            ),
+            ("dies".into(), Json::from_u64(self.dies)),
+            ("w_design_nm".into(), Json::Num(self.w_design_nm)),
+            ("overall_yield".into(), Json::Num(self.overall_yield)),
+            ("min_die_yield".into(), Json::Num(self.min_die_yield)),
+            ("max_die_yield".into(), Json::Num(self.max_die_yield)),
+            (
+                "distinct_scenarios".into(),
+                Json::from_u64(self.distinct_scenarios),
+            ),
+            (
+                "bins".into(),
+                Json::Arr(self.bins.iter().map(|&b| Json::from_u64(b)).collect()),
+            ),
+            (
+                "radial".into(),
+                Json::Arr(
+                    self.radial
+                        .iter()
+                        .map(|b| {
+                            Json::Obj(vec![
+                                ("r_lo".into(), Json::Num(b.r_lo)),
+                                ("r_hi".into(), Json::Num(b.r_hi)),
+                                ("dies".into(), Json::from_u64(b.dies)),
+                                ("mean_yield".into(), Json::Num(b.mean_yield)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Parse a serialized report.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::InvalidSpec`] for missing or mistyped fields.
+    pub fn from_json(v: &Json) -> Result<Self> {
+        let bad = |msg: String| invalid("wafer_report", msg);
+        let num = |key: &str| -> Result<f64> {
+            v.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| bad(format!("missing or non-numeric `{key}`")))
+        };
+        let int = |key: &str| -> Result<u64> {
+            v.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| bad(format!("missing or non-integer `{key}`")))
+        };
+        let bins = v
+            .get("bins")
+            .and_then(Json::as_array)
+            .ok_or_else(|| bad("missing `bins`".into()))?
+            .iter()
+            .map(|b| b.as_u64().ok_or_else(|| bad("non-integer bin".into())))
+            .collect::<Result<Vec<u64>>>()?;
+        let radial = v
+            .get("radial")
+            .and_then(Json::as_array)
+            .ok_or_else(|| bad("missing `radial`".into()))?
+            .iter()
+            .map(|band| {
+                Ok(RadialBand {
+                    r_lo: band
+                        .get("r_lo")
+                        .and_then(Json::as_f64)
+                        .ok_or_else(|| bad("band missing `r_lo`".into()))?,
+                    r_hi: band
+                        .get("r_hi")
+                        .and_then(Json::as_f64)
+                        .ok_or_else(|| bad("band missing `r_hi`".into()))?,
+                    dies: band
+                        .get("dies")
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| bad("band missing `dies`".into()))?,
+                    mean_yield: band
+                        .get("mean_yield")
+                        .and_then(Json::as_f64)
+                        .ok_or_else(|| bad("band missing `mean_yield`".into()))?,
+                })
+            })
+            .collect::<Result<Vec<RadialBand>>>()?;
+        Ok(Self {
+            name: v
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or_else(|| bad("missing `name`".into()))?
+                .to_string(),
+            seed: int("seed")?,
+            diameter_dies: int("diameter_dies")? as u32,
+            dies: int("dies")?,
+            w_design_nm: num("w_design_nm")?,
+            overall_yield: num("overall_yield")?,
+            min_die_yield: num("min_die_yield")?,
+            max_die_yield: num("max_die_yield")?,
+            distinct_scenarios: int("distinct_scenarios")?,
+            bins,
+            radial,
+        })
+    }
+}
+
+/// Write a wafer artifact as `<name>.wafer.json`, returning the path.
+/// Pretty-printed with stable key order, so identical reports are
+/// byte-identical on disk.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_wafer_report(dir: &Path, report: &WaferReport) -> Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{}.wafer.json", artifact_stem(&report.name)));
+    std::fs::write(&path, report.to_json().to_string_pretty())?;
+    Ok(path)
+}
+
+/// Per-chunk partial aggregate. Chunks cover fixed die ranges, so merging
+/// these in chunk order reproduces the sequential aggregation exactly.
+struct ChunkAgg {
+    sum_yield: f64,
+    min_yield: f64,
+    max_yield: f64,
+    bins: [u64; YIELD_BINS],
+    band_dies: [u64; RADIAL_BANDS],
+    band_sum: [f64; RADIAL_BANDS],
+    distinct: HashSet<(u64, u64, u64)>,
+}
+
+impl ChunkAgg {
+    fn new() -> Self {
+        Self {
+            sum_yield: 0.0,
+            min_yield: f64::INFINITY,
+            max_yield: f64::NEG_INFINITY,
+            bins: [0; YIELD_BINS],
+            band_dies: [0; RADIAL_BANDS],
+            band_sum: [0.0; RADIAL_BANDS],
+            distinct: HashSet::new(),
+        }
+    }
+
+    fn add(&mut self, y: f64, r: f64, key: (u64, u64, u64)) {
+        self.sum_yield += y;
+        self.min_yield = self.min_yield.min(y);
+        self.max_yield = self.max_yield.max(y);
+        let bin = ((y * YIELD_BINS as f64) as usize).min(YIELD_BINS - 1);
+        self.bins[bin] += 1;
+        let band = ((r * RADIAL_BANDS as f64) as usize).min(RADIAL_BANDS - 1);
+        self.band_dies[band] += 1;
+        self.band_sum[band] += y;
+        self.distinct.insert(key);
+    }
+
+    fn merge(&mut self, other: &ChunkAgg) {
+        self.sum_yield += other.sum_yield;
+        self.min_yield = self.min_yield.min(other.min_yield);
+        self.max_yield = self.max_yield.max(other.max_yield);
+        for i in 0..YIELD_BINS {
+            self.bins[i] += other.bins[i];
+        }
+        for i in 0..RADIAL_BANDS {
+            self.band_dies[i] += other.band_dies[i];
+            self.band_sum[i] += other.band_sum[i];
+        }
+        self.distinct.extend(other.distinct.iter().copied());
+    }
+}
+
+/// The per-run constants every die evaluation shares.
+struct DieModel {
+    p_at_w: f64,
+    rho_scaled: f64,
+    grid_division: f64,
+    m_transistors: f64,
+    base_m_min: f64,
+}
+
+/// The streaming wafer evaluator over a shared [`Pipeline`].
+///
+/// Workers claim fixed 1024-die chunks from an atomic cursor, realize
+/// each die's knobs through the per-knob [`FieldSampler`]s, and look the
+/// quantized knob tuple up in a shared memo before computing. Chunk
+/// aggregates merge in chunk order, so any worker count streams to the
+/// same report.
+pub struct WaferEngine<'a> {
+    pipeline: &'a Pipeline,
+}
+
+impl<'a> WaferEngine<'a> {
+    /// An engine over the given pipeline (shares its caches).
+    pub fn new(pipeline: &'a Pipeline) -> Self {
+        Self { pipeline }
+    }
+
+    /// Evaluate one die from its realized knob values.
+    fn die_yield(model: &DieModel, spec: &ScenarioSpec, knobs: (f64, f64, f64)) -> Result<f64> {
+        let (density, l_cnt, m_min_frac) = knobs;
+        let row = RowModel::from_design(l_cnt, model.rho_scaled * density)?
+            .with_grid_division(model.grid_division)?;
+        let relaxation = Pipeline::relaxation(spec, &row);
+        let m_min = if m_min_frac > 0.0 {
+            (m_min_frac * model.m_transistors).max(1.0)
+        } else {
+            model.base_m_min
+        };
+        let p_eff = (model.p_at_w / relaxation.max(1.0)).min(0.999_999);
+        Ok(yield_min_dominated(p_eff, m_min))
+    }
+
+    /// Run the wafer workload: solve the central base scenario for
+    /// `W_design`, then stream every die through the field realizations.
+    ///
+    /// `seed` drives the realization unless the spec pins its own;
+    /// `workers` is purely a wall-clock knob (the report is byte-identical
+    /// for any value).
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation, model, and solver errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0` or a worker thread panics.
+    pub fn run(&self, spec: &WaferSpec, seed: u64, workers: usize) -> Result<WaferReport> {
+        assert!(workers > 0, "wafer engine requires at least one worker");
+        spec.validate()?;
+        let seed = spec.seed.unwrap_or(seed);
+
+        // One design for the whole wafer: solve the central base.
+        let central = spec.central_base()?;
+        let base_report = self.pipeline.evaluate(&central, seed)?;
+        let w_design = base_report.w_min_nm;
+
+        // Per-run constants. `p_at_w_min` is pF(W_design) under the base
+        // corner/backend — the per-die variation enters through the row
+        // relaxation and M_min, not the failure curve.
+        let base_node = central.library.node_nm();
+        let rho_base = match central.rho {
+            RhoSpec::Paper => paper::RHO_MIN_FET_PER_UM,
+            RhoSpec::Measured => {
+                self.pipeline
+                    .design_stats(central.library, central.fast_design)?
+                    .rho_per_um
+            }
+        };
+        let model = DieModel {
+            p_at_w: base_report.p_at_w_min,
+            rho_scaled: rho_base * base_node / central.node_nm,
+            grid_division: central.grid.benefit_division(),
+            m_transistors: central.m_transistors,
+            base_m_min: base_report.m_min,
+        };
+
+        // Seed one sampler per knob; die draws key off the full-grid die
+        // index inside the sampler, so they are position-stable.
+        let knob_base = split_seed(seed, knob::KNOB_SALT);
+        let mut samplers: [Option<FieldSampler>; 3] = [None, None, None];
+        for (i, sampler) in samplers.iter_mut().enumerate() {
+            if let Some(field) = spec.effective_field(i) {
+                *sampler = Some(
+                    field
+                        .sampler(split_seed(knob_base, i as u64))
+                        .map_err(|e| invalid("fields", e.to_string()))?,
+                );
+            }
+        }
+        let central_knob = |knob: usize| -> f64 {
+            match knob {
+                0 => central.density.as_fixed().unwrap_or(1.0),
+                1 => central.l_cnt_um.as_fixed().unwrap_or(paper::L_CNT_UM),
+                // 0 signals "use the base solution's M_min" downstream.
+                _ => 0.0,
+            }
+        };
+
+        let dies = die_positions(spec.diameter_dies);
+        let chunks = dies.len().div_ceil(CHUNK_DIES).max(1);
+        let cursor = AtomicUsize::new(0);
+        let memo: Mutex<HashMap<(u64, u64, u64), f64>> = Mutex::new(HashMap::new());
+        let results: Mutex<BTreeMap<usize, ChunkAgg>> = Mutex::new(BTreeMap::new());
+        let failure: Mutex<Option<PipelineError>> = Mutex::new(None);
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers.min(chunks) {
+                scope.spawn(|| loop {
+                    let chunk = cursor.fetch_add(1, Ordering::Relaxed);
+                    if chunk >= chunks || failure.lock().expect("wafer lock").is_some() {
+                        return;
+                    }
+                    let lo = chunk * CHUNK_DIES;
+                    let hi = (lo + CHUNK_DIES).min(dies.len());
+                    let mut agg = ChunkAgg::new();
+                    for die in &dies[lo..hi] {
+                        let mut knobs = [0.0_f64; 3];
+                        for (i, k) in knobs.iter_mut().enumerate() {
+                            *k = match &samplers[i] {
+                                Some(s) => {
+                                    knob::snap(i, s.realize(die.grid_index, die.x, die.y, die.r))
+                                }
+                                None => central_knob(i),
+                            };
+                        }
+                        let key = (knobs[0].to_bits(), knobs[1].to_bits(), knobs[2].to_bits());
+                        let cached = memo.lock().expect("wafer lock").get(&key).copied();
+                        let y = match cached {
+                            Some(y) => y,
+                            None => {
+                                match Self::die_yield(
+                                    &model,
+                                    &central,
+                                    (knobs[0], knobs[1], knobs[2]),
+                                ) {
+                                    Ok(y) => {
+                                        memo.lock().expect("wafer lock").insert(key, y);
+                                        y
+                                    }
+                                    Err(e) => {
+                                        *failure.lock().expect("wafer lock") = Some(e);
+                                        return;
+                                    }
+                                }
+                            }
+                        };
+                        agg.add(y, die.r, key);
+                    }
+                    results.lock().expect("wafer lock").insert(chunk, agg);
+                });
+            }
+        });
+
+        if let Some(e) = failure.into_inner().expect("wafer lock") {
+            return Err(e);
+        }
+        let results = results.into_inner().expect("wafer lock");
+        let mut total = ChunkAgg::new();
+        // BTreeMap iteration is chunk order — the determinism barrier.
+        for agg in results.values() {
+            total.merge(agg);
+        }
+
+        let n = dies.len() as u64;
+        let radial = (0..RADIAL_BANDS)
+            .map(|i| RadialBand {
+                r_lo: i as f64 / RADIAL_BANDS as f64,
+                r_hi: (i + 1) as f64 / RADIAL_BANDS as f64,
+                dies: total.band_dies[i],
+                mean_yield: if total.band_dies[i] > 0 {
+                    total.band_sum[i] / total.band_dies[i] as f64
+                } else {
+                    0.0
+                },
+            })
+            .collect();
+        Ok(WaferReport {
+            name: spec.name.clone(),
+            seed,
+            diameter_dies: spec.diameter_dies,
+            dies: n,
+            w_design_nm: w_design,
+            overall_yield: if n > 0 {
+                total.sum_yield / n as f64
+            } else {
+                0.0
+            },
+            min_die_yield: if n > 0 { total.min_yield } else { 0.0 },
+            max_die_yield: if n > 0 { total.max_yield } else { 0.0 },
+            distinct_scenarios: total.distinct.len() as u64,
+            bins: total.bins.to_vec(),
+            radial,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{BackendSpec, CorrelationSpec};
+
+    fn fast_base() -> ScenarioSpec {
+        let mut base = ScenarioSpec::baseline("wafer-test");
+        base.backend = BackendSpec::GaussianSum;
+        base.fast_design = true;
+        base.rho = RhoSpec::Paper;
+        base.correlation = CorrelationSpec::GrowthAlignedLayout;
+        base
+    }
+
+    fn demo_spec(diameter: u32) -> WaferSpec {
+        let mut spec = WaferSpec::new("demo", diameter, fast_base());
+        spec.fields[0] = Some(FieldSpec {
+            dist: DistSpec::Gaussian { mean: 1.0, sd: 0.1 },
+            trend: -0.15,
+            noise_sd: 0.05,
+            correlation_dies: 6.0,
+            clamp_lo: 0.2,
+            clamp_hi: 3.0,
+        });
+        spec.fields[1] = Some(FieldSpec::from_dist(DistSpec::Uniform {
+            lo: 150.0,
+            hi: 250.0,
+        }));
+        spec
+    }
+
+    #[test]
+    fn die_grid_fills_the_inscribed_circle() {
+        assert_eq!(die_positions(1).len(), 1);
+        let d = die_positions(40);
+        let area = std::f64::consts::PI / 4.0 * 40.0 * 40.0;
+        assert!(
+            (d.len() as f64 - area).abs() < 0.05 * area,
+            "{} dies vs {area}",
+            d.len()
+        );
+        for die in &d {
+            assert!(die.r <= 1.0);
+        }
+        // Full-grid indices are unique and row-major increasing.
+        assert!(d.windows(2).all(|w| w[0].grid_index < w[1].grid_index));
+    }
+
+    #[test]
+    fn wafer_spec_round_trips() {
+        let mut spec = demo_spec(24);
+        spec.seed = Some(99);
+        let wire = spec.to_json();
+        assert_eq!(WaferSpec::from_json(&wire).unwrap(), spec);
+        // And the serialized text form round-trips too.
+        assert_eq!(WaferSpec::parse(&wire.to_string_pretty()).unwrap(), spec);
+    }
+
+    #[test]
+    fn wafer_spec_rejects_bad_documents() {
+        assert!(WaferSpec::parse(r#"{ "diameter_dies": 0 }"#).is_err());
+        assert!(WaferSpec::parse(r#"{ "diamter_dies": 10 }"#)
+            .unwrap_err()
+            .to_string()
+            .contains("did you mean `diameter_dies`"));
+        let err = WaferSpec::parse(r#"{ "diameter_dies": 10, "fields": { "densty": 1.0 } }"#)
+            .unwrap_err();
+        assert!(err.to_string().contains("did you mean `density`"), "{err}");
+        assert!(WaferSpec::parse(
+            r#"{ "diameter_dies": 10,
+                 "base": { "m_min": "self-consistent" },
+                 "fields": { "m_min": { "uniform": { "lo": 0.2, "hi": 0.4 } } } }"#,
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn report_is_byte_identical_across_worker_counts() {
+        let spec = demo_spec(28);
+        let p = Pipeline::new();
+        let engine = WaferEngine::new(&p);
+        let one = engine.run(&spec, 7, 1).unwrap();
+        let four = engine.run(&spec, 7, 4).unwrap();
+        assert_eq!(one, four);
+        assert_eq!(
+            one.to_json().to_string_pretty(),
+            four.to_json().to_string_pretty()
+        );
+        assert_eq!(one.dies, spec.die_count());
+        assert_eq!(one.bins.iter().sum::<u64>(), one.dies);
+        assert_eq!(one.radial.iter().map(|b| b.dies).sum::<u64>(), one.dies);
+        assert!(one.min_die_yield <= one.overall_yield);
+        assert!(one.overall_yield <= one.max_die_yield);
+        assert!(one.distinct_scenarios > 1 && one.distinct_scenarios <= one.dies);
+        // A different seed realizes a different wafer.
+        let other = engine.run(&spec, 8, 2).unwrap();
+        assert_ne!(one.overall_yield, other.overall_yield);
+    }
+
+    #[test]
+    fn quantization_collapses_tight_fields() {
+        // Clamped to [0.9, 1.1], the relative 2⁻¹⁰ grid holds ~300
+        // representable points — far fewer than the wafer's dies — so the
+        // memo must collapse the workload by pigeonhole.
+        let mut spec = WaferSpec::new("tight", 28, fast_base());
+        spec.fields[0] = Some(FieldSpec {
+            dist: DistSpec::Gaussian {
+                mean: 1.0,
+                sd: 0.08,
+            },
+            trend: 0.0,
+            noise_sd: 0.0,
+            correlation_dies: 8.0,
+            clamp_lo: 0.9,
+            clamp_hi: 1.1,
+        });
+        let p = Pipeline::new();
+        let report = WaferEngine::new(&p).run(&spec, 11, 2).unwrap();
+        assert!(
+            report.distinct_scenarios < report.dies / 2,
+            "{} distinct of {} dies",
+            report.distinct_scenarios,
+            report.dies
+        );
+    }
+
+    #[test]
+    fn deterministic_base_wafer_is_uniform() {
+        // No fields, all-fixed base: every die is the same scenario.
+        let spec = WaferSpec::new("flat", 16, fast_base());
+        let p = Pipeline::new();
+        let report = WaferEngine::new(&p).run(&spec, 3, 2).unwrap();
+        assert_eq!(report.distinct_scenarios, 1);
+        assert!((report.min_die_yield - report.max_die_yield).abs() < 1e-15);
+        // At W_design the base scenario meets its yield target.
+        assert!(
+            (report.overall_yield - spec.base.yield_target).abs() < 0.01,
+            "yield {} vs target {}",
+            report.overall_yield,
+            spec.base.yield_target
+        );
+    }
+
+    #[test]
+    fn radial_trend_shows_in_the_profile() {
+        // Strong negative density trend lowers ρ at the edge, which
+        // *raises* the relaxation and with it edge yield — the profile
+        // must be monotone in the trend's direction, not flat.
+        let mut spec = WaferSpec::new("trend", 32, fast_base());
+        spec.fields[0] = Some(FieldSpec {
+            dist: DistSpec::Fixed(1.0),
+            trend: 0.8,
+            noise_sd: 0.0,
+            correlation_dies: 8.0,
+            clamp_lo: 0.2,
+            clamp_hi: 3.0,
+        });
+        let p = Pipeline::new();
+        let report = WaferEngine::new(&p).run(&spec, 5, 2).unwrap();
+        let center = report.radial.first().unwrap().mean_yield;
+        let edge = report.radial.last().unwrap().mean_yield;
+        assert!(
+            (center - edge).abs() > 1e-6,
+            "trend must move the profile: center {center} vs edge {edge}"
+        );
+        let report_json = report.to_json();
+        assert_eq!(WaferReport::from_json(&report_json).unwrap(), report);
+    }
+}

@@ -44,8 +44,13 @@ fn every_field_arm_rejects_mistyped_values_as_bad_spec() {
             "unknown monte-carlo field",
         ),
         ("m_transistors", r#""many""#, "must be a number"),
-        ("m_min", r#""most""#, "fraction or \"self-consistent\""),
+        (
+            "m_min",
+            r#""most""#,
+            "distribution object, or \"self-consistent\"",
+        ),
         ("rho", "1.8", "\"paper\" or \"measured\""),
+        ("density", r#""thick""#, "must be a number"),
         ("l_cnt_um", r#""long""#, "must be a number"),
         ("grid", r#""triple""#, "\"single\" or \"dual\""),
         ("fast_design", r#""yes""#, "must be a boolean"),
@@ -161,6 +166,7 @@ fn every_scenario_key_has_a_working_set_json_arm() {
         ("m_transistors", "1e7"),
         ("m_min", r#""self-consistent""#),
         ("rho", r#""paper""#),
+        ("density", r#"{ "gaussian": { "mean": 1, "sd": 0.05 } }"#),
         ("l_cnt_um", "400"),
         ("grid", r#""dual""#),
         ("fast_design", "true"),
@@ -176,7 +182,7 @@ fn every_scenario_key_has_a_working_set_json_arm() {
     }
     let spec = builder.build().unwrap();
     assert_eq!(spec.name, "renamed");
-    assert_eq!(spec.l_cnt_um, 400.0);
+    assert_eq!(spec.l_cnt_um, cnt_stats::DistSpec::Fixed(400.0));
 }
 
 #[test]

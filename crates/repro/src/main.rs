@@ -5,6 +5,7 @@
 //! cnfet-repro sweep <grid-file> [--fast] [--out-dir <path>] [--seed <u64>] [--workers <n>]
 //!                   [--backend <name-or-json>]
 //! cnfet-repro coopt <spec-file> [--fast] [--out-dir <path>] [--seed <u64>] [--workers <n>]
+//! cnfet-repro wafer <spec-file> [--fast] [--out-dir <path>] [--seed <u64>] [--workers <n>]
 //! cnfet-repro serve [--workers <n>] [--curve-cache <n>]
 //!
 //! experiments:
@@ -20,6 +21,7 @@
 //!   all       everything above, in paper order
 //!   sweep     evaluate a declarative scenario-grid file in parallel
 //!   coopt     run a process–design co-optimization study (Pareto artifact)
+//!   wafer     stream a wafer-scale random-field workload to a yield artifact
 //!   serve     JSON-lines yield-service daemon on stdin/stdout (incl. co_opt)
 //!
 //! options:
@@ -29,7 +31,7 @@
 //!   --backend <b>     (sweep) override every scenario's count back-end:
 //!                     convolution | gaussian-sum | monte-carlo, or a JSON
 //!                     object, e.g. '{"monte-carlo": {"rel_ci": 0.05}}'
-//!   --workers <n>     (sweep, coopt, serve) worker threads; wall-clock
+//!   --workers <n>     (sweep, coopt, wafer, serve) worker threads; wall-clock
 //!                     only, never results
 //!   --curve-cache <n> (serve) LRU capacity of the shared pF(W) curve cache
 //! ```
@@ -53,6 +55,7 @@ mod serve;
 mod sweep;
 mod table1;
 mod table2;
+mod wafer;
 
 use common::{ReproError, RunContext};
 use std::path::PathBuf;
@@ -65,6 +68,7 @@ fn usage() {
          cnfet-repro sweep <grid-file> [--fast] [--out-dir <path>] [--seed <u64>] [--workers <n>] \
          [--backend <name-or-json>]\n       \
          cnfet-repro coopt <spec-file> [--fast] [--out-dir <path>] [--seed <u64>] [--workers <n>]\n       \
+         cnfet-repro wafer <spec-file> [--fast] [--out-dir <path>] [--seed <u64>] [--workers <n>]\n       \
          cnfet-repro serve [--workers <n>] [--curve-cache <n>]"
     );
 }
@@ -190,6 +194,22 @@ fn dispatch(cli: &Cli) -> common::Result<()> {
             ));
         };
         return coopt::run(&ctx, spec_file, cli.workers);
+    }
+
+    if which == "wafer" {
+        if cli.backend.is_some() {
+            return Err(ReproError::Usage(
+                "--backend only applies to the sweep subcommand; pin the back-end in \
+                 the wafer spec's `base` instead"
+                    .into(),
+            ));
+        }
+        let Some(spec_file) = cli.positionals.get(1) else {
+            return Err(ReproError::Usage(
+                "wafer needs a <spec-file> argument".into(),
+            ));
+        };
+        return wafer::run(&ctx, spec_file, cli.workers);
     }
 
     if cli.backend.is_some() {

@@ -1,0 +1,82 @@
+//! `wafer <spec.json>` — stream a wafer-scale random-field workload into
+//! one aggregated yield artifact.
+//!
+//! The spec file is a declarative [`WaferSpec`] document (see the README's
+//! "Wafer-scale workloads" section): die-grid geometry, a base scenario,
+//! and one random field per stochastic knob. The run solves the design
+//! once on the central base, then realizes every die through the fields —
+//! `--workers` only changes wall-clock; the emitted `<name>.wafer.json`
+//! artifact is byte-identical for any worker count.
+
+use crate::common::{banner, write_csv, Result, RunContext};
+use cnfet_pipeline::wafer::write_wafer_report;
+use cnfet_pipeline::WaferSpec;
+use cnfet_plot::Table;
+
+/// Run a wafer spec file through the engine.
+pub fn run(ctx: &RunContext, spec_file: &str, workers: Option<usize>) -> Result<()> {
+    banner("WAFER", &format!("wafer spec `{spec_file}`"));
+
+    let src = std::fs::read_to_string(spec_file)?;
+    let mut spec = WaferSpec::parse(&src)?;
+    if ctx.fast {
+        spec.base.fast_design = true;
+    }
+    let workers = workers.unwrap_or(ctx.service.config().sweep_workers).max(1);
+    let seed = spec.seed.unwrap_or_else(|| ctx.seed_or(20100613));
+    println!(
+        "  `{}`: {} dies across, {} dies total, {} workers (seed {seed})",
+        spec.name,
+        spec.diameter_dies,
+        spec.die_count(),
+        workers,
+    );
+
+    let report = ctx.service.wafer_with_workers(&spec, seed, workers)?;
+
+    let mut profile = Table::new(
+        "radial yield profile (center → edge)",
+        &["band", "r_range", "dies", "mean_yield"],
+    );
+    for (i, band) in report.radial.iter().enumerate() {
+        profile
+            .add_row(&[
+                format!("{i}"),
+                format!("{:.3}-{:.3}", band.r_lo, band.r_hi),
+                format!("{}", band.dies),
+                format!("{:.4}", band.mean_yield),
+            ])
+            .map_err(crate::common::analysis)?;
+    }
+    println!("{}", profile.to_markdown());
+
+    let mut bins = Table::new("die-yield histogram", &["yield_range", "dies"]);
+    for (i, count) in report.bins.iter().enumerate() {
+        bins.add_row(&[
+            format!(
+                "{:.1}-{:.1}",
+                i as f64 / report.bins.len() as f64,
+                (i + 1) as f64 / report.bins.len() as f64
+            ),
+            format!("{count}"),
+        ])
+        .map_err(crate::common::analysis)?;
+    }
+    println!("{}", bins.to_markdown());
+
+    println!(
+        "  W_design {:.1} nm; yield mean {:.4} (min {:.4}, max {:.4}); \
+         {} distinct scenarios over {} dies",
+        report.w_design_nm,
+        report.overall_yield,
+        report.min_die_yield,
+        report.max_die_yield,
+        report.distinct_scenarios,
+        report.dies,
+    );
+    write_csv(ctx, &format!("{}-radial", spec.name), &profile)?;
+
+    let path = write_wafer_report(&ctx.out_dir, &report)?;
+    println!("  [json] {}", path.display());
+    Ok(())
+}

@@ -8,23 +8,10 @@ use cnt_stats::Summary;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-/// SplitMix64 finalizer — decorrelates worker seeds.
-fn splitmix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9E3779B97F4A7C15);
-    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
-    x ^ (x >> 31)
-}
-
-/// Derive the `index`-th child seed of `base`.
-///
-/// This is the deterministic seed-splitting rule the parallel engine uses
-/// for its workers, exposed so other fan-out layers (e.g. the scenario
-/// sweep runner) stay reproducible for a given `(base, index)` pair
-/// independent of worker count and scheduling.
-pub fn split_seed(base: u64, index: u64) -> u64 {
-    base ^ splitmix64(index.wrapping_add(1))
-}
+// The canonical seed-splitting rule lives in `cnt_stats::seed` (one place
+// for the whole workspace); this re-export keeps the engine's historical
+// import path working for the fan-out layers built on it.
+pub use cnt_stats::seed::split_seed;
 
 /// Run `trials` evaluations of `job` across `workers` threads and merge the
 /// per-worker [`Summary`] accumulators.

@@ -441,6 +441,179 @@ impl ContinuousDist for Exponential {
     }
 }
 
+/// Continuous uniform distribution on `[lo, hi]`.
+///
+/// The simplest stochastic-knob model: bounded, flat, and trivially
+/// seedable. Used by the wafer random-field layer for knobs whose spread
+/// is a hard tolerance window rather than a bell curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Uniform {
+    lo: f64,
+    hi: f64,
+}
+
+impl Uniform {
+    /// Create a uniform distribution on `[lo, hi]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] if either bound is not
+    /// finite or `lo ≥ hi`.
+    pub fn new(lo: f64, hi: f64) -> Result<Self> {
+        if !lo.is_finite() {
+            return Err(StatsError::InvalidParameter {
+                name: "lo",
+                value: lo,
+                constraint: "must be finite",
+            });
+        }
+        if !(hi.is_finite() && hi > lo) {
+            return Err(StatsError::InvalidParameter {
+                name: "hi",
+                value: hi,
+                constraint: "must be finite and > lo",
+            });
+        }
+        Ok(Self { lo, hi })
+    }
+
+    /// Lower bound.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper bound.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+}
+
+impl ContinuousDist for Uniform {
+    fn pdf(&self, x: f64) -> f64 {
+        if x < self.lo || x > self.hi {
+            0.0
+        } else {
+            1.0 / (self.hi - self.lo)
+        }
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        ((x - self.lo) / (self.hi - self.lo)).clamp(0.0, 1.0)
+    }
+
+    fn mean(&self) -> f64 {
+        0.5 * (self.lo + self.hi)
+    }
+
+    fn variance(&self) -> f64 {
+        let w = self.hi - self.lo;
+        w * w / 12.0
+    }
+
+    fn sample(&self, rng: &mut dyn rand::RngCore) -> f64 {
+        // One uniform per deviate, like every sampler in this module, so
+        // parallel per-index streams stay aligned.
+        let u: f64 = rng.gen();
+        self.lo + u * (self.hi - self.lo)
+    }
+}
+
+/// Log-normal distribution: `exp(N(mu, sigma²))`.
+///
+/// The natural model for strictly positive, multiplicative process
+/// variation (growth-density drift across a wafer compounds rather than
+/// adds). `mu`/`sigma` are the parameters of the underlying normal on the
+/// log scale, as is conventional.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    log: Gaussian,
+}
+
+impl LogNormal {
+    /// Create a log-normal whose logarithm is `N(mu, sigma²)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] if `mu` is not finite or
+    /// `sigma` is not finite and strictly positive.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self> {
+        Ok(Self {
+            log: Gaussian::new(mu, sigma)?,
+        })
+    }
+
+    /// Create a log-normal from its **achieved** mean and standard
+    /// deviation (both on the linear scale), solving for `(mu, sigma)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] for non-positive targets.
+    pub fn with_moments(target_mean: f64, target_sd: f64) -> Result<Self> {
+        if !(target_mean.is_finite() && target_mean > 0.0) {
+            return Err(StatsError::InvalidParameter {
+                name: "target_mean",
+                value: target_mean,
+                constraint: "must be finite and > 0",
+            });
+        }
+        if !(target_sd.is_finite() && target_sd > 0.0) {
+            return Err(StatsError::InvalidParameter {
+                name: "target_sd",
+                value: target_sd,
+                constraint: "must be finite and > 0",
+            });
+        }
+        let cv2 = (target_sd / target_mean).powi(2);
+        let sigma2 = (1.0 + cv2).ln();
+        Self::new(target_mean.ln() - 0.5 * sigma2, sigma2.sqrt())
+    }
+
+    /// Mean of the underlying normal (log scale).
+    pub fn mu(&self) -> f64 {
+        self.log.mean()
+    }
+
+    /// Standard deviation of the underlying normal (log scale).
+    pub fn sigma(&self) -> f64 {
+        self.log.std_dev()
+    }
+}
+
+impl ContinuousDist for LogNormal {
+    fn pdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            self.log.pdf(x.ln()) / x
+        }
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            self.log.cdf(x.ln())
+        }
+    }
+
+    fn mean(&self) -> f64 {
+        let s2 = self.log.variance();
+        (self.log.mean() + 0.5 * s2).exp()
+    }
+
+    fn variance(&self) -> f64 {
+        let s2 = self.log.variance();
+        (s2.exp() - 1.0) * (2.0 * self.log.mean() + s2).exp()
+    }
+
+    fn sample(&self, rng: &mut dyn rand::RngCore) -> f64 {
+        // Inverse-CDF through the log-scale Gaussian quantile: exactly one
+        // uniform per deviate (Box–Muller would consume two).
+        let u: f64 = rng.gen::<f64>().clamp(1e-16, 1.0 - 1e-16);
+        self.log.quantile(u).exp()
+    }
+}
+
 /// Bernoulli distribution: `true` with probability `p`.
 ///
 /// Models per-CNT binary properties: metallic vs semiconducting typing,
@@ -775,6 +948,52 @@ mod tests {
         assert!((mean - 200.0).abs() < 5.0, "sample mean {mean}");
         assert!(Exponential::new(0.0).is_err());
         assert!(Exponential::from_mean(-1.0).is_err());
+    }
+
+    #[test]
+    fn uniform_moments_and_bounds() {
+        let u = Uniform::new(2.0, 6.0).unwrap();
+        assert_eq!(u.mean(), 4.0);
+        assert!((u.variance() - 16.0 / 12.0).abs() < 1e-12);
+        assert_eq!(u.cdf(1.0), 0.0);
+        assert_eq!(u.cdf(7.0), 1.0);
+        assert!((u.cdf(3.0) - 0.25).abs() < 1e-12);
+        assert_eq!(u.pdf(1.9), 0.0);
+        assert!((u.pdf(4.0) - 0.25).abs() < 1e-12);
+        let mut r = rng();
+        let xs = u.sample_n(&mut r, 40_000);
+        assert!(xs.iter().all(|&x| (2.0..=6.0).contains(&x)));
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        assert!((mean - 4.0).abs() < 0.02, "sample mean {mean}");
+        assert!(Uniform::new(1.0, 1.0).is_err());
+        assert!(Uniform::new(2.0, 1.0).is_err());
+        assert!(Uniform::new(f64::NEG_INFINITY, 1.0).is_err());
+    }
+
+    #[test]
+    fn lognormal_moments_and_sampling() {
+        let ln = LogNormal::new(0.0, 0.5).unwrap();
+        assert!((ln.mean() - (0.125f64).exp()).abs() < 1e-12);
+        assert_eq!(ln.pdf(-1.0), 0.0);
+        assert_eq!(ln.cdf(0.0), 0.0);
+        // Median is exp(mu).
+        assert!((ln.cdf(1.0) - 0.5).abs() < 1e-9);
+        let mut r = rng();
+        let xs = ln.sample_n(&mut r, 60_000);
+        assert!(xs.iter().all(|&x| x > 0.0));
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        assert!((mean - ln.mean()).abs() < 0.02, "sample mean {mean}");
+        assert!(LogNormal::new(0.0, 0.0).is_err());
+        assert!(LogNormal::new(f64::NAN, 1.0).is_err());
+    }
+
+    #[test]
+    fn lognormal_with_moments_hits_targets() {
+        let ln = LogNormal::with_moments(1.8, 0.2).unwrap();
+        assert!((ln.mean() - 1.8).abs() < 1e-9, "mean {}", ln.mean());
+        assert!((ln.std_dev() - 0.2).abs() < 1e-9, "sd {}", ln.std_dev());
+        assert!(LogNormal::with_moments(0.0, 1.0).is_err());
+        assert!(LogNormal::with_moments(1.0, -1.0).is_err());
     }
 
     #[test]

@@ -16,6 +16,12 @@
 //!   *is* Eq. (2.2) of the paper.
 //! * [`histogram`], [`describe`], [`ci`], [`correlation`] — data summaries
 //!   used by the Monte-Carlo engine and the experiment harness.
+//! * [`seed`] — the workspace's one deterministic seed-splitting rule
+//!   (`split_seed`), shared by every parallel/streamed layer.
+//! * [`distspec`] — declarative, seedable stochastic knobs:
+//!   [`distspec::DistSpec`] (tagged distribution specs) and
+//!   [`distspec::FieldSpec`] (wafer-scale random fields with a radial
+//!   trend and spatially correlated noise).
 //!
 //! ## Example
 //!
@@ -37,13 +43,17 @@
 //! # }
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod ci;
 pub mod correlation;
 pub mod describe;
 pub mod dist;
+pub mod distspec;
 pub mod fit;
 pub mod histogram;
 pub mod renewal;
+pub mod seed;
 pub mod special;
 
 use std::error::Error;
@@ -97,9 +107,14 @@ impl Error for StatsError {}
 pub type Result<T> = std::result::Result<T, StatsError>;
 
 pub use describe::Summary;
-pub use dist::{Bernoulli, ContinuousDist, DiscreteDist, Exponential, Gaussian, TruncatedGaussian};
+pub use dist::{
+    Bernoulli, ContinuousDist, DiscreteDist, Exponential, Gaussian, LogNormal, TruncatedGaussian,
+    Uniform,
+};
+pub use distspec::{DistSpec, FieldSampler, FieldSpec};
 pub use histogram::Histogram;
 pub use renewal::{CountDistribution, CountModel, FailureSampler, RenewalCount};
+pub use seed::{split_seed, splitmix64};
 
 #[cfg(test)]
 mod tests {

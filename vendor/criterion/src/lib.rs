@@ -13,10 +13,27 @@
 //!
 //! Bench targets must set `harness = false` in their manifest (as with real
 //! criterion), because [`criterion_main!`] expands to `fn main`.
+//!
+//! On top of the stdout report, setting `CRITERION_JSON_OUT=<path>` makes
+//! [`finalize`] (called by [`criterion_main!`] after all groups) write the
+//! collected measurements as a stable machine-readable JSON document, so CI
+//! can archive per-commit baselines without scraping text.
 
 use std::fmt::Display;
 use std::hint::black_box as std_black_box;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// All measurements recorded by [`run_one`] this process, in run order.
+static RESULTS: Mutex<Vec<Record>> = Mutex::new(Vec::new());
+
+/// One finished measurement: benchmark name, mean cost, sample size.
+#[derive(Debug, Clone)]
+struct Record {
+    name: String,
+    ns_per_iter: f64,
+    iters: u64,
+}
 
 /// Opaque-to-the-optimizer identity, re-exported for criterion parity.
 pub fn black_box<T>(x: T) -> T {
@@ -122,6 +139,64 @@ fn run_one(name: &str, f: &mut dyn FnMut(&mut Bencher)) {
     }
     let ns = b.elapsed.as_nanos() as f64 / b.iters as f64;
     println!("bench {name:<48} {ns:>14.1} ns/iter  ({} iters)", b.iters);
+    RESULTS.lock().unwrap().push(Record {
+        name: name.to_string(),
+        ns_per_iter: ns,
+        iters: b.iters,
+    });
+}
+
+/// Minimal JSON string escaping for benchmark names (quotes, backslashes,
+/// control characters — names are ASCII identifiers in practice).
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render every recorded measurement as a deterministic-key-order JSON
+/// document. `ns_per_iter` is rounded to 0.1 ns so the shape is stable and
+/// diffs stay readable; `iters` records the sample size behind the mean.
+pub fn results_json() -> String {
+    let results = RESULTS.lock().unwrap();
+    let mut out = String::from("{\n  \"schema\": \"criterion-lite/1\",\n  \"benchmarks\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let comma = if i + 1 == results.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{ \"name\": \"{}\", \"ns_per_iter\": {:.1}, \"iters\": {} }}{}\n",
+            escape_json(&r.name),
+            r.ns_per_iter,
+            r.iters,
+            comma
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Flush results after all groups have run. When `CRITERION_JSON_OUT` names
+/// a path, the collected measurements are written there as JSON (see
+/// [`results_json`]); otherwise this is a no-op beyond clearing the
+/// registry. [`criterion_main!`] calls this automatically.
+pub fn finalize() {
+    if let Ok(path) = std::env::var("CRITERION_JSON_OUT") {
+        if !path.is_empty() {
+            let doc = results_json();
+            if let Err(err) = std::fs::write(&path, doc) {
+                eprintln!("criterion: failed to write {path}: {err}");
+            } else {
+                println!("criterion: wrote JSON report to {path}");
+            }
+        }
+    }
+    RESULTS.lock().unwrap().clear();
 }
 
 /// A named collection of related benchmarks, mirroring criterion's
@@ -198,6 +273,7 @@ macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::finalize();
         }
     };
 }
@@ -218,6 +294,21 @@ mod tests {
         let mut hits = 0u64;
         c.bench_function("smoke", |b| b.iter(|| hits += 1));
         assert!(hits > 0);
+    }
+
+    #[test]
+    fn results_json_reports_recorded_benchmarks() {
+        RESULTS.lock().unwrap().clear();
+        let mut c = Criterion::default();
+        c.bench_function("json \"smoke\"", |b| b.iter(|| black_box(2 + 2)));
+        let doc = results_json();
+        assert!(doc.contains("\"schema\": \"criterion-lite/1\""));
+        assert!(doc.contains("\"name\": \"json \\\"smoke\\\"\""));
+        assert!(doc.contains("\"ns_per_iter\""));
+        finalize();
+        // The registry is flushed; concurrent tests may have added their own
+        // records since, but ours must be gone.
+        assert!(!results_json().contains("json \\\"smoke\\\""));
     }
 
     #[test]
