@@ -1,0 +1,348 @@
+//! `bench-gate` — CI guard against benchmark regressions.
+//!
+//! Diffs a freshly measured criterion-lite JSON report against a committed
+//! baseline (`BENCH_*.json`) and exits non-zero when any benchmark slowed
+//! down by more than the allowed fraction.
+//!
+//! Raw ns/iter numbers are not comparable across machines, so by default
+//! the gate **normalizes** both reports by the median fresh/baseline ratio
+//! across all shared entries: the median absorbs the global machine-speed
+//! factor, and only entries that regressed *relative to the rest of the
+//! suite* trip the gate. Pass `--no-normalize` to compare raw ratios (only
+//! meaningful when baseline and fresh ran on the same machine).
+//!
+//! ```text
+//! bench-gate --baseline BENCH_mc_backend.json --fresh fresh.json \
+//!     [--max-regression 0.25] [--no-normalize]
+//! ```
+//!
+//! Rules:
+//! - a benchmark present in the baseline but missing from the fresh report
+//!   is an error (a silently deleted benchmark cannot be gated);
+//! - a benchmark new in the fresh report is fine (it gets a baseline the
+//!   next time baselines are regenerated);
+//! - both `criterion-lite/1` and `criterion-lite/2` schemas are accepted
+//!   (`/2` adds a provenance `meta` block, which the gate ignores).
+
+use cnfet_pipeline::json::Json;
+use std::process::ExitCode;
+
+/// Default allowed slowdown fraction (25 %).
+const DEFAULT_MAX_REGRESSION: f64 = 0.25;
+
+/// One parsed report: `(name, ns_per_iter)` in file order.
+type Report = Vec<(String, f64)>;
+
+/// Parse a criterion-lite report (`/1` or `/2`) into name → ns/iter pairs.
+fn parse_report(src: &str, label: &str) -> Result<Report, String> {
+    let doc = Json::parse(src).map_err(|e| format!("{label}: not valid JSON: {e}"))?;
+    let schema = doc
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("{label}: missing \"schema\" field"))?;
+    if !matches!(schema, "criterion-lite/1" | "criterion-lite/2") {
+        return Err(format!("{label}: unsupported schema {schema:?}"));
+    }
+    let benches = doc
+        .get("benchmarks")
+        .and_then(Json::as_array)
+        .ok_or_else(|| format!("{label}: missing \"benchmarks\" array"))?;
+    let mut out = Vec::with_capacity(benches.len());
+    for b in benches {
+        let name = b
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{label}: benchmark entry without a name"))?;
+        let ns = b
+            .get("ns_per_iter")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("{label}: {name}: missing ns_per_iter"))?;
+        if !(ns.is_finite() && ns > 0.0) {
+            return Err(format!("{label}: {name}: ns_per_iter {ns} not positive"));
+        }
+        out.push((name.to_string(), ns));
+    }
+    Ok(out)
+}
+
+/// Median of a non-empty slice (averages the middle pair for even lengths).
+fn median(xs: &mut [f64]) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite ratios"));
+    let n = xs.len();
+    if n % 2 == 1 {
+        xs[n / 2]
+    } else {
+        0.5 * (xs[n / 2 - 1] + xs[n / 2])
+    }
+}
+
+/// Outcome of gating one benchmark.
+#[derive(Debug, PartialEq)]
+struct Verdict {
+    name: String,
+    base_ns: f64,
+    fresh_ns: f64,
+    /// Normalized fresh/base ratio (1.0 = unchanged).
+    ratio: f64,
+    failed: bool,
+}
+
+/// Compare fresh against baseline; `Err` only for structural problems
+/// (missing entries). The boolean says whether any entry tripped the gate.
+fn gate(
+    baseline: &Report,
+    fresh: &Report,
+    max_regression: f64,
+    normalize: bool,
+) -> Result<(Vec<Verdict>, bool), String> {
+    let fresh_ns = |name: &str| fresh.iter().find(|(n, _)| n == name).map(|&(_, ns)| ns);
+    let missing: Vec<&str> = baseline
+        .iter()
+        .filter(|(name, _)| fresh_ns(name).is_none())
+        .map(|(name, _)| name.as_str())
+        .collect();
+    if !missing.is_empty() {
+        return Err(format!(
+            "baseline benchmarks missing from the fresh report: {}",
+            missing.join(", ")
+        ));
+    }
+    if baseline.is_empty() {
+        return Err("baseline has no benchmarks".to_string());
+    }
+    let mut raw: Vec<f64> = baseline
+        .iter()
+        .map(|(name, base)| fresh_ns(name).expect("checked above") / base)
+        .collect();
+    let scale = if normalize { median(&mut raw) } else { 1.0 };
+    if !(scale.is_finite() && scale > 0.0) {
+        return Err(format!("degenerate machine-speed factor {scale}"));
+    }
+    let mut any_failed = false;
+    let verdicts = baseline
+        .iter()
+        .map(|(name, base)| {
+            let fresh = fresh_ns(name).expect("checked above");
+            let ratio = fresh / base / scale;
+            let failed = ratio > 1.0 + max_regression;
+            any_failed |= failed;
+            Verdict {
+                name: name.clone(),
+                base_ns: *base,
+                fresh_ns: fresh,
+                ratio,
+                failed,
+            }
+        })
+        .collect();
+    Ok((verdicts, any_failed))
+}
+
+struct Args {
+    baseline: String,
+    fresh: String,
+    max_regression: f64,
+    normalize: bool,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut baseline = None;
+    let mut fresh = None;
+    let mut max_regression = DEFAULT_MAX_REGRESSION;
+    let mut normalize = true;
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--baseline" => baseline = Some(it.next().ok_or("--baseline needs a path")?.clone()),
+            "--fresh" => fresh = Some(it.next().ok_or("--fresh needs a path")?.clone()),
+            "--max-regression" => {
+                let v = it.next().ok_or("--max-regression needs a value")?;
+                max_regression = v
+                    .parse::<f64>()
+                    .map_err(|_| format!("bad --max-regression {v:?}"))?;
+                if !(max_regression.is_finite() && max_regression > 0.0) {
+                    return Err(format!(
+                        "--max-regression must be > 0, got {max_regression}"
+                    ));
+                }
+            }
+            "--no-normalize" => normalize = false,
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(Args {
+        baseline: baseline.ok_or("--baseline <file> is required")?,
+        fresh: fresh.ok_or("--fresh <file> is required")?,
+        max_regression,
+        normalize,
+    })
+}
+
+fn run(args: &Args) -> Result<bool, String> {
+    let base_src = std::fs::read_to_string(&args.baseline)
+        .map_err(|e| format!("read {}: {e}", args.baseline))?;
+    let fresh_src =
+        std::fs::read_to_string(&args.fresh).map_err(|e| format!("read {}: {e}", args.fresh))?;
+    let baseline = parse_report(&base_src, &args.baseline)?;
+    let fresh = parse_report(&fresh_src, &args.fresh)?;
+    let (verdicts, any_failed) = gate(&baseline, &fresh, args.max_regression, args.normalize)?;
+
+    println!(
+        "bench-gate: {} vs {} (max regression {:.0} %{})",
+        args.fresh,
+        args.baseline,
+        args.max_regression * 100.0,
+        if args.normalize {
+            ", median-normalized"
+        } else {
+            ", raw"
+        }
+    );
+    for v in &verdicts {
+        println!(
+            "  {} {:<52} {:>12.1} -> {:>12.1} ns/iter   x{:.3}",
+            if v.failed { "FAIL" } else { "ok  " },
+            v.name,
+            v.base_ns,
+            v.fresh_ns,
+            v.ratio
+        );
+    }
+    for (name, _) in &fresh {
+        if !baseline.iter().any(|(n, _)| n == name) {
+            println!("  new  {name} (no baseline yet — not gated)");
+        }
+    }
+    Ok(any_failed)
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("bench-gate: {e}");
+            eprintln!(
+                "usage: bench-gate --baseline <file> --fresh <file> \
+                 [--max-regression 0.25] [--no-normalize]"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    match run(&args) {
+        Ok(false) => ExitCode::SUCCESS,
+        Ok(true) => {
+            eprintln!("bench-gate: regression beyond the allowed budget");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("bench-gate: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(entries: &[(&str, f64)]) -> Report {
+        entries.iter().map(|&(n, ns)| (n.to_string(), ns)).collect()
+    }
+
+    fn doc(schema: &str, entries: &[(&str, f64)]) -> String {
+        let body: Vec<String> = entries
+            .iter()
+            .map(|(n, ns)| format!("{{ \"name\": \"{n}\", \"ns_per_iter\": {ns}, \"iters\": 5 }}"))
+            .collect();
+        format!(
+            "{{ \"schema\": \"{schema}\", \"benchmarks\": [ {} ] }}",
+            body.join(", ")
+        )
+    }
+
+    #[test]
+    fn parses_both_schemas_and_rejects_others() {
+        let v1 = doc("criterion-lite/1", &[("a/1", 10.0)]);
+        let v2 = "{ \"schema\": \"criterion-lite/2\", \
+                   \"meta\": { \"git_commit\": \"abc\", \"date\": \"d\", \"toolchain\": \"t\" }, \
+                   \"benchmarks\": [ { \"name\": \"a/1\", \"ns_per_iter\": 10.0, \"iters\": 5 } ] }";
+        assert_eq!(parse_report(&v1, "v1").unwrap(), report(&[("a/1", 10.0)]));
+        assert_eq!(parse_report(v2, "v2").unwrap(), report(&[("a/1", 10.0)]));
+        assert!(parse_report(&doc("criterion-lite/3", &[]), "v3").is_err());
+        assert!(parse_report("{}", "empty").is_err());
+    }
+
+    #[test]
+    fn normalization_absorbs_machine_speed() {
+        // Fresh machine is uniformly 3x slower: no regression.
+        let base = report(&[("a", 100.0), ("b", 200.0), ("c", 400.0)]);
+        let fresh = report(&[("a", 300.0), ("b", 600.0), ("c", 1200.0)]);
+        let (verdicts, failed) = gate(&base, &fresh, 0.25, true).unwrap();
+        assert!(!failed);
+        for v in verdicts {
+            assert!((v.ratio - 1.0).abs() < 1e-12, "{v:?}");
+        }
+        // Without normalization the same reports fail everywhere.
+        let (_, failed_raw) = gate(&base, &fresh, 0.25, false).unwrap();
+        assert!(failed_raw);
+    }
+
+    #[test]
+    fn relative_regression_trips_the_gate() {
+        // One entry 2x slower than the rest of the suite moved.
+        let base = report(&[("a", 100.0), ("b", 200.0), ("c", 400.0)]);
+        let fresh = report(&[("a", 100.0), ("b", 200.0), ("c", 800.0)]);
+        let (verdicts, failed) = gate(&base, &fresh, 0.25, true).unwrap();
+        assert!(failed);
+        assert!(verdicts.iter().any(|v| v.name == "c" && v.failed));
+        assert!(verdicts.iter().all(|v| v.name == "c" || !v.failed));
+    }
+
+    #[test]
+    fn missing_entry_is_an_error_and_new_entry_is_not() {
+        let base = report(&[("a", 100.0), ("b", 200.0)]);
+        let fresh_missing = report(&[("a", 100.0)]);
+        assert!(gate(&base, &fresh_missing, 0.25, true).is_err());
+        let fresh_extra = report(&[("a", 100.0), ("b", 200.0), ("new", 5.0)]);
+        let (_, failed) = gate(&base, &fresh_extra, 0.25, true).unwrap();
+        assert!(!failed);
+    }
+
+    #[test]
+    fn speedups_never_fail() {
+        let base = report(&[("a", 100.0), ("b", 200.0), ("c", 400.0)]);
+        let fresh = report(&[("a", 10.0), ("b", 200.0), ("c", 400.0)]);
+        let (_, failed) = gate(&base, &fresh, 0.25, true).unwrap();
+        assert!(!failed);
+    }
+
+    #[test]
+    fn args_parse_and_validate() {
+        let ok = parse_args(&[
+            "--baseline".into(),
+            "b.json".into(),
+            "--fresh".into(),
+            "f.json".into(),
+            "--max-regression".into(),
+            "0.5".into(),
+            "--no-normalize".into(),
+        ])
+        .unwrap();
+        assert_eq!(ok.baseline, "b.json");
+        assert_eq!(ok.fresh, "f.json");
+        assert!((ok.max_regression - 0.5).abs() < 1e-12);
+        assert!(!ok.normalize);
+        assert!(parse_args(&["--baseline".into(), "b".into()]).is_err());
+        assert!(parse_args(&["--bogus".into()]).is_err());
+        assert!(parse_args(&[
+            "--baseline".into(),
+            "b".into(),
+            "--fresh".into(),
+            "f".into(),
+            "--max-regression".into(),
+            "-1".into(),
+        ])
+        .is_err());
+    }
+}

@@ -24,7 +24,7 @@
 
 use crate::failure::FailureModel;
 use crate::{CoreError, Result};
-use std::collections::HashMap;
+use cnt_stats::FastMap;
 use std::sync::RwLock;
 
 /// Anything that can evaluate the device failure probability `pF(W)`.
@@ -39,11 +39,74 @@ pub trait PFailure {
     ///
     /// Implementations reject non-finite or non-positive widths.
     fn p_failure(&self, w: f64) -> Result<f64>;
+
+    /// Batch evaluation of `pF` at many widths.
+    ///
+    /// The contract for every implementation: element-wise **bit-identical**
+    /// to calling [`PFailure::p_failure`] per width. Overrides may amortize
+    /// setup (one renewal sweep plan, one cache lock) but must never change
+    /// answers. The default simply loops.
+    ///
+    /// # Errors
+    ///
+    /// Per-element errors of [`PFailure::p_failure`]; the first failing
+    /// width aborts the batch.
+    fn p_failures(&self, widths: &[f64]) -> Result<Vec<f64>> {
+        widths.iter().map(|&w| self.p_failure(w)).collect()
+    }
+
+    /// Invert the monotone-decreasing `pF(W)`: the smallest width (to
+    /// 0.01 nm) with `pF(W) ≤ target` inside `[w_lo, w_hi]`, by bisection.
+    ///
+    /// Overrides must return bit-identical widths to this default (the
+    /// bisection decision sequence is a pure function of the evaluator, so
+    /// caching/batching the probe evaluations cannot change the result).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidParameter`] for a target outside `(0, 1)`;
+    /// [`CoreError::NoConvergence`] if the target is not bracketed.
+    fn width_for_failure(&self, target: f64, w_lo: f64, w_hi: f64) -> Result<f64> {
+        if !(target > 0.0 && target < 1.0) {
+            return Err(CoreError::InvalidParameter {
+                name: "target",
+                value: target,
+                constraint: "must be in (0, 1)",
+            });
+        }
+        let f_lo = self.p_failure(w_lo)?;
+        let f_hi = self.p_failure(w_hi)?;
+        // pF decreases with W.
+        if !(f_hi <= target && target <= f_lo) {
+            return Err(CoreError::NoConvergence(
+                "width_for_failure: target not bracketed",
+            ));
+        }
+        let (mut lo, mut hi) = (w_lo, w_hi);
+        for _ in 0..80 {
+            let mid = 0.5 * (lo + hi);
+            if self.p_failure(mid)? > target {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+            if hi - lo < 0.01 {
+                break;
+            }
+        }
+        // Return the side that satisfies pF(W) <= target, so callers can
+        // rely on the requirement being met.
+        Ok(hi)
+    }
 }
 
 impl PFailure for FailureModel {
     fn p_failure(&self, w: f64) -> Result<f64> {
         FailureModel::p_failure(self, w)
+    }
+
+    fn p_failures(&self, widths: &[f64]) -> Result<Vec<f64>> {
+        FailureModel::p_failures(self, widths)
     }
 }
 
@@ -51,68 +114,63 @@ impl<T: PFailure + ?Sized> PFailure for &T {
     fn p_failure(&self, w: f64) -> Result<f64> {
         (**self).p_failure(w)
     }
+
+    fn p_failures(&self, widths: &[f64]) -> Result<Vec<f64>> {
+        (**self).p_failures(widths)
+    }
+
+    fn width_for_failure(&self, target: f64, w_lo: f64, w_hi: f64) -> Result<f64> {
+        (**self).width_for_failure(target, w_lo, w_hi)
+    }
 }
 
 impl<T: PFailure + ?Sized> PFailure for std::sync::Arc<T> {
     fn p_failure(&self, w: f64) -> Result<f64> {
         (**self).p_failure(w)
     }
+
+    fn p_failures(&self, widths: &[f64]) -> Result<Vec<f64>> {
+        (**self).p_failures(widths)
+    }
+
+    fn width_for_failure(&self, target: f64, w_lo: f64, w_hi: f64) -> Result<f64> {
+        (**self).width_for_failure(target, w_lo, w_hi)
+    }
 }
 
 /// Invert a monotone-decreasing `pF(W)` by bisection: the smallest width
 /// (to 0.01 nm) with `pF(W) ≤ target` inside `[w_lo, w_hi]`.
 ///
+/// Free-function form of [`PFailure::width_for_failure`] — it delegates to
+/// the trait method, so evaluators with a faster override (e.g.
+/// [`FailureCurve`]'s memoized, cache-aware bisection) are picked up by
+/// every solver that routes through here.
+///
 /// # Errors
 ///
-/// [`CoreError::InvalidParameter`] for a target outside `(0, 1)`;
-/// [`CoreError::NoConvergence`] if the target is not bracketed.
+/// Same as [`PFailure::width_for_failure`].
 pub fn width_for_failure<E: PFailure + ?Sized>(
     eval: &E,
     target: f64,
     w_lo: f64,
     w_hi: f64,
 ) -> Result<f64> {
-    if !(target > 0.0 && target < 1.0) {
-        return Err(CoreError::InvalidParameter {
-            name: "target",
-            value: target,
-            constraint: "must be in (0, 1)",
-        });
-    }
-    let f_lo = eval.p_failure(w_lo)?;
-    let f_hi = eval.p_failure(w_hi)?;
-    // pF decreases with W.
-    if !(f_hi <= target && target <= f_lo) {
-        return Err(CoreError::NoConvergence(
-            "width_for_failure: target not bracketed",
-        ));
-    }
-    let (mut lo, mut hi) = (w_lo, w_hi);
-    for _ in 0..80 {
-        let mid = 0.5 * (lo + hi);
-        if eval.p_failure(mid)? > target {
-            lo = mid;
-        } else {
-            hi = mid;
-        }
-        if hi - lo < 0.01 {
-            break;
-        }
-    }
-    // Return the side that satisfies pF(W) <= target, so callers can rely
-    // on the requirement being met.
-    Ok(hi)
+    eval.width_for_failure(target, w_lo, w_hi)
 }
 
 /// `ln pF` floor: probabilities below `exp(-690) ≈ 1e-300` are treated as
 /// equal (they underflow any quantity the paper reports).
 const LN_FLOOR: f64 = -690.0;
 
-/// Cached state: exact `ln pF` knots at dyadic widths. The map memoizes a
-/// pure function of the model, so concurrent inserts always agree.
+/// Cached state: exact `ln pF` knots at dyadic widths, plus finished
+/// inversion results. Both maps memoize pure functions of the model, so
+/// concurrent inserts always agree.
 #[derive(Default)]
 struct CurveState {
-    ln_pf: HashMap<u64, f64>,
+    ln_pf: FastMap<u64, f64>,
+    /// `(target, w_lo, w_hi)` bits → converged `W`; a bisection repeated
+    /// with the same bracket is a lookup.
+    inversions: FastMap<(u64, u64, u64), f64>,
     evals: u64,
 }
 
@@ -169,6 +227,7 @@ impl<E: PFailure + Clone> Clone for FailureCurve<E> {
             min_segment: self.min_segment,
             state: RwLock::new(CurveState {
                 ln_pf: state.ln_pf.clone(),
+                inversions: state.inversions.clone(),
                 evals: state.evals,
             }),
         }
@@ -268,6 +327,7 @@ impl<E: PFailure> FailureCurve<E> {
     pub fn clear_cache(&self) {
         let mut state = self.state.write().expect("curve lock poisoned");
         state.ln_pf.clear();
+        state.inversions.clear();
         state.evals = 0;
     }
 
@@ -296,11 +356,50 @@ impl<E: PFailure> FailureCurve<E> {
     /// Invert the curve: smallest width with `pF(W) ≤ target` (bisection
     /// over the memoized curve; see [`width_for_failure`]).
     ///
+    /// Finished inversions are memoized per `(target, w_lo, w_hi)`, and a
+    /// cold bisection prefetches every dyadic probe the cache can already
+    /// answer in one read-lock pass, so warm `W_min` solves touch the lock
+    /// once instead of ~20 times. Results are bit-identical to the serial
+    /// bisection of [`PFailure::width_for_failure`].
+    ///
     /// # Errors
     ///
     /// Same as [`width_for_failure`].
     pub fn width_for_failure(&self, target: f64, w_lo: f64, w_hi: f64) -> Result<f64> {
-        width_for_failure(self, target, w_lo, w_hi)
+        self.invert_cached(target, w_lo, w_hi)
+    }
+
+    /// Batch evaluation: answer every cache-resident width under a single
+    /// read lock, then descend the misses under a single write lock.
+    /// Element-wise bit-identical to [`FailureCurve::p_failure`] per width.
+    ///
+    /// # Errors
+    ///
+    /// Per-element errors of [`FailureCurve::p_failure`]; the first failing
+    /// width aborts the batch.
+    pub fn p_failures(&self, widths: &[f64]) -> Result<Vec<f64>> {
+        let cached = self.try_cached_many(widths);
+        if cached.iter().all(Option::is_some) {
+            return Ok(cached.into_iter().map(|c| c.expect("checked")).collect());
+        }
+        let mut state = self.state.write().expect("curve lock poisoned");
+        cached
+            .into_iter()
+            .zip(widths)
+            .map(|(hit, &w)| match hit {
+                Some(v) => Ok(v),
+                None => {
+                    if !(w.is_finite() && w > 0.0) {
+                        return Err(CoreError::InvalidParameter {
+                            name: "w",
+                            value: w,
+                            constraint: "must be finite and > 0",
+                        });
+                    }
+                    self.descend(&mut state, w)
+                }
+            })
+            .collect()
     }
 
     /// Sweep the curve over widths (drop-in for [`FailureModel::sweep`]).
@@ -309,15 +408,93 @@ impl<E: PFailure> FailureCurve<E> {
     ///
     /// Propagates [`FailureCurve::p_failure`] errors.
     pub fn sweep(&self, widths: &[f64]) -> Result<Vec<crate::failure::FailurePoint>> {
-        widths
-            .iter()
-            .map(|&width| {
-                Ok(crate::failure::FailurePoint {
-                    width,
-                    p_failure: self.p_failure(width)?,
-                })
-            })
-            .collect()
+        Ok(self
+            .p_failures(widths)?
+            .into_iter()
+            .zip(widths)
+            .map(|(p_failure, &width)| crate::failure::FailurePoint { width, p_failure })
+            .collect())
+    }
+
+    /// Memoized, cache-aware bisection (see
+    /// [`FailureCurve::width_for_failure`]). The probe values come from a
+    /// one-lock prefetch of the dyadic candidate midpoints where possible;
+    /// since every probe value is a pure function of the model, the
+    /// decision sequence — and therefore the returned width — is exactly
+    /// that of the default serial bisection.
+    fn invert_cached(&self, target: f64, w_lo: f64, w_hi: f64) -> Result<f64> {
+        if !(target > 0.0 && target < 1.0) {
+            return Err(CoreError::InvalidParameter {
+                name: "target",
+                value: target,
+                constraint: "must be in (0, 1)",
+            });
+        }
+        let key = (target.to_bits(), w_lo.to_bits(), w_hi.to_bits());
+        if let Some(&w) = self
+            .state
+            .read()
+            .expect("curve lock poisoned")
+            .inversions
+            .get(&key)
+        {
+            return Ok(w);
+        }
+
+        // Candidate probes: the exact midpoints the bisection tree can
+        // visit in its first four levels (computed with the same
+        // `0.5 * (a + b)` arithmetic, so the bit patterns match), plus the
+        // bracket endpoints. One read lock answers all cache hits.
+        fn push_mids(a: f64, b: f64, depth: u32, out: &mut Vec<f64>) {
+            if depth == 0 {
+                return;
+            }
+            let m = 0.5 * (a + b);
+            out.push(m);
+            push_mids(a, m, depth - 1, out);
+            push_mids(m, b, depth - 1, out);
+        }
+        let mut cands = vec![w_lo, w_hi];
+        push_mids(w_lo, w_hi, 4, &mut cands);
+        let mut pre: FastMap<u64, f64> = FastMap::default();
+        for (w, hit) in cands.iter().zip(self.try_cached_many(&cands)) {
+            if let Some(v) = hit {
+                pre.insert(w.to_bits(), v);
+            }
+        }
+        let probe = |w: f64| -> Result<f64> {
+            match pre.get(&w.to_bits()) {
+                Some(&v) => Ok(v),
+                None => self.p_failure(w),
+            }
+        };
+
+        let f_lo = probe(w_lo)?;
+        let f_hi = probe(w_hi)?;
+        // pF decreases with W.
+        if !(f_hi <= target && target <= f_lo) {
+            return Err(CoreError::NoConvergence(
+                "width_for_failure: target not bracketed",
+            ));
+        }
+        let (mut lo, mut hi) = (w_lo, w_hi);
+        for _ in 0..80 {
+            let mid = 0.5 * (lo + hi);
+            if probe(mid)? > target {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+            if hi - lo < 0.01 {
+                break;
+            }
+        }
+        self.state
+            .write()
+            .expect("curve lock poisoned")
+            .inversions
+            .insert(key, hi);
+        Ok(hi)
     }
 
     /// Exact `ln pF(w)`, memoized.
@@ -346,6 +523,20 @@ impl<E: PFailure> FailureCurve<E> {
     /// is missing and the write path must run.
     fn try_cached(&self, w: f64) -> Option<f64> {
         let state = self.state.read().expect("curve lock poisoned");
+        self.try_cached_locked(&state, w)
+    }
+
+    /// Batch form of [`FailureCurve::try_cached`]: one read lock for the
+    /// whole slice.
+    fn try_cached_many(&self, ws: &[f64]) -> Vec<Option<f64>> {
+        let state = self.state.read().expect("curve lock poisoned");
+        ws.iter()
+            .map(|&w| self.try_cached_locked(&state, w))
+            .collect()
+    }
+
+    /// Cache-only descent under an already-held lock.
+    fn try_cached_locked(&self, state: &CurveState, w: f64) -> Option<f64> {
         if let Some(&v) = state.ln_pf.get(&w.to_bits()) {
             return Some(v.exp());
         }
@@ -446,6 +637,14 @@ impl<E: PFailure> FailureCurve<E> {
 impl<E: PFailure> PFailure for FailureCurve<E> {
     fn p_failure(&self, w: f64) -> Result<f64> {
         FailureCurve::p_failure(self, w)
+    }
+
+    fn p_failures(&self, widths: &[f64]) -> Result<Vec<f64>> {
+        FailureCurve::p_failures(self, widths)
+    }
+
+    fn width_for_failure(&self, target: f64, w_lo: f64, w_hi: f64) -> Result<f64> {
+        self.invert_cached(target, w_lo, w_hi)
     }
 }
 

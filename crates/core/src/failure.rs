@@ -104,21 +104,31 @@ impl FailureModel {
         Ok(self.renewal().failure_probability(w, self.pf())?)
     }
 
+    /// Batch `pF` at many widths — element-wise bit-identical to
+    /// [`FailureModel::p_failure`] per width, but with one renewal process
+    /// (and, for the convolution back-end, one cached sweep plan) serving
+    /// the whole batch.
+    ///
+    /// # Errors
+    ///
+    /// Per-element errors of [`FailureModel::p_failure`]; the first failing
+    /// width aborts the batch.
+    pub fn p_failures(&self, widths: &[f64]) -> Result<Vec<f64>> {
+        Ok(self.renewal().failure_probabilities(widths, self.pf())?)
+    }
+
     /// Sweep `pF` over widths (one Fig 2.1 curve).
     ///
     /// # Errors
     ///
     /// Propagates [`FailureModel::p_failure`] errors.
     pub fn sweep(&self, widths: &[f64]) -> Result<Vec<FailurePoint>> {
-        widths
-            .iter()
-            .map(|&width| {
-                Ok(FailurePoint {
-                    width,
-                    p_failure: self.p_failure(width)?,
-                })
-            })
-            .collect()
+        Ok(self
+            .p_failures(widths)?
+            .into_iter()
+            .zip(widths)
+            .map(|(p_failure, &width)| FailurePoint { width, p_failure })
+            .collect())
     }
 
     /// Mean CNT count under a gate of width `w` (≈ `w / S̄`).

@@ -20,7 +20,7 @@ use crate::Result;
 use cnfet_sim::adaptive::{McOutcome, McPrecision};
 use cnfet_sim::estimate_fet_failure_adaptive;
 use cnt_stats::seed::split_seed;
-use std::collections::HashMap;
+use cnt_stats::FastMap;
 use std::sync::RwLock;
 
 /// One memoized stochastic evaluation of `pF` at a width.
@@ -60,7 +60,7 @@ pub struct McFailure {
     precision: McPrecision,
     seed: u64,
     workers: usize,
-    points: RwLock<HashMap<u64, McPoint>>,
+    points: RwLock<FastMap<u64, McPoint>>,
 }
 
 impl McFailure {
@@ -77,7 +77,7 @@ impl McFailure {
             precision,
             seed,
             workers: 1,
-            points: RwLock::new(HashMap::new()),
+            points: RwLock::new(FastMap::default()),
         })
     }
 

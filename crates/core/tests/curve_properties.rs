@@ -3,12 +3,37 @@
 //! case studies.
 
 use cnfet_core::corner::ProcessCorner;
-use cnfet_core::curve::FailureCurve;
+use cnfet_core::curve::{FailureCurve, PFailure};
 use cnfet_core::failure::FailureModel;
 use cnfet_core::paper;
+use cnfet_core::stochastic::McFailure;
 use cnfet_core::wmin::WminSolver;
+use cnfet_sim::adaptive::McPrecision;
+use cnt_stats::renewal::CountModel;
 use proptest::prelude::*;
 use std::sync::OnceLock;
+
+/// Replica of the [`PFailure::width_for_failure`] default serial
+/// bisection, probing `eval` directly. Memoized/batched overrides promise
+/// bit-identical results to this sequence.
+fn serial_bisection<E: PFailure>(eval: &E, target: f64, w_lo: f64, w_hi: f64) -> f64 {
+    let f_lo = eval.p_failure(w_lo).unwrap();
+    let f_hi = eval.p_failure(w_hi).unwrap();
+    assert!(f_hi <= target && target <= f_lo, "target not bracketed");
+    let (mut lo, mut hi) = (w_lo, w_hi);
+    for _ in 0..80 {
+        let mid = 0.5 * (lo + hi);
+        if eval.p_failure(mid).unwrap() > target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+        if hi - lo < 0.01 {
+            break;
+        }
+    }
+    hi
+}
 
 fn corners() -> [ProcessCorner; 3] {
     [
@@ -68,6 +93,86 @@ proptest! {
             "target {target:.2e}: curve {from_curve:.2} vs model {from_model:.2}"
         );
     }
+
+    #[test]
+    fn curve_batched_queries_are_bit_identical_to_scalar(
+        ws in prop::collection::vec(5.0f64..2000.0, 1..8),
+        which in 0usize..3,
+    ) {
+        let (_, curve) = &curves()[which];
+        let batch = curve.p_failures(&ws).unwrap();
+        for (&w, &b) in ws.iter().zip(&batch) {
+            let scalar = curve.p_failure(w).unwrap();
+            prop_assert_eq!(b.to_bits(), scalar.to_bits(),
+                "corner {}, W = {}: batch {:.17e} vs scalar {:.17e}", which, w, b, scalar);
+        }
+    }
+
+    #[test]
+    fn model_batched_queries_are_bit_identical_to_scalar(
+        ws in prop::collection::vec(5.0f64..2000.0, 1..6),
+        which in 0usize..3,
+        gaussian in prop::bool::ANY,
+    ) {
+        let mut model = FailureModel::paper_default(corners()[which]).unwrap();
+        if gaussian {
+            model = model.with_backend(CountModel::GaussianSum);
+        }
+        let batch = model.p_failures(&ws).unwrap();
+        for (&w, &b) in ws.iter().zip(&batch) {
+            let scalar = model.p_failure(w).unwrap();
+            prop_assert_eq!(b.to_bits(), scalar.to_bits(),
+                "corner {}, W = {}: batch {:.17e} vs scalar {:.17e}", which, w, b, scalar);
+        }
+    }
+
+    #[test]
+    fn curve_inversion_is_bit_identical_to_serial_bisection(target_exp in -8.0f64..-2.0) {
+        let target = 10f64.powf(target_exp);
+        let (_, curve) = &curves()[0];
+        // The memoized, prefetch-batched override...
+        let from_curve = curve.width_for_failure(target, 5.0, 2000.0).unwrap();
+        // ...must reproduce the default decision sequence on the same
+        // evaluator to the bit (probe values are pure, so cache hits and
+        // fresh evaluations are interchangeable).
+        let replica = serial_bisection(curve, target, 5.0, 2000.0);
+        prop_assert_eq!(from_curve.to_bits(), replica.to_bits(),
+            "target {:.2e}: override {} vs serial {}", target, from_curve, replica);
+    }
+}
+
+/// The third back-end: batched queries and the memoized inversion on a
+/// curve over the Monte-Carlo evaluator must be bit-identical to the
+/// scalar paths (per-width seeding makes every MC point a pure function of
+/// the model, so the determinism argument carries over unchanged).
+#[test]
+fn mc_backend_batched_paths_are_bit_identical_to_scalar() {
+    let model = FailureModel::paper_default(ProcessCorner::aggressive().unwrap()).unwrap();
+    let precision = McPrecision {
+        rel_ci: 0.25,
+        max_trials: 50_000,
+        batch: 1_000,
+        level: 0.95,
+    };
+    let mc = McFailure::new(model, precision, 7).unwrap();
+    let ws = [60.0, 103.0, 155.0, 60.0, 900.0];
+    let batch = mc.p_failures(&ws).unwrap();
+    for (&w, &b) in ws.iter().zip(&batch) {
+        assert_eq!(
+            b.to_bits(),
+            mc.p_failure(w).unwrap().to_bits(),
+            "MC batch vs scalar at W = {w}"
+        );
+    }
+    let curve = FailureCurve::new(mc).with_rel_tol(0.25).unwrap();
+    let target = 1e-5;
+    let from_curve = curve.width_for_failure(target, 5.0, 2000.0).unwrap();
+    let replica = serial_bisection(&curve, target, 5.0, 2000.0);
+    assert_eq!(
+        from_curve.to_bits(),
+        replica.to_bits(),
+        "MC curve inversion {from_curve} vs serial bisection {replica}"
+    );
 }
 
 /// The paper's two case studies, solved on the exact convolution back-end:

@@ -40,8 +40,8 @@ use cnfet_core::chipyield::yield_min_dominated;
 use cnfet_core::paper;
 use cnfet_core::rowmodel::RowModel;
 use cnt_stats::seed::split_seed;
-use cnt_stats::{DistSpec, FieldSampler, FieldSpec};
-use std::collections::{BTreeMap, HashMap, HashSet};
+use cnt_stats::{DistSpec, FastMap, FastSet, FieldSampler, FieldSpec};
+use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -62,6 +62,26 @@ const RADIAL_BANDS: usize = 8;
 const CHUNK_DIES: usize = 1024;
 /// Largest accepted wafer diameter in dies (≈ 13 M dies).
 const MAX_DIAMETER_DIES: u32 = 4096;
+/// Shards of the quantized-scenario memo. A multi-million-die wafer with
+/// many workers hits the memo once per die; sharding by key keeps that
+/// from serializing on a single lock. Purely a contention knob — the memo
+/// is a value cache for a pure function, so shard count and lock timing
+/// cannot change any result.
+const MEMO_SHARDS: usize = 16;
+
+/// One shard of the scenario memo: quantized knob tuple → die yield.
+type MemoShard = Mutex<FastMap<(u64, u64, u64), f64>>;
+
+/// Pick the memo shard for a quantized knob tuple (multiply–rotate mix of
+/// the three bit patterns, same family as `cnt_stats::fasthash`).
+fn memo_shard(key: (u64, u64, u64)) -> usize {
+    const PHI64: u64 = 0x9e37_79b9_7f4a_7c15;
+    let mut h = key.0;
+    h = (h ^ key.1).wrapping_mul(PHI64).rotate_left(26);
+    h = (h ^ key.2).wrapping_mul(PHI64).rotate_left(26);
+    h ^= h >> 32;
+    (h.wrapping_mul(PHI64) >> 60) as usize % MEMO_SHARDS
+}
 
 /// Top-level keys of a wafer spec document.
 pub const WAFER_KEYS: [&str; 5] = ["name", "seed", "diameter_dies", "base", "fields"];
@@ -531,7 +551,7 @@ struct ChunkAgg {
     bins: [u64; YIELD_BINS],
     band_dies: [u64; RADIAL_BANDS],
     band_sum: [f64; RADIAL_BANDS],
-    distinct: HashSet<(u64, u64, u64)>,
+    distinct: FastSet<(u64, u64, u64)>,
 }
 
 impl ChunkAgg {
@@ -543,7 +563,7 @@ impl ChunkAgg {
             bins: [0; YIELD_BINS],
             band_dies: [0; RADIAL_BANDS],
             band_sum: [0.0; RADIAL_BANDS],
-            distinct: HashSet::new(),
+            distinct: FastSet::default(),
         }
     }
 
@@ -684,7 +704,8 @@ impl<'a> WaferEngine<'a> {
         let dies = die_positions(spec.diameter_dies);
         let chunks = dies.len().div_ceil(CHUNK_DIES).max(1);
         let cursor = AtomicUsize::new(0);
-        let memo: Mutex<HashMap<(u64, u64, u64), f64>> = Mutex::new(HashMap::new());
+        let memo: [MemoShard; MEMO_SHARDS] =
+            std::array::from_fn(|_| Mutex::new(FastMap::default()));
         let results: Mutex<BTreeMap<usize, ChunkAgg>> = Mutex::new(BTreeMap::new());
         let failure: Mutex<Option<PipelineError>> = Mutex::new(None);
 
@@ -709,7 +730,8 @@ impl<'a> WaferEngine<'a> {
                             };
                         }
                         let key = (knobs[0].to_bits(), knobs[1].to_bits(), knobs[2].to_bits());
-                        let cached = memo.lock().expect("wafer lock").get(&key).copied();
+                        let shard = &memo[memo_shard(key)];
+                        let cached = shard.lock().expect("wafer lock").get(&key).copied();
                         let y = match cached {
                             Some(y) => y,
                             None => {
@@ -719,7 +741,7 @@ impl<'a> WaferEngine<'a> {
                                     (knobs[0], knobs[1], knobs[2]),
                                 ) {
                                     Ok(y) => {
-                                        memo.lock().expect("wafer lock").insert(key, y);
+                                        shard.lock().expect("wafer lock").insert(key, y);
                                         y
                                     }
                                     Err(e) => {

@@ -136,6 +136,41 @@ pub fn run_adaptive_affine<F>(
 where
     F: Fn(&mut StdRng) -> f64 + Sync,
 {
+    run_adaptive_affine_fill(precision, workers, seed, offset, scale, |rng, out| {
+        for v in out.iter_mut() {
+            *v = job(rng);
+        }
+    })
+}
+
+/// Batch-fill variant of [`run_adaptive_affine`]: instead of one `job`
+/// callback per trial, `fill` receives the batch's RNG and a sample buffer
+/// of `precision.batch` slots to fill in order — one buffer per in-flight
+/// batch, reused across the run, so the hot loop does no per-trial calls
+/// through a function-pointer boundary and no allocation.
+///
+/// The determinism contract is unchanged and the outcome is bit-identical
+/// to [`run_adaptive_affine`] with the equivalent scalar `job`: batch `k`
+/// still runs on `split_seed(seed, k)`, `fill` must consume the RNG stream
+/// exactly as the scalar loop would, per-batch summaries accumulate the
+/// buffer in index order, and commits/stopping are evaluated identically.
+/// With `workers == 1` the speculative thread scope is bypassed entirely
+/// (same commit sequence, no spawn overhead).
+///
+/// # Errors
+///
+/// Propagates precision-validation and CI errors.
+pub fn run_adaptive_affine_fill<F>(
+    precision: &McPrecision,
+    workers: usize,
+    seed: u64,
+    offset: f64,
+    scale: f64,
+    fill: F,
+) -> Result<McOutcome>
+where
+    F: Fn(&mut StdRng, &mut [f64]) + Sync,
+{
     precision.validate()?;
     if !(offset.is_finite() && scale.is_finite() && scale >= 0.0) {
         return Err(SimError::InvalidParameter {
@@ -154,11 +189,12 @@ where
         .div_ceil(u64::from(batch))
         .min(u64::from(u32::MAX)) as u32;
 
-    let run_batch = |index: u32| -> Summary {
+    let run_batch = |index: u32, buf: &mut [f64]| -> Summary {
         let mut rng = StdRng::seed_from_u64(split_seed(seed, u64::from(index)));
+        fill(&mut rng, buf);
         let mut acc = Summary::new();
-        for _ in 0..batch {
-            acc.add(job(&mut rng));
+        for &v in buf.iter() {
+            acc.add(v);
         }
         acc
     };
@@ -179,29 +215,52 @@ where
     let mut merged = Summary::new();
     let mut committed = 0u32;
     let mut converged = false;
-    'outer: while committed < max_batches {
-        let wave = workers.min((max_batches - committed) as usize);
-        let mut speculative: Vec<Summary> = Vec::with_capacity(wave);
-        std::thread::scope(|scope| {
-            let run_batch = &run_batch;
-            let handles: Vec<_> = (0..wave)
-                .map(|j| {
-                    let index = committed + j as u32;
-                    scope.spawn(move || run_batch(index))
-                })
-                .collect();
-            for h in handles {
-                speculative.push(h.join().expect("adaptive MC batch panicked"));
-            }
-        });
-        // Commit in index order, re-checking the stopping rule after every
-        // batch — the same decision sequence a one-worker run makes.
-        for s in speculative {
+    if workers == 1 {
+        // Serial fast path: no speculative waves to discard, so skip the
+        // thread scope and reuse one sample buffer for the whole run.
+        let mut buf = vec![0.0_f64; batch as usize];
+        while committed < max_batches {
+            let s = run_batch(committed, &mut buf);
             merged.merge(&s);
             committed += 1;
             if stop(&affine_ci(&merged)?) {
                 converged = true;
-                break 'outer;
+                break;
+            }
+        }
+    } else {
+        // One reusable sample buffer per worker slot, swapped into the wave.
+        let mut buffers: Vec<Vec<f64>> = (0..workers)
+            .map(|_| vec![0.0_f64; batch as usize])
+            .collect();
+        'outer: while committed < max_batches {
+            let wave = workers.min((max_batches - committed) as usize);
+            let mut speculative: Vec<Summary> = Vec::with_capacity(wave);
+            std::thread::scope(|scope| {
+                let run_batch = &run_batch;
+                let handles: Vec<_> = buffers
+                    .iter_mut()
+                    .take(wave)
+                    .enumerate()
+                    .map(|(j, buf)| {
+                        let index = committed + j as u32;
+                        scope.spawn(move || run_batch(index, buf))
+                    })
+                    .collect();
+                for h in handles {
+                    speculative.push(h.join().expect("adaptive MC batch panicked"));
+                }
+            });
+            // Commit in index order, re-checking the stopping rule after
+            // every batch — the same decision sequence a one-worker run
+            // makes.
+            for s in speculative {
+                merged.merge(&s);
+                committed += 1;
+                if stop(&affine_ci(&merged)?) {
+                    converged = true;
+                    break 'outer;
+                }
             }
         }
     }
@@ -311,6 +370,33 @@ mod tests {
         let out = run_adaptive(&p, 1, 3, |rng| 0.5 + 0.01 * rng.gen::<f64>()).unwrap();
         assert!(out.converged);
         assert!(out.batches >= 1);
+    }
+
+    #[test]
+    fn fill_variant_is_bit_identical_to_scalar_for_any_worker_count() {
+        // Heavy-tailed estimand so convergence takes several waves and the
+        // commit/stop sequence is actually exercised.
+        let p = McPrecision {
+            rel_ci: 0.05,
+            max_trials: 200_000,
+            batch: 500,
+            level: 0.95,
+        };
+        let reference =
+            run_adaptive_affine(&p, 1, 13, 1e-9, 0.7, |rng| rng.gen::<f64>().powi(4)).unwrap();
+        for workers in [1usize, 2, 4, 7] {
+            let scalar =
+                run_adaptive_affine(&p, workers, 13, 1e-9, 0.7, |rng| rng.gen::<f64>().powi(4))
+                    .unwrap();
+            let filled = run_adaptive_affine_fill(&p, workers, 13, 1e-9, 0.7, |rng, out| {
+                for v in out.iter_mut() {
+                    *v = rng.gen::<f64>().powi(4);
+                }
+            })
+            .unwrap();
+            assert_eq!(scalar, reference, "scalar path, workers={workers}");
+            assert_eq!(filled, reference, "fill path, workers={workers}");
+        }
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! flips are integrated out exactly — per device as `pf^n`, per row via the
 //! run DP. Estimates at the 1e-9 scale converge in thousands of trials.
 
-use crate::adaptive::{run_adaptive_affine, McOutcome, McPrecision};
+use crate::adaptive::{run_adaptive_affine_fill, McOutcome, McPrecision};
 use crate::rundp::row_failure_probability;
 use crate::{Result, SimError};
 use cnt_stats::ci::{conditional_mc_ci, ConfidenceInterval};
@@ -159,13 +159,13 @@ pub fn estimate_fet_failure_adaptive(
 ) -> Result<McOutcome> {
     let renewal = RenewalCount::new(pitch, CountModel::GaussianSum);
     let sampler = renewal.failure_sampler(width, pf)?;
-    run_adaptive_affine(
+    run_adaptive_affine_fill(
         precision,
         workers,
         seed,
         sampler.p_empty(),
         sampler.tail_weight(),
-        |rng| sampler.sample_tail(rng),
+        |rng, out| sampler.sample_tail_fill(rng, out),
     )
 }
 

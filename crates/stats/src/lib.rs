@@ -18,6 +18,8 @@
 //!   used by the Monte-Carlo engine and the experiment harness.
 //! * [`seed`] — the workspace's one deterministic seed-splitting rule
 //!   (`split_seed`), shared by every parallel/streamed layer.
+//! * [`fasthash`] — a deterministic multiply–rotate hasher for the hot
+//!   memo maps (curve knots, Monte-Carlo points, wafer scenarios).
 //! * [`distspec`] — declarative, seedable stochastic knobs:
 //!   [`distspec::DistSpec`] (tagged distribution specs) and
 //!   [`distspec::FieldSpec`] (wafer-scale random fields with a radial
@@ -50,6 +52,7 @@ pub mod correlation;
 pub mod describe;
 pub mod dist;
 pub mod distspec;
+pub mod fasthash;
 pub mod fit;
 pub mod histogram;
 pub mod renewal;
@@ -112,6 +115,7 @@ pub use dist::{
     Uniform,
 };
 pub use distspec::{DistSpec, FieldSampler, FieldSpec};
+pub use fasthash::{FastBuild, FastMap, FastSet};
 pub use histogram::Histogram;
 pub use renewal::{CountDistribution, CountModel, FailureSampler, RenewalCount};
 pub use seed::{split_seed, splitmix64};

@@ -26,10 +26,12 @@
 //!   1e-9 scale with thousands (not billions) of trials.
 
 use crate::dist::{ContinuousDist, DiscreteDist, TruncatedGaussian};
+use crate::fasthash::FastMap;
 use crate::special::normal_cdf;
 use crate::{Result, StatsError};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::cell::RefCell;
 
 /// Where the first CNT sits relative to the lower edge of the active region.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -167,6 +169,9 @@ impl RenewalCount {
             CountModel::Convolution { step } if width.is_finite() && width > 0.0 => {
                 self.failure_probability_conv(width, pf, step)
             }
+            CountModel::GaussianSum if width.is_finite() && width > 0.0 => {
+                self.failure_probability_clt_memo(width, pf)
+            }
             CountModel::MonteCarlo { trials, seed } if width.is_finite() && width > 0.0 => {
                 if trials == 0 {
                     return Err(StatsError::InvalidParameter {
@@ -204,7 +209,228 @@ impl RenewalCount {
     /// non-negative, so unlike the naive `1 − (1/pf − 1)·Σ pf^m S(m)`
     /// rearrangement there is no catastrophic cancellation, and deep-tail
     /// values (`1e-9` and below) come out at full double precision.
+    ///
+    /// Since PR 7 the sweep state is cached: the pitch kernel, first-gap
+    /// masses, and renewal density `u` are all *width-independent*, so they
+    /// live in a thread-local [`ConvPlan`] keyed on (pitch, pf, step,
+    /// start) and are extended incrementally to the largest width seen.
+    /// Only the `p_empty` quadrature and the final tail sum are per-width.
+    /// Results are bit-identical to the single-shot sweep (kept as
+    /// [`RenewalCount::failure_probability_conv_reference`] and enforced by
+    /// property tests): extension appends the exact same values, and the
+    /// tail sum skips only terms whose pitch survivor is exactly `0.0`.
     fn failure_probability_conv(&self, width: f64, pf: f64, step: f64) -> Result<f64> {
+        if !(step.is_finite() && step > 0.0) {
+            return Err(StatsError::InvalidParameter {
+                name: "step",
+                value: step,
+                constraint: "must be finite and > 0",
+            });
+        }
+        CONV_PLANS.with(|cell| {
+            let cache = &mut *cell.borrow_mut();
+            let idx = self.conv_plan_index(cache, pf, step)?;
+            self.conv_eval(&mut cache.plans[idx], width, pf, step)
+        })
+    }
+
+    /// Find (or build) the cached sweep plan for this (pitch, pf, step,
+    /// start) and return its index in the thread-local cache.
+    fn conv_plan_index(&self, cache: &mut ConvCache, pf: f64, step: f64) -> Result<usize> {
+        let key = ConvPlanKey {
+            parent_mean: self.pitch.parent_mean().to_bits(),
+            parent_sd: self.pitch.parent_sd().to_bits(),
+            lo: self.pitch.lo().to_bits(),
+            hi: self.pitch.hi().to_bits(),
+            pf: pf.to_bits(),
+            step: step.to_bits(),
+            start: self.start,
+        };
+        cache.stamp += 1;
+        let stamp = cache.stamp;
+        if let Some(i) = cache.plans.iter().position(|p| p.key == key) {
+            cache.plans[i].stamp = stamp;
+            return Ok(i);
+        }
+
+        // Pitch kernel on the integer grid: bin j covers ((j−½)h, (j+½)h],
+        // mass from the exact CDF — the exact loop of the reference sweep.
+        let h = step;
+        let mean = self.pitch.mean();
+        let sd = self.pitch.std_dev();
+        let support_hi = (mean + 10.0 * sd).min(self.pitch.hi());
+        let kbins = ((support_hi / h).ceil() as usize).max(1) + 1;
+        let mut kernel = Vec::with_capacity(kbins);
+        let mut prev = self.pitch.cdf(0.0);
+        for j in 0..kbins {
+            let c = self.pitch.cdf((j as f64 + 0.5) * h);
+            kernel.push((c - prev).max(0.0));
+            prev = c;
+        }
+        let resid: f64 = 1.0 - kernel.iter().sum::<f64>();
+        if let Some(last) = kernel.last_mut() {
+            *last += resid.max(0.0);
+        }
+        let k0 = pf * kernel[0];
+        if k0 >= 1.0 {
+            return Err(StatsError::NoConvergence(
+                "failure_probability_conv: grid step too coarse for pitch scale",
+            ));
+        }
+        let krev: Vec<f64> = kernel.iter().rev().copied().collect();
+
+        if cache.plans.len() >= CONV_PLAN_CAP {
+            // Evict the least-recently-used plan; a handful of (pitch, pf)
+            // pairs are live at once in every real workload.
+            if let Some(evict) = cache
+                .plans
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, p)| p.stamp)
+                .map(|(i, _)| i)
+            {
+                cache.plans.swap_remove(evict);
+            }
+        }
+        let fe_s_prev = 1.0 - self.pitch.cdf(0.0);
+        cache.plans.push(ConvPlan {
+            key,
+            kernel,
+            krev,
+            k0,
+            fe: Vec::new(),
+            fe_s_prev,
+            u: Vec::new(),
+            results: FastMap::default(),
+            stamp,
+        });
+        Ok(cache.plans.len() - 1)
+    }
+
+    /// Evaluate one width against a prepared plan, extending the cached
+    /// first-gap masses and renewal density as needed.
+    fn conv_eval(&self, plan: &mut ConvPlan, width: f64, pf: f64, step: f64) -> Result<f64> {
+        if let Some(&r) = plan.results.get(&width.to_bits()) {
+            return Ok(r);
+        }
+        let h = step;
+        let mean = self.pitch.mean();
+        let wbins = (width / h).round() as usize;
+
+        // Equilibrium first-gap mass per bin (stationary start only). Each
+        // bin value depends only on its index, and the resumable `fe_s_prev`
+        // survivor makes appended values bit-identical to a fresh build.
+        if self.start == StartPolicy::Stationary {
+            while plan.fe.len() <= wbins {
+                let j = plan.fe.len();
+                let lo_edge = (j as f64 - 0.5) * h;
+                let hi_edge = (j as f64 + 0.5) * h;
+                let s_hi = 1.0 - self.pitch.cdf(hi_edge);
+                let bin_w = hi_edge - lo_edge.max(0.0);
+                plan.fe
+                    .push((bin_w * 0.5 * (plan.fe_s_prev + s_hi) / mean).max(0.0));
+                plan.fe_s_prev = s_hi;
+            }
+        }
+
+        // Forward renewal sweep, resumed from the cached prefix. The inner
+        // dot product walks `u` forward against the reversed kernel in
+        // fixed-size chunks with one sequential accumulator — the identical
+        // term order as `for i { acc += u[i] * kernel[j - i] }`, with the
+        // bounds checks hoisted into the two slice takes.
+        let klen = plan.kernel.len();
+        while plan.u.len() <= wbins {
+            let j = plan.u.len();
+            let mut acc = match self.start {
+                StartPolicy::Ordinary => plan.kernel.get(j).copied().unwrap_or(0.0),
+                StartPolicy::Stationary => plan.fe[j],
+            };
+            let i_lo = j.saturating_sub(klen - 1);
+            let useg = &plan.u[i_lo..j];
+            let kseg = &plan.krev[klen - 1 - (j - i_lo)..klen - 1];
+            let mut uc = useg.chunks_exact(CONV_CHUNK);
+            let mut kc = kseg.chunks_exact(CONV_CHUNK);
+            for (ub, kb) in (&mut uc).zip(&mut kc) {
+                for t in 0..CONV_CHUNK {
+                    acc += ub[t] * kb[t];
+                }
+            }
+            for (ui, ki) in uc.remainder().iter().zip(kc.remainder()) {
+                acc += ui * ki;
+            }
+            plan.u.push(pf * acc / (1.0 - plan.k0));
+        }
+
+        // Exact no-CNT term — per-width, identical to the reference.
+        let p_empty = match self.start {
+            StartPolicy::Ordinary => 1.0 - self.pitch.cdf(width),
+            StartPolicy::Stationary => {
+                let mut tail = 0.0;
+                let mut x = width;
+                let mut s_lo = 1.0 - self.pitch.cdf(x);
+                while s_lo > 0.0 && x < self.pitch.hi() {
+                    let s_hi = 1.0 - self.pitch.cdf(x + h);
+                    tail += 0.5 * (s_lo + s_hi) * h / mean;
+                    x += h;
+                    s_lo = s_hi;
+                }
+                tail
+            }
+        };
+
+        // Tail sum over the pitch survivor. For j far below wbins the
+        // argument `width − j·h` is deep past the pitch support and the
+        // survivor is *exactly* 0.0; those terms contribute `u[j]·0.0 = +0.0`
+        // in the reference (which starts from `p_empty ≥ +0.0`), so skipping
+        // them is bit-exact. The survivor rises monotonically with j, so the
+        // zero prefix ends at a single boundary found by bisection and then
+        // verified by walking it down.
+        let surv = |j: usize| 1.0 - self.pitch.cdf(width - j as f64 * h);
+        let mut j0 = 0usize;
+        if wbins > 0 && surv(0) == 0.0 {
+            if surv(wbins) == 0.0 {
+                j0 = wbins;
+            } else {
+                let (mut lo, mut hi) = (0usize, wbins);
+                while hi - lo > 1 {
+                    let mid = lo + (hi - lo) / 2;
+                    if surv(mid) == 0.0 {
+                        lo = mid;
+                    } else {
+                        hi = mid;
+                    }
+                }
+                j0 = hi;
+            }
+            while j0 > 0 && surv(j0 - 1) > 0.0 {
+                j0 -= 1;
+            }
+        }
+        let mut p_fail = p_empty;
+        for (dj, &uj) in plan.u[j0..=wbins].iter().enumerate() {
+            if uj > 0.0 {
+                p_fail += uj * surv(j0 + dj);
+            }
+        }
+        let r = p_fail.clamp(0.0, 1.0);
+        if plan.results.len() >= CONV_RESULT_CAP {
+            plan.results.clear();
+        }
+        plan.results.insert(width.to_bits(), r);
+        Ok(r)
+    }
+
+    /// The pre-PR-7 single-shot convolution sweep, kept verbatim as the
+    /// bit-identity oracle for the plan-cached fast path. Every value the
+    /// cached path returns must equal this one bit-for-bit (enforced by the
+    /// crate's property tests). Not part of the supported API.
+    #[doc(hidden)]
+    pub fn failure_probability_conv_reference(
+        &self,
+        width: f64,
+        pf: f64,
+        step: f64,
+    ) -> Result<f64> {
         if !(step.is_finite() && step > 0.0) {
             return Err(StatsError::InvalidParameter {
                 name: "step",
@@ -299,6 +525,104 @@ impl RenewalCount {
             }
         }
         Ok(p_fail.clamp(0.0, 1.0))
+    }
+
+    /// Memoized CLT PGF: `distribution(width)?.pgf(pf)` is a pure function
+    /// of (pitch, start, width, pf), so its value is cached thread-locally.
+    /// The distribution build is O(width/S̄) survival evaluations; repeat
+    /// queries (service caches cold-started per request, co-opt grids
+    /// revisiting knob points) become a map lookup.
+    fn failure_probability_clt_memo(&self, width: f64, pf: f64) -> Result<f64> {
+        /// Full identity of one CLT evaluation: pitch parameters, width,
+        /// `pf`, and the start policy, all as bit patterns.
+        type CltKey = (u64, u64, u64, u64, u64, u64, u8);
+        thread_local! {
+            static CLT_RESULTS: RefCell<FastMap<CltKey, f64>> = RefCell::new(FastMap::default());
+        }
+        let key = (
+            self.pitch.parent_mean().to_bits(),
+            self.pitch.parent_sd().to_bits(),
+            self.pitch.lo().to_bits(),
+            self.pitch.hi().to_bits(),
+            width.to_bits(),
+            pf.to_bits(),
+            self.start as u8,
+        );
+        if let Some(hit) = CLT_RESULTS.with(|m| m.borrow().get(&key).copied()) {
+            return Ok(hit);
+        }
+        let p = self.distribution(width)?.pgf(pf);
+        CLT_RESULTS.with(|m| {
+            let mut m = m.borrow_mut();
+            if m.len() >= CONV_RESULT_CAP {
+                m.clear();
+            }
+            m.insert(key, p);
+        });
+        Ok(p)
+    }
+
+    /// Batch twin of [`RenewalCount::failure_probability`]: evaluate
+    /// `pF(W) = E[pf^N(W)]` for many widths in one call.
+    ///
+    /// Results are element-wise **bit-identical** to calling
+    /// [`RenewalCount::failure_probability`] per width — batching never
+    /// changes answers, it only amortizes setup. For the
+    /// [`CountModel::Convolution`] back-end the per-(pitch, pf, step) sweep
+    /// state (pitch kernel, first-gap masses, renewal density) is built once
+    /// and extended to the largest width in the batch, so a `W_min`
+    /// bisection or a sweep issues O(1) kernel sweeps instead of
+    /// O(widths) — see [`RenewalCount::failure_probabilities_conv`].
+    ///
+    /// # Errors
+    ///
+    /// Same per-element errors as [`RenewalCount::failure_probability`];
+    /// the first failing width aborts the batch.
+    pub fn failure_probabilities(&self, widths: &[f64], pf: f64) -> Result<Vec<f64>> {
+        widths
+            .iter()
+            .map(|&w| self.failure_probability(w, pf))
+            .collect()
+    }
+
+    /// Batch entry point for the convolution sweep with an explicit grid
+    /// `step`, independent of the configured [`CountModel`].
+    ///
+    /// Bit-identical to evaluating each width through a
+    /// `CountModel::Convolution { step }` back-end one at a time; the
+    /// cached sweep plan makes the marginal cost of an extra width one
+    /// `p_empty` quadrature plus one tail sum over the pitch support.
+    ///
+    /// # Errors
+    ///
+    /// Rejects `pf` outside `[0, 1]`, a non-positive or non-finite `step`,
+    /// and any width that is not finite and `> 0`.
+    pub fn failure_probabilities_conv(
+        &self,
+        widths: &[f64],
+        pf: f64,
+        step: f64,
+    ) -> Result<Vec<f64>> {
+        if !(0.0..=1.0).contains(&pf) {
+            return Err(StatsError::InvalidParameter {
+                name: "pf",
+                value: pf,
+                constraint: "must be in [0, 1]",
+            });
+        }
+        widths
+            .iter()
+            .map(|&w| {
+                if !(w.is_finite() && w > 0.0) {
+                    return Err(StatsError::InvalidParameter {
+                        name: "width",
+                        value: w,
+                        constraint: "must be finite and > 0",
+                    });
+                }
+                self.failure_probability_conv(w, pf, step)
+            })
+            .collect()
     }
 
     /// Mean and variance of the first-gap distribution for this policy.
@@ -622,6 +946,12 @@ impl RenewalCount {
             0.0
         };
         let (tilt, ln_m) = self.pitch.tilted(theta)?;
+        // Constants of the per-trial inner loop, hoisted out of it. Each is
+        // the exact expression the loop used to evaluate, so hoisting
+        // changes no bits.
+        let ln_pf_m = pf.ln() + ln_m;
+        let gap_cap = self.pitch.mean() + 10.0 * self.pitch.std_dev();
+        let gap_mass = self.pitch.cdf(width).max(1e-300);
         Ok(FailureSampler {
             renewal: self.clone(),
             width,
@@ -630,8 +960,73 @@ impl RenewalCount {
             tilt,
             theta,
             ln_m,
+            ln_pf_m,
+            gap_cap,
+            gap_mass,
         })
     }
+}
+
+/// Chunk width of the renewal sweep's inner dot product. The chunks are
+/// consumed with one sequential accumulator, so chunking changes no
+/// arithmetic — it only lets the compiler drop bounds checks and unroll.
+const CONV_CHUNK: usize = 64;
+
+/// Max cached sweep plans per thread (distinct (pitch, pf, step, start)).
+const CONV_PLAN_CAP: usize = 8;
+
+/// Max memoized per-width results per plan before the memo is reset.
+const CONV_RESULT_CAP: usize = 16_384;
+
+/// Identity of a convolution sweep plan — bit patterns, so "same inputs"
+/// means exactly the f64s the sweep arithmetic consumes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ConvPlanKey {
+    parent_mean: u64,
+    parent_sd: u64,
+    lo: u64,
+    hi: u64,
+    pf: u64,
+    step: u64,
+    start: StartPolicy,
+}
+
+/// Width-independent sweep state, extended incrementally as wider gates
+/// are queried, plus a per-width result memo.
+#[derive(Debug)]
+struct ConvPlan {
+    key: ConvPlanKey,
+    /// Pitch mass per grid bin.
+    kernel: Vec<f64>,
+    /// `kernel` reversed, so the renewal dot product walks two forward
+    /// slices (bounds checks hoist; term order unchanged).
+    krev: Vec<f64>,
+    /// `pf · kernel[0]` — the implicit same-bin term of the sweep.
+    k0: f64,
+    /// Equilibrium first-gap mass per bin (stationary start only).
+    fe: Vec<f64>,
+    /// Survivor at the last computed `fe` bin edge, so extension resumes
+    /// the trapezoid exactly where a fresh build would be.
+    fe_s_prev: f64,
+    /// pf-weighted renewal density `u[j]`.
+    u: Vec<f64>,
+    /// Finished `width.to_bits() → pF` results.
+    results: FastMap<u64, f64>,
+    /// LRU stamp.
+    stamp: u64,
+}
+
+#[derive(Debug, Default)]
+struct ConvCache {
+    plans: Vec<ConvPlan>,
+    stamp: u64,
+}
+
+thread_local! {
+    /// Per-thread sweep-plan cache. Thread-local instead of shared: the
+    /// sweeps are deterministic pure functions, so per-thread duplicates
+    /// cost only memory, never coherence or lock traffic on the hot path.
+    static CONV_PLANS: RefCell<ConvCache> = RefCell::new(ConvCache::default());
 }
 
 /// Find `θ ≥ 0` such that `ln M(θ) = target` (`M` is the pitch MGF;
@@ -693,6 +1088,13 @@ pub struct FailureSampler {
     tilt: TruncatedGaussian,
     theta: f64,
     ln_m: f64,
+    /// Hoisted `pf.ln() + ln_m` — the per-CNT log-weight of a trial.
+    ln_pf_m: f64,
+    /// Hoisted rejection envelope `mean + 10σ` of the equilibrium
+    /// first-gap draw (stationary start).
+    gap_cap: f64,
+    /// Hoisted conditional first-gap mass `F(width)` (ordinary start).
+    gap_mass: f64,
 }
 
 impl FailureSampler {
@@ -719,19 +1121,22 @@ impl FailureSampler {
     /// One unbiased sample of `E[pf^N | N ≥ 1]`: draw the first gap from
     /// its conditional distribution, grow tilted pitches until the region
     /// is crossed, and return `pf^{1+n}` times the likelihood ratio.
+    ///
+    /// The loop consumes the RNG stream in exactly the same order as it
+    /// always has (first-gap uniforms, then one uniform per tilted draw),
+    /// and every operation is the same f64 expression — the PR 7 speedups
+    /// here are monomorphized sampling (no `dyn RngCore` round trip per
+    /// uniform) and hoisted per-trial constants, both bit-preserving.
     pub fn sample_tail(&self, mut rng: &mut (impl Rng + ?Sized)) -> f64 {
         if self.pf == 0.0 {
             return 0.0;
         }
-        let g = self.renewal.sample_first_gap_within(self.width, &mut rng);
+        let g = self.sample_first_gap_within_fast(&mut rng);
         let span = self.width - g;
         let mut t = 0.0;
         let mut n = 0u64;
         loop {
-            let x = {
-                use crate::dist::ContinuousDist;
-                self.tilt.sample(&mut rng)
-            };
+            let x = self.tilt.sample_fast(&mut rng);
             t += x;
             if t > span || n > 1_000_000 {
                 break;
@@ -742,7 +1147,51 @@ impl FailureSampler {
         // running sum t = T_{n+1}, so the likelihood ratio is
         // M(θ)^{n+1}·e^{−θ·T_{n+1}} and the sample is pf^{n+1}·L.
         let count = n as f64 + 1.0;
-        (count * (self.pf.ln() + self.ln_m) - self.theta * t).exp()
+        (count * self.ln_pf_m - self.theta * t).exp()
+    }
+
+    /// Fill `out` with consecutive [`Self::sample_tail`] draws — the batch
+    /// fast path used by the adaptive driver's per-wave buffers.
+    ///
+    /// Bit-identical to `for v in out { *v = sampler.sample_tail(rng) }`:
+    /// the RNG stream is consumed in the same order, trial by trial.
+    /// Batching only removes per-trial call overhead from the hot loop.
+    pub fn sample_tail_fill(&self, mut rng: &mut (impl Rng + ?Sized), out: &mut [f64]) {
+        for v in out.iter_mut() {
+            *v = self.sample_tail(&mut rng);
+        }
+    }
+
+    /// [`RenewalCount::sample_first_gap_within`] with the per-trial
+    /// constants (`gap_cap`, `gap_mass`) pre-computed at sampler build.
+    /// Identical draw composition, uniform for uniform.
+    fn sample_first_gap_within_fast(&self, mut rng: &mut (impl Rng + ?Sized)) -> f64 {
+        match self.renewal.start {
+            StartPolicy::Ordinary => {
+                let u: f64 = rng.gen::<f64>().clamp(1e-16, 1.0 - 1e-16);
+                self.renewal
+                    .pitch
+                    .quantile((u * self.gap_mass).min(1.0 - 1e-16))
+                    .min(self.width)
+            }
+            StartPolicy::Stationary => {
+                for _ in 0..100_000 {
+                    let g = loop {
+                        let x = self.renewal.pitch.sample_fast(&mut rng);
+                        let accept: f64 = rng.gen();
+                        if accept < (x / self.gap_cap).min(1.0) {
+                            break rng.gen::<f64>() * x;
+                        }
+                    };
+                    if g <= self.width {
+                        return g;
+                    }
+                }
+                // Statistically unreachable unless p_empty ≈ 1; fall back to
+                // a uniform position so callers never loop forever.
+                rng.gen::<f64>() * self.width
+            }
+        }
     }
 
     /// Combine a mean of [`Self::sample_tail`] values into the full
@@ -1172,5 +1621,67 @@ mod tests {
         let want = (m * m + v) / (2.0 * m);
         assert!((me - want).abs() < 1e-6, "me {me} want {want}");
         assert!(ve > 0.0);
+    }
+
+    #[test]
+    fn cached_conv_sweep_is_bit_identical_to_reference() {
+        // The plan cache, incremental extension, chunked dot product, and
+        // zero-prefix tail skip must not change a single bit vs the
+        // single-shot reference sweep — in any query order.
+        for start in [StartPolicy::Stationary, StartPolicy::Ordinary] {
+            for step in [0.05, 0.11] {
+                let rc =
+                    RenewalCount::new(pitch(), CountModel::Convolution { step }).with_start(start);
+                // Descending then ascending widths: exercises both the
+                // extend path and the fully-cached-prefix path.
+                for w in [155.0, 60.0, 103.0, 7.3, 900.0, 155.0, 2000.0] {
+                    for pfv in [0.0, 0.2, 0.531, 1.0] {
+                        let fast = rc.failure_probability(w, pfv).unwrap();
+                        let slow = rc.failure_probability_conv_reference(w, pfv, step).unwrap();
+                        assert_eq!(
+                            fast.to_bits(),
+                            slow.to_bits(),
+                            "{start:?} step={step} W={w} pf={pfv}: {fast:e} vs {slow:e}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_entry_points_match_scalar() {
+        let rc = RenewalCount::new(pitch(), CountModel::Convolution { step: 0.05 });
+        let widths = [5.0, 60.0, 103.0, 155.0, 2000.0];
+        let batch = rc.failure_probabilities(&widths, 0.531).unwrap();
+        let conv_batch = rc.failure_probabilities_conv(&widths, 0.531, 0.05).unwrap();
+        for (i, &w) in widths.iter().enumerate() {
+            let scalar = rc.failure_probability(w, 0.531).unwrap();
+            assert_eq!(batch[i].to_bits(), scalar.to_bits());
+            assert_eq!(conv_batch[i].to_bits(), scalar.to_bits());
+        }
+        // Batch validation mirrors the scalar contract.
+        assert!(rc.failure_probabilities(&widths, 1.5).is_err());
+        assert!(rc.failure_probabilities_conv(&[-1.0], 0.5, 0.05).is_err());
+        assert!(rc.failure_probabilities_conv(&widths, 0.5, 0.0).is_err());
+    }
+
+    #[test]
+    fn sample_tail_fill_matches_scalar_loop() {
+        let rc = RenewalCount::new(pitch(), CountModel::GaussianSum);
+        for start in [StartPolicy::Stationary, StartPolicy::Ordinary] {
+            let sampler = rc
+                .clone()
+                .with_start(start)
+                .failure_sampler(103.0, 0.531)
+                .unwrap();
+            let mut filled = vec![0.0; 257];
+            sampler.sample_tail_fill(&mut StdRng::seed_from_u64(42), &mut filled);
+            let mut rng = StdRng::seed_from_u64(42);
+            for (i, &v) in filled.iter().enumerate() {
+                let s = sampler.sample_tail(&mut rng);
+                assert_eq!(v.to_bits(), s.to_bits(), "{start:?} trial {i}");
+            }
+        }
     }
 }

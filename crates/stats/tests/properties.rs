@@ -1,9 +1,11 @@
 //! Property-based tests for the statistics substrate.
 
 use cnt_stats::dist::{ContinuousDist, DiscreteDist, TruncatedGaussian};
-use cnt_stats::renewal::{CountModel, RenewalCount};
+use cnt_stats::renewal::{CountModel, RenewalCount, StartPolicy};
 use cnt_stats::{Histogram, Summary};
 use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 proptest! {
     #[test]
@@ -109,5 +111,69 @@ proptest! {
         // Stationary renewal: E[N] = W/S̄ (CLT approximation within 5 %).
         prop_assert!((d.mean() - w / 4.0).abs() < 0.05 * (w / 4.0) + 0.5,
             "W={w}: mean {} vs {}", d.mean(), w / 4.0);
+    }
+
+    #[test]
+    fn batched_gaussian_sum_is_bit_identical_to_scalar(
+        widths in prop::collection::vec(5.0f64..2000.0, 1..8),
+        pf in 0.0f64..1.0,
+        ordinary in prop::bool::ANY,
+    ) {
+        let pitch = TruncatedGaussian::positive_with_moments(4.0, 3.28).unwrap();
+        let start = if ordinary { StartPolicy::Ordinary } else { StartPolicy::Stationary };
+        let rc = RenewalCount::new(pitch, CountModel::GaussianSum).with_start(start);
+        let batch = rc.failure_probabilities(&widths, pf).unwrap();
+        for (&w, &b) in widths.iter().zip(&batch) {
+            let scalar = rc.failure_probability(w, pf).unwrap();
+            prop_assert_eq!(b.to_bits(), scalar.to_bits(),
+                "W={}: batch {:.17e} vs scalar {:.17e}", w, b, scalar);
+        }
+    }
+
+    #[test]
+    fn sampler_fill_is_bit_identical_to_scalar_loop(
+        width in 10.0f64..400.0,
+        pf in 0.05f64..0.95,
+        n in 1usize..200,
+        seed in 0u64..u64::MAX,
+        ordinary in prop::bool::ANY,
+    ) {
+        let pitch = TruncatedGaussian::positive_with_moments(4.0, 3.28).unwrap();
+        let start = if ordinary { StartPolicy::Ordinary } else { StartPolicy::Stationary };
+        let rc = RenewalCount::new(pitch, CountModel::GaussianSum).with_start(start);
+        let sampler = rc.failure_sampler(width, pf).unwrap();
+        let mut fill_rng = StdRng::seed_from_u64(seed);
+        let mut loop_rng = StdRng::seed_from_u64(seed);
+        let mut buf = vec![0.0f64; n];
+        sampler.sample_tail_fill(&mut fill_rng, &mut buf);
+        for (i, &filled) in buf.iter().enumerate() {
+            let scalar = sampler.sample_tail(&mut loop_rng);
+            prop_assert_eq!(filled.to_bits(), scalar.to_bits(), "draw {} of {}", i, n);
+        }
+    }
+
+    // Runs the O(W²/step²) uncached reference per width, so the width list
+    // is kept short; the full [5, 2000] range is still drawn from.
+    #[test]
+    fn batched_conv_is_bit_identical_to_scalar_and_reference(
+        widths in prop::collection::vec(5.0f64..2000.0, 1..4),
+        pf in 0.0f64..1.0,
+        step in 0.08f64..0.2,
+        ordinary in prop::bool::ANY,
+    ) {
+        let pitch = TruncatedGaussian::positive_with_moments(4.0, 3.28).unwrap();
+        let start = if ordinary { StartPolicy::Ordinary } else { StartPolicy::Stationary };
+        let rc = RenewalCount::new(pitch, CountModel::Convolution { step }).with_start(start);
+        // Batched entry, plan-cached scalar entry, and the uncached
+        // reference must agree to the bit at every width.
+        let batch = rc.failure_probabilities_conv(&widths, pf, step).unwrap();
+        let scalar = rc.failure_probabilities(&widths, pf).unwrap();
+        for ((&w, &b), &s) in widths.iter().zip(&batch).zip(&scalar) {
+            let reference = rc.failure_probability_conv_reference(w, pf, step).unwrap();
+            prop_assert_eq!(b.to_bits(), reference.to_bits(),
+                "batch vs reference at W={}: {:.17e} vs {:.17e}", w, b, reference);
+            prop_assert_eq!(s.to_bits(), reference.to_bits(),
+                "scalar vs reference at W={}: {:.17e} vs {:.17e}", w, s, reference);
+        }
     }
 }

@@ -161,12 +161,40 @@ fn escape_json(s: &str) -> String {
     out
 }
 
+/// Best-effort output of an external command, trimmed; `"unknown"` when the
+/// command is missing, fails, or prints nothing. Provenance only — never
+/// load-bearing.
+fn probe_command(cmd: &str, args: &[&str]) -> String {
+    std::process::Command::new(cmd)
+        .args(args)
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
 /// Render every recorded measurement as a deterministic-key-order JSON
 /// document. `ns_per_iter` is rounded to 0.1 ns so the shape is stable and
 /// diffs stay readable; `iters` records the sample size behind the mean.
+/// Schema `criterion-lite/2` adds a provenance `meta` block (git commit,
+/// UTC date, toolchain), each field falling back to `"unknown"` when the
+/// probing command is unavailable.
 pub fn results_json() -> String {
     let results = RESULTS.lock().unwrap();
-    let mut out = String::from("{\n  \"schema\": \"criterion-lite/1\",\n  \"benchmarks\": [\n");
+    let git_commit = probe_command("git", &["rev-parse", "--short", "HEAD"]);
+    let date = probe_command("date", &["-u", "+%Y-%m-%dT%H:%M:%SZ"]);
+    let toolchain = probe_command("rustc", &["--version"]);
+    let mut out = String::from("{\n  \"schema\": \"criterion-lite/2\",\n");
+    out.push_str(&format!(
+        "  \"meta\": {{ \"git_commit\": \"{}\", \"date\": \"{}\", \"toolchain\": \"{}\" }},\n",
+        escape_json(&git_commit),
+        escape_json(&date),
+        escape_json(&toolchain)
+    ));
+    out.push_str("  \"benchmarks\": [\n");
     for (i, r) in results.iter().enumerate() {
         let comma = if i + 1 == results.len() { "" } else { "," };
         out.push_str(&format!(
@@ -302,7 +330,11 @@ mod tests {
         let mut c = Criterion::default();
         c.bench_function("json \"smoke\"", |b| b.iter(|| black_box(2 + 2)));
         let doc = results_json();
-        assert!(doc.contains("\"schema\": \"criterion-lite/1\""));
+        assert!(doc.contains("\"schema\": \"criterion-lite/2\""));
+        assert!(doc.contains("\"meta\""));
+        assert!(doc.contains("\"git_commit\""));
+        assert!(doc.contains("\"date\""));
+        assert!(doc.contains("\"toolchain\""));
         assert!(doc.contains("\"name\": \"json \\\"smoke\\\"\""));
         assert!(doc.contains("\"ns_per_iter\""));
         finalize();
