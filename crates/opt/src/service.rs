@@ -56,10 +56,24 @@ impl OptService {
     /// a structured error); everything else behaves exactly like
     /// [`YieldService::stream`].
     pub fn stream(&self, request: &YieldRequest, emit: &mut dyn FnMut(YieldResponse)) {
+        self.stream_while(request, &mut |response| {
+            emit(response);
+            true
+        });
+    }
+
+    /// The cancellation-aware form of [`OptService::stream`]: `emit`
+    /// returns `false` once the client is gone, streaming stops (and an
+    /// in-flight sweep cancels) as soon as that is observed. Returns
+    /// `false` when the exchange was aborted that way.
+    pub fn stream_while(
+        &self,
+        request: &YieldRequest,
+        emit: &mut dyn FnMut(YieldResponse) -> bool,
+    ) -> bool {
         if request.schema != SCHEMA_VERSION {
             // The wrapped service owns schema rejection.
-            self.inner.stream(request, emit);
-            return;
+            return self.inner.stream_while(request, emit);
         }
         match &request.body {
             RequestBody::CoOpt {
@@ -78,13 +92,11 @@ impl OptService {
                     )),
                 }
             }
-            RequestBody::Describe => {
-                emit(YieldResponse::new(
-                    &request.id,
-                    ResponseBody::Describe(self.describe()),
-                ));
-            }
-            _ => self.inner.stream(request, emit),
+            RequestBody::Describe => emit(YieldResponse::new(
+                &request.id,
+                ResponseBody::Describe(self.describe()),
+            )),
+            _ => self.inner.stream_while(request, emit),
         }
     }
 
@@ -102,5 +114,23 @@ impl OptService {
         cnfet_pipeline::envelope::dispatch_line(line, emit, |request, emit| {
             self.stream(request, emit)
         });
+    }
+
+    /// The cancellation-aware form of [`OptService::handle_line`] (the
+    /// [`cnfet_pipeline::LineServer`] surface the sharded router drives).
+    pub fn handle_line_while(
+        &self,
+        line: &str,
+        emit: &mut dyn FnMut(YieldResponse) -> bool,
+    ) -> bool {
+        cnfet_pipeline::envelope::dispatch_line_while(line, emit, |request, emit| {
+            self.stream_while(request, emit)
+        })
+    }
+}
+
+impl cnfet_pipeline::LineServer for OptService {
+    fn serve_line(&self, line: &str, emit: &mut dyn FnMut(YieldResponse) -> bool) -> bool {
+        self.handle_line_while(line, emit)
     }
 }

@@ -508,11 +508,35 @@ pub fn dispatch_line(
     emit: &mut dyn FnMut(YieldResponse),
     dispatch: impl FnOnce(&YieldRequest, &mut dyn FnMut(YieldResponse)),
 ) {
+    dispatch_line_while(
+        line,
+        &mut |response| {
+            emit(response);
+            true
+        },
+        |request, emit| {
+            dispatch(request, &mut |response| {
+                emit(response);
+            });
+            true
+        },
+    );
+}
+
+/// The cancellation-aware form of [`dispatch_line`]: `emit` returns
+/// `false` when the client is gone (disconnected, queue torn down), and
+/// `dispatch` is expected to stop streaming — and cancel any in-flight
+/// sweep — as soon as it sees that. Returns `false` when the exchange was
+/// aborted that way, `true` when every response was delivered.
+pub fn dispatch_line_while(
+    line: &str,
+    emit: &mut dyn FnMut(YieldResponse) -> bool,
+    dispatch: impl FnOnce(&YieldRequest, &mut dyn FnMut(YieldResponse) -> bool) -> bool,
+) -> bool {
     let doc = match Json::parse(line) {
         Ok(doc) => doc,
         Err(e) => {
-            emit(YieldResponse::error("", ServiceError::from_pipeline(&e)));
-            return;
+            return emit(YieldResponse::error("", ServiceError::from_pipeline(&e)));
         }
     };
     match YieldRequest::from_json(&doc) {
@@ -553,6 +577,14 @@ pub enum ErrorCode {
         /// The body kind the caller asked for.
         body: String,
     },
+    /// The serving tier shed this request because the target shard's
+    /// bounded admission queue was full (backpressure instead of
+    /// unbounded buffering). The request was **not** executed; retrying
+    /// after a backoff is safe — requests are pure.
+    Overloaded {
+        /// The shard whose queue was full.
+        shard: u64,
+    },
     /// A solver or stochastic estimate failed to converge.
     Unconverged,
     /// Any other engine-side failure.
@@ -568,6 +600,7 @@ impl ErrorCode {
             ErrorCode::BadSpec { .. } => "bad_spec",
             ErrorCode::UnknownKey { .. } => "unknown_key",
             ErrorCode::UnsupportedBody { .. } => "unsupported_body",
+            ErrorCode::Overloaded { .. } => "overloaded",
             ErrorCode::Unconverged => "unconverged",
             ErrorCode::Internal => "internal",
         }
@@ -630,6 +663,9 @@ impl ServiceError {
             ErrorCode::UnsupportedBody { body } => {
                 fields.push(("body".into(), Json::Str(body.clone())));
             }
+            ErrorCode::Overloaded { shard } => {
+                fields.push(("shard".into(), Json::Num(*shard as f64)));
+            }
             _ => {}
         }
         fields.push(("message".into(), Json::Str(self.message.clone())));
@@ -671,6 +707,12 @@ impl ServiceError {
             },
             "unsupported_body" => ErrorCode::UnsupportedBody {
                 body: field("body")?,
+            },
+            "overloaded" => ErrorCode::Overloaded {
+                shard: v
+                    .get("shard")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| bad("`overloaded` needs a u64 `shard`"))?,
             },
             "unconverged" => ErrorCode::Unconverged,
             "internal" => ErrorCode::Internal,

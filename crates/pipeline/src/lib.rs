@@ -41,7 +41,12 @@
 //!   deterministic index order, with cooperative cancellation and
 //!   progress reporting;
 //! * [`builder::ScenarioBuilder`] — the typed construction/validation
-//!   path that grid files, CLI overrides, and envelopes all share.
+//!   path that grid files, CLI overrides, and envelopes all share;
+//! * [`router::ShardRouter`] — N service shards behind a deterministic
+//!   request router: bounded admission queues with backpressure/shedding
+//!   ([`envelope::ErrorCode::Overloaded`]), a shared warm tier for hot
+//!   results, and client-disconnect cancellation — the concurrent back
+//!   end of `repro serve --shards N`.
 //!
 //! [`engine::Pipeline::evaluate`] and [`sweep::SweepRunner`] remain as
 //! thin compatibility shims; new code should go through the service.
@@ -77,6 +82,7 @@ pub mod envelope;
 pub mod json;
 pub mod knob;
 pub mod report;
+pub mod router;
 pub mod service;
 pub mod spec;
 pub mod sweep;
@@ -201,6 +207,9 @@ pub use envelope::{
 pub use json::Json;
 pub use knob::{dist_from_json, dist_to_json, field_from_json, field_to_json, STOCHASTIC_KNOBS};
 pub use report::{CoOptReport, McBackendReport, ParetoFront, ParetoPoint, ScenarioReport};
+pub use router::{
+    shard_for, Client, LineServer, RouterConfig, RouterStats, ShardRouter, ShardStats,
+};
 pub use service::{ServiceConfig, SweepHandle, SweepItem, SweepProgress, YieldService};
 pub use spec::{
     mc_backend_defaults, BackendSpec, CornerSpec, CorrelationSpec, LibrarySpec, MminSpec, RhoSpec,

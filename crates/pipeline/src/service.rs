@@ -172,8 +172,27 @@ impl YieldService {
     /// `evaluate`/`describe` request emits exactly one response; a `sweep`
     /// emits one per scenario plus a terminator).
     pub fn stream(&self, request: &YieldRequest, emit: &mut dyn FnMut(YieldResponse)) {
+        self.stream_while(request, &mut |response| {
+            emit(response);
+            true
+        });
+    }
+
+    /// The cancellation-aware form of [`YieldService::stream`]: `emit`
+    /// returns `false` once the client is gone (disconnected mid-sweep,
+    /// shard torn down), at which point streaming stops and any in-flight
+    /// sweep is cancelled through its [`SweepHandle`] — workers stop
+    /// claiming scenarios and the shard's queue slot frees immediately
+    /// instead of computing into the void. Returns `false` when the
+    /// exchange was aborted that way, `true` when every response was
+    /// delivered.
+    pub fn stream_while(
+        &self,
+        request: &YieldRequest,
+        emit: &mut dyn FnMut(YieldResponse) -> bool,
+    ) -> bool {
         if request.schema != SCHEMA_VERSION {
-            emit(YieldResponse::error(
+            return emit(YieldResponse::error(
                 &request.id,
                 ServiceError {
                     code: ErrorCode::UnsupportedSchema {
@@ -185,15 +204,12 @@ impl YieldService {
                     ),
                 },
             ));
-            return;
         }
         match &request.body {
-            RequestBody::Describe => {
-                emit(YieldResponse::new(
-                    &request.id,
-                    ResponseBody::Describe(self.describe()),
-                ));
-            }
+            RequestBody::Describe => emit(YieldResponse::new(
+                &request.id,
+                ResponseBody::Describe(self.describe()),
+            )),
             RequestBody::Evaluate { spec, seed } => match self.evaluate(spec, *seed) {
                 Ok(report) => emit(YieldResponse::new(
                     &request.id,
@@ -211,12 +227,12 @@ impl YieldService {
             } => {
                 let total = grid.scenarios.len() as u64;
                 let workers = workers.unwrap_or(self.inner.config.sweep_workers);
-                let handle = self.sweep_with_workers(grid.scenarios.clone(), *seed, workers);
+                let mut handle = self.sweep_with_workers(grid.scenarios.clone(), *seed, workers);
                 let mut failed = 0;
                 let mut delivered = 0;
-                for item in handle {
+                while let Some(item) = handle.next() {
                     delivered += 1;
-                    match item.report {
+                    let wanted = match item.report {
                         Ok(report) => emit(YieldResponse::new(
                             &request.id,
                             ResponseBody::SweepReport {
@@ -230,8 +246,16 @@ impl YieldService {
                             emit(YieldResponse::error(
                                 &request.id,
                                 ServiceError::from_pipeline(&e),
-                            ));
+                            ))
                         }
+                    };
+                    if !wanted {
+                        // The client hung up mid-stream: stop the workers
+                        // (in-flight scenarios finish, no new ones start)
+                        // and free this slot without a terminator — nobody
+                        // is listening for one.
+                        handle.cancel();
+                        return false;
                     }
                 }
                 // A worker that died (panic in the engine) leaves a gap the
@@ -240,7 +264,7 @@ impl YieldService {
                 let missing = total - delivered;
                 if missing > 0 {
                     failed += missing;
-                    emit(YieldResponse::error(
+                    if !emit(YieldResponse::error(
                         &request.id,
                         ServiceError {
                             code: ErrorCode::Internal,
@@ -249,12 +273,14 @@ impl YieldService {
                                  delivered (worker failure)"
                             ),
                         },
-                    ));
+                    )) {
+                        return false;
+                    }
                 }
                 emit(YieldResponse::new(
                     &request.id,
                     ResponseBody::SweepDone { total, failed },
-                ));
+                ))
             }
             RequestBody::Wafer {
                 spec,
@@ -287,7 +313,7 @@ impl YieldService {
                                   yield service"
                             .into(),
                     },
-                ));
+                ))
             }
         }
     }
@@ -305,6 +331,25 @@ impl YieldService {
     /// the daemon loop of `repro serve`.
     pub fn handle_line(&self, line: &str, emit: &mut dyn FnMut(YieldResponse)) {
         crate::envelope::dispatch_line(line, emit, |request, emit| self.stream(request, emit));
+    }
+
+    /// The cancellation-aware form of [`YieldService::handle_line`] (see
+    /// [`YieldService::stream_while`] for the `emit` contract). Returns
+    /// `false` when the exchange was aborted because the client vanished.
+    pub fn handle_line_while(
+        &self,
+        line: &str,
+        emit: &mut dyn FnMut(YieldResponse) -> bool,
+    ) -> bool {
+        crate::envelope::dispatch_line_while(line, emit, |request, emit| {
+            self.stream_while(request, emit)
+        })
+    }
+}
+
+impl crate::router::LineServer for YieldService {
+    fn serve_line(&self, line: &str, emit: &mut dyn FnMut(YieldResponse) -> bool) -> bool {
+        self.handle_line_while(line, emit)
     }
 }
 

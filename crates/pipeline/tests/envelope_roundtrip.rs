@@ -20,7 +20,7 @@ fn text(indices: &[usize]) -> String {
 }
 
 fn error_code(variant: usize, key: &[usize], suggest: bool, n: u64) -> ErrorCode {
-    match variant % 7 {
+    match variant % 8 {
         0 => ErrorCode::BadRequest,
         1 => ErrorCode::UnsupportedSchema { requested: n },
         2 => ErrorCode::BadSpec { field: text(key) },
@@ -30,6 +30,7 @@ fn error_code(variant: usize, key: &[usize], suggest: bool, n: u64) -> ErrorCode
         },
         4 => ErrorCode::UnsupportedBody { body: text(key) },
         5 => ErrorCode::Unconverged,
+        6 => ErrorCode::Overloaded { shard: n },
         _ => ErrorCode::Internal,
     }
 }
@@ -166,7 +167,7 @@ proptest! {
         id in prop::collection::vec(0usize..16, 0..12),
         name in prop::collection::vec(0usize..16, 0..10),
         message in prop::collection::vec(0usize..16, 0..24),
-        variant in 0usize..7,
+        variant in 0usize..8,
         suggest in proptest::bool::ANY,
         n in 0u64..100,
         seed in 0u64..u64::MAX,

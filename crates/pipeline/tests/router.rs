@@ -1,0 +1,266 @@
+//! Integration tests of the sharded serving tier: shard-count
+//! determinism, bounded-queue shedding, client-disconnect cancellation,
+//! the shared warm tier, and per-id FIFO ordering.
+
+use cnfet_pipeline::envelope::recover_id;
+use cnfet_pipeline::{
+    shard_for, Client, ErrorCode, Json, LineServer, ResponseBody, RouterConfig, RouterStats,
+    ShardRouter, YieldResponse, YieldService,
+};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// A mixed session: repeated evaluates (warm-tier food), describes, a
+/// streaming sweep, an unsupported body, and two deterministic errors.
+fn session() -> Vec<String> {
+    let mut lines = Vec::new();
+    for (i, seed) in [(0, 1), (1, 2), (2, 1), (3, 1)] {
+        lines.push(format!(
+            r#"{{"schema":1,"id":"e{i}","body":{{"evaluate":{{"spec":{{"fast_design":true,"backend":"gaussian-sum","rho":"paper","correlation":"growth"}},"seed":{seed}}}}}}}"#
+        ));
+    }
+    for i in 0..3 {
+        lines.push(format!(r#"{{"schema":1,"id":"d{i}","body":"describe"}}"#));
+    }
+    lines.push(
+        r#"{"schema":1,"id":"swp","body":{"sweep":{"grid":{"defaults":{"fast_design":true,"backend":"gaussian-sum","rho":"paper"},"axes":{"correlation":["none","growth"]}},"seed":3}}}"#
+            .to_string(),
+    );
+    // A bare service declines co_opt with a structured unsupported_body.
+    lines.push(
+        r#"{"schema":1,"id":"co","body":{"co_opt":{"spec":{"name":"x","base":{"fast_design":true},"search":{"l_cnt_um":{"min":100,"max":200,"steps":2}},"objective":{"w_min_weight":1.0,"area_weight":1.0},"searcher":"grid"},"seed":1}}}"#
+            .to_string(),
+    );
+    lines.push(
+        r#"{"schema":1,"id":"typo","body":{"evaluate":{"spec":{"yeild_target":0.9}}}}"#.to_string(),
+    );
+    lines.push(r#"{"schema":2,"id":"future","body":"describe"}"#.to_string());
+    lines
+}
+
+fn run_session(shards: usize) -> (Vec<String>, RouterStats) {
+    let config = RouterConfig {
+        shards,
+        ..RouterConfig::default()
+    };
+    let router = ShardRouter::new(config, |_| YieldService::new());
+    let (client, responses) = Client::channel();
+    for line in session() {
+        router.submit(line, &client);
+    }
+    let stats = router.shutdown();
+    drop(client);
+    let mut lines: Vec<String> = responses
+        .iter()
+        .map(|r| r.to_json().to_string_compact())
+        .collect();
+    lines.sort();
+    (lines, stats)
+}
+
+#[test]
+fn sorted_transcripts_are_byte_identical_across_shard_counts() {
+    let (reference, stats1) = run_session(1);
+    assert_eq!(stats1.served(), session().len() as u64);
+    assert_eq!(stats1.shed() + stats1.cancelled(), 0);
+    for shards in [2, 4, 7] {
+        let (transcript, stats) = run_session(shards);
+        assert_eq!(
+            transcript, reference,
+            "shard count {shards} changed response bytes"
+        );
+        assert_eq!(stats.served(), stats1.served());
+    }
+}
+
+#[test]
+fn per_id_requests_are_answered_in_submission_order() {
+    let router = ShardRouter::new(
+        RouterConfig {
+            shards: 4,
+            ..RouterConfig::default()
+        },
+        |_| YieldService::new(),
+    );
+    let (client, responses) = Client::channel();
+    router.submit(
+        r#"{"schema":1,"id":"x","body":{"evaluate":{"spec":{"fast_design":true,"backend":"gaussian-sum","rho":"paper"},"seed":1}}}"#,
+        &client,
+    );
+    router.submit(r#"{"schema":1,"id":"x","body":"describe"}"#, &client);
+    router.shutdown();
+    drop(client);
+    let bodies: Vec<YieldResponse> = responses.iter().collect();
+    assert_eq!(bodies.len(), 2);
+    assert!(
+        matches!(bodies[0].body, ResponseBody::Report(_)),
+        "same-id requests share a shard, so the evaluate answers first"
+    );
+    assert!(matches!(bodies[1].body, ResponseBody::Describe(_)));
+}
+
+#[test]
+fn warm_tier_is_shared_and_id_independent() {
+    // One shard makes the hit pattern exact (multi-shard runs can race
+    // identical bodies past each other before the first insert): the
+    // warm-eligible requests are four evaluates (e0/e1 distinct, e2/e3
+    // repeating e0) and three describes.
+    let (transcript, stats) = run_session(1);
+    assert_eq!(
+        (stats.warm_hits, stats.warm_misses),
+        (4, 3),
+        "e2, e3, d1, d2 hit; e0, e1, d0 miss: {stats:?}"
+    );
+    // Warm hits must be invisible in the bytes: e0/e2/e3 differ from each
+    // other only by their ids.
+    let body_of = |id: &str| {
+        let line = transcript
+            .iter()
+            .find(|l| l.contains(&format!("\"id\":\"{id}\"")))
+            .unwrap_or_else(|| panic!("no response for {id}"));
+        line.replace(&format!("\"id\":\"{id}\""), "\"id\":\"\"")
+    };
+    assert_eq!(body_of("e0"), body_of("e2"));
+    assert_eq!(body_of("e0"), body_of("e3"));
+    assert_ne!(
+        body_of("e0"),
+        body_of("e1"),
+        "different seeds, different artifacts"
+    );
+}
+
+/// A test back end whose requests block until the shared gate opens —
+/// the deterministic way to hold a shard's queue at capacity.
+struct GatedServer {
+    gate: Arc<(Mutex<bool>, Condvar)>,
+}
+
+impl GatedServer {
+    fn open(gate: &Arc<(Mutex<bool>, Condvar)>) {
+        let (lock, cvar) = &**gate;
+        *lock.lock().unwrap() = true;
+        cvar.notify_all();
+    }
+}
+
+impl LineServer for GatedServer {
+    fn serve_line(&self, line: &str, emit: &mut dyn FnMut(YieldResponse) -> bool) -> bool {
+        let (lock, cvar) = &*self.gate;
+        let mut open = lock.lock().unwrap();
+        while !*open {
+            open = cvar.wait(open).unwrap();
+        }
+        drop(open);
+        let id = Json::parse(line)
+            .map(|d| recover_id(&d))
+            .unwrap_or_default();
+        emit(YieldResponse::new(
+            id,
+            ResponseBody::Describe(cnfet_pipeline::ServiceInfo::default()),
+        ))
+    }
+}
+
+#[test]
+fn full_queue_sheds_with_machine_readable_overloaded() {
+    let gate = Arc::new((Mutex::new(false), Condvar::new()));
+    let router = ShardRouter::new(
+        RouterConfig {
+            shards: 1,
+            queue_depth: 1,
+            ..RouterConfig::default()
+        },
+        |_| GatedServer {
+            gate: Arc::clone(&gate),
+        },
+    );
+    let (client, responses) = Client::channel();
+    // With the gate closed, at most two requests can be absorbed (one
+    // blocked in the worker, one in the queue); everything else sheds.
+    let total = 20;
+    let admitted = (0..total)
+        .filter(|i| {
+            router.try_submit(
+                format!(r#"{{"schema":1,"id":"r{i}","body":"describe"}}"#),
+                &client,
+            )
+        })
+        .count();
+    assert!(admitted <= 2, "bounded queue absorbed {admitted} requests");
+    GatedServer::open(&gate);
+    let stats = router.shutdown();
+    drop(client);
+    assert_eq!(stats.shards[0].served, admitted as u64);
+    assert_eq!(stats.shards[0].shed, (total - admitted) as u64);
+    let shed: Vec<YieldResponse> = responses.iter().filter(|r| r.is_error()).collect();
+    assert_eq!(shed.len(), total - admitted);
+    for response in shed {
+        match &response.body {
+            ResponseBody::Error(e) => {
+                assert_eq!(e.code, ErrorCode::Overloaded { shard: 0 });
+                // The shed response still correlates to its request.
+                assert!(response.id.starts_with('r'), "id: {}", response.id);
+            }
+            other => panic!("expected overloaded error, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn disconnecting_mid_sweep_cancels_and_frees_the_shard() {
+    let router = ShardRouter::new(
+        RouterConfig {
+            shards: 1,
+            ..RouterConfig::default()
+        },
+        |_| YieldService::new(),
+    );
+    // A 24-scenario sweep: the client hangs up after the first streamed
+    // report, which must cancel the sweep rather than compute the rest.
+    let (victim, victim_rx) = Client::channel();
+    router.submit(
+        r#"{"schema":1,"id":"swp","body":{"sweep":{"grid":{"defaults":{"fast_design":true,"backend":"gaussian-sum","rho":"paper"},"axes":{"correlation":["none","growth","growth+aligned-layout"],"l_cnt_um":[120,140,160,180,200,220,240,260]}},"seed":1}}}"#,
+        &victim,
+    );
+    // Queue a second request behind the sweep for the same dead client:
+    // the worker must skip it without computing anything.
+    router.submit(r#"{"schema":1,"id":"after","body":"describe"}"#, &victim);
+    let first = victim_rx.recv().expect("first sweep report");
+    assert!(matches!(
+        first.body,
+        ResponseBody::SweepReport { index: 0, .. }
+    ));
+    victim.disconnect();
+    drop(victim_rx);
+
+    // A healthy client must still be served by the same (single) shard.
+    let (healthy, healthy_rx) = Client::channel();
+    router.submit(r#"{"schema":1,"id":"ok","body":"describe"}"#, &healthy);
+    let answer = healthy_rx.recv().expect("healthy client response");
+    assert_eq!(answer.id, "ok");
+    let stats = router.shutdown();
+    drop(healthy);
+    assert_eq!(
+        stats.shards[0].cancelled, 2,
+        "the aborted sweep and the skipped queued request: {stats:?}"
+    );
+    assert_eq!(stats.shards[0].served, 1);
+}
+
+#[test]
+fn router_stats_round_trip_the_wire() {
+    let (_, stats) = run_session(3);
+    let wire = stats.to_json().to_string_compact();
+    let back = RouterStats::from_json(&Json::parse(&wire).unwrap()).unwrap();
+    assert_eq!(back, stats);
+    assert!(RouterStats::from_json(&Json::parse(r#"{"warm_hits":1}"#).unwrap()).is_err());
+}
+
+#[test]
+fn shard_assignment_is_a_pure_function_of_the_id() {
+    for shards in [1, 2, 4, 16] {
+        for id in ["", "a", "c999-r1", "台-id"] {
+            assert_eq!(shard_for(id, shards), shard_for(id, shards));
+            assert!(shard_for(id, shards) < shards);
+        }
+    }
+}

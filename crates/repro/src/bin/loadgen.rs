@@ -1,0 +1,451 @@
+//! `loadgen` — closed-loop load generator for the `repro serve` daemon.
+//!
+//! Drives thousands of concurrent *logical* clients over one JSON-lines
+//! pipe: every client keeps exactly one request outstanding, sending its
+//! next request the moment the previous one completes (a closed loop, so
+//! offered load adapts to service capacity instead of overrunning it).
+//! The workload is a deterministic function of `--seed` — a fixed mix of
+//! `evaluate`, `describe`, `sweep`, `wafer`, and `co_opt` bodies drawn
+//! from small spec/seed pools (so the daemon's caches and warm tier see
+//! realistic repetition) — and the run emits one machine-readable JSON
+//! report: sustained req/s, p50/p95/p99/max latency, error counts by
+//! code, and the daemon's own shard stats (served/shed/cancelled,
+//! queue-depth high-water marks) recovered from its shutdown line.
+//!
+//! ```text
+//! loadgen --clients 1000 --requests 2 --seed 1 --fail-on-errors \
+//!         --out report.json -- target/release/repro serve --shards 4
+//! ```
+//!
+//! Exit status: `0` on success, `2` when a gate (`--fail-on-errors`,
+//! `--max-p99-ms`) is violated, `1` on operational failure (daemon died
+//! early, malformed responses). CI runs this against `--shards 4` and
+//! archives the report.
+
+use cnfet_pipeline::{Json, RouterStats};
+use cnt_stats::split_seed;
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::process::{Command, Stdio};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Parsed command line.
+struct Options {
+    clients: u64,
+    requests: u64,
+    seed: u64,
+    out: Option<String>,
+    max_p99_ms: Option<f64>,
+    fail_on_errors: bool,
+    daemon: Vec<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: loadgen [--clients <n>] [--requests <per-client>] [--seed <u64>] \
+         [--out <report.json>] [--max-p99-ms <ms>] [--fail-on-errors] -- <daemon cmd...>"
+    );
+    std::process::exit(1);
+}
+
+fn parse_options() -> Options {
+    let mut options = Options {
+        clients: 64,
+        requests: 4,
+        seed: 1,
+        out: None,
+        max_p99_ms: None,
+        fail_on_errors: false,
+        daemon: Vec::new(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("loadgen: {name} needs a value");
+                usage();
+            })
+        };
+        match arg.as_str() {
+            "--clients" => options.clients = parse_num(&value("--clients")),
+            "--requests" => options.requests = parse_num(&value("--requests")),
+            "--seed" => options.seed = parse_num(&value("--seed")),
+            "--out" => options.out = Some(value("--out")),
+            "--max-p99-ms" => {
+                let v = value("--max-p99-ms");
+                options.max_p99_ms = Some(v.parse().unwrap_or_else(|_| {
+                    eprintln!("loadgen: --max-p99-ms expects a number, got `{v}`");
+                    usage();
+                }));
+            }
+            "--fail-on-errors" => options.fail_on_errors = true,
+            "--" => {
+                options.daemon = args.collect();
+                break;
+            }
+            other => {
+                eprintln!("loadgen: unknown argument `{other}`");
+                usage();
+            }
+        }
+    }
+    if options.daemon.is_empty() {
+        eprintln!("loadgen: missing daemon command after `--`");
+        usage();
+    }
+    if options.clients == 0 || options.requests == 0 {
+        eprintln!("loadgen: --clients and --requests must be >= 1");
+        usage();
+    }
+    options
+}
+
+fn parse_num(v: &str) -> u64 {
+    v.parse().unwrap_or_else(|_| {
+        eprintln!("loadgen: expected an unsigned integer, got `{v}`");
+        usage();
+    })
+}
+
+/// The paper's 45-nm case-study base, shared by every generated body.
+const BASE_SPEC: &str = r#""corner":"aggressive","library":"nangate45","backend":"gaussian-sum","rho":"paper","fast_design":true"#;
+
+/// One generated request: the wire line, its kind label, and whether it
+/// streams (`sweep` terminates on `sweep_done`, not on the first body).
+struct GenRequest {
+    line: String,
+    kind: &'static str,
+    is_sweep: bool,
+}
+
+/// Deterministic request for `(client, req)` under `seed`: the mix and
+/// every spec parameter derive from `split_seed`, and the small pools
+/// (correlations, CNT lengths, seeds) give the daemon's caches realistic
+/// repetition across clients.
+fn generate(seed: u64, client: u64, req: u64) -> GenRequest {
+    let r = split_seed(split_seed(seed, client), req);
+    let id = format!("c{client}-r{req}");
+    let correlation = ["none", "growth", "growth+aligned-layout"][(r >> 8) as usize % 3];
+    let l_cnt_um = [150, 200, 250][(r >> 16) as usize % 3];
+    let request_seed = 1 + (r >> 24) % 4;
+    let (line, kind, is_sweep) = match r % 64 {
+        0 => (
+            format!(
+                r#"{{"schema":1,"id":"{id}","body":{{"co_opt":{{"spec":{{"name":"lg","base":{{{BASE_SPEC},"yield_target":0.9,"correlation":"growth+aligned-layout"}},"search":{{"l_cnt_um":{{"min":100,"max":200,"steps":2}}}},"objective":{{"w_min_weight":1.0,"area_weight":1.0}},"searcher":"grid"}},"seed":{request_seed}}}}}}}"#
+            ),
+            "co_opt",
+            false,
+        ),
+        1..=2 => (
+            format!(
+                r#"{{"schema":1,"id":"{id}","body":{{"wafer":{{"spec":{{"name":"lg","diameter_dies":8,"base":{{{BASE_SPEC},"yield_target":0.9,"correlation":"{correlation}"}},"fields":{{"density":{{"dist":{{"gaussian":{{"mean":1.0,"sd":0.05}}}}}}}}}},"seed":{request_seed}}}}}}}"#
+            ),
+            "wafer",
+            false,
+        ),
+        3..=6 => (
+            format!(
+                r#"{{"schema":1,"id":"{id}","body":{{"sweep":{{"grid":{{"name":"lg","defaults":{{{BASE_SPEC},"yield_target":0.9,"l_cnt_um":{l_cnt_um}}},"axes":{{"correlation":["none","growth","growth+aligned-layout"]}}}},"seed":{request_seed}}}}}}}"#
+            ),
+            "sweep",
+            true,
+        ),
+        7..=10 => (
+            format!(r#"{{"schema":1,"id":"{id}","body":"describe"}}"#),
+            "describe",
+            false,
+        ),
+        _ => (
+            format!(
+                r#"{{"schema":1,"id":"{id}","body":{{"evaluate":{{"spec":{{{BASE_SPEC},"correlation":"{correlation}","l_cnt_um":{l_cnt_um}}},"seed":{request_seed}}}}}}}"#
+            ),
+            "evaluate",
+            false,
+        ),
+    };
+    GenRequest {
+        line,
+        kind,
+        is_sweep,
+    }
+}
+
+/// One outstanding request.
+struct Pending {
+    start: Instant,
+    client: u64,
+    req: u64,
+    is_sweep: bool,
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((p / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn main() {
+    let options = parse_options();
+    let mut daemon = Command::new(&options.daemon[0])
+        .args(&options.daemon[1..])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap_or_else(|e| {
+            eprintln!("loadgen: failed to spawn `{}`: {e}", options.daemon[0]);
+            std::process::exit(1);
+        });
+    let stdin = Arc::new(Mutex::new(daemon.stdin.take()));
+    let stdout = daemon.stdout.take().expect("piped stdout");
+    let stderr = daemon.stderr.take().expect("piped stderr");
+
+    // Mirror daemon diagnostics and keep them for the final stats line.
+    let stderr_lines = std::thread::spawn(move || {
+        let mut lines = Vec::new();
+        for line in BufReader::new(stderr).lines().map_while(|l| l.ok()) {
+            eprintln!("[daemon] {line}");
+            lines.push(line);
+        }
+        lines
+    });
+
+    let pending: Arc<Mutex<HashMap<String, Pending>>> = Arc::new(Mutex::new(HashMap::new()));
+    let started = Instant::now();
+
+    // The reader is the closed loop's engine: every terminal response
+    // retires its request, records its latency, and (until the client's
+    // quota is spent) launches that client's next request. When the last
+    // request retires it closes the daemon's stdin, which triggers the
+    // daemon's drain-and-exit and in turn ends this thread at EOF.
+    let reader = {
+        let pending = Arc::clone(&pending);
+        let stdin = Arc::clone(&stdin);
+        let seed = options.seed;
+        let per_client = options.requests;
+        let mut remaining = options.clients * options.requests;
+        std::thread::spawn(move || {
+            let mut latencies: Vec<f64> = Vec::new();
+            let mut errors: HashMap<String, u64> = HashMap::new();
+            let mut kinds: HashMap<&'static str, u64> = HashMap::new();
+            let mut malformed = 0u64;
+            for line in BufReader::new(stdout).lines().map_while(|l| l.ok()) {
+                let Ok(doc) = Json::parse(&line) else {
+                    malformed += 1;
+                    continue;
+                };
+                let id = doc
+                    .get("id")
+                    .and_then(Json::as_str)
+                    .unwrap_or_default()
+                    .to_string();
+                let body = doc.get("body").and_then(Json::as_object);
+                let Some([(body_kind, payload)]) = body else {
+                    malformed += 1;
+                    continue;
+                };
+                let error_code = (body_kind == "error")
+                    .then(|| payload.get("code").and_then(Json::as_str))
+                    .flatten();
+                if let Some(code) = error_code {
+                    *errors.entry(code.to_string()).or_default() += 1;
+                }
+                // A sweep retires on its `sweep_done` terminator; inline
+                // scenario errors are counted above but keep it open. An
+                // `overloaded` shed is terminal for any kind: the request
+                // was never executed.
+                let shed = error_code == Some("overloaded");
+                let entry = {
+                    let mut map = pending.lock().expect("pending lock");
+                    let terminal = match map.get(&id) {
+                        Some(p) if p.is_sweep && !shed => body_kind == "sweep_done",
+                        Some(_) => body_kind != "sweep_report",
+                        None => false,
+                    };
+                    if terminal {
+                        map.remove(&id)
+                    } else {
+                        None
+                    }
+                };
+                let Some(done) = entry else { continue };
+                latencies.push(done.start.elapsed().as_secs_f64() * 1e3);
+                remaining -= 1;
+                if done.req + 1 < per_client {
+                    let next = generate(seed, done.client, done.req + 1);
+                    *kinds.entry(next.kind).or_default() += 1;
+                    let next_id = format!("c{}-r{}", done.client, done.req + 1);
+                    pending.lock().expect("pending lock").insert(
+                        next_id,
+                        Pending {
+                            start: Instant::now(),
+                            client: done.client,
+                            req: done.req + 1,
+                            is_sweep: next.is_sweep,
+                        },
+                    );
+                    let mut stdin = stdin.lock().expect("stdin lock");
+                    if let Some(pipe) = stdin.as_mut() {
+                        if writeln!(pipe, "{}", next.line)
+                            .and_then(|()| pipe.flush())
+                            .is_err()
+                        {
+                            *stdin = None; // daemon gone; EOF ends the loop
+                        }
+                    }
+                } else if remaining == 0 {
+                    // Last request retired: close stdin so the daemon
+                    // drains and exits.
+                    *stdin.lock().expect("stdin lock") = None;
+                }
+            }
+            (latencies, errors, kinds, malformed, remaining)
+        })
+    };
+
+    // Kick off every client's first request (the reader is already
+    // draining stdout, so this cannot deadlock on full pipes).
+    let mut kickoff_kinds: HashMap<&'static str, u64> = HashMap::new();
+    for client in 0..options.clients {
+        let first = generate(options.seed, client, 0);
+        *kickoff_kinds.entry(first.kind).or_default() += 1;
+        pending.lock().expect("pending lock").insert(
+            format!("c{client}-r0"),
+            Pending {
+                start: Instant::now(),
+                client,
+                req: 0,
+                is_sweep: first.is_sweep,
+            },
+        );
+        let mut stdin = stdin.lock().expect("stdin lock");
+        let Some(pipe) = stdin.as_mut() else { break };
+        if writeln!(pipe, "{}", first.line)
+            .and_then(|()| pipe.flush())
+            .is_err()
+        {
+            eprintln!("loadgen: daemon closed stdin during kickoff");
+            break;
+        }
+    }
+
+    let (mut latencies, errors, mut kinds, malformed, remaining) =
+        reader.join().expect("reader thread");
+    let elapsed = started.elapsed().as_secs_f64();
+    for (kind, count) in kickoff_kinds {
+        *kinds.entry(kind).or_default() += count;
+    }
+    let status = daemon.wait().expect("daemon wait");
+    let stderr_lines = stderr_lines.join().expect("stderr thread");
+
+    // The daemon's shutdown line carries its router stats:
+    //   repro serve: <reason> after <n> requests; stats {...}
+    let daemon_stats = stderr_lines
+        .iter()
+        .rev()
+        .find_map(|line| line.split_once("; stats ").map(|(_, json)| json))
+        .and_then(|json| Json::parse(json).ok())
+        .and_then(|doc| RouterStats::from_json(&doc).ok());
+
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let completed = latencies.len() as u64;
+    let total_errors: u64 = errors.values().sum();
+    let p99 = percentile(&latencies, 99.0);
+    let mut sorted_kinds: Vec<_> = kinds.into_iter().collect();
+    sorted_kinds.sort_unstable();
+    let mut sorted_errors: Vec<_> = errors.into_iter().collect();
+    sorted_errors.sort();
+    let report = Json::Obj(vec![
+        ("schema".into(), Json::Str("loadgen/1".into())),
+        ("clients".into(), Json::from_u64(options.clients)),
+        (
+            "requests_per_client".into(),
+            Json::from_u64(options.requests),
+        ),
+        ("seed".into(), Json::from_u64(options.seed)),
+        ("completed".into(), Json::from_u64(completed)),
+        ("unanswered".into(), Json::from_u64(remaining)),
+        ("malformed_lines".into(), Json::from_u64(malformed)),
+        (
+            "errors".into(),
+            Json::Obj(vec![
+                ("total".into(), Json::from_u64(total_errors)),
+                (
+                    "by_code".into(),
+                    Json::Obj(
+                        sorted_errors
+                            .into_iter()
+                            .map(|(code, n)| (code, Json::from_u64(n)))
+                            .collect(),
+                    ),
+                ),
+            ]),
+        ),
+        ("elapsed_s".into(), Json::Num(elapsed)),
+        (
+            "req_per_s".into(),
+            Json::Num(completed as f64 / elapsed.max(1e-9)),
+        ),
+        (
+            "latency_ms".into(),
+            Json::Obj(vec![
+                ("p50".into(), Json::Num(percentile(&latencies, 50.0))),
+                ("p95".into(), Json::Num(percentile(&latencies, 95.0))),
+                ("p99".into(), Json::Num(p99)),
+                (
+                    "max".into(),
+                    Json::Num(latencies.last().copied().unwrap_or(0.0)),
+                ),
+            ]),
+        ),
+        (
+            "kinds".into(),
+            Json::Obj(
+                sorted_kinds
+                    .into_iter()
+                    .map(|(kind, n)| (kind.to_string(), Json::from_u64(n)))
+                    .collect(),
+            ),
+        ),
+        (
+            "daemon_stats".into(),
+            daemon_stats
+                .as_ref()
+                .map(RouterStats::to_json)
+                .unwrap_or(Json::Null),
+        ),
+    ]);
+    let rendered = report.to_string_compact();
+    println!("{rendered}");
+    if let Some(path) = &options.out {
+        if let Err(e) = std::fs::write(path, format!("{rendered}\n")) {
+            eprintln!("loadgen: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    if !status.success() || remaining > 0 || malformed > 0 {
+        eprintln!(
+            "loadgen: operational failure (daemon status {status}, {remaining} unanswered, \
+             {malformed} malformed lines)"
+        );
+        std::process::exit(1);
+    }
+    let mut gate_failed = false;
+    if options.fail_on_errors && total_errors > 0 {
+        eprintln!("loadgen: gate violated — {total_errors} error response(s)");
+        gate_failed = true;
+    }
+    if let Some(max) = options.max_p99_ms {
+        if p99 > max {
+            eprintln!("loadgen: gate violated — p99 {p99:.1} ms > {max:.1} ms");
+            gate_failed = true;
+        }
+    }
+    if gate_failed {
+        std::process::exit(2);
+    }
+}

@@ -6,7 +6,8 @@
 //!                   [--backend <name-or-json>]
 //! cnfet-repro coopt <spec-file> [--fast] [--out-dir <path>] [--seed <u64>] [--workers <n>]
 //! cnfet-repro wafer <spec-file> [--fast] [--out-dir <path>] [--seed <u64>] [--workers <n>]
-//! cnfet-repro serve [--workers <n>] [--curve-cache <n>]
+//! cnfet-repro serve [--workers <n>] [--curve-cache <n>] [--shards <n>]
+//!                   [--queue-depth <n>] [--admission <block|shed>]
 //!
 //! experiments:
 //!   fig2-1    pF vs W for three processing corners (+ W_min anchors)
@@ -33,7 +34,12 @@
 //!                     object, e.g. '{"monte-carlo": {"rel_ci": 0.05}}'
 //!   --workers <n>     (sweep, coopt, wafer, serve) worker threads; wall-clock
 //!                     only, never results
-//!   --curve-cache <n> (serve) LRU capacity of the shared pF(W) curve cache
+//!   --curve-cache <n> (serve) LRU capacity of each shard's pF(W) curve cache
+//!   --shards <n>      (serve) service shards behind the deterministic router;
+//!                     wall-clock/interleaving only, never response bytes
+//!   --queue-depth <n> (serve) bound of each shard's admission queue
+//!   --admission <p>   (serve) full-queue policy: block (backpressure, default)
+//!                     or shed (machine-readable `overloaded` responses)
 //! ```
 //!
 //! Every experiment prints an ASCII rendition plus a paper-vs-measured
@@ -69,7 +75,8 @@ fn usage() {
          [--backend <name-or-json>]\n       \
          cnfet-repro coopt <spec-file> [--fast] [--out-dir <path>] [--seed <u64>] [--workers <n>]\n       \
          cnfet-repro wafer <spec-file> [--fast] [--out-dir <path>] [--seed <u64>] [--workers <n>]\n       \
-         cnfet-repro serve [--workers <n>] [--curve-cache <n>]"
+         cnfet-repro serve [--workers <n>] [--curve-cache <n>] [--shards <n>] \
+         [--queue-depth <n>] [--admission <block|shed>]"
     );
 }
 
@@ -81,6 +88,9 @@ struct Cli {
     workers: Option<usize>,
     backend: Option<String>,
     curve_cache: Option<usize>,
+    shards: Option<usize>,
+    queue_depth: Option<usize>,
+    admission: Option<String>,
 }
 
 /// Parse `args` (flags may appear anywhere; `--flag value` and
@@ -94,6 +104,9 @@ fn parse_cli(args: &[String]) -> common::Result<Cli> {
         workers: None,
         backend: None,
         curve_cache: None,
+        shards: None,
+        queue_depth: None,
+        admission: None,
     };
     let mut iter = args.iter().peekable();
     while let Some(arg) = iter.next() {
@@ -133,6 +146,21 @@ fn parse_cli(args: &[String]) -> common::Result<Cli> {
                     ))
                 })?);
             }
+            "--shards" => {
+                let v = value("--shards")?;
+                cli.shards = Some(v.parse().map_err(|_| {
+                    ReproError::Usage(format!("--shards expects a positive integer, got `{v}`"))
+                })?);
+            }
+            "--queue-depth" => {
+                let v = value("--queue-depth")?;
+                cli.queue_depth = Some(v.parse().map_err(|_| {
+                    ReproError::Usage(format!(
+                        "--queue-depth expects a positive integer, got `{v}`"
+                    ))
+                })?);
+            }
+            "--admission" => cli.admission = Some(value("--admission")?),
             f if f.starts_with("--") => {
                 return Err(ReproError::Usage(format!("unknown flag `{f}`")));
             }
@@ -154,20 +182,28 @@ fn dispatch(cli: &Cli) -> common::Result<()> {
     if which == "serve" {
         if cli.backend.is_some() || cli.fast || cli.seed.is_some() || cli.out_dir.is_some() {
             return Err(ReproError::Usage(
-                "serve takes only --workers and --curve-cache; seeds and specs \
-                 arrive per request"
+                "serve takes only --workers, --curve-cache, --shards, --queue-depth, \
+                 and --admission; seeds and specs arrive per request"
                     .into(),
             ));
         }
         return serve::run(&serve::ServeOptions {
             workers: cli.workers,
             curve_cache: cli.curve_cache,
+            shards: cli.shards,
+            queue_depth: cli.queue_depth,
+            admission: cli.admission.clone(),
         });
     }
 
-    if cli.curve_cache.is_some() {
+    if cli.curve_cache.is_some() || cli.shards.is_some() || cli.queue_depth.is_some() {
         return Err(ReproError::Usage(
-            "--curve-cache only applies to the serve subcommand".into(),
+            "--curve-cache/--shards/--queue-depth only apply to the serve subcommand".into(),
+        ));
+    }
+    if cli.admission.is_some() {
+        return Err(ReproError::Usage(
+            "--admission only applies to the serve subcommand".into(),
         ));
     }
 

@@ -3,28 +3,41 @@
 //! Reads one [`cnfet_pipeline::YieldRequest`] per stdin line and writes
 //! one or more single-line [`cnfet_pipeline::YieldResponse`]s to stdout
 //! (sweeps stream one `sweep_report` per scenario, in index order, then a
-//! `sweep_done`). The daemon runs the co-optimization front end
-//! ([`cnfet_opt::OptService`]), so `co_opt` request bodies are executed
-//! in-process rather than declined. stdout carries *only* JSON lines —
-//! all diagnostics go to stderr — so external co-optimizers can pipe the
-//! daemon directly. The process stays up across malformed input (every
-//! problem becomes a structured error response) and exits 0 on EOF.
+//! `sweep_done`). Requests are answered by `--shards N` co-optimization
+//! front ends ([`cnfet_opt::OptService`]) behind the deterministic
+//! [`cnfet_pipeline::ShardRouter`]: the shard is a pure hash of the
+//! request id, every shard owns its own bounded caches, and a shared warm
+//! tier answers repeated single-artifact requests without recomputing.
+//! stdout carries *only* JSON lines — all diagnostics go to stderr — so
+//! external co-optimizers can pipe the daemon directly. The process stays
+//! up across malformed input (every problem becomes a structured error
+//! response) and drains in-flight work before exiting on EOF, SIGTERM, or
+//! a client hang-up (broken pipe).
 //!
 //! ```text
 //! printf '%s\n' \
 //!   '{"schema":1,"id":"cap","body":"describe"}' \
 //!   '{"schema":1,"id":"w45","body":{"evaluate":{"spec":{"fast_design":true}}}}' \
-//!   | repro serve
+//!   | repro serve --shards 4
 //! ```
 //!
 //! Responses are deterministic: repeated identical requests — within one
 //! session (warm caches) or across sessions — serialize byte-identically,
-//! and `--workers` only changes wall-clock time, never bytes.
+//! and `--workers` / `--shards` only change wall-clock time and
+//! interleaving across ids, never bytes. Sorting a transcript makes it
+//! byte-comparable across shard counts (CI pins `--shards 1` vs `4`).
+//!
+//! With `--admission shed`, a full shard queue answers immediately with a
+//! machine-readable `overloaded` error instead of blocking the intake
+//! loop — the back end for untrusted many-client front ends. The default
+//! (`block`) applies backpressure to stdin, which can never shed.
 
 use crate::common::{ReproError, Result};
 use cnfet_opt::OptService;
-use cnfet_pipeline::ServiceConfig;
+use cnfet_pipeline::{Client, RouterConfig, ServiceConfig, ShardRouter};
 use std::io::{BufRead, Write};
+use std::sync::mpsc;
+use std::time::Duration;
 
 /// Configuration of one daemon session, parsed from the CLI.
 pub struct ServeOptions {
@@ -32,9 +45,63 @@ pub struct ServeOptions {
     pub workers: Option<usize>,
     /// Curve-cache capacity override (`--curve-cache`).
     pub curve_cache: Option<usize>,
+    /// Number of service shards (`--shards`, default 1).
+    pub shards: Option<usize>,
+    /// Bound of each shard's admission queue (`--queue-depth`).
+    pub queue_depth: Option<usize>,
+    /// Admission policy: `block` (backpressure, default) or `shed`
+    /// (answer `overloaded` when the shard queue is full).
+    pub admission: Option<String>,
 }
 
-/// Run the daemon loop over stdin/stdout until EOF.
+/// Whether a full shard queue blocks the intake loop or sheds the request.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Admission {
+    Block,
+    Shed,
+}
+
+/// SIGTERM-triggered drain, without a signal-handling dependency: the
+/// handler only stores to a static atomic (async-signal-safe), and the
+/// intake loop polls the flag between lines.
+#[cfg(unix)]
+mod sigterm {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static FLAG: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_sigterm(_signum: i32) {
+        FLAG.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    const SIGTERM: i32 = 15;
+
+    pub fn install() {
+        unsafe {
+            signal(SIGTERM, on_sigterm);
+        }
+    }
+
+    pub fn received() -> bool {
+        FLAG.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(not(unix))]
+mod sigterm {
+    pub fn install() {}
+
+    pub fn received() -> bool {
+        false
+    }
+}
+
+/// Run the daemon loop over stdin/stdout until EOF, SIGTERM, or client
+/// hang-up — always draining in-flight responses before returning.
 pub fn run(options: &ServeOptions) -> Result<()> {
     let mut config = ServiceConfig::default();
     if let Some(workers) = options.workers {
@@ -49,44 +116,122 @@ pub fn run(options: &ServeOptions) -> Result<()> {
         }
         config.cache.curve_capacity = capacity;
     }
-    let service = OptService::with_config(config);
+    let mut router_config = RouterConfig::default();
+    if let Some(shards) = options.shards {
+        if shards == 0 {
+            return Err(ReproError::Usage("--shards must be >= 1".into()));
+        }
+        router_config.shards = shards;
+    }
+    if let Some(depth) = options.queue_depth {
+        if depth == 0 {
+            return Err(ReproError::Usage("--queue-depth must be >= 1".into()));
+        }
+        router_config.queue_depth = depth;
+    }
+    let admission = match options.admission.as_deref() {
+        None | Some("block") => Admission::Block,
+        Some("shed") => Admission::Shed,
+        Some(other) => {
+            return Err(ReproError::Usage(format!(
+                "--admission must be `block` or `shed`, got `{other}`"
+            )));
+        }
+    };
+    sigterm::install();
+
+    let router = ShardRouter::new(router_config, |_| OptService::with_config(config));
     eprintln!(
-        "repro serve: yield service up (schema 1 incl. co_opt, {} sweep workers, \
-         {} curve slots); one JSON request per line, ctrl-d to exit",
-        config.sweep_workers, config.cache.curve_capacity
+        "repro serve: yield service up (schema 1 incl. co_opt, {} shard(s), queue depth {}, \
+         {} sweep workers, {} curve slots/shard); one JSON request per line, ctrl-d to exit",
+        router_config.shards,
+        router_config.queue_depth,
+        config.sweep_workers,
+        config.cache.curve_capacity
     );
 
-    let stdin = std::io::stdin();
-    let stdout = std::io::stdout();
-    let mut out = stdout.lock();
-    let mut served = 0u64;
-    for line in stdin.lock().lines() {
-        let line = line?;
-        if line.trim().is_empty() {
-            continue;
-        }
-        let mut io_error: Option<std::io::Error> = None;
-        // Write + flush each response as it is produced, so sweep results
-        // stream to the client while later scenarios still compute.
-        service.handle_line(&line, &mut |response| {
-            if io_error.is_some() {
+    let (client, responses) = Client::channel();
+
+    // Writer: serialize responses to stdout in channel order, flushing
+    // each so sweep results stream while later scenarios still compute. A
+    // broken pipe means the client hung up — exiting drops the receiver,
+    // which latches disconnection (and cancels in-flight sweeps) at the
+    // next emit; `hung_up` lets the intake loop notice even when idle.
+    // The writer must NOT hold a `Client` clone: its sender half would
+    // keep the response channel open and the writer would never see
+    // end-of-stream at shutdown.
+    let hung_up = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let writer = {
+        let hung_up = std::sync::Arc::clone(&hung_up);
+        std::thread::spawn(move || -> Result<()> {
+            let mut out = std::io::stdout().lock();
+            for response in responses {
+                let emit = writeln!(out, "{}", response.to_json().to_string_compact())
+                    .and_then(|()| out.flush());
+                if let Err(e) = emit {
+                    hung_up.store(true, std::sync::atomic::Ordering::Release);
+                    if e.kind() == std::io::ErrorKind::BrokenPipe {
+                        return Ok(());
+                    }
+                    return Err(e.into());
+                }
+            }
+            Ok(())
+        })
+    };
+
+    // Reader: stdin lines into a small bounded channel, so the intake
+    // loop below can interleave line intake with SIGTERM/hang-up polls.
+    // Detached by design — a reader blocked on a quiet stdin must not
+    // delay a drain-and-exit.
+    let (line_tx, line_rx) = mpsc::sync_channel::<std::io::Result<String>>(64);
+    std::thread::spawn(move || {
+        for line in std::io::stdin().lock().lines() {
+            if line_tx.send(line).is_err() {
                 return;
             }
-            let emit = writeln!(out, "{}", response.to_json().to_string_compact())
-                .and_then(|()| out.flush());
-            if let Err(e) = emit {
-                io_error = Some(e);
-            }
-        });
-        if let Some(e) = io_error {
-            // A broken pipe means the client hung up: a clean shutdown.
-            if e.kind() == std::io::ErrorKind::BrokenPipe {
-                return Ok(());
-            }
-            return Err(e.into());
         }
-        served += 1;
-    }
-    eprintln!("repro serve: eof after {served} requests, shutting down");
-    Ok(())
+    });
+
+    let mut accepted = 0u64;
+    let reason = loop {
+        if sigterm::received() {
+            break "sigterm";
+        }
+        if !client.is_connected() || hung_up.load(std::sync::atomic::Ordering::Acquire) {
+            client.disconnect();
+            break "client hang-up";
+        }
+        match line_rx.recv_timeout(Duration::from_millis(25)) {
+            Ok(Ok(line)) => {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                match admission {
+                    Admission::Block => router.submit(line, &client),
+                    Admission::Shed => {
+                        router.try_submit(line, &client);
+                    }
+                }
+                accepted += 1;
+            }
+            Ok(Err(e)) => return Err(e.into()),
+            Err(mpsc::RecvTimeoutError::Timeout) => continue,
+            Err(mpsc::RecvTimeoutError::Disconnected) => break "eof",
+        }
+    };
+
+    // Drain: stop admitting, let every queued/in-flight request finish
+    // (the writer keeps delivering concurrently), then close the response
+    // channel so the writer exits once it has flushed everything.
+    let stats = router.shutdown();
+    drop(client);
+    let writer_result = writer
+        .join()
+        .unwrap_or_else(|_| Err(ReproError::Usage("response writer panicked".into())));
+    eprintln!(
+        "repro serve: {reason} after {accepted} requests; stats {}",
+        stats.to_json().to_string_compact()
+    );
+    writer_result
 }

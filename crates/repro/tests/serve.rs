@@ -133,6 +133,108 @@ fn serve_survives_garbage_and_answers_structured_errors() {
 }
 
 #[test]
+fn serve_shard_count_never_changes_bytes() {
+    // The committed 50-request session CI replays: shard count may change
+    // the interleaving across ids, never the bytes — sorting the
+    // transcript makes the two runs comparable.
+    let session = std::fs::read_to_string(
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../../examples/serve/determinism_session.jsonl"),
+    )
+    .expect("committed determinism session");
+    let sorted = |args: &[&str]| {
+        let mut lines: Vec<String> = serve_session(args, &session)
+            .lines()
+            .map(str::to_string)
+            .collect();
+        lines.sort();
+        lines
+    };
+    let one = sorted(&["--shards", "1"]);
+    let four = sorted(&["--shards", "4", "--queue-depth", "8"]);
+    assert!(one.len() >= 50, "50 requests produce >= 50 responses");
+    assert_eq!(one, four, "shard count changed response bytes");
+}
+
+#[test]
+fn serve_drains_in_flight_work_on_sigterm() {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["serve", "--shards", "2"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn repro serve");
+    // Keep stdin open for the whole test: the exit below must be the
+    // SIGTERM drain, not the EOF path.
+    let mut stdin = child.stdin.take().expect("stdin piped");
+    stdin
+        .write_all(
+            concat!(
+                r#"{"schema":1,"id":"swp","body":{"sweep":{"grid":{"defaults":{"fast_design":true,"backend":"gaussian-sum","rho":"paper"},"axes":{"correlation":["none","growth","growth+aligned-layout"],"l_cnt_um":[120,140,160,180,200,220,240,260]}},"seed":1}}}"#,
+                "\n"
+            )
+            .as_bytes(),
+        )
+        .expect("write sweep request");
+    let mut reader = std::io::BufReader::new(child.stdout.take().expect("stdout piped"));
+    let mut first = String::new();
+    std::io::BufRead::read_line(&mut reader, &mut first).expect("first sweep report");
+    assert!(first.contains(r#""index":0"#), "first line: {first}");
+    // SIGTERM mid-sweep: the daemon must finish the 24-scenario sweep,
+    // flush every response, and only then exit cleanly.
+    let kill = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("send SIGTERM");
+    assert!(kill.success());
+    let mut rest = String::new();
+    std::io::Read::read_to_string(&mut reader, &mut rest).expect("drained responses");
+    let last = rest.lines().last().expect("drained output ends the stream");
+    assert!(
+        last.contains(r#""sweep_done":{"total":24,"failed":0}"#),
+        "sweep must complete before exit; last line: {last}"
+    );
+    let status = child.wait().expect("daemon exits");
+    assert!(status.success(), "SIGTERM drain must exit 0");
+    let mut stderr = String::new();
+    std::io::Read::read_to_string(child.stderr.as_mut().expect("stderr piped"), &mut stderr)
+        .expect("read stderr");
+    assert!(stderr.contains("sigterm"), "stderr: {stderr}");
+    drop(stdin);
+}
+
+#[test]
+fn serve_validates_router_flags() {
+    let fails_with = |args: &[&str], needle: &str| {
+        let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+            .args(args)
+            .output()
+            .expect("spawn repro");
+        assert!(!out.status.success(), "{args:?} must fail");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains(needle), "{args:?} stderr: {stderr}");
+    };
+    fails_with(&["serve", "--shards", "0"], "--shards must be >= 1");
+    fails_with(
+        &["serve", "--queue-depth", "0"],
+        "--queue-depth must be >= 1",
+    );
+    fails_with(
+        &["serve", "--admission", "bogus"],
+        "--admission must be `block` or `shed`",
+    );
+    fails_with(
+        &["fig2-1", "--shards", "2"],
+        "only apply to the serve subcommand",
+    );
+    fails_with(
+        &["fig2-1", "--admission", "shed"],
+        "only applies to the serve subcommand",
+    );
+}
+
+#[test]
 fn serve_rejects_flags_that_belong_to_experiments() {
     let out = Command::new(env!("CARGO_BIN_EXE_repro"))
         .args(["serve", "--seed", "3"])
