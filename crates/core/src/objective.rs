@@ -33,6 +33,12 @@ pub struct CandidateMetrics {
     pub p_req: f64,
     /// The achieved `pF(W_min)` (≤ `p_req` for a converged solve).
     pub p_at_w_min: f64,
+    /// Area multiplier charged by any redundancy scheme (1 when no
+    /// redundancy is in play).
+    pub area_overhead: f64,
+    /// Chip-yield shortfall `max(0, target − achieved)` — positive only
+    /// for candidates whose fault model made the target infeasible.
+    pub yield_shortfall: f64,
 }
 
 /// Weights of the scalarized co-optimization objective.
@@ -41,8 +47,9 @@ pub struct CandidateMetrics {
 ///
 /// ```text
 /// cost = w_min_weight · (W_min / w_ref_nm)
-///      + area_weight  · upsizing_penalty
+///      + area_weight  · ((1 + upsizing_penalty) · area_overhead − 1)
 ///      − margin_weight · log10(p_req / pF(W_min))
+///      + shortfall_weight · yield_shortfall
 /// ```
 ///
 /// All terms are dimensionless. `w_ref_nm` normalizes `W_min` so the
@@ -50,27 +57,37 @@ pub struct CandidateMetrics {
 /// uncorrelated threshold is the natural reference). A positive
 /// `margin_weight` *rewards* failure-budget headroom (the margin term
 /// enters negatively), which prefers candidates whose solve landed
-/// comfortably below the requirement.
+/// comfortably below the requirement. The area term charges redundancy
+/// silicon and upsizing on the same scale — with `area_overhead = 1`
+/// (no redundancy) it reduces exactly to the historical
+/// `area_weight · upsizing_penalty`. The shortfall term penalizes
+/// candidates that missed the yield target (only the fault model can
+/// produce those; fault-free solves always meet it).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CostWeights {
     /// Weight of the normalized `W_min` term.
     pub w_min_weight: f64,
-    /// Weight of the upsizing-penalty term.
+    /// Weight of the combined area term (upsizing × redundancy).
     pub area_weight: f64,
     /// Weight of the failure-budget-margin reward term.
     pub margin_weight: f64,
+    /// Weight of the yield-shortfall penalty term.
+    pub shortfall_weight: f64,
     /// Reference width (nm) normalizing the `W_min` term.
     pub w_ref_nm: f64,
 }
 
 impl Default for CostWeights {
-    /// Equal weight on normalized `W_min` and the upsizing penalty, no
-    /// margin reward, referenced to the paper's 155 nm threshold.
+    /// Equal weight on normalized `W_min` and the area term, no margin
+    /// reward, a strong yield-shortfall penalty (so infeasible fault
+    /// candidates rank below every feasible one by default), referenced
+    /// to the paper's 155 nm threshold.
     fn default() -> Self {
         Self {
             w_min_weight: 1.0,
             area_weight: 1.0,
             margin_weight: 0.0,
+            shortfall_weight: 10.0,
             w_ref_nm: crate::paper::WMIN_UNCORRELATED_NM,
         }
     }
@@ -88,6 +105,7 @@ impl CostWeights {
             ("w_min_weight", self.w_min_weight),
             ("area_weight", self.area_weight),
             ("margin_weight", self.margin_weight),
+            ("shortfall_weight", self.shortfall_weight),
         ] {
             if !(v.is_finite() && v >= 0.0) {
                 return Err(CoreError::InvalidParameter {
@@ -126,8 +144,17 @@ impl CostWeights {
         } else {
             0.0
         };
-        self.w_min_weight * (m.w_min_nm / self.w_ref_nm) + self.area_weight * m.upsizing_penalty
+        // With no redundancy (overhead = 1) this is exactly the historical
+        // `area_weight · upsizing_penalty` — fault-free candidates score
+        // byte-identically to every prior release.
+        let area = if m.area_overhead == 1.0 {
+            m.upsizing_penalty
+        } else {
+            (1.0 + m.upsizing_penalty) * m.area_overhead - 1.0
+        };
+        self.w_min_weight * (m.w_min_nm / self.w_ref_nm) + self.area_weight * area
             - self.margin_weight * margin
+            + self.shortfall_weight * m.yield_shortfall.max(0.0)
     }
 }
 
@@ -141,6 +168,8 @@ mod tests {
             upsizing_penalty: penalty,
             p_req: 1e-6,
             p_at_w_min: 1e-7,
+            area_overhead: 1.0,
+            yield_shortfall: 0.0,
         }
     }
 
@@ -180,6 +209,38 @@ mod tests {
                 ..metrics(120.0, 0.05)
             })
         );
+    }
+
+    #[test]
+    fn redundancy_area_and_shortfall_terms() {
+        let w = CostWeights::default();
+        // Overhead = 1 reduces exactly to the historical area term.
+        assert_eq!(
+            w.cost(&metrics(155.0, 0.11)),
+            w.w_min_weight * (155.0 / w.w_ref_nm) + w.area_weight * 0.11
+        );
+        // Redundancy silicon is charged multiplicatively with upsizing.
+        let tmr = CandidateMetrics {
+            area_overhead: 3.0,
+            ..metrics(155.0, 0.11)
+        };
+        let expected_area = (1.0 + 0.11) * 3.0 - 1.0;
+        assert!(
+            (w.cost(&tmr) - w.cost(&metrics(155.0, 0.11)) - w.area_weight * (expected_area - 0.11))
+                .abs()
+                < 1e-12
+        );
+        // A yield shortfall is penalized; deeper shortfalls cost more.
+        let missed = CandidateMetrics {
+            yield_shortfall: 0.05,
+            ..metrics(155.0, 0.11)
+        };
+        assert!(w.cost(&missed) > w.cost(&metrics(155.0, 0.11)));
+        let worse = CandidateMetrics {
+            yield_shortfall: 0.2,
+            ..metrics(155.0, 0.11)
+        };
+        assert!(w.cost(&worse) > w.cost(&missed));
     }
 
     #[test]

@@ -1,0 +1,110 @@
+//! # cnfet-fault
+//!
+//! s-CNT purity defects and redundancy-aware yield recovery — the
+//! fault-tolerance workload axis the source paper could not ask about.
+//!
+//! The DAC 2010 paper treats every CNT as semiconducting once the
+//! metallic ones are etched, so the only failure mode is the *open*
+//! (CNT-count) failure its correlation idea relaxes. Two related lines of
+//! work open the other half of the trade space:
+//!
+//! * **Purity** (Islam et al., high-yield s-CNT fabrication): a fraction
+//!   `1 − purity` of the CNTs under a gate are metallic. They either
+//!   **short** the transistor (they conduct regardless of gate bias) or
+//!   are **removed** by a purification step — which thins the CNT count
+//!   and feeds the paper's existing open-failure path. [`purity`] models
+//!   both.
+//! * **Redundancy** (Lu et al., CNT-FPGA testing and fault tolerance):
+//!   architectural spares recover yield from imperfect cells — TMR
+//!   voting, spare units, and repairable tiles with imperfect test
+//!   coverage. [`redundancy`] is the composable scheme algebra: exact
+//!   log-space k-of-n tails where closed-form, the adaptive Monte-Carlo
+//!   driver of `cnfet-sim` otherwise, byte-deterministic for any worker
+//!   count either way.
+//!
+//! Together they let the co-optimizer trade *processing* spend (purity,
+//! CNT correlation length) against *architecture* spend (redundant area)
+//! at a fixed chip-yield target.
+//!
+//! ## Example
+//!
+//! ```
+//! use cnfet_fault::purity::short_probability;
+//! use cnfet_fault::redundancy::RedundancyScheme;
+//!
+//! # fn main() -> cnfet_fault::Result<()> {
+//! // ~30 CNTs under a gate at 99.9999 % purity: ~3e-5 short probability.
+//! let p_short = short_probability(0.999_999, 30.0)?;
+//! assert!((p_short - 3e-5).abs() / 3e-5 < 0.01);
+//!
+//! // A repairable-tile fabric tolerates a far leakier cell than raw
+//! // yield does: the per-cell budget grows by orders of magnitude.
+//! let none = RedundancyScheme::None.required_p_cell(0.9, 1e8)?;
+//! let tiles = RedundancyScheme::RepairableTile {
+//!     tiles: 64,
+//!     spare_tiles: 8,
+//!     test_coverage: 0.99,
+//! };
+//! let repaired = tiles.required_p_cell(0.9, 1e8)?;
+//! assert!(repaired > 10.0 * none);
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod purity;
+pub mod redundancy;
+
+pub use purity::{short_probability, PurityMode};
+pub use redundancy::{ComposeMethod, ComposeOutcome, McFallback, RedundancyScheme};
+
+use std::error::Error;
+use std::fmt;
+
+/// Error type of the fault subsystem.
+#[derive(Debug)]
+pub enum FaultError {
+    /// A parameter was outside its valid domain.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+        /// Human-readable constraint.
+        constraint: &'static str,
+    },
+    /// The adaptive Monte-Carlo fallback failed.
+    Mc(cnfet_sim::SimError),
+}
+
+impl fmt::Display for FaultError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultError::InvalidParameter {
+                name,
+                value,
+                constraint,
+            } => write!(f, "invalid {name} = {value}: {constraint}"),
+            FaultError::Mc(e) => write!(f, "redundancy MC fallback: {e}"),
+        }
+    }
+}
+
+impl Error for FaultError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FaultError::Mc(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<cnfet_sim::SimError> for FaultError {
+    fn from(e: cnfet_sim::SimError) -> Self {
+        FaultError::Mc(e)
+    }
+}
+
+/// Result alias of the fault subsystem.
+pub type Result<T> = std::result::Result<T, FaultError>;

@@ -1,0 +1,143 @@
+//! The s-CNT purity defect model.
+//!
+//! A growth process of purity `p ∈ (0, 1]` leaves a fraction `1 − p` of
+//! CNTs metallic. What a metallic CNT does to the transistor above it
+//! depends on the processing flow, captured by [`PurityMode`]:
+//!
+//! * [`PurityMode::Short`] — the metallic CNT stays and conducts
+//!   regardless of gate bias. One metallic CNT anywhere under the gate
+//!   shorts the device, so with an expected `N̄(W)` CNTs under a gate of
+//!   width `W` the short probability is `1 − p^N̄(W)`
+//!   ([`short_probability`]). Shorts are *per-device* defects: unlike
+//!   CNT-count opens they are **not** relaxed by spatial correlation,
+//!   and widening the device makes them *worse* (more CNTs, more
+//!   chances) — the opposite pull of the open-failure path, which is
+//!   what makes the purity × upsizing trade-off non-trivial.
+//! * [`PurityMode::Removal`] — a purification step (e.g. selective
+//!   etching / sorting) removes the metallic CNTs instead. The device
+//!   never shorts, but the removal thins the CNT count, feeding the
+//!   paper's existing *open* (count) failure path: the effective
+//!   metallic fraction handed to the processing corner becomes `1 − p`.
+
+use crate::{FaultError, Result};
+
+/// How metallic CNTs manifest electrically. See the module docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PurityMode {
+    /// Metallic CNTs stay and short the device.
+    Short,
+    /// Metallic CNTs are removed, thinning the CNT count (the existing
+    /// open-failure path).
+    Removal,
+}
+
+impl PurityMode {
+    /// Canonical mode names, in declaration order. The JSON layer and
+    /// `describe` enumeration both derive from this one constant.
+    pub const KINDS: [&'static str; 2] = ["short", "removal"];
+
+    /// The canonical name of this mode.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PurityMode::Short => Self::KINDS[0],
+            PurityMode::Removal => Self::KINDS[1],
+        }
+    }
+
+    /// Parse a canonical mode name.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "short" => Some(PurityMode::Short),
+            "removal" => Some(PurityMode::Removal),
+            _ => None,
+        }
+    }
+}
+
+/// Per-device short probability `1 − purity^mean_count`, evaluated as
+/// `−expm1(mean_count · ln1p(purity − 1))` so that purities within
+/// `1e-15` of 1 keep full relative precision (the chip-scale regime:
+/// useful purities are `1 − 1e-5 … 1 − 1e-12`).
+///
+/// # Errors
+///
+/// [`FaultError::InvalidParameter`] unless `purity ∈ (0, 1]` and
+/// `mean_count` is finite and `≥ 0`.
+///
+/// ```
+/// use cnfet_fault::purity::short_probability;
+/// // Perfect purity never shorts, regardless of device width.
+/// assert_eq!(short_probability(1.0, 1e9).unwrap(), 0.0);
+/// // Tiny impurity × many CNTs ≈ impurity · count.
+/// let p = short_probability(1.0 - 1e-9, 25.0).unwrap();
+/// assert!((p - 25e-9).abs() / 25e-9 < 1e-6);
+/// ```
+pub fn short_probability(purity: f64, mean_count: f64) -> Result<f64> {
+    if !(purity > 0.0 && purity <= 1.0) {
+        return Err(FaultError::InvalidParameter {
+            name: "purity",
+            value: purity,
+            constraint: "must be in (0, 1]",
+        });
+    }
+    if !(mean_count.is_finite() && mean_count >= 0.0) {
+        return Err(FaultError::InvalidParameter {
+            name: "mean_count",
+            value: mean_count,
+            constraint: "must be finite and >= 0",
+        });
+    }
+    Ok(-((mean_count * (purity - 1.0).ln_1p()).exp_m1()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn modes_round_trip_their_names() {
+        for kind in PurityMode::KINDS {
+            let mode = PurityMode::parse(kind).unwrap();
+            assert_eq!(mode.name(), kind);
+        }
+        assert_eq!(PurityMode::parse("shortt"), None);
+    }
+
+    #[test]
+    fn short_probability_limits() {
+        assert_eq!(short_probability(1.0, 30.0).unwrap(), 0.0);
+        assert_eq!(short_probability(0.5, 0.0).unwrap(), 0.0);
+        // One CNT at purity p: short probability exactly 1 − p.
+        let p = short_probability(0.9, 1.0).unwrap();
+        assert!((p - 0.1).abs() < 1e-12, "{p}");
+        // Monotone: more CNTs, more shorts; lower purity, more shorts.
+        let a = short_probability(0.999, 10.0).unwrap();
+        let b = short_probability(0.999, 20.0).unwrap();
+        let c = short_probability(0.99, 10.0).unwrap();
+        assert!(a < b && a < c);
+    }
+
+    #[test]
+    fn short_probability_keeps_tail_precision() {
+        // purity = 1 − 1e-12, N = 25: p_short ≈ 25 × impurity with full
+        // relative precision (naive 1 − powf would keep only ~4
+        // significant digits at this scale). Compare against the actual
+        // rounded impurity of the f64 input.
+        let purity = 1.0 - 1e-12_f64;
+        let impurity = 1.0 - purity;
+        let p = short_probability(purity, 25.0).unwrap();
+        assert!(
+            (p - 25.0 * impurity).abs() / (25.0 * impurity) < 1e-9,
+            "{p:e}"
+        );
+    }
+
+    #[test]
+    fn rejects_bad_domains() {
+        assert!(short_probability(0.0, 10.0).is_err());
+        assert!(short_probability(1.1, 10.0).is_err());
+        assert!(short_probability(f64::NAN, 10.0).is_err());
+        assert!(short_probability(0.9, -1.0).is_err());
+        assert!(short_probability(0.9, f64::INFINITY).is_err());
+    }
+}

@@ -1,0 +1,664 @@
+//! The composable redundancy-scheme algebra.
+//!
+//! A [`RedundancyScheme`] maps a raw per-cell failure probability `p`
+//! (opens + shorts combined) over a circuit of `M` cells to the
+//! *effective* circuit yield after architectural recovery. Every scheme
+//! has an exact closed form — log-space k-of-n binomial tails via
+//! [`cnt_stats::special::binomial_tail_le`] — up to
+//! [`EXACT_TERM_LIMIT`] tail terms; beyond that, [`RedundancyScheme::compose`]
+//! falls back to the adaptive Monte-Carlo driver of `cnfet-sim`
+//! (geometric-skip binomial sampling, so a trial costs `O(n·q)` expected
+//! work, not `O(n)`), which is byte-deterministic for any worker count.
+//!
+//! The inverse direction, [`RedundancyScheme::required_p_cell`], is what
+//! the `W_min` solver consumes: the largest per-cell failure budget that
+//! still meets a chip-yield target under the scheme. It always uses the
+//! exact tail (deterministic bisection), and therefore refuses schemes
+//! beyond [`INVERT_TERM_LIMIT`] terms.
+
+use crate::{FaultError, Result};
+use cnfet_sim::McPrecision;
+use cnt_stats::special::binomial_tail_le;
+use rand::Rng;
+
+/// Largest number of exact tail terms [`RedundancyScheme::compose`]
+/// evaluates before switching to the Monte-Carlo fallback.
+pub const EXACT_TERM_LIMIT: u64 = 4096;
+
+/// Largest number of exact tail terms [`RedundancyScheme::required_p_cell`]
+/// will bisect over (the inversion is exact-only).
+pub const INVERT_TERM_LIMIT: u64 = 65_536;
+
+/// Bisection steps of [`RedundancyScheme::required_p_cell`]: enough to
+/// pin budgets down to ~1e-30 absolute, far below any physical `p`.
+const INVERT_STEPS: u32 = 200;
+
+/// An architectural redundancy scheme over `M` identical cells.
+///
+/// The canonical kind strings of [`RedundancyScheme::KINDS`] are the wire
+/// names used by the scenario layer and enumerated by `describe`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RedundancyScheme {
+    /// No redundancy: `Y = (1 − p)^M`.
+    None,
+    /// Cell-level triple modular redundancy with an ideal majority
+    /// voter: a voted cell fails only when ≥ 2 of its 3 replicas fail
+    /// (`p_v = p²(3 − 2p)`), at 3× area.
+    Tmr,
+    /// `spares` cold spare units over units of `unit_size` cells: the
+    /// circuit's `ceil(M/unit_size)` units plus the spares all fail
+    /// independently, and the chip works while at most `spares` of them
+    /// fail (a k-of-n tail).
+    SpareUnits {
+        /// Number of spare units available for remapping.
+        spares: u64,
+        /// Cells per replaceable unit.
+        unit_size: u64,
+    },
+    /// An FPGA-like repairable fabric of `tiles` tiles plus
+    /// `spare_tiles` spares, repaired by test-and-remap with imperfect
+    /// `test_coverage`: a failed tile escapes the test (and kills the
+    /// chip) with probability `1 − test_coverage`, otherwise it is
+    /// remapped onto a spare. The chip works when no failure escapes and
+    /// at most `spare_tiles` detected failures occur.
+    RepairableTile {
+        /// Working tiles the design needs.
+        tiles: u64,
+        /// Spare tiles available for remapping.
+        spare_tiles: u64,
+        /// Probability a failed tile is caught by test, in `[0, 1]`.
+        test_coverage: f64,
+    },
+}
+
+/// How [`RedundancyScheme::compose`] obtained its yield value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ComposeMethod {
+    /// Exact log-space closed form.
+    Exact,
+    /// Adaptive Monte-Carlo fallback.
+    MonteCarlo,
+}
+
+impl ComposeMethod {
+    /// Canonical method names, in declaration order.
+    pub const KINDS: [&'static str; 2] = ["exact", "monte-carlo"];
+
+    /// The canonical name of this method.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ComposeMethod::Exact => Self::KINDS[0],
+            ComposeMethod::MonteCarlo => Self::KINDS[1],
+        }
+    }
+
+    /// Parse a canonical method name.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "exact" => Some(ComposeMethod::Exact),
+            "monte-carlo" => Some(ComposeMethod::MonteCarlo),
+            _ => None,
+        }
+    }
+}
+
+/// The result of one [`RedundancyScheme::compose`] evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ComposeOutcome {
+    /// Effective circuit yield after redundancy recovery.
+    pub circuit_yield: f64,
+    /// Whether the value is exact or Monte-Carlo estimated.
+    pub method: ComposeMethod,
+    /// Trials consumed (0 on the exact path).
+    pub trials: u64,
+}
+
+/// Seeding and precision of the Monte-Carlo fallback path.
+///
+/// The outcome is a pure function of `(scheme, p, m, seed, precision)` —
+/// `workers` only changes wall-clock, exactly like every other adaptive
+/// driver call in the workspace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct McFallback {
+    /// Base RNG seed of the adaptive run.
+    pub seed: u64,
+    /// Worker threads (wall-clock only, never the result).
+    pub workers: usize,
+    /// Convergence target of the adaptive driver.
+    pub precision: McPrecision,
+}
+
+impl Default for McFallback {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            workers: 1,
+            precision: McPrecision::default(),
+        }
+    }
+}
+
+impl RedundancyScheme {
+    /// Canonical kind strings, in declaration order. The JSON layer and
+    /// `describe` enumeration both derive from this one constant.
+    ///
+    /// ```
+    /// use cnfet_fault::RedundancyScheme;
+    /// assert_eq!(
+    ///     RedundancyScheme::KINDS,
+    ///     ["none", "tmr", "spare-units", "repairable-tile"]
+    /// );
+    /// ```
+    pub const KINDS: [&'static str; 4] = ["none", "tmr", "spare-units", "repairable-tile"];
+
+    /// The canonical kind name of this scheme.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RedundancyScheme::None => Self::KINDS[0],
+            RedundancyScheme::Tmr => Self::KINDS[1],
+            RedundancyScheme::SpareUnits { .. } => Self::KINDS[2],
+            RedundancyScheme::RepairableTile { .. } => Self::KINDS[3],
+        }
+    }
+
+    /// Validate the scheme's parameters.
+    ///
+    /// # Errors
+    ///
+    /// [`FaultError::InvalidParameter`] for zero-sized units/tiles or a
+    /// test coverage outside `[0, 1]`.
+    pub fn validate(&self) -> Result<()> {
+        match *self {
+            RedundancyScheme::None | RedundancyScheme::Tmr => Ok(()),
+            RedundancyScheme::SpareUnits { spares, unit_size } => {
+                if unit_size == 0 {
+                    return Err(FaultError::InvalidParameter {
+                        name: "unit_size",
+                        value: 0.0,
+                        constraint: "must be >= 1 cell",
+                    });
+                }
+                if spares == 0 {
+                    return Err(FaultError::InvalidParameter {
+                        name: "spares",
+                        value: 0.0,
+                        constraint: "must be >= 1 (use `none` for no spares)",
+                    });
+                }
+                Ok(())
+            }
+            RedundancyScheme::RepairableTile {
+                tiles,
+                spare_tiles,
+                test_coverage,
+            } => {
+                if tiles == 0 {
+                    return Err(FaultError::InvalidParameter {
+                        name: "tiles",
+                        value: 0.0,
+                        constraint: "must be >= 1",
+                    });
+                }
+                if spare_tiles == 0 {
+                    return Err(FaultError::InvalidParameter {
+                        name: "spare_tiles",
+                        value: 0.0,
+                        constraint: "must be >= 1 (use `none` for no spares)",
+                    });
+                }
+                if !(0.0..=1.0).contains(&test_coverage) {
+                    return Err(FaultError::InvalidParameter {
+                        name: "test_coverage",
+                        value: test_coverage,
+                        constraint: "must be in [0, 1]",
+                    });
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Exact tail terms an evaluation needs (1 for the closed-form
+    /// `None`/`Tmr` schemes, `spares + 1` for the k-of-n ones).
+    pub fn exact_terms(&self) -> u64 {
+        match *self {
+            RedundancyScheme::None | RedundancyScheme::Tmr => 1,
+            RedundancyScheme::SpareUnits { spares, .. } => spares + 1,
+            RedundancyScheme::RepairableTile { spare_tiles, .. } => spare_tiles + 1,
+        }
+    }
+
+    /// Area multiplier of the scheme over a circuit of `m_cells` cells
+    /// (≥ 1.0; voters and test logic are not charged).
+    pub fn area_overhead(&self, m_cells: f64) -> f64 {
+        match *self {
+            RedundancyScheme::None => 1.0,
+            RedundancyScheme::Tmr => 3.0,
+            RedundancyScheme::SpareUnits { spares, unit_size } => {
+                let n = (m_cells / unit_size as f64).ceil().max(1.0);
+                (n + spares as f64) / n
+            }
+            RedundancyScheme::RepairableTile {
+                tiles, spare_tiles, ..
+            } => (tiles + spare_tiles) as f64 / tiles as f64,
+        }
+    }
+
+    /// The scheme's redundant-group parameters at `(p, m)`:
+    /// `(n_total, spares_allowed, ln q, ln(1 − q))` of the governing
+    /// binomial tail, where `q` is the per-group failure probability.
+    fn tail_parameters(&self, p: f64, m: f64) -> (u64, u64, f64, f64) {
+        match *self {
+            RedundancyScheme::None => {
+                // Degenerate 0-of-1 tail over the whole circuit.
+                let ln_1mq = m * (-p).ln_1p();
+                let q = -ln_1mq.exp_m1();
+                (1, 0, q.ln(), ln_1mq)
+            }
+            RedundancyScheme::Tmr => {
+                // Voted-cell failure p_v = p²(3 − 2p); 0-of-1 over M
+                // voted cells.
+                let p_v = (p * p * (3.0 - 2.0 * p)).min(1.0);
+                let ln_1mq = m * (-p_v).ln_1p();
+                let q = -ln_1mq.exp_m1();
+                (1, 0, q.ln(), ln_1mq)
+            }
+            RedundancyScheme::SpareUnits { spares, unit_size } => {
+                let n = (m / unit_size as f64).ceil().max(1.0) as u64;
+                let ln_unit_ok = unit_size as f64 * (-p).ln_1p();
+                let q = -ln_unit_ok.exp_m1();
+                (n + spares, spares, q.ln(), ln_unit_ok)
+            }
+            RedundancyScheme::RepairableTile {
+                tiles,
+                spare_tiles,
+                test_coverage,
+            } => {
+                // Per-tile failure q over m/tiles cells; only *detected*
+                // failures (q·c) are repairable. An escape anywhere kills
+                // the chip, which the tail encodes by keeping the
+                // per-tile "good" weight at 1 − q (not 1 − q·c): states
+                // with any undetected failure are excluded from every
+                // term.
+                let ln_tile_ok = (m / tiles as f64) * (-p).ln_1p();
+                let q = -ln_tile_ok.exp_m1();
+                (
+                    (tiles + spare_tiles),
+                    spare_tiles,
+                    (q * test_coverage).ln(),
+                    ln_tile_ok,
+                )
+            }
+        }
+    }
+
+    /// Exact effective circuit yield at per-cell failure `p` over
+    /// `m_cells` cells, whatever the term count.
+    ///
+    /// # Errors
+    ///
+    /// [`FaultError::InvalidParameter`] unless `p ∈ [0, 1]` and
+    /// `m_cells` is finite and ≥ 1, or the scheme itself is invalid.
+    pub fn circuit_yield(&self, p: f64, m_cells: f64) -> Result<f64> {
+        self.validate()?;
+        check_pm(p, m_cells)?;
+        if p == 0.0 {
+            return Ok(1.0);
+        }
+        let (n, s, ln_q, ln_1mq) = self.tail_parameters(p, m_cells);
+        Ok(binomial_tail_le(n, s, ln_q, ln_1mq))
+    }
+
+    /// Effective circuit yield with provenance: exact while the tail has
+    /// at most [`EXACT_TERM_LIMIT`] terms, the adaptive Monte-Carlo
+    /// driver beyond that. Byte-deterministic for any `mc.workers`.
+    ///
+    /// # Errors
+    ///
+    /// As [`RedundancyScheme::circuit_yield`], plus
+    /// [`FaultError::Mc`] when the fallback driver rejects its
+    /// precision parameters.
+    pub fn compose(&self, p: f64, m_cells: f64, mc: &McFallback) -> Result<ComposeOutcome> {
+        self.validate()?;
+        check_pm(p, m_cells)?;
+        if p == 0.0 || self.exact_terms() <= EXACT_TERM_LIMIT {
+            return Ok(ComposeOutcome {
+                circuit_yield: self.circuit_yield(p, m_cells)?,
+                method: ComposeMethod::Exact,
+                trials: 0,
+            });
+        }
+        let (n, s, ln_q, ln_1mq) = self.tail_parameters(p, m_cells);
+        let q = -ln_1mq.exp_m1();
+        // Detection probability folded into ln_q by tail_parameters;
+        // recover it for the per-failure Bernoulli draw.
+        let detect = if q > 0.0 {
+            (ln_q.exp() / q).clamp(0.0, 1.0)
+        } else {
+            1.0
+        };
+        let outcome =
+            cnfet_sim::run_adaptive_affine(&mc.precision, mc.workers, mc.seed, 0.0, 1.0, |rng| {
+                let mut detected = 0u64;
+                let mut i = 0u64;
+                if q >= 1.0 {
+                    detected = n;
+                } else if q > 0.0 {
+                    let ln_skip = (-q).ln_1p();
+                    loop {
+                        // Geometric skip to the next failed group:
+                        // O(n·q) expected work per trial.
+                        let u: f64 = rng.gen();
+                        let skip = (u.ln() / ln_skip).floor();
+                        if !skip.is_finite() || skip >= (n - i) as f64 {
+                            break;
+                        }
+                        i += skip as u64 + 1;
+                        let caught = detect >= 1.0 || rng.gen::<f64>() < detect;
+                        if !caught {
+                            // An escaped failure kills the chip outright.
+                            detected = n;
+                            break;
+                        }
+                        detected += 1;
+                        if i >= n || detected > s {
+                            break;
+                        }
+                    }
+                }
+                if detected <= s {
+                    1.0
+                } else {
+                    0.0
+                }
+            })?;
+        Ok(ComposeOutcome {
+            circuit_yield: outcome.ci.estimate,
+            method: ComposeMethod::MonteCarlo,
+            trials: outcome.trials,
+        })
+    }
+
+    /// The largest per-cell failure budget `p` that still meets
+    /// `yield_target` over `m_cells` cells under this scheme — the
+    /// quantity the `W_min` solver consumes. `None` uses the closed form
+    /// `1 − Y^(1/M)` (byte-identical to the un-redundant pipeline);
+    /// every other scheme bisects the exact tail, deterministically.
+    ///
+    /// # Errors
+    ///
+    /// [`FaultError::InvalidParameter`] unless `yield_target ∈ (0, 1)`
+    /// and `m_cells ≥ 1`, or when the scheme needs more than
+    /// [`INVERT_TERM_LIMIT`] exact terms.
+    pub fn required_p_cell(&self, yield_target: f64, m_cells: f64) -> Result<f64> {
+        self.validate()?;
+        if !(yield_target > 0.0 && yield_target < 1.0) {
+            return Err(FaultError::InvalidParameter {
+                name: "yield_target",
+                value: yield_target,
+                constraint: "must be in (0, 1)",
+            });
+        }
+        if !(m_cells.is_finite() && m_cells >= 1.0) {
+            return Err(FaultError::InvalidParameter {
+                name: "m_cells",
+                value: m_cells,
+                constraint: "must be finite and >= 1",
+            });
+        }
+        if let RedundancyScheme::None = self {
+            return Ok(1.0 - yield_target.powf(1.0 / m_cells));
+        }
+        if self.exact_terms() > INVERT_TERM_LIMIT {
+            return Err(FaultError::InvalidParameter {
+                name: "spares",
+                value: self.exact_terms() as f64,
+                constraint: "scheme too large for exact inversion (INVERT_TERM_LIMIT terms)",
+            });
+        }
+        // Yield is monotone non-increasing in p; bisect the largest p
+        // with Y(p) >= target. Fixed step count keeps it deterministic.
+        let (mut lo, mut hi) = (0.0_f64, 1.0_f64);
+        for _ in 0..INVERT_STEPS {
+            let mid = 0.5 * (lo + hi);
+            let (n, s, ln_q, ln_1mq) = self.tail_parameters(mid, m_cells);
+            if binomial_tail_le(n, s, ln_q, ln_1mq) >= yield_target {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        Ok(lo)
+    }
+}
+
+fn check_pm(p: f64, m_cells: f64) -> Result<()> {
+    if !(0.0..=1.0).contains(&p) {
+        return Err(FaultError::InvalidParameter {
+            name: "p",
+            value: p,
+            constraint: "must be in [0, 1]",
+        });
+    }
+    if !(m_cells.is_finite() && m_cells >= 1.0) {
+        return Err(FaultError::InvalidParameter {
+            name: "m_cells",
+            value: m_cells,
+            constraint: "must be finite and >= 1",
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const M: f64 = 1e8;
+
+    /// `(1 − p)^m` with full tail precision.
+    fn survival(p: f64, m: f64) -> f64 {
+        (m * (-p).ln_1p()).exp()
+    }
+
+    #[test]
+    fn none_matches_raw_survival() {
+        let p = 3e-9;
+        let y = RedundancyScheme::None.circuit_yield(p, M).unwrap();
+        assert!((y - survival(p, M)).abs() < 1e-12, "{y}");
+    }
+
+    #[test]
+    fn none_inversion_matches_closed_form() {
+        let req = RedundancyScheme::None.required_p_cell(0.9, M).unwrap();
+        assert_eq!(req, 1.0 - 0.9_f64.powf(1.0 / M));
+    }
+
+    #[test]
+    fn tmr_beats_none_and_costs_3x() {
+        let p = 1e-5;
+        let none = RedundancyScheme::None.circuit_yield(p, M).unwrap();
+        let tmr = RedundancyScheme::Tmr.circuit_yield(p, M).unwrap();
+        assert!(tmr > none);
+        // p_v ≈ 3p² = 3e-10 → Y ≈ exp(−0.03) ≈ 0.97.
+        assert!((tmr - (-(3.0 * p * p) * M).exp()).abs() < 1e-3, "{tmr}");
+        assert_eq!(RedundancyScheme::Tmr.area_overhead(M), 3.0);
+    }
+
+    #[test]
+    fn spare_units_tail_is_exact() {
+        // 4 units of 1 cell + 2 spares at p = 0.1: P(Bin(6, 0.1) <= 2).
+        let scheme = RedundancyScheme::SpareUnits {
+            spares: 2,
+            unit_size: 1,
+        };
+        let y = scheme.circuit_yield(0.1, 4.0).unwrap();
+        let q: f64 = 0.1;
+        let exact: f64 = (0..=2)
+            .map(|k| {
+                let c = [1.0, 6.0, 15.0][k as usize];
+                c * q.powi(k) * (1.0 - q).powi(6 - k)
+            })
+            .sum();
+        assert!((y - exact).abs() < 1e-12, "{y} vs {exact}");
+        assert!((scheme.area_overhead(4.0) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn repairable_tile_full_coverage_equals_spare_units() {
+        let tiles = RedundancyScheme::RepairableTile {
+            tiles: 50,
+            spare_tiles: 5,
+            test_coverage: 1.0,
+        };
+        let spares = RedundancyScheme::SpareUnits {
+            spares: 5,
+            unit_size: 2_000_000, // M / 50 cells per unit
+        };
+        let y_t = tiles.circuit_yield(2e-8, M).unwrap();
+        let y_s = spares.circuit_yield(2e-8, M).unwrap();
+        assert!((y_t - y_s).abs() < 1e-9, "{y_t} vs {y_s}");
+    }
+
+    #[test]
+    fn imperfect_coverage_hurts() {
+        let mk = |c| RedundancyScheme::RepairableTile {
+            tiles: 50,
+            spare_tiles: 5,
+            test_coverage: c,
+        };
+        let perfect = mk(1.0).circuit_yield(2e-8, M).unwrap();
+        let leaky = mk(0.9).circuit_yield(2e-8, M).unwrap();
+        let blind = mk(0.0).circuit_yield(2e-8, M).unwrap();
+        let none = RedundancyScheme::None.circuit_yield(2e-8, M).unwrap();
+        assert!(perfect > leaky && leaky > blind);
+        // Zero coverage = no repair at all, and the spare tiles are
+        // extra silicon that must also be defect-free: strictly worse
+        // than no redundancy, equal to survival over t + s tiles.
+        assert!(blind < none, "{blind} vs {none}");
+        let q = -((M / 50.0) * (-2e-8_f64).ln_1p()).exp_m1();
+        let expected = (55.0 * (-q).ln_1p()).exp();
+        assert!((blind - expected).abs() < 1e-12, "{blind} vs {expected}");
+    }
+
+    #[test]
+    fn required_p_cell_is_consistent_with_forward_yield() {
+        for scheme in [
+            RedundancyScheme::Tmr,
+            RedundancyScheme::SpareUnits {
+                spares: 8,
+                unit_size: 100_000,
+            },
+            RedundancyScheme::RepairableTile {
+                tiles: 64,
+                spare_tiles: 8,
+                test_coverage: 0.99,
+            },
+        ] {
+            let p = scheme.required_p_cell(0.9, M).unwrap();
+            let y = scheme.circuit_yield(p, M).unwrap();
+            assert!((y - 0.9).abs() < 1e-6, "{scheme:?}: p={p:e} y={y}");
+            // Redundancy must relax the budget vs. no redundancy.
+            let raw = RedundancyScheme::None.required_p_cell(0.9, M).unwrap();
+            assert!(p > raw, "{scheme:?}: {p:e} <= {raw:e}");
+        }
+    }
+
+    #[test]
+    fn compose_switches_to_mc_and_stays_deterministic() {
+        let scheme = RedundancyScheme::SpareUnits {
+            spares: EXACT_TERM_LIMIT + 64,
+            unit_size: 1000,
+        };
+        // A p so large the exact path would need the MC driver's regime.
+        let p = 1e-5;
+        let mc = McFallback {
+            seed: 7,
+            workers: 1,
+            precision: McPrecision {
+                rel_ci: 0.1,
+                max_trials: 40_000,
+                batch: 2_000,
+                level: 0.95,
+            },
+        };
+        let a = scheme.compose(p, M, &mc).unwrap();
+        assert_eq!(a.method, ComposeMethod::MonteCarlo);
+        assert!(a.trials > 0);
+        let b = scheme
+            .compose(p, M, &McFallback { workers: 4, ..mc })
+            .unwrap();
+        assert_eq!(a, b, "MC fallback must be worker-count independent");
+        // The estimate must agree with the exact tail it replaced.
+        let exact = scheme.circuit_yield(p, M).unwrap();
+        assert!(
+            (a.circuit_yield - exact).abs() < 0.05,
+            "mc {} vs exact {exact}",
+            a.circuit_yield
+        );
+    }
+
+    #[test]
+    fn small_schemes_compose_exactly() {
+        let scheme = RedundancyScheme::SpareUnits {
+            spares: 4,
+            unit_size: 1_000_000,
+        };
+        let out = scheme.compose(1e-8, M, &McFallback::default()).unwrap();
+        assert_eq!(out.method, ComposeMethod::Exact);
+        assert_eq!(out.trials, 0);
+        assert_eq!(out.circuit_yield, scheme.circuit_yield(1e-8, M).unwrap());
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_schemes() {
+        assert!(RedundancyScheme::SpareUnits {
+            spares: 0,
+            unit_size: 10
+        }
+        .validate()
+        .is_err());
+        assert!(RedundancyScheme::SpareUnits {
+            spares: 1,
+            unit_size: 0
+        }
+        .validate()
+        .is_err());
+        assert!(RedundancyScheme::RepairableTile {
+            tiles: 0,
+            spare_tiles: 1,
+            test_coverage: 0.9
+        }
+        .validate()
+        .is_err());
+        assert!(RedundancyScheme::RepairableTile {
+            tiles: 4,
+            spare_tiles: 1,
+            test_coverage: 1.5
+        }
+        .validate()
+        .is_err());
+        assert!(RedundancyScheme::None.circuit_yield(1.5, M).is_err());
+        assert!(RedundancyScheme::None.circuit_yield(0.5, 0.5).is_err());
+    }
+
+    #[test]
+    fn kinds_name_every_variant() {
+        let schemes = [
+            RedundancyScheme::None,
+            RedundancyScheme::Tmr,
+            RedundancyScheme::SpareUnits {
+                spares: 1,
+                unit_size: 1,
+            },
+            RedundancyScheme::RepairableTile {
+                tiles: 1,
+                spare_tiles: 1,
+                test_coverage: 1.0,
+            },
+        ];
+        for (scheme, kind) in schemes.iter().zip(RedundancyScheme::KINDS) {
+            assert_eq!(scheme.name(), kind);
+        }
+    }
+}

@@ -125,6 +125,8 @@ impl<'a> SearchContext<'a> {
                     upsizing_penalty: report.upsizing_penalty,
                     p_req: report.p_req,
                     p_at_w_min: report.p_at_w_min,
+                    area_overhead: report.fault.as_ref().map_or(1.0, |f| f.area_overhead),
+                    yield_shortfall: report.fault.as_ref().map_or(0.0, |f| f.shortfall),
                 });
                 self.memo.insert(
                     choice.clone(),

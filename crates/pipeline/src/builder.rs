@@ -15,15 +15,17 @@
 
 use crate::json::Json;
 use crate::spec::{
-    BackendSpec, CornerSpec, CorrelationSpec, LibrarySpec, MminSpec, RhoSpec, ScenarioSpec,
+    redundancy_from_json, BackendSpec, CornerSpec, CorrelationSpec, LibrarySpec, MminSpec,
+    PuritySpec, RhoSpec, ScenarioSpec,
 };
 use crate::{PipelineError, Result};
+use cnfet_fault::RedundancyScheme;
 use cnfet_layout::GridPolicy;
 
 /// Every field name [`ScenarioBuilder::set_json`] accepts, in the order
 /// they appear in serialized specs. The service's `Describe` response
 /// exposes this list so wire clients can introspect the schema.
-pub const SCENARIO_KEYS: [&str; 15] = [
+pub const SCENARIO_KEYS: [&str; 17] = [
     "name",
     "corner",
     "correlation",
@@ -36,6 +38,8 @@ pub const SCENARIO_KEYS: [&str; 15] = [
     "rho",
     "density",
     "l_cnt_um",
+    "purity",
+    "redundancy",
     "grid",
     "fast_design",
     "mc_trials",
@@ -196,6 +200,18 @@ impl ScenarioBuilder {
         self
     }
 
+    /// s-CNT purity spec (semiconducting fraction + defect mode).
+    pub fn purity(mut self, purity: PuritySpec) -> Self {
+        self.spec.purity = purity;
+        self
+    }
+
+    /// Architectural redundancy scheme.
+    pub fn redundancy(mut self, redundancy: RedundancyScheme) -> Self {
+        self.spec.redundancy = redundancy;
+        self
+    }
+
     /// Aligned-active grid policy.
     pub fn grid(mut self, grid: GridPolicy) -> Self {
         self.spec.grid = grid;
@@ -275,6 +291,8 @@ impl ScenarioBuilder {
             },
             "density" => Ok(self.density(crate::knob::dist_from_json("density", value)?)),
             "l_cnt_um" => Ok(self.l_cnt_um_dist(crate::knob::dist_from_json("l_cnt_um", value)?)),
+            "purity" => Ok(self.purity(PuritySpec::from_json(value)?)),
+            "redundancy" => Ok(self.redundancy(redundancy_from_json(value)?)),
             "grid" => match value.as_str() {
                 Some("single") => Ok(self.grid(GridPolicy::Single)),
                 Some("dual") => Ok(self.grid(GridPolicy::Dual)),
@@ -517,7 +535,13 @@ fn invalid_coopt(field: &'static str, msg: impl Into<String>) -> PipelineError {
 /// Parse the `objective` object onto [`cnfet_core::objective::CostWeights`]
 /// (every field optional, defaults from `CostWeights::default`).
 fn cost_weights_from_json(v: &Json) -> Result<cnfet_core::objective::CostWeights> {
-    const KEYS: [&str; 4] = ["w_min_weight", "area_weight", "margin_weight", "w_ref_nm"];
+    const KEYS: [&str; 5] = [
+        "w_min_weight",
+        "area_weight",
+        "margin_weight",
+        "shortfall_weight",
+        "w_ref_nm",
+    ];
     let fields = v
         .as_object()
         .ok_or_else(|| invalid_coopt("objective", "must be an object"))?;
@@ -540,6 +564,7 @@ fn cost_weights_from_json(v: &Json) -> Result<cnfet_core::objective::CostWeights
         w_min_weight: field("w_min_weight")?.unwrap_or(d.w_min_weight),
         area_weight: field("area_weight")?.unwrap_or(d.area_weight),
         margin_weight: field("margin_weight")?.unwrap_or(d.margin_weight),
+        shortfall_weight: field("shortfall_weight")?.unwrap_or(d.shortfall_weight),
         w_ref_nm: field("w_ref_nm")?.unwrap_or(d.w_ref_nm),
     })
 }
@@ -549,6 +574,7 @@ fn cost_weights_to_json(w: &cnfet_core::objective::CostWeights) -> Json {
         ("w_min_weight".into(), Json::Num(w.w_min_weight)),
         ("area_weight".into(), Json::Num(w.area_weight)),
         ("margin_weight".into(), Json::Num(w.margin_weight)),
+        ("shortfall_weight".into(), Json::Num(w.shortfall_weight)),
         ("w_ref_nm".into(), Json::Num(w.w_ref_nm)),
     ])
 }

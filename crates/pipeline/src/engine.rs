@@ -2,7 +2,7 @@
 
 use crate::cache::BoundedCache;
 use crate::design::{design_stats, DesignStats};
-use crate::report::{McBackendReport, ScenarioReport};
+use crate::report::{FaultReport, McBackendReport, ScenarioReport};
 use crate::spec::{BackendSpec, CornerSpec, CorrelationSpec, LibrarySpec, MminSpec, RhoSpec};
 use crate::{PipelineError, Result, ScenarioSpec};
 use cnfet_celllib::CellLibrary;
@@ -14,7 +14,9 @@ use cnfet_core::rowmodel::{evaluate_table1, RowModel, Table1, UnalignedRowStudy}
 use cnfet_core::stochastic::McFailure;
 use cnfet_core::wmin::{solve_upsizing, UpsizingSolution, WminSolver};
 use cnfet_device::GateCapModel;
+use cnfet_fault::{McFallback, PurityMode};
 use cnfet_layout::{align_library, AlignmentOptions, GridPolicy, LibraryAlignment};
+use cnfet_sim::adaptive::McPrecision;
 use cnt_stats::seed::split_seed;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
@@ -28,6 +30,36 @@ const COUNT_MODEL_SALT: u64 = 0x636E_7463; // "cntc"
 /// Seed salt deriving the Monte-Carlo evaluator stream from a scenario
 /// seed, keeping it disjoint from the row-failure cross-check stream.
 const MC_EVAL_SALT: u64 = 0x7046_6D63; // "pFmc"
+
+/// Seed salt deriving the redundancy-compose Monte-Carlo fallback stream,
+/// disjoint from the back-end and cross-check streams.
+const FAULT_MC_SALT: u64 = 0x666C_7463; // "fltc"
+
+/// Fixed-point iterations coupling the width solve to the width-dependent
+/// metallic-short probability, plus the relative tolerance that stops
+/// them early. The short probability moves slowly with `W` (it is linear
+/// in the mean CNT count), so the iteration contracts fast.
+const SHORT_FIXED_POINT_ITERS: u32 = 8;
+const SHORT_FIXED_POINT_REL_TOL: f64 = 1e-6;
+
+/// Outcome of the fault-aware width solve, feeding the report's `fault`
+/// provenance block.
+struct FaultSolve {
+    /// Metallic-short probability at the solved width (0 in removal mode).
+    p_short: f64,
+    /// Per-cell failure budget after redundancy recovery.
+    p_budget: f64,
+    /// False when shorts alone exceed the budget — the returned solution
+    /// is then the shorts-ignored width and the target is missed.
+    feasible: bool,
+}
+
+fn fault_err(e: cnfet_fault::FaultError) -> PipelineError {
+    PipelineError::InvalidSpec {
+        field: "fault",
+        msg: e.to_string(),
+    }
+}
 
 /// The deterministic central value of a knob: the value itself for the
 /// fixed form, the analytic mean otherwise.
@@ -372,6 +404,78 @@ impl Pipeline {
         })
     }
 
+    /// The fault-aware width solve: the chip-yield inversion goes through
+    /// the redundancy scheme (`required_p_cell` in place of the raw
+    /// `required_p_failure`), and in `short` purity mode the per-cell
+    /// budget is split between the width-dependent metallic-short
+    /// probability and the open-failure requirement the solver can
+    /// actually buy down with width. The two couple through `W` (wider
+    /// gates hold more CNTs, so more chances of a metallic short), so the
+    /// solve iterates to a fixed point. When shorts alone exceed the
+    /// budget the scenario is *infeasible at any width*: the solve keeps
+    /// the shorts-ignored width and reports the miss via
+    /// [`FaultSolve::feasible`] rather than erroring, so co-optimization
+    /// sweeps can rank the shortfall instead of aborting.
+    fn solve_wmin_fault<E: PFailure>(
+        spec: &ScenarioSpec,
+        eval: &E,
+        relaxation: f64,
+        model: &FailureModel,
+    ) -> Result<(UpsizingSolution, FaultSolve)> {
+        let MminSpec::Fraction(dist) = spec.m_min else {
+            // Unreachable through validated specs (validate() rejects the
+            // combination); kept as a hard error for direct callers.
+            return Err(PipelineError::InvalidSpec {
+                field: "m_min",
+                msg: "self-consistent M_min is incompatible with active faults".into(),
+            });
+        };
+        let m_min = (knob_central(&dist)? * spec.m_transistors).max(1.0);
+        let purity = spec.purity.central();
+        let p_budget = spec
+            .redundancy
+            .required_p_cell(spec.yield_target, m_min)
+            .map_err(fault_err)?;
+        let relax = relaxation.max(1.0);
+        let solver = WminSolver::new(eval);
+        let mut p_short = 0.0;
+        let mut solution = None;
+        let mut feasible = true;
+        for _ in 0..SHORT_FIXED_POINT_ITERS {
+            let budget_open = p_budget - p_short;
+            if budget_open <= 0.0 {
+                feasible = false;
+                break;
+            }
+            let s = solver.solve_for_requirement((budget_open * relax).min(0.999_999))?;
+            let next_short = if spec.purity.mode == PurityMode::Short && purity < 1.0 {
+                cnfet_fault::short_probability(purity, model.mean_count(s.w_min)?)
+                    .map_err(fault_err)?
+            } else {
+                0.0
+            };
+            let converged = (next_short - p_short).abs() <= SHORT_FIXED_POINT_REL_TOL * p_budget;
+            p_short = next_short;
+            solution = Some(s);
+            if converged {
+                break;
+            }
+        }
+        let s = solution.expect("first iteration always solves (p_short starts at 0)");
+        Ok((
+            UpsizingSolution {
+                w_min: s.w_min,
+                m_min,
+                p_req: s.p_req,
+            },
+            FaultSolve {
+                p_short,
+                p_budget,
+                feasible,
+            },
+        ))
+    }
+
     /// Evaluate one scenario. `seed` drives the Monte-Carlo back-end (if
     /// selected) and the optional conditional-MC cross-check, and is
     /// recorded in the report either way; analytic results are
@@ -410,19 +514,50 @@ impl Pipeline {
         let row = self.row_model(spec)?;
         let relaxation = Self::relaxation(spec, &row);
 
-        let (sol, p_at_w_min, mc) = match spec.backend.mc_precision() {
+        // The effective processing corner: removal-mode impurity folds
+        // into the metallic fraction (the purity knob then *specifies*
+        // the grown s-CNT fraction directly, keeping the corner's removal
+        // selectivities), so the count-thinning rides the existing
+        // open-failure machinery — including the shared curve cache,
+        // which keys on the effective corner bits. Short mode and
+        // fault-free scenarios keep the spec corner untouched.
+        let eval_corner = if spec.fault_active() && spec.purity.mode == PurityMode::Removal {
+            let c = spec.corner.corner()?;
+            CornerSpec::Custom {
+                pm: 1.0 - spec.purity.central(),
+                p_rs: c.p_rs(),
+                p_rm: c.p_rm(),
+            }
+        } else {
+            spec.corner
+        };
+        // Fault scenarios need a plain model for the mean CNT count under
+        // a gate (the metallic-short hook); cheap to build, so per-call.
+        let fault_model = if spec.fault_active() {
+            Some(FailureModel::paper_default(eval_corner.corner()?)?)
+        } else {
+            None
+        };
+
+        let (sol, fault_solve, p_at_w_min, mc) = match spec.backend.mc_precision() {
             Some(precision) => {
                 // Stochastic back-end: a per-scenario evaluator (seeded per
                 // width) behind the same memoizing curve layer the analytic
                 // back-ends use. The interpolation tolerance is widened to
                 // several CI half-widths so sampling noise does not read as
                 // curvature and trigger runaway refinement.
-                let model = FailureModel::paper_default(spec.corner.corner()?)?;
+                let model = FailureModel::paper_default(eval_corner.corner()?)?;
                 let eval = McFailure::new(model, precision, split_seed(seed, MC_EVAL_SALT))?
                     .with_workers(mc_workers());
                 let rel_tol = (4.0 * precision.rel_ci).clamp(0.05, 0.25);
                 let curve = FailureCurve::new(eval).with_rel_tol(rel_tol)?;
-                let sol = Self::solve_wmin(spec, &curve, &widths, relaxation)?;
+                let (sol, fs) = match &fault_model {
+                    Some(fm) => {
+                        let (sol, fs) = Self::solve_wmin_fault(spec, &curve, relaxation, fm)?;
+                        (sol, Some(fs))
+                    }
+                    None => (Self::solve_wmin(spec, &curve, &widths, relaxation)?, None),
+                };
                 // Record the CI at the solved width from a direct (memoized,
                 // exact-width) stochastic point, not the interpolant.
                 let point = curve.model().point(sol.w_min)?;
@@ -434,16 +569,65 @@ impl Pipeline {
                     ci_level: point.level,
                     converged: curve.model().all_converged(),
                 };
-                (sol, point.estimate, Some(mc))
+                (sol, fs, point.estimate, Some(mc))
             }
             None => {
-                let curve = self.failure_curve(&spec.corner, &spec.backend)?;
-                let sol = Self::solve_wmin(spec, curve.as_ref(), &widths, relaxation)?;
+                let curve = self.failure_curve(&eval_corner, &spec.backend)?;
+                let (sol, fs) = match &fault_model {
+                    Some(fm) => {
+                        let (sol, fs) =
+                            Self::solve_wmin_fault(spec, curve.as_ref(), relaxation, fm)?;
+                        (sol, Some(fs))
+                    }
+                    None => (
+                        Self::solve_wmin(spec, curve.as_ref(), &widths, relaxation)?,
+                        None,
+                    ),
+                };
                 let p_at = curve.p_failure(sol.w_min)?;
-                (sol, p_at, None)
+                (sol, fs, p_at, None)
             }
         };
         let penalty = upsizing_penalty(&GateCapModel::proportional(), &widths, sol.w_min)?;
+
+        // Compose the effective chip yield through the redundancy scheme
+        // at the solved operating point: the per-cell failure probability
+        // is the short probability plus the correlation-credited open
+        // failure. The MC fallback (schemes past the exact-term limit) is
+        // seeded from the scenario seed, so any worker count reproduces
+        // the same bytes.
+        let fault = match fault_solve {
+            None => None,
+            Some(fs) => {
+                let relax = relaxation.max(1.0);
+                let p_cell = (fs.p_short + p_at_w_min / relax).clamp(0.0, 1.0);
+                let outcome = spec
+                    .redundancy
+                    .compose(
+                        p_cell,
+                        sol.m_min,
+                        &McFallback {
+                            seed: split_seed(seed, FAULT_MC_SALT),
+                            workers: mc_workers(),
+                            precision: McPrecision::default(),
+                        },
+                    )
+                    .map_err(fault_err)?;
+                let shortfall = (spec.yield_target - outcome.circuit_yield).max(0.0);
+                Some(FaultReport {
+                    purity: spec.purity.central(),
+                    mode: spec.purity.mode.name().to_string(),
+                    p_short: fs.p_short,
+                    scheme: spec.redundancy.name().to_string(),
+                    area_overhead: spec.redundancy.area_overhead(sol.m_min),
+                    p_budget: fs.p_budget,
+                    recovered_yield: outcome.circuit_yield,
+                    shortfall,
+                    method: outcome.method.name().to_string(),
+                    met_target: fs.feasible && shortfall <= 1e-4,
+                })
+            }
+        };
 
         // Optional conditional-MC cross-check of the non-aligned row
         // failure probability at the solved width (Table-1 machinery).
@@ -457,7 +641,7 @@ impl Pipeline {
                 offset_step: 45.0 * scale,
                 devices: row.m_r_min().round().max(1.0) as usize,
             };
-            let model = self.failure_model(&spec.corner, &spec.backend)?;
+            let model = self.failure_model(&eval_corner, &spec.backend)?;
             Some(study.estimate(&model, spec.mc_trials, seed)?.probability)
         } else {
             None
@@ -482,6 +666,7 @@ impl Pipeline {
             upsizing_penalty: penalty,
             unaligned_p_rf_mc,
             mc,
+            fault,
         })
     }
 
@@ -671,5 +856,103 @@ mod tests {
         );
         // The non-aligned estimate sits between aligned and uncorrelated.
         assert!(pa >= a.p_at_w_min);
+    }
+
+    #[test]
+    fn fault_free_spec_reports_no_fault_block() {
+        let p = Pipeline::new();
+        let report = p.evaluate(&fast_spec("clean"), 1).unwrap();
+        assert!(report.fault.is_none(), "no fault knobs, no fault block");
+    }
+
+    #[test]
+    fn redundancy_recovers_an_infeasible_purity() {
+        use cnfet_fault::RedundancyScheme;
+        use cnt_stats::DistSpec;
+
+        let p = Pipeline::new();
+        // At the baseline budget (~3e-9 per cell) a 1e-9 impurity shorts
+        // roughly 3e-8 of the cells — shorts alone blow the budget.
+        let mut bare = fast_spec("bare");
+        bare.purity.dist = DistSpec::Fixed(1.0 - 1e-9);
+        let r_bare = p.evaluate(&bare, 1).unwrap();
+        let f_bare = r_bare.fault.as_ref().expect("fault block present");
+        assert!(!f_bare.met_target, "shorts alone must miss the target");
+        assert!(f_bare.shortfall > 0.0);
+        assert!(f_bare.p_short > f_bare.p_budget);
+        assert_eq!(f_bare.area_overhead, 1.0);
+
+        // TMR widens the per-cell budget to ~sqrt(budget/3), which the
+        // same purity meets comfortably.
+        let mut tmr = bare.clone();
+        tmr.name = "tmr".into();
+        tmr.redundancy = RedundancyScheme::Tmr;
+        let r_tmr = p.evaluate(&tmr, 1).unwrap();
+        let f_tmr = r_tmr.fault.as_ref().unwrap();
+        assert!(f_tmr.met_target, "TMR must recover the target");
+        assert!(f_tmr.recovered_yield >= tmr.yield_target - 1e-4);
+        assert_eq!(f_tmr.area_overhead, 3.0);
+        assert!(
+            f_tmr.p_budget > f_bare.p_budget * 100.0,
+            "TMR budget {} vs bare {}",
+            f_tmr.p_budget,
+            f_bare.p_budget
+        );
+        // The relaxed budget also shrinks the solved width.
+        assert!(r_tmr.w_min_nm < r_bare.w_min_nm);
+    }
+
+    #[test]
+    fn feasible_shorts_consume_budget_and_widen_wmin() {
+        use cnt_stats::DistSpec;
+
+        let p = Pipeline::new();
+        let plain = p.evaluate(&fast_spec("plain"), 1).unwrap();
+        let mut pure = fast_spec("pure");
+        pure.purity.dist = DistSpec::Fixed(1.0 - 1e-11);
+        let r = p.evaluate(&pure, 1).unwrap();
+        let f = r.fault.as_ref().unwrap();
+        assert!(f.met_target, "1e-11 impurity fits the budget");
+        assert!(f.p_short > 0.0 && f.p_short < f.p_budget);
+        // Shorts eat part of the open-failure budget, so the width solve
+        // has to work a little harder than the fault-free one.
+        assert!(r.w_min_nm >= plain.w_min_nm);
+        // Same seed, same bytes.
+        let again = p.evaluate(&pure, 1).unwrap();
+        assert_eq!(r, again);
+    }
+
+    #[test]
+    fn removal_mode_purity_overrides_the_corner_metallic_fraction() {
+        use crate::spec::PuritySpec;
+        use cnfet_fault::PurityMode;
+        use cnt_stats::DistSpec;
+
+        let p = Pipeline::new();
+        let removal = |name: &str, purity: f64| {
+            let mut spec = fast_spec(name);
+            spec.purity = PuritySpec {
+                dist: DistSpec::Fixed(purity),
+                mode: PurityMode::Removal,
+            };
+            spec
+        };
+        let worse = p.evaluate(&removal("worse", 0.60), 1).unwrap();
+        let better = p.evaluate(&removal("better", 0.90), 1).unwrap();
+        // Removal mode thins the metallic count instead of shorting, so
+        // there is no short term, and cleaner growth needs less upsizing.
+        assert_eq!(worse.fault.as_ref().unwrap().p_short, 0.0);
+        assert_eq!(better.fault.as_ref().unwrap().p_short, 0.0);
+        assert!(better.w_min_nm < worse.w_min_nm);
+        // Purity 0.67 reproduces the paper corner's pm = 33 % width (up
+        // to the rounding of 1 − 0.67 in the effective corner).
+        let plain = p.evaluate(&fast_spec("plain"), 1).unwrap();
+        let mimic = p.evaluate(&removal("mimic", 0.67), 1).unwrap();
+        assert!(
+            ((mimic.w_min_nm - plain.w_min_nm) / plain.w_min_nm).abs() < 1e-6,
+            "mimic {} vs plain {}",
+            mimic.w_min_nm,
+            plain.w_min_nm
+        );
     }
 }

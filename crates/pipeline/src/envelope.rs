@@ -132,6 +132,7 @@ use crate::report::{CoOptReport, ScenarioReport};
 use crate::spec::{BackendSpec, CorrelationSpec, LibrarySpec, ScenarioGrid, ScenarioSpec};
 use crate::wafer::{WaferReport, WaferSpec, WAFER_KEYS};
 use crate::{PipelineError, Result};
+use cnfet_fault::{PurityMode, RedundancyScheme};
 use cnt_stats::DistSpec;
 
 /// The one wire-schema version this build understands.
@@ -149,6 +150,9 @@ fn bad(msg: impl Into<String>) -> PipelineError {
 }
 
 /// What a request asks the service to do.
+// Variant sizes track their spec payloads; requests are parsed once and
+// moved, never stored in bulk, so boxing would only add indirection.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq)]
 pub enum RequestBody {
     /// Evaluate one scenario under a seed.
@@ -739,6 +743,23 @@ impl ServiceError {
 /// ([`BackendSpec::KINDS`], [`SCENARIO_KEYS`], [`COOPT_KEYS`],
 /// [`SEARCHER_KINDS`]), so `describe` cannot drift from what the build
 /// actually accepts.
+///
+/// The fault-tolerance knobs are advertised the same way — the scenario
+/// keys include `purity` and `redundancy`, and the scheme/mode lists come
+/// from the `cnfet-fault` parser constants:
+///
+/// ```
+/// use cnfet_pipeline::ServiceInfo;
+///
+/// let info = ServiceInfo::default();
+/// assert!(info.scenario_keys.iter().any(|k| k == "purity"));
+/// assert!(info.scenario_keys.iter().any(|k| k == "redundancy"));
+/// assert_eq!(
+///     info.redundancy_kinds,
+///     ["none", "tmr", "spare-units", "repairable-tile"]
+/// );
+/// assert_eq!(info.purity_modes, ["short", "removal"]);
+/// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServiceInfo {
     /// Service name.
@@ -760,6 +781,10 @@ pub struct ServiceInfo {
     pub scenario_keys: Vec<String>,
     /// Known distribution kinds the stochastic knobs accept.
     pub dist_kinds: Vec<String>,
+    /// Known redundancy scheme kinds the `redundancy` knob accepts.
+    pub redundancy_kinds: Vec<String>,
+    /// Known purity modes the `purity` knob accepts.
+    pub purity_modes: Vec<String>,
     /// Top-level keys of a `wafer` spec document.
     pub wafer_keys: Vec<String>,
     /// Top-level keys of a `co_opt` spec document.
@@ -785,6 +810,8 @@ impl Default for ServiceInfo {
             libraries: LibrarySpec::KINDS.map(String::from).to_vec(),
             scenario_keys: SCENARIO_KEYS.map(String::from).to_vec(),
             dist_kinds: DistSpec::KINDS.map(String::from).to_vec(),
+            redundancy_kinds: RedundancyScheme::KINDS.map(String::from).to_vec(),
+            purity_modes: PurityMode::KINDS.map(String::from).to_vec(),
             wafer_keys: WAFER_KEYS.map(String::from).to_vec(),
             coopt_keys: COOPT_KEYS.map(String::from).to_vec(),
             searchers: SEARCHER_KINDS.map(String::from).to_vec(),
@@ -824,6 +851,8 @@ impl ServiceInfo {
             ("libraries".into(), strings(&self.libraries)),
             ("scenario_keys".into(), strings(&self.scenario_keys)),
             ("dist_kinds".into(), strings(&self.dist_kinds)),
+            ("redundancy_kinds".into(), strings(&self.redundancy_kinds)),
+            ("purity_modes".into(), strings(&self.purity_modes)),
             ("wafer_keys".into(), strings(&self.wafer_keys)),
             ("coopt_keys".into(), strings(&self.coopt_keys)),
             ("searchers".into(), strings(&self.searchers)),
@@ -868,6 +897,8 @@ impl ServiceInfo {
             libraries: strings("libraries")?,
             scenario_keys: strings("scenario_keys")?,
             dist_kinds: strings("dist_kinds")?,
+            redundancy_kinds: strings("redundancy_kinds")?,
+            purity_modes: strings("purity_modes")?,
             wafer_keys: strings("wafer_keys")?,
             coopt_keys: strings("coopt_keys")?,
             searchers: strings("searchers")?,

@@ -258,8 +258,9 @@ pub fn field_to_json(f: &FieldSpec) -> Json {
 /// The stochastic scenario knobs, in canonical order. The order is part
 /// of the determinism contract: knob `i` always derives its sample
 /// stream from `split_seed(split_seed(seed, KNOB_SALT), i)`, so adding a
-/// distribution to one knob never shifts another knob's draws.
-pub const STOCHASTIC_KNOBS: [&str; 3] = ["density", "l_cnt_um", "m_min"];
+/// distribution to one knob never shifts another knob's draws —
+/// `purity` was appended as knob 3 without moving knobs 0–2.
+pub const STOCHASTIC_KNOBS: [&str; 4] = ["density", "l_cnt_um", "m_min", "purity"];
 
 /// Seed salt separating knob realization from every other derived stream.
 pub const KNOB_SALT: u64 = 0x6B6E_6F62; // "knob"
@@ -273,6 +274,7 @@ pub fn knob_domain(knob: usize) -> (f64, f64) {
         0 => (0.05, 20.0),     // density multiplier on ρ
         1 => (0.01, 10_000.0), // L_CNT (µm)
         2 => (1e-6, 1.0),      // M_min fraction
+        3 => (0.5, 1.0),       // s-CNT purity (a probability near 1)
         _ => unreachable!("no such knob"),
     }
 }
@@ -295,9 +297,20 @@ pub fn quantize(v: f64) -> f64 {
 }
 
 /// Clamp then quantize one realized knob value.
+///
+/// The `purity` knob (index 3) quantizes in *impurity* space,
+/// `1 − quantize(1 − v)`: purities of interest sit within `1e-5 … 1e-12`
+/// of 1.0, where a relative grid on the value itself would collapse
+/// every meaningful purity onto 1.0. Quantizing the defect fraction
+/// keeps ~0.1 % relative spacing on the physically meaningful quantity.
 pub fn snap(knob: usize, v: f64) -> f64 {
     let (lo, hi) = knob_domain(knob);
-    quantize(v.clamp(lo, hi))
+    let v = v.clamp(lo, hi);
+    if knob == 3 {
+        1.0 - quantize(1.0 - v)
+    } else {
+        quantize(v)
+    }
 }
 
 #[cfg(test)]
@@ -477,5 +490,24 @@ mod tests {
         // snap applies the knob domain clamp first.
         assert_eq!(snap(0, 100.0), 20.0);
         assert_eq!(snap(2, 1.5), 1.0);
+    }
+
+    #[test]
+    fn purity_snaps_in_impurity_space() {
+        // A purity 3.07e-9 below 1.0 keeps ~0.1 % *impurity* resolution
+        // (value-space quantization would round it to exactly 1.0).
+        let v = 1.0 - 3.07e-9;
+        let q = snap(3, v);
+        assert!(q < 1.0, "snapped to a pure 1.0");
+        let impurity = 1.0 - q;
+        assert!(
+            ((impurity - 3.07e-9) / 3.07e-9).abs() <= 2.0_f64.powi(-10),
+            "impurity {impurity:e}"
+        );
+        assert_eq!(snap(3, q), q, "idempotent");
+        // Perfect purity and the domain clamp both stay exact.
+        assert_eq!(snap(3, 1.0), 1.0);
+        assert_eq!(snap(3, 3.0), 1.0);
+        assert_eq!(snap(3, 0.1), 0.5);
     }
 }

@@ -206,14 +206,16 @@ pub use envelope::{
 };
 pub use json::Json;
 pub use knob::{dist_from_json, dist_to_json, field_from_json, field_to_json, STOCHASTIC_KNOBS};
-pub use report::{CoOptReport, McBackendReport, ParetoFront, ParetoPoint, ScenarioReport};
+pub use report::{
+    CoOptReport, FaultReport, McBackendReport, ParetoFront, ParetoPoint, ScenarioReport,
+};
 pub use router::{
     shard_for, Client, LineServer, RouterConfig, RouterStats, ShardRouter, ShardStats,
 };
 pub use service::{ServiceConfig, SweepHandle, SweepItem, SweepProgress, YieldService};
 pub use spec::{
-    mc_backend_defaults, BackendSpec, CornerSpec, CorrelationSpec, LibrarySpec, MminSpec, RhoSpec,
-    ScenarioGrid, ScenarioSpec,
+    mc_backend_defaults, redundancy_from_json, redundancy_to_json, BackendSpec, CornerSpec,
+    CorrelationSpec, LibrarySpec, MminSpec, PuritySpec, RhoSpec, ScenarioGrid, ScenarioSpec,
 };
 pub use sweep::SweepRunner;
 pub use wafer::{RadialBand, WaferEngine, WaferReport, WaferSpec};

@@ -86,6 +86,77 @@ impl McBackendReport {
     }
 }
 
+/// Provenance of the fault subsystem: what the purity/redundancy knobs
+/// did to this scenario's solve (present iff the spec activated them).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultReport {
+    /// Realized s-CNT purity.
+    pub purity: f64,
+    /// Purity defect mode (`short`, `removal`).
+    pub mode: String,
+    /// Per-transistor metallic-short probability at the solved `W_min`
+    /// (0 in `removal` mode — metallic CNTs thin the count instead).
+    pub p_short: f64,
+    /// Redundancy scheme kind (`none`, `tmr`, …).
+    pub scheme: String,
+    /// Area multiplier the scheme charges (≥ 1).
+    pub area_overhead: f64,
+    /// Per-cell failure budget after redundancy recovery — what the
+    /// width solve targets instead of the raw chip-yield inversion.
+    pub p_budget: f64,
+    /// Effective chip yield after redundancy recovery at the solved
+    /// operating point.
+    pub recovered_yield: f64,
+    /// Yield shortfall `max(0, target − recovered)`: 0 when the solve
+    /// met the target, positive when purity defects made it infeasible.
+    pub shortfall: f64,
+    /// How the recovered yield was composed (`exact`, `monte-carlo`).
+    pub method: String,
+    /// Whether the solve met the yield target.
+    pub met_target: bool,
+}
+
+impl FaultReport {
+    /// Serialize as the nested `fault` provenance object.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("purity".into(), Json::Num(self.purity)),
+            ("mode".into(), Json::Str(self.mode.clone())),
+            ("p_short".into(), Json::Num(self.p_short)),
+            ("scheme".into(), Json::Str(self.scheme.clone())),
+            ("area_overhead".into(), Json::Num(self.area_overhead)),
+            ("p_budget".into(), Json::Num(self.p_budget)),
+            ("recovered_yield".into(), Json::Num(self.recovered_yield)),
+            ("shortfall".into(), Json::Num(self.shortfall)),
+            ("method".into(), Json::Str(self.method.clone())),
+            ("met_target".into(), Json::Bool(self.met_target)),
+        ])
+    }
+
+    /// Parse the provenance object written by [`FaultReport::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::InvalidSpec`] on missing or mistyped fields.
+    pub fn from_json(v: &Json) -> Result<Self> {
+        Ok(Self {
+            purity: req_f64(v, "purity")?,
+            mode: req_str(v, "mode")?,
+            p_short: req_f64(v, "p_short")?,
+            scheme: req_str(v, "scheme")?,
+            area_overhead: req_f64(v, "area_overhead")?,
+            p_budget: req_f64(v, "p_budget")?,
+            recovered_yield: req_f64(v, "recovered_yield")?,
+            shortfall: req_f64(v, "shortfall")?,
+            method: req_str(v, "method")?,
+            met_target: v
+                .get("met_target")
+                .and_then(Json::as_bool)
+                .ok_or_else(|| bad_report("missing boolean field `met_target`"))?,
+        })
+    }
+}
+
 /// The evaluated outcome of one [`crate::spec::ScenarioSpec`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioReport {
@@ -128,6 +199,9 @@ pub struct ScenarioReport {
     /// `pF(W_min)` (present iff the scenario ran the `monte-carlo`
     /// back-end).
     pub mc: Option<McBackendReport>,
+    /// Fault-subsystem provenance: purity defects and redundancy
+    /// recovery (present iff the spec activated either knob).
+    pub fault: Option<FaultReport>,
 }
 
 impl ScenarioReport {
@@ -156,6 +230,9 @@ impl ScenarioReport {
         }
         if let Some(mc) = self.mc {
             fields.push(("mc".into(), mc.to_json()));
+        }
+        if let Some(fault) = &self.fault {
+            fields.push(("fault".into(), fault.to_json()));
         }
         Json::Obj(fields)
     }
@@ -200,6 +277,10 @@ impl ScenarioReport {
             mc: match v.get("mc") {
                 None => None,
                 Some(mc) => Some(McBackendReport::from_json(mc)?),
+            },
+            fault: match v.get("fault") {
+                None => None,
+                Some(fault) => Some(FaultReport::from_json(fault)?),
             },
         })
     }
@@ -513,6 +594,7 @@ mod tests {
             upsizing_penalty: 0.11,
             unaligned_p_rf_mc: None,
             mc: None,
+            fault: None,
         }
     }
 
@@ -575,6 +657,33 @@ mod tests {
         assert_eq!(mc.get("trials").unwrap().as_f64(), Some(480_000.0));
         assert_eq!(mc.get("converged").unwrap().as_bool(), Some(true));
         assert_eq!(mc.get("ci_hi").unwrap().as_f64(), Some(3.2e-9));
+    }
+
+    #[test]
+    fn fault_provenance_round_trips() {
+        let mut r = report("fault");
+        r.fault = Some(FaultReport {
+            purity: 0.999_999,
+            mode: "short".into(),
+            p_short: 3.1e-5,
+            scheme: "repairable-tile".into(),
+            area_overhead: 1.125,
+            p_budget: 6.3e-5,
+            recovered_yield: 0.93,
+            shortfall: 0.0,
+            method: "exact".into(),
+            met_target: true,
+        });
+        let reparsed = Json::parse(&r.to_json().to_string_pretty()).unwrap();
+        let fault = reparsed.get("fault").expect("fault object present");
+        assert_eq!(
+            fault.get("scheme").unwrap().as_str(),
+            Some("repairable-tile")
+        );
+        assert_eq!(fault.get("met_target").unwrap().as_bool(), Some(true));
+        assert_eq!(ScenarioReport::from_json(&reparsed).unwrap(), r);
+        // Absent on fault-free reports.
+        assert!(report("plain").to_json().get("fault").is_none());
     }
 
     #[test]

@@ -27,6 +27,8 @@ use crate::knob;
 use crate::{PipelineError, Result};
 use cnfet_core::corner::ProcessCorner;
 use cnfet_core::paper;
+use cnfet_fault::redundancy::INVERT_TERM_LIMIT;
+use cnfet_fault::{PurityMode, RedundancyScheme};
 use cnfet_layout::GridPolicy;
 use cnfet_sim::adaptive::McPrecision;
 use cnt_stats::renewal::CountModel;
@@ -450,6 +452,269 @@ pub enum RhoSpec {
     Measured,
 }
 
+/// The s-CNT purity knob: the semiconducting fraction of the grown CNTs
+/// and how the metallic remainder manifests.
+///
+/// Wire forms, mirroring the other parameterized specs:
+///
+/// * a bare number or distribution object — purity in `Short` mode (the
+///   scalar back-compat form; metallic CNTs short their transistor);
+/// * `{"mode": "removal", "dist": 0.9999}` — an explicit mode plus an
+///   optional purity distribution (default `Fixed(1)`). In `removal` mode
+///   metallic CNTs are etched away, thinning the CNT count and feeding the
+///   paper's existing open-failure path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PuritySpec {
+    /// Semiconducting fraction in `(0, 1]` — `Fixed(1)` is the paper's
+    /// implicit perfect-purity assumption; a distribution models
+    /// lot-to-lot purity spread.
+    pub dist: DistSpec,
+    /// How metallic CNTs manifest.
+    pub mode: PurityMode,
+}
+
+impl PuritySpec {
+    /// The perfect-purity no-op default (`Fixed(1)`, `Short` mode).
+    pub fn perfect() -> Self {
+        Self {
+            dist: DistSpec::Fixed(1.0),
+            mode: PurityMode::Short,
+        }
+    }
+
+    /// The central purity value: the fixed value, or the distribution
+    /// mean for stochastic specs (validated specs never fail here; an
+    /// invalid distribution reports 1.0, i.e. inactive).
+    pub fn central(&self) -> f64 {
+        self.dist
+            .as_fixed()
+            .or_else(|| self.dist.mean().ok())
+            .unwrap_or(1.0)
+    }
+
+    /// True if this knob changes any result: purity below one (in either
+    /// mode) introduces metallic-CNT defects.
+    pub fn is_active(&self) -> bool {
+        self.dist.as_fixed() != Some(1.0)
+    }
+
+    /// Parse from the wire forms: a bare dist (number or distribution
+    /// object, short mode) or a `{"mode": …, "dist": …}` object.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::UnknownKey`] / [`PipelineError::InvalidSpec`]
+    /// for unknown modes, parameters, or malformed distributions.
+    pub fn from_json(v: &Json) -> Result<Self> {
+        match v {
+            Json::Obj(fields) if v.get("mode").is_some() => {
+                const ALLOW: [&str; 2] = ["mode", "dist"];
+                for (key, _) in fields {
+                    if !ALLOW.contains(&key.as_str()) {
+                        return Err(crate::builder::unknown_key("purity", key, &ALLOW));
+                    }
+                }
+                let mode = v
+                    .get("mode")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| invalid("purity", "`mode` must be a string (short, removal)"))?;
+                let mode = PurityMode::parse(mode).ok_or_else(|| {
+                    invalid(
+                        "purity",
+                        format!("unknown purity mode `{mode}` (short, removal)"),
+                    )
+                })?;
+                let dist = match v.get("dist") {
+                    None => DistSpec::Fixed(1.0),
+                    Some(d) => knob::dist_from_json("purity", d)?,
+                };
+                Ok(Self { dist, mode })
+            }
+            _ => Ok(Self {
+                dist: knob::dist_from_json("purity", v)?,
+                mode: PurityMode::Short,
+            }),
+        }
+    }
+
+    /// Serialize to the wire normal form: short mode emits the bare dist
+    /// (scalar back-compat), removal mode the tagged mode object.
+    pub fn to_json(&self) -> Json {
+        match self.mode {
+            PurityMode::Short => knob::dist_to_json(&self.dist),
+            PurityMode::Removal => Json::Obj(vec![
+                ("mode".into(), Json::Str(self.mode.name().into())),
+                ("dist".into(), knob::dist_to_json(&self.dist)),
+            ]),
+        }
+    }
+
+    /// Domain validation: a valid distribution with central value in
+    /// `(0, 1]` (fixed values are checked exactly).
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::InvalidSpec`] naming the `purity` field.
+    pub fn validate(&self) -> Result<()> {
+        self.dist
+            .validate()
+            .map_err(|e| invalid("purity", e.to_string()))?;
+        let central = self.central();
+        if !(central > 0.0 && central <= 1.0) {
+            return Err(invalid("purity", "must be in (0, 1]"));
+        }
+        Ok(())
+    }
+}
+
+/// Parse a [`RedundancyScheme`] from its wire forms: a bare kind string
+/// (`"none"`, `"tmr"`), a tagged object
+/// (`{"kind": "spare-units", "spares": 4, "unit_size": 65536}`), or the
+/// nested single-key shorthand (`{"spare-units": {"spares": 4, …}}`).
+/// Unknown kinds and parameters fail with a nearest-name suggestion.
+///
+/// # Errors
+///
+/// [`PipelineError::UnknownKey`] / [`PipelineError::InvalidSpec`] for
+/// unknown kinds/fields or mistyped parameters. Parameter *domains* are
+/// checked by [`ScenarioSpec::validate`], not here.
+pub fn redundancy_from_json(v: &Json) -> Result<RedundancyScheme> {
+    let count = |v: &Json, kind: &'static str, key: &'static str| -> Result<Option<u64>> {
+        match v.get(key) {
+            None => Ok(None),
+            Some(j) => j
+                .as_f64()
+                .filter(|n| n.fract() == 0.0 && *n >= 0.0 && *n <= 1e15)
+                .map(|n| Some(n as u64))
+                .ok_or_else(|| {
+                    invalid(
+                        "redundancy",
+                        format!("{kind} `{key}` must be a non-negative integer"),
+                    )
+                }),
+        }
+    };
+    let require = |field: Option<u64>, kind: &'static str, key: &'static str| {
+        field.ok_or_else(|| invalid("redundancy", format!("{kind} needs `{key}`")))
+    };
+    let from_fields = |kind: &str, v: &Json, allow: &[&'static str]| -> Result<RedundancyScheme> {
+        let fields = v.as_object().ok_or_else(|| {
+            invalid(
+                "redundancy",
+                format!("`{kind}` parameters must be an object"),
+            )
+        })?;
+        for (key, _) in fields {
+            if !allow.contains(&key.as_str()) {
+                return Err(crate::builder::unknown_key("redundancy", key, allow));
+            }
+        }
+        match kind {
+            "none" => Ok(RedundancyScheme::None),
+            "tmr" => Ok(RedundancyScheme::Tmr),
+            "spare-units" => Ok(RedundancyScheme::SpareUnits {
+                spares: require(count(v, "spare-units", "spares")?, "spare-units", "spares")?,
+                unit_size: require(
+                    count(v, "spare-units", "unit_size")?,
+                    "spare-units",
+                    "unit_size",
+                )?,
+            }),
+            "repairable-tile" => Ok(RedundancyScheme::RepairableTile {
+                tiles: require(
+                    count(v, "repairable-tile", "tiles")?,
+                    "repairable-tile",
+                    "tiles",
+                )?,
+                spare_tiles: require(
+                    count(v, "repairable-tile", "spare_tiles")?,
+                    "repairable-tile",
+                    "spare_tiles",
+                )?,
+                test_coverage: match v.get("test_coverage") {
+                    None => 1.0,
+                    Some(j) => j
+                        .as_f64()
+                        .ok_or_else(|| invalid("redundancy", "`test_coverage` must be a number"))?,
+                },
+            }),
+            other => Err(crate::builder::unknown_key(
+                "redundancy",
+                other,
+                &RedundancyScheme::KINDS,
+            )),
+        }
+    };
+    match v {
+        Json::Str(s) => match s.as_str() {
+            "none" => Ok(RedundancyScheme::None),
+            "tmr" => Ok(RedundancyScheme::Tmr),
+            "spare-units" | "repairable-tile" => Err(invalid(
+                "redundancy",
+                format!("`{s}` needs parameters (use the object form)"),
+            )),
+            other => Err(crate::builder::unknown_key(
+                "redundancy",
+                other,
+                &RedundancyScheme::KINDS,
+            )),
+        },
+        Json::Obj(fields) => {
+            // Nested single-key form: { "spare-units": { "spares": … } }.
+            if fields.len() == 1 && RedundancyScheme::KINDS.contains(&fields[0].0.as_str()) {
+                let params = match fields[0].0.as_str() {
+                    "spare-units" => &["spares", "unit_size"][..],
+                    "repairable-tile" => &["tiles", "spare_tiles", "test_coverage"][..],
+                    _ => &[][..],
+                };
+                return from_fields(&fields[0].0, &fields[0].1, params);
+            }
+            let kind = v
+                .get("kind")
+                .and_then(Json::as_str)
+                .ok_or_else(|| invalid("redundancy", "object form needs a `kind` string"))?;
+            let params = match kind {
+                "none" | "tmr" => &["kind"][..],
+                "spare-units" => &["kind", "spares", "unit_size"][..],
+                "repairable-tile" => &["kind", "tiles", "spare_tiles", "test_coverage"][..],
+                other => {
+                    return Err(crate::builder::unknown_key(
+                        "redundancy",
+                        other,
+                        &RedundancyScheme::KINDS,
+                    ))
+                }
+            };
+            from_fields(kind, v, params)
+        }
+        _ => Err(invalid("redundancy", "must be a string or an object")),
+    }
+}
+
+/// Serialize a [`RedundancyScheme`] to its normal wire form: a bare kind
+/// string for the parameterless schemes, a tagged `kind` object otherwise.
+/// Round-trips exactly through [`redundancy_from_json`].
+pub fn redundancy_to_json(s: &RedundancyScheme) -> Json {
+    match *s {
+        RedundancyScheme::None | RedundancyScheme::Tmr => Json::Str(s.name().into()),
+        RedundancyScheme::SpareUnits { spares, unit_size } => Json::Obj(vec![
+            ("kind".into(), Json::Str(s.name().into())),
+            ("spares".into(), Json::Num(spares as f64)),
+            ("unit_size".into(), Json::Num(unit_size as f64)),
+        ]),
+        RedundancyScheme::RepairableTile {
+            tiles,
+            spare_tiles,
+            test_coverage,
+        } => Json::Obj(vec![
+            ("kind".into(), Json::Str(s.name().into())),
+            ("tiles".into(), Json::Num(tiles as f64)),
+            ("spare_tiles".into(), Json::Num(spare_tiles as f64)),
+            ("test_coverage".into(), Json::Num(test_coverage)),
+        ]),
+    }
+}
+
 /// One declarative yield scenario.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioSpec {
@@ -483,6 +748,15 @@ pub struct ScenarioSpec {
     /// relaxation; the paper's directional growth reaches 200 µm. A bare
     /// number is the fixed form; a distribution models per-die variation.
     pub l_cnt_um: DistSpec,
+    /// s-CNT purity: the semiconducting fraction of the grown CNTs and
+    /// whether metallic ones short their transistor or are removed
+    /// (count-thinning). `Fixed(1)` — the default — reproduces the paper's
+    /// implicit perfect-purity assumption exactly.
+    pub purity: PuritySpec,
+    /// Architectural redundancy scheme applied to the per-cell failure
+    /// probability before the chip-yield inversion. `None` — the default —
+    /// is the paper's raw-yield treatment.
+    pub redundancy: RedundancyScheme,
     /// Aligned-active grid policy (Sec 3.3: one or two regions).
     pub grid: GridPolicy,
     /// Use the reduced OpenRISC-class design for the mapped statistics.
@@ -511,6 +785,8 @@ impl ScenarioSpec {
             rho: RhoSpec::Measured,
             density: DistSpec::Fixed(1.0),
             l_cnt_um: DistSpec::Fixed(paper::L_CNT_UM),
+            purity: PuritySpec::perfect(),
+            redundancy: RedundancyScheme::None,
             grid: GridPolicy::Single,
             fast_design: false,
             mc_trials: 0,
@@ -556,6 +832,27 @@ impl ScenarioSpec {
             if !(v.is_finite() && v > 0.0) {
                 return Err(invalid("l_cnt_um", "must be finite and > 0"));
             }
+        }
+        self.purity.validate()?;
+        self.redundancy
+            .validate()
+            .map_err(|e| invalid("redundancy", e.to_string()))?;
+        if self.redundancy.exact_terms() > INVERT_TERM_LIMIT {
+            return Err(invalid(
+                "redundancy",
+                format!(
+                    "scheme needs {} exact tail terms; the per-cell budget \
+                     inversion caps at {INVERT_TERM_LIMIT} (reduce spares)",
+                    self.redundancy.exact_terms()
+                ),
+            ));
+        }
+        if self.fault_active() && self.m_min == MminSpec::SelfConsistent {
+            return Err(invalid(
+                "m_min",
+                "self-consistent M_min is not supported with purity/redundancy \
+                 faults active (use a fraction)",
+            ));
         }
         match self.backend {
             BackendSpec::Convolution { step } => {
@@ -618,7 +915,17 @@ impl ScenarioSpec {
             MminSpec::Fraction(d) => !d.is_fixed(),
             MminSpec::SelfConsistent => false,
         };
-        !self.density.is_fixed() || !self.l_cnt_um.is_fixed() || m_min_stochastic
+        !self.density.is_fixed()
+            || !self.l_cnt_um.is_fixed()
+            || m_min_stochastic
+            || !self.purity.dist.is_fixed()
+    }
+
+    /// True if the fault subsystem changes this scenario's result: purity
+    /// below one (either mode) or any redundancy scheme. Inactive
+    /// scenarios take the fault-free evaluation path byte-for-byte.
+    pub fn fault_active(&self) -> bool {
+        self.purity.is_active() || self.redundancy != RedundancyScheme::None
     }
 
     /// Resolve every stochastic knob to a concrete scalar under `seed`,
@@ -661,6 +968,9 @@ impl ScenarioSpec {
                 spec.m_min = MminSpec::Fraction(DistSpec::Fixed(draw(2, &d)?));
             }
         }
+        if !spec.purity.dist.is_fixed() {
+            spec.purity.dist = DistSpec::Fixed(draw(3, &self.purity.dist)?);
+        }
         Ok(spec)
     }
 
@@ -695,6 +1005,8 @@ impl ScenarioSpec {
             ),
             ("density".into(), knob::dist_to_json(&self.density)),
             ("l_cnt_um".into(), knob::dist_to_json(&self.l_cnt_um)),
+            ("purity".into(), self.purity.to_json()),
+            ("redundancy".into(), redundancy_to_json(&self.redundancy)),
             (
                 "grid".into(),
                 Json::Str(
@@ -850,6 +1162,28 @@ pub(crate) fn axis_label(v: &Json) -> String {
         Json::Num(n) if n.fract() == 0.0 && n.abs() < 1e15 => format!("{}", *n as i64),
         Json::Num(n) => format!("{n}"),
         Json::Bool(b) => format!("{b}"),
+        // A tagged parameter object (e.g. a redundancy scheme) labels as
+        // `kind(param=value,…)` so candidate names stay readable.
+        Json::Obj(fields)
+            if fields
+                .iter()
+                .any(|(k, v)| k == "kind" && v.as_str().is_some()) =>
+        {
+            let kind = fields
+                .iter()
+                .find_map(|(k, v)| (k == "kind").then(|| v.as_str().unwrap_or_default()))
+                .unwrap_or_default();
+            let params: Vec<String> = fields
+                .iter()
+                .filter(|(k, _)| k != "kind")
+                .map(|(k, v)| format!("{k}={}", axis_label(v)))
+                .collect();
+            if params.is_empty() {
+                kind.to_string()
+            } else {
+                format!("{kind}({})", params.join(","))
+            }
+        }
         other => format!("{other:?}"),
     }
 }
@@ -1077,6 +1411,161 @@ mod tests {
             )
             .is_err(),
             "mistyped key in the kind form"
+        );
+    }
+
+    #[test]
+    fn purity_spec_forms_and_round_trip() {
+        // Scalar back-compat: a bare number is Short-mode fixed purity.
+        let bare = PuritySpec::from_json(&Json::Num(0.999_9)).unwrap();
+        assert_eq!(bare.mode, PurityMode::Short);
+        assert_eq!(bare.dist, DistSpec::Fixed(0.999_9));
+        assert!(bare.is_active());
+        assert!(!PuritySpec::perfect().is_active());
+        // Mode object form, dist defaulted.
+        let removal =
+            PuritySpec::from_json(&Json::parse(r#"{ "mode": "removal" }"#).unwrap()).unwrap();
+        assert_eq!(removal.mode, PurityMode::Removal);
+        assert_eq!(removal.dist, DistSpec::Fixed(1.0));
+        // Mode object with a distribution payload.
+        let spread = PuritySpec::from_json(
+            &Json::parse(
+                r#"{ "mode": "removal",
+                     "dist": { "kind": "uniform", "lo": 0.999, "hi": 0.9999 } }"#,
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        assert!(!spread.dist.is_fixed());
+        assert!(spread.central() > 0.999 && spread.central() < 0.9999);
+        // Round trips through the scenario serialization.
+        for purity in [bare, removal, spread] {
+            let mut spec = ScenarioSpec::baseline("p");
+            spec.purity = purity;
+            spec.validate().unwrap();
+            assert_eq!(ScenarioSpec::from_json(&spec.to_json()).unwrap(), spec);
+        }
+        // Bad values reject with actionable messages.
+        assert!(PuritySpec::from_json(&Json::Num(0.0)).map_or_else(
+            |e| e.to_string().contains("purity"),
+            |p| p.validate().is_err()
+        ));
+        let err =
+            PuritySpec::from_json(&Json::parse(r#"{ "mode": "shrot" }"#).unwrap()).unwrap_err();
+        assert!(err.to_string().contains("short"), "message: {err}");
+        let err =
+            PuritySpec::from_json(&Json::parse(r#"{ "mode": "short", "dst": 0.9 }"#).unwrap())
+                .unwrap_err();
+        assert!(
+            err.to_string().contains("did you mean `dist`"),
+            "message: {err}"
+        );
+    }
+
+    #[test]
+    fn redundancy_forms_and_round_trip() {
+        // Bare kind strings.
+        assert_eq!(
+            redundancy_from_json(&Json::Str("none".into())).unwrap(),
+            RedundancyScheme::None
+        );
+        assert_eq!(
+            redundancy_from_json(&Json::Str("tmr".into())).unwrap(),
+            RedundancyScheme::Tmr
+        );
+        // Tagged object form.
+        let spares = redundancy_from_json(
+            &Json::parse(r#"{ "kind": "spare-units", "spares": 4, "unit_size": 65536 }"#).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(
+            spares,
+            RedundancyScheme::SpareUnits {
+                spares: 4,
+                unit_size: 65_536
+            }
+        );
+        // Nested single-key shorthand; test_coverage defaults to 1.
+        let tiles = redundancy_from_json(
+            &Json::parse(r#"{ "repairable-tile": { "tiles": 64, "spare_tiles": 8 } }"#).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(
+            tiles,
+            RedundancyScheme::RepairableTile {
+                tiles: 64,
+                spare_tiles: 8,
+                test_coverage: 1.0
+            }
+        );
+        // Round trips through the scenario serialization.
+        for scheme in [RedundancyScheme::Tmr, spares, tiles] {
+            let mut spec = ScenarioSpec::baseline("r");
+            spec.redundancy = scheme;
+            spec.validate().unwrap();
+            assert_eq!(ScenarioSpec::from_json(&spec.to_json()).unwrap(), spec);
+        }
+        // Unknown kinds and parameters carry nearest-name suggestions.
+        let err = redundancy_from_json(&Json::Str("tmrr".into())).unwrap_err();
+        assert!(
+            err.to_string().contains("did you mean `tmr`"),
+            "message: {err}"
+        );
+        let err = redundancy_from_json(
+            &Json::parse(r#"{ "kind": "spare-units", "spare": 4, "unit_size": 1 }"#).unwrap(),
+        )
+        .unwrap_err();
+        assert!(
+            err.to_string().contains("did you mean `spares`"),
+            "message: {err}"
+        );
+        // A parameterized kind as a bare string needs the object form.
+        assert!(redundancy_from_json(&Json::Str("spare-units".into())).is_err());
+        // Validation rejects out-of-domain parameters and oversized schemes.
+        let mut spec = ScenarioSpec::baseline("bad");
+        spec.redundancy = RedundancyScheme::SpareUnits {
+            spares: 1,
+            unit_size: 0,
+        };
+        assert!(spec.validate().is_err(), "unit_size = 0");
+        spec.redundancy = RedundancyScheme::SpareUnits {
+            spares: INVERT_TERM_LIMIT + 1,
+            unit_size: 1,
+        };
+        assert!(spec.validate().is_err(), "beyond INVERT_TERM_LIMIT");
+        // Self-consistent M_min is rejected while faults are active.
+        spec.redundancy = RedundancyScheme::Tmr;
+        spec.m_min = MminSpec::SelfConsistent;
+        assert!(spec.validate().is_err(), "self-consistent + redundancy");
+    }
+
+    #[test]
+    fn purity_realizes_in_impurity_space() {
+        let mut spec = ScenarioSpec::baseline("stoch");
+        spec.purity = PuritySpec {
+            dist: DistSpec::Uniform {
+                lo: 0.999,
+                hi: 0.999_99,
+            },
+            mode: PurityMode::Short,
+        };
+        assert!(spec.is_stochastic());
+        assert!(spec.fault_active());
+        let realized = spec.realize(41).unwrap();
+        let v = realized.purity.dist.as_fixed().expect("realized to fixed");
+        // In-domain up to the 2⁻¹⁰ relative impurity quantization grid.
+        assert!(v > 0.998_9 && v < 1.0 - 0.9e-5, "in-domain draw: {v}");
+        assert_eq!(realized.purity.mode, PurityMode::Short);
+        // Byte-determinism: the same seed realizes identically.
+        assert_eq!(spec.realize(41).unwrap(), realized);
+        // Purity draws come from knob stream 3: the draw does not move
+        // when another knob also becomes stochastic.
+        let mut both = spec.clone();
+        both.density = DistSpec::Uniform { lo: 0.9, hi: 1.1 };
+        assert_eq!(
+            both.realize(41).unwrap().purity.dist.as_fixed(),
+            Some(v),
+            "adding a density distribution must not shift purity draws"
         );
     }
 

@@ -37,8 +37,11 @@ use crate::report::artifact_stem;
 use crate::spec::{MminSpec, RhoSpec, ScenarioSpec};
 use crate::{PipelineError, Result};
 use cnfet_core::chipyield::yield_min_dominated;
+use cnfet_core::failure::FailureModel;
 use cnfet_core::paper;
 use cnfet_core::rowmodel::RowModel;
+use cnfet_fault::{short_probability, McFallback, PurityMode, RedundancyScheme};
+use cnfet_sim::adaptive::McPrecision;
 use cnt_stats::seed::split_seed;
 use cnt_stats::{DistSpec, FastMap, FastSet, FieldSampler, FieldSpec};
 use std::collections::BTreeMap;
@@ -70,18 +73,23 @@ const MAX_DIAMETER_DIES: u32 = 4096;
 const MEMO_SHARDS: usize = 16;
 
 /// One shard of the scenario memo: quantized knob tuple → die yield.
-type MemoShard = Mutex<FastMap<(u64, u64, u64), f64>>;
+type MemoShard = Mutex<FastMap<(u64, u64, u64, u64), f64>>;
 
 /// Pick the memo shard for a quantized knob tuple (multiply–rotate mix of
-/// the three bit patterns, same family as `cnt_stats::fasthash`).
-fn memo_shard(key: (u64, u64, u64)) -> usize {
+/// the four bit patterns, same family as `cnt_stats::fasthash`).
+fn memo_shard(key: (u64, u64, u64, u64)) -> usize {
     const PHI64: u64 = 0x9e37_79b9_7f4a_7c15;
     let mut h = key.0;
     h = (h ^ key.1).wrapping_mul(PHI64).rotate_left(26);
     h = (h ^ key.2).wrapping_mul(PHI64).rotate_left(26);
+    h = (h ^ key.3).wrapping_mul(PHI64).rotate_left(26);
     h ^= h >> 32;
     (h.wrapping_mul(PHI64) >> 60) as usize % MEMO_SHARDS
 }
+
+/// Seed salt deriving the redundancy-compose Monte-Carlo fallback stream
+/// for wafer die evaluations, disjoint from the knob realization streams.
+const WAFER_FAULT_SALT: u64 = 0x7746_6C74; // "wflt"
 
 /// Top-level keys of a wafer spec document.
 pub const WAFER_KEYS: [&str; 5] = ["name", "seed", "diameter_dies", "base", "fields"];
@@ -124,8 +132,9 @@ pub struct WaferSpec {
     /// The scenario the design is solved on and every die derives from.
     pub base: ScenarioSpec,
     /// Per-knob random fields, indexed like
-    /// [`crate::knob::STOCHASTIC_KNOBS`] (density, l_cnt_um, m_min).
-    pub fields: [Option<FieldSpec>; 3],
+    /// [`crate::knob::STOCHASTIC_KNOBS`] (density, l_cnt_um, m_min,
+    /// purity).
+    pub fields: [Option<FieldSpec>; 4],
 }
 
 impl WaferSpec {
@@ -136,7 +145,7 @@ impl WaferSpec {
             diameter_dies,
             seed: None,
             base,
-            fields: [None, None, None],
+            fields: [None, None, None, None],
         }
     }
 
@@ -206,7 +215,7 @@ impl WaferSpec {
         }
         let base = builder.build()?;
 
-        let mut fields: [Option<FieldSpec>; 3] = [None, None, None];
+        let mut fields: [Option<FieldSpec>; 4] = [None, None, None, None];
         if let Some(v) = doc.get("fields") {
             let entries = v
                 .as_object()
@@ -287,12 +296,21 @@ impl WaferSpec {
                 "an `m_min` field needs a fractional base `m_min`, not \"self-consistent\"",
             ));
         }
+        if self.fields[3].is_some() && self.base.purity.mode == PurityMode::Removal {
+            return Err(invalid(
+                "fields",
+                "a `purity` field needs the \"short\" purity mode — removal-mode \
+                 purity reshapes the failure curve, which is solved once per \
+                 wafer, not per die",
+            ));
+        }
         Ok(())
     }
 
     /// The effective random field of one knob: the explicit field if set,
     /// otherwise the base scenario's knob as a trivial field. `None` for
-    /// `m_min` under the self-consistent treatment (no per-die variation).
+    /// `m_min` under the self-consistent treatment and for removal-mode
+    /// `purity` (both have no per-die variation).
     fn effective_field(&self, knob: usize) -> Option<FieldSpec> {
         if let Some(f) = &self.fields[knob] {
             return Some(*f);
@@ -303,6 +321,10 @@ impl WaferSpec {
             2 => match self.base.m_min {
                 MminSpec::Fraction(d) => d,
                 MminSpec::SelfConsistent => return None,
+            },
+            3 => match self.base.purity.mode {
+                PurityMode::Short => self.base.purity.dist,
+                PurityMode::Removal => return None,
             },
             _ => unreachable!("no such knob"),
         };
@@ -324,6 +346,7 @@ impl WaferSpec {
         if let MminSpec::Fraction(d) = base.m_min {
             base.m_min = MminSpec::Fraction(central(&d, "m_min")?);
         }
+        base.purity.dist = central(&base.purity.dist, "purity")?;
         Ok(base)
     }
 
@@ -551,7 +574,7 @@ struct ChunkAgg {
     bins: [u64; YIELD_BINS],
     band_dies: [u64; RADIAL_BANDS],
     band_sum: [f64; RADIAL_BANDS],
-    distinct: FastSet<(u64, u64, u64)>,
+    distinct: FastSet<(u64, u64, u64, u64)>,
 }
 
 impl ChunkAgg {
@@ -567,7 +590,7 @@ impl ChunkAgg {
         }
     }
 
-    fn add(&mut self, y: f64, r: f64, key: (u64, u64, u64)) {
+    fn add(&mut self, y: f64, r: f64, key: (u64, u64, u64, u64)) {
         self.sum_yield += y;
         self.min_yield = self.min_yield.min(y);
         self.max_yield = self.max_yield.max(y);
@@ -601,6 +624,18 @@ struct DieModel {
     grid_division: f64,
     m_transistors: f64,
     base_m_min: f64,
+    fault: Option<WaferFault>,
+}
+
+/// Per-run fault constants (present when the base scenario has purity or
+/// redundancy active). `short_n_bar` is the mean CNT count under a
+/// `W_design`-wide gate — the per-die metallic-short hook; `None` in
+/// removal mode, where purity already reshaped the central solve's
+/// failure curve and has no additional per-die effect.
+struct WaferFault {
+    short_n_bar: Option<f64>,
+    redundancy: RedundancyScheme,
+    mc: McFallback,
 }
 
 /// The streaming wafer evaluator over a shared [`Pipeline`].
@@ -621,8 +656,12 @@ impl<'a> WaferEngine<'a> {
     }
 
     /// Evaluate one die from its realized knob values.
-    fn die_yield(model: &DieModel, spec: &ScenarioSpec, knobs: (f64, f64, f64)) -> Result<f64> {
-        let (density, l_cnt, m_min_frac) = knobs;
+    fn die_yield(
+        model: &DieModel,
+        spec: &ScenarioSpec,
+        knobs: (f64, f64, f64, f64),
+    ) -> Result<f64> {
+        let (density, l_cnt, m_min_frac, purity) = knobs;
         let row = RowModel::from_design(l_cnt, model.rho_scaled * density)?
             .with_grid_division(model.grid_division)?;
         let relaxation = Pipeline::relaxation(spec, &row);
@@ -632,7 +671,24 @@ impl<'a> WaferEngine<'a> {
             model.base_m_min
         };
         let p_eff = (model.p_at_w / relaxation.max(1.0)).min(0.999_999);
-        Ok(yield_min_dominated(p_eff, m_min))
+        let Some(fault) = &model.fault else {
+            return Ok(yield_min_dominated(p_eff, m_min));
+        };
+        // Fault-aware die: the per-die purity shorts a fraction of the
+        // cells on top of the correlation-credited open failure, then the
+        // redundancy scheme recovers what it can.
+        let p_short = match fault.short_n_bar {
+            Some(n_bar) if purity < 1.0 => {
+                short_probability(purity, n_bar).map_err(|e| invalid("fault", e.to_string()))?
+            }
+            _ => 0.0,
+        };
+        let p_cell = (p_short + p_eff).clamp(0.0, 1.0);
+        let outcome = fault
+            .redundancy
+            .compose(p_cell, m_min, &fault.mc)
+            .map_err(|e| invalid("fault", e.to_string()))?;
+        Ok(outcome.circuit_yield)
     }
 
     /// Run the wafer workload: solve the central base scenario for
@@ -671,18 +727,42 @@ impl<'a> WaferEngine<'a> {
                     .rho_per_um
             }
         };
+        // Fault constants: the short hook needs the mean CNT count at
+        // W_design under the *spec* corner (removal mode folds purity
+        // into the corner inside `evaluate` and leaves no per-die term).
+        let fault = if central.fault_active() {
+            let short_n_bar = match central.purity.mode {
+                PurityMode::Short => {
+                    let fm = FailureModel::paper_default(central.corner.corner()?)?;
+                    Some(fm.mean_count(w_design)?)
+                }
+                PurityMode::Removal => None,
+            };
+            Some(WaferFault {
+                short_n_bar,
+                redundancy: central.redundancy,
+                mc: McFallback {
+                    seed: split_seed(seed, WAFER_FAULT_SALT),
+                    workers: 1,
+                    precision: McPrecision::default(),
+                },
+            })
+        } else {
+            None
+        };
         let model = DieModel {
             p_at_w: base_report.p_at_w_min,
             rho_scaled: rho_base * base_node / central.node_nm,
             grid_division: central.grid.benefit_division(),
             m_transistors: central.m_transistors,
             base_m_min: base_report.m_min,
+            fault,
         };
 
         // Seed one sampler per knob; die draws key off the full-grid die
         // index inside the sampler, so they are position-stable.
         let knob_base = split_seed(seed, knob::KNOB_SALT);
-        let mut samplers: [Option<FieldSampler>; 3] = [None, None, None];
+        let mut samplers: [Option<FieldSampler>; 4] = [None, None, None, None];
         for (i, sampler) in samplers.iter_mut().enumerate() {
             if let Some(field) = spec.effective_field(i) {
                 *sampler = Some(
@@ -697,7 +777,8 @@ impl<'a> WaferEngine<'a> {
                 0 => central.density.as_fixed().unwrap_or(1.0),
                 1 => central.l_cnt_um.as_fixed().unwrap_or(paper::L_CNT_UM),
                 // 0 signals "use the base solution's M_min" downstream.
-                _ => 0.0,
+                2 => 0.0,
+                _ => central.purity.dist.as_fixed().unwrap_or(1.0),
             }
         };
 
@@ -720,7 +801,7 @@ impl<'a> WaferEngine<'a> {
                     let hi = (lo + CHUNK_DIES).min(dies.len());
                     let mut agg = ChunkAgg::new();
                     for die in &dies[lo..hi] {
-                        let mut knobs = [0.0_f64; 3];
+                        let mut knobs = [0.0_f64; 4];
                         for (i, k) in knobs.iter_mut().enumerate() {
                             *k = match &samplers[i] {
                                 Some(s) => {
@@ -729,7 +810,12 @@ impl<'a> WaferEngine<'a> {
                                 None => central_knob(i),
                             };
                         }
-                        let key = (knobs[0].to_bits(), knobs[1].to_bits(), knobs[2].to_bits());
+                        let key = (
+                            knobs[0].to_bits(),
+                            knobs[1].to_bits(),
+                            knobs[2].to_bits(),
+                            knobs[3].to_bits(),
+                        );
                         let shard = &memo[memo_shard(key)];
                         let cached = shard.lock().expect("wafer lock").get(&key).copied();
                         let y = match cached {
@@ -738,7 +824,7 @@ impl<'a> WaferEngine<'a> {
                                 match Self::die_yield(
                                     &model,
                                     &central,
-                                    (knobs[0], knobs[1], knobs[2]),
+                                    (knobs[0], knobs[1], knobs[2], knobs[3]),
                                 ) {
                                     Ok(y) => {
                                         shard.lock().expect("wafer lock").insert(key, y);
@@ -804,7 +890,7 @@ impl<'a> WaferEngine<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::spec::{BackendSpec, CorrelationSpec};
+    use crate::spec::{BackendSpec, CorrelationSpec, PuritySpec};
 
     fn fast_base() -> ScenarioSpec {
         let mut base = ScenarioSpec::baseline("wafer-test");
@@ -942,6 +1028,42 @@ mod tests {
             report.overall_yield,
             spec.base.yield_target
         );
+    }
+
+    #[test]
+    fn purity_field_drives_redundancy_recovered_die_yield() {
+        // A per-die s-CNT purity field (short mode) must move die yield
+        // through the redundancy compose path, deterministically for any
+        // worker count. The field spans four decades of impurity, so the
+        // wafer holds both near-clean dies that meet the target under TMR
+        // and dirty dies that miss it outright.
+        let mut spec = WaferSpec::new("fault", 20, fast_base());
+        spec.base.purity = PuritySpec {
+            dist: DistSpec::Fixed(1.0 - 1e-7),
+            mode: PurityMode::Short,
+        };
+        spec.base.redundancy = RedundancyScheme::Tmr;
+        spec.fields[3] = Some(FieldSpec::from_dist(DistSpec::Uniform {
+            lo: 0.99999,
+            hi: 0.999999999,
+        }));
+        assert!(spec.validate().is_ok());
+        let p = Pipeline::new();
+        let engine = WaferEngine::new(&p);
+        let one = engine.run(&spec, 7, 1).unwrap();
+        let four = engine.run(&spec, 7, 4).unwrap();
+        assert_eq!(one, four);
+        assert!(
+            one.max_die_yield - one.min_die_yield > 0.1,
+            "purity spread must separate die yields: min {} max {}",
+            one.min_die_yield,
+            one.max_die_yield
+        );
+
+        // Removal-mode purity reshapes the failure curve, which is solved
+        // once per wafer — a per-die purity field must be rejected.
+        spec.base.purity.mode = PurityMode::Removal;
+        assert!(spec.validate().is_err());
     }
 
     #[test]

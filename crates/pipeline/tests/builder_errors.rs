@@ -164,10 +164,17 @@ fn every_scenario_key_has_a_working_set_json_arm() {
         ("yield_target", "0.95"),
         ("backend", r#""gaussian-sum""#),
         ("m_transistors", "1e7"),
-        ("m_min", r#""self-consistent""#),
+        // A fraction, not "self-consistent": the fault knobs below need a
+        // closed-form M_min (the builder rejects the combination).
+        ("m_min", "0.33"),
         ("rho", r#""paper""#),
         ("density", r#"{ "gaussian": { "mean": 1, "sd": 0.05 } }"#),
         ("l_cnt_um", "400"),
+        ("purity", "0.9999"),
+        (
+            "redundancy",
+            r#"{ "kind": "spare-units", "spares": 2, "unit_size": 4096 }"#,
+        ),
         ("grid", r#""dual""#),
         ("fast_design", "true"),
         ("mc_trials", "50"),

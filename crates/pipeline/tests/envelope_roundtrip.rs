@@ -124,6 +124,7 @@ fn report(name: &[usize], seed: u64, w_min: f64, with_mc: bool) -> ScenarioRepor
             ci_level: 0.95,
             converged: seed.is_multiple_of(2),
         }),
+        fault: None,
     }
 }
 

@@ -156,6 +156,24 @@ fn generate(seed: u64, client: u64, req: u64) -> GenRequest {
             "describe",
             false,
         ),
+        11..=16 => {
+            // Fault-aware evaluates: a purity/redundancy pair per request,
+            // drawn from small pools so the fault compose paths see the
+            // same cache-friendly repetition as the correlation knob.
+            let purity = ["0.9999999", "0.999999999", "0.99999999999"][(r >> 32) as usize % 3];
+            let redundancy = [
+                r#""none""#,
+                r#""tmr""#,
+                r#"{"kind":"spare-units","spares":4,"unit_size":65536}"#,
+            ][(r >> 40) as usize % 3];
+            (
+                format!(
+                    r#"{{"schema":1,"id":"{id}","body":{{"evaluate":{{"spec":{{{BASE_SPEC},"correlation":"{correlation}","l_cnt_um":{l_cnt_um},"purity":{purity},"redundancy":{redundancy}}},"seed":{request_seed}}}}}}}"#
+                ),
+                "fault",
+                false,
+            )
+        }
         _ => (
             format!(
                 r#"{{"schema":1,"id":"{id}","body":{{"evaluate":{{"spec":{{{BASE_SPEC},"correlation":"{correlation}","l_cnt_um":{l_cnt_um}}},"seed":{request_seed}}}}}}}"#

@@ -1,0 +1,122 @@
+//! `fault <spec.json>` — evaluate a purity/redundancy scenario and sweep
+//! the purity requirement across redundancy schemes.
+//!
+//! The spec file is a plain scenario document (the same keys `sweep`
+//! defaults and coopt `base` sections accept) whose `purity` and
+//! `redundancy` knobs exercise the `cnfet-fault` subsystem. The run
+//! prints the scenario's fault provenance block, then sweeps a purity
+//! ladder under three redundancy schemes to show the paper-level
+//! trade-off: every added layer of redundancy relaxes the s-CNT purity
+//! the process has to deliver at the same chip-yield target.
+
+use crate::common::{banner, write_csv, Result, RunContext};
+use cnfet_fault::RedundancyScheme;
+use cnfet_pipeline::{Json, ScenarioSpec};
+use cnfet_plot::Table;
+use cnt_stats::DistSpec;
+
+/// Impurity ladder for the requirement sweep (defect fraction `1 − purity`,
+/// most to least contaminated).
+const IMPURITY_LADDER: [f64; 7] = [1e-5, 1e-6, 1e-7, 1e-8, 1e-9, 1e-10, 1e-11];
+
+/// Run a fault scenario file through the engine.
+pub fn run(ctx: &RunContext, spec_file: &str) -> Result<()> {
+    banner("FAULT", &format!("fault scenario `{spec_file}`"));
+
+    let src = std::fs::read_to_string(spec_file)?;
+    let mut spec = ScenarioSpec::from_json(&Json::parse(&src)?)?;
+    if ctx.fast {
+        spec.fast_design = true;
+    }
+    let seed = ctx.seed_or(20100614);
+
+    let report = ctx.service.evaluate(&spec, seed)?;
+    println!(
+        "  `{}`: W_min {:.1} nm, penalty {:.4} (seed {seed})",
+        report.name, report.w_min_nm, report.upsizing_penalty,
+    );
+    let Some(fault) = &report.fault else {
+        println!("  spec has no purity/redundancy knobs active — nothing to analyze");
+        return Ok(());
+    };
+    let mut block = Table::new("fault provenance", &["quantity", "value"]);
+    for (k, v) in [
+        ("purity", format!("{}", fault.purity)),
+        ("mode", fault.mode.clone()),
+        ("p_short", format!("{:.3e}", fault.p_short)),
+        ("scheme", fault.scheme.clone()),
+        ("area_overhead", format!("{:.4}", fault.area_overhead)),
+        ("p_budget", format!("{:.3e}", fault.p_budget)),
+        ("recovered_yield", format!("{:.6}", fault.recovered_yield)),
+        ("shortfall", format!("{:.3e}", fault.shortfall)),
+        ("method", fault.method.clone()),
+        ("met_target", format!("{}", fault.met_target)),
+    ] {
+        block
+            .add_row(&[k.to_string(), v])
+            .map_err(crate::common::analysis)?;
+    }
+    println!("{}", block.to_markdown());
+
+    // The requirement sweep: for each scheme, walk the impurity ladder
+    // from dirty to clean and report the first purity that meets the
+    // target. Short-mode purity shares one failure curve across the
+    // whole sweep, so this is cheap.
+    let schemes: Vec<RedundancyScheme> = {
+        let mut s = vec![
+            RedundancyScheme::None,
+            RedundancyScheme::Tmr,
+            RedundancyScheme::SpareUnits {
+                spares: 8,
+                unit_size: 65_536,
+            },
+        ];
+        if !s.contains(&spec.redundancy) {
+            s.push(spec.redundancy);
+        }
+        s
+    };
+    let mut sweep = Table::new(
+        "required purity vs redundancy (at the spec's yield target)",
+        &[
+            "scheme",
+            "area_overhead",
+            "required_purity",
+            "recovered_yield",
+        ],
+    );
+    for scheme in schemes {
+        let mut found: Option<(f64, f64)> = None;
+        let mut overhead = 0.0;
+        for impurity in IMPURITY_LADDER {
+            let mut probe = spec.clone();
+            probe.name = format!("{}-{}-{impurity:e}", spec.name, scheme.name());
+            probe.redundancy = scheme;
+            probe.purity.dist = DistSpec::Fixed(1.0 - impurity);
+            let r = ctx.service.evaluate(&probe, seed)?;
+            let f = r.fault.as_ref().expect("fault knobs are active");
+            overhead = f.area_overhead;
+            if f.met_target {
+                found = Some((1.0 - impurity, f.recovered_yield));
+                break;
+            }
+        }
+        sweep
+            .add_row(&[
+                scheme.name().to_string(),
+                format!("{overhead:.4}"),
+                match found {
+                    Some((p, _)) => format!("{p:.12}"),
+                    None => "> ladder".to_string(),
+                },
+                match found {
+                    Some((_, y)) => format!("{y:.6}"),
+                    None => "-".to_string(),
+                },
+            ])
+            .map_err(crate::common::analysis)?;
+    }
+    println!("{}", sweep.to_markdown());
+    write_csv(ctx, &format!("{}-fault", report.name), &sweep)?;
+    Ok(())
+}

@@ -5,6 +5,7 @@
 //! cnfet-repro sweep <grid-file> [--fast] [--out-dir <path>] [--seed <u64>] [--workers <n>]
 //!                   [--backend <name-or-json>]
 //! cnfet-repro coopt <spec-file> [--fast] [--out-dir <path>] [--seed <u64>] [--workers <n>]
+//! cnfet-repro fault <spec-file> [--fast] [--out-dir <path>] [--seed <u64>]
 //! cnfet-repro wafer <spec-file> [--fast] [--out-dir <path>] [--seed <u64>] [--workers <n>]
 //! cnfet-repro serve [--workers <n>] [--curve-cache <n>] [--shards <n>]
 //!                   [--queue-depth <n>] [--admission <block|shed>]
@@ -22,6 +23,8 @@
 //!   all       everything above, in paper order
 //!   sweep     evaluate a declarative scenario-grid file in parallel
 //!   coopt     run a process–design co-optimization study (Pareto artifact)
+//!   fault     evaluate a purity/redundancy scenario and sweep the required
+//!             purity across redundancy schemes
 //!   wafer     stream a wafer-scale random-field workload to a yield artifact
 //!   serve     JSON-lines yield-service daemon on stdin/stdout (incl. co_opt)
 //!
@@ -51,6 +54,7 @@
 mod common;
 mod coopt;
 mod extras;
+mod fault;
 mod fig2_1;
 mod fig2_2a;
 mod fig2_2b;
@@ -74,6 +78,7 @@ fn usage() {
          cnfet-repro sweep <grid-file> [--fast] [--out-dir <path>] [--seed <u64>] [--workers <n>] \
          [--backend <name-or-json>]\n       \
          cnfet-repro coopt <spec-file> [--fast] [--out-dir <path>] [--seed <u64>] [--workers <n>]\n       \
+         cnfet-repro fault <spec-file> [--fast] [--out-dir <path>] [--seed <u64>]\n       \
          cnfet-repro wafer <spec-file> [--fast] [--out-dir <path>] [--seed <u64>] [--workers <n>]\n       \
          cnfet-repro serve [--workers <n>] [--curve-cache <n>] [--shards <n>] \
          [--queue-depth <n>] [--admission <block|shed>]"
@@ -230,6 +235,22 @@ fn dispatch(cli: &Cli) -> common::Result<()> {
             ));
         };
         return coopt::run(&ctx, spec_file, cli.workers);
+    }
+
+    if which == "fault" {
+        if cli.backend.is_some() || cli.workers.is_some() {
+            return Err(ReproError::Usage(
+                "fault takes only --fast, --out-dir, and --seed (a single-scenario \
+                 analysis has no worker pool or back-end override)"
+                    .into(),
+            ));
+        }
+        let Some(spec_file) = cli.positionals.get(1) else {
+            return Err(ReproError::Usage(
+                "fault needs a <spec-file> argument".into(),
+            ));
+        };
+        return fault::run(&ctx, spec_file);
     }
 
     if which == "wafer" {

@@ -187,6 +187,86 @@ pub fn log_sum_exp(a: f64, b: f64) -> f64 {
     m + ((a - m).exp() + (b - m).exp()).ln()
 }
 
+/// `ln C(n, k)` — the log binomial coefficient.
+///
+/// For the small side `min(k, n − k) ≤ 10⁴` this accumulates the exact
+/// product `Σ ln((n − j + 1)/j)`, which keeps full relative precision for
+/// the huge-`n`, tiny-`k` regime that dominates redundancy tail sums;
+/// larger arguments fall back to [`ln_gamma`].
+///
+/// ```
+/// use cnt_stats::special::ln_choose;
+/// assert!((ln_choose(5, 2) - 10.0_f64.ln()).abs() < 1e-12);
+/// assert_eq!(ln_choose(7, 0), 0.0);
+/// assert_eq!(ln_choose(3, 4), f64::NEG_INFINITY);
+/// ```
+pub fn ln_choose(n: u64, k: u64) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    let k = k.min(n - k);
+    if k <= 10_000 {
+        let mut acc = 0.0_f64;
+        for j in 1..=k {
+            acc += ((n - j + 1) as f64).ln() - (j as f64).ln();
+        }
+        acc
+    } else {
+        ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k)
+    }
+}
+
+/// Lower binomial tail `P(Bin(n, q) ≤ s)` evaluated term-by-term in log
+/// space: `Σ_{k=0}^{s} exp(ln C(n,k) + k·ln q + (n−k)·ln(1−q))`.
+///
+/// The caller supplies `ln_q = ln q` and `ln_1mq = ln(1 − q)` directly so
+/// that `q` values produced by `ln_1p`/`exp_m1` chains keep their full
+/// precision into the tail (a `q` of `1e-300` still contributes exact
+/// terms). Cost is `s + 1` exponentials — cheap for the spare counts a
+/// redundancy scheme carries.
+///
+/// The two log-weights need not sum to a full distribution: callers may
+/// pass a *thinned* count weight (e.g. only test-detected failures in
+/// `ln_q`) against an untinned survival weight in `ln_1mq`, in which
+/// case the sum is the probability of "≤ s counted events and no
+/// uncounted ones" — the degenerate `−∞` branches below keep exactly
+/// that reading.
+///
+/// ```
+/// use cnt_stats::special::binomial_tail_le;
+/// let q: f64 = 0.25;
+/// // P(Bin(4, 1/4) = 0) = (3/4)^4.
+/// let p0 = binomial_tail_le(4, 0, q.ln(), (1.0 - q).ln());
+/// assert!((p0 - 0.75_f64.powi(4)).abs() < 1e-12);
+/// // The full tail is a probability of 1.
+/// let all = binomial_tail_le(4, 4, q.ln(), (1.0 - q).ln());
+/// assert!((all - 1.0).abs() < 1e-12);
+/// ```
+pub fn binomial_tail_le(n: u64, s: u64, ln_q: f64, ln_1mq: f64) -> f64 {
+    if ln_q == f64::NEG_INFINITY {
+        // q = 0: only the k = 0 term survives.
+        return (n as f64 * ln_1mq).exp().min(1.0);
+    }
+    if ln_1mq == f64::NEG_INFINITY {
+        // 1 − q = 0: only the k = n term survives.
+        return if s >= n {
+            (n as f64 * ln_q).exp().min(1.0)
+        } else {
+            0.0
+        };
+    }
+    let s = s.min(n);
+    let mut sum = 0.0_f64;
+    let mut ln_c = 0.0_f64; // ln C(n, 0)
+    for k in 0..=s {
+        if k > 0 {
+            ln_c += ((n - k + 1) as f64).ln() - (k as f64).ln();
+        }
+        sum += (ln_c + k as f64 * ln_q + (n - k) as f64 * ln_1mq).exp();
+    }
+    sum.min(1.0)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

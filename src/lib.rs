@@ -36,6 +36,7 @@
 //! | [`netlist`] (`cnfet-netlist`) | OpenRISC-class design generator + mapping |
 //! | [`sim`] (`cnfet-sim`) | conditional Monte Carlo + exact run-DP |
 //! | [`core`] (`cnfet-core`) | the paper's yield models and optimizer |
+//! | [`fault`] (`cnfet-fault`) | s-CNT purity defect model + redundancy-scheme yield algebra |
 //! | [`pipeline`] (`cnfet-pipeline`) | scenario specs, bounded curve caches, the v1 `YieldService` + envelopes |
 //! | [`opt`] (`cnfet-opt`) | process–design co-optimization: searchers, Pareto fronts, `OptService` |
 //! | [`plot`] (`cnfet-plot`) | ASCII figures and markdown/CSV tables |
@@ -92,6 +93,7 @@
 pub use cnfet_celllib as celllib;
 pub use cnfet_core as core;
 pub use cnfet_device as device;
+pub use cnfet_fault as fault;
 pub use cnfet_layout as layout;
 pub use cnfet_netlist as netlist;
 pub use cnfet_opt as opt;
@@ -117,6 +119,7 @@ mod tests {
         let _ = crate::netlist::synth::DesignSpec::small();
         let _ = crate::sim::rundp::row_failure_probability(1, &[(0, 0)], 0.5);
         let _ = crate::core::paper::M_TRANSISTORS;
+        let _ = crate::fault::RedundancyScheme::Tmr;
         let _ = crate::pipeline::ScenarioSpec::baseline("t");
         let _ = crate::pipeline::YieldService::new().describe();
         let _ = crate::opt::OptService::new().describe();
