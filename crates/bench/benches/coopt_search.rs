@@ -1,0 +1,89 @@
+//! Bench COOPT_SEARCH — the adaptive searchers on the shipped 7-axis
+//! example (`examples/coopt/genetic_7axis.json`).
+//!
+//! The point of the successive-halving precision ladder is *evaluation
+//! economy*: match coordinate descent's optimum while spending at most
+//! half of its full-precision Monte-Carlo evaluations. That contract is
+//! asserted here (so a perf run cannot silently regress it) and the
+//! wall-clock of each strategy on a warm service is pinned in the perf
+//! trajectory:
+//!
+//! * `halving_genetic_7axis_warm` — the example's own searcher: a
+//!   genetic population explored at 9x-relaxed `rel_ci`, survivors
+//!   confirmed at the spec's precision;
+//! * `genetic_7axis_warm` — the same population without the ladder
+//!   (every evaluation at full precision);
+//! * `descent_7axis_warm` — the coordinate-descent yardstick.
+
+use cnfet_opt::run_co_opt;
+use cnfet_pipeline::{CoOptSpec, SearcherSpec, YieldService};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+const SEED: u64 = 20100613; // the repro default
+
+fn example() -> CoOptSpec {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../examples/coopt/genetic_7axis.json"
+    );
+    CoOptSpec::parse(&std::fs::read_to_string(path).expect("example spec readable"))
+        .expect("valid example spec")
+}
+
+fn with_searcher(spec: &CoOptSpec, searcher: SearcherSpec) -> CoOptSpec {
+    let mut spec = spec.clone();
+    spec.searcher = searcher;
+    spec
+}
+
+fn bench_search(c: &mut Criterion) {
+    let halving_spec = example();
+    let SearcherSpec::Halving { inner, .. } = &halving_spec.searcher else {
+        panic!("the example ships a halving ladder");
+    };
+    let genetic_spec = with_searcher(&halving_spec, (**inner).clone());
+    let descent_spec = with_searcher(
+        &halving_spec,
+        SearcherSpec::CoordinateDescent {
+            restarts: 3,
+            max_sweeps: 8,
+        },
+    );
+
+    let service = YieldService::new();
+    let halving = run_co_opt(&service, &halving_spec, SEED, 4).expect("halving run");
+    let descent = run_co_opt(&service, &descent_spec, SEED, 4).expect("descent run");
+    // Evaluations-to-front: the acceptance contract the wall-time numbers
+    // below only make sense under.
+    assert!(
+        halving.best.cost <= descent.best.cost,
+        "halving best {:.4} trails descent {:.4}",
+        halving.best.cost,
+        descent.best.cost
+    );
+    assert!(
+        halving.evaluations * 2 <= descent.evaluations,
+        "halving spent {} full-precision evaluations vs descent's {}",
+        halving.evaluations,
+        descent.evaluations
+    );
+    println!(
+        "coopt_search: best {:.4} (halving) vs {:.4} (descent); \
+         full-precision evals {} vs {}",
+        halving.best.cost, descent.best.cost, halving.evaluations, descent.evaluations
+    );
+
+    c.bench_function("coopt_search/halving_genetic_7axis_warm", |b| {
+        b.iter(|| run_co_opt(&service, black_box(&halving_spec), SEED, 4).expect("searchable"))
+    });
+    c.bench_function("coopt_search/genetic_7axis_warm", |b| {
+        b.iter(|| run_co_opt(&service, black_box(&genetic_spec), SEED, 4).expect("searchable"))
+    });
+    c.bench_function("coopt_search/descent_7axis_warm", |b| {
+        b.iter(|| run_co_opt(&service, black_box(&descent_spec), SEED, 4).expect("searchable"))
+    });
+}
+
+criterion_group!(benches, bench_search);
+criterion_main!(benches);

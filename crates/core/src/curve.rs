@@ -57,6 +57,10 @@ pub trait PFailure {
 
     /// Invert the monotone-decreasing `pF(W)`: the smallest width (to
     /// 0.01 nm) with `pF(W) ≤ target` inside `[w_lo, w_hi]`, by bisection.
+    /// A target at or above `pF(w_lo)` is met everywhere in the bracket,
+    /// so the answer is `w_lo` itself — heavily relaxed requirements
+    /// (long correlation and redundancy together can push the target
+    /// near 1) must not read as solver failures.
     ///
     /// Overrides must return bit-identical widths to this default (the
     /// bisection decision sequence is a pure function of the evaluator, so
@@ -65,7 +69,8 @@ pub trait PFailure {
     /// # Errors
     ///
     /// [`CoreError::InvalidParameter`] for a target outside `(0, 1)`;
-    /// [`CoreError::NoConvergence`] if the target is not bracketed.
+    /// [`CoreError::NoConvergence`] if even `pF(w_hi)` misses the target
+    /// (infeasible inside the bracket).
     fn width_for_failure(&self, target: f64, w_lo: f64, w_hi: f64) -> Result<f64> {
         if !(target > 0.0 && target < 1.0) {
             return Err(CoreError::InvalidParameter {
@@ -77,10 +82,13 @@ pub trait PFailure {
         let f_lo = self.p_failure(w_lo)?;
         let f_hi = self.p_failure(w_hi)?;
         // pF decreases with W.
-        if !(f_hi <= target && target <= f_lo) {
+        if f_hi > target {
             return Err(CoreError::NoConvergence(
                 "width_for_failure: target not bracketed",
             ));
+        }
+        if f_lo <= target {
+            return Ok(w_lo);
         }
         let (mut lo, mut hi) = (w_lo, w_hi);
         for _ in 0..80 {
@@ -471,11 +479,20 @@ impl<E: PFailure> FailureCurve<E> {
 
         let f_lo = probe(w_lo)?;
         let f_hi = probe(w_hi)?;
-        // pF decreases with W.
-        if !(f_hi <= target && target <= f_lo) {
+        // pF decreases with W; mirror the trait default exactly — an
+        // infeasible bracket errors, a trivially-met target is `w_lo`.
+        if f_hi > target {
             return Err(CoreError::NoConvergence(
                 "width_for_failure: target not bracketed",
             ));
+        }
+        if f_lo <= target {
+            self.state
+                .write()
+                .expect("curve lock poisoned")
+                .inversions
+                .insert(key, w_lo);
+            return Ok(w_lo);
         }
         let (mut lo, mut hi) = (w_lo, w_hi);
         for _ in 0..80 {

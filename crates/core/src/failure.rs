@@ -229,7 +229,13 @@ mod tests {
             (p.log10() - (-6.0)).abs() < 0.05,
             "inverted width {w} gives {p:.3e}"
         );
-        assert!(m.width_for_failure(0.9999, 100.0, 200.0).is_err());
+        // A target already met at the bracket's low edge is not a solver
+        // failure: the minimal width is the low edge itself (heavily
+        // relaxed redundancy/correlation targets land here).
+        assert_eq!(m.width_for_failure(0.9999, 100.0, 200.0).unwrap(), 100.0);
+        // A target tighter than the high edge can deliver remains a
+        // genuine bracketing error.
+        assert!(m.width_for_failure(1e-300, 100.0, 200.0).is_err());
     }
 
     #[test]

@@ -12,7 +12,8 @@
 
 use cnfet_core::objective::CandidateMetrics;
 use cnfet_pipeline::{
-    CoOptReport, CoOptSpec, ParetoFront, ParetoPoint, Result, ScenarioReport, YieldService,
+    BackendSpec, CoOptReport, CoOptSpec, ParetoFront, ParetoPoint, Result, RungReport,
+    ScenarioReport, SearchReport, YieldService,
 };
 use cnt_stats::seed::split_seed;
 use std::collections::BTreeMap;
@@ -55,7 +56,16 @@ pub struct SearchContext<'a> {
     seed: u64,
     workers: usize,
     batches: u64,
+    /// Full-precision evaluations — the only ones that feed `best`/`front`.
     memo: BTreeMap<Vec<usize>, Candidate>,
+    /// Relaxed-precision evaluations, keyed by `(relax bits, choice)`.
+    coarse: BTreeMap<(u64, Vec<usize>), Candidate>,
+    /// Current Monte-Carlo precision relaxation factor (1 = spec's own).
+    relax: f64,
+    coarse_evals: u64,
+    generations: u64,
+    rungs: Vec<RungReport>,
+    adaptive: bool,
 }
 
 impl<'a> SearchContext<'a> {
@@ -68,6 +78,12 @@ impl<'a> SearchContext<'a> {
             workers: workers.max(1),
             batches: 0,
             memo: BTreeMap::new(),
+            coarse: BTreeMap::new(),
+            relax: 1.0,
+            coarse_evals: 0,
+            generations: 0,
+            rungs: Vec::new(),
+            adaptive: false,
         }
     }
 
@@ -81,15 +97,114 @@ impl<'a> SearchContext<'a> {
         self.seed
     }
 
-    /// Distinct candidates evaluated so far.
+    /// Distinct candidates evaluated at full precision so far.
     pub fn evaluations(&self) -> usize {
         self.memo.len()
+    }
+
+    /// Every fresh evaluation so far, coarse and full-precision alike —
+    /// the budget a precision ladder meters its rungs against.
+    pub fn fresh_evaluations(&self) -> u64 {
+        self.coarse_evals + self.memo.len() as u64
+    }
+
+    /// Set the Monte-Carlo precision relaxation for subsequent
+    /// [`SearchContext::evaluate`] calls: `rel_ci` is multiplied by
+    /// `relax` (capped at 0.5) and the trial budget divided by `relax²`.
+    /// Values at or below 1 restore the spec's own precision; on analytic
+    /// back-ends the override is a no-op (evaluations land in the
+    /// full-precision memo either way, so later rungs are free re-reads).
+    pub fn set_precision_relax(&mut self, relax: f64) {
+        self.relax = if relax.is_finite() && relax > 1.0 {
+            relax
+        } else {
+            1.0
+        };
+    }
+
+    /// The active precision relaxation factor (1 = spec's own precision).
+    pub fn precision_relax(&self) -> f64 {
+        if self.relaxed_backend().is_some() {
+            self.relax
+        } else {
+            1.0
+        }
+    }
+
+    /// Mark the run as adaptively searched, so the report carries a
+    /// `search` provenance block even when no generations or rungs were
+    /// recorded (e.g. `generations = 0`).
+    pub fn record_search(&mut self) {
+        self.adaptive = true;
+    }
+
+    /// Record one evolved generation for the provenance block.
+    pub fn record_generation(&mut self) {
+        self.adaptive = true;
+        self.generations += 1;
+    }
+
+    /// Record one precision rung for the provenance block.
+    pub fn record_rung(&mut self, relax: f64, evaluations: u64, promoted: u64) {
+        self.adaptive = true;
+        self.rungs.push(RungReport {
+            relax,
+            evaluations,
+            promoted,
+        });
+    }
+
+    /// The candidates evaluated at the *current* precision level, in
+    /// canonical choice order — what a ladder rung ranks and promotes.
+    pub fn evaluated_at_current_precision(&self) -> Vec<&Candidate> {
+        match self.relax_key() {
+            None => self.memo.values().collect(),
+            Some(bits) => self
+                .coarse
+                .range((bits, Vec::new())..(bits + 1, Vec::new()))
+                .map(|(_, c)| c)
+                .collect(),
+        }
+    }
+
+    /// The coarse-memo key of the active relaxation, `None` at full
+    /// precision or when the backend ignores the override.
+    fn relax_key(&self) -> Option<u64> {
+        self.relaxed_backend().map(|_| self.relax.to_bits())
+    }
+
+    /// The backend the active relaxation produces, `None` when it leaves
+    /// the spec's backend untouched (analytic, or `relax <= 1`).
+    fn relaxed_backend(&self) -> Option<BackendSpec> {
+        if self.relax <= 1.0 {
+            return None;
+        }
+        match self.spec.base.backend {
+            BackendSpec::MonteCarlo {
+                rel_ci,
+                max_trials,
+                batch,
+                ci_level,
+            } => Some(BackendSpec::MonteCarlo {
+                rel_ci: (rel_ci * self.relax).min(0.5),
+                // A `relax`× looser CI needs ~relax²× fewer trials; keep
+                // at least one batch so the spec stays valid.
+                max_trials: ((max_trials as f64 / (self.relax * self.relax)).ceil() as u64)
+                    .max(u64::from(batch)),
+                batch,
+                ci_level,
+            }),
+            _ => None,
+        }
     }
 
     /// Evaluate a batch of choice vectors, memoized: already-seen
     /// candidates are answered from the record, the rest fan through the
     /// service as one streaming sweep. Results come back in request
-    /// order.
+    /// order. Under an active precision relaxation the batch runs with a
+    /// correspondingly loosened Monte-Carlo backend and is memoized per
+    /// relaxation level — only full-precision results enter the report's
+    /// `best`/`front`.
     ///
     /// # Errors
     ///
@@ -97,17 +212,34 @@ impl<'a> SearchContext<'a> {
     /// candidate aborts the run — the spec was validated up front, so a
     /// failure here is a solver/model error worth surfacing, not noise).
     pub fn evaluate(&mut self, choices: &[Vec<usize>]) -> Result<Vec<Candidate>> {
+        let relax_key = self.relax_key();
+        let backend = self.relaxed_backend();
         let mut fresh: Vec<Vec<usize>> = Vec::new();
         let mut queued: std::collections::BTreeSet<&Vec<usize>> = std::collections::BTreeSet::new();
         for choice in choices {
-            if !self.memo.contains_key(choice) && queued.insert(choice) {
+            let seen = match relax_key {
+                None => self.memo.contains_key(choice),
+                Some(bits) => self.coarse.contains_key(&(bits, choice.clone())),
+            };
+            if !seen && queued.insert(choice) {
                 fresh.push(choice.clone());
             }
         }
         if !fresh.is_empty() {
             let specs = fresh
                 .iter()
-                .map(|choice| self.spec.scenario(choice))
+                .map(|choice| {
+                    let mut spec = self.spec.scenario(choice)?;
+                    if let Some(backend) = &backend {
+                        // The relaxation only rewrites Monte-Carlo
+                        // candidates; an axis that switched the backend
+                        // to an analytic kind keeps it.
+                        if matches!(spec.backend, BackendSpec::MonteCarlo { .. }) {
+                            spec.backend = *backend;
+                        }
+                    }
+                    Ok(spec)
+                })
                 .collect::<Result<Vec<_>>>()?;
             let batch_seed = split_seed(self.seed, self.batches);
             self.batches += 1;
@@ -128,20 +260,29 @@ impl<'a> SearchContext<'a> {
                     area_overhead: report.fault.as_ref().map_or(1.0, |f| f.area_overhead),
                     yield_shortfall: report.fault.as_ref().map_or(0.0, |f| f.shortfall),
                 });
-                self.memo.insert(
-                    choice.clone(),
-                    Candidate {
-                        choice,
-                        report,
-                        demand,
-                        cost,
-                    },
-                );
+                let candidate = Candidate {
+                    choice: choice.clone(),
+                    report,
+                    demand,
+                    cost,
+                };
+                match relax_key {
+                    None => {
+                        self.memo.insert(choice, candidate);
+                    }
+                    Some(bits) => {
+                        self.coarse_evals += 1;
+                        self.coarse.insert((bits, choice), candidate);
+                    }
+                }
             }
         }
         Ok(choices
             .iter()
-            .map(|choice| self.memo[choice].clone())
+            .map(|choice| match relax_key {
+                None => self.memo[choice].clone(),
+                Some(bits) => self.coarse[&(bits, choice.clone())].clone(),
+            })
             .collect())
     }
 
@@ -171,12 +312,19 @@ impl<'a> SearchContext<'a> {
             })?
             .to_point();
         let front = ParetoFront::from_points(self.memo.values().map(Candidate::to_point).collect());
+        let search = self.adaptive.then_some(SearchReport {
+            generations: self.generations,
+            coarse_evaluations: self.coarse_evals,
+            final_evaluations: self.memo.len() as u64,
+            rungs: self.rungs,
+        });
         Ok(CoOptReport {
             name: self.spec.name.clone(),
             searcher: searcher.to_string(),
             seed: self.seed,
             candidates: self.spec.candidate_count(),
             evaluations: self.memo.len() as u64,
+            search,
             best,
             front,
         })
@@ -202,7 +350,7 @@ pub fn run_co_opt(
         spec,
         seed,
         workers,
-        &*crate::searcher_for(spec.searcher),
+        &*crate::searcher_for(&spec.searcher),
     )
 }
 

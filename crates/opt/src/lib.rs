@@ -12,10 +12,14 @@
 //!   length, processing corner, node, grid policy, …), a scalarized
 //!   circuit-cost objective ([`cnfet_core::objective::CostWeights`]), and
 //!   a strategy selection;
-//! * a pluggable [`Searcher`] trait with two shipped strategies —
-//!   [`GridScan`] (exhaustive, exact Pareto front) and
-//!   [`CoordinateDescent`] (seeded descent with restarts, evaluating a
-//!   fraction of the space);
+//! * a pluggable [`Searcher`] trait with four shipped strategies —
+//!   [`GridScan`] (exhaustive, exact Pareto front), [`CoordinateDescent`]
+//!   (seeded descent with restarts, evaluating a fraction of the space),
+//!   [`GeneticSearcher`] (seeded population with tournament selection,
+//!   crossover, mutation, and elitism), and [`HalvingLadder`]
+//!   (successive halving of Monte-Carlo precision around any inner
+//!   strategy — explore coarse, promote the top `1/eta`, confirm the
+//!   survivors at the spec's own precision);
 //! * candidate batches fanned through the shared-cache
 //!   [`cnfet_pipeline::YieldService`], so warm `pF(W)` curves, mapped
 //!   designs, and the worker-count byte-determinism contract all carry
@@ -63,5 +67,7 @@ pub mod service;
 
 pub use engine::{run_co_opt, run_with_searcher, Candidate, SearchContext};
 pub use fab::{run_fab_search, FabAxis, FabCandidate, FabReport, FabSpec, FIELD_PARAMS};
-pub use searcher::{searcher_for, CoordinateDescent, GridScan, Searcher};
+pub use searcher::{
+    searcher_for, CoordinateDescent, GeneticSearcher, GridScan, HalvingLadder, Searcher,
+};
 pub use service::OptService;

@@ -2,7 +2,7 @@
 //!
 //! A [`Searcher`] decides *which* candidates to evaluate; the
 //! [`SearchContext`] decides *how* (batched,
-//! memoized, deterministic). Two strategies ship:
+//! memoized, deterministic). Four strategies ship:
 //!
 //! * [`GridScan`] — evaluate the whole cartesian product. Exhaustive, so
 //!   the resulting Pareto front is exact; cost grows with the product of
@@ -13,17 +13,26 @@
 //!   full sweep makes no move. Evaluates `O(restarts · sweeps · Σ axis
 //!   lengths)` candidates instead of the product, at the price of an
 //!   approximate front (only visited candidates are considered).
+//! * [`GeneticSearcher`] — a seeded population evolved by tournament
+//!   selection, uniform crossover, per-axis mutation, and elitism. Scales
+//!   to joint spaces where per-axis descent stalls on interactions.
+//! * [`HalvingLadder`] — successive halving of Monte-Carlo precision
+//!   around any inner strategy: explore at coarse `rel_ci`, promote only
+//!   the top `1/eta` per rung, confirm the survivors at full precision.
 //!
-//! Both are deterministic by construction: their decision sequences
+//! All are deterministic by construction: their decision sequences
 //! depend only on `(spec, seed)` and the (deterministic) evaluation
-//! results.
+//! results — every stochastic-looking choice is a `split_seed` stream.
 
-use crate::engine::SearchContext;
+use crate::engine::{Candidate, SearchContext};
 use cnfet_pipeline::{Result, SearcherSpec};
 use cnt_stats::seed::split_seed;
 
 /// Seed salt separating restart-start-point derivation from batch seeds.
 const RESTART_SALT: u64 = 0x636F_6F70; // "coop"
+
+/// Seed salt separating genetic-operator streams from everything else.
+const GENETIC_SALT: u64 = 0x6765_6E65; // "gene"
 
 /// A co-optimization search strategy.
 pub trait Searcher {
@@ -40,15 +49,31 @@ pub trait Searcher {
 }
 
 /// The strategy instance a [`SearcherSpec`] selects.
-pub fn searcher_for(spec: SearcherSpec) -> Box<dyn Searcher> {
+pub fn searcher_for(spec: &SearcherSpec) -> Box<dyn Searcher> {
     match spec {
         SearcherSpec::GridScan => Box::new(GridScan),
         SearcherSpec::CoordinateDescent {
             restarts,
             max_sweeps,
         } => Box::new(CoordinateDescent {
-            restarts,
-            max_sweeps,
+            restarts: *restarts,
+            max_sweeps: *max_sweeps,
+        }),
+        SearcherSpec::Genetic {
+            population,
+            generations,
+            tournament_k,
+            mutation_rate,
+        } => Box::new(GeneticSearcher {
+            population: *population,
+            generations: *generations,
+            tournament_k: *tournament_k,
+            mutation_rate: *mutation_rate,
+        }),
+        SearcherSpec::Halving { inner, rungs, eta } => Box::new(HalvingLadder {
+            inner: searcher_for(inner),
+            rungs: *rungs,
+            eta: *eta,
         }),
     }
 }
@@ -148,6 +173,216 @@ impl Searcher for CoordinateDescent {
                 }
             }
         }
+        Ok(())
+    }
+}
+
+/// Map a split-seed stream to a unit float in `[0, 1)` (53 mantissa
+/// bits, the standard shift construction).
+fn unit_float(stream: u64) -> f64 {
+    (stream >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Population-based genetic search: tournament selection, uniform
+/// crossover, per-axis mutation, and elitism, all driven by `split_seed`
+/// streams keyed on `(generation, individual, axis)` — the walk is a pure
+/// function of `(spec, seed)` like every other strategy.
+#[derive(Debug, Clone, Copy)]
+pub struct GeneticSearcher {
+    /// Individuals per generation (min 2; the first individual of the
+    /// initial population is always the base configuration).
+    pub population: u32,
+    /// Generations evolved after the initial population; 0 degrades to a
+    /// plain scan of the seeded initial population.
+    pub generations: u32,
+    /// Tournament size of the selection operator (min 1; 1 is uniform
+    /// random selection, larger presses harder toward low cost).
+    pub tournament_k: u32,
+    /// Per-axis mutation probability in `[0, 1]`.
+    pub mutation_rate: f64,
+}
+
+impl GeneticSearcher {
+    /// The seeded initial population for a run seed and axis lengths:
+    /// individual 0 is the base configuration (index 0 on every axis),
+    /// the rest draw each axis from its own `split_seed` stream. Public
+    /// so invariants like "`generations = 0` degrades to an
+    /// initial-population scan" can be stated without re-deriving it.
+    pub fn initial_population(&self, seed: u64, lens: &[usize]) -> Vec<Vec<usize>> {
+        let gen_seed = split_seed(split_seed(seed, GENETIC_SALT), 0);
+        (0..self.population.max(2) as usize)
+            .map(|i| {
+                if i == 0 {
+                    return vec![0; lens.len()];
+                }
+                let ind_seed = split_seed(gen_seed, i as u64);
+                lens.iter()
+                    .enumerate()
+                    .map(|(axis, &len)| (split_seed(ind_seed, axis as u64) % len as u64) as usize)
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Tournament selection over the current population: `k` seeded draws
+    /// with replacement, lowest cost wins, ties broken by lower
+    /// population index.
+    fn tournament(&self, population: &[Candidate], seed: u64, salt: u64) -> usize {
+        let mut winner = 0usize;
+        let mut have = false;
+        for draw in 0..self.tournament_k.max(1) as usize {
+            let idx = (split_seed(seed, salt + draw as u64) % population.len() as u64) as usize;
+            let better = !have
+                || population[idx].cost < population[winner].cost
+                || (population[idx].cost == population[winner].cost && idx < winner);
+            if better {
+                winner = idx;
+                have = true;
+            }
+        }
+        winner
+    }
+}
+
+impl Searcher for GeneticSearcher {
+    fn name(&self) -> &'static str {
+        "genetic"
+    }
+
+    fn search(&self, ctx: &mut SearchContext<'_>) -> Result<()> {
+        ctx.record_search();
+        let lens: Vec<usize> = ctx.spec().axes.iter().map(|a| a.values.len()).collect();
+        let base = split_seed(ctx.seed(), GENETIC_SALT);
+        let pop_n = self.population.max(2) as usize;
+        let mut population = ctx.evaluate(&self.initial_population(ctx.seed(), &lens))?;
+        for generation in 1..=u64::from(self.generations) {
+            let gen_seed = split_seed(base, generation);
+            // Rank the parents by (cost, choice) — elitism carries the
+            // best choices into the next generation unchanged.
+            let mut ranked: Vec<usize> = (0..population.len()).collect();
+            ranked.sort_by(|&a, &b| {
+                population[a]
+                    .cost
+                    .total_cmp(&population[b].cost)
+                    .then(population[a].choice.cmp(&population[b].choice))
+            });
+            let elite_n = 2.min(pop_n);
+            let mut next: Vec<Vec<usize>> = ranked
+                .iter()
+                .take(elite_n)
+                .map(|&i| population[i].choice.clone())
+                .collect();
+            for individual in elite_n..pop_n {
+                let ind_seed = split_seed(gen_seed, individual as u64);
+                let pa = self.tournament(&population, ind_seed, 0x100);
+                let pb = self.tournament(&population, ind_seed, 0x200);
+                let child: Vec<usize> = lens
+                    .iter()
+                    .enumerate()
+                    .map(|(axis, &len)| {
+                        // Uniform crossover, then mutation: a fresh seeded
+                        // draw of the axis with probability mutation_rate.
+                        let gene = if split_seed(ind_seed, 0x300 + axis as u64) & 1 == 0 {
+                            population[pa].choice[axis]
+                        } else {
+                            population[pb].choice[axis]
+                        };
+                        if unit_float(split_seed(ind_seed, 0x400 + axis as u64))
+                            < self.mutation_rate
+                        {
+                            (split_seed(ind_seed, 0x500 + axis as u64) % len as u64) as usize
+                        } else {
+                            gene
+                        }
+                    })
+                    .collect();
+                next.push(child);
+            }
+            population = ctx.evaluate(&next)?;
+            ctx.record_generation();
+        }
+        Ok(())
+    }
+}
+
+/// Successive-halving precision ladder around an inner strategy: the
+/// inner searcher explores at the coarsest Monte-Carlo precision
+/// (`rel_ci` relaxed by `eta^(rungs-1)`), then each rung promotes only
+/// the top `1/eta` fraction of its candidates to the next-tighter rung,
+/// so the spec's own (expensive) precision is spent only on the
+/// survivors. On analytic back-ends the relaxation is a no-op and the
+/// ladder degenerates to the inner search plus free memoized re-reads.
+pub struct HalvingLadder {
+    /// The strategy that explores the space at the coarsest rung.
+    pub inner: Box<dyn Searcher>,
+    /// Precision rungs, coarsest to exact (min 1; clamped, the declarative
+    /// parser already rejects 0).
+    pub rungs: u32,
+    /// Promotion divisor per rung (min 2; clamped, the declarative parser
+    /// already rejects smaller values).
+    pub eta: u32,
+}
+
+impl Searcher for HalvingLadder {
+    fn name(&self) -> &'static str {
+        // `name()` returns a static str, so the composed name is matched
+        // rather than formatted; unknown custom inners fall back to the
+        // bare ladder name.
+        match self.inner.name() {
+            "genetic" => "halving+genetic",
+            "grid" => "halving+grid",
+            "coordinate-descent" => "halving+coordinate-descent",
+            _ => "halving",
+        }
+    }
+
+    fn search(&self, ctx: &mut SearchContext<'_>) -> Result<()> {
+        ctx.record_search();
+        let rungs = self.rungs.max(1);
+        let eta = u64::from(self.eta.max(2));
+        let mut survivors: Option<Vec<Vec<usize>>> = None;
+        for rung in 0..rungs {
+            // Rung 0 is the coarsest; the final rung always runs at the
+            // spec's own precision (relax factor eta^0 = 1).
+            let relax = (eta as f64).powi((rungs - 1 - rung) as i32);
+            ctx.set_precision_relax(relax);
+            let before = ctx.fresh_evaluations();
+            let mut ranked: Vec<(f64, Vec<usize>)> = match &survivors {
+                None => {
+                    self.inner.search(ctx)?;
+                    ctx.evaluated_at_current_precision()
+                        .into_iter()
+                        .map(|c| (c.cost, c.choice.clone()))
+                        .collect()
+                }
+                Some(choices) => ctx
+                    .evaluate(choices)?
+                    .into_iter()
+                    .map(|c| (c.cost, c.choice))
+                    .collect(),
+            };
+            ranked.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+            ranked.dedup_by(|a, b| a.1 == b.1);
+            let spent = ctx.fresh_evaluations() - before;
+            let last = rung + 1 == rungs;
+            let promoted = if last {
+                0
+            } else {
+                ranked.len().div_ceil(eta as usize).max(1)
+            };
+            ctx.record_rung(ctx.precision_relax(), spent, promoted as u64);
+            if last {
+                break;
+            }
+            survivors = Some(
+                ranked
+                    .into_iter()
+                    .take(promoted)
+                    .map(|(_, choice)| choice)
+                    .collect(),
+            );
+        }
+        ctx.set_precision_relax(1.0);
         Ok(())
     }
 }

@@ -198,10 +198,115 @@ fn searcher_spec_forms_round_trip() {
                 max_sweeps: 8,
             },
         ),
+        (
+            // Nested single-key form; omitted params take the defaults.
+            r#"{ "genetic": { "population": 12, "mutation_rate": 0.5 } }"#,
+            SearcherSpec::Genetic {
+                population: 12,
+                generations: 8,
+                tournament_k: 3,
+                mutation_rate: 0.5,
+            },
+        ),
+        (
+            r#"{ "kind": "genetic", "population": 6, "generations": 2, "tournament_k": 2, "mutation_rate": 0.1 }"#,
+            SearcherSpec::Genetic {
+                population: 6,
+                generations: 2,
+                tournament_k: 2,
+                mutation_rate: 0.1,
+            },
+        ),
+        (
+            r#"{ "halving": { "inner": "grid", "rungs": 2, "eta": 4 } }"#,
+            SearcherSpec::Halving {
+                inner: Box::new(SearcherSpec::GridScan),
+                rungs: 2,
+                eta: 4,
+            },
+        ),
+        (
+            // A bare "halving" wraps the default genetic searcher.
+            r#""halving""#,
+            SearcherSpec::Halving {
+                inner: Box::new(SearcherSpec::Genetic {
+                    population: 24,
+                    generations: 8,
+                    tournament_k: 3,
+                    mutation_rate: 0.25,
+                }),
+                rungs: 3,
+                eta: 2,
+            },
+        ),
     ] {
         let spec = spec(r#""l_cnt_um": [50, 200]"#, form);
         assert_eq!(spec.searcher, expected);
         let back = CoOptSpec::from_json(&spec.to_json()).unwrap();
         assert_eq!(back, spec, "normal form must round-trip");
     }
+}
+
+#[test]
+fn genetic_and_halving_reports_are_byte_identical_for_any_worker_count() {
+    // The determinism contract extends to the adaptive strategies: the
+    // genetic walk and the halving ladder make sequential seeded
+    // decisions, so worker count must not change a byte of the report —
+    // including the new `search` provenance block.
+    for searcher in [
+        r#"{ "genetic": { "population": 6, "generations": 3, "tournament_k": 2, "mutation_rate": 0.3 } }"#,
+        r#"{ "halving": { "inner": { "genetic": { "population": 6, "generations": 2 } }, "rungs": 2, "eta": 2 } }"#,
+    ] {
+        let spec = spec(
+            r#""l_cnt_um": [50, 100, 200], "grid": ["single", "dual"]"#,
+            searcher,
+        );
+        let runs: Vec<String> = [1usize, 8]
+            .iter()
+            .map(|&workers| {
+                run_co_opt(&YieldService::new(), &spec, 20100613, workers)
+                    .unwrap()
+                    .to_json()
+                    .to_string_pretty()
+            })
+            .collect();
+        assert_eq!(
+            runs[0], runs[1],
+            "workers 1 vs 8 must not change a byte ({searcher})"
+        );
+        assert!(
+            runs[0].contains("\"search\""),
+            "adaptive searchers must emit the search provenance block"
+        );
+    }
+}
+
+#[test]
+fn halving_ladder_is_free_on_analytic_backends_and_finds_the_optimum() {
+    // On an analytic back-end the precision relaxation is a no-op: every
+    // rung re-reads the memo, so the ladder costs exactly what its inner
+    // strategy costs — and the grid inner makes the front exact.
+    let search = r#""l_cnt_um": [50, 100, 200], "grid": ["dual", "single"]"#;
+    let exhaustive = run_co_opt(&YieldService::new(), &spec(search, r#""grid""#), 3, 2).unwrap();
+    let ladder = run_co_opt(
+        &YieldService::new(),
+        &spec(
+            search,
+            r#"{ "halving": { "inner": "grid", "rungs": 3, "eta": 2 } }"#,
+        ),
+        3,
+        2,
+    )
+    .unwrap();
+    assert_eq!(ladder.searcher, "halving+grid");
+    assert_eq!(
+        ladder.evaluations, exhaustive.evaluations,
+        "analytic rungs must not add evaluations"
+    );
+    assert_eq!(ladder.best.scenario, exhaustive.best.scenario);
+    assert_eq!(ladder.best.cost, exhaustive.best.cost);
+    let search_block = ladder.search.expect("ladder reports provenance");
+    assert_eq!(search_block.rungs.len(), 3);
+    assert_eq!(search_block.rungs.last().unwrap().relax, 1.0);
+    assert_eq!(search_block.rungs.last().unwrap().promoted, 0);
 }

@@ -1,0 +1,62 @@
+//! Acceptance contract of the adaptive searchers on the shipped 7-axis
+//! example: the halving+genetic ladder must match coordinate descent's
+//! best objective while spending at most half of its full-precision
+//! Monte-Carlo evaluations — the whole point of exploring at coarse
+//! `rel_ci` first.
+
+use cnfet_opt::run_co_opt;
+use cnfet_pipeline::{CoOptSpec, SearcherSpec, YieldService};
+
+const SEED: u64 = 20100613; // the repro default
+
+fn example() -> CoOptSpec {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../examples/coopt/genetic_7axis.json"
+    );
+    CoOptSpec::parse(&std::fs::read_to_string(path).unwrap()).unwrap()
+}
+
+#[test]
+fn halving_genetic_matches_descent_at_half_the_full_precision_cost() {
+    let spec = example();
+    assert_eq!(spec.axes.len(), 7, "the example exercises seven axes");
+    assert_eq!(spec.candidate_count(), 288);
+    let halving = run_co_opt(&YieldService::new(), &spec, SEED, 4).unwrap();
+    assert_eq!(halving.searcher, "halving+genetic");
+
+    let mut descent_spec = spec.clone();
+    descent_spec.searcher = SearcherSpec::CoordinateDescent {
+        restarts: 3,
+        max_sweeps: 8,
+    };
+    let descent = run_co_opt(&YieldService::new(), &descent_spec, SEED, 4).unwrap();
+
+    // The acceptance bound: no worse an optimum, at most half the
+    // high-CI evaluation spend (`evaluations` counts only full-precision
+    // candidates for adaptive strategies).
+    assert!(
+        halving.best.cost <= descent.best.cost,
+        "halving+genetic best {:.4} must not trail descent's {:.4}",
+        halving.best.cost,
+        descent.best.cost
+    );
+    assert!(
+        halving.evaluations * 2 <= descent.evaluations,
+        "halving spent {} full-precision evaluations vs descent's {} — \
+         the precision ladder must at least halve the high-CI spend",
+        halving.evaluations,
+        descent.evaluations
+    );
+
+    // Provenance block sanity: three rungs, coarsest relax eta^2 = 9,
+    // final rung at the spec's own precision with nothing left to promote.
+    let search = halving.search.expect("adaptive runs report provenance");
+    assert_eq!(search.rungs.len(), 3);
+    assert!((search.rungs[0].relax - 9.0).abs() < 1e-12);
+    assert_eq!(search.rungs.last().unwrap().relax, 1.0);
+    assert_eq!(search.rungs.last().unwrap().promoted, 0);
+    assert_eq!(search.final_evaluations, halving.evaluations);
+    assert!(search.coarse_evaluations > 0, "rungs 0/1 run at coarse CI");
+    assert!(descent.search.is_none(), "descent records no provenance");
+}

@@ -339,7 +339,7 @@ impl ScenarioBuilder {
 pub const COOPT_KEYS: [&str; 5] = ["name", "base", "search", "objective", "searcher"];
 
 /// Names of the search strategies the `cnfet-opt` engine ships.
-pub const SEARCHER_KINDS: [&str; 2] = ["grid", "coordinate-descent"];
+pub const SEARCHER_KINDS: [&str; 4] = ["grid", "coordinate-descent", "genetic", "halving"];
 
 /// One axis of the co-optimization search space: a scenario field and the
 /// ordered candidate values it may take.
@@ -361,7 +361,7 @@ pub struct SearchAxis {
 
 /// Which search strategy evaluates the space (the engine lives in the
 /// `cnfet-opt` crate; this is the declarative selection).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum SearcherSpec {
     /// Exhaustive batched scan of the full cartesian product — every
     /// candidate is evaluated, so the Pareto front is exact.
@@ -378,6 +378,42 @@ pub enum SearcherSpec {
         /// Hard cap on coordinate sweeps per restart.
         max_sweeps: u32,
     },
+    /// Population-based genetic search: seeded initial population,
+    /// tournament selection, uniform crossover, per-axis mutation, and
+    /// elitism. Every decision derives from `split_seed` per
+    /// generation/individual, so the walk is a pure function of
+    /// `(spec, seed)`.
+    Genetic {
+        /// Individuals per generation (the first individual of the first
+        /// generation is always the base configuration).
+        population: u32,
+        /// Generations evolved after the initial population; 0 degrades
+        /// to a plain scan of the seeded initial population.
+        generations: u32,
+        /// Tournament size of the selection operator.
+        tournament_k: u32,
+        /// Per-axis mutation probability in `[0, 1]`.
+        mutation_rate: f64,
+    },
+    /// Successive-halving precision ladder wrapped around an inner
+    /// strategy: the inner searcher runs at coarse Monte-Carlo precision
+    /// (`rel_ci` relaxed by `eta` per rung), and only the top `1/eta`
+    /// fraction of each rung's candidates is promoted to the next,
+    /// tighter rung — cheap low-CI evaluations prune the population
+    /// before expensive high-CI confirmation. On analytic back-ends the
+    /// precision override is a no-op (memoized re-ranks, no extra cost).
+    Halving {
+        /// The strategy that explores the space at the coarsest rung
+        /// (must not itself be `halving`).
+        inner: Box<SearcherSpec>,
+        /// Precision rungs, coarsest to exact (≥ 1; the last rung always
+        /// evaluates at the spec's own backend precision).
+        rungs: u32,
+        /// Promotion divisor per rung (≥ 2): the top `1/eta` fraction of
+        /// a rung's candidates survives to the next rung, and `rel_ci`
+        /// relaxes by `eta^(rungs-1-r)` at rung `r`.
+        eta: u32,
+    },
 }
 
 /// The coordinate-descent defaults: 3 restarts, at most 8 sweeps each.
@@ -388,23 +424,70 @@ pub fn coordinate_descent_defaults() -> SearcherSpec {
     }
 }
 
+/// The genetic-searcher defaults: a population of 24 evolved for 8
+/// generations, tournaments of 3, one mutated axis in four.
+pub fn genetic_defaults() -> SearcherSpec {
+    SearcherSpec::Genetic {
+        population: 24,
+        generations: 8,
+        tournament_k: 3,
+        mutation_rate: 0.25,
+    }
+}
+
+/// The halving-ladder defaults: 3 rungs at `eta = 2` around a
+/// default-configured genetic searcher.
+pub fn halving_defaults() -> SearcherSpec {
+    SearcherSpec::Halving {
+        inner: Box::new(genetic_defaults()),
+        rungs: 3,
+        eta: 2,
+    }
+}
+
 impl SearcherSpec {
+    /// The canonical strategy names — what `describe` advertises and the
+    /// parser suggests against (same list as [`SEARCHER_KINDS`]).
+    pub const KINDS: [&'static str; 4] = SEARCHER_KINDS;
+
     /// The canonical name.
     pub fn name(&self) -> &'static str {
         match self {
             SearcherSpec::GridScan => "grid",
             SearcherSpec::CoordinateDescent { .. } => "coordinate-descent",
+            SearcherSpec::Genetic { .. } => "genetic",
+            SearcherSpec::Halving { .. } => "halving",
+        }
+    }
+
+    /// The composed display name a report carries for this strategy:
+    /// the kind keyword itself, except a halving ladder names its inner
+    /// strategy too (`"halving+genetic"`), matching the `searcher`
+    /// field the engine writes.
+    pub fn composed_name(&self) -> &'static str {
+        match self {
+            SearcherSpec::Halving { inner, .. } => match inner.name() {
+                "genetic" => "halving+genetic",
+                "grid" => "halving+grid",
+                "coordinate-descent" => "halving+coordinate-descent",
+                _ => "halving",
+            },
+            other => other.name(),
         }
     }
 
     /// Parse the `BackendSpec`-style forms: a bare name (`"grid"`,
-    /// `"coordinate-descent"`), or an object with a `kind` plus strategy
-    /// parameters (`{"kind": "coordinate-descent", "restarts": 4}`).
+    /// `"genetic"`, …), an object with a `kind` plus strategy parameters
+    /// (`{"kind": "genetic", "population": 32}`), or the nested
+    /// single-key form (`{"genetic": {"population": 32}}`,
+    /// `{"halving": {"inner": "genetic", "eta": 3}}`).
     ///
     /// # Errors
     ///
-    /// [`PipelineError::InvalidSpec`] on unknown names, unknown or
-    /// mistyped parameters.
+    /// [`PipelineError::UnknownKey`] (with a nearest-kind suggestion) on
+    /// unknown strategy or parameter names,
+    /// [`PipelineError::InvalidSpec`] on mistyped or out-of-domain
+    /// parameters — all at parse time, never mid-search.
     pub fn from_json(v: &Json) -> Result<Self> {
         let invalid = |msg: String| PipelineError::InvalidSpec {
             field: "searcher",
@@ -414,59 +497,158 @@ impl SearcherSpec {
             Json::Str(s) => match s.as_str() {
                 "grid" => Ok(SearcherSpec::GridScan),
                 "coordinate-descent" => Ok(coordinate_descent_defaults()),
-                other => Err(invalid(format!(
-                    "unknown searcher `{other}` (grid, coordinate-descent)"
-                ))),
+                "genetic" => Ok(genetic_defaults()),
+                "halving" => Ok(halving_defaults()),
+                other => Err(unknown_key("searcher", other, &SEARCHER_KINDS)),
             },
             Json::Obj(fields) => {
-                let kind = v
-                    .get("kind")
-                    .and_then(Json::as_str)
-                    .ok_or_else(|| invalid("object form needs a `kind` string".into()))?;
-                match kind {
-                    "grid" => {
-                        if fields.len() > 1 {
-                            return Err(invalid("`grid` takes no parameters".into()));
-                        }
-                        Ok(SearcherSpec::GridScan)
+                if let Some(kind) = v.get("kind") {
+                    let kind = kind
+                        .as_str()
+                        .ok_or_else(|| invalid("`kind` must be a string".into()))?;
+                    Self::from_kind_fields(kind, v, fields, true)
+                } else if fields.len() == 1 {
+                    // Nested single-key form: { "genetic": { … } }.
+                    let (kind, params) = &fields[0];
+                    if !SEARCHER_KINDS.contains(&kind.as_str()) {
+                        return Err(unknown_key("searcher", kind, &SEARCHER_KINDS));
                     }
-                    "coordinate-descent" => {
-                        let field = |key: &str| -> Result<Option<u32>> {
-                            match v.get(key) {
-                                None => Ok(None),
-                                Some(j) => j
-                                    .as_f64()
-                                    .filter(|n| n.fract() == 0.0 && *n >= 1.0 && *n <= 1e6)
-                                    .map(|n| Some(n as u32))
-                                    .ok_or_else(|| {
-                                        invalid(format!("`{key}` must be a positive integer"))
-                                    }),
-                            }
-                        };
-                        for (key, _) in fields {
-                            if !["kind", "restarts", "max_sweeps"].contains(&key.as_str()) {
-                                return Err(invalid(format!(
-                                    "unknown coordinate-descent field `{key}` \
-                                     (restarts, max_sweeps)"
-                                )));
-                            }
-                        }
-                        let SearcherSpec::CoordinateDescent {
-                            restarts: dr,
-                            max_sweeps: ds,
-                        } = coordinate_descent_defaults()
-                        else {
-                            unreachable!("defaults are coordinate descent")
-                        };
-                        Ok(SearcherSpec::CoordinateDescent {
-                            restarts: field("restarts")?.unwrap_or(dr),
-                            max_sweeps: field("max_sweeps")?.unwrap_or(ds),
-                        })
-                    }
-                    other => Err(invalid(format!("unknown searcher `{other}`"))),
+                    let inner_fields = params
+                        .as_object()
+                        .ok_or_else(|| invalid(format!("`{kind}` parameters must be an object")))?;
+                    Self::from_kind_fields(kind, params, inner_fields, false)
+                } else {
+                    Err(invalid(
+                        "object form needs a `kind` string or a single strategy key".into(),
+                    ))
                 }
             }
             _ => Err(invalid("must be a string or an object".into())),
+        }
+    }
+
+    /// Parse one strategy's parameter object. `with_kind` marks the
+    /// `kind`-tagged form (where a `kind` key is legal among the fields).
+    fn from_kind_fields(
+        kind: &str,
+        v: &Json,
+        fields: &[(String, Json)],
+        with_kind: bool,
+    ) -> Result<Self> {
+        let invalid = |msg: String| PipelineError::InvalidSpec {
+            field: "searcher",
+            msg,
+        };
+        let check_keys = |allowed: &[&'static str]| -> Result<()> {
+            for (key, _) in fields {
+                let known = (with_kind && key == "kind") || allowed.contains(&key.as_str());
+                if !known {
+                    return Err(unknown_key("searcher", key, allowed));
+                }
+            }
+            Ok(())
+        };
+        let int_field = |key: &str, min: f64| -> Result<Option<u32>> {
+            match v.get(key) {
+                None => Ok(None),
+                Some(j) => j
+                    .as_f64()
+                    .filter(|n| n.fract() == 0.0 && *n >= min && *n <= 1e6)
+                    .map(|n| Some(n as u32))
+                    .ok_or_else(|| {
+                        invalid(format!("`{key}` must be an integer >= {min} (and <= 1e6)"))
+                    }),
+            }
+        };
+        match kind {
+            "grid" => {
+                check_keys(&[])?;
+                Ok(SearcherSpec::GridScan)
+            }
+            "coordinate-descent" => {
+                check_keys(&["restarts", "max_sweeps"])?;
+                let SearcherSpec::CoordinateDescent {
+                    restarts: dr,
+                    max_sweeps: ds,
+                } = coordinate_descent_defaults()
+                else {
+                    unreachable!("defaults are coordinate descent")
+                };
+                Ok(SearcherSpec::CoordinateDescent {
+                    restarts: int_field("restarts", 1.0)?.unwrap_or(dr),
+                    max_sweeps: int_field("max_sweeps", 1.0)?.unwrap_or(ds),
+                })
+            }
+            "genetic" => {
+                check_keys(&["population", "generations", "tournament_k", "mutation_rate"])?;
+                let SearcherSpec::Genetic {
+                    population: dp,
+                    generations: dg,
+                    tournament_k: dk,
+                    mutation_rate: dm,
+                } = genetic_defaults()
+                else {
+                    unreachable!("defaults are genetic")
+                };
+                let population = int_field("population", 2.0)?.unwrap_or(dp);
+                let tournament_k = int_field("tournament_k", 1.0)?.unwrap_or(dk);
+                if tournament_k > population {
+                    return Err(invalid(format!(
+                        "`tournament_k` ({tournament_k}) must not exceed \
+                         `population` ({population})"
+                    )));
+                }
+                let mutation_rate = match v.get("mutation_rate") {
+                    None => dm,
+                    Some(j) => j
+                        .as_f64()
+                        .filter(|m| (0.0..=1.0).contains(m))
+                        .ok_or_else(|| {
+                            invalid("`mutation_rate` must be a number in [0, 1]".into())
+                        })?,
+                };
+                Ok(SearcherSpec::Genetic {
+                    population,
+                    generations: int_field("generations", 0.0)?.unwrap_or(dg),
+                    tournament_k,
+                    mutation_rate,
+                })
+            }
+            "halving" => {
+                check_keys(&["inner", "rungs", "eta"])?;
+                // The regression contract: eta < 2 and rungs == 0 are
+                // parse-time errors, never a mid-search panic.
+                let rungs = int_field("rungs", 1.0)?.map_or(Ok(3), |r| {
+                    if r == 0 {
+                        Err(invalid("`rungs` must be >= 1".into()))
+                    } else {
+                        Ok(r)
+                    }
+                })?;
+                let eta = match v.get("eta") {
+                    None => 2,
+                    Some(j) => j
+                        .as_f64()
+                        .filter(|n| n.fract() == 0.0 && (2.0..=64.0).contains(n))
+                        .map(|n| n as u32)
+                        .ok_or_else(|| invalid("`eta` must be an integer in [2, 64]".into()))?,
+                };
+                let inner = match v.get("inner") {
+                    None => genetic_defaults(),
+                    Some(j) => Self::from_json(j)?,
+                };
+                if matches!(inner, SearcherSpec::Halving { .. }) {
+                    return Err(invalid(
+                        "`halving` cannot nest another `halving` ladder".into(),
+                    ));
+                }
+                Ok(SearcherSpec::Halving {
+                    inner: Box::new(inner),
+                    rungs,
+                    eta,
+                })
+            }
+            other => Err(unknown_key("searcher", other, &SEARCHER_KINDS)),
         }
     }
 
@@ -482,6 +664,24 @@ impl SearcherSpec {
                 ("kind".into(), Json::Str("coordinate-descent".into())),
                 ("restarts".into(), Json::Num(f64::from(*restarts))),
                 ("max_sweeps".into(), Json::Num(f64::from(*max_sweeps))),
+            ]),
+            SearcherSpec::Genetic {
+                population,
+                generations,
+                tournament_k,
+                mutation_rate,
+            } => Json::Obj(vec![
+                ("kind".into(), Json::Str("genetic".into())),
+                ("population".into(), Json::Num(f64::from(*population))),
+                ("generations".into(), Json::Num(f64::from(*generations))),
+                ("tournament_k".into(), Json::Num(f64::from(*tournament_k))),
+                ("mutation_rate".into(), Json::Num(*mutation_rate)),
+            ]),
+            SearcherSpec::Halving { inner, rungs, eta } => Json::Obj(vec![
+                ("kind".into(), Json::Str("halving".into())),
+                ("inner".into(), inner.to_json()),
+                ("rungs".into(), Json::Num(f64::from(*rungs))),
+                ("eta".into(), Json::Num(f64::from(*eta))),
             ]),
         }
     }

@@ -194,8 +194,8 @@ impl From<std::io::Error> for PipelineError {
 pub type Result<T> = std::result::Result<T, PipelineError>;
 
 pub use builder::{
-    coordinate_descent_defaults, CoOptSpec, ScenarioBuilder, SearchAxis, SearcherSpec, COOPT_KEYS,
-    SCENARIO_KEYS, SEARCHER_KINDS,
+    coordinate_descent_defaults, genetic_defaults, halving_defaults, CoOptSpec, ScenarioBuilder,
+    SearchAxis, SearcherSpec, COOPT_KEYS, SCENARIO_KEYS, SEARCHER_KINDS,
 };
 pub use cache::BoundedCache;
 pub use design::DesignStats;
@@ -207,7 +207,8 @@ pub use envelope::{
 pub use json::Json;
 pub use knob::{dist_from_json, dist_to_json, field_from_json, field_to_json, STOCHASTIC_KNOBS};
 pub use report::{
-    CoOptReport, FaultReport, McBackendReport, ParetoFront, ParetoPoint, ScenarioReport,
+    CoOptReport, FaultReport, McBackendReport, ParetoFront, ParetoPoint, RungReport,
+    ScenarioReport, SearchReport,
 };
 pub use router::{
     shard_for, Client, LineServer, RouterConfig, RouterStats, ShardRouter, ShardStats,

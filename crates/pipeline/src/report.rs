@@ -451,6 +451,114 @@ impl ParetoFront {
     }
 }
 
+/// One precision rung of a successive-halving ladder: how loose the
+/// Monte-Carlo confidence target was, how many fresh evaluations the rung
+/// spent, and how many candidates it promoted to the next-tighter rung.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RungReport {
+    /// Factor the spec's `rel_ci` was relaxed by on this rung (1 = the
+    /// spec's own precision).
+    pub relax: f64,
+    /// Fresh candidate evaluations spent on this rung.
+    pub evaluations: u64,
+    /// Candidates promoted to the next rung (0 on the final rung).
+    pub promoted: u64,
+}
+
+impl RungReport {
+    /// Serialize as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("relax".into(), Json::Num(self.relax)),
+            ("evaluations".into(), Json::Num(self.evaluations as f64)),
+            ("promoted".into(), Json::Num(self.promoted as f64)),
+        ])
+    }
+
+    /// Parse a rung written by [`RungReport::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::InvalidSpec`] on missing or mistyped fields.
+    pub fn from_json(v: &Json) -> Result<Self> {
+        let num_u64 = |key: &str| -> Result<u64> {
+            v.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| bad_report(format!("rung needs a u64 `{key}`")))
+        };
+        Ok(Self {
+            relax: req_f64(v, "relax")?,
+            evaluations: num_u64("evaluations")?,
+            promoted: num_u64("promoted")?,
+        })
+    }
+}
+
+/// Search provenance of an adaptive run: generations evolved, how many
+/// evaluations ran at coarse vs full Monte-Carlo precision, and the
+/// per-rung promotion ledger of a halving ladder. Like everything else in
+/// the report it is a pure function of `(spec, seed)`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SearchReport {
+    /// Generations a population-based searcher evolved (0 for a plain
+    /// initial-population scan).
+    pub generations: u64,
+    /// Fresh evaluations that ran at relaxed (coarse) MC precision.
+    pub coarse_evaluations: u64,
+    /// Fresh evaluations that ran at the spec's own (full) precision —
+    /// the same count as the report's top-level `evaluations`.
+    pub final_evaluations: u64,
+    /// The precision ladder, coarsest rung first (empty without halving).
+    pub rungs: Vec<RungReport>,
+}
+
+impl SearchReport {
+    /// Serialize as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("generations".into(), Json::Num(self.generations as f64)),
+            (
+                "coarse_evaluations".into(),
+                Json::Num(self.coarse_evaluations as f64),
+            ),
+            (
+                "final_evaluations".into(),
+                Json::Num(self.final_evaluations as f64),
+            ),
+            (
+                "rungs".into(),
+                Json::Arr(self.rungs.iter().map(RungReport::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Parse a block written by [`SearchReport::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::InvalidSpec`] on missing or mistyped fields.
+    pub fn from_json(v: &Json) -> Result<Self> {
+        let num_u64 = |key: &str| -> Result<u64> {
+            v.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| bad_report(format!("search block needs a u64 `{key}`")))
+        };
+        let rungs = v
+            .get("rungs")
+            .and_then(Json::as_array)
+            .ok_or_else(|| bad_report("search block needs a `rungs` array"))?
+            .iter()
+            .map(RungReport::from_json)
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Self {
+            generations: num_u64("generations")?,
+            coarse_evaluations: num_u64("coarse_evaluations")?,
+            final_evaluations: num_u64("final_evaluations")?,
+            rungs,
+        })
+    }
+}
+
 /// The artifact of one co-optimization run: provenance, the best
 /// candidate by scalarized cost, and the Pareto front over everything the
 /// searcher evaluated. A pure function of `(spec, seed)` — worker counts
@@ -459,14 +567,19 @@ impl ParetoFront {
 pub struct CoOptReport {
     /// Study name (from the spec).
     pub name: String,
-    /// The strategy that ran (`grid`, `coordinate-descent`).
+    /// The strategy that ran (`grid`, `coordinate-descent`, `genetic`,
+    /// `halving+…`).
     pub searcher: String,
     /// The base seed of the run.
     pub seed: u64,
     /// Size of the declared search space.
     pub candidates: u64,
-    /// Distinct candidates actually evaluated.
+    /// Distinct candidates evaluated at the spec's own (full) precision —
+    /// the ones the `best`/`front` fields are built from.
     pub evaluations: u64,
+    /// Adaptive-search provenance (generations, precision rungs); absent
+    /// for the non-adaptive grid and coordinate-descent strategies.
+    pub search: Option<SearchReport>,
     /// The minimum-cost evaluated candidate (ties broken by canonical
     /// choice order).
     pub best: ParetoPoint,
@@ -475,17 +588,22 @@ pub struct CoOptReport {
 }
 
 impl CoOptReport {
-    /// Serialize as a JSON object.
+    /// Serialize as a JSON object (the `search` block is omitted, not
+    /// nulled, for non-adaptive runs — old artifacts stay byte-stable).
     pub fn to_json(&self) -> Json {
-        Json::Obj(vec![
+        let mut fields = vec![
             ("name".into(), Json::Str(self.name.clone())),
             ("searcher".into(), Json::Str(self.searcher.clone())),
             ("seed".into(), Json::from_u64(self.seed)),
             ("candidates".into(), Json::Num(self.candidates as f64)),
             ("evaluations".into(), Json::Num(self.evaluations as f64)),
-            ("best".into(), self.best.to_json()),
-            ("front".into(), self.front.to_json()),
-        ])
+        ];
+        if let Some(search) = &self.search {
+            fields.push(("search".into(), search.to_json()));
+        }
+        fields.push(("best".into(), self.best.to_json()));
+        fields.push(("front".into(), self.front.to_json()));
+        Json::Obj(fields)
     }
 
     /// Parse a report written by [`CoOptReport::to_json`] — the client
@@ -506,6 +624,7 @@ impl CoOptReport {
             seed: num_u64("seed")?,
             candidates: num_u64("candidates")?,
             evaluations: num_u64("evaluations")?,
+            search: v.get("search").map(SearchReport::from_json).transpose()?,
             best: ParetoPoint::from_json(
                 v.get("best").ok_or_else(|| bad_report("missing `best`"))?,
             )?,

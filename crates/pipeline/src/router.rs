@@ -182,7 +182,23 @@ impl Default for RouterConfig {
 #[derive(Debug, Clone)]
 pub struct Client {
     alive: Arc<AtomicBool>,
-    tx: mpsc::Sender<YieldResponse>,
+    tx: ResponseTx,
+}
+
+/// The sending half of a client's response stream.
+#[derive(Debug, Clone)]
+enum ResponseTx {
+    Unbounded(mpsc::Sender<YieldResponse>),
+    Rendezvous(mpsc::SyncSender<YieldResponse>),
+}
+
+impl ResponseTx {
+    fn send(&self, response: YieldResponse) -> Result<(), ()> {
+        match self {
+            Self::Unbounded(tx) => tx.send(response).map_err(drop),
+            Self::Rendezvous(tx) => tx.send(response).map_err(drop),
+        }
+    }
 }
 
 impl Client {
@@ -192,7 +208,26 @@ impl Client {
         (
             Self {
                 alive: Arc::new(AtomicBool::new(true)),
-                tx,
+                tx: ResponseTx::Unbounded(tx),
+            },
+            rx,
+        )
+    }
+
+    /// A client whose response stream is a rendezvous channel: every
+    /// emit blocks until the consumer receives it, so a streamed sweep
+    /// can never run ahead of its reader. Dropping the receiver
+    /// unblocks the in-flight emit with a failure, which makes
+    /// mid-stream disconnection *deterministic* — the property the
+    /// cancellation tests pin. Production consumers should prefer
+    /// [`Client::channel`], which never stalls a shard worker on a
+    /// slow reader.
+    pub fn rendezvous() -> (Self, mpsc::Receiver<YieldResponse>) {
+        let (tx, rx) = mpsc::sync_channel(0);
+        (
+            Self {
+                alive: Arc::new(AtomicBool::new(true)),
+                tx: ResponseTx::Rendezvous(tx),
             },
             rx,
         )
@@ -217,6 +252,8 @@ impl Client {
             return false;
         }
         if self.tx.send(response).is_err() {
+            // Receiver dropped: latch the disconnect so queued work for
+            // this client is skipped without another send attempt.
             self.disconnect();
             return false;
         }

@@ -212,6 +212,136 @@ fn coopt_axis_values_are_domain_validated_at_parse_time() {
 }
 
 #[test]
+fn searcher_forms_reject_every_malformed_genetic_and_halving_shape() {
+    use cnfet_pipeline::SearcherSpec;
+    let parse = |s: &str| SearcherSpec::from_json(&Json::parse(s).unwrap());
+    // Mistyped or out-of-domain parameters: all bad_spec on the wire,
+    // all caught at parse time — never a mid-search panic.
+    let bad = [
+        (
+            r#"{ "genetic": { "population": 1 } }"#,
+            "`population` must be an integer >= 2",
+        ),
+        (
+            r#"{ "genetic": { "population": 2.5 } }"#,
+            "`population` must be an integer",
+        ),
+        (
+            r#"{ "genetic": { "mutation_rate": 1.5 } }"#,
+            "`mutation_rate` must be a number in [0, 1]",
+        ),
+        (
+            r#"{ "genetic": { "mutation_rate": "high" } }"#,
+            "`mutation_rate` must be a number in [0, 1]",
+        ),
+        (
+            r#"{ "kind": "genetic", "population": 4, "tournament_k": 9 }"#,
+            "`tournament_k` (9) must not exceed `population` (4)",
+        ),
+        // The regression contract: a zero-rung or sub-2-eta ladder is a
+        // parse error, not a degenerate search.
+        (
+            r#"{ "halving": { "rungs": 0 } }"#,
+            "`rungs` must be an integer >= 1",
+        ),
+        (
+            r#"{ "halving": { "eta": 1 } }"#,
+            "`eta` must be an integer in [2, 64]",
+        ),
+        (
+            r#"{ "halving": { "eta": 2.5 } }"#,
+            "`eta` must be an integer in [2, 64]",
+        ),
+        (
+            r#"{ "halving": { "inner": "halving" } }"#,
+            "cannot nest another `halving` ladder",
+        ),
+        (
+            r#"{ "halving": { "inner": { "kind": "halving", "eta": 2 } } }"#,
+            "cannot nest another `halving` ladder",
+        ),
+        (
+            r#"{ "genetic": 7 }"#,
+            "`genetic` parameters must be an object",
+        ),
+        (
+            r#"{ "grid": {}, "genetic": {} }"#,
+            "needs a `kind` string or a single strategy key",
+        ),
+    ];
+    for (form, fragment) in bad {
+        let err = parse(form).unwrap_err();
+        assert!(
+            err.to_string().contains(fragment),
+            "{form}: message `{err}` must contain `{fragment}`"
+        );
+        assert!(
+            matches!(code(&err), ErrorCode::BadSpec { field } if field == "searcher"),
+            "{form} must map to bad_spec on the wire, got {err:?}"
+        );
+    }
+    // Typos in strategy and parameter names: unknown_key with the
+    // Levenshtein nearest-name suggestion.
+    let typos = [
+        (r#""genetc""#, "genetc", Some("genetic")),
+        (r#""halvng""#, "halvng", Some("halving")),
+        (
+            r#"{ "genetic": { "poplation": 8 } }"#,
+            "poplation",
+            Some("population"),
+        ),
+        (
+            r#"{ "halving": { "inner": "grid", "rung": 2 } }"#,
+            "rung",
+            Some("rungs"),
+        ),
+        (
+            r#"{ "kind": "genetic", "mutationrate": 0.2 }"#,
+            "mutationrate",
+            Some("mutation_rate"),
+        ),
+    ];
+    for (form, key, expected) in typos {
+        let err = parse(form).unwrap_err();
+        match code(&err) {
+            ErrorCode::UnknownKey {
+                key: got,
+                suggestion,
+            } => {
+                assert_eq!(got, key, "for {form}");
+                assert_eq!(suggestion.as_deref(), expected, "for {form}");
+            }
+            other => panic!("{form} must map to unknown_key, got {other:?}"),
+        }
+        if let Some(s) = expected {
+            assert!(
+                err.to_string().contains(&format!("did you mean `{s}`?")),
+                "display for {form}: {err}"
+            );
+        }
+    }
+    // The happy-path inverse: every advertised kind parses from its bare
+    // name, and defaults are in-domain (a bare "halving" wraps genetic).
+    for kind in cnfet_pipeline::SEARCHER_KINDS {
+        let spec = parse(&format!("\"{kind}\"")).unwrap();
+        assert_eq!(spec.name(), kind);
+        // The composed display name matches what reports will carry: the
+        // bare ladder wraps the default genetic inner.
+        let composed = if kind == "halving" {
+            "halving+genetic"
+        } else {
+            kind
+        };
+        assert_eq!(spec.composed_name(), composed);
+        assert_eq!(
+            SearcherSpec::from_json(&spec.to_json()).unwrap(),
+            spec,
+            "`{kind}` defaults must round-trip through the normal form"
+        );
+    }
+}
+
+#[test]
 fn coopt_name_must_be_a_string_when_present() {
     // A mistyped `name` must error, not silently rename the artifact.
     let err =

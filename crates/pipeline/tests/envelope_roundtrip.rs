@@ -4,9 +4,9 @@
 
 use cnfet_pipeline::{
     BackendSpec, CoOptReport, CoOptSpec, CorrelationSpec, ErrorCode, Json, LibrarySpec,
-    McBackendReport, ParetoFront, ParetoPoint, ResponseBody, ScenarioGrid, ScenarioReport,
-    ScenarioSpec, SearchAxis, SearcherSpec, ServiceError, ServiceInfo, YieldRequest, YieldResponse,
-    YieldService, SCHEMA_VERSION,
+    McBackendReport, ParetoFront, ParetoPoint, ResponseBody, RungReport, ScenarioGrid,
+    ScenarioReport, ScenarioSpec, SearchAxis, SearchReport, SearcherSpec, ServiceError,
+    ServiceInfo, YieldRequest, YieldResponse, YieldService, SCHEMA_VERSION,
 };
 use proptest::prelude::*;
 
@@ -35,7 +35,36 @@ fn error_code(variant: usize, key: &[usize], suggest: bool, n: u64) -> ErrorCode
     }
 }
 
-fn coopt_spec(name: &[usize], node: f64, target: f64, backend: usize, searcher: bool) -> CoOptSpec {
+fn searcher_spec(searcher: usize) -> SearcherSpec {
+    match searcher % 4 {
+        0 => SearcherSpec::GridScan,
+        1 => SearcherSpec::CoordinateDescent {
+            restarts: 4,
+            max_sweeps: 7,
+        },
+        2 => SearcherSpec::Genetic {
+            population: 16,
+            generations: 5,
+            tournament_k: 3,
+            mutation_rate: 0.25,
+        },
+        // The parser rejects a halving inside a halving, so the inner
+        // strategy only draws from the three flat forms.
+        _ => SearcherSpec::Halving {
+            inner: Box::new(searcher_spec((searcher / 4) % 3)),
+            rungs: 3,
+            eta: 2,
+        },
+    }
+}
+
+fn coopt_spec(
+    name: &[usize],
+    node: f64,
+    target: f64,
+    backend: usize,
+    searcher: usize,
+) -> CoOptSpec {
     CoOptSpec {
         name: text(name),
         base: spec(name, node, target, backend),
@@ -50,14 +79,7 @@ fn coopt_spec(name: &[usize], node: f64, target: f64, backend: usize, searcher: 
             },
         ],
         objective: cnfet_core::objective::CostWeights::default(),
-        searcher: if searcher {
-            SearcherSpec::GridScan
-        } else {
-            SearcherSpec::CoordinateDescent {
-                restarts: 4,
-                max_sweeps: 7,
-            }
-        },
+        searcher: searcher_spec(searcher),
     }
 }
 
@@ -151,7 +173,7 @@ proptest! {
             ),
             2 => YieldRequest::co_opt(
                 text(&id),
-                coopt_spec(&name, node, target, backend, workers % 2 == 0),
+                coopt_spec(&name, node, target, backend, workers),
                 seed,
                 (workers % 3 == 0).then_some(workers),
             ),
@@ -191,10 +213,27 @@ proptest! {
             }),
             4 => ResponseBody::CoOpt(CoOptReport {
                 name: text(&name),
-                searcher: "grid".into(),
+                searcher: if with_mc { "halving+genetic" } else { "grid" }.into(),
                 seed,
                 candidates: n + 6,
                 evaluations: n + 1,
+                search: with_mc.then(|| SearchReport {
+                    generations: n + 2,
+                    coarse_evaluations: n * 7,
+                    final_evaluations: n + 1,
+                    rungs: vec![
+                        RungReport {
+                            relax: 4.0,
+                            evaluations: n * 5,
+                            promoted: n + 4,
+                        },
+                        RungReport {
+                            relax: 1.0,
+                            evaluations: n + 1,
+                            promoted: 0,
+                        },
+                    ],
+                }),
                 best: pareto_point(&name, w_min, 0.5),
                 front: ParetoFront::from_points(vec![
                     pareto_point(&name, w_min, 0.5),

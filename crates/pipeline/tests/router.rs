@@ -216,7 +216,10 @@ fn disconnecting_mid_sweep_cancels_and_frees_the_shard() {
     );
     // A 24-scenario sweep: the client hangs up after the first streamed
     // report, which must cancel the sweep rather than compute the rest.
-    let (victim, victim_rx) = Client::channel();
+    // The rendezvous stream means the worker cannot emit report 1 until
+    // this thread receives it, so the hang-up lands mid-sweep no matter
+    // how the threads are scheduled.
+    let (victim, victim_rx) = Client::rendezvous();
     router.submit(
         r#"{"schema":1,"id":"swp","body":{"sweep":{"grid":{"defaults":{"fast_design":true,"backend":"gaussian-sum","rho":"paper"},"axes":{"correlation":["none","growth","growth+aligned-layout"],"l_cnt_um":[120,140,160,180,200,220,240,260]}},"seed":1}}}"#,
         &victim,

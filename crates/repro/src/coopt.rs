@@ -28,7 +28,7 @@ pub fn run(ctx: &RunContext, spec_file: &str, workers: Option<usize>) -> Result<
         spec.name,
         spec.axes.len(),
         spec.candidate_count(),
-        spec.searcher.name(),
+        spec.searcher.composed_name(),
         workers,
     );
 
@@ -66,6 +66,18 @@ pub fn run(ctx: &RunContext, spec_file: &str, workers: Option<usize>) -> Result<
         report.evaluations,
         report.candidates,
     );
+    if let Some(search) = &report.search {
+        println!(
+            "  search: {} generations, {} coarse + {} full-precision evaluations",
+            search.generations, search.coarse_evaluations, search.final_evaluations,
+        );
+        for (i, rung) in search.rungs.iter().enumerate() {
+            println!(
+                "    rung {i}: rel_ci x{:.0}, {} evaluations, {} promoted",
+                rung.relax, rung.evaluations, rung.promoted,
+            );
+        }
+    }
     write_csv(ctx, &format!("{}-pareto", spec.name), &table)?;
 
     let path = report::write_coopt_report(&ctx.out_dir, &report)?;

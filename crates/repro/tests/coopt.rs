@@ -13,12 +13,12 @@ fn repo_root() -> PathBuf {
         .to_path_buf()
 }
 
-/// Run `repro coopt` on the example spec with a given worker count in an
+/// Run `repro coopt` on an example spec with a given worker count in an
 /// isolated scratch directory; return (stdout, artifact bytes).
-fn run_coopt(tag: &str, workers: u32) -> (String, String) {
+fn run_coopt_spec(spec_rel: &str, artifact_rel: &str, tag: &str, workers: u32) -> (String, String) {
     let dir = Path::new(env!("CARGO_TARGET_TMPDIR")).join(format!("repro-coopt-{tag}"));
     std::fs::create_dir_all(&dir).expect("create scratch dir");
-    let spec = repo_root().join("examples/coopt/correlation_tradeoff.json");
+    let spec = repo_root().join(spec_rel);
     let out = Command::new(env!("CARGO_BIN_EXE_repro"))
         .args([
             "coopt",
@@ -35,10 +35,19 @@ fn run_coopt(tag: &str, workers: u32) -> (String, String) {
         String::from_utf8_lossy(&out.stderr)
     );
     let stdout = String::from_utf8(out.stdout).expect("utf-8 output");
-    let artifact = dir.join("results/correlation-tradeoff.coopt.json");
+    let artifact = dir.join("results").join(artifact_rel);
     let bytes = std::fs::read_to_string(&artifact)
         .unwrap_or_else(|e| panic!("artifact {}: {e}", artifact.display()));
     (stdout, bytes)
+}
+
+fn run_coopt(tag: &str, workers: u32) -> (String, String) {
+    run_coopt_spec(
+        "examples/coopt/correlation_tradeoff.json",
+        "correlation-tradeoff.coopt.json",
+        tag,
+        workers,
+    )
 }
 
 #[test]
@@ -100,4 +109,53 @@ fn example_artifact_is_byte_identical_across_worker_counts() {
         "best: {}",
         report.best.scenario
     );
+}
+
+#[test]
+fn genetic_example_artifact_is_byte_identical_across_worker_counts() {
+    // The adaptive path: halving+genetic over seven axes with the
+    // Monte-Carlo back-end. Search decisions are sequential and seeded,
+    // so `--workers` must still not change a byte — including the
+    // `search` provenance block.
+    let (stdout, one) = run_coopt_spec(
+        "examples/coopt/genetic_7axis.json",
+        "genetic-7axis.coopt.json",
+        "genetic-w1",
+        1,
+    );
+    let (_, eight) = run_coopt_spec(
+        "examples/coopt/genetic_7axis.json",
+        "genetic-7axis.coopt.json",
+        "genetic-w8",
+        8,
+    );
+    assert_eq!(
+        one, eight,
+        "the adaptive Pareto artifact must not depend on --workers"
+    );
+    assert!(
+        stdout.contains("searcher `halving+genetic`"),
+        "stdout must name the composed strategy:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("rung 0:"),
+        "stdout must render the precision ladder:\n{stdout}"
+    );
+
+    let report = cnfet_pipeline::CoOptReport::from_json(
+        &cnfet_pipeline::Json::parse(&one).expect("valid JSON artifact"),
+    )
+    .expect("typed artifact");
+    assert_eq!(report.name, "genetic-7axis");
+    assert_eq!(report.searcher, "halving+genetic");
+    assert_eq!(report.candidates, 288);
+    assert!(
+        report.evaluations * 2 < report.candidates,
+        "the ladder must confirm far fewer candidates than the space: {} of {}",
+        report.evaluations,
+        report.candidates
+    );
+    let search = report.search.expect("adaptive artifact carries provenance");
+    assert_eq!(search.rungs.len(), 3);
+    assert_eq!(search.final_evaluations, report.evaluations);
 }
